@@ -1,0 +1,84 @@
+// Figure 7 — execution time normalized to pthreads, 4 threads.
+//
+// Reproduces the paper's headline comparison: pthreads vs DThreads vs
+// RFDet-pf vs RFDet-ci for all 16 benchmark applications. The paper
+// reports (at 4 threads): RFDet-ci ≈ 1.35x, RFDet-pf ≈ 1.73x, DThreads
+// ≈ 2.5x, with DThreads' worst case near 10x (lu-non). Absolute numbers
+// differ on this substrate, but the expected *shape* is the same:
+//   pthreads < rfdet-ci < rfdet-pf < dthreads (geomean),
+// with DThreads blowing up on sync-heavy / imbalance-prone kernels.
+//
+// Flags: --threads=4 --scale=2 --repeat=2 --apps=a,b,c
+#include <cstdio>
+
+#include "rfdet/harness/harness.h"
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  apps::Params params;
+  params.threads = static_cast<size_t>(flags.Int("threads", 4));
+  params.scale = static_cast<int>(flags.Int("scale", 2));
+  params.seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  const int repeat = static_cast<int>(flags.Int("repeat", 2));
+  const std::string only = flags.Str("apps", "");
+
+  const dmt::BackendKind kBackends[] = {
+      dmt::BackendKind::kPthreads,
+      dmt::BackendKind::kRfdetCi,
+      dmt::BackendKind::kRfdetPf,
+      dmt::BackendKind::kDthreads,
+  };
+
+  std::printf("Figure 7: execution time normalized to pthreads "
+              "(%zu threads, scale %d)\n\n",
+              params.threads, params.scale);
+  harness::Table table({"benchmark", "pthreads(s)", "rfdet-ci", "rfdet-pf",
+                        "dthreads"});
+  std::vector<double> ci_ratios;
+  std::vector<double> pf_ratios;
+  std::vector<double> dt_ratios;
+
+  for (const apps::Workload* w : apps::AllWorkloads()) {
+    if (w->Suite() == "stress" || w->Suite() == "extension") continue;
+    if (!only.empty() && only.find(w->Name()) == std::string::npos) continue;
+    double base = 0;
+    std::vector<std::string> row{w->Name()};
+    std::vector<double> ratios;
+    for (const dmt::BackendKind kind : kBackends) {
+      dmt::BackendConfig config;
+      config.kind = kind;
+      config.region_bytes = 64u << 20;
+      config.static_bytes = 32u << 20;
+      const harness::RunOutcome out =
+          harness::MeasureBest(*w, params, config, repeat);
+      if (kind == dmt::BackendKind::kPthreads) {
+        base = out.seconds;
+        row.push_back(harness::FormatSeconds(out.seconds));
+      } else {
+        const double ratio = out.seconds / base;
+        ratios.push_back(ratio);
+        row.push_back(harness::FormatRatio(ratio));
+      }
+    }
+    ci_ratios.push_back(ratios[0]);
+    pf_ratios.push_back(ratios[1]);
+    dt_ratios.push_back(ratios[2]);
+    table.AddRow(std::move(row));
+  }
+  table.AddRow({"geomean", "-", harness::FormatRatio(harness::GeoMean(ci_ratios)),
+                harness::FormatRatio(harness::GeoMean(pf_ratios)),
+                harness::FormatRatio(harness::GeoMean(dt_ratios))});
+  table.Print();
+
+  const double ci = harness::GeoMean(ci_ratios);
+  const double pf = harness::GeoMean(pf_ratios);
+  const double dt = harness::GeoMean(dt_ratios);
+  std::printf("\nPaper's claims, checked on this substrate:\n");
+  std::printf("  rfdet-ci < rfdet-pf   : %s (%.2f vs %.2f)\n",
+              ci < pf ? "yes" : "NO", ci, pf);
+  std::printf("  rfdet-pf < dthreads   : %s (%.2f vs %.2f)\n",
+              pf < dt ? "yes" : "NO", pf, dt);
+  std::printf("  rfdet-ci speedup over dthreads: %.2fx (paper: ~1.8x)\n",
+              dt / ci);
+  return 0;
+}

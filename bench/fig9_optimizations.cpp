@@ -1,0 +1,71 @@
+// Figure 9 — effect of the prelock and lazy-writes optimizations.
+//
+// SPLASH-2 applications only (their heavy synchronization magnifies the
+// optimizations, §5.5). The baseline disables both optimizations; each
+// optimization is then enabled alone and its speedup over the baseline is
+// reported, together with the fraction of propagation work the prelock
+// reservation phase moved off the critical path (the paper reports ~80%).
+//
+// Flags: --threads=4 --scale=2 --repeat=2
+#include <cstdio>
+
+#include "rfdet/harness/harness.h"
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  apps::Params params;
+  params.threads = static_cast<size_t>(flags.Int("threads", 4));
+  params.scale = static_cast<int>(flags.Int("scale", 2));
+  const int repeat = static_cast<int>(flags.Int("repeat", 2));
+
+  std::printf("Figure 9: speedup over both-optimizations-disabled baseline "
+              "(%zu threads, scale %d)\n\n", params.threads, params.scale);
+  harness::Table table({"benchmark", "baseline(s)", "+prelock",
+                        "+lazy writes", "+both", "merging benefit", "prelock share"});
+
+  auto config_with = [&](bool prelock, bool lazy, bool merging = true) {
+    dmt::BackendConfig c;
+    c.kind = dmt::BackendKind::kRfdetCi;
+    c.region_bytes = 64u << 20;
+    c.static_bytes = 32u << 20;
+    c.prelock = prelock;
+    c.lazy_writes = lazy;
+    c.slice_merging = merging;
+    return c;
+  };
+
+  for (const apps::Workload* w : apps::AllWorkloads()) {
+    if (w->Suite() != "splash2") continue;
+    const harness::RunOutcome base =
+        harness::MeasureBest(*w, params, config_with(false, false), repeat);
+    const harness::RunOutcome pre =
+        harness::MeasureBest(*w, params, config_with(true, false), repeat);
+    const harness::RunOutcome lazy =
+        harness::MeasureBest(*w, params, config_with(false, true), repeat);
+    const harness::RunOutcome both =
+        harness::MeasureBest(*w, params, config_with(true, true), repeat);
+    // Ablation beyond the paper's figure: slice merging off (prelock/lazy
+    // off too, so the ratio isolates merging against the same baseline).
+    const harness::RunOutcome no_merge = harness::MeasureBest(
+        *w, params, config_with(false, false, /*merging=*/false), repeat);
+
+    const double prelock_share =
+        pre.stats.bytes_propagated == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(pre.stats.prelock_bytes) /
+                  static_cast<double>(pre.stats.bytes_propagated);
+    char share[16];
+    std::snprintf(share, sizeof share, "%.0f%%", prelock_share);
+    table.AddRow({
+        w->Name(),
+        harness::FormatSeconds(base.seconds),
+        harness::FormatRatio(base.seconds / pre.seconds),
+        harness::FormatRatio(base.seconds / lazy.seconds),
+        harness::FormatRatio(base.seconds / both.seconds),
+        harness::FormatRatio(no_merge.seconds / base.seconds),
+        share,
+    });
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks of the runtime's building blocks (google-benchmark):
+// vector clocks, page diffing, modification-list application, the
+// deterministic allocator, Kendo lock round-trips, and slice propagation.
+// These quantify the design choices DESIGN.md calls out (byte-granularity
+// diff cost, COW page handling, propagation throughput).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "rfdet/kendo/kendo.h"
+#include "rfdet/mem/det_allocator.h"
+#include "rfdet/mem/mod_list.h"
+#include "rfdet/mem/thread_view.h"
+#include "rfdet/runtime/runtime.h"
+#include "rfdet/time/vector_clock.h"
+
+namespace {
+
+using namespace rfdet;  // NOLINT: bench-local brevity
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  const auto dims = static_cast<size_t>(state.range(0));
+  VectorClock a(dims);
+  VectorClock b(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    a.Set(i, i * 3);
+    b.Set(i, i * 2 + 7);
+  }
+  for (auto _ : state) {
+    VectorClock c = a;
+    c.Join(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VectorClockLessEq(benchmark::State& state) {
+  const auto dims = static_cast<size_t>(state.range(0));
+  VectorClock a(dims);
+  VectorClock b(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    a.Set(i, i);
+    b.Set(i, i + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.LessEq(b));
+  }
+}
+BENCHMARK(BM_VectorClockLessEq)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PageDiff(benchmark::State& state) {
+  // range(0) = number of modified bytes within the 4K page.
+  alignas(64) std::byte snap[kPageSize] = {};
+  alignas(64) std::byte cur[kPageSize] = {};
+  const auto dirty = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < dirty; ++i) {
+    cur[(i * 97) % kPageSize] = std::byte{0xff};
+  }
+  for (auto _ : state) {
+    ModList mods;
+    mods.AppendPageDiff(0, snap, cur);
+    benchmark::DoNotOptimize(mods);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kPageSize);
+}
+BENCHMARK(BM_PageDiff)->Arg(0)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_ModListApply(benchmark::State& state) {
+  ModList mods;
+  std::byte payload[64];
+  std::memset(payload, 0xab, sizeof payload);
+  for (int i = 0; i < 64; ++i) {
+    mods.Append(static_cast<GAddr>(i) * 128, payload);
+  }
+  MetadataArena arena;
+  ThreadView view(1u << 20, MonitorMode::kInstrumented, &arena);
+  for (auto _ : state) {
+    view.ApplyRemote(mods, /*lazy=*/false);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64 *
+                          64);
+}
+BENCHMARK(BM_ModListApply);
+
+void BM_InstrumentedStore(benchmark::State& state) {
+  MetadataArena arena;
+  ThreadView view(4u << 20, MonitorMode::kInstrumented, &arena);
+  uint64_t v = 0;
+  ModList sink;
+  size_t n = 0;
+  for (auto _ : state) {
+    view.Store((n++ % 4096) * 8, &v, sizeof v);
+    ++v;
+    if (n % 4096 == 0) {
+      sink.Clear();
+      view.CollectModifications(sink);  // bound snapshot growth
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_InstrumentedStore);
+
+void BM_DetAllocator(benchmark::State& state) {
+  DetAllocator alloc(DetAllocator::Config{});
+  for (auto _ : state) {
+    const GAddr a = alloc.Alloc(0, 64);
+    benchmark::DoNotOptimize(a);
+    alloc.Free(0, a);
+  }
+}
+BENCHMARK(BM_DetAllocator);
+
+void BM_KendoUncontendedLock(benchmark::State& state) {
+  RfdetOptions opts;
+  opts.region_bytes = 4u << 20;
+  opts.static_bytes = 1u << 20;
+  RfdetRuntime rt(opts);
+  const size_t m = rt.CreateMutex();
+  for (auto _ : state) {
+    rt.MutexLock(m);
+    rt.MutexUnlock(m);
+  }
+}
+BENCHMARK(BM_KendoUncontendedLock);
+
+void BM_SliceRoundTrip(benchmark::State& state) {
+  // One release/acquire pair's worth of work: store, close slice, apply.
+  RfdetOptions opts;
+  opts.region_bytes = 4u << 20;
+  opts.static_bytes = 1u << 20;
+  RfdetRuntime rt(opts);
+  const size_t m = rt.CreateMutex();
+  const GAddr a = rt.AllocStatic(4096);
+  uint64_t v = 1;
+  for (auto _ : state) {
+    rt.MutexLock(m);
+    rt.Store(a + (v % 500) * 8, &v, sizeof v);
+    ++v;
+    rt.MutexUnlock(m);
+  }
+}
+BENCHMARK(BM_SliceRoundTrip);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// A concurrent bank: random transfers between accounts under per-account
+// locks. This is the fault-tolerant-replication use case from the paper's
+// introduction: because RFDet is deterministic, two independent "replicas"
+// fed the same input sequence end in exactly the same state — so state-
+// machine replication works without shipping thread interleavings.
+#include <cstdio>
+#include <vector>
+
+#include "rfdet/backends/backends.h"
+#include "rfdet/common/rng.h"
+
+namespace {
+
+constexpr size_t kAccounts = 32;
+constexpr size_t kThreads = 4;
+constexpr size_t kTransfers = 2000;
+
+// Runs one "replica" with the given input seed; returns a digest of the
+// final account balances.
+uint64_t RunReplica(uint64_t seed) {
+  dmt::BackendConfig config;
+  config.kind = dmt::BackendKind::kRfdetCi;
+  auto env = dmt::CreateEnv(config);
+
+  auto balances = dmt::MakeStaticArray<int64_t>(*env, kAccounts);
+  std::vector<size_t> locks(kAccounts);
+  for (auto& l : locks) l = env->CreateMutex();
+  for (size_t i = 0; i < kAccounts; ++i) balances.Put(*env, i, 1000);
+
+  std::vector<size_t> tids;
+  for (size_t t = 0; t < kThreads; ++t) {
+    tids.push_back(env->Spawn([&, t] {
+      rfdet::Xoshiro256 rng(seed * 131 + t);
+      for (size_t i = 0; i < kTransfers; ++i) {
+        const size_t from = rng.Below(kAccounts);
+        size_t to = rng.Below(kAccounts);
+        if (to == from) to = (to + 1) % kAccounts;
+        const int64_t amount = static_cast<int64_t>(rng.Below(50)) + 1;
+        // Lock ordering by account index prevents deadlock.
+        env->Lock(locks[std::min(from, to)]);
+        env->Lock(locks[std::max(from, to)]);
+        const int64_t src = balances.Get(*env, from);
+        if (src >= amount) {
+          balances.Put(*env, from, src - amount);
+          balances.Put(*env, to, balances.Get(*env, to) + amount);
+        }
+        env->Unlock(locks[std::max(from, to)]);
+        env->Unlock(locks[std::min(from, to)]);
+      }
+    }));
+  }
+  for (const size_t tid : tids) env->Join(tid);
+
+  uint64_t digest = 1469598103934665603ull;
+  int64_t total = 0;
+  for (size_t i = 0; i < kAccounts; ++i) {
+    const int64_t b = balances.Get(*env, i);
+    total += b;
+    digest = (digest ^ static_cast<uint64_t>(b)) * 1099511628211ull;
+  }
+  std::printf("  replica(seed=%llu): total=%lld digest=%016llx\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<long long>(total),
+              static_cast<unsigned long long>(digest));
+  return digest;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("two replicas, same input:\n");
+  const uint64_t a = RunReplica(7);
+  const uint64_t b = RunReplica(7);
+  std::printf("two replicas, different input:\n");
+  const uint64_t c = RunReplica(8);
+  std::printf("\nsame-input replicas agree:       %s\n",
+              a == b ? "yes ✓" : "NO — replication would diverge");
+  std::printf("different-input replicas differ: %s\n",
+              a != c ? "yes (inputs matter, as they should)" : "no");
+  return a == b ? 0 : 1;
+}

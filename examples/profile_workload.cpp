@@ -1,0 +1,75 @@
+// Profiling a workload: runs any registered kernel on any backend and
+// prints the runtime's Table-1-style statistics.
+//
+// Usage: profile_workload [--app=radix] [--backend=rfdet-ci]
+//                         [--threads=4] [--scale=1]
+#include <cstdio>
+
+#include "rfdet/harness/harness.h"
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  const std::string app = flags.Str("app", "radix");
+  const std::string backend = flags.Str("backend", "rfdet-ci");
+
+  const apps::Workload* workload = apps::FindWorkload(app);
+  if (workload == nullptr) {
+    std::printf("unknown app '%s'; available:\n", app.c_str());
+    for (const apps::Workload* w : apps::AllWorkloads()) {
+      std::printf("  %-20s (%s)\n", w->Name().c_str(), w->Suite().c_str());
+    }
+    return 1;
+  }
+  const auto kind = dmt::ParseBackend(backend);
+  if (!kind) {
+    std::printf("unknown backend '%s' (pthreads, kendo, rfdet-ci, rfdet-pf, "
+                "dthreads, coredet)\n", backend.c_str());
+    return 1;
+  }
+
+  dmt::BackendConfig config;
+  config.kind = *kind;
+  apps::Params params;
+  params.threads = static_cast<size_t>(flags.Int("threads", 4));
+  params.scale = static_cast<int>(flags.Int("scale", 1));
+  const harness::RunOutcome out =
+      harness::Measure(*workload, params, config);
+
+  const rfdet::StatsSnapshot& s = out.stats;
+  std::printf("%s on %s (%zu threads, scale %d)\n", app.c_str(),
+              backend.c_str(), params.threads, params.scale);
+  std::printf("  time                 %.3f s\n", out.seconds);
+  std::printf("  signature            %016llx\n",
+              static_cast<unsigned long long>(out.signature));
+  std::printf("  lock/unlock          %llu/%llu\n",
+              static_cast<unsigned long long>(s.locks),
+              static_cast<unsigned long long>(s.unlocks));
+  std::printf("  wait/signal          %llu/%llu\n",
+              static_cast<unsigned long long>(s.cond_waits),
+              static_cast<unsigned long long>(s.cond_signals));
+  std::printf("  fork/join            %llu/%llu\n",
+              static_cast<unsigned long long>(s.forks),
+              static_cast<unsigned long long>(s.joins));
+  std::printf("  loads/stores (words) %llu/%llu\n",
+              static_cast<unsigned long long>(s.loads),
+              static_cast<unsigned long long>(s.stores));
+  std::printf("  stores w/ page copy  %llu\n",
+              static_cast<unsigned long long>(s.stores_with_copy));
+  std::printf("  slices created       %llu (merged acquires: %llu)\n",
+              static_cast<unsigned long long>(s.slices_created),
+              static_cast<unsigned long long>(s.slices_merged));
+  std::printf("  slices propagated    %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(s.slices_propagated),
+              static_cast<unsigned long long>(s.bytes_propagated));
+  std::printf("  prelock share        %llu bytes\n",
+              static_cast<unsigned long long>(s.prelock_bytes));
+  std::printf("  page faults          %llu, mprotect calls %llu\n",
+              static_cast<unsigned long long>(s.page_faults),
+              static_cast<unsigned long long>(s.mprotect_calls));
+  std::printf("  GC count             %llu (pruned %llu slices)\n",
+              static_cast<unsigned long long>(s.gc_count),
+              static_cast<unsigned long long>(s.slices_pruned));
+  std::printf("  footprint            %.1f MB\n",
+              static_cast<double>(out.footprint_bytes) / (1024.0 * 1024.0));
+  return 0;
+}

@@ -1,0 +1,136 @@
+// dmt::Env — the backend-neutral execution API.
+//
+// Every workload in this repository (the SPLASH-2 / Phoenix / PARSEC
+// kernels, racey, the examples) is written once against this interface and
+// can then run unchanged on any of the five runtimes:
+//
+//   pthreads  — conventional nondeterministic threading (baseline)
+//   kendo     — weak determinism: Kendo-ordered sync, shared memory
+//   rfdet     — the paper's system (strong determinism, no global barriers)
+//   dthreads  — DThreads-style serial-commit-at-sync baseline
+//   coredet   — CoreDet/DMP-style quantum-lockstep ablation
+//
+// Shared memory is named by GAddr offsets; loads and stores go through the
+// Env so each runtime observes the identical deterministic access stream
+// (the library-level equivalent of the paper's compile-time
+// instrumentation). The same Env object is used from every spawned thread;
+// implementations dispatch on thread-local state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rfdet/mem/addr.h"
+#include "rfdet/runtime/stats.h"
+
+namespace dmt {
+
+using rfdet::GAddr;
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+  [[nodiscard]] virtual bool Deterministic() const = 0;
+
+  // ---- identity ----------------------------------------------------------
+  [[nodiscard]] virtual size_t Tid() const = 0;
+
+  // ---- memory ------------------------------------------------------------
+  virtual GAddr AllocStatic(size_t bytes, size_t align = 16) = 0;
+  virtual GAddr Malloc(size_t bytes) = 0;
+  virtual void Free(GAddr addr) = 0;
+  virtual void Store(GAddr addr, const void* src, size_t len) = 0;
+  virtual void Load(GAddr addr, void* dst, size_t len) = 0;
+  // Deterministic-progress tick for compute-only stretches (the analogue
+  // of instruction-count instrumentation in basic blocks with no shared
+  // accesses). `words` ≈ amount of work done.
+  virtual void Tick(uint64_t words) = 0;
+
+  // ---- threads -----------------------------------------------------------
+  virtual size_t Spawn(std::function<void()> fn) = 0;
+  virtual void Join(size_t tid) = 0;
+
+  // ---- synchronization -----------------------------------------------------
+  // ---- low-level atomics ---------------------------------------------------
+  // 64-bit atomics on 8-byte-aligned shared locations, for ad hoc and
+  // lock-free synchronization (the paper's §4.6 extension). Under the
+  // strong-DMT backends these are Kendo-ordered acquire/release operations;
+  // under pthreads they are plain hardware atomics.
+  virtual uint64_t AtomicLoad(GAddr addr) = 0;
+  virtual void AtomicStore(GAddr addr, uint64_t value) = 0;
+  virtual uint64_t AtomicFetchAdd(GAddr addr, uint64_t delta) = 0;
+  virtual bool AtomicCas(GAddr addr, uint64_t& expected,
+                         uint64_t desired) = 0;
+
+  virtual size_t CreateMutex() = 0;
+  virtual size_t CreateCond() = 0;
+  virtual size_t CreateBarrier(size_t parties) = 0;
+  virtual void Lock(size_t mutex_id) = 0;
+  virtual void Unlock(size_t mutex_id) = 0;
+  virtual void Wait(size_t cond_id, size_t mutex_id) = 0;
+  virtual void Signal(size_t cond_id) = 0;
+  virtual void Broadcast(size_t cond_id) = 0;
+  virtual void Barrier(size_t barrier_id) = 0;
+
+  // ---- introspection -------------------------------------------------------
+  [[nodiscard]] virtual rfdet::StatsSnapshot Stats() const { return {}; }
+  // Approximate memory footprint of the run (Table 1 columns 10-12).
+  [[nodiscard]] virtual size_t FootprintBytes() const { return 0; }
+
+  // ---- typed convenience ---------------------------------------------------
+  template <typename T>
+  [[nodiscard]] T Get(GAddr addr) {
+    T v;
+    Load(addr, &v, sizeof v);
+    return v;
+  }
+  template <typename T>
+  void Put(GAddr addr, const T& v) {
+    Store(addr, &v, sizeof v);
+  }
+};
+
+// A typed view of a contiguous shared array starting at `base`.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+  ArrayRef(GAddr base, size_t size) : base_(base), size_(size) {}
+
+  [[nodiscard]] GAddr addr(size_t i) const {
+    return base_ + i * sizeof(T);
+  }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] GAddr base() const { return base_; }
+
+  [[nodiscard]] T Get(Env& env, size_t i) const {
+    return env.Get<T>(addr(i));
+  }
+  void Put(Env& env, size_t i, const T& v) const { env.Put<T>(addr(i), v); }
+
+  // Bulk transfer of [first, first+count).
+  void Read(Env& env, size_t first, T* dst, size_t count) const {
+    env.Load(addr(first), dst, count * sizeof(T));
+  }
+  void Write(Env& env, size_t first, const T* src, size_t count) const {
+    env.Store(addr(first), src, count * sizeof(T));
+  }
+
+ private:
+  GAddr base_ = rfdet::kNullGAddr;
+  size_t size_ = 0;
+};
+
+// Allocates a static shared array sized for `count` elements.
+template <typename T>
+ArrayRef<T> MakeStaticArray(Env& env, size_t count) {
+  return ArrayRef<T>(env.AllocStatic(count * sizeof(T), alignof(T) > 16
+                                                            ? alignof(T)
+                                                            : 16),
+                     count);
+}
+
+}  // namespace dmt

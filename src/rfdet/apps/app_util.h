@@ -1,0 +1,133 @@
+// Shared helpers for the workload kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rfdet/api/env.h"
+#include "rfdet/common/hash.h"
+#include "rfdet/common/rng.h"
+
+namespace apps {
+
+// A lock+condvar barrier built from the application-level API, mirroring
+// the paper's SPLASH-2 configuration (c.m4.null.POSIX), where barriers are
+// implemented with lock/unlock + condition waits. Using it instead of the
+// runtime's native barrier makes the SPLASH-2 kernels execute many more
+// lock/unlock/wait/signal operations — exactly how the paper stressed
+// synchronization performance (§5.1).
+class AppBarrier {
+ public:
+  AppBarrier(dmt::Env& env, size_t parties)
+      : parties_(parties),
+        mutex_(env.CreateMutex()),
+        cond_(env.CreateCond()),
+        count_(env.AllocStatic(sizeof(uint64_t))),
+        generation_(env.AllocStatic(sizeof(uint64_t))) {}
+
+  void Wait(dmt::Env& env) const {
+    env.Lock(mutex_);
+    const uint64_t gen = env.Get<uint64_t>(generation_);
+    const uint64_t count = env.Get<uint64_t>(count_) + 1;
+    if (count == parties_) {
+      env.Put<uint64_t>(count_, 0);
+      env.Put<uint64_t>(generation_, gen + 1);
+      env.Broadcast(cond_);
+    } else {
+      env.Put<uint64_t>(count_, count);
+      while (env.Get<uint64_t>(generation_) == gen) {
+        env.Wait(cond_, mutex_);
+      }
+    }
+    env.Unlock(mutex_);
+  }
+
+ private:
+  size_t parties_;
+  size_t mutex_;
+  size_t cond_;
+  dmt::GAddr count_;
+  dmt::GAddr generation_;
+};
+
+// A bounded MPMC queue of uint64 items living in shared memory, built from
+// the application-level mutex/cond API. Drives the PARSEC pipeline kernels
+// (dedup, ferret), whose very high lock counts in the paper's Table 1 come
+// from exactly this kind of per-item queue traffic.
+class AppQueue {
+ public:
+  static constexpr uint64_t kDone = ~uint64_t{0};
+
+  AppQueue(dmt::Env& env, size_t capacity)
+      : capacity_(capacity),
+        buf_(dmt::MakeStaticArray<uint64_t>(env, capacity)),
+        state_(dmt::MakeStaticArray<uint64_t>(env, 3)),  // head, tail, count
+        mutex_(env.CreateMutex()),
+        not_empty_(env.CreateCond()),
+        not_full_(env.CreateCond()) {}
+
+  void Push(dmt::Env& env, uint64_t item) const {
+    env.Lock(mutex_);
+    while (env.Get<uint64_t>(state_.addr(2)) == capacity_) {
+      env.Wait(not_full_, mutex_);
+    }
+    const uint64_t tail = env.Get<uint64_t>(state_.addr(1));
+    buf_.Put(env, tail % capacity_, item);
+    env.Put<uint64_t>(state_.addr(1), tail + 1);
+    env.Put<uint64_t>(state_.addr(2),
+                      env.Get<uint64_t>(state_.addr(2)) + 1);
+    env.Signal(not_empty_);
+    env.Unlock(mutex_);
+  }
+
+  [[nodiscard]] uint64_t Pop(dmt::Env& env) const {
+    env.Lock(mutex_);
+    while (env.Get<uint64_t>(state_.addr(2)) == 0) {
+      env.Wait(not_empty_, mutex_);
+    }
+    const uint64_t head = env.Get<uint64_t>(state_.addr(0));
+    const uint64_t item = buf_.Get(env, head % capacity_);
+    env.Put<uint64_t>(state_.addr(0), head + 1);
+    env.Put<uint64_t>(state_.addr(2),
+                      env.Get<uint64_t>(state_.addr(2)) - 1);
+    env.Signal(not_full_);
+    env.Unlock(mutex_);
+    return item;
+  }
+
+ private:
+  size_t capacity_;
+  dmt::ArrayRef<uint64_t> buf_;
+  dmt::ArrayRef<uint64_t> state_;
+  size_t mutex_;
+  size_t not_empty_;
+  size_t not_full_;
+};
+
+// [begin, end) of item `t` when n items are split across p workers.
+struct Range {
+  size_t begin;
+  size_t end;
+};
+inline Range ChunkOf(size_t n, size_t parts, size_t t) {
+  const size_t base = n / parts;
+  const size_t extra = n % parts;
+  const size_t begin = t * base + (t < extra ? t : extra);
+  return {begin, begin + base + (t < extra ? 1 : 0)};
+}
+
+// Order-insensitive combination for per-thread partial signatures.
+inline uint64_t CombineUnordered(const std::vector<uint64_t>& parts) {
+  uint64_t x = 0;
+  uint64_t s = rfdet::kFnvOffset;
+  for (const uint64_t p : parts) {
+    x ^= p;
+    s += p * rfdet::kFnvPrime;
+  }
+  rfdet::Signature sig;
+  sig.Mix(x);
+  sig.Mix(s);
+  return sig.Value();
+}
+
+}  // namespace apps

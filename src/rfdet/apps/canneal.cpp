@@ -1,0 +1,93 @@
+// canneal — the PARSEC kernel the paper had to OMIT (§5.1) because its ad
+// hoc, lock-free synchronization "violates atomicity" without runtime
+// support. With the §4.6 low-level-atomics extension implemented, this
+// repository can run it: a simulated-annealing placement optimizer whose
+// threads swap netlist elements with racy atomic exchanges, exactly in
+// canneal's spirit. The kernel is intentionally racy (RaceFree() = false):
+// it is deterministic per strong-DMT configuration but not across
+// backends.
+#include "rfdet/apps/app_util.h"
+#include "rfdet/apps/workload.h"
+
+namespace apps {
+namespace {
+
+class Canneal final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "canneal"; }
+  [[nodiscard]] std::string Suite() const override { return "extension"; }
+  [[nodiscard]] bool RaceFree() const override { return false; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 256 * static_cast<size_t>(p.scale);  // elements
+    const size_t swaps = 400 * static_cast<size_t>(p.scale);
+    // placement[loc] = element id (atomic slots, 8-byte aligned).
+    auto placement = dmt::MakeStaticArray<uint64_t>(env, n);
+    // Each element connects to 4 pseudo-random peers (read-only netlist).
+    auto nets = dmt::MakeStaticArray<uint32_t>(env, n * 4);
+    auto accepted = dmt::MakeStaticArray<uint64_t>(env, 1);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    for (size_t i = 0; i < n; ++i) {
+      placement.Put(env, i, static_cast<uint64_t>(i));
+    }
+    std::vector<uint32_t> topology(n * 4);
+    for (auto& t : topology) t = static_cast<uint32_t>(rng.Below(n));
+    nets.Write(env, 0, topology.data(), topology.size());
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        std::vector<uint32_t> local_nets(n * 4);
+        nets.Read(env, 0, local_nets.data(), local_nets.size());
+        rfdet::Xoshiro256 trng(p.seed * 31 + t);
+        // Wire-length cost of placing element e at location loc: distance
+        // to its connected peers' home locations.
+        auto cost = [&](uint64_t element, size_t loc) {
+          int64_t c = 0;
+          for (int k = 0; k < 4; ++k) {
+            const uint32_t peer = local_nets[element * 4 + k];
+            const int64_t d = static_cast<int64_t>(loc) -
+                              static_cast<int64_t>(peer);
+            c += d < 0 ? -d : d;
+          }
+          return c;
+        };
+        for (size_t s = 0; s < swaps / p.threads; ++s) {
+          const size_t la = trng.Below(n);
+          size_t lb = trng.Below(n);
+          if (lb == la) lb = (lb + 1) % n;
+          // Ad hoc synchronization: racy atomic reads of two slots,
+          // followed by unsynchronized atomic stores — canneal's pattern.
+          const uint64_t ea = env.AtomicLoad(placement.addr(la));
+          const uint64_t eb = env.AtomicLoad(placement.addr(lb));
+          const int64_t before = cost(ea, la) + cost(eb, lb);
+          const int64_t after = cost(ea, lb) + cost(eb, la);
+          env.Tick(16);
+          if (after < before) {
+            env.AtomicStore(placement.addr(la), eb);
+            env.AtomicStore(placement.addr(lb), ea);
+            env.AtomicFetchAdd(accepted.addr(0), 1);
+          }
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    for (size_t i = 0; i < n; ++i) {
+      sig.Mix(env.AtomicLoad(placement.addr(i)));
+    }
+    sig.Mix(env.AtomicLoad(accepted.addr(0)));
+    return Result{sig.Value()};
+  }
+};
+
+}  // namespace
+
+const Workload* CannealWorkload() {
+  static const Canneal w;
+  return &w;
+}
+
+}  // namespace apps

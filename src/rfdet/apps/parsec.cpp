@@ -1,0 +1,414 @@
+// PARSEC kernels (paper Table 1): blackscholes, swaptions, dedup, ferret.
+//
+// blackscholes and swaptions are compute-dominated with a handful of
+// synchronizations; dedup and ferret are queue-driven pipelines whose
+// tens of thousands of lock operations make them the paper's most
+// synchronization-intensive programs.
+#include <algorithm>
+#include <cmath>
+
+#include "rfdet/apps/app_util.h"
+#include "rfdet/apps/workload.h"
+
+namespace apps {
+namespace {
+
+// PARSEC-style cumulative normal distribution (polynomial approximation —
+// deterministic across libm implementations).
+double Cndf(double x) {
+  const bool neg = x < 0.0;
+  if (neg) x = -x;
+  const double k = 1.0 / (1.0 + 0.2316419 * x);
+  const double poly =
+      k * (0.319381530 +
+           k * (-0.356563782 +
+                k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+  const double cnd = 1.0 - 0.39894228040143267794 * std::exp(-0.5 * x * x) *
+                               poly;
+  return neg ? 1.0 - cnd : cnd;
+}
+
+// ---------------------------------------------------------------------------
+// blackscholes — embarrassingly parallel option pricing with a broadcast
+// start gate and a locked completion counter.
+// ---------------------------------------------------------------------------
+class BlackScholes final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "blackscholes"; }
+  [[nodiscard]] std::string Suite() const override { return "parsec"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 2048 * static_cast<size_t>(p.scale);
+    auto opts = dmt::MakeStaticArray<double>(env, n * 5);
+    auto prices = dmt::MakeStaticArray<double>(env, n);
+    auto go = dmt::MakeStaticArray<uint64_t>(env, 1);
+    const size_t gate_mtx = env.CreateMutex();
+    const size_t gate_cv = env.CreateCond();
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<double> init(n * 5);
+    for (size_t i = 0; i < n; ++i) {
+      init[i * 5 + 0] = 50.0 + rng.NextDouble() * 100.0;  // spot
+      init[i * 5 + 1] = 50.0 + rng.NextDouble() * 100.0;  // strike
+      init[i * 5 + 2] = 0.01 + rng.NextDouble() * 0.05;   // rate
+      init[i * 5 + 3] = 0.10 + rng.NextDouble() * 0.40;   // vol
+      init[i * 5 + 4] = 0.25 + rng.NextDouble() * 2.00;   // expiry
+    }
+    opts.Write(env, 0, init.data(), n * 5);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        env.Lock(gate_mtx);
+        while (env.Get<uint64_t>(go.addr(0)) == 0) {
+          env.Wait(gate_cv, gate_mtx);
+        }
+        env.Unlock(gate_mtx);
+        const Range mine = ChunkOf(n, p.threads, t);
+        std::vector<double> in((mine.end - mine.begin) * 5);
+        opts.Read(env, mine.begin * 5, in.data(), in.size());
+        std::vector<double> out(mine.end - mine.begin);
+        for (size_t i = 0; i < out.size(); ++i) {
+          const double s = in[i * 5 + 0];
+          const double k = in[i * 5 + 1];
+          const double r = in[i * 5 + 2];
+          const double v = in[i * 5 + 3];
+          const double ttm = in[i * 5 + 4];
+          const double d1 = (std::log(s / k) + (r + 0.5 * v * v) * ttm) /
+                            (v * std::sqrt(ttm));
+          const double d2 = d1 - v * std::sqrt(ttm);
+          out[i] = s * Cndf(d1) - k * std::exp(-r * ttm) * Cndf(d2);
+          env.Tick(8);
+        }
+        prices.Write(env, mine.begin, out.data(), out.size());
+      }));
+    }
+    // Release the gate (the paper's 1 broadcast / few locks profile).
+    env.Lock(gate_mtx);
+    env.Put<uint64_t>(go.addr(0), 1);
+    env.Broadcast(gate_cv);
+    env.Unlock(gate_mtx);
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    std::vector<double> out(n);
+    prices.Read(env, 0, out.data(), n);
+    for (size_t i = 0; i < n; i += 5) sig.MixDouble(out[i]);
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// swaptions — Monte-Carlo pricing with a lock-protected dynamic work queue
+// (the per-swaption result is independent of which thread computes it, so
+// the signature is backend-portable even though assignment is dynamic).
+// ---------------------------------------------------------------------------
+class Swaptions final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "swaptions"; }
+  [[nodiscard]] std::string Suite() const override { return "parsec"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 16 * static_cast<size_t>(p.scale);
+    const size_t trials = 64 * static_cast<size_t>(p.scale);
+    auto results = dmt::MakeStaticArray<double>(env, n);
+    auto next = dmt::MakeStaticArray<uint64_t>(env, 1);
+    const size_t queue_mtx = env.CreateMutex();
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&] {
+        for (;;) {
+          env.Lock(queue_mtx);
+          const uint64_t i = env.Get<uint64_t>(next.addr(0));
+          if (i < n) env.Put<uint64_t>(next.addr(0), i + 1);
+          env.Unlock(queue_mtx);
+          if (i >= n) break;
+          // Simplified HJM path simulation, deterministic per swaption.
+          rfdet::Xoshiro256 rng(p.seed * 7919 + i);
+          const double strike = 0.02 + 0.02 * rng.NextDouble();
+          double sum = 0.0;
+          for (size_t trial = 0; trial < trials; ++trial) {
+            double rate = 0.03;
+            for (int step = 0; step < 16; ++step) {
+              rate += 0.002 * (rng.NextDouble() - 0.5) + 1e-4;
+            }
+            sum += std::max(0.0, rate - strike);
+            env.Tick(4);
+          }
+          results.Put(env, i, sum / static_cast<double>(trials));
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    std::vector<double> out(n);
+    results.Read(env, 0, out.data(), n);
+    for (const double v : out) sig.MixDouble(v);
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// dedup — content-defined chunking pipeline: the main thread chunks the
+// input with a rolling hash and feeds worker threads through a bounded
+// queue; workers fingerprint chunks and deduplicate them against a shared
+// open-addressed table under a lock.
+// ---------------------------------------------------------------------------
+class Dedup final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "dedup"; }
+  [[nodiscard]] std::string Suite() const override { return "parsec"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 65536 * static_cast<size_t>(p.scale);
+    const size_t table_slots = 4096 * static_cast<size_t>(p.scale);
+    auto data = dmt::MakeStaticArray<uint8_t>(env, n);
+    auto table = dmt::MakeStaticArray<uint64_t>(env, table_slots);
+    auto unique_bytes = dmt::MakeStaticArray<uint64_t>(env, 1);
+    // Per-thread (xor, sum) of unique fingerprints: chunk→thread assignment
+    // is dynamic, so the digest must depend only on the fingerprint SET.
+    auto partial_sigs = dmt::MakeStaticArray<uint64_t>(env, p.threads * 2);
+    const size_t table_mtx = env.CreateMutex();
+    AppQueue queue(env, 64);
+
+    // Deterministic input with repeated regions so deduplication finds
+    // actual duplicates.
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<uint8_t> init(n);
+    for (size_t i = 0; i < n; ++i) {
+      init[i] = (i / 4096) % 3 == 2
+                    ? init[i % 4096]  // every third 4K region repeats
+                    : static_cast<uint8_t>(rng.Next());
+    }
+    data.Write(env, 0, init.data(), n);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        uint64_t local_xor = 0;
+        uint64_t local_sum = 0;
+        for (;;) {
+          const uint64_t item = queue.Pop(env);
+          if (item == AppQueue::kDone) break;
+          const size_t off = item >> 20;
+          const size_t len = item & 0xfffff;
+          std::vector<uint8_t> chunk(len);
+          data.Read(env, off, chunk.data(), len);
+          const uint64_t fp = rfdet::Fnv1a(chunk.data(), len);
+          env.Tick(len / 8);
+          // Probe/insert in the shared fingerprint table.
+          env.Lock(table_mtx);
+          size_t slot = fp % table_slots;
+          bool duplicate = false;
+          for (;;) {
+            const uint64_t cur = table.Get(env, slot);
+            if (cur == fp) {
+              duplicate = true;
+              break;
+            }
+            if (cur == 0) {
+              table.Put(env, slot, fp);
+              break;
+            }
+            slot = (slot + 1) % table_slots;
+          }
+          if (!duplicate) {
+            env.Put<uint64_t>(
+                unique_bytes.addr(0),
+                env.Get<uint64_t>(unique_bytes.addr(0)) + len);
+          }
+          env.Unlock(table_mtx);
+          if (!duplicate) {
+            local_xor ^= fp;
+            local_sum += fp * rfdet::kFnvPrime;
+          }
+        }
+        partial_sigs.Put(env, t * 2, local_xor);
+        partial_sigs.Put(env, t * 2 + 1, local_sum);
+      }));
+    }
+
+    // Producer: content-defined chunk boundaries via a rolling hash.
+    uint64_t roll = 0;
+    size_t start = 0;
+    size_t chunks = 0;
+    constexpr size_t kBuf = 4096;
+    std::vector<uint8_t> buf(kBuf);
+    for (size_t i = 0; i < n; ++i) {
+      if (i % kBuf == 0) {
+        data.Read(env, i, buf.data(), std::min(kBuf, n - i));
+      }
+      roll = roll * 31 + buf[i % kBuf];
+      const bool boundary = (roll & 0x3f) == 0 || i - start >= 1024;
+      if (boundary || i + 1 == n) {
+        const size_t len = i + 1 - start;
+        queue.Push(env, (uint64_t{start} << 20) | len);
+        start = i + 1;
+        ++chunks;
+      }
+    }
+    for (size_t t = 0; t < p.threads; ++t) queue.Push(env, AppQueue::kDone);
+    for (const size_t tid : tids) env.Join(tid);
+
+    // Per-chunk assignment is dynamic: fold the (xor, sum) pairs, which
+    // depend only on the set of unique fingerprints.
+    uint64_t all_xor = 0;
+    uint64_t all_sum = 0;
+    for (size_t t = 0; t < p.threads; ++t) {
+      all_xor ^= partial_sigs.Get(env, t * 2);
+      all_sum += partial_sigs.Get(env, t * 2 + 1);
+    }
+    rfdet::Signature sig;
+    sig.Mix(all_xor);
+    sig.Mix(all_sum);
+    sig.Mix(env.Get<uint64_t>(unique_bytes.addr(0)));
+    sig.Mix(chunks);
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ferret — similarity-search pipeline: queries flow through a bounded
+// queue to extract/probe workers that scan a shared read-only index and
+// push candidates to a ranking thread maintaining a global top-K under a
+// lock. The heaviest lock traffic of the suite, as in the paper.
+// ---------------------------------------------------------------------------
+class Ferret final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "ferret"; }
+  [[nodiscard]] std::string Suite() const override { return "parsec"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    constexpr size_t kClusters = 64;
+    constexpr size_t kMembers = 16;
+    constexpr size_t kDim = 8;
+    constexpr size_t kTopK = 16;
+    const size_t queries = 256 * static_cast<size_t>(p.scale);
+
+    auto centroids = dmt::MakeStaticArray<double>(env, kClusters * kDim);
+    auto members =
+        dmt::MakeStaticArray<double>(env, kClusters * kMembers * kDim);
+    auto top_dist = dmt::MakeStaticArray<double>(env, kTopK);
+    auto top_id = dmt::MakeStaticArray<uint64_t>(env, kTopK);
+    const size_t rank_mtx = env.CreateMutex();
+    AppQueue in_queue(env, 32);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    {
+      std::vector<double> init(kClusters * kDim);
+      for (auto& v : init) v = rng.NextDouble();
+      centroids.Write(env, 0, init.data(), init.size());
+      std::vector<double> minit(kClusters * kMembers * kDim);
+      for (auto& v : minit) v = rng.NextDouble();
+      members.Write(env, 0, minit.data(), minit.size());
+      std::vector<double> far(kTopK, 1e18);
+      top_dist.Write(env, 0, far.data(), kTopK);
+    }
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&] {
+        std::vector<double> cents(kClusters * kDim);
+        centroids.Read(env, 0, cents.data(), cents.size());
+        std::vector<double> memb(kMembers * kDim);
+        for (;;) {
+          const uint64_t q = in_queue.Pop(env);
+          if (q == AppQueue::kDone) break;
+          // Extract: deterministic query vector from the query id.
+          rfdet::Xoshiro256 qrng(q * 0x9e3779b97f4a7c15ULL + 1);
+          double vec[kDim];
+          for (auto& v : vec) v = qrng.NextDouble();
+          // Probe: nearest centroid.
+          size_t best_c = 0;
+          double best_d = 1e18;
+          for (size_t c = 0; c < kClusters; ++c) {
+            double d = 0;
+            for (size_t k = 0; k < kDim; ++k) {
+              const double diff = cents[c * kDim + k] - vec[k];
+              d += diff * diff;
+            }
+            if (d < best_d) {
+              best_d = d;
+              best_c = c;
+            }
+          }
+          env.Tick(kClusters * kDim / 8);
+          // Rank within the cluster.
+          members.Read(env, best_c * kMembers * kDim, memb.data(),
+                       memb.size());
+          size_t best_m = 0;
+          double best_md = 1e18;
+          for (size_t m = 0; m < kMembers; ++m) {
+            double d = 0;
+            for (size_t k = 0; k < kDim; ++k) {
+              const double diff = memb[m * kDim + k] - vec[k];
+              d += diff * diff;
+            }
+            if (d < best_md) {
+              best_md = d;
+              best_m = m;
+            }
+          }
+          env.Tick(kMembers * kDim / 8);
+          // Output: merge into the global top-K (replace current maximum
+          // if we beat it) under the ranking lock.
+          env.Lock(rank_mtx);
+          size_t worst = 0;
+          double worst_d = -1.0;
+          for (size_t k = 0; k < kTopK; ++k) {
+            const double d = top_dist.Get(env, k);
+            if (d > worst_d) {
+              worst_d = d;
+              worst = k;
+            }
+          }
+          if (best_md < worst_d) {
+            top_dist.Put(env, worst, best_md);
+            top_id.Put(env, worst, best_c * kMembers + best_m);
+          }
+          env.Unlock(rank_mtx);
+        }
+      }));
+    }
+
+    for (uint64_t q = 0; q < queries; ++q) in_queue.Push(env, q);
+    for (size_t t = 0; t < p.threads; ++t) {
+      in_queue.Push(env, AppQueue::kDone);
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    // The global top-K is a set (order in the array is scheduling-
+    // dependent); digest it order-insensitively.
+    std::vector<uint64_t> parts(kTopK);
+    for (size_t k = 0; k < kTopK; ++k) {
+      rfdet::Signature one;
+      one.MixDouble(top_dist.Get(env, k));
+      one.Mix(top_id.Get(env, k));
+      parts[k] = one.Value();
+    }
+    return Result{CombineUnordered(parts)};
+  }
+};
+
+}  // namespace
+
+const Workload* BlackScholesWorkload() {
+  static const BlackScholes w;
+  return &w;
+}
+const Workload* SwaptionsWorkload() {
+  static const Swaptions w;
+  return &w;
+}
+const Workload* DedupWorkload() {
+  static const Dedup w;
+  return &w;
+}
+const Workload* FerretWorkload() {
+  static const Ferret w;
+  return &w;
+}
+
+}  // namespace apps

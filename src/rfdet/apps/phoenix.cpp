@@ -1,0 +1,349 @@
+// Phoenix map-reduce kernels (paper Table 1): linear_regression,
+// matrix_multiply, pca, wordcount, string_match.
+//
+// These are the paper's low-synchronization workloads — mostly pure
+// fork/join with at most a modest number of accumulation locks — where
+// DMT overhead should be smallest (paper §5.3).
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "rfdet/apps/app_util.h"
+#include "rfdet/apps/workload.h"
+
+namespace apps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// linear_regression — pure fork/join partial-sum reduction.
+// ---------------------------------------------------------------------------
+class LinearRegression final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override {
+    return "linear_regression";
+  }
+  [[nodiscard]] std::string Suite() const override { return "phoenix"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 65536 * static_cast<size_t>(p.scale);
+    auto xs = dmt::MakeStaticArray<int32_t>(env, n);
+    auto ys = dmt::MakeStaticArray<int32_t>(env, n);
+    // 5 partial sums per thread: sx, sy, sxx, syy, sxy.
+    auto partials = dmt::MakeStaticArray<int64_t>(env, p.threads * 5);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<int32_t> gen_x(n);
+    std::vector<int32_t> gen_y(n);
+    for (size_t i = 0; i < n; ++i) {
+      gen_x[i] = static_cast<int32_t>(rng.Below(1000));
+      gen_y[i] = 3 * gen_x[i] + static_cast<int32_t>(rng.Below(50)) - 25;
+    }
+    xs.Write(env, 0, gen_x.data(), n);
+    ys.Write(env, 0, gen_y.data(), n);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        const Range r = ChunkOf(n, p.threads, t);
+        int64_t sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+        constexpr size_t kBuf = 1024;
+        std::array<int32_t, kBuf> bx;
+        std::array<int32_t, kBuf> by;
+        for (size_t i = r.begin; i < r.end; i += kBuf) {
+          const size_t m = std::min(kBuf, r.end - i);
+          xs.Read(env, i, bx.data(), m);
+          ys.Read(env, i, by.data(), m);
+          for (size_t j = 0; j < m; ++j) {
+            sx += bx[j];
+            sy += by[j];
+            sxx += int64_t{bx[j]} * bx[j];
+            syy += int64_t{by[j]} * by[j];
+            sxy += int64_t{bx[j]} * by[j];
+          }
+          env.Tick(m);
+        }
+        const int64_t out[5] = {sx, sy, sxx, syy, sxy};
+        partials.Write(env, t * 5, out, 5);
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    int64_t tot[5] = {0, 0, 0, 0, 0};
+    for (size_t t = 0; t < p.threads; ++t) {
+      int64_t part[5];
+      partials.Read(env, t * 5, part, 5);
+      for (int k = 0; k < 5; ++k) tot[k] += part[k];
+    }
+    rfdet::Signature sig;
+    for (const int64_t v : tot) sig.Mix(static_cast<uint64_t>(v));
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// matrix_multiply — fork/join row-strip matmul.
+// ---------------------------------------------------------------------------
+class MatrixMultiply final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override {
+    return "matrix_multiply";
+  }
+  [[nodiscard]] std::string Suite() const override { return "phoenix"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 48 * static_cast<size_t>(p.scale);
+    auto a = dmt::MakeStaticArray<int32_t>(env, n * n);
+    auto b = dmt::MakeStaticArray<int32_t>(env, n * n);
+    auto c = dmt::MakeStaticArray<int64_t>(env, n * n);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<int32_t> init(n * n);
+    for (auto& v : init) v = static_cast<int32_t>(rng.Below(100));
+    a.Write(env, 0, init.data(), n * n);
+    for (auto& v : init) v = static_cast<int32_t>(rng.Below(100));
+    b.Write(env, 0, init.data(), n * n);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        const Range r = ChunkOf(n, p.threads, t);
+        std::vector<int32_t> row(n);
+        std::vector<int32_t> bcol(n * n);
+        b.Read(env, 0, bcol.data(), n * n);  // B is read-only: one bulk read
+        std::vector<int64_t> crow(n);
+        for (size_t i = r.begin; i < r.end; ++i) {
+          a.Read(env, i * n, row.data(), n);
+          for (size_t j = 0; j < n; ++j) {
+            int64_t acc = 0;
+            for (size_t k = 0; k < n; ++k) {
+              acc += int64_t{row[k]} * bcol[k * n + j];
+            }
+            crow[j] = acc;
+          }
+          env.Tick(n * n / 8);
+          c.Write(env, i * n, crow.data(), n);
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    std::vector<int64_t> crow(n);
+    for (size_t i = 0; i < n; ++i) {
+      c.Read(env, i * n, crow.data(), n);
+      for (const int64_t v : crow) sig.Mix(static_cast<uint64_t>(v));
+    }
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// pca — two fork/join phases (means, covariance) with accumulation locks.
+// ---------------------------------------------------------------------------
+class Pca final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "pca"; }
+  [[nodiscard]] std::string Suite() const override { return "phoenix"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t rows = 64 * static_cast<size_t>(p.scale);
+    constexpr size_t kCols = 16;
+    auto data = dmt::MakeStaticArray<int32_t>(env, rows * kCols);
+    auto mean = dmt::MakeStaticArray<int64_t>(env, kCols);
+    auto cov = dmt::MakeStaticArray<int64_t>(env, kCols * kCols);
+    const size_t mean_mtx = env.CreateMutex();
+    const size_t cov_mtx = env.CreateMutex();
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<int32_t> init(rows * kCols);
+    for (auto& v : init) v = static_cast<int32_t>(rng.Below(256));
+    data.Write(env, 0, init.data(), rows * kCols);
+
+    // Phase 1: column means (each thread accumulates its row chunk into the
+    // shared mean vector under a lock, once per row — the Phoenix pca's
+    // lock-heavy accumulation pattern).
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        const Range r = ChunkOf(rows, p.threads, t);
+        std::vector<int32_t> row(kCols);
+        for (size_t i = r.begin; i < r.end; ++i) {
+          data.Read(env, i * kCols, row.data(), kCols);
+          env.Lock(mean_mtx);
+          std::vector<int64_t> m(kCols);
+          mean.Read(env, 0, m.data(), kCols);
+          for (size_t j = 0; j < kCols; ++j) m[j] += row[j];
+          mean.Write(env, 0, m.data(), kCols);
+          env.Unlock(mean_mtx);
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+    tids.clear();
+
+    // Phase 2: covariance accumulation (one locked update per row).
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        std::vector<int64_t> m(kCols);
+        mean.Read(env, 0, m.data(), kCols);
+        for (auto& v : m) v /= static_cast<int64_t>(rows);
+        const Range r = ChunkOf(rows, p.threads, t);
+        std::vector<int32_t> row(kCols);
+        std::vector<int64_t> local(kCols * kCols, 0);
+        for (size_t i = r.begin; i < r.end; ++i) {
+          data.Read(env, i * kCols, row.data(), kCols);
+          for (size_t x = 0; x < kCols; ++x) {
+            for (size_t y = 0; y < kCols; ++y) {
+              local[x * kCols + y] += (row[x] - m[x]) * (row[y] - m[y]);
+            }
+          }
+          env.Tick(kCols * kCols / 8);
+        }
+        env.Lock(cov_mtx);
+        std::vector<int64_t> g(kCols * kCols);
+        cov.Read(env, 0, g.data(), kCols * kCols);
+        for (size_t j = 0; j < kCols * kCols; ++j) g[j] += local[j];
+        cov.Write(env, 0, g.data(), kCols * kCols);
+        env.Unlock(cov_mtx);
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    std::vector<int64_t> g(kCols * kCols);
+    cov.Read(env, 0, g.data(), kCols * kCols);
+    for (const int64_t v : g) sig.Mix(static_cast<uint64_t>(v));
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// wordcount — fork/join token counting, merged by the main thread.
+// ---------------------------------------------------------------------------
+class WordCount final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "wordcount"; }
+  [[nodiscard]] std::string Suite() const override { return "phoenix"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    constexpr size_t kVocab = 256;
+    const size_t tokens = 32768 * static_cast<size_t>(p.scale);
+    auto text = dmt::MakeStaticArray<uint16_t>(env, tokens);  // token ids
+    auto counts = dmt::MakeStaticArray<uint32_t>(env, p.threads * kVocab);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<uint16_t> init(tokens);
+    for (auto& v : init) {
+      // Zipf-ish skew so counts are non-uniform.
+      const uint64_t r = rng.Below(kVocab * kVocab);
+      v = static_cast<uint16_t>(r % kVocab <= r / kVocab ? r % kVocab
+                                                         : r / kVocab);
+    }
+    text.Write(env, 0, init.data(), tokens);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        const Range r = ChunkOf(tokens, p.threads, t);
+        std::vector<uint32_t> local(kVocab, 0);
+        constexpr size_t kBuf = 2048;
+        std::vector<uint16_t> buf(kBuf);
+        for (size_t i = r.begin; i < r.end; i += kBuf) {
+          const size_t m = std::min(kBuf, r.end - i);
+          text.Read(env, i, buf.data(), m);
+          for (size_t j = 0; j < m; ++j) ++local[buf[j]];
+          env.Tick(m / 8);
+        }
+        counts.Write(env, t * kVocab, local.data(), kVocab);
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    std::vector<uint64_t> total(kVocab, 0);
+    std::vector<uint32_t> part(kVocab);
+    for (size_t t = 0; t < p.threads; ++t) {
+      counts.Read(env, t * kVocab, part.data(), kVocab);
+      for (size_t w = 0; w < kVocab; ++w) total[w] += part[w];
+    }
+    rfdet::Signature sig;
+    for (const uint64_t v : total) sig.Mix(v);
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// string_match — fork/join substring counting.
+// ---------------------------------------------------------------------------
+class StringMatch final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "string_match"; }
+  [[nodiscard]] std::string Suite() const override { return "phoenix"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 131072 * static_cast<size_t>(p.scale);
+    constexpr std::string_view kKeys[] = {"abca", "bcab", "cabc", "aaaa"};
+    auto text = dmt::MakeStaticArray<char>(env, n);
+    auto hits = dmt::MakeStaticArray<uint64_t>(env, p.threads * 4);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<char> init(n);
+    for (auto& c : init) c = static_cast<char>('a' + rng.Below(3));
+    text.Write(env, 0, init.data(), n);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        const Range r = ChunkOf(n, p.threads, t);
+        // Overlap by key length - 1 so boundary matches are attributed to
+        // exactly one chunk (the one containing the match start).
+        const size_t end = std::min(n, r.end + 3);
+        std::vector<char> buf(end - r.begin);
+        text.Read(env, r.begin, buf.data(), buf.size());
+        uint64_t local[4] = {0, 0, 0, 0};
+        for (size_t i = 0; i + 4 <= buf.size() && r.begin + i < r.end; ++i) {
+          for (int k = 0; k < 4; ++k) {
+            if (std::string_view(&buf[i], 4) == kKeys[k]) ++local[k];
+          }
+        }
+        env.Tick(buf.size() / 8);
+        hits.Write(env, t * 4, local, 4);
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    uint64_t total[4] = {0, 0, 0, 0};
+    for (size_t t = 0; t < p.threads; ++t) {
+      uint64_t part[4];
+      hits.Read(env, t * 4, part, 4);
+      for (int k = 0; k < 4; ++k) total[k] += part[k];
+    }
+    rfdet::Signature sig;
+    for (const uint64_t v : total) sig.Mix(v);
+    return Result{sig.Value()};
+  }
+};
+
+}  // namespace
+
+const Workload* LinearRegressionWorkload() {
+  static const LinearRegression w;
+  return &w;
+}
+const Workload* MatrixMultiplyWorkload() {
+  static const MatrixMultiply w;
+  return &w;
+}
+const Workload* PcaWorkload() {
+  static const Pca w;
+  return &w;
+}
+const Workload* WordCountWorkload() {
+  static const WordCount w;
+  return &w;
+}
+const Workload* StringMatchWorkload() {
+  static const StringMatch w;
+  return &w;
+}
+
+}  // namespace apps

@@ -1,0 +1,59 @@
+// racey — the determinism stress test (Hill & Xu; paper §5.1).
+//
+// Threads hammer a small shared signature array with unsynchronized
+// read-modify-write mixes: every iteration is a data race. On a
+// conventional runtime the final signature differs run to run; under a
+// strong-DMT runtime it must be bit-identical on every execution.
+#include "rfdet/apps/app_util.h"
+#include "rfdet/apps/workload.h"
+
+namespace apps {
+namespace {
+
+class Racey final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "racey"; }
+  [[nodiscard]] std::string Suite() const override { return "stress"; }
+  [[nodiscard]] bool RaceFree() const override { return false; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    constexpr size_t kSlots = 64;
+    const size_t iters = 2000 * static_cast<size_t>(p.scale);
+    auto sig = dmt::MakeStaticArray<uint32_t>(env, kSlots);
+
+    rfdet::Xoshiro256 seeder(p.seed);
+    for (size_t i = 0; i < kSlots; ++i) {
+      sig.Put(env, i, static_cast<uint32_t>(seeder.Next()));
+    }
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&env, &sig, iters, t, seed = p.seed] {
+        rfdet::Xoshiro256 rng(seed ^ (0x9e37 + t));
+        for (size_t i = 0; i < iters; ++i) {
+          const size_t a = rng.Below(kSlots);
+          const size_t b = rng.Below(kSlots);
+          // Racy read-mix-write, as in the original racey kernel.
+          const uint32_t va = sig.Get(env, a);
+          const uint32_t vb = sig.Get(env, b);
+          const uint32_t mixed = va + vb * 0x9e3779b1u + 0x85ebca6bu;
+          sig.Put(env, b, mixed);
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature out;
+    for (size_t i = 0; i < kSlots; ++i) out.Mix(sig.Get(env, i));
+    return Result{out.Value()};
+  }
+};
+
+}  // namespace
+
+const Workload* RaceyWorkload() {
+  static const Racey w;
+  return &w;
+}
+
+}  // namespace apps

@@ -1,0 +1,58 @@
+#include "rfdet/apps/workload.h"
+
+namespace apps {
+
+// Defined in the per-suite translation units.
+const Workload* OceanWorkload();
+const Workload* WaterNsWorkload();
+const Workload* WaterSpWorkload();
+const Workload* FftWorkload();
+const Workload* RadixWorkload();
+const Workload* LuConWorkload();
+const Workload* LuNonWorkload();
+const Workload* LinearRegressionWorkload();
+const Workload* MatrixMultiplyWorkload();
+const Workload* PcaWorkload();
+const Workload* WordCountWorkload();
+const Workload* StringMatchWorkload();
+const Workload* BlackScholesWorkload();
+const Workload* SwaptionsWorkload();
+const Workload* DedupWorkload();
+const Workload* FerretWorkload();
+const Workload* RaceyWorkload();
+const Workload* CannealWorkload();
+
+const std::vector<const Workload*>& AllWorkloads() {
+  static const std::vector<const Workload*> kAll = {
+      // Table 1 order.
+      OceanWorkload(),
+      WaterNsWorkload(),
+      WaterSpWorkload(),
+      FftWorkload(),
+      RadixWorkload(),
+      LuConWorkload(),
+      LuNonWorkload(),
+      LinearRegressionWorkload(),
+      MatrixMultiplyWorkload(),
+      PcaWorkload(),
+      WordCountWorkload(),
+      StringMatchWorkload(),
+      BlackScholesWorkload(),
+      SwaptionsWorkload(),
+      DedupWorkload(),
+      FerretWorkload(),
+      RaceyWorkload(),
+      // Extension (§4.6 atomics): the kernel the paper had to omit.
+      CannealWorkload(),
+  };
+  return kAll;
+}
+
+const Workload* FindWorkload(std::string_view name) {
+  for (const Workload* w : AllWorkloads()) {
+    if (w->Name() == name) return w;
+  }
+  return nullptr;
+}
+
+}  // namespace apps

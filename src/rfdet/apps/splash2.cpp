@@ -1,0 +1,588 @@
+// SPLASH-2 kernels (paper Table 1): ocean, water-ns, water-sp, fft, radix,
+// lu-con, lu-non.
+//
+// Configured like the paper's c.m4.null.POSIX build: barriers are
+// implemented *in application code* from lock/unlock + condition waits
+// (AppBarrier), so these kernels execute many synchronization operations —
+// the paper uses exactly this configuration to stress DMT performance
+// (§5.1). lu-con and lu-non share one implementation parameterized by the
+// block layout (contiguous block-major vs row-major), reproducing their
+// different page-sharing profiles.
+#include <bit>
+#include <cmath>
+
+#include "rfdet/apps/app_util.h"
+#include "rfdet/apps/workload.h"
+
+namespace apps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ocean — iterative stencil relaxation with per-iteration barriers and a
+// lock-protected global residual.
+// ---------------------------------------------------------------------------
+class Ocean final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "ocean"; }
+  [[nodiscard]] std::string Suite() const override { return "splash2"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t g = 18 * static_cast<size_t>(p.scale) + 2;  // incl. halo
+    constexpr size_t kIters = 10;
+    auto grid_a = dmt::MakeStaticArray<double>(env, g * g);
+    auto grid_b = dmt::MakeStaticArray<double>(env, g * g);
+    // Residual accumulates cross-thread under a lock; use fixed-point so
+    // the sum is independent of accumulation order (integer addition is
+    // associative, IEEE addition is not).
+    auto residual = dmt::MakeStaticArray<int64_t>(env, 1);
+    const size_t res_mtx = env.CreateMutex();
+    AppBarrier barrier(env, p.threads);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<double> init(g * g);
+    for (auto& v : init) v = rng.NextDouble();
+    grid_a.Write(env, 0, init.data(), g * g);
+    grid_b.Write(env, 0, init.data(), g * g);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        const Range rows = ChunkOf(g - 2, p.threads, t);
+        std::vector<double> up(g);
+        std::vector<double> mid(g);
+        std::vector<double> down(g);
+        std::vector<double> out(g);
+        for (size_t iter = 0; iter < kIters; ++iter) {
+          const auto& src = (iter % 2 == 0) ? grid_a : grid_b;
+          const auto& dst = (iter % 2 == 0) ? grid_b : grid_a;
+          double local_res = 0.0;
+          for (size_t r = rows.begin + 1; r <= rows.end; ++r) {
+            src.Read(env, (r - 1) * g, up.data(), g);
+            src.Read(env, r * g, mid.data(), g);
+            src.Read(env, (r + 1) * g, down.data(), g);
+            out[0] = mid[0];
+            out[g - 1] = mid[g - 1];
+            for (size_t c = 1; c + 1 < g; ++c) {
+              out[c] =
+                  0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
+              local_res += std::abs(out[c] - mid[c]);
+            }
+            env.Tick(g / 2);
+            dst.Write(env, r * g, out.data(), g);
+          }
+          env.Lock(res_mtx);
+          env.Put<int64_t>(residual.addr(0),
+                           env.Get<int64_t>(residual.addr(0)) +
+                               std::llround(local_res * 1048576.0));
+          env.Unlock(res_mtx);
+          barrier.Wait(env);
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    sig.Mix(static_cast<uint64_t>(env.Get<int64_t>(residual.addr(0))));
+    const auto& fin = (kIters % 2 == 0) ? grid_a : grid_b;
+    std::vector<double> row(g);
+    for (size_t r = 0; r < g; r += 3) {
+      fin.Read(env, r * g, row.data(), g);
+      for (size_t c = 0; c < g; c += 3) sig.MixDouble(row[c]);
+    }
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// water — N-body force accumulation. Two variants sharing one core:
+//   water-ns (n-squared): per-pair accumulation under striped molecule
+//     locks — very lock-heavy, like the paper's water-ns.
+//   water-sp (spatial):   thread-local accumulation flushed once per phase
+//     under a few stripe locks — the paper's lower-sync variant.
+// ---------------------------------------------------------------------------
+class Water final : public Workload {
+ public:
+  explicit Water(bool spatial) : spatial_(spatial) {}
+
+  [[nodiscard]] std::string Name() const override {
+    return spatial_ ? "water-sp" : "water-ns";
+  }
+  [[nodiscard]] std::string Suite() const override { return "splash2"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 32 * static_cast<size_t>(p.scale);
+    constexpr size_t kIters = 4;
+    constexpr double kCutoff2 = 0.09;
+    const size_t stripes = spatial_ ? 4 : 32;
+
+    auto pos = dmt::MakeStaticArray<double>(env, n * 2);
+    auto vel = dmt::MakeStaticArray<double>(env, n * 2);
+    // Force accumulators are cross-thread and lock-ordered, so they use
+    // 32.32 fixed point: the total is then independent of the order in
+    // which threads win the locks.
+    auto acc = dmt::MakeStaticArray<int64_t>(env, n * 2);
+    constexpr double kFix = 4294967296.0;  // 2^32
+    std::vector<size_t> locks(stripes);
+    for (auto& l : locks) l = env.CreateMutex();
+    AppBarrier barrier(env, p.threads);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<double> init(n * 2);
+    for (auto& v : init) v = rng.NextDouble();
+    pos.Write(env, 0, init.data(), n * 2);
+    for (auto& v : init) v = (rng.NextDouble() - 0.5) * 0.01;
+    vel.Write(env, 0, init.data(), n * 2);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        const Range mine = ChunkOf(n, p.threads, t);
+        std::vector<double> xs(n * 2);
+        for (size_t iter = 0; iter < kIters; ++iter) {
+          pos.Read(env, 0, xs.data(), n * 2);
+          std::vector<double> local(n * 2, 0.0);
+          for (size_t i = mine.begin; i < mine.end; ++i) {
+            for (size_t j = i + 1; j < n; ++j) {
+              const double dx = xs[2 * i] - xs[2 * j];
+              const double dy = xs[2 * i + 1] - xs[2 * j + 1];
+              const double d2 = dx * dx + dy * dy + 1e-6;
+              if (d2 >= kCutoff2) continue;
+              const double f = 1e-4 / d2;
+              if (spatial_) {
+                // Accumulate locally; flush under stripe locks below.
+                local[2 * i] += f * dx;
+                local[2 * i + 1] += f * dy;
+                local[2 * j] -= f * dx;
+                local[2 * j + 1] -= f * dy;
+              } else {
+                // n-squared variant: lock both molecules' stripes per pair
+                // (ordered by stripe index to avoid deadlock).
+                const size_t lo = std::min(i % stripes, j % stripes);
+                const size_t hi = std::max(i % stripes, j % stripes);
+                env.Lock(locks[lo]);
+                if (hi != lo) env.Lock(locks[hi]);
+                int64_t v[2];
+                acc.Read(env, 2 * i, v, 2);
+                v[0] += std::llround(f * dx * kFix);
+                v[1] += std::llround(f * dy * kFix);
+                acc.Write(env, 2 * i, v, 2);
+                acc.Read(env, 2 * j, v, 2);
+                v[0] -= std::llround(f * dx * kFix);
+                v[1] -= std::llround(f * dy * kFix);
+                acc.Write(env, 2 * j, v, 2);
+                if (hi != lo) env.Unlock(locks[hi]);
+                env.Unlock(locks[lo]);
+              }
+            }
+            env.Tick((n - i) / 4 + 1);
+          }
+          if (spatial_) {
+            for (size_t s = 0; s < stripes; ++s) {
+              env.Lock(locks[s]);
+              for (size_t i = s; i < n; i += stripes) {
+                int64_t v[2];
+                acc.Read(env, 2 * i, v, 2);
+                v[0] += std::llround(local[2 * i] * kFix);
+                v[1] += std::llround(local[2 * i + 1] * kFix);
+                acc.Write(env, 2 * i, v, 2);
+              }
+              env.Unlock(locks[s]);
+            }
+          }
+          barrier.Wait(env);
+          // Integrate own chunk; clear accelerations.
+          for (size_t i = mine.begin; i < mine.end; ++i) {
+            int64_t a2[2];
+            double v2[2];
+            double x2[2];
+            acc.Read(env, 2 * i, a2, 2);
+            vel.Read(env, 2 * i, v2, 2);
+            pos.Read(env, 2 * i, x2, 2);
+            for (int d = 0; d < 2; ++d) {
+              v2[d] += static_cast<double>(a2[d]) / kFix;
+              x2[d] += v2[d];
+              if (x2[d] < 0) x2[d] += 1.0;
+              if (x2[d] >= 1.0) x2[d] -= 1.0;
+              a2[d] = 0;
+            }
+            vel.Write(env, 2 * i, v2, 2);
+            pos.Write(env, 2 * i, x2, 2);
+            acc.Write(env, 2 * i, a2, 2);
+          }
+          barrier.Wait(env);
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    std::vector<double> fin(n * 2);
+    pos.Read(env, 0, fin.data(), n * 2);
+    for (const double v : fin) sig.MixDouble(v);
+    return Result{sig.Value()};
+  }
+
+ private:
+  bool spatial_;
+};
+
+// ---------------------------------------------------------------------------
+// fft — radix-2 complex FFT with a barrier per butterfly stage.
+// ---------------------------------------------------------------------------
+class Fft final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "fft"; }
+  [[nodiscard]] std::string Suite() const override { return "splash2"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    size_t n = 1024;
+    int scale = p.scale;
+    while (scale > 1) {
+      n *= 2;
+      scale /= 2;
+    }
+    auto re = dmt::MakeStaticArray<double>(env, n);
+    auto im = dmt::MakeStaticArray<double>(env, n);
+    AppBarrier barrier(env, p.threads);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<double> init_re(n);
+    std::vector<double> init_im(n, 0.0);
+    for (auto& v : init_re) v = rng.NextDouble() - 0.5;
+    // Bit-reversed initial order so the in-place FFT proceeds naturally.
+    const int log_n = static_cast<int>(std::countr_zero(n));
+    std::vector<double> perm_re(n);
+    std::vector<double> perm_im(n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = 0;
+      for (int b = 0; b < log_n; ++b) r |= ((i >> b) & 1) << (log_n - 1 - b);
+      perm_re[r] = init_re[i];
+      perm_im[r] = init_im[i];
+    }
+    re.Write(env, 0, perm_re.data(), n);
+    im.Write(env, 0, perm_im.data(), n);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        for (size_t len = 2; len <= n; len *= 2) {
+          // Partition the n/len butterfly groups across threads.
+          const size_t groups = n / len;
+          const Range mine = ChunkOf(groups, p.threads, t);
+          const double ang = -2.0 * M_PI / static_cast<double>(len);
+          std::vector<double> gre(len);
+          std::vector<double> gim(len);
+          for (size_t gidx = mine.begin; gidx < mine.end; ++gidx) {
+            const size_t base = gidx * len;
+            re.Read(env, base, gre.data(), len);
+            im.Read(env, base, gim.data(), len);
+            for (size_t k = 0; k < len / 2; ++k) {
+              const double wr = std::cos(ang * static_cast<double>(k));
+              const double wi = std::sin(ang * static_cast<double>(k));
+              const double xr = gre[k + len / 2] * wr - gim[k + len / 2] * wi;
+              const double xi = gre[k + len / 2] * wi + gim[k + len / 2] * wr;
+              gre[k + len / 2] = gre[k] - xr;
+              gim[k + len / 2] = gim[k] - xi;
+              gre[k] += xr;
+              gim[k] += xi;
+            }
+            env.Tick(len);
+            re.Write(env, base, gre.data(), len);
+            im.Write(env, base, gim.data(), len);
+          }
+          barrier.Wait(env);
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    std::vector<double> out(n);
+    re.Read(env, 0, out.data(), n);
+    for (size_t i = 0; i < n; i += 7) sig.MixDouble(out[i]);
+    im.Read(env, 0, out.data(), n);
+    for (size_t i = 0; i < n; i += 7) sig.MixDouble(out[i]);
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// radix — parallel radix sort: per-pass local histograms, shared histogram
+// matrix, prefix offsets, scatter; barriers between phases.
+// ---------------------------------------------------------------------------
+class Radix final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "radix"; }
+  [[nodiscard]] std::string Suite() const override { return "splash2"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    const size_t n = 16384 * static_cast<size_t>(p.scale);
+    constexpr size_t kBuckets = 256;
+    auto src = dmt::MakeStaticArray<uint32_t>(env, n);
+    auto dst = dmt::MakeStaticArray<uint32_t>(env, n);
+    auto hist = dmt::MakeStaticArray<uint32_t>(env, p.threads * kBuckets);
+    AppBarrier barrier(env, p.threads);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<uint32_t> init(n);
+    for (auto& v : init) v = static_cast<uint32_t>(rng.Next());
+    src.Write(env, 0, init.data(), n);
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        const Range mine = ChunkOf(n, p.threads, t);
+        const size_t count = mine.end - mine.begin;
+        std::vector<uint32_t> chunk(count);
+        std::vector<uint32_t> local(kBuckets);
+        std::vector<uint32_t> offsets(kBuckets);
+        std::vector<uint32_t> all(p.threads * kBuckets);
+        for (int pass = 0; pass < 4; ++pass) {
+          const auto& from = (pass % 2 == 0) ? src : dst;
+          const auto& to = (pass % 2 == 0) ? dst : src;
+          const int shift = pass * 8;
+          from.Read(env, mine.begin, chunk.data(), count);
+          std::fill(local.begin(), local.end(), 0);
+          for (const uint32_t v : chunk) ++local[(v >> shift) & 0xff];
+          env.Tick(count / 8);
+          hist.Write(env, t * kBuckets, local.data(), kBuckets);
+          barrier.Wait(env);
+          // Every thread derives its scatter offsets from the shared
+          // histogram matrix: global prefix + lower-ranked threads' counts.
+          hist.Read(env, 0, all.data(), p.threads * kBuckets);
+          uint32_t running = 0;
+          for (size_t b = 0; b < kBuckets; ++b) {
+            offsets[b] = running;
+            for (size_t u = 0; u < p.threads; ++u) {
+              if (u < t) offsets[b] += all[u * kBuckets + b];
+              running += all[u * kBuckets + b];
+            }
+          }
+          env.Tick(kBuckets * p.threads / 8);
+          for (const uint32_t v : chunk) {
+            const size_t b = (v >> shift) & 0xff;
+            to.Put(env, offsets[b]++, v);
+          }
+          barrier.Wait(env);
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    std::vector<uint32_t> out(n);
+    src.Read(env, 0, out.data(), n);  // 4 passes → result back in src
+    uint32_t prev = 0;
+    bool sorted = true;
+    for (const uint32_t v : out) {
+      if (v < prev) sorted = false;
+      prev = v;
+      sig.Mix(v);
+    }
+    sig.Mix(sorted ? 1 : 0);
+    return Result{sig.Value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lu — blocked LU factorization without pivoting. The two paper variants
+// differ only in block placement:
+//   lu-con: blocks are contiguous in memory (block-major)
+//   lu-non: the matrix is row-major, so a block spans many pages
+// ---------------------------------------------------------------------------
+class Lu final : public Workload {
+ public:
+  explicit Lu(bool contiguous) : contiguous_(contiguous) {}
+
+  [[nodiscard]] std::string Name() const override {
+    return contiguous_ ? "lu-con" : "lu-non";
+  }
+  [[nodiscard]] std::string Suite() const override { return "splash2"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    constexpr size_t kB = 8;  // block edge
+    const size_t nb = 4 * static_cast<size_t>(p.scale);
+    const size_t n = nb * kB;
+    auto mat = dmt::MakeStaticArray<double>(env, n * n);
+    AppBarrier barrier(env, p.threads);
+
+    rfdet::Xoshiro256 rng(p.seed);
+    std::vector<double> init(n * n);
+    for (size_t i = 0; i < n * n; ++i) init[i] = rng.NextDouble();
+    for (size_t i = 0; i < n; ++i) init[i * n + i] += n;  // diag dominance
+    // Lay the matrix out according to the variant.
+    std::vector<double> laid(n * n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        laid[ElemIndex(r, c, n, nb)] = init[r * n + c];
+      }
+    }
+    mat.Write(env, 0, laid.data(), n * n);
+
+    const auto owner = [&](size_t bi, size_t bj) {
+      return (bi + bj * nb) % p.threads;
+    };
+
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < p.threads; ++t) {
+      tids.push_back(env.Spawn([&, t] {
+        std::vector<double> diag(kB * kB);
+        std::vector<double> blk(kB * kB);
+        std::vector<double> left(kB * kB);
+        std::vector<double> up(kB * kB);
+        for (size_t k = 0; k < nb; ++k) {
+          if (owner(k, k) == t) {
+            ReadBlock(env, mat, k, k, n, nb, diag.data());
+            FactorDiag(diag.data());
+            env.Tick(kB * kB);
+            WriteBlock(env, mat, k, k, n, nb, diag.data());
+          }
+          barrier.Wait(env);
+          ReadBlock(env, mat, k, k, n, nb, diag.data());
+          for (size_t j = k + 1; j < nb; ++j) {
+            if (owner(k, j) == t) {  // row blocks: solve L(k,k) X = A(k,j)
+              ReadBlock(env, mat, k, j, n, nb, blk.data());
+              SolveLower(diag.data(), blk.data());
+              env.Tick(kB * kB);
+              WriteBlock(env, mat, k, j, n, nb, blk.data());
+            }
+            if (owner(j, k) == t) {  // col blocks: solve X U(k,k) = A(j,k)
+              ReadBlock(env, mat, j, k, n, nb, blk.data());
+              SolveUpper(diag.data(), blk.data());
+              env.Tick(kB * kB);
+              WriteBlock(env, mat, j, k, n, nb, blk.data());
+            }
+          }
+          barrier.Wait(env);
+          for (size_t i = k + 1; i < nb; ++i) {
+            for (size_t j = k + 1; j < nb; ++j) {
+              if (owner(i, j) != t) continue;
+              ReadBlock(env, mat, i, k, n, nb, left.data());
+              ReadBlock(env, mat, k, j, n, nb, up.data());
+              ReadBlock(env, mat, i, j, n, nb, blk.data());
+              for (size_t r = 0; r < kB; ++r) {
+                for (size_t c = 0; c < kB; ++c) {
+                  double acc = blk[r * kB + c];
+                  for (size_t x = 0; x < kB; ++x) {
+                    acc -= left[r * kB + x] * up[x * kB + c];
+                  }
+                  blk[r * kB + c] = acc;
+                }
+              }
+              env.Tick(kB * kB * kB / 8);
+              WriteBlock(env, mat, i, j, n, nb, blk.data());
+            }
+          }
+          barrier.Wait(env);
+        }
+      }));
+    }
+    for (const size_t tid : tids) env.Join(tid);
+
+    rfdet::Signature sig;
+    // Digest the diagonal blocks (the factorization's pivotal values).
+    std::vector<double> blk(kB * kB);
+    for (size_t k = 0; k < nb; ++k) {
+      ReadBlock(env, mat, k, k, n, nb, blk.data());
+      for (const double v : blk) sig.MixDouble(v);
+    }
+    return Result{sig.Value()};
+  }
+
+ private:
+  static constexpr size_t kB = 8;
+
+  // Element (r, c) of the n×n matrix, for the active layout.
+  [[nodiscard]] size_t ElemIndex(size_t r, size_t c, size_t n,
+                                 size_t nb) const {
+    if (!contiguous_) return r * n + c;
+    const size_t bi = r / kB;
+    const size_t bj = c / kB;
+    return ((bi * nb + bj) * kB + (r % kB)) * kB + (c % kB);
+  }
+
+  void ReadBlock(dmt::Env& env, const dmt::ArrayRef<double>& mat, size_t bi,
+                 size_t bj, size_t n, size_t nb, double* out) const {
+    for (size_t r = 0; r < kB; ++r) {
+      // One contiguous row of the block in either layout.
+      const size_t idx = ElemIndex(bi * kB + r, bj * kB, n, nb);
+      mat.Read(env, idx, out + r * kB, kB);
+    }
+  }
+  void WriteBlock(dmt::Env& env, const dmt::ArrayRef<double>& mat, size_t bi,
+                  size_t bj, size_t n, size_t nb, const double* in) const {
+    for (size_t r = 0; r < kB; ++r) {
+      const size_t idx = ElemIndex(bi * kB + r, bj * kB, n, nb);
+      mat.Write(env, idx, in + r * kB, kB);
+    }
+  }
+
+  // In-place LU of a kB×kB block (unit lower, no pivoting).
+  static void FactorDiag(double* a) {
+    for (size_t k = 0; k < kB; ++k) {
+      for (size_t i = k + 1; i < kB; ++i) {
+        a[i * kB + k] /= a[k * kB + k];
+        for (size_t j = k + 1; j < kB; ++j) {
+          a[i * kB + j] -= a[i * kB + k] * a[k * kB + j];
+        }
+      }
+    }
+  }
+  // X := L^{-1} X with L the unit-lower part of lu.
+  static void SolveLower(const double* lu, double* x) {
+    for (size_t i = 1; i < kB; ++i) {
+      for (size_t k = 0; k < i; ++k) {
+        for (size_t j = 0; j < kB; ++j) {
+          x[i * kB + j] -= lu[i * kB + k] * x[k * kB + j];
+        }
+      }
+    }
+  }
+  // X := X U^{-1} with U the upper part of lu.
+  static void SolveUpper(const double* lu, double* x) {
+    for (size_t j = 0; j < kB; ++j) {
+      for (size_t i = 0; i < kB; ++i) {
+        double acc = x[i * kB + j];
+        for (size_t k = 0; k < j; ++k) {
+          acc -= x[i * kB + k] * lu[k * kB + j];
+        }
+        x[i * kB + j] = acc / lu[j * kB + j];
+      }
+    }
+  }
+
+  bool contiguous_;
+};
+
+}  // namespace
+
+const Workload* OceanWorkload() {
+  static const Ocean w;
+  return &w;
+}
+const Workload* WaterNsWorkload() {
+  static const Water w(false);
+  return &w;
+}
+const Workload* WaterSpWorkload() {
+  static const Water w(true);
+  return &w;
+}
+const Workload* FftWorkload() {
+  static const Fft w;
+  return &w;
+}
+const Workload* RadixWorkload() {
+  static const Radix w;
+  return &w;
+}
+const Workload* LuConWorkload() {
+  static const Lu w(true);
+  return &w;
+}
+const Workload* LuNonWorkload() {
+  static const Lu w(false);
+  return &w;
+}
+
+}  // namespace apps

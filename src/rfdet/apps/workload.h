@@ -1,0 +1,48 @@
+// Workload framework: the 17 evaluation programs (racey + SPLASH-2 +
+// Phoenix + PARSEC kernels, paper §5.1) re-implemented against dmt::Env.
+//
+// Each kernel reduces its output to a 64-bit signature so determinism
+// experiments compare runs with one integer. Problem sizes are scaled for
+// laptop/CI machines by the `scale` parameter (the paper's absolute sizes
+// are irrelevant to its claims, which are about relative overheads; each
+// kernel preserves its *synchronization and sharing profile* — the Table 1
+// columns — which is what exercises the runtimes).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rfdet/api/env.h"
+
+namespace apps {
+
+struct Params {
+  size_t threads = 4;
+  uint64_t seed = 42;
+  // Problem-size multiplier: 1 = test-sized, 4-16 = bench-sized.
+  int scale = 1;
+};
+
+struct Result {
+  uint64_t signature = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual std::string Name() const = 0;
+  [[nodiscard]] virtual std::string Suite() const = 0;
+  // Runs the kernel on env. Must be callable repeatedly on fresh Envs and
+  // produce a signature that is a pure function of (params, sync order).
+  virtual Result Run(dmt::Env& env, const Params& params) const = 0;
+  // Kernels that contain intentional data races (racey) are excluded from
+  // cross-backend signature-equality tests.
+  [[nodiscard]] virtual bool RaceFree() const { return true; }
+};
+
+// Registry of every workload, in the paper's Table 1 order (racey last).
+[[nodiscard]] const std::vector<const Workload*>& AllWorkloads();
+[[nodiscard]] const Workload* FindWorkload(std::string_view name);
+
+}  // namespace apps

@@ -1,0 +1,175 @@
+#include "rfdet/backends/backends.h"
+
+#include "rfdet/backends/lockstep_runtime.h"
+#include "rfdet/backends/pthreads_runtime.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace dmt {
+
+namespace {
+
+// All runtimes expose the same method surface; one adapter covers them.
+template <typename Runtime>
+class RuntimeEnv final : public Env {
+ public:
+  template <typename Opts>
+  RuntimeEnv(std::string name, bool deterministic, const Opts& opts)
+      : name_(std::move(name)),
+        deterministic_(deterministic),
+        runtime_(opts) {}
+
+  [[nodiscard]] std::string Name() const override { return name_; }
+  [[nodiscard]] bool Deterministic() const override {
+    return deterministic_;
+  }
+
+  [[nodiscard]] size_t Tid() const override { return runtime_.CurrentTid(); }
+
+  GAddr AllocStatic(size_t bytes, size_t align) override {
+    return runtime_.AllocStatic(bytes, align);
+  }
+  GAddr Malloc(size_t bytes) override { return runtime_.Malloc(bytes); }
+  void Free(GAddr addr) override { runtime_.Free(addr); }
+  void Store(GAddr addr, const void* src, size_t len) override {
+    runtime_.Store(addr, src, len);
+  }
+  void Load(GAddr addr, void* dst, size_t len) override {
+    runtime_.Load(addr, dst, len);
+  }
+  void Tick(uint64_t words) override { runtime_.Tick(words); }
+
+  uint64_t AtomicLoad(GAddr addr) override {
+    return runtime_.AtomicLoad(addr);
+  }
+  void AtomicStore(GAddr addr, uint64_t value) override {
+    runtime_.AtomicStore(addr, value);
+  }
+  uint64_t AtomicFetchAdd(GAddr addr, uint64_t delta) override {
+    return runtime_.AtomicFetchAdd(addr, delta);
+  }
+  bool AtomicCas(GAddr addr, uint64_t& expected, uint64_t desired) override {
+    return runtime_.AtomicCas(addr, expected, desired);
+  }
+
+  size_t Spawn(std::function<void()> fn) override {
+    return runtime_.Spawn(std::move(fn));
+  }
+  void Join(size_t tid) override { runtime_.Join(tid); }
+
+  size_t CreateMutex() override { return runtime_.CreateMutex(); }
+  size_t CreateCond() override { return runtime_.CreateCond(); }
+  size_t CreateBarrier(size_t parties) override {
+    return runtime_.CreateBarrier(parties);
+  }
+  void Lock(size_t id) override { runtime_.MutexLock(id); }
+  void Unlock(size_t id) override { runtime_.MutexUnlock(id); }
+  void Wait(size_t cond_id, size_t mutex_id) override {
+    runtime_.CondWait(cond_id, mutex_id);
+  }
+  void Signal(size_t cond_id) override { runtime_.CondSignal(cond_id); }
+  void Broadcast(size_t cond_id) override {
+    runtime_.CondBroadcast(cond_id);
+  }
+  void Barrier(size_t barrier_id) override {
+    runtime_.BarrierWait(barrier_id);
+  }
+
+  [[nodiscard]] rfdet::StatsSnapshot Stats() const override {
+    return runtime_.Snapshot();
+  }
+  [[nodiscard]] size_t FootprintBytes() const override {
+    const rfdet::StatsSnapshot s = runtime_.Snapshot();
+    return s.resident_bytes + s.metadata_peak_bytes;
+  }
+
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+
+ private:
+  std::string name_;
+  bool deterministic_;
+  Runtime runtime_;
+};
+
+}  // namespace
+
+std::string_view ToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kPthreads:
+      return "pthreads";
+    case BackendKind::kKendo:
+      return "kendo";
+    case BackendKind::kRfdetCi:
+      return "rfdet-ci";
+    case BackendKind::kRfdetPf:
+      return "rfdet-pf";
+    case BackendKind::kDthreads:
+      return "dthreads";
+    case BackendKind::kCoredet:
+      return "coredet";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> ParseBackend(std::string_view name) {
+  for (const BackendKind kind : AllBackends()) {
+    if (ToString(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<BackendKind>& AllBackends() {
+  static const std::vector<BackendKind> kAll = {
+      BackendKind::kPthreads, BackendKind::kKendo,   BackendKind::kRfdetCi,
+      BackendKind::kRfdetPf,  BackendKind::kDthreads, BackendKind::kCoredet,
+  };
+  return kAll;
+}
+
+std::unique_ptr<Env> CreateEnv(const BackendConfig& config) {
+  const std::string name{ToString(config.kind)};
+  switch (config.kind) {
+    case BackendKind::kPthreads: {
+      rfdet::PthreadsRuntime::Options opts;
+      opts.region_bytes = config.region_bytes;
+      opts.static_bytes = config.static_bytes;
+      opts.max_threads = config.max_threads;
+      return std::make_unique<RuntimeEnv<rfdet::PthreadsRuntime>>(
+          name, /*deterministic=*/false, opts);
+    }
+    case BackendKind::kKendo:
+    case BackendKind::kRfdetCi:
+    case BackendKind::kRfdetPf: {
+      rfdet::RfdetOptions opts;
+      opts.isolation = config.kind != BackendKind::kKendo;
+      opts.monitor = config.kind == BackendKind::kRfdetPf
+                         ? rfdet::MonitorMode::kPageFault
+                         : rfdet::MonitorMode::kInstrumented;
+      opts.slice_merging = config.slice_merging;
+      opts.prelock = config.prelock;
+      opts.lazy_writes = config.lazy_writes;
+      opts.region_bytes = config.region_bytes;
+      opts.static_bytes = config.static_bytes;
+      opts.max_threads = config.max_threads;
+      opts.metadata_bytes = config.metadata_bytes;
+      opts.gc_threshold = config.gc_threshold;
+      return std::make_unique<RuntimeEnv<rfdet::RfdetRuntime>>(
+          name, /*deterministic=*/true, opts);
+    }
+    case BackendKind::kDthreads:
+    case BackendKind::kCoredet: {
+      rfdet::LockstepRuntime::Options opts;
+      opts.monitor = config.lockstep_monitor;
+      opts.region_bytes = config.region_bytes;
+      opts.static_bytes = config.static_bytes;
+      opts.max_threads = config.max_threads;
+      opts.quantum_ticks = config.kind == BackendKind::kCoredet
+                               ? config.coredet_quantum
+                               : 0;
+      return std::make_unique<RuntimeEnv<rfdet::LockstepRuntime>>(
+          name, /*deterministic=*/true, opts);
+    }
+  }
+  RFDET_PANIC("unknown backend kind");
+}
+
+}  // namespace dmt

@@ -1,0 +1,59 @@
+// Backend registry: one factory for the five interchangeable runtimes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rfdet/api/env.h"
+#include "rfdet/mem/thread_view.h"
+
+namespace dmt {
+
+enum class BackendKind {
+  kPthreads,  // nondeterministic baseline
+  kKendo,     // weak determinism (Kendo sync, shared memory)
+  kRfdetCi,   // the paper's system, instrumented-store monitor
+  kRfdetPf,   // the paper's system, page-fault monitor
+  kDthreads,  // serial-commit-at-sync global-barrier baseline
+  kCoredet,   // quantum-lockstep global-barrier ablation
+};
+
+struct BackendConfig {
+  BackendKind kind = BackendKind::kRfdetCi;
+
+  // Common geometry.
+  size_t region_bytes = 64u << 20;
+  size_t static_bytes = 4u << 20;
+  size_t max_threads = 64;
+
+  // RFDet tuning (paper §4.5 / §5.4).
+  bool slice_merging = true;
+  bool prelock = true;
+  bool lazy_writes = true;
+  size_t metadata_bytes = 256u << 20;
+  double gc_threshold = 0.90;
+
+  // CoreDet quantum length in deterministic ticks (~words of work).
+  uint64_t coredet_quantum = 100'000;
+
+  // Monitor used by the lockstep baselines. Real DThreads uses page
+  // protection; the default here is the COW-page-table monitor because it
+  // models DThreads' cheap commit-then-share-globals update (re-copying
+  // every touched page per phase, as kPageFault does, would overcharge
+  // it). Set kPageFault to measure the protection-based variant.
+  rfdet::MonitorMode lockstep_monitor = rfdet::MonitorMode::kInstrumented;
+};
+
+[[nodiscard]] std::string_view ToString(BackendKind kind);
+[[nodiscard]] std::optional<BackendKind> ParseBackend(std::string_view name);
+[[nodiscard]] const std::vector<BackendKind>& AllBackends();
+
+// Creates a fresh Env for one workload run. The Env owns its runtime; the
+// calling thread is attached as the main thread and must destroy the Env
+// from the same thread.
+[[nodiscard]] std::unique_ptr<Env> CreateEnv(const BackendConfig& config);
+
+}  // namespace dmt

@@ -1,0 +1,510 @@
+#include "rfdet/backends/lockstep_runtime.h"
+
+#include <algorithm>
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+namespace {
+
+struct TlsBinding {
+  LockstepRuntime* runtime = nullptr;
+  void* ctx = nullptr;
+};
+thread_local TlsBinding g_tls;
+
+}  // namespace
+
+LockstepRuntime::LockstepRuntime(const Options& options)
+    : options_(options),
+      allocator_(DetAllocator::Config{
+          .static_base = 16,
+          .static_size = options.static_bytes,
+          .heap_size = options.region_bytes - options.static_bytes -
+                       2 * kPageSize,
+          .max_threads = options.max_threads,
+      }),
+      global_view_(options.region_bytes, MonitorMode::kInstrumented,
+                   nullptr) {
+  RFDET_CHECK_MSG(g_tls.runtime == nullptr,
+                  "a runtime is already attached to this thread");
+  threads_.reserve(options_.max_threads);
+  auto main_ctx = std::make_unique<ThreadCtx>();
+  main_ctx->tid = 0;
+  main_ctx->view = std::make_unique<ThreadView>(options_.region_bytes,
+                                                options_.monitor, nullptr);
+  main_ctx->view->ActivateOnThisThread();
+  threads_.push_back(std::move(main_ctx));
+  g_tls = {this, threads_[0].get()};
+}
+
+LockstepRuntime::~LockstepRuntime() {
+  for (auto& ctx : threads_) {
+    if (ctx->worker.joinable()) ctx->worker.join();
+  }
+  ThreadView::DeactivateOnThisThread();
+  g_tls = {nullptr, nullptr};
+}
+
+LockstepRuntime::ThreadCtx& LockstepRuntime::Ctx() const {
+  RFDET_CHECK_MSG(g_tls.runtime == this,
+                  "calling thread is not attached to this runtime");
+  return *static_cast<ThreadCtx*>(g_tls.ctx);
+}
+
+LockstepRuntime::SyncObj& LockstepRuntime::Obj(size_t id,
+                                               SyncObj::Kind kind) {
+  std::scoped_lock lock(mu_);
+  RFDET_CHECK_MSG(id < sync_objs_.size(), "unknown sync object id");
+  SyncObj& obj = sync_objs_[id];
+  RFDET_CHECK_MSG(obj.kind == kind, "sync object used as wrong kind");
+  return obj;
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+GAddr LockstepRuntime::AllocStatic(size_t size, size_t align) {
+  RFDET_CHECK_MSG(Ctx().tid == 0,
+                  "static allocation is a main-thread setup operation");
+  return allocator_.AllocStatic(size, align);
+}
+
+GAddr LockstepRuntime::Malloc(size_t size) {
+  return allocator_.Alloc(Ctx().tid, size);
+}
+
+void LockstepRuntime::Free(GAddr addr) { allocator_.Free(Ctx().tid, addr); }
+
+void LockstepRuntime::ChargeTicks(ThreadCtx& me, uint64_t words) {
+  if (options_.quantum_ticks == 0) return;  // DThreads: sync-only quanta
+  me.quantum_used += words;
+  if (me.quantum_used >= options_.quantum_ticks) {
+    me.quantum_used = 0;
+    SyncPoint(me, Action{});  // quantum barrier with no sync action
+  }
+}
+
+void LockstepRuntime::Store(GAddr addr, const void* src, size_t len) {
+  ThreadCtx& me = Ctx();
+  const uint64_t words = (len + 7) / 8;
+  me.stores.fetch_add(words, std::memory_order_relaxed);
+  me.view->Store(addr, src, len);
+  ChargeTicks(me, words);
+}
+
+void LockstepRuntime::Load(GAddr addr, void* dst, size_t len) {
+  ThreadCtx& me = Ctx();
+  const uint64_t words = (len + 7) / 8;
+  me.loads.fetch_add(words, std::memory_order_relaxed);
+  me.view->Load(addr, dst, len);
+  ChargeTicks(me, words);
+}
+
+void LockstepRuntime::Tick(uint64_t words) { ChargeTicks(Ctx(), words); }
+
+// ---------------------------------------------------------------------------
+// Fence and serial phase
+// ---------------------------------------------------------------------------
+
+void LockstepRuntime::SyncPoint(ThreadCtx& me, Action action) {
+  // Close the quantum's slice outside the global lock.
+  me.mods.Clear();
+  me.view->CollectModifications(me.mods);
+
+  std::unique_lock lock(mu_);
+  me.state = State::kArrived;
+  me.action = action;
+  ++arrived_;
+  if (arrived_ == runnable_) {
+    RunSerialPhase();
+  } else {
+    const uint64_t entry_epoch = epoch_;
+    fence_cv_.wait(lock, [&] { return epoch_ != entry_epoch; });
+  }
+  // If our action blocked us, sleep until a later phase grants it.
+  fence_cv_.wait(lock, [&] {
+    return me.state == State::kRunning || me.state == State::kExited;
+  });
+}
+
+void LockstepRuntime::RunSerialPhase() {
+  phases_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<ThreadCtx*> batch;
+  for (auto& ctx : threads_) {
+    if (ctx->state == State::kArrived) batch.push_back(ctx.get());
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const ThreadCtx* a, const ThreadCtx* b) {
+              return a->tid < b->tid;
+            });
+  // Token order, part 1: commit every thread's isolated modifications into
+  // the global image (last committer — highest tid — wins conflicts,
+  // deterministically).
+  for (ThreadCtx* ctx : batch) {
+    global_view_.ApplyRemote(ctx->mods, /*lazy=*/false);
+    stats_.bytes_propagated.fetch_add(ctx->mods.ByteCount(),
+                                      std::memory_order_relaxed);
+    ctx->mods.Clear();
+  }
+  // Token order, part 2: execute the pending synchronization actions.
+  for (ThreadCtx* ctx : batch) {
+    ctx->state = State::kRunning;  // may be re-blocked by its own action
+    ExecuteAction(*ctx);
+  }
+  // Refresh every runnable thread's private view from the global image.
+  for (auto& ctx : threads_) {
+    if (ctx->state == State::kRunning) {
+      ctx->view->CopyFrom(global_view_);
+    }
+  }
+  arrived_ = 0;
+  ++epoch_;
+  RFDET_CHECK_MSG(runnable_ > 0, "lockstep deadlock: no runnable threads");
+  fence_cv_.notify_all();
+}
+
+void LockstepRuntime::MakeRunnable(ThreadCtx& ctx) {
+  RFDET_DCHECK(ctx.state == State::kBlocked);
+  ctx.state = State::kRunning;
+  ++runnable_;
+}
+
+void LockstepRuntime::ExecuteAction(ThreadCtx& ctx) {
+  const Action action = ctx.action;
+  ctx.action = Action{};
+  switch (action.kind) {
+    case Action::Kind::kNone:
+      break;
+    case Action::Kind::kLock: {
+      SyncObj& m = sync_objs_[action.a];
+      if (!m.locked) {
+        m.locked = true;
+        m.owner = ctx.tid;
+      } else {
+        m.waitq.push_back(ctx.tid);
+        ctx.state = State::kBlocked;
+        --runnable_;
+      }
+      break;
+    }
+    case Action::Kind::kUnlock: {
+      SyncObj& m = sync_objs_[action.a];
+      RFDET_CHECK_MSG(m.locked && m.owner == ctx.tid,
+                      "unlock of unowned mutex");
+      if (!m.waitq.empty()) {
+        const size_t next = m.waitq.front();
+        m.waitq.pop_front();
+        m.owner = next;
+        MakeRunnable(CtxOf(next));
+      } else {
+        m.locked = false;
+        m.owner = kNone;
+      }
+      break;
+    }
+    case Action::Kind::kWait: {
+      SyncObj& m = sync_objs_[action.b];
+      RFDET_CHECK_MSG(m.locked && m.owner == ctx.tid,
+                      "cond wait without holding the mutex");
+      SyncObj& c = sync_objs_[action.a];
+      c.cond_q.push_back(ctx.tid);
+      ctx.wait_mutex = action.b;
+      // Embedded unlock with deterministic hand-off.
+      if (!m.waitq.empty()) {
+        const size_t next = m.waitq.front();
+        m.waitq.pop_front();
+        m.owner = next;
+        MakeRunnable(CtxOf(next));
+      } else {
+        m.locked = false;
+        m.owner = kNone;
+      }
+      ctx.state = State::kBlocked;
+      --runnable_;
+      break;
+    }
+    case Action::Kind::kSignal:
+    case Action::Kind::kBroadcast: {
+      SyncObj& c = sync_objs_[action.a];
+      const size_t n =
+          action.kind == Action::Kind::kSignal
+              ? std::min<size_t>(1, c.cond_q.size())
+              : c.cond_q.size();
+      for (size_t i = 0; i < n; ++i) {
+        const size_t w = c.cond_q.front();
+        c.cond_q.pop_front();
+        // The waiter must re-acquire the mutex it waited with.
+        ThreadCtx& waiter = CtxOf(w);
+        SyncObj& m = sync_objs_[waiter.wait_mutex];
+        if (!m.locked) {
+          m.locked = true;
+          m.owner = w;
+          MakeRunnable(waiter);
+        } else {
+          m.waitq.push_back(w);  // stays blocked until the unlock
+        }
+      }
+      break;
+    }
+    case Action::Kind::kBarrier: {
+      SyncObj& b = sync_objs_[action.a];
+      b.barrier_q.push_back(ctx.tid);
+      if (b.barrier_q.size() == b.parties) {
+        for (const size_t w : b.barrier_q) {
+          if (w == ctx.tid) continue;
+          MakeRunnable(CtxOf(w));
+        }
+        b.barrier_q.clear();
+      } else {
+        ctx.state = State::kBlocked;
+        --runnable_;
+      }
+      break;
+    }
+    case Action::Kind::kJoin: {
+      ThreadCtx& target = CtxOf(action.a);
+      if (target.state != State::kExited) {
+        RFDET_CHECK_MSG(target.joiner == kNone, "concurrent join");
+        target.joiner = ctx.tid;
+        ctx.state = State::kBlocked;
+        --runnable_;
+      }
+      break;
+    }
+    case Action::Kind::kExit: {
+      ctx.state = State::kExited;
+      --runnable_;
+      if (ctx.joiner != kNone) {
+        MakeRunnable(CtxOf(ctx.joiner));
+      }
+      break;
+    }
+    case Action::Kind::kAtomic: {
+      // Execute against the committed global image, in token order.
+      uint64_t cur = 0;
+      global_view_.Load(action.addr, &cur, sizeof cur);
+      auto store_global = [&](uint64_t v) {
+        ModList one;
+        one.Append(action.addr,
+                   {reinterpret_cast<const std::byte*>(&v), sizeof v});
+        global_view_.ApplyRemote(one, /*lazy=*/false);
+      };
+      switch (action.atomic_op) {
+        case Action::AtomicOp::kLoad:
+          ctx.atomic_result = cur;
+          break;
+        case Action::AtomicOp::kStore:
+          store_global(action.operand);
+          break;
+        case Action::AtomicOp::kAdd:
+          ctx.atomic_result = cur;
+          store_global(cur + action.operand);
+          break;
+        case Action::AtomicOp::kCas:
+          ctx.atomic_result = cur;
+          ctx.atomic_success = cur == action.expected;
+          if (ctx.atomic_success) store_global(action.operand);
+          break;
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+uint64_t LockstepRuntime::AtomicLoad(GAddr addr) {
+  ThreadCtx& me = Ctx();
+  SyncPoint(me, Action{.kind = Action::Kind::kAtomic,
+                       .atomic_op = Action::AtomicOp::kLoad,
+                       .addr = addr});
+  std::scoped_lock lock(mu_);
+  return me.atomic_result;
+}
+
+void LockstepRuntime::AtomicStore(GAddr addr, uint64_t value) {
+  ThreadCtx& me = Ctx();
+  SyncPoint(me, Action{.kind = Action::Kind::kAtomic,
+                       .atomic_op = Action::AtomicOp::kStore,
+                       .addr = addr,
+                       .operand = value});
+}
+
+uint64_t LockstepRuntime::AtomicFetchAdd(GAddr addr, uint64_t delta) {
+  ThreadCtx& me = Ctx();
+  SyncPoint(me, Action{.kind = Action::Kind::kAtomic,
+                       .atomic_op = Action::AtomicOp::kAdd,
+                       .addr = addr,
+                       .operand = delta});
+  std::scoped_lock lock(mu_);
+  return me.atomic_result;
+}
+
+bool LockstepRuntime::AtomicCas(GAddr addr, uint64_t& expected,
+                                uint64_t desired) {
+  ThreadCtx& me = Ctx();
+  SyncPoint(me, Action{.kind = Action::Kind::kAtomic,
+                       .atomic_op = Action::AtomicOp::kCas,
+                       .addr = addr,
+                       .operand = desired,
+                       .expected = expected});
+  std::scoped_lock lock(mu_);
+  if (!me.atomic_success) expected = me.atomic_result;
+  return me.atomic_success;
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+void LockstepRuntime::WorkerMain(ThreadCtx& ctx, std::function<void()> fn) {
+  g_tls = {this, &ctx};
+  ctx.view->ActivateOnThisThread();
+  fn();
+  SyncPoint(ctx, Action{.kind = Action::Kind::kExit});
+  ThreadView::DeactivateOnThisThread();
+  g_tls = {nullptr, nullptr};
+}
+
+size_t LockstepRuntime::Spawn(std::function<void()> fn) {
+  ThreadCtx& me = Ctx();
+  stats_.forks.fetch_add(1, std::memory_order_relaxed);
+  // Fork is a synchronization point: commit our modifications so the child
+  // inherits them through the global image.
+  SyncPoint(me, Action{});
+  std::scoped_lock lock(mu_);
+  const size_t tid = threads_.size();
+  RFDET_CHECK_MSG(tid < options_.max_threads, "max_threads exceeded");
+  threads_.push_back(std::make_unique<ThreadCtx>());
+  ThreadCtx* child = threads_.back().get();
+  child->tid = tid;
+  child->view = std::make_unique<ThreadView>(options_.region_bytes,
+                                             options_.monitor, nullptr);
+  child->view->CopyFrom(global_view_);
+  ++runnable_;
+  child->worker = std::thread([this, child, fn = std::move(fn)]() mutable {
+    WorkerMain(*child, std::move(fn));
+  });
+  return tid;
+}
+
+void LockstepRuntime::Join(size_t tid) {
+  ThreadCtx& me = Ctx();
+  stats_.joins.fetch_add(1, std::memory_order_relaxed);
+  RFDET_CHECK_MSG(tid < threads_.size() && tid != me.tid, "bad join target");
+  SyncPoint(me, Action{.kind = Action::Kind::kJoin, .a = tid});
+  ThreadCtx& target = CtxOf(tid);
+  std::unique_lock lock(mu_);
+  RFDET_CHECK(!target.join_reaped);
+  target.join_reaped = true;
+  lock.unlock();
+  if (target.worker.joinable()) target.worker.join();
+}
+
+size_t LockstepRuntime::CurrentTid() const { return Ctx().tid; }
+
+// ---------------------------------------------------------------------------
+// Synchronization API
+// ---------------------------------------------------------------------------
+
+size_t LockstepRuntime::CreateMutex() {
+  std::scoped_lock lock(mu_);
+  sync_objs_.emplace_back(SyncObj::Kind::kMutex);
+  return sync_objs_.size() - 1;
+}
+
+size_t LockstepRuntime::CreateCond() {
+  std::scoped_lock lock(mu_);
+  sync_objs_.emplace_back(SyncObj::Kind::kCond);
+  return sync_objs_.size() - 1;
+}
+
+size_t LockstepRuntime::CreateBarrier(size_t parties) {
+  RFDET_CHECK(parties > 0);
+  std::scoped_lock lock(mu_);
+  sync_objs_.emplace_back(SyncObj::Kind::kBarrier);
+  sync_objs_.back().parties = parties;
+  return sync_objs_.size() - 1;
+}
+
+void LockstepRuntime::MutexLock(size_t id) {
+  ThreadCtx& me = Ctx();
+  stats_.locks.fetch_add(1, std::memory_order_relaxed);
+  Obj(id, SyncObj::Kind::kMutex);
+  SyncPoint(me, Action{.kind = Action::Kind::kLock, .a = id});
+}
+
+void LockstepRuntime::MutexUnlock(size_t id) {
+  ThreadCtx& me = Ctx();
+  stats_.unlocks.fetch_add(1, std::memory_order_relaxed);
+  Obj(id, SyncObj::Kind::kMutex);
+  SyncPoint(me, Action{.kind = Action::Kind::kUnlock, .a = id});
+}
+
+void LockstepRuntime::CondWait(size_t cond_id, size_t mutex_id) {
+  ThreadCtx& me = Ctx();
+  stats_.cond_waits.fetch_add(1, std::memory_order_relaxed);
+  Obj(cond_id, SyncObj::Kind::kCond);
+  Obj(mutex_id, SyncObj::Kind::kMutex);
+  SyncPoint(me,
+            Action{.kind = Action::Kind::kWait, .a = cond_id, .b = mutex_id});
+}
+
+void LockstepRuntime::CondSignal(size_t cond_id) {
+  ThreadCtx& me = Ctx();
+  stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
+  Obj(cond_id, SyncObj::Kind::kCond);
+  SyncPoint(me, Action{.kind = Action::Kind::kSignal, .a = cond_id});
+}
+
+void LockstepRuntime::CondBroadcast(size_t cond_id) {
+  ThreadCtx& me = Ctx();
+  stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
+  Obj(cond_id, SyncObj::Kind::kCond);
+  SyncPoint(me, Action{.kind = Action::Kind::kBroadcast, .a = cond_id});
+}
+
+void LockstepRuntime::BarrierWait(size_t id) {
+  ThreadCtx& me = Ctx();
+  stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+  Obj(id, SyncObj::Kind::kBarrier);
+  SyncPoint(me, Action{.kind = Action::Kind::kBarrier, .a = id});
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+StatsSnapshot LockstepRuntime::Snapshot() const {
+  StatsSnapshot s;
+  s.locks = stats_.locks.load();
+  s.unlocks = stats_.unlocks.load();
+  s.cond_waits = stats_.cond_waits.load();
+  s.cond_signals = stats_.cond_signals.load();
+  s.barriers = stats_.barriers.load();
+  s.forks = stats_.forks.load();
+  s.joins = stats_.joins.load();
+  s.bytes_propagated = stats_.bytes_propagated.load();
+  std::scoped_lock lock(mu_);
+  for (const auto& ctx : threads_) {
+    s.loads += ctx->loads.load(std::memory_order_relaxed);
+    s.stores += ctx->stores.load(std::memory_order_relaxed);
+    if (ctx->view) {
+      const ViewStats& v = ctx->view->Stats();
+      s.stores_with_copy += v.stores_with_copy;
+      s.page_faults += v.page_faults;
+      s.mprotect_calls += v.mprotect_calls;
+      s.pages_diffed += v.pages_diffed;
+      s.resident_bytes += ctx->view->ResidentBytes();
+    }
+  }
+  s.resident_bytes += global_view_.ResidentBytes();
+  return s;
+}
+
+}  // namespace rfdet

@@ -1,0 +1,182 @@
+// LockstepRuntime — the global-barrier DMT baselines (paper §2, Figure 1).
+//
+// This runtime implements the classic strong-DMT formula RFDet is designed
+// to beat: execution proceeds in quanta separated by *global barriers*.
+// Threads run isolated in private views; at the end of each quantum every
+// runnable thread must arrive at a fence, after which a serial phase
+// commits each thread's isolated modifications into a shared global image
+// and executes the pending synchronization actions in deterministic token
+// order (ascending tid), then refreshes every runnable thread's view from
+// the global image.
+//
+// Two configurations reproduce the paper's comparison systems:
+//
+//  * quantum_ticks == 0 — a quantum ends only at a synchronization
+//    operation: the DThreads model ("a parallel phase ends after each
+//    thread encounters any synchronization operation"). A thread that
+//    computes without synchronizing stalls every other thread at the
+//    fence — exactly the imbalance the paper's Figure 1 criticizes.
+//
+//  * quantum_ticks > 0 — a quantum also ends after a fixed amount of
+//    deterministic work: the CoreDet/DMP lockstep model.
+//
+// Determinism: which threads are runnable, what each committed, and the
+// token order are all pure functions of prior phases, so the whole
+// execution is deterministic (this is tested).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rfdet/mem/det_allocator.h"
+#include "rfdet/mem/thread_view.h"
+#include "rfdet/runtime/stats.h"
+
+namespace rfdet {
+
+class LockstepRuntime {
+ public:
+  static constexpr size_t kNone = SIZE_MAX;
+
+  struct Options {
+    MonitorMode monitor = MonitorMode::kInstrumented;
+    size_t region_bytes = 64u << 20;
+    size_t static_bytes = 4u << 20;
+    size_t max_threads = 64;
+    uint64_t quantum_ticks = 0;  // 0 = DThreads; >0 = CoreDet quantum size
+  };
+
+  explicit LockstepRuntime(const Options& options);
+  ~LockstepRuntime();
+
+  LockstepRuntime(const LockstepRuntime&) = delete;
+  LockstepRuntime& operator=(const LockstepRuntime&) = delete;
+
+  GAddr AllocStatic(size_t size, size_t align = 16);
+  GAddr Malloc(size_t size);
+  void Free(GAddr addr);
+  void Store(GAddr addr, const void* src, size_t len);
+  void Load(GAddr addr, void* dst, size_t len);
+  void Tick(uint64_t words);
+
+  // Atomics are synchronization points: the operation executes inside the
+  // serial phase against the global image, in token order.
+  uint64_t AtomicLoad(GAddr addr);
+  void AtomicStore(GAddr addr, uint64_t value);
+  uint64_t AtomicFetchAdd(GAddr addr, uint64_t delta);
+  bool AtomicCas(GAddr addr, uint64_t& expected, uint64_t desired);
+
+  size_t Spawn(std::function<void()> fn);
+  void Join(size_t tid);
+  [[nodiscard]] size_t CurrentTid() const;
+
+  size_t CreateMutex();
+  size_t CreateCond();
+  size_t CreateBarrier(size_t parties);
+  void MutexLock(size_t id);
+  void MutexUnlock(size_t id);
+  void CondWait(size_t cond_id, size_t mutex_id);
+  void CondSignal(size_t cond_id);
+  void CondBroadcast(size_t cond_id);
+  void BarrierWait(size_t id);
+
+  [[nodiscard]] StatsSnapshot Snapshot() const;
+  [[nodiscard]] uint64_t PhaseCount() const {
+    return phases_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Action {
+    enum class Kind : uint8_t {
+      kNone,  // quantum boundary without synchronization
+      kLock,
+      kUnlock,
+      kWait,
+      kSignal,
+      kBroadcast,
+      kBarrier,
+      kJoin,
+      kExit,
+      kAtomic,
+    };
+    enum class AtomicOp : uint8_t { kLoad, kStore, kAdd, kCas };
+    Kind kind = Kind::kNone;
+    size_t a = kNone;  // sync object id / join target
+    size_t b = kNone;  // mutex id for kWait
+    AtomicOp atomic_op = AtomicOp::kLoad;
+    GAddr addr = 0;
+    uint64_t operand = 0;   // store value / add delta / CAS desired
+    uint64_t expected = 0;  // CAS expected
+  };
+
+  enum class State : uint8_t { kRunning, kArrived, kBlocked, kExited };
+
+  struct ThreadCtx {
+    size_t tid = 0;
+    std::unique_ptr<ThreadView> view;
+    std::thread worker;
+    uint64_t quantum_used = 0;
+    std::atomic<uint64_t> loads{0};
+    std::atomic<uint64_t> stores{0};
+    // Everything below is guarded by mu_.
+    State state = State::kRunning;
+    Action action;
+    ModList mods;
+    size_t wait_mutex = kNone;  // mutex to re-acquire after a cond signal
+    size_t joiner = kNone;
+    bool join_reaped = false;
+    uint64_t atomic_result = 0;  // old/observed value
+    bool atomic_success = false;
+  };
+
+  struct SyncObj {
+    enum class Kind : uint8_t { kMutex, kCond, kBarrier };
+    explicit SyncObj(Kind k) : kind(k) {}
+    Kind kind;
+    bool locked = false;
+    size_t owner = kNone;
+    std::deque<size_t> waitq;       // mutex FIFO
+    std::deque<size_t> cond_q;      // condition FIFO
+    size_t parties = 0;
+    std::vector<size_t> barrier_q;  // arrived tids
+  };
+
+  ThreadCtx& Ctx() const;
+  ThreadCtx& CtxOf(size_t tid) const { return *threads_[tid]; }
+  SyncObj& Obj(size_t id, SyncObj::Kind kind);
+
+  // Ends the quantum: arrive at the fence with `action`, run or wait for
+  // the serial phase, and (if the action blocks) sleep until granted.
+  void SyncPoint(ThreadCtx& me, Action action);
+  // Runs the serial phase; caller holds mu_ and is the last arriver.
+  void RunSerialPhase();
+  void ExecuteAction(ThreadCtx& ctx);
+  // Grants a blocked thread (lock hand-off, barrier release, join, …).
+  void MakeRunnable(ThreadCtx& ctx);
+
+  void ChargeTicks(ThreadCtx& me, uint64_t words);
+  void WorkerMain(ThreadCtx& ctx, std::function<void()> fn);
+
+  Options options_;
+  DetAllocator allocator_;
+  ThreadView global_view_;
+  RuntimeStats stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable fence_cv_;
+  size_t runnable_ = 1;
+  size_t arrived_ = 0;
+  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> phases_{0};
+
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  std::deque<SyncObj> sync_objs_;
+};
+
+}  // namespace rfdet

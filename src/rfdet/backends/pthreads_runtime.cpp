@@ -1,0 +1,228 @@
+#include "rfdet/backends/pthreads_runtime.h"
+
+#include <cstring>
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+namespace {
+
+struct TlsBinding {
+  PthreadsRuntime* runtime = nullptr;
+  void* ctx = nullptr;
+};
+thread_local TlsBinding g_tls;
+
+}  // namespace
+
+PthreadsRuntime::PthreadsRuntime(const Options& options)
+    : options_(options),
+      allocator_(DetAllocator::Config{
+          .static_base = 16,
+          .static_size = options.static_bytes,
+          .heap_size = options.region_bytes - options.static_bytes -
+                       2 * kPageSize,
+          .max_threads = options.max_threads,
+      }),
+      image_(std::make_unique<std::byte[]>(options.region_bytes)) {
+  RFDET_CHECK_MSG(g_tls.runtime == nullptr,
+                  "a runtime is already attached to this thread");
+  std::memset(image_.get(), 0, options_.region_bytes);
+  threads_.reserve(options_.max_threads);
+  auto main_ctx = std::make_unique<ThreadCtx>();
+  main_ctx->tid = 0;
+  threads_.push_back(std::move(main_ctx));
+  g_tls = {this, threads_[0].get()};
+}
+
+PthreadsRuntime::~PthreadsRuntime() {
+  for (auto& ctx : threads_) {
+    if (ctx->worker.joinable()) ctx->worker.join();
+  }
+  g_tls = {nullptr, nullptr};
+}
+
+PthreadsRuntime::ThreadCtx& PthreadsRuntime::Ctx() const {
+  RFDET_CHECK_MSG(g_tls.runtime == this,
+                  "calling thread is not attached to this runtime");
+  return *static_cast<ThreadCtx*>(g_tls.ctx);
+}
+
+PthreadsRuntime::SyncObj& PthreadsRuntime::Obj(size_t id,
+                                               SyncObj::Kind kind) {
+  SyncObj* obj;
+  {
+    std::scoped_lock lock(registry_mu_);
+    RFDET_CHECK_MSG(id < sync_objs_.size(), "unknown sync object id");
+    obj = &sync_objs_[id];
+  }
+  RFDET_CHECK_MSG(obj->kind == kind, "sync object used as wrong kind");
+  return *obj;
+}
+
+GAddr PthreadsRuntime::AllocStatic(size_t size, size_t align) {
+  RFDET_CHECK_MSG(Ctx().tid == 0,
+                  "static allocation is a main-thread setup operation");
+  return allocator_.AllocStatic(size, align);
+}
+
+GAddr PthreadsRuntime::Malloc(size_t size) {
+  return allocator_.Alloc(Ctx().tid, size);
+}
+
+void PthreadsRuntime::Free(GAddr addr) { allocator_.Free(Ctx().tid, addr); }
+
+void PthreadsRuntime::Store(GAddr addr, const void* src, size_t len) {
+  ThreadCtx& me = Ctx();
+  RFDET_DCHECK(addr + len <= options_.region_bytes);
+  me.stores.fetch_add((len + 7) / 8, std::memory_order_relaxed);
+  std::memcpy(image_.get() + addr, src, len);
+}
+
+void PthreadsRuntime::Load(GAddr addr, void* dst, size_t len) {
+  ThreadCtx& me = Ctx();
+  RFDET_DCHECK(addr + len <= options_.region_bytes);
+  me.loads.fetch_add((len + 7) / 8, std::memory_order_relaxed);
+  std::memcpy(dst, image_.get() + addr, len);
+}
+
+namespace {
+std::atomic<uint64_t>& AtomicAt(std::byte* image, GAddr addr) {
+  // 8-byte-aligned shared slots; plain hardware atomics.
+  RFDET_DCHECK(addr % 8 == 0);
+  return *reinterpret_cast<std::atomic<uint64_t>*>(image + addr);
+}
+}  // namespace
+
+uint64_t PthreadsRuntime::AtomicLoad(GAddr addr) {
+  return AtomicAt(image_.get(), addr).load(std::memory_order_seq_cst);
+}
+
+void PthreadsRuntime::AtomicStore(GAddr addr, uint64_t value) {
+  AtomicAt(image_.get(), addr).store(value, std::memory_order_seq_cst);
+}
+
+uint64_t PthreadsRuntime::AtomicFetchAdd(GAddr addr, uint64_t delta) {
+  return AtomicAt(image_.get(), addr)
+      .fetch_add(delta, std::memory_order_seq_cst);
+}
+
+bool PthreadsRuntime::AtomicCas(GAddr addr, uint64_t& expected,
+                                uint64_t desired) {
+  return AtomicAt(image_.get(), addr)
+      .compare_exchange_strong(expected, desired,
+                               std::memory_order_seq_cst);
+}
+
+size_t PthreadsRuntime::Spawn(std::function<void()> fn) {
+  stats_.forks.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lock(registry_mu_);
+  const size_t tid = threads_.size();
+  RFDET_CHECK_MSG(tid < options_.max_threads, "max_threads exceeded");
+  threads_.push_back(std::make_unique<ThreadCtx>());
+  ThreadCtx* child = threads_.back().get();
+  child->tid = tid;
+  child->worker = std::thread([this, child, fn = std::move(fn)]() mutable {
+    g_tls = {this, child};
+    fn();
+    g_tls = {nullptr, nullptr};
+  });
+  return tid;
+}
+
+void PthreadsRuntime::Join(size_t tid) {
+  stats_.joins.fetch_add(1, std::memory_order_relaxed);
+  ThreadCtx* target;
+  {
+    std::scoped_lock lock(registry_mu_);
+    RFDET_CHECK_MSG(tid < threads_.size(), "bad join target");
+    target = threads_[tid].get();
+  }
+  if (target->worker.joinable()) target->worker.join();
+}
+
+size_t PthreadsRuntime::CurrentTid() const { return Ctx().tid; }
+
+size_t PthreadsRuntime::CreateMutex() {
+  std::scoped_lock lock(registry_mu_);
+  sync_objs_.emplace_back(SyncObj::Kind::kMutex);
+  return sync_objs_.size() - 1;
+}
+
+size_t PthreadsRuntime::CreateCond() {
+  std::scoped_lock lock(registry_mu_);
+  sync_objs_.emplace_back(SyncObj::Kind::kCond);
+  return sync_objs_.size() - 1;
+}
+
+size_t PthreadsRuntime::CreateBarrier(size_t parties) {
+  RFDET_CHECK(parties > 0);
+  std::scoped_lock lock(registry_mu_);
+  sync_objs_.emplace_back(SyncObj::Kind::kBarrier);
+  sync_objs_.back().parties = parties;
+  return sync_objs_.size() - 1;
+}
+
+void PthreadsRuntime::MutexLock(size_t id) {
+  stats_.locks.fetch_add(1, std::memory_order_relaxed);
+  Obj(id, SyncObj::Kind::kMutex).m.lock();
+}
+
+void PthreadsRuntime::MutexUnlock(size_t id) {
+  stats_.unlocks.fetch_add(1, std::memory_order_relaxed);
+  Obj(id, SyncObj::Kind::kMutex).m.unlock();
+}
+
+void PthreadsRuntime::CondWait(size_t cond_id, size_t mutex_id) {
+  stats_.cond_waits.fetch_add(1, std::memory_order_relaxed);
+  SyncObj& c = Obj(cond_id, SyncObj::Kind::kCond);
+  SyncObj& m = Obj(mutex_id, SyncObj::Kind::kMutex);
+  std::unique_lock lock(m.m, std::adopt_lock);
+  c.cv.wait(lock);
+  lock.release();  // caller still logically holds the mutex
+}
+
+void PthreadsRuntime::CondSignal(size_t cond_id) {
+  stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
+  Obj(cond_id, SyncObj::Kind::kCond).cv.notify_one();
+}
+
+void PthreadsRuntime::CondBroadcast(size_t cond_id) {
+  stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
+  Obj(cond_id, SyncObj::Kind::kCond).cv.notify_all();
+}
+
+void PthreadsRuntime::BarrierWait(size_t id) {
+  stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+  SyncObj& b = Obj(id, SyncObj::Kind::kBarrier);
+  std::unique_lock lock(b.barrier_mu);
+  if (++b.arrived == b.parties) {
+    b.arrived = 0;
+    ++b.generation;
+    b.cv.notify_all();
+  } else {
+    const uint64_t gen = b.generation;
+    b.cv.wait(lock, [&] { return b.generation != gen; });
+  }
+}
+
+StatsSnapshot PthreadsRuntime::Snapshot() const {
+  StatsSnapshot s;
+  s.locks = stats_.locks.load();
+  s.unlocks = stats_.unlocks.load();
+  s.cond_waits = stats_.cond_waits.load();
+  s.cond_signals = stats_.cond_signals.load();
+  s.barriers = stats_.barriers.load();
+  s.forks = stats_.forks.load();
+  s.joins = stats_.joins.load();
+  std::scoped_lock lock(registry_mu_);
+  for (const auto& ctx : threads_) {
+    s.loads += ctx->loads.load(std::memory_order_relaxed);
+    s.stores += ctx->stores.load(std::memory_order_relaxed);
+  }
+  s.resident_bytes = FootprintBytes();
+  return s;
+}
+
+}  // namespace rfdet

@@ -1,0 +1,102 @@
+// PthreadsRuntime — the conventional nondeterministic baseline.
+//
+// Plain std::thread / std::mutex / std::condition_variable over a single
+// shared image, with no isolation, no instrumentation overhead and no
+// deterministic scheduling. This is the "pthreads" bar every Figure-7
+// measurement is normalized to.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rfdet/mem/det_allocator.h"
+#include "rfdet/runtime/stats.h"
+
+namespace rfdet {
+
+class PthreadsRuntime {
+ public:
+  struct Options {
+    size_t region_bytes = 64u << 20;
+    size_t static_bytes = 4u << 20;
+    size_t max_threads = 64;
+  };
+
+  explicit PthreadsRuntime(const Options& options);
+  ~PthreadsRuntime();
+
+  PthreadsRuntime(const PthreadsRuntime&) = delete;
+  PthreadsRuntime& operator=(const PthreadsRuntime&) = delete;
+
+  GAddr AllocStatic(size_t size, size_t align = 16);
+  GAddr Malloc(size_t size);
+  void Free(GAddr addr);
+  void Store(GAddr addr, const void* src, size_t len);
+  void Load(GAddr addr, void* dst, size_t len);
+  void Tick(uint64_t words) { (void)words; }
+
+  uint64_t AtomicLoad(GAddr addr);
+  void AtomicStore(GAddr addr, uint64_t value);
+  uint64_t AtomicFetchAdd(GAddr addr, uint64_t delta);
+  bool AtomicCas(GAddr addr, uint64_t& expected, uint64_t desired);
+
+  size_t Spawn(std::function<void()> fn);
+  void Join(size_t tid);
+  [[nodiscard]] size_t CurrentTid() const;
+
+  size_t CreateMutex();
+  size_t CreateCond();
+  size_t CreateBarrier(size_t parties);
+  void MutexLock(size_t id);
+  void MutexUnlock(size_t id);
+  void CondWait(size_t cond_id, size_t mutex_id);
+  void CondSignal(size_t cond_id);
+  void CondBroadcast(size_t cond_id);
+  void BarrierWait(size_t id);
+
+  [[nodiscard]] StatsSnapshot Snapshot() const;
+  [[nodiscard]] size_t FootprintBytes() const {
+    return allocator_.StaticBytes() + allocator_.PeakBytes();
+  }
+
+ private:
+  struct SyncObj {
+    enum class Kind : uint8_t { kMutex, kCond, kBarrier };
+    explicit SyncObj(Kind k) : kind(k) {}
+    Kind kind;
+    std::mutex m;
+    std::condition_variable_any cv;  // cond: waiters; barrier: generation
+    std::mutex barrier_mu;
+    size_t parties = 0;
+    size_t arrived = 0;
+    uint64_t generation = 0;
+  };
+
+  struct ThreadCtx {
+    size_t tid = 0;
+    std::thread worker;
+    std::atomic<uint64_t> loads{0};
+    std::atomic<uint64_t> stores{0};
+  };
+
+  ThreadCtx& Ctx() const;
+  SyncObj& Obj(size_t id, SyncObj::Kind kind);
+
+  Options options_;
+  DetAllocator allocator_;
+  RuntimeStats stats_;
+  std::unique_ptr<std::byte[]> image_;
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  std::deque<SyncObj> sync_objs_;
+};
+
+}  // namespace rfdet

@@ -1,0 +1,38 @@
+// Spin-wait backoff helper.
+//
+// Kendo-style arbitration and the DThreads fence both poll shared state.
+// On machines with fewer cores than threads (including single-core CI
+// boxes) a raw spin deadlocks the scheduler's fairness budget, so waiters
+// must escalate: pause → yield → short sleep.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace rfdet {
+
+class Backoff {
+ public:
+  void Pause() noexcept {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    } else if (spins_ < kSpinLimit + kYieldLimit) {
+      ++spins_;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  void Reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  static constexpr int kYieldLimit = 256;
+  int spins_ = 0;
+};
+
+}  // namespace rfdet

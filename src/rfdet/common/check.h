@@ -1,0 +1,43 @@
+// Lightweight invariant-checking macros used across the runtime.
+//
+// RFDET_CHECK is always on (the runtime's correctness depends on these
+// invariants even in release builds); RFDET_DCHECK compiles out in NDEBUG
+// builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rfdet {
+
+[[noreturn]] inline void PanicImpl(const char* file, int line,
+                                   const char* cond, const char* msg) {
+  std::fprintf(stderr, "rfdet: fatal: %s:%d: check failed: %s%s%s\n", file,
+               line, cond, msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rfdet
+
+#define RFDET_CHECK(cond)                                    \
+  do {                                                       \
+    if (!(cond)) [[unlikely]]                                \
+      ::rfdet::PanicImpl(__FILE__, __LINE__, #cond, "");     \
+  } while (0)
+
+#define RFDET_CHECK_MSG(cond, msg)                           \
+  do {                                                       \
+    if (!(cond)) [[unlikely]]                                \
+      ::rfdet::PanicImpl(__FILE__, __LINE__, #cond, (msg));  \
+  } while (0)
+
+#ifdef NDEBUG
+#define RFDET_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define RFDET_DCHECK(cond) RFDET_CHECK(cond)
+#endif
+
+#define RFDET_PANIC(msg) ::rfdet::PanicImpl(__FILE__, __LINE__, "panic", (msg))

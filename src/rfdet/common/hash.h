@@ -1,0 +1,59 @@
+// Deterministic hashing for output signatures and hash-table workloads.
+//
+// Workloads reduce their results to a 64-bit signature so determinism tests
+// can compare runs with a single integer equality. FNV-1a is sufficient and
+// trivially portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rfdet {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr uint64_t Fnv1a(const void* data, size_t len,
+                         uint64_t seed = kFnvOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr uint64_t Fnv1a(std::string_view s,
+                         uint64_t seed = kFnvOffset) noexcept {
+  uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Incrementally-updatable signature accumulator. Order-sensitive.
+class Signature {
+ public:
+  constexpr void Mix(uint64_t v) noexcept {
+    h_ ^= v + 0x9e3779b97f4a7c15ULL + (h_ << 6) + (h_ >> 2);
+  }
+  void MixBytes(const void* data, size_t len) noexcept {
+    Mix(Fnv1a(data, len));
+  }
+  constexpr void MixDouble(double d) noexcept {
+    // Bit-pattern mix: doubles produced by the kernels are deterministic,
+    // so their representations are too.
+    uint64_t bits = __builtin_bit_cast(uint64_t, d);
+    Mix(bits);
+  }
+  [[nodiscard]] constexpr uint64_t Value() const noexcept { return h_; }
+
+ private:
+  uint64_t h_ = kFnvOffset;
+};
+
+}  // namespace rfdet

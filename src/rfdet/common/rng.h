@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of "randomness" in the workloads and tests must be a pure
+// function of its seed: determinism experiments rerun workloads and require
+// bit-identical input streams. SplitMix64 is used for seeding and
+// xoshiro256** for bulk generation; both are tiny, fast, and reproducible
+// across platforms (no libc rand, no std::random_device).
+#pragma once
+
+#include <cstdint>
+
+namespace rfdet {
+
+// SplitMix64: good avalanche, used to expand a single seed into streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr uint64_t Next() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: the workload generator's workhorse.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.Next();
+  }
+
+  constexpr uint64_t Next() noexcept {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses the widening-multiply trick; bias is
+  // negligible for the bounds used here and, crucially, deterministic.
+  constexpr uint64_t Below(uint64_t bound) noexcept {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double NextDouble() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace rfdet

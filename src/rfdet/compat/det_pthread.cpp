@@ -1,0 +1,159 @@
+#include "rfdet/compat/det_pthread.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "rfdet/common/check.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet::compat {
+
+namespace {
+
+RfdetRuntime* g_runtime = nullptr;
+
+// Thread return values, keyed by deterministic tid. Guarded by a host
+// mutex: contents are a deterministic function of execution; the lock only
+// orders physically concurrent map operations.
+std::mutex g_retval_mu;
+std::unordered_map<size_t, void*> g_retvals;
+
+RfdetRuntime& Rt() {
+  RFDET_CHECK_MSG(g_runtime != nullptr,
+                  "no DetProcess is live; construct one on the main thread");
+  return *g_runtime;
+}
+
+}  // namespace
+
+DetProcess::DetProcess(const RfdetOptions& options)
+    : runtime_(new RfdetRuntime(options)) {
+  RFDET_CHECK_MSG(g_runtime == nullptr, "a DetProcess is already live");
+  g_runtime = runtime_;
+}
+
+DetProcess::~DetProcess() {
+  g_runtime = nullptr;
+  delete runtime_;
+  std::scoped_lock lock(g_retval_mu);
+  g_retvals.clear();
+}
+
+RfdetRuntime& DetProcess::Runtime() { return Rt(); }
+
+}  // namespace rfdet::compat
+
+using rfdet::compat::DetProcess;
+
+int det_pthread_create(det_pthread_t* thread, const void* attr,
+                       void* (*start_routine)(void*), void* arg) {
+  RFDET_CHECK_MSG(attr == nullptr, "thread attributes are not supported");
+  auto& rt = DetProcess::Runtime();
+  const size_t tid = rt.Spawn([start_routine, arg, &rt] {
+    void* ret = start_routine(arg);
+    std::scoped_lock lock(rfdet::compat::g_retval_mu);
+    rfdet::compat::g_retvals[rt.CurrentTid()] = ret;
+  });
+  *thread = tid;
+  return 0;
+}
+
+int det_pthread_join(det_pthread_t thread, void** retval) {
+  DetProcess::Runtime().Join(thread);
+  if (retval != nullptr) {
+    std::scoped_lock lock(rfdet::compat::g_retval_mu);
+    const auto it = rfdet::compat::g_retvals.find(thread);
+    *retval = it == rfdet::compat::g_retvals.end() ? nullptr : it->second;
+  }
+  return 0;
+}
+
+det_pthread_t det_pthread_self() {
+  return DetProcess::Runtime().CurrentTid();
+}
+
+int det_pthread_mutex_init(det_pthread_mutex_t* mutex, const void* attr) {
+  RFDET_CHECK_MSG(attr == nullptr, "mutex attributes are not supported");
+  mutex->id = DetProcess::Runtime().CreateMutex();
+  mutex->initialized = true;
+  return 0;
+}
+
+int det_pthread_mutex_lock(det_pthread_mutex_t* mutex) {
+  RFDET_CHECK_MSG(mutex->initialized, "lock of uninitialized mutex");
+  DetProcess::Runtime().MutexLock(mutex->id);
+  return 0;
+}
+
+int det_pthread_mutex_unlock(det_pthread_mutex_t* mutex) {
+  RFDET_CHECK_MSG(mutex->initialized, "unlock of uninitialized mutex");
+  DetProcess::Runtime().MutexUnlock(mutex->id);
+  return 0;
+}
+
+int det_pthread_mutex_destroy(det_pthread_mutex_t* mutex) {
+  mutex->initialized = false;
+  return 0;
+}
+
+int det_pthread_cond_init(det_pthread_cond_t* cond, const void* attr) {
+  RFDET_CHECK_MSG(attr == nullptr, "cond attributes are not supported");
+  cond->id = DetProcess::Runtime().CreateCond();
+  cond->initialized = true;
+  return 0;
+}
+
+int det_pthread_cond_wait(det_pthread_cond_t* cond,
+                          det_pthread_mutex_t* mutex) {
+  RFDET_CHECK(cond->initialized && mutex->initialized);
+  DetProcess::Runtime().CondWait(cond->id, mutex->id);
+  return 0;
+}
+
+int det_pthread_cond_signal(det_pthread_cond_t* cond) {
+  RFDET_CHECK(cond->initialized);
+  DetProcess::Runtime().CondSignal(cond->id);
+  return 0;
+}
+
+int det_pthread_cond_broadcast(det_pthread_cond_t* cond) {
+  RFDET_CHECK(cond->initialized);
+  DetProcess::Runtime().CondBroadcast(cond->id);
+  return 0;
+}
+
+int det_pthread_cond_destroy(det_pthread_cond_t* cond) {
+  cond->initialized = false;
+  return 0;
+}
+
+int det_pthread_barrier_init(det_pthread_barrier_t* barrier,
+                             const void* attr, unsigned count) {
+  RFDET_CHECK_MSG(attr == nullptr, "barrier attributes are not supported");
+  barrier->id = DetProcess::Runtime().CreateBarrier(count);
+  barrier->initialized = true;
+  return 0;
+}
+
+int det_pthread_barrier_wait(det_pthread_barrier_t* barrier) {
+  RFDET_CHECK(barrier->initialized);
+  DetProcess::Runtime().BarrierWait(barrier->id);
+  return 0;
+}
+
+int det_pthread_barrier_destroy(det_pthread_barrier_t* barrier) {
+  barrier->initialized = false;
+  return 0;
+}
+
+uint64_t det_malloc(size_t size) { return DetProcess::Runtime().Malloc(size); }
+
+void det_free(uint64_t addr) { DetProcess::Runtime().Free(addr); }
+
+void det_store(uint64_t addr, const void* src, size_t len) {
+  DetProcess::Runtime().Store(addr, src, len);
+}
+
+void det_load(uint64_t addr, void* dst, size_t len) {
+  DetProcess::Runtime().Load(addr, dst, len);
+}

@@ -1,0 +1,98 @@
+// det_pthread — a drop-in, pthreads-shaped C-style API over RfdetRuntime.
+//
+// The paper's RFDet ships as a replacement pthreads library (§4.1): the
+// application keeps calling pthread_mutex_lock & co. and the runtime makes
+// them deterministic. This header is that surface for this repository:
+// the same function names and calling conventions (prefixed det_), backed
+// by a process-wide deterministic runtime. Ordinary shared-memory accesses
+// still go through the runtime's instrumented interface (det_store /
+// det_load below), which is this reproduction's analogue of compile-time
+// store instrumentation.
+//
+// Usage:
+//   rfdet::compat::DetProcess process(options);   // RAII, main thread
+//   det_pthread_t t;
+//   det_pthread_create(&t, nullptr, worker, arg);
+//   det_pthread_join(t, &ret);
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rfdet/runtime/options.h"
+
+namespace rfdet {
+class RfdetRuntime;
+}
+
+namespace rfdet::compat {
+
+// Owns the process-wide deterministic runtime. Exactly one may be live at
+// a time; construct it on the main thread before any det_pthread call.
+class DetProcess {
+ public:
+  explicit DetProcess(const RfdetOptions& options = {});
+  ~DetProcess();
+
+  DetProcess(const DetProcess&) = delete;
+  DetProcess& operator=(const DetProcess&) = delete;
+
+  [[nodiscard]] static RfdetRuntime& Runtime();
+
+ private:
+  RfdetRuntime* runtime_;
+};
+
+}  // namespace rfdet::compat
+
+// ---- C-style surface --------------------------------------------------------
+
+using det_pthread_t = size_t;
+
+struct det_pthread_mutex_t {
+  size_t id;
+  bool initialized;
+};
+struct det_pthread_cond_t {
+  size_t id;
+  bool initialized;
+};
+struct det_pthread_barrier_t {
+  size_t id;
+  bool initialized;
+};
+
+inline constexpr det_pthread_mutex_t DET_PTHREAD_MUTEX_UNINIT{0, false};
+
+// Threads. `attr` is accepted for signature parity and must be null.
+int det_pthread_create(det_pthread_t* thread, const void* attr,
+                       void* (*start_routine)(void*), void* arg);
+int det_pthread_join(det_pthread_t thread, void** retval);
+det_pthread_t det_pthread_self();
+
+// Mutexes.
+int det_pthread_mutex_init(det_pthread_mutex_t* mutex, const void* attr);
+int det_pthread_mutex_lock(det_pthread_mutex_t* mutex);
+int det_pthread_mutex_unlock(det_pthread_mutex_t* mutex);
+int det_pthread_mutex_destroy(det_pthread_mutex_t* mutex);
+
+// Condition variables.
+int det_pthread_cond_init(det_pthread_cond_t* cond, const void* attr);
+int det_pthread_cond_wait(det_pthread_cond_t* cond,
+                          det_pthread_mutex_t* mutex);
+int det_pthread_cond_signal(det_pthread_cond_t* cond);
+int det_pthread_cond_broadcast(det_pthread_cond_t* cond);
+int det_pthread_cond_destroy(det_pthread_cond_t* cond);
+
+// Barriers.
+int det_pthread_barrier_init(det_pthread_barrier_t* barrier,
+                             const void* attr, unsigned count);
+int det_pthread_barrier_wait(det_pthread_barrier_t* barrier);
+int det_pthread_barrier_destroy(det_pthread_barrier_t* barrier);
+
+// Shared-memory accessors (the instrumented-access analogue): GAddr-based
+// malloc/free plus typed load/store.
+uint64_t det_malloc(size_t size);
+void det_free(uint64_t addr);
+void det_store(uint64_t addr, const void* src, size_t len);
+void det_load(uint64_t addr, void* dst, size_t len);

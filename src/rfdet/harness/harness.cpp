@@ -1,0 +1,137 @@
+#include "rfdet/harness/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace harness {
+
+RunOutcome Measure(const apps::Workload& workload, const apps::Params& params,
+                   const dmt::BackendConfig& config) {
+  auto env = dmt::CreateEnv(config);
+  const auto start = std::chrono::steady_clock::now();
+  const apps::Result result = workload.Run(*env, params);
+  const auto stop = std::chrono::steady_clock::now();
+  RunOutcome out;
+  out.signature = result.signature;
+  out.seconds = std::chrono::duration<double>(stop - start).count();
+  out.stats = env->Stats();
+  out.footprint_bytes = env->FootprintBytes();
+  return out;
+}
+
+RunOutcome MeasureBest(const apps::Workload& workload,
+                       const apps::Params& params,
+                       const dmt::BackendConfig& config, int repeat) {
+  RunOutcome best;
+  for (int i = 0; i < std::max(repeat, 1); ++i) {
+    RunOutcome out = Measure(workload, params, config);
+    if (i == 0 || out.seconds < best.seconds) best = out;
+  }
+  return best;
+}
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+int64_t Flags::Int(std::string_view key, int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+std::string Flags::Str(std::string_view key, std::string_view fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+bool Flags::Bool(std::string_view key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second != "0" && it->second != "false";
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%c %-*s", c == 0 ? '|' : '|',
+                  static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("|\n");
+  };
+  print_row(header_);
+  std::printf("|");
+  for (size_t c = 0; c < header_.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+std::string FormatRatio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", r);
+  return buf;
+}
+
+std::string FormatBytesMb(size_t b) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f",
+                static_cast<double>(b) / (1024.0 * 1024.0));
+  return buf;
+}
+
+std::string FormatCount(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  double log_sum = 0.0;
+  size_t n = 0;
+  for (const double x : xs) {
+    if (x > 0) {
+      log_sum += std::log(x);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace harness

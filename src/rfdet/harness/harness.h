@@ -1,0 +1,79 @@
+// Experiment harness: timed workload runs, flag parsing, table printing.
+// Each bench/ binary reproduces one table or figure of the paper using
+// these pieces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rfdet/apps/workload.h"
+#include "rfdet/backends/backends.h"
+
+namespace harness {
+
+struct RunOutcome {
+  uint64_t signature = 0;
+  double seconds = 0.0;
+  rfdet::StatsSnapshot stats;
+  size_t footprint_bytes = 0;
+};
+
+// Runs `workload` once on a fresh Env built from `config`; wall-clock time
+// covers the whole run (setup + compute + teardown of worker threads), as
+// in the paper's end-to-end measurements.
+RunOutcome Measure(const apps::Workload& workload, const apps::Params& params,
+                   const dmt::BackendConfig& config);
+
+// Repeats `Measure` and keeps the best (minimum) time — the conventional
+// way to suppress scheduler noise on shared machines.
+RunOutcome MeasureBest(const apps::Workload& workload,
+                       const apps::Params& params,
+                       const dmt::BackendConfig& config, int repeat);
+
+// ---- command-line flags ----------------------------------------------------
+
+// Parses --key=value / --flag arguments. Unknown positional arguments are
+// collected for the binary to interpret.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] int64_t Int(std::string_view key, int64_t fallback) const;
+  [[nodiscard]] std::string Str(std::string_view key,
+                                std::string_view fallback) const;
+  [[nodiscard]] bool Bool(std::string_view key, bool fallback) const;
+  [[nodiscard]] const std::vector<std::string>& Positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+// ---- table printing ---------------------------------------------------------
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+[[nodiscard]] std::string FormatSeconds(double s);
+[[nodiscard]] std::string FormatRatio(double r);   // e.g. "1.35x"
+[[nodiscard]] std::string FormatBytesMb(size_t b); // e.g. "27.4"
+[[nodiscard]] std::string FormatCount(uint64_t n);
+
+// Geometric mean of ratios (ignores non-positive entries).
+[[nodiscard]] double GeoMean(const std::vector<double>& xs);
+
+}  // namespace harness

@@ -1,0 +1,19 @@
+#include "rfdet/kendo/kendo.h"
+
+#include "rfdet/common/backoff.h"
+
+namespace rfdet {
+
+void KendoEngine::WaitForTurn(size_t tid) const {
+  Backoff backoff;
+  uint64_t spins = 0;
+  while (!HasTurn(tid)) {
+    ++spins;
+    backoff.Pause();
+  }
+  if (spins != 0) {
+    turn_spins_.fetch_add(spins, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rfdet

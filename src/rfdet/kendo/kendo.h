@@ -1,0 +1,132 @@
+// The Kendo deterministic-arbitration engine (Olszewski et al., ASPLOS'09),
+// as used by RFDet (§3, §4.1) to order all synchronization operations
+// deterministically.
+//
+// Each thread owns a *deterministic logical clock* advanced only by its own
+// deterministic execution (in the paper, compile-time instruction
+// instrumentation; here, ticks issued by the instrumented memory-access
+// stream of dmt::Env). A thread may perform a synchronization operation
+// only when its (clock, tid) pair is the unique lexicographic minimum over
+// all *active* threads — so the total order of synchronization operations
+// is a pure function of the deterministic clocks, not of physical timing.
+//
+// Threads that block (condition wait, join, exit) are *paused*: excluded
+// from the arbitration so they cannot stall the turn. They are resumed with
+// a clock chosen deterministically by their (deterministically ordered)
+// waker.
+//
+// Physical-race hygiene: a waiter passes WaitForTurn only after observing
+// clock[t] > clock[me] for every other active t with seq_cst loads; any
+// state another thread wrote *before* raising its clock is therefore
+// visible to the turn-holder (the runtime relies on this to read lock
+// release times and slice logs without additional fences).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+class KendoEngine {
+ public:
+  // Sentinel stored in a paused/exited thread's clock slot. Chosen so that
+  // paused threads compare greater than every real clock and naturally
+  // drop out of the minimum.
+  static constexpr uint64_t kPaused = UINT64_MAX;
+
+  explicit KendoEngine(size_t max_threads = kDefaultMaxThreads)
+      : slots_(max_threads) {}
+
+  KendoEngine(const KendoEngine&) = delete;
+  KendoEngine& operator=(const KendoEngine&) = delete;
+
+  // Registers a new thread with the given initial clock and returns its id.
+  // Thread creation is itself a synchronization operation: the caller must
+  // hold the turn, which guarantees other threads observe the registration
+  // before any of them can pass WaitForTurn again.
+  size_t RegisterThread(uint64_t initial_clock) {
+    const size_t tid = count_.load(std::memory_order_relaxed);
+    RFDET_CHECK_MSG(tid < slots_.size(), "KendoEngine thread capacity");
+    slots_[tid].clock.store(initial_clock, std::memory_order_seq_cst);
+    count_.store(tid + 1, std::memory_order_seq_cst);
+    return tid;
+  }
+
+  [[nodiscard]] size_t ThreadCount() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  // Advances tid's deterministic clock. Only ever called by thread tid.
+  void Tick(size_t tid, uint64_t n = 1) noexcept {
+    auto& c = slots_[tid].clock;
+    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] uint64_t Clock(size_t tid) const noexcept {
+    return slots_[tid].clock.load(std::memory_order_seq_cst);
+  }
+
+  // True iff (clock, tid) is the unique minimum over active threads.
+  [[nodiscard]] bool HasTurn(size_t tid) const noexcept {
+    const uint64_t mine = Clock(tid);
+    RFDET_DCHECK(mine != kPaused);
+    const size_t n = ThreadCount();
+    for (size_t t = 0; t < n; ++t) {
+      if (t == tid) continue;
+      const uint64_t other = slots_[t].clock.load(std::memory_order_seq_cst);
+      if (other < mine || (other == mine && t < tid)) return false;
+    }
+    return true;
+  }
+
+  // Blocks (spin → yield → sleep) until tid holds the turn.
+  void WaitForTurn(size_t tid) const;
+
+  // Excludes tid from arbitration (blocked in cond-wait/join, or exited).
+  // The pre-pause clock is preserved for the resumer.
+  void Pause(size_t tid) noexcept {
+    slots_[tid].saved_clock = Clock(tid);
+    slots_[tid].clock.store(kPaused, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] bool IsPaused(size_t tid) const noexcept {
+    return Clock(tid) == kPaused;
+  }
+
+  [[nodiscard]] uint64_t SavedClock(size_t tid) const noexcept {
+    return slots_[tid].saved_clock;
+  }
+
+  // Reactivates tid with a deterministically chosen clock. Called by the
+  // waker (which holds the turn), not by tid itself.
+  void Resume(size_t tid, uint64_t new_clock) noexcept {
+    RFDET_DCHECK(IsPaused(tid));
+    RFDET_DCHECK(new_clock != kPaused);
+    slots_[tid].clock.store(new_clock, std::memory_order_seq_cst);
+  }
+
+  // Permanently removes tid from arbitration.
+  void Exit(size_t tid) noexcept { Pause(tid); }
+
+  // Total WaitForTurn spin iterations (coarse contention metric).
+  [[nodiscard]] uint64_t TurnSpins() const noexcept {
+    return turn_spins_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kDefaultMaxThreads = 256;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> clock{kPaused};
+    uint64_t saved_clock = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<size_t> count_{0};
+  mutable std::atomic<uint64_t> turn_spins_{0};
+};
+
+}  // namespace rfdet

@@ -1,0 +1,32 @@
+// Global-address naming for the shared memory space.
+//
+// The paper's RFDet gives every thread a private copy of the application's
+// shared memory at identical virtual addresses (clone() without CLONE_VM).
+// This library names shared locations by 64-bit *offsets* into a
+// SharedRegion instead; each thread's private ThreadView materializes pages
+// of that offset space on demand. DLRC needs only a common naming scheme
+// plus per-thread isolation, both of which this provides portably.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rfdet {
+
+// Offset into the shared region. GAddr 0 is valid; kNullGAddr marks "no
+// address" (the region's first 16 bytes are reserved so allocators never
+// hand out 0 anyway).
+using GAddr = uint64_t;
+inline constexpr GAddr kNullGAddr = ~GAddr{0};
+
+inline constexpr size_t kPageShift = 12;
+inline constexpr size_t kPageSize = size_t{1} << kPageShift;  // 4 KiB
+inline constexpr size_t kPageMask = kPageSize - 1;
+
+using PageId = uint64_t;
+
+constexpr PageId PageOf(GAddr a) noexcept { return a >> kPageShift; }
+constexpr size_t PageOffset(GAddr a) noexcept { return a & kPageMask; }
+constexpr GAddr PageBase(PageId p) noexcept { return GAddr{p} << kPageShift; }
+
+}  // namespace rfdet

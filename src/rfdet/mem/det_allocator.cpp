@@ -1,0 +1,111 @@
+#include "rfdet/mem/det_allocator.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+namespace {
+constexpr GAddr AlignUp(GAddr a, size_t align) noexcept {
+  return (a + align - 1) & ~static_cast<GAddr>(align - 1);
+}
+}  // namespace
+
+DetAllocator::DetAllocator(const Config& config)
+    : static_bump_(config.static_base),
+      static_end_(config.static_base + config.static_size),
+      heap_base_(AlignUp(config.static_base + config.static_size, kPageSize)),
+      heap_size_(config.heap_size) {
+  RFDET_CHECK(config.max_threads > 0);
+  const size_t per_thread =
+      (heap_size_ / config.max_threads) & ~(kPageSize - 1);
+  RFDET_CHECK_MSG(per_thread >= kPageSize, "heap too small for max_threads");
+  subheaps_.resize(config.max_threads);
+  for (size_t t = 0; t < config.max_threads; ++t) {
+    subheaps_[t].base = heap_base_ + t * per_thread;
+    subheaps_[t].bump = subheaps_[t].base;
+    subheaps_[t].end = subheaps_[t].base + per_thread;
+  }
+}
+
+size_t DetAllocator::BlockSizeFor(size_t size) noexcept {
+  if (size < kMinAlign) size = kMinAlign;
+  if (size <= kPageSize) return std::bit_ceil(size);
+  return AlignUp(size, kPageSize);
+}
+
+int DetAllocator::ClassFor(size_t block_size) noexcept {
+  // block_size is a power of two in [16, 4096].
+  const int cls = std::countr_zero(block_size) - 4;
+  return cls;
+}
+
+GAddr DetAllocator::AllocStatic(size_t size, size_t align) {
+  if (align < kMinAlign) align = kMinAlign;
+  static_bump_ = AlignUp(static_bump_, align);
+  const GAddr addr = static_bump_;
+  RFDET_CHECK_MSG(addr + size <= static_end_, "static segment exhausted");
+  static_bump_ += size;
+  return addr;
+}
+
+GAddr DetAllocator::Alloc(size_t tid, size_t size) {
+  RFDET_CHECK(tid < subheaps_.size());
+  const size_t block = BlockSizeFor(size);
+  SubHeap& heap = subheaps_[tid];
+
+  GAddr addr = kNullGAddr;
+  if (block <= kPageSize) {
+    auto& list = heap.free_lists[ClassFor(block)];
+    if (!list.empty()) {
+      addr = list.back();
+      list.pop_back();
+    }
+  } else {
+    auto it = heap.large_free.find(block);
+    if (it != heap.large_free.end() && !it->second.empty()) {
+      addr = it->second.back();
+      it->second.pop_back();
+    }
+  }
+  if (addr == kNullGAddr) {
+    const GAddr bumped = AlignUp(heap.bump, block <= kPageSize ? block
+                                                               : kPageSize);
+    RFDET_CHECK_MSG(bumped + block <= heap.end, "subheap exhausted");
+    addr = bumped;
+    heap.bump = bumped + block;
+  }
+
+  {
+    std::scoped_lock lock(size_map_mu_);
+    size_map_.emplace(addr, block);
+    ++allocs_;
+    live_bytes_ += block;
+    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  }
+  return addr;
+}
+
+void DetAllocator::Free(size_t tid, GAddr addr) {
+  RFDET_CHECK(tid < subheaps_.size());
+  size_t block;
+  {
+    std::scoped_lock lock(size_map_mu_);
+    auto it = size_map_.find(addr);
+    RFDET_CHECK_MSG(it != size_map_.end(), "free of unallocated address");
+    block = it->second;
+    size_map_.erase(it);
+    ++frees_;
+    live_bytes_ -= block;
+  }
+  SubHeap& heap = subheaps_[tid];
+  if (block <= kPageSize) {
+    heap.free_lists[ClassFor(block)].push_back(addr);
+  } else {
+    heap.large_free[block].push_back(addr);
+  }
+}
+
+}  // namespace rfdet

@@ -1,0 +1,100 @@
+// Deterministic shared-memory allocator (the paper's Hoard adaptation, §4.4).
+//
+// Threads live in separate memory spaces, so a conventional allocator
+// would hand two threads the same address for different objects. RFDet
+// solves this by making allocation metadata shared and allocation results
+// deterministic. This allocator provides the same two guarantees over the
+// GAddr space:
+//
+//  * no cross-thread conflicts — the heap is partitioned into per-thread
+//    subheaps, so concurrent allocations never overlap;
+//  * determinism — each thread's allocation addresses are a pure function
+//    of its own (deterministic) allocation history: per-thread bump
+//    pointers plus per-thread size-class free lists. A block freed by
+//    thread F becomes reusable by F, regardless of which thread allocated
+//    it — deterministic because F's frees are deterministic.
+//
+// Like the paper, a `static` segment below the heap serves allocations
+// made before the first thread is created (application globals).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rfdet/mem/addr.h"
+
+namespace rfdet {
+
+class DetAllocator {
+ public:
+  struct Config {
+    GAddr static_base = 16;         // 0..16 reserved so no object is at 0
+    size_t static_size = 4u << 20;  // 4 MiB of pre-thread globals
+    size_t heap_size = 56u << 20;
+    size_t max_threads = 64;
+  };
+
+  explicit DetAllocator(const Config& config);
+
+  DetAllocator(const DetAllocator&) = delete;
+  DetAllocator& operator=(const DetAllocator&) = delete;
+
+  // Bump allocation in the static segment (application setup, before any
+  // worker thread runs).
+  GAddr AllocStatic(size_t size, size_t align = kMinAlign);
+
+  // malloc/free replacements; tid identifies the *calling* thread.
+  GAddr Alloc(size_t tid, size_t size);
+  void Free(size_t tid, GAddr addr);
+
+  [[nodiscard]] GAddr HeapBase() const noexcept { return heap_base_; }
+  [[nodiscard]] GAddr RegionEnd() const noexcept {
+    return heap_base_ + heap_size_;
+  }
+  [[nodiscard]] uint64_t AllocCount() const noexcept { return allocs_; }
+  [[nodiscard]] uint64_t FreeCount() const noexcept { return frees_; }
+  [[nodiscard]] size_t LiveBytes() const noexcept { return live_bytes_; }
+  [[nodiscard]] size_t PeakBytes() const noexcept { return peak_bytes_; }
+  [[nodiscard]] size_t StaticBytes() const noexcept {
+    return static_bump_ - 16;
+  }
+
+  // Exposed for tests: the rounded block size a request maps to.
+  static size_t BlockSizeFor(size_t size) noexcept;
+
+ private:
+  static constexpr size_t kMinAlign = 16;
+  static constexpr size_t kNumClasses = 9;  // 16..4096, ×2 each
+
+  static int ClassFor(size_t block_size) noexcept;
+
+  struct SubHeap {
+    GAddr base = 0;
+    GAddr bump = 0;
+    GAddr end = 0;
+    std::vector<GAddr> free_lists[kNumClasses];
+    // Large blocks (> 4096) keyed by exact rounded size.
+    std::unordered_map<size_t, std::vector<GAddr>> large_free;
+  };
+
+  GAddr static_bump_;
+  GAddr static_end_;
+  GAddr heap_base_;
+  size_t heap_size_;
+  std::vector<SubHeap> subheaps_;
+
+  // addr → rounded block size, shared bookkeeping for unsized free.
+  // Contents are a deterministic function of the allocation history; the
+  // mutex only orders physically concurrent map operations.
+  std::mutex size_map_mu_;
+  std::unordered_map<GAddr, size_t> size_map_;
+
+  uint64_t allocs_ = 0;  // updated under size_map_mu_
+  uint64_t frees_ = 0;
+  size_t live_bytes_ = 0;
+  size_t peak_bytes_ = 0;
+};
+
+}  // namespace rfdet

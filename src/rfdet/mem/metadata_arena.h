@@ -1,0 +1,71 @@
+// Accounting for the shared *metadata space* (paper Fig. 3, §5.4).
+//
+// In RFDet the metadata space is a shared mapping holding internal
+// synchronization variables, slices and snapshots; its usage crossing a
+// threshold (90% of 256 MB in the paper's experiments) triggers slice
+// garbage collection. Here the host address space is already shared, so
+// the arena is an *accounting* object: subsystems charge and release bytes
+// and the runtime polls NeedsGc() — reproducing the paper's GC-count
+// behaviour (Table 1, last column) with the same capacity/threshold knobs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace rfdet {
+
+class MetadataArena {
+ public:
+  static constexpr size_t kDefaultCapacity = 256ull << 20;  // 256 MB
+  static constexpr double kDefaultGcThreshold = 0.90;
+
+  explicit MetadataArena(size_t capacity = kDefaultCapacity,
+                         double gc_threshold = kDefaultGcThreshold) noexcept
+      : capacity_(capacity),
+        gc_trip_bytes_(static_cast<size_t>(
+            static_cast<double>(capacity) * gc_threshold)) {}
+
+  void Charge(size_t bytes) noexcept {
+    const size_t now =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Track the high-water mark (best effort under concurrency).
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(size_t bytes) noexcept {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] size_t Used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t Peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t Capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] bool NeedsGc() const noexcept {
+    return Used() >= gc_trip_bytes_;
+  }
+
+  void RecordGc() noexcept {
+    gc_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t GcCount() const noexcept {
+    return gc_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t capacity_;
+  size_t gc_trip_bytes_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<uint64_t> gc_count_{0};
+};
+
+}  // namespace rfdet

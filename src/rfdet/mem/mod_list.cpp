@@ -1,0 +1,60 @@
+#include "rfdet/mem/mod_list.h"
+
+#include <cstring>
+
+namespace rfdet {
+
+void ModList::Append(GAddr addr, std::span<const std::byte> bytes) {
+  if (bytes.empty()) return;
+  runs_.push_back(ModRun{addr, static_cast<uint32_t>(bytes.size()),
+                         static_cast<uint32_t>(data_.size())});
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+bool ModList::AppendCoalescing(GAddr addr, std::span<const std::byte> bytes) {
+  if (bytes.empty()) return false;
+  // Scan backwards for a run covering exactly this range. In-place
+  // replacement is only sound while no later run overlaps the range (a
+  // later overlapping run must keep winning on the overlap), so the scan
+  // stops at the first intersection. The scan depth is capped: falling
+  // back to Append is always sound, and the cap keeps dense pending lists
+  // from turning each park into a full-list walk.
+  constexpr size_t kMaxScan = 16;
+  size_t scanned = 0;
+  const GAddr end = addr + bytes.size();
+  for (auto it = runs_.rbegin(); it != runs_.rend() && scanned++ < kMaxScan;
+       ++it) {
+    if (it->addr == addr && it->len == bytes.size()) {
+      std::memcpy(data_.data() + it->data_offset, bytes.data(),
+                  bytes.size());
+      return true;
+    }
+    if (it->addr < end && addr < it->addr + it->len) break;  // overlap
+  }
+  Append(addr, bytes);
+  return false;
+}
+
+void ModList::AppendPageDiff(GAddr page_base, const std::byte* snapshot,
+                             const std::byte* current) {
+  size_t i = 0;
+  while (i < kPageSize) {
+    // Skip identical stretches a word at a time.
+    while (i + sizeof(uint64_t) <= kPageSize) {
+      uint64_t a;
+      uint64_t b;
+      std::memcpy(&a, snapshot + i, sizeof a);
+      std::memcpy(&b, current + i, sizeof b);
+      if (a != b) break;
+      i += sizeof(uint64_t);
+    }
+    while (i < kPageSize && snapshot[i] == current[i]) ++i;
+    if (i >= kPageSize) break;
+    // Found a differing byte; extend to the maximal modified run.
+    const size_t start = i;
+    while (i < kPageSize && snapshot[i] != current[i]) ++i;
+    Append(page_base + start, {current + start, i - start});
+  }
+}
+
+}  // namespace rfdet

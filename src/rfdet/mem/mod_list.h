@@ -1,0 +1,75 @@
+// Byte-granularity modification lists and page diffing.
+//
+// A slice's `modifications` (paper §4.2) is an ordered list of byte writes.
+// The paper stores <addr, data> pairs with one-byte data; this
+// implementation run-length-encodes maximal runs of *consecutive modified
+// bytes* — semantically identical (runs never cover an unmodified byte, so
+// applying a list writes exactly the bytes the slice changed, preserving
+// the §4.6 redundant-write / conflict-merge policy bit for bit).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rfdet/mem/addr.h"
+
+namespace rfdet {
+
+// One maximal run of modified bytes: region bytes [addr, addr+len) with the
+// payload stored at [data_offset, data_offset+len) in the owning list.
+struct ModRun {
+  GAddr addr;
+  uint32_t len;
+  uint32_t data_offset;
+};
+
+class ModList {
+ public:
+  ModList() = default;
+
+  [[nodiscard]] bool Empty() const noexcept { return runs_.empty(); }
+  [[nodiscard]] size_t RunCount() const noexcept { return runs_.size(); }
+  [[nodiscard]] size_t ByteCount() const noexcept { return data_.size(); }
+
+  [[nodiscard]] std::span<const ModRun> Runs() const noexcept {
+    return runs_;
+  }
+  [[nodiscard]] std::span<const std::byte> RunData(
+      const ModRun& run) const noexcept {
+    return {data_.data() + run.data_offset, run.len};
+  }
+
+  // Appends a run covering [addr, addr+bytes.size()).
+  void Append(GAddr addr, std::span<const std::byte> bytes);
+
+  // Like Append, but if an existing run covers exactly the same byte
+  // range, overwrites its payload in place instead of growing the list.
+  // This is the paper's lazy-writes coalescing (§4.5): when a location
+  // receives one update per critical section, only the most recent value
+  // is kept, so a later flush performs one write instead of many.
+  // Returns true if an existing run was replaced.
+  bool AppendCoalescing(GAddr addr, std::span<const std::byte> bytes);
+
+  // Appends every byte of [page_base, page_base+kPageSize) where `current`
+  // differs from `snapshot`, as maximal runs. This is the page-diffing
+  // step run at slice close (paper §4.2). Word-at-a-time scan.
+  void AppendPageDiff(GAddr page_base, const std::byte* snapshot,
+                      const std::byte* current);
+
+  // Retained memory, for metadata-space accounting.
+  [[nodiscard]] size_t MemoryBytes() const noexcept {
+    return runs_.capacity() * sizeof(ModRun) + data_.capacity();
+  }
+
+  void Clear() noexcept {
+    runs_.clear();
+    data_.clear();
+  }
+
+ private:
+  std::vector<ModRun> runs_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace rfdet

@@ -1,0 +1,38 @@
+#include "rfdet/mem/snapshot_pool.h"
+
+#include <sys/mman.h>
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+SnapshotPool::SnapshotPool() { chunks_.reserve(kMaxChunks); }
+
+SnapshotPool::~SnapshotPool() {
+  for (std::byte* chunk : chunks_) {
+    ::munmap(chunk, kChunkBytes);
+  }
+}
+
+std::byte* SnapshotPool::AllocPage() noexcept {
+  const size_t chunk_idx = next_ / kChunkBytes;
+  const size_t chunk_off = next_ % kChunkBytes;
+  if (chunk_idx == chunks_.size()) {
+    if (Grow() == nullptr) return nullptr;
+  }
+  next_ += kPageSize;
+  return chunks_[chunk_idx] + chunk_off;
+}
+
+std::byte* SnapshotPool::Grow() noexcept {
+  // push_back below never reallocates (capacity pre-reserved), keeping this
+  // safe to run from the page-fault handler.
+  RFDET_CHECK_MSG(chunks_.size() < kMaxChunks, "snapshot pool exhausted");
+  void* mem = ::mmap(nullptr, kChunkBytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  RFDET_CHECK_MSG(mem != MAP_FAILED, "snapshot pool mmap failed");
+  chunks_.push_back(static_cast<std::byte*>(mem));
+  return chunks_.back();
+}
+
+}  // namespace rfdet

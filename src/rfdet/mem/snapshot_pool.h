@@ -1,0 +1,53 @@
+// Per-thread pool of page snapshots.
+//
+// The first store to a page within a slice copies the page (paper Fig. 4);
+// at slice close the snapshots are diffed against the live pages and then
+// "released immediately" (paper §5.4). Snapshots therefore have strict
+// slice lifetime, which this pool exploits: bump allocation out of
+// mmap-backed chunks, wholesale Reset() at slice close.
+//
+// The pool is also used from the RFDet-pf SIGSEGV handler, so AllocPage()
+// is async-signal-safe on its hot path (no malloc): chunk memory comes
+// from mmap and the chunk directory is pre-reserved.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rfdet/mem/addr.h"
+
+namespace rfdet {
+
+class SnapshotPool {
+ public:
+  SnapshotPool();
+  ~SnapshotPool();
+
+  SnapshotPool(const SnapshotPool&) = delete;
+  SnapshotPool& operator=(const SnapshotPool&) = delete;
+
+  // Returns a kPageSize buffer valid until Reset(). Async-signal-safe
+  // unless the chunk directory's pre-reserved capacity is exhausted
+  // (kMaxChunks chunks = 1 GiB of snapshots; far beyond any slice).
+  std::byte* AllocPage() noexcept;
+
+  // Releases every snapshot (chunks are retained for reuse).
+  void Reset() noexcept { next_ = 0; }
+
+  [[nodiscard]] size_t BytesInUse() const noexcept { return next_; }
+  [[nodiscard]] size_t BytesReserved() const noexcept {
+    return chunks_.size() * kChunkBytes;
+  }
+
+ private:
+  static constexpr size_t kPagesPerChunk = 1024;  // 4 MiB chunks
+  static constexpr size_t kChunkBytes = kPagesPerChunk * kPageSize;
+  static constexpr size_t kMaxChunks = 256;
+
+  std::byte* Grow() noexcept;
+
+  std::vector<std::byte*> chunks_;
+  size_t next_ = 0;  // bump offset across the logical concatenation
+};
+
+}  // namespace rfdet

@@ -1,0 +1,464 @@
+#include "rfdet/mem/thread_view.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <ucontext.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+namespace {
+
+// All-zero page backing reads of never-written ci pages.
+alignas(kPageSize) const std::byte kZeroPage[kPageSize] = {};
+
+// The view whose pages are currently fault-monitored on this thread.
+thread_local ThreadView* g_active_view = nullptr;
+
+std::atomic<bool> g_handler_installed{false};
+struct sigaction g_prev_sigsegv;
+
+bool FaultIsWrite(void* ucontext) noexcept {
+#if defined(__x86_64__)
+  const auto* uc = static_cast<const ucontext_t*>(ucontext);
+  return (uc->uc_mcontext.gregs[REG_ERR] & 0x2) != 0;
+#else
+  (void)ucontext;
+  return true;  // conservative: treat as write (costs a spurious snapshot)
+#endif
+}
+
+void SegvHandler(int sig, siginfo_t* info, void* ucontext) {
+  ThreadView* view = g_active_view;
+  if (view != nullptr &&
+      view->HandleFault(info->si_addr, FaultIsWrite(ucontext))) {
+    return;
+  }
+  // Not ours: fall back to the previous disposition so genuine crashes
+  // still produce a core / default report.
+  if (g_prev_sigsegv.sa_flags & SA_SIGINFO) {
+    if (g_prev_sigsegv.sa_sigaction != nullptr) {
+      g_prev_sigsegv.sa_sigaction(sig, info, ucontext);
+      return;
+    }
+  } else if (g_prev_sigsegv.sa_handler != SIG_DFL &&
+             g_prev_sigsegv.sa_handler != SIG_IGN &&
+             g_prev_sigsegv.sa_handler != nullptr) {
+    g_prev_sigsegv.sa_handler(sig);
+    return;
+  }
+  ::signal(SIGSEGV, SIG_DFL);
+  ::raise(SIGSEGV);
+}
+
+}  // namespace
+
+ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
+                       MetadataArena* arena)
+    : mode_(mode), capacity_(capacity_bytes), arena_(arena) {
+  RFDET_CHECK_MSG(capacity_ % kPageSize == 0,
+                  "region capacity must be page aligned");
+  num_pages_ = capacity_ / kPageSize;
+  modified_.reserve(num_pages_);
+  pending_pages_.reserve(256);
+  pending_free_.reserve(256);
+  if (mode_ == MonitorMode::kInstrumented) {
+    table_.resize(num_pages_);
+  } else {
+    void* mem = ::mmap(nullptr, capacity_, PROT_READ,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    RFDET_CHECK_MSG(mem != MAP_FAILED, "view mmap failed");
+    flat_ = static_cast<std::byte*>(mem);
+    prot_.assign(num_pages_, kProtRO);
+    touched_.assign(num_pages_, 0);
+    pf_snap_.assign(num_pages_, nullptr);
+    pf_pending_.assign(num_pages_, kNoPending);
+    InstallFaultHandler();
+  }
+}
+
+ThreadView::~ThreadView() {
+  if (flat_ != nullptr) ::munmap(flat_, capacity_);
+}
+
+// ---------------------------------------------------------------------------
+// pf-mode plumbing
+// ---------------------------------------------------------------------------
+
+void ThreadView::InstallFaultHandler() {
+  bool expected = false;
+  if (!g_handler_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa = {};
+  sa.sa_sigaction = SegvHandler;
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  RFDET_CHECK(::sigaction(SIGSEGV, &sa, &g_prev_sigsegv) == 0);
+}
+
+void ThreadView::ActivateOnThisThread() noexcept { g_active_view = this; }
+
+void ThreadView::DeactivateOnThisThread() noexcept { g_active_view = nullptr; }
+
+void ThreadView::SetProt(PageId pid, Prot p) noexcept {
+  static constexpr int kNative[] = {PROT_READ, PROT_READ | PROT_WRITE,
+                                    PROT_NONE};
+  if (prot_[pid] == p) return;
+  ::mprotect(flat_ + PageBase(pid), kPageSize, kNative[p]);
+  ++stats_.mprotect_calls;
+  prot_[pid] = static_cast<uint8_t>(p);
+}
+
+void ThreadView::SnapshotPf(PageId pid) noexcept {
+  std::byte* snap = snapshots_.AllocPage();
+  std::memcpy(snap, flat_ + PageBase(pid), kPageSize);
+  pf_snap_[pid] = snap;
+  modified_.push_back(pid);
+  touched_[pid] = 1;
+  ++stats_.stores_with_copy;
+  if (arena_ != nullptr) arena_->Charge(kPageSize);
+}
+
+bool ThreadView::HandleFault(void* addr, bool is_write) noexcept {
+  if (mode_ != MonitorMode::kPageFault) return false;
+  const auto off = static_cast<size_t>(static_cast<std::byte*>(addr) - flat_);
+  if (flat_ == nullptr || off >= capacity_) return false;
+  const PageId pid = PageOf(off);
+  ++stats_.page_faults;
+  switch (prot_[pid]) {
+    case kProtNone:
+      ApplyPendingToPage(pid);  // leaves the page RO
+      if (is_write) {
+        SnapshotPf(pid);
+        SetProt(pid, kProtRW);
+      }
+      return true;
+    case kProtRO:
+      if (!is_write) return false;  // RO pages are readable: not our fault
+      SnapshotPf(pid);
+      SetProt(pid, kProtRW);
+      return true;
+    case kProtRW:
+    default:
+      return false;  // an RW page cannot fault: genuine error
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slice lifecycle
+// ---------------------------------------------------------------------------
+
+void ThreadView::CollectModifications(ModList& out) {
+  for (const PageId pid : modified_) {
+    const std::byte* snap;
+    const std::byte* cur;
+    if (mode_ == MonitorMode::kInstrumented) {
+      snap = table_[pid].snapshot;
+      cur = table_[pid].page->bytes;
+    } else {
+      snap = pf_snap_[pid];
+      cur = flat_ + PageBase(pid);
+      pf_snap_[pid] = nullptr;
+    }
+    out.AppendPageDiff(PageBase(pid), snap, cur);
+    ++stats_.pages_diffed;
+    if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtRO);
+  }
+  modified_.clear();
+  if (arena_ != nullptr) arena_->Release(snapshots_.BytesInUse());
+  snapshots_.Reset();
+  ++slice_seq_;  // invalidates every ci snapshot_seq at once
+}
+
+// ---------------------------------------------------------------------------
+// ci-mode page management
+// ---------------------------------------------------------------------------
+
+void ThreadView::MaterializeCi(PageId pid) {
+  table_[pid].page = std::make_shared<Page>();
+  std::memset(table_[pid].page->bytes, 0, kPageSize);
+  ++resident_;
+}
+
+void ThreadView::UnshareCi(PageId pid) {
+  PageEntry& e = table_[pid];
+  auto copy = std::make_shared<Page>();
+  std::memcpy(copy->bytes, e.page->bytes, kPageSize);
+  e.page = std::move(copy);
+}
+
+void ThreadView::SnapshotCi(PageId pid) {
+  PageEntry& e = table_[pid];
+  std::byte* snap = snapshots_.AllocPage();
+  std::memcpy(snap, e.page->bytes, kPageSize);
+  e.snapshot = snap;
+  e.snapshot_seq = slice_seq_;
+  modified_.push_back(pid);
+  ++stats_.stores_with_copy;
+  if (arena_ != nullptr) arena_->Charge(kPageSize);
+}
+
+std::byte* ThreadView::EnsureWritableCi(PageId pid) {
+  PageEntry& e = table_[pid];
+  if (e.pending != kNoPending) ApplyPendingToPage(pid);
+  if (!e.page) {
+    MaterializeCi(pid);
+  } else if (e.page.use_count() > 1) {
+    UnshareCi(pid);
+  }
+  if (e.snapshot_seq != slice_seq_) SnapshotCi(pid);
+  return e.page->bytes;
+}
+
+const std::byte* ThreadView::ReadablePageCi(PageId pid) {
+  PageEntry& e = table_[pid];
+  if (e.pending != kNoPending) ApplyPendingToPage(pid);
+  return e.page ? e.page->bytes : kZeroPage;
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented access
+// ---------------------------------------------------------------------------
+
+void ThreadView::Store(GAddr addr, const void* src, size_t len) {
+  RFDET_DCHECK(addr + len <= capacity_);
+  const auto* s = static_cast<const std::byte*>(src);
+  if (mode_ == MonitorMode::kPageFault) {
+    // Raw write: the fault handler performs the Figure-4 bookkeeping.
+    std::memcpy(flat_ + addr, s, len);
+    return;
+  }
+  while (len > 0) {
+    const PageId pid = PageOf(addr);
+    const size_t off = PageOffset(addr);
+    const size_t n = std::min(len, kPageSize - off);
+    std::memcpy(EnsureWritableCi(pid) + off, s, n);
+    addr += n;
+    s += n;
+    len -= n;
+  }
+}
+
+void ThreadView::Load(GAddr addr, void* dst, size_t len) {
+  RFDET_DCHECK(addr + len <= capacity_);
+  auto* d = static_cast<std::byte*>(dst);
+  if (mode_ == MonitorMode::kPageFault) {
+    std::memcpy(d, flat_ + addr, len);
+    return;
+  }
+  while (len > 0) {
+    const PageId pid = PageOf(addr);
+    const size_t off = PageOffset(addr);
+    const size_t n = std::min(len, kPageSize - off);
+    std::memcpy(d, ReadablePageCi(pid) + off, n);
+    addr += n;
+    d += n;
+    len -= n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pending (lazy-write) machinery
+// ---------------------------------------------------------------------------
+
+void ThreadView::ParkPending(PageId pid, GAddr addr,
+                             std::span<const std::byte> bytes) {
+  uint32_t& idx = (mode_ == MonitorMode::kInstrumented)
+                      ? table_[pid].pending
+                      : pf_pending_[pid];
+  if (idx == kNoPending) {
+    if (!pending_free_.empty()) {
+      idx = pending_free_.back();
+      pending_free_.pop_back();
+    } else {
+      idx = static_cast<uint32_t>(pending_pool_.size());
+      pending_pool_.emplace_back();
+    }
+    pending_pages_.push_back(pid);
+    if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtNone);
+  }
+  if (pending_pool_[idx].mods.AppendCoalescing(addr, bytes)) {
+    ++stats_.lazy_runs_coalesced;
+  }
+  ++stats_.lazy_runs_parked;
+}
+
+void ThreadView::ApplyPendingToPage(PageId pid) {
+  uint32_t& idx = (mode_ == MonitorMode::kInstrumented)
+                      ? table_[pid].pending
+                      : pf_pending_[pid];
+  if (idx == kNoPending) return;
+  const uint32_t taken = idx;
+  idx = kNoPending;  // clear first: RawWrite below re-enters page helpers
+  // pf: open the page while applying, and leave it clean (RO) afterwards —
+  // it must never remain PROT_NONE once its pending list is gone, or later
+  // cross-thread reads (barrier view copies) would fault unhandled.
+  if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtRW);
+  ModList& mods = pending_pool_[taken].mods;
+  for (const ModRun& run : mods.Runs()) {
+    RawWrite(run.addr, mods.RunData(run));
+  }
+  if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtRO);
+  stats_.lazy_runs_applied += mods.RunCount();
+  ++stats_.lazy_pages_applied;
+  mods.Clear();
+  pending_free_.push_back(taken);
+  // Swap-remove from the pending-page directory.
+  auto it = std::find(pending_pages_.begin(), pending_pages_.end(), pid);
+  RFDET_DCHECK(it != pending_pages_.end());
+  *it = pending_pages_.back();
+  pending_pages_.pop_back();
+}
+
+void ThreadView::RawWrite(GAddr addr, std::span<const std::byte> bytes) {
+  // Writes that must NOT appear in the local slice's diff: remote
+  // modifications being applied. They land before any snapshot of the
+  // receiving slice exists for the page, or after ensuring the snapshot
+  // already contains them (pending applied pre-snapshot), so diffs never
+  // re-attribute them.
+  size_t i = 0;
+  while (i < bytes.size()) {
+    const GAddr a = addr + i;
+    const PageId pid = PageOf(a);
+    const size_t off = PageOffset(a);
+    const size_t n = std::min(bytes.size() - i, kPageSize - off);
+    if (mode_ == MonitorMode::kInstrumented) {
+      PageEntry& e = table_[pid];
+      RFDET_DCHECK(e.pending == kNoPending);
+      if (!e.page) {
+        MaterializeCi(pid);
+      } else if (e.page.use_count() > 1) {
+        UnshareCi(pid);
+      }
+      std::memcpy(e.page->bytes + off, bytes.data() + i, n);
+    } else {
+      const auto prev = static_cast<Prot>(prot_[pid]);
+      // A page being raw-written inside the fault handler is already RW;
+      // from propagation it is RO. Never kProtNone (pending cleared first).
+      if (prev != kProtRW) SetProt(pid, kProtRW);
+      std::memcpy(flat_ + a, bytes.data() + i, n);
+      touched_[pid] = 1;
+      if (prev != kProtRW) SetProt(pid, prev);
+    }
+    i += n;
+  }
+}
+
+void ThreadView::ApplyRemote(const ModList& mods, bool lazy) {
+  for (const ModRun& run : mods.Runs()) {
+    const auto bytes = mods.RunData(run);
+    if (!lazy) {
+      // Preserve ordering: older parked runs must land before this one.
+      size_t i = 0;
+      while (i < bytes.size()) {
+        const GAddr a = run.addr + i;
+        const PageId pid = PageOf(a);
+        const size_t n =
+            std::min(bytes.size() - i, kPageSize - PageOffset(a));
+        ApplyPendingToPage(pid);
+        RawWrite(a, bytes.subspan(i, n));
+        i += n;
+      }
+    } else {
+      size_t i = 0;
+      while (i < bytes.size()) {
+        const GAddr a = run.addr + i;
+        const PageId pid = PageOf(a);
+        const size_t n =
+            std::min(bytes.size() - i, kPageSize - PageOffset(a));
+        ParkPending(pid, a, bytes.subspan(i, n));
+        i += n;
+      }
+    }
+  }
+}
+
+void ThreadView::FlushPending() {
+  while (!pending_pages_.empty()) {
+    ApplyPendingToPage(pending_pages_.back());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// View duplication
+// ---------------------------------------------------------------------------
+
+void ThreadView::CopyFrom(ThreadView& other) {
+  RFDET_CHECK(capacity_ == other.capacity_);
+  RFDET_CHECK_MSG(modified_.empty() && other.modified_.empty(),
+                  "CopyFrom requires both views to be between slices");
+  other.FlushPending();
+  FlushPending();
+  if (mode_ != other.mode_) {
+    // Cross-mode copy (e.g. a pf thread view refreshing from a lockstep
+    // runtime's ci global image): enumerate the source's materialized
+    // pages and write them through this view's raw path.
+    if (mode_ == MonitorMode::kInstrumented) {
+      for (PageId pid = 0; pid < num_pages_; ++pid) table_[pid] = {};
+      resident_ = 0;
+    } else {
+      ::mprotect(flat_, capacity_, PROT_READ | PROT_WRITE);
+      ::madvise(flat_, capacity_, MADV_DONTNEED);
+      stats_.mprotect_calls += 2;
+      std::fill(touched_.begin(), touched_.end(), 0);
+      resident_ = 0;
+    }
+    for (PageId pid = 0; pid < num_pages_; ++pid) {
+      const std::byte* src = nullptr;
+      if (other.mode_ == MonitorMode::kInstrumented) {
+        if (other.table_[pid].page) src = other.table_[pid].page->bytes;
+      } else if (other.touched_[pid]) {
+        src = other.flat_ + PageBase(pid);
+      }
+      if (src == nullptr) continue;
+      if (mode_ == MonitorMode::kInstrumented) {
+        MaterializeCi(pid);
+        std::memcpy(table_[pid].page->bytes, src, kPageSize);
+      } else {
+        std::memcpy(flat_ + PageBase(pid), src, kPageSize);
+        touched_[pid] = 1;
+        ++resident_;
+      }
+    }
+    if (mode_ == MonitorMode::kPageFault) {
+      ::mprotect(flat_, capacity_, PROT_READ);
+      ++stats_.mprotect_calls;
+      std::fill(prot_.begin(), prot_.end(), kProtRO);
+    }
+    return;
+  }
+  if (mode_ == MonitorMode::kInstrumented) {
+    table_ = other.table_;  // COW: pages shared until next store
+    // Snapshot/pending fields copied from `other` are stale here; reset.
+    for (PageEntry& e : table_) {
+      e.snapshot = nullptr;
+      e.snapshot_seq = 0;
+      e.pending = kNoPending;
+    }
+    resident_ = other.resident_;
+  } else {
+    // Reset to zero cheaply, then copy the source's touched pages.
+    ::mprotect(flat_, capacity_, PROT_READ | PROT_WRITE);
+    ::madvise(flat_, capacity_, MADV_DONTNEED);
+    stats_.mprotect_calls += 2;
+    resident_ = 0;
+    for (PageId pid = 0; pid < num_pages_; ++pid) {
+      if (other.touched_[pid]) {
+        std::memcpy(flat_ + PageBase(pid), other.flat_ + PageBase(pid),
+                    kPageSize);
+        touched_[pid] = 1;
+      } else {
+        touched_[pid] = 0;
+      }
+      if (touched_[pid]) ++resident_;
+    }
+    ::mprotect(flat_, capacity_, PROT_READ);
+    std::fill(prot_.begin(), prot_.end(), kProtRO);
+  }
+}
+
+}  // namespace rfdet

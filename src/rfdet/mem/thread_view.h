@@ -1,0 +1,186 @@
+// ThreadView — a thread's private memory space over the shared region.
+//
+// DLRC requires that ordinary stores are invisible to other threads until
+// propagated (paper §3). Each runtime thread owns a ThreadView: a private
+// materialization of the global-address space. Two monitor backends exist,
+// mirroring the paper's two RFDet variants (§4.2, Figure 7):
+//
+//  * kInstrumented ("RFDet-ci"): a copy-on-write page table. Every store
+//    runs the Figure-4 algorithm — on the first store to a shared page
+//    within a slice, snapshot the page and put it on the modified-pages
+//    list. Loads/stores are explicit calls (the library-level analogue of
+//    compile-time store instrumentation).
+//
+//  * kPageFault ("RFDet-pf"): a flat mmap'd image protected read-only at
+//    slice start; the first store to a page raises SIGSEGV, and the fault
+//    handler snapshots the page and opens it for writing — the
+//    DThreads-style mprotect approach the paper measures against.
+//
+// At slice close, CollectModifications() diffs every snapshotted page
+// byte-by-byte against its snapshot and emits the slice's byte-granularity
+// modification list; snapshots are released immediately (paper §5.4).
+//
+// Remote modifications arriving via propagation are applied with
+// ApplyRemote(): either eagerly (raw writes that bypass snapshotting, so
+// they are never re-attributed to the local slice) or lazily (parked in
+// per-page pending lists and applied on first local touch — the paper's
+// *lazy writes* optimization, §4.5, implemented in pf mode with PROT_NONE
+// exactly as described).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rfdet/mem/addr.h"
+#include "rfdet/mem/metadata_arena.h"
+#include "rfdet/mem/mod_list.h"
+#include "rfdet/mem/snapshot_pool.h"
+
+namespace rfdet {
+
+enum class MonitorMode : uint8_t {
+  kInstrumented,  // RFDet-ci
+  kPageFault,     // RFDet-pf
+};
+
+struct ViewStats {
+  uint64_t stores_with_copy = 0;   // page snapshots taken (Table 1 col. 9)
+  uint64_t page_faults = 0;        // pf mode: SIGSEGV taken
+  uint64_t mprotect_calls = 0;     // pf mode
+  uint64_t pages_diffed = 0;       // pages compared at slice close
+  uint64_t lazy_runs_parked = 0;   // lazy writes: runs deferred
+  uint64_t lazy_runs_coalesced = 0;  // superseded before ever being written
+  uint64_t lazy_pages_applied = 0;   // lazy writes: pages flushed on touch
+  uint64_t lazy_runs_applied = 0;
+};
+
+class ThreadView {
+ public:
+  ThreadView(size_t capacity_bytes, MonitorMode mode, MetadataArena* arena);
+  ~ThreadView();
+
+  ThreadView(const ThreadView&) = delete;
+  ThreadView& operator=(const ThreadView&) = delete;
+
+  [[nodiscard]] MonitorMode mode() const noexcept { return mode_; }
+  [[nodiscard]] size_t CapacityBytes() const noexcept { return capacity_; }
+
+  // ---- Slice lifecycle -------------------------------------------------
+
+  // Ends the current slice: diffs every snapshotted page against its
+  // snapshot, appends the runs to `out`, releases the snapshots, and
+  // re-arms monitoring for the next slice.
+  void CollectModifications(ModList& out);
+
+  // ---- Instrumented access (all sizes and page-spanning allowed) --------
+
+  void Store(GAddr addr, const void* src, size_t len);
+  void Load(GAddr addr, void* dst, size_t len);
+
+  // ---- Propagation -------------------------------------------------------
+
+  // Applies a remote slice's modifications to this view. Eager mode writes
+  // immediately; lazy mode parks runs per page until first local touch.
+  // Must be called between slices in this view's owning thread's context
+  // (i.e. no snapshots outstanding is NOT required — remote runs bypass
+  // snapshot bookkeeping entirely and so never pollute local diffs).
+  void ApplyRemote(const ModList& mods, bool lazy);
+
+  // Applies every parked pending run now (needed before view duplication).
+  void FlushPending();
+
+  // Replaces this view's contents with `other`'s (thread create inherits
+  // the parent's memory; barriers hand every thread a copy of the merge
+  // thread's memory — paper §4.1). COW page sharing in ci mode.
+  void CopyFrom(ThreadView& other);
+
+  // ---- Introspection -----------------------------------------------------
+
+  [[nodiscard]] size_t ResidentPages() const noexcept { return resident_; }
+  [[nodiscard]] size_t ResidentBytes() const noexcept {
+    return resident_ * kPageSize;
+  }
+  [[nodiscard]] const ViewStats& Stats() const noexcept { return stats_; }
+  [[nodiscard]] bool HasPendingWrites() const noexcept {
+    return !pending_pages_.empty();
+  }
+
+  // ---- pf-mode machinery -------------------------------------------------
+
+  // Installs the process-wide SIGSEGV handler (idempotent).
+  static void InstallFaultHandler();
+  // Declares this view the fault target for the calling thread.
+  void ActivateOnThisThread() noexcept;
+  static void DeactivateOnThisThread() noexcept;
+  // Returns true iff `addr` belongs to this view and the fault was absorbed.
+  bool HandleFault(void* addr, bool is_write) noexcept;
+
+ private:
+  struct Page {
+    std::byte bytes[kPageSize];
+  };
+
+  static constexpr uint32_t kNoPending = UINT32_MAX;
+
+  struct PageEntry {
+    std::shared_ptr<Page> page;       // null == logically all-zero
+    std::byte* snapshot = nullptr;    // valid iff snapshot_seq == slice_seq_
+    uint64_t snapshot_seq = 0;
+    uint32_t pending = kNoPending;    // index into pending_pool_
+  };
+
+  struct PendingPage {
+    ModList mods;
+  };
+
+  // pf page protection states.
+  enum Prot : uint8_t { kProtRO = 0, kProtRW = 1, kProtNone = 2 };
+
+  // -- ci helpers --
+  std::byte* EnsureWritableCi(PageId pid);
+  void MaterializeCi(PageId pid);
+  void UnshareCi(PageId pid);
+  void SnapshotCi(PageId pid);
+  const std::byte* ReadablePageCi(PageId pid);
+
+  // -- pf helpers --
+  void SetProt(PageId pid, Prot p) noexcept;
+  void SnapshotPf(PageId pid) noexcept;
+
+  // -- pending (both modes) --
+  void ParkPending(PageId pid, GAddr addr, std::span<const std::byte> bytes);
+  void ApplyPendingToPage(PageId pid);
+  void RawWrite(GAddr addr, std::span<const std::byte> bytes);
+
+  MonitorMode mode_;
+  size_t capacity_;
+  size_t num_pages_;
+  MetadataArena* arena_;
+
+  // ci state.
+  std::vector<PageEntry> table_;
+
+  // pf state.
+  std::byte* flat_ = nullptr;
+  std::vector<uint8_t> prot_;
+  std::vector<uint8_t> touched_;
+  std::vector<std::byte*> pf_snap_;  // per-page snapshot, valid while on modified_
+
+  // Shared per-slice state.
+  std::vector<PageId> modified_;  // pages snapshotted this slice
+  SnapshotPool snapshots_;
+  uint64_t slice_seq_ = 1;
+
+  // Lazy-write pending state.
+  std::vector<PendingPage> pending_pool_;
+  std::vector<uint32_t> pending_free_;
+  std::vector<PageId> pending_pages_;
+  std::vector<uint32_t> pf_pending_;  // pf: per-page pending index
+
+  size_t resident_ = 0;
+  ViewStats stats_;
+};
+
+}  // namespace rfdet

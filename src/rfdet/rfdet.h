@@ -1,0 +1,13 @@
+// Umbrella header for the RFDet library's public surface.
+//
+// Most applications only need:
+//   #include "rfdet/rfdet.h"
+// and then either the backend-neutral dmt::Env (portable across all six
+// runtimes) or the pthreads-shaped det_pthread_* shim.
+#pragma once
+
+#include "rfdet/api/env.h"              // dmt::Env, ArrayRef
+#include "rfdet/backends/backends.h"    // dmt::CreateEnv + BackendKind
+#include "rfdet/compat/det_pthread.h"   // det_pthread_* C-style surface
+#include "rfdet/runtime/runtime.h"      // direct RfdetRuntime access
+#include "rfdet/runtime/stats.h"        // StatsSnapshot

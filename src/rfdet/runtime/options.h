@@ -1,0 +1,47 @@
+// Configuration for the RFDet runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rfdet/mem/metadata_arena.h"
+#include "rfdet/mem/thread_view.h"
+
+namespace rfdet {
+
+struct RfdetOptions {
+  // Monitor backend: RFDet-ci (compile-time-instrumentation analogue) or
+  // RFDet-pf (mprotect/page-fault), paper §4.2.
+  MonitorMode monitor = MonitorMode::kInstrumented;
+
+  // Strong-determinism machinery. With isolation disabled the runtime
+  // degrades to *weak* determinism (the Kendo backend): deterministic
+  // synchronization over one shared image, no slices, no propagation.
+  bool isolation = true;
+
+  // §4.5 optimizations, individually toggleable (Figure 9 benches these).
+  bool slice_merging = true;
+  bool prelock = true;
+  bool lazy_writes = true;
+
+  // Shared-region geometry.
+  size_t region_bytes = 64u << 20;
+  size_t static_bytes = 4u << 20;
+  size_t max_threads = 64;
+
+  // Metadata space (paper §5.4: 256 MB, GC at 90 % usage).
+  size_t metadata_bytes = MetadataArena::kDefaultCapacity;
+  double gc_threshold = MetadataArena::kDefaultGcThreshold;
+
+  // Kendo clock ticks charged per 8 bytes of instrumented access (the
+  // analogue of the paper's per-basic-block instrTick(k)).
+  uint64_t ticks_per_word = 1;
+
+  // Record the deterministic synchronization schedule (every turn-ordered
+  // transition) for debugging/inspection. Because DMT needs only the
+  // input to reproduce an execution, the trace is purely diagnostic —
+  // unlike record&replay systems, it never needs to be replayed (§2).
+  bool record_trace = false;
+};
+
+}  // namespace rfdet

@@ -1,0 +1,837 @@
+#include "rfdet/runtime/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rfdet {
+
+namespace {
+
+struct TlsBinding {
+  RfdetRuntime* runtime = nullptr;
+  void* ctx = nullptr;
+};
+thread_local TlsBinding g_tls;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
+    : options_(options),
+      arena_(options.metadata_bytes, options.gc_threshold),
+      kendo_(options.max_threads),
+      allocator_(DetAllocator::Config{
+          .static_base = 16,
+          .static_size = options.static_bytes,
+          // Leave page-alignment slack between the segments.
+          .heap_size = options.region_bytes - options.static_bytes -
+                       2 * kPageSize,
+          .max_threads = options.max_threads,
+      }) {
+  RFDET_CHECK_MSG(g_tls.runtime == nullptr,
+                  "a runtime is already attached to this thread");
+  threads_.reserve(options_.max_threads);
+  if (!options_.isolation) {
+    shared_image_ = std::make_unique<std::byte[]>(options_.region_bytes);
+    std::memset(shared_image_.get(), 0, options_.region_bytes);
+  }
+
+  auto main_ctx = std::make_unique<ThreadCtx>();
+  main_ctx->tid = 0;
+  if (options_.isolation) {
+    main_ctx->view = std::make_unique<ThreadView>(options_.region_bytes,
+                                                  options_.monitor, &arena_);
+    main_ctx->view->ActivateOnThisThread();
+  }
+  threads_.push_back(std::move(main_ctx));
+  const size_t tid = kendo_.RegisterThread(1);
+  RFDET_CHECK(tid == 0);
+  g_tls = {this, threads_[0].get()};
+}
+
+RfdetRuntime::~RfdetRuntime() {
+  // Reclaim any spawned thread the application forgot to Join. Their
+  // deterministic work is already done (or will finish nondeterministically
+  // during teardown — a program bug, like exiting with threads running).
+  for (auto& ctx : threads_) {
+    if (ctx->worker.joinable()) ctx->worker.join();
+  }
+  if (options_.isolation) ThreadView::DeactivateOnThisThread();
+  g_tls = {nullptr, nullptr};
+}
+
+RfdetRuntime::ThreadCtx& RfdetRuntime::Ctx() const {
+  RFDET_CHECK_MSG(g_tls.runtime == this,
+                  "calling thread is not attached to this runtime");
+  return *static_cast<ThreadCtx*>(g_tls.ctx);
+}
+
+RfdetRuntime::SyncVar& RfdetRuntime::Var(size_t id, SyncVar::Kind kind) {
+  SyncVar* var;
+  {
+    std::scoped_lock lock(sync_vars_mu_);
+    RFDET_CHECK_MSG(id < sync_vars_.size(), "unknown sync object id");
+    var = &sync_vars_[id];
+  }
+  RFDET_CHECK_MSG(var->kind == kind, "sync object used as wrong kind");
+  return *var;
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+GAddr RfdetRuntime::AllocStatic(size_t size, size_t align) {
+  RFDET_CHECK_MSG(Ctx().tid == 0,
+                  "static allocation is a main-thread setup operation");
+  return allocator_.AllocStatic(size, align);
+}
+
+GAddr RfdetRuntime::Malloc(size_t size) {
+  return allocator_.Alloc(Ctx().tid, size);
+}
+
+void RfdetRuntime::Free(GAddr addr) { allocator_.Free(Ctx().tid, addr); }
+
+void RfdetRuntime::Store(GAddr addr, const void* src, size_t len) {
+  ThreadCtx& me = Ctx();
+  const uint64_t words = (len + 7) / 8;
+  kendo_.Tick(me.tid, words * options_.ticks_per_word);
+  me.stores.fetch_add(words, std::memory_order_relaxed);
+  if (options_.isolation) {
+    me.view->Store(addr, src, len);
+  } else {
+    RFDET_DCHECK(addr + len <= options_.region_bytes);
+    std::memcpy(shared_image_.get() + addr, src, len);
+  }
+}
+
+void RfdetRuntime::Load(GAddr addr, void* dst, size_t len) {
+  ThreadCtx& me = Ctx();
+  const uint64_t words = (len + 7) / 8;
+  kendo_.Tick(me.tid, words * options_.ticks_per_word);
+  me.loads.fetch_add(words, std::memory_order_relaxed);
+  if (options_.isolation) {
+    me.view->Load(addr, dst, len);
+  } else {
+    RFDET_DCHECK(addr + len <= options_.region_bytes);
+    std::memcpy(dst, shared_image_.get() + addr, len);
+  }
+}
+
+void RfdetRuntime::Tick(uint64_t words) {
+  kendo_.Tick(Ctx().tid, words * options_.ticks_per_word);
+}
+
+// ---------------------------------------------------------------------------
+// Slices and propagation
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::CloseSlice(ThreadCtx& t) {
+  if (!options_.isolation) return;
+  ModList mods;
+  t.view->CollectModifications(mods);
+  VectorClock time;
+  {
+    std::scoped_lock lock(t.clock_mu);
+    t.vclock.Tick(t.tid);
+    t.turn_time = t.vclock;
+    time = t.vclock;
+  }
+  if (!mods.Empty()) {
+    t.log.Append(std::make_shared<Slice>(t.tid, ++t.slice_seq,
+                                         std::move(time), std::move(mods),
+                                         &arena_));
+    stats_.slices_created.fetch_add(1, std::memory_order_relaxed);
+  }
+  MaybeRunGc();
+}
+
+void RfdetRuntime::PropagateFrom(ThreadCtx& me, size_t src_tid,
+                                 const VectorClock& upper,
+                                 bool prelock_phase) {
+  if (!options_.isolation || src_tid == kNone) return;
+  if (src_tid == me.tid) {
+    // Re-acquiring one's own release: nothing new can be learned.
+    std::scoped_lock lock(me.clock_mu);
+    me.vclock.Join(upper);
+    return;
+  }
+  VectorClock lower;
+  {
+    std::scoped_lock lock(me.clock_mu);
+    lower = me.vclock;
+  }
+  // Gather first (holding the source log lock only briefly), then apply.
+  // Filter (exact, see vector_clock.h): happens-before the release and not
+  // already seen locally.
+  std::vector<SliceRef> batch;
+  CtxOf(src_tid).log.ForEach([&](const SliceRef& s) {
+    if (s->time().LessEq(upper) && !s->time().LessEq(lower)) {
+      batch.push_back(s);
+    }
+  });
+  uint64_t bytes = 0;
+  for (const SliceRef& s : batch) {
+    me.view->ApplyRemote(s->mods(), options_.lazy_writes);
+    bytes += s->mods().ByteCount();
+    me.log.Append(s);
+  }
+  {
+    std::scoped_lock lock(me.clock_mu);
+    me.vclock.Join(upper);
+  }
+  stats_.slices_propagated.fetch_add(batch.size(),
+                                     std::memory_order_relaxed);
+  stats_.bytes_propagated.fetch_add(bytes, std::memory_order_relaxed);
+  if (prelock_phase) {
+    stats_.prelock_slices.fetch_add(batch.size(),
+                                    std::memory_order_relaxed);
+    stats_.prelock_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+void RfdetRuntime::AcquireFrom(ThreadCtx& me, const SyncVar& sv) {
+  if (!options_.isolation || sv.last_tid == kNone) return;
+  PropagateFrom(me, sv.last_tid, sv.last_time, /*prelock_phase=*/false);
+  // The join above ran under the turn: refresh the deterministic snapshot.
+  std::scoped_lock lock(me.clock_mu);
+  me.turn_time = me.vclock;
+}
+
+void RfdetRuntime::ReleasePublish(ThreadCtx& me, SyncVar& sv) {
+  if (!options_.isolation) return;
+  std::scoped_lock lock(me.clock_mu);
+  sv.last_time = me.vclock;
+  sv.last_tid = me.tid;
+}
+
+// ---------------------------------------------------------------------------
+// Block / wake plumbing
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::Block(ThreadCtx& me, uint32_t baseline) {
+  uint32_t cur;
+  while ((cur = me.wake_seq.load(std::memory_order_acquire)) == baseline) {
+    me.wake_seq.wait(baseline, std::memory_order_acquire);
+  }
+}
+
+void RfdetRuntime::Wake(ThreadCtx& me, ThreadCtx& target, uint64_t delta,
+                        size_t mail_src, const VectorClock& mail_time) {
+  target.mail_src = mail_src;
+  target.mail_time = mail_time;
+  kendo_.Resume(target.tid, kendo_.Clock(me.tid) + delta);
+  target.wake_seq.fetch_add(1, std::memory_order_release);
+  target.wake_seq.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Mutexes
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::PrelockPropagate(ThreadCtx& me, const SyncVar& m) {
+  // Snapshot, under the turn, the deterministic times of the holder and of
+  // every waiter ahead of us in the reservation order: slices up to those
+  // times must happen-before our eventual acquire, so they can be merged
+  // now, off the lock's critical path (paper §4.5 "Prelock").
+  struct Source {
+    size_t tid;
+    VectorClock upper;
+  };
+  std::vector<Source> sources;
+  // The lock's most recent release: its slices are guaranteed present in
+  // the releaser's log (the release was turn-ordered before now), and in
+  // the steady hand-off regime this is the bulk of what the eventual
+  // acquire will need.
+  if (m.last_tid != kNone && m.last_tid != me.tid) {
+    sources.push_back({m.last_tid, m.last_time});
+  }
+  auto add = [&](size_t tid) {
+    if (tid == kNone || tid == me.tid) return;
+    ThreadCtx& ctx = CtxOf(tid);
+    std::scoped_lock lock(ctx.clock_mu);
+    sources.push_back({tid, ctx.turn_time});
+  };
+  add(m.owner);
+  for (const size_t w : m.waiters) {
+    if (w == me.tid) break;
+    add(w);
+  }
+  // The snapshots above were taken under the turn; the propagation itself
+  // runs after we pause — concurrently with the lock holder.
+  kendo_.Pause(me.tid);
+  for (const Source& src : sources) {
+    PropagateFrom(me, src.tid, src.upper, /*prelock_phase=*/true);
+  }
+}
+
+void RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
+                            bool fresh) {
+  kendo_.WaitForTurn(me.tid);
+  if (!m.locked) {
+    const bool merge = fresh && options_.slice_merging &&
+                       options_.isolation && m.last_tid == me.tid;
+    if (merge) {
+      // Slice merging (§4.5): we were the last releaser, so no propagation
+      // is needed and the current slice may continue across the acquire.
+      stats_.slices_merged.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (fresh) CloseSlice(me);
+      AcquireFrom(me, m);
+    }
+    m.locked = true;
+    m.owner = me.tid;
+    Record(TraceOp::kLockAcquired, me.tid, id);
+    kendo_.Tick(me.tid);
+    return;
+  }
+  // Contended: enter the deterministic reservation order and sleep; the
+  // releaser hands the lock over FIFO.
+  if (fresh) CloseSlice(me);
+  m.waiters.push_back(me.tid);
+  const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
+  if (options_.prelock && options_.isolation) {
+    PrelockPropagate(me, m);  // pauses the Kendo clock internally
+  } else {
+    kendo_.Pause(me.tid);
+  }
+  Block(me, baseline);
+  // We own the lock now (hand-off). Finish the residual propagation from
+  // the actual release.
+  PropagateFrom(me, me.mail_src, me.mail_time, /*prelock_phase=*/false);
+}
+
+void RfdetRuntime::MutexLock(size_t id) {
+  ThreadCtx& me = Ctx();
+  stats_.locks.fetch_add(1, std::memory_order_relaxed);
+  LockCore(me, id, Var(id, SyncVar::Kind::kMutex), /*fresh=*/true);
+}
+
+void RfdetRuntime::MutexUnlock(size_t id) {
+  ThreadCtx& me = Ctx();
+  stats_.unlocks.fetch_add(1, std::memory_order_relaxed);
+  SyncVar& m = Var(id, SyncVar::Kind::kMutex);
+  kendo_.WaitForTurn(me.tid);
+  RFDET_CHECK_MSG(m.locked && m.owner == me.tid, "unlock of unowned mutex");
+  CloseSlice(me);
+  ReleasePublish(me, m);
+  Record(TraceOp::kUnlock, me.tid, id);
+  if (!m.waiters.empty()) {
+    const size_t next = m.waiters.front();
+    m.waiters.erase(m.waiters.begin());
+    m.owner = next;  // hand-off: stays locked
+    Wake(me, CtxOf(next), /*delta=*/1, me.tid, m.last_time);
+    Record(TraceOp::kLockAcquired, next, id);
+  } else {
+    m.locked = false;
+    m.owner = kNone;
+  }
+  kendo_.Tick(me.tid);
+}
+
+// ---------------------------------------------------------------------------
+// Condition variables
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
+  ThreadCtx& me = Ctx();
+  stats_.cond_waits.fetch_add(1, std::memory_order_relaxed);
+  SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
+  SyncVar& m = Var(mutex_id, SyncVar::Kind::kMutex);
+  kendo_.WaitForTurn(me.tid);
+  RFDET_CHECK_MSG(m.locked && m.owner == me.tid,
+                  "cond wait without holding the mutex");
+  CloseSlice(me);
+  ReleasePublish(me, m);  // the embedded unlock is a release
+  Record(TraceOp::kCondEnterWait, me.tid, cond_id);
+  const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
+  c.cond_waiters.push_back(me.tid);
+  // Release the mutex (with deterministic hand-off), atomically with the
+  // enqueue — we hold the turn, so no wakeup can be lost.
+  if (!m.waiters.empty()) {
+    const size_t next = m.waiters.front();
+    m.waiters.erase(m.waiters.begin());
+    m.owner = next;
+    Wake(me, CtxOf(next), /*delta=*/1, me.tid, m.last_time);
+    Record(TraceOp::kLockAcquired, next, mutex_id);
+  } else {
+    m.locked = false;
+    m.owner = kNone;
+  }
+  kendo_.Pause(me.tid);
+  Block(me, baseline);
+  // Signalled: the signal is the paired release (paper §4.1).
+  PropagateFrom(me, me.mail_src, me.mail_time, /*prelock_phase=*/false);
+  // Re-acquire the mutex; our slice is already closed.
+  LockCore(me, mutex_id, m, /*fresh=*/false);
+}
+
+void RfdetRuntime::CondSignal(size_t cond_id) {
+  ThreadCtx& me = Ctx();
+  stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
+  SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
+  kendo_.WaitForTurn(me.tid);
+  CloseSlice(me);
+  ReleasePublish(me, c);
+  Record(TraceOp::kSignal, me.tid, cond_id);
+  if (!c.cond_waiters.empty()) {
+    const size_t w = c.cond_waiters.front();
+    c.cond_waiters.erase(c.cond_waiters.begin());
+    Wake(me, CtxOf(w), /*delta=*/1, me.tid, c.last_time);
+  }
+  kendo_.Tick(me.tid);
+}
+
+void RfdetRuntime::CondBroadcast(size_t cond_id) {
+  ThreadCtx& me = Ctx();
+  stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
+  SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
+  kendo_.WaitForTurn(me.tid);
+  CloseSlice(me);
+  ReleasePublish(me, c);
+  Record(TraceOp::kBroadcast, me.tid, cond_id);
+  // FIFO wakeup; ascending clock deltas keep the wait-queue order as the
+  // deterministic re-acquisition order.
+  uint64_t delta = 1;
+  for (const size_t w : c.cond_waiters) {
+    Wake(me, CtxOf(w), delta++, me.tid, c.last_time);
+  }
+  c.cond_waiters.clear();
+  kendo_.Tick(me.tid);
+}
+
+// ---------------------------------------------------------------------------
+// Low-level atomics (§4.6)
+// ---------------------------------------------------------------------------
+
+RfdetRuntime::SyncVar& RfdetRuntime::AtomicVar(GAddr addr) {
+  // Called with the turn held: first-touch creation order is deterministic.
+  std::scoped_lock lock(sync_vars_mu_);
+  const auto it = atomic_vars_.find(addr);
+  if (it != atomic_vars_.end()) return sync_vars_[it->second];
+  const size_t id = sync_vars_.size();
+  sync_vars_.emplace_back(SyncVar::Kind::kMutex);  // storage only
+  atomic_vars_.emplace(addr, id);
+  return sync_vars_[id];
+}
+
+uint64_t RfdetRuntime::RawLoad64(ThreadCtx& me, GAddr addr) {
+  uint64_t v = 0;
+  if (options_.isolation) {
+    me.view->Load(addr, &v, sizeof v);
+  } else {
+    std::memcpy(&v, shared_image_.get() + addr, sizeof v);
+  }
+  return v;
+}
+
+void RfdetRuntime::RawStore64(ThreadCtx& me, GAddr addr, uint64_t value) {
+  if (options_.isolation) {
+    me.view->Store(addr, &value, sizeof value);
+  } else {
+    std::memcpy(shared_image_.get() + addr, &value, sizeof value);
+  }
+}
+
+uint64_t RfdetRuntime::AtomicLoad(GAddr addr) {
+  ThreadCtx& me = Ctx();
+  kendo_.WaitForTurn(me.tid);
+  SyncVar& sv = AtomicVar(addr);
+  Record(TraceOp::kAtomic, me.tid, addr);
+  CloseSlice(me);
+  AcquireFrom(me, sv);  // an atomic load is an acquire
+  const uint64_t v = RawLoad64(me, addr);
+  kendo_.Tick(me.tid);
+  return v;
+}
+
+void RfdetRuntime::AtomicStore(GAddr addr, uint64_t value) {
+  ThreadCtx& me = Ctx();
+  kendo_.WaitForTurn(me.tid);
+  SyncVar& sv = AtomicVar(addr);
+  Record(TraceOp::kAtomic, me.tid, addr);
+  CloseSlice(me);
+  RawStore64(me, addr, value);
+  CloseSlice(me);  // the store must be inside the released slice
+  ReleasePublish(me, sv);
+  kendo_.Tick(me.tid);
+}
+
+uint64_t RfdetRuntime::AtomicFetchAdd(GAddr addr, uint64_t delta) {
+  ThreadCtx& me = Ctx();
+  kendo_.WaitForTurn(me.tid);
+  SyncVar& sv = AtomicVar(addr);
+  Record(TraceOp::kAtomic, me.tid, addr);
+  CloseSlice(me);
+  AcquireFrom(me, sv);  // read-modify-write: acquire …
+  const uint64_t old = RawLoad64(me, addr);
+  RawStore64(me, addr, old + delta);
+  CloseSlice(me);
+  ReleasePublish(me, sv);  // … and release
+  kendo_.Tick(me.tid);
+  return old;
+}
+
+bool RfdetRuntime::AtomicCas(GAddr addr, uint64_t& expected,
+                             uint64_t desired) {
+  ThreadCtx& me = Ctx();
+  kendo_.WaitForTurn(me.tid);
+  SyncVar& sv = AtomicVar(addr);
+  Record(TraceOp::kAtomic, me.tid, addr);
+  CloseSlice(me);
+  AcquireFrom(me, sv);
+  const uint64_t old = RawLoad64(me, addr);
+  const bool success = old == expected;
+  if (success) {
+    RawStore64(me, addr, desired);
+    CloseSlice(me);
+    ReleasePublish(me, sv);  // only a successful CAS releases
+  } else {
+    expected = old;
+  }
+  kendo_.Tick(me.tid);
+  return success;
+}
+
+// ---------------------------------------------------------------------------
+// Barriers
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::BarrierWait(size_t id) {
+  ThreadCtx& me = Ctx();
+  stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+  SyncVar& b = Var(id, SyncVar::Kind::kBarrier);
+  kendo_.WaitForTurn(me.tid);
+  CloseSlice(me);
+  Record(TraceOp::kBarrierArrive, me.tid, id);
+  b.arrived.push_back(me.tid);
+  if (b.arrived.size() < b.parties) {
+    const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
+    kendo_.Pause(me.tid);
+    Block(me, baseline);
+    // The last arriver performed the merge and updated our view, log and
+    // vector clock while we were blocked; nothing left to do.
+    return;
+  }
+  // Last arriver: perform the deterministic merge (paper §4.1 "Barriers").
+  std::vector<size_t> group = std::move(b.arrived);
+  b.arrived.clear();
+  std::sort(group.begin(), group.end());
+  ThreadCtx& root = CtxOf(group.front());
+  if (options_.isolation) {
+    // Merge every arriving thread's happens-before-barrier slices into the
+    // smallest-tid thread, in tid order.
+    for (const size_t u : group) {
+      if (u == root.tid) continue;
+      VectorClock upper;
+      {
+        std::scoped_lock lock(CtxOf(u).clock_mu);
+        upper = CtxOf(u).vclock;
+      }
+      PropagateFrom(root, u, upper, /*prelock_phase=*/false);
+    }
+    root.view->FlushPending();
+    // Everyone leaves with a (COW) copy of the merge thread's memory,
+    // slice list and vector clock.
+    for (const size_t u : group) {
+      if (u == root.tid) continue;
+      ThreadCtx& ctx = CtxOf(u);
+      ctx.view->CopyFrom(*root.view);
+      ctx.log.AssignFrom(root.log);
+      std::scoped_lock lock(ctx.clock_mu, root.clock_mu);
+      ctx.vclock = root.vclock;
+      ctx.turn_time = root.vclock;
+    }
+    {
+      std::scoped_lock lock(root.clock_mu);
+      root.turn_time = root.vclock;
+    }
+  }
+  Record(TraceOp::kBarrierRelease, me.tid, id);
+  // Resume the blocked arrivers with deterministic clocks, tid order.
+  uint64_t delta = 1;
+  for (const size_t u : group) {
+    if (u == me.tid) continue;
+    Wake(me, CtxOf(u), delta++, kNone, VectorClock{});
+  }
+  kendo_.Tick(me.tid);
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::WorkerMain(ThreadCtx& ctx, std::function<void()> fn) {
+  g_tls = {this, &ctx};
+  if (options_.isolation) ctx.view->ActivateOnThisThread();
+  fn();
+  ThreadExit(ctx);
+  if (options_.isolation) ThreadView::DeactivateOnThisThread();
+  g_tls = {nullptr, nullptr};
+}
+
+size_t RfdetRuntime::Spawn(std::function<void()> fn) {
+  ThreadCtx& me = Ctx();
+  stats_.forks.fetch_add(1, std::memory_order_relaxed);
+  kendo_.WaitForTurn(me.tid);
+  // Thread creation is a release whose paired acquire is the child's entry
+  // point; the child inherits the parent's memory, so no propagation is
+  // needed (paper §4.1 "Thread Create and Join").
+  CloseSlice(me);
+
+  size_t tid;
+  ThreadCtx* child;
+  {
+    std::scoped_lock lock(threads_mu_);
+    tid = threads_.size();
+    RFDET_CHECK_MSG(tid < options_.max_threads, "max_threads exceeded");
+    threads_.push_back(std::make_unique<ThreadCtx>());
+    child = threads_.back().get();
+  }
+  child->tid = tid;
+  {
+    std::scoped_lock lock(me.clock_mu);
+    child->vclock = me.vclock;
+    child->turn_time = me.vclock;
+  }
+  if (options_.isolation) {
+    child->view = std::make_unique<ThreadView>(options_.region_bytes,
+                                               options_.monitor, &arena_);
+    child->view->CopyFrom(*me.view);
+    child->log.AssignFrom(me.log);
+  }
+  const size_t ktid = kendo_.RegisterThread(kendo_.Clock(me.tid) + 1);
+  RFDET_CHECK(ktid == tid);
+  child->worker = std::thread([this, child, fn = std::move(fn)]() mutable {
+    WorkerMain(*child, std::move(fn));
+  });
+  Record(TraceOp::kFork, me.tid, tid);
+  kendo_.Tick(me.tid);
+  return tid;
+}
+
+void RfdetRuntime::ThreadExit(ThreadCtx& me) {
+  kendo_.WaitForTurn(me.tid);
+  CloseSlice(me);
+  {
+    std::scoped_lock lock(me.clock_mu);
+    me.final_clock = me.vclock;
+  }
+  Record(TraceOp::kExit, me.tid, kNone);
+  const size_t joiner = me.joiner;
+  me.finished.store(true, std::memory_order_release);
+  if (joiner != kNone) {
+    Wake(me, CtxOf(joiner), /*delta=*/1, me.tid, me.final_clock);
+    Record(TraceOp::kJoin, joiner, me.tid);
+  }
+  kendo_.Exit(me.tid);
+}
+
+void RfdetRuntime::Join(size_t tid) {
+  ThreadCtx& me = Ctx();
+  stats_.joins.fetch_add(1, std::memory_order_relaxed);
+  RFDET_CHECK_MSG(tid < threads_.size() && tid != me.tid, "bad join target");
+  ThreadCtx& target = CtxOf(tid);
+  RFDET_CHECK_MSG(!target.joined, "double join");
+  kendo_.WaitForTurn(me.tid);
+  CloseSlice(me);
+  if (target.finished.load(std::memory_order_acquire)) {
+    VectorClock upper;
+    {
+      std::scoped_lock lock(target.clock_mu);
+      upper = target.final_clock;
+    }
+    PropagateFrom(me, tid, upper, /*prelock_phase=*/false);
+    {
+      std::scoped_lock lock(me.clock_mu);
+      me.turn_time = me.vclock;
+    }
+    Record(TraceOp::kJoin, me.tid, tid);
+    kendo_.Tick(me.tid);
+  } else {
+    RFDET_CHECK_MSG(target.joiner == kNone, "concurrent join");
+    target.joiner = me.tid;
+    const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
+    kendo_.Pause(me.tid);
+    Block(me, baseline);
+    PropagateFrom(me, me.mail_src, me.mail_time, /*prelock_phase=*/false);
+  }
+  target.joined = true;
+  if (target.worker.joinable()) target.worker.join();
+}
+
+size_t RfdetRuntime::CurrentTid() const { return Ctx().tid; }
+
+// ---------------------------------------------------------------------------
+// Sync object creation
+// ---------------------------------------------------------------------------
+
+size_t RfdetRuntime::CreateMutex() {
+  ThreadCtx& me = Ctx();
+  kendo_.WaitForTurn(me.tid);
+  size_t id;
+  {
+    std::scoped_lock lock(sync_vars_mu_);
+    id = sync_vars_.size();
+    sync_vars_.emplace_back(SyncVar::Kind::kMutex);
+  }
+  kendo_.Tick(me.tid);
+  return id;
+}
+
+size_t RfdetRuntime::CreateCond() {
+  ThreadCtx& me = Ctx();
+  kendo_.WaitForTurn(me.tid);
+  size_t id;
+  {
+    std::scoped_lock lock(sync_vars_mu_);
+    id = sync_vars_.size();
+    sync_vars_.emplace_back(SyncVar::Kind::kCond);
+  }
+  kendo_.Tick(me.tid);
+  return id;
+}
+
+size_t RfdetRuntime::CreateBarrier(size_t parties) {
+  RFDET_CHECK(parties > 0);
+  ThreadCtx& me = Ctx();
+  kendo_.WaitForTurn(me.tid);
+  size_t id;
+  {
+    std::scoped_lock lock(sync_vars_mu_);
+    id = sync_vars_.size();
+    sync_vars_.emplace_back(SyncVar::Kind::kBarrier);
+    sync_vars_.back().parties = parties;
+  }
+  kendo_.Tick(me.tid);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::MaybeRunGc() {
+  if (!options_.isolation) return;
+  size_t cooldown = gc_cooldown_.load(std::memory_order_relaxed);
+  if (cooldown > 0) {
+    gc_cooldown_.store(cooldown - 1, std::memory_order_relaxed);
+    return;
+  }
+  if (!arena_.NeedsGc()) return;
+  std::unique_lock lock(gc_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // another thread is already collecting
+  if (!arena_.NeedsGc()) return;
+  const size_t pruned = RunGc();
+  if (arena_.NeedsGc() && pruned == 0) {
+    // Nothing collectable (paper §5.4: slices can outgrow the metadata
+    // space when threads rarely synchronize); back off to avoid a storm.
+    gc_cooldown_.store(4096, std::memory_order_relaxed);
+  }
+}
+
+size_t RfdetRuntime::RunGc() {
+  // A slice is garbage once its time is ≤ every live thread's clock: it
+  // has then been merged into every private memory (paper §4.5).
+  VectorClock bound;
+  bool first = true;
+  {
+    std::scoped_lock lock(threads_mu_);
+    for (const auto& ctx : threads_) {
+      if (ctx->finished.load(std::memory_order_acquire)) continue;
+      std::scoped_lock clock_lock(ctx->clock_mu);
+      if (first) {
+        bound = ctx->vclock;
+        first = false;
+      } else {
+        bound.Meet(ctx->vclock);
+      }
+    }
+  }
+  if (first) return 0;  // no live threads (teardown)
+  size_t pruned = 0;
+  {
+    std::scoped_lock lock(threads_mu_);
+    for (const auto& ctx : threads_) {
+      pruned += ctx->log.Prune(bound);
+    }
+  }
+  arena_.RecordGc();
+  stats_.slices_pruned.fetch_add(pruned, std::memory_order_relaxed);
+  return pruned;
+}
+
+size_t RfdetRuntime::ForceGc() {
+  std::scoped_lock lock(gc_mu_);
+  return RunGc();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::Record(TraceOp op, size_t acting_tid, size_t object) {
+  if (!options_.record_trace) return;
+  const uint64_t clock = kendo_.Clock(acting_tid);
+  std::scoped_lock lock(trace_mu_);
+  trace_.push_back(TraceEvent{acting_tid, op, object,
+                              clock == KendoEngine::kPaused
+                                  ? kendo_.SavedClock(acting_tid)
+                                  : clock});
+}
+
+std::vector<RfdetRuntime::TraceEvent> RfdetRuntime::Trace() const {
+  std::scoped_lock lock(trace_mu_);
+  return trace_;
+}
+
+size_t RfdetRuntime::LiveSliceCount() const {
+  size_t n = 0;
+  std::scoped_lock lock(threads_mu_);
+  for (const auto& ctx : threads_) n += ctx->log.Size();
+  return n;
+}
+
+StatsSnapshot RfdetRuntime::Snapshot() const {
+  StatsSnapshot s;
+  s.locks = stats_.locks.load();
+  s.unlocks = stats_.unlocks.load();
+  s.cond_waits = stats_.cond_waits.load();
+  s.cond_signals = stats_.cond_signals.load();
+  s.barriers = stats_.barriers.load();
+  s.forks = stats_.forks.load();
+  s.joins = stats_.joins.load();
+  s.slices_created = stats_.slices_created.load();
+  s.slices_merged = stats_.slices_merged.load();
+  s.slices_propagated = stats_.slices_propagated.load();
+  s.bytes_propagated = stats_.bytes_propagated.load();
+  s.prelock_slices = stats_.prelock_slices.load();
+  s.prelock_bytes = stats_.prelock_bytes.load();
+  s.slices_pruned = stats_.slices_pruned.load();
+  s.gc_count = arena_.GcCount();
+  s.metadata_peak_bytes = arena_.Peak();
+  std::scoped_lock lock(threads_mu_);
+  for (const auto& ctx : threads_) {
+    s.loads += ctx->loads.load(std::memory_order_relaxed);
+    s.stores += ctx->stores.load(std::memory_order_relaxed);
+    if (ctx->view) {
+      const ViewStats& v = ctx->view->Stats();
+      s.stores_with_copy += v.stores_with_copy;
+      s.page_faults += v.page_faults;
+      s.mprotect_calls += v.mprotect_calls;
+      s.pages_diffed += v.pages_diffed;
+      s.lazy_runs_parked += v.lazy_runs_parked;
+      s.lazy_runs_coalesced += v.lazy_runs_coalesced;
+      s.lazy_pages_applied += v.lazy_pages_applied;
+      s.resident_bytes += ctx->view->ResidentBytes();
+    }
+  }
+  if (!options_.isolation) s.resident_bytes = options_.region_bytes;
+  return s;
+}
+
+}  // namespace rfdet

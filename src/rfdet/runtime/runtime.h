@@ -1,0 +1,271 @@
+// RfdetRuntime — the paper's RFDet system (§4).
+//
+// The runtime replaces the pthreads API with deterministic equivalents:
+//
+//  * Synchronization is ordered deterministically by the Kendo engine:
+//    every synchronization operation runs under the *turn* (the unique
+//    global minimum of (deterministic logical clock, tid)), so the total
+//    order of synchronization — and therefore the happens-before relation —
+//    is a pure function of the program's deterministic execution.
+//
+//  * Memory follows DLRC (§3): each thread executes in a private
+//    ThreadView; execution between synchronization operations forms
+//    *slices* whose modifications are captured by page snapshot + diff and
+//    published in the thread's SliceLog; each acquire operation propagates
+//    exactly the slices that happen-before the paired release
+//    (filter: s.time ≤ lastTime ∧ ¬(s.time ≤ Ct), the exact-set form of
+//    the paper's Figure 5 upper/lower limits).
+//
+//  * Contended locks use deterministic FIFO hand-off: a waiter enqueues
+//    under its turn, pauses its Kendo clock, and is resumed by the
+//    releasing thread with a deterministically chosen clock — this
+//    reservation queue is also the *prelock* order (§4.5), letting waiters
+//    pre-propagate happens-before slices while they wait.
+//
+// With `options.isolation = false` the same runtime degrades to the weak-
+// determinism Kendo system (deterministic synchronization over one shared
+// image, no propagation) used as a comparison backend.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <unordered_map>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rfdet/kendo/kendo.h"
+#include "rfdet/mem/det_allocator.h"
+#include "rfdet/mem/metadata_arena.h"
+#include "rfdet/mem/thread_view.h"
+#include "rfdet/runtime/options.h"
+#include "rfdet/runtime/stats.h"
+#include "rfdet/slice/slice.h"
+#include "rfdet/time/vector_clock.h"
+
+namespace rfdet {
+
+class RfdetRuntime {
+ public:
+  static constexpr size_t kNone = SIZE_MAX;
+
+  explicit RfdetRuntime(const RfdetOptions& options = {});
+  ~RfdetRuntime();
+
+  RfdetRuntime(const RfdetRuntime&) = delete;
+  RfdetRuntime& operator=(const RfdetRuntime&) = delete;
+
+  // ---- memory ------------------------------------------------------------
+
+  // Pre-thread bump allocation for application globals.
+  GAddr AllocStatic(size_t size, size_t align = 16);
+  // Deterministic malloc/free replacements (per-thread subheaps, §4.4).
+  GAddr Malloc(size_t size);
+  void Free(GAddr addr);
+
+  // Instrumented accesses: advance the caller's deterministic clock and
+  // read/write its private view (or the shared image when !isolation).
+  void Store(GAddr addr, const void* src, size_t len);
+  void Load(GAddr addr, void* dst, size_t len);
+  // Pure deterministic-clock advancement (compute-only code regions).
+  void Tick(uint64_t words);
+
+  // ---- threads -----------------------------------------------------------
+
+  // Spawns a deterministic thread running fn; returns its deterministic
+  // thread id (the value the paper's pthread_self returns).
+  size_t Spawn(std::function<void()> fn);
+  void Join(size_t tid);
+  [[nodiscard]] size_t CurrentTid() const;
+
+  // ---- synchronization ---------------------------------------------------
+
+  size_t CreateMutex();
+  size_t CreateCond();
+  size_t CreateBarrier(size_t parties);
+
+  void MutexLock(size_t id);
+  void MutexUnlock(size_t id);
+  void CondWait(size_t cond_id, size_t mutex_id);
+  void CondSignal(size_t cond_id);
+  void CondBroadcast(size_t cond_id);
+  void BarrierWait(size_t id);
+
+  // ---- low-level atomics (§4.6's sketched extension) -----------------------
+  //
+  // 64-bit atomic operations on shared locations, for ad hoc and lock-free
+  // synchronization. Exactly as the paper proposes: each operation is
+  // ordered by Kendo, and propagates memory modifications according to its
+  // acquire/release role — loads acquire, stores release, RMW does both.
+  // Each atomic location is backed by an implicit internal synchronization
+  // variable in the metadata space.
+  uint64_t AtomicLoad(GAddr addr);
+  void AtomicStore(GAddr addr, uint64_t value);
+  uint64_t AtomicFetchAdd(GAddr addr, uint64_t delta);  // returns old value
+  // Strong CAS; updates `expected` on failure, like std::atomic.
+  bool AtomicCas(GAddr addr, uint64_t& expected, uint64_t desired);
+
+  // ---- schedule tracing ----------------------------------------------------
+
+  enum class TraceOp : uint8_t {
+    kLockAcquired,
+    kUnlock,
+    kCondEnterWait,
+    kSignal,
+    kBroadcast,
+    kBarrierArrive,
+    kBarrierRelease,
+    kFork,
+    kJoin,
+    kExit,
+    kAtomic,
+  };
+  struct TraceEvent {
+    size_t tid;           // acting (or granted) thread
+    TraceOp op;
+    size_t object;        // sync var id / peer tid / atomic address
+    uint64_t kendo_clock; // deterministic clock of the acting thread
+    bool operator==(const TraceEvent&) const = default;
+  };
+  // Snapshot of the schedule recorded so far (requires record_trace).
+  [[nodiscard]] std::vector<TraceEvent> Trace() const;
+
+  // ---- introspection -----------------------------------------------------
+
+  [[nodiscard]] const RfdetOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] StatsSnapshot Snapshot() const;
+  [[nodiscard]] const MetadataArena& arena() const noexcept { return arena_; }
+  [[nodiscard]] size_t LiveSliceCount() const;
+
+  // Exposed for tests: force a GC cycle regardless of the threshold.
+  size_t ForceGc();
+
+ private:
+  struct ThreadCtx {
+    size_t tid = 0;
+    std::unique_ptr<ThreadView> view;  // null when !isolation
+    SliceLog log;
+    mutable std::mutex clock_mu;
+    VectorClock vclock;
+    // vclock as of this thread's last *turn-ordered* operation. Unlike
+    // vclock (which also advances during out-of-turn wake propagation),
+    // turn_time changes only under the turn, so other turn-holders can
+    // read it and obtain a deterministic value — the prelock optimization
+    // snapshots predecessors' turn_time as its propagation bound.
+    VectorClock turn_time;
+    uint64_t slice_seq = 0;
+    std::atomic<uint64_t> loads{0};   // word-counted, owner-written
+    std::atomic<uint64_t> stores{0};
+
+    std::thread worker;  // empty for the main thread
+    std::atomic<bool> finished{false};
+    VectorClock final_clock;
+    size_t joiner = kNone;  // tid parked in Join() on this thread
+    bool joined = false;
+
+    // Block/wake machinery: waiters sleep on wake_seq; the waker bumps it
+    // after filling the mailbox under its turn.
+    std::atomic<uint32_t> wake_seq{0};
+    size_t mail_src = kNone;     // releasing thread (propagation source)
+    VectorClock mail_time;       // the release's vector time
+  };
+
+  struct SyncVar {
+    enum class Kind : uint8_t { kMutex, kCond, kBarrier };
+    explicit SyncVar(Kind k) : kind(k) {}
+    Kind kind;
+    // Mutex state (mutated under the turn only).
+    bool locked = false;
+    size_t owner = kNone;
+    std::vector<size_t> waiters;  // FIFO — also the prelock reservation order
+    // Condition state.
+    std::vector<size_t> cond_waiters;  // FIFO
+    // Barrier state.
+    size_t parties = 0;
+    std::vector<size_t> arrived;
+    // DLRC release metadata (paper §4.1 internal synchronization variable).
+    size_t last_tid = kNone;
+    VectorClock last_time;
+  };
+
+  ThreadCtx& Ctx() const;
+  ThreadCtx& CtxOf(size_t tid) const { return *threads_[tid]; }
+  SyncVar& Var(size_t id, SyncVar::Kind kind);
+  // The implicit sync var backing an atomic location (created on first
+  // touch, under the caller's turn, so ids are deterministic).
+  SyncVar& AtomicVar(GAddr addr);
+  // Reads/writes the 8 bytes at addr in the caller's memory space.
+  uint64_t RawLoad64(ThreadCtx& me, GAddr addr);
+  void RawStore64(ThreadCtx& me, GAddr addr, uint64_t value);
+
+  // Ends the current slice: collects modifications, ticks the vector
+  // clock, publishes the slice, and triggers GC if the arena is full.
+  void CloseSlice(ThreadCtx& t);
+
+  // Propagates from src's log every slice with time ≤ upper not already
+  // seen by `me`, applying modifications to me's view and appending to
+  // me's log; then joins me's vector clock with upper.
+  void PropagateFrom(ThreadCtx& me, size_t src_tid, const VectorClock& upper,
+                     bool prelock_phase);
+
+  // DLRC acquire step for sync var sv (uses sv.last_tid / sv.last_time).
+  void AcquireFrom(ThreadCtx& me, const SyncVar& sv);
+  // DLRC release step: publish (me.tid, me.vclock) into sv.
+  void ReleasePublish(ThreadCtx& me, SyncVar& sv);
+
+  // Core of MutexLock. `fresh` is true for a direct lock call (the slice
+  // must be closed here, and slice-merging may apply); false for the
+  // re-acquire inside CondWait, whose slice was already closed at entry.
+  void LockCore(ThreadCtx& me, size_t id, SyncVar& m, bool fresh);
+
+  // Park the calling thread until the next wake; returns after the waker
+  // has filled the mailbox. Must be called with the turn held; pauses the
+  // Kendo clock before blocking.
+  void Block(ThreadCtx& me, uint32_t baseline);
+  // Wake `target` (the caller holds the turn), resuming its Kendo clock
+  // at the caller's clock + delta.
+  void Wake(ThreadCtx& me, ThreadCtx& target, uint64_t delta,
+            size_t mail_src, const VectorClock& mail_time);
+
+  // Prelock (§4.5): called by a waiter after enqueuing, before blocking —
+  // propagates slices that must happen-before its eventual acquire.
+  void PrelockPropagate(ThreadCtx& me, const SyncVar& m);
+
+  void MaybeRunGc();
+  size_t RunGc();
+
+  void WorkerMain(ThreadCtx& ctx, std::function<void()> fn);
+  void ThreadExit(ThreadCtx& me);
+
+  RfdetOptions options_;
+  MetadataArena arena_;
+  KendoEngine kendo_;
+  DetAllocator allocator_;
+  RuntimeStats stats_;
+
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;  // index = tid
+  mutable std::mutex threads_mu_;                    // guards growth only
+
+  std::deque<SyncVar> sync_vars_;  // stable references; growth under turn
+  std::mutex sync_vars_mu_;
+  std::unordered_map<GAddr, size_t> atomic_vars_;  // addr → sync var id
+
+  // Shared image for !isolation mode.
+  std::unique_ptr<std::byte[]> shared_image_;
+
+  std::mutex gc_mu_;
+  std::atomic<size_t> gc_cooldown_{0};
+
+  // Schedule trace: appended only under the turn (so the order is the
+  // deterministic synchronization order); the mutex covers the physical
+  // race with Trace() readers.
+  void Record(TraceOp op, size_t acting_tid, size_t object);
+  mutable std::mutex trace_mu_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace rfdet

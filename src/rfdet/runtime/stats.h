@@ -1,0 +1,57 @@
+// Runtime profiling counters — the raw material for the paper's Table 1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "rfdet/mem/thread_view.h"
+
+namespace rfdet {
+
+struct RuntimeStats {
+  std::atomic<uint64_t> locks{0};
+  std::atomic<uint64_t> unlocks{0};
+  std::atomic<uint64_t> cond_waits{0};
+  std::atomic<uint64_t> cond_signals{0};  // signal + broadcast
+  std::atomic<uint64_t> barriers{0};
+  std::atomic<uint64_t> forks{0};
+  std::atomic<uint64_t> joins{0};
+
+  std::atomic<uint64_t> loads{0};   // instrumented load ops (word-counted)
+  std::atomic<uint64_t> stores{0};  // instrumented store ops (word-counted)
+
+  std::atomic<uint64_t> slices_created{0};
+  std::atomic<uint64_t> slices_merged{0};  // acquires continuing a slice
+  std::atomic<uint64_t> slices_propagated{0};
+  std::atomic<uint64_t> bytes_propagated{0};
+  std::atomic<uint64_t> prelock_slices{0};  // propagated during reservation
+  std::atomic<uint64_t> prelock_bytes{0};
+  std::atomic<uint64_t> slices_pruned{0};
+};
+
+// Plain-value snapshot (also folds in per-view monitor stats).
+struct StatsSnapshot {
+  uint64_t locks = 0, unlocks = 0, cond_waits = 0, cond_signals = 0;
+  uint64_t barriers = 0, forks = 0, joins = 0;
+  uint64_t loads = 0, stores = 0;
+  uint64_t slices_created = 0, slices_merged = 0;
+  uint64_t slices_propagated = 0, bytes_propagated = 0;
+  uint64_t prelock_slices = 0, prelock_bytes = 0, slices_pruned = 0;
+  uint64_t gc_count = 0;
+  // Aggregated ViewStats.
+  uint64_t stores_with_copy = 0, page_faults = 0, mprotect_calls = 0;
+  uint64_t pages_diffed = 0;
+  uint64_t lazy_runs_parked = 0, lazy_runs_coalesced = 0;
+  uint64_t lazy_pages_applied = 0;
+  // Memory accounting.
+  size_t resident_bytes = 0;       // Σ per-thread view resident pages
+  size_t metadata_peak_bytes = 0;  // arena high-water mark
+
+  [[nodiscard]] uint64_t MemOps() const noexcept { return loads + stores; }
+  [[nodiscard]] uint64_t SyncOps() const noexcept {
+    return locks + unlocks + cond_waits + cond_signals + barriers + forks +
+           joins;
+  }
+};
+
+}  // namespace rfdet

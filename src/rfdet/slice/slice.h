@@ -1,0 +1,116 @@
+// Slices — the unit of memory-modification propagation (paper §4.2).
+//
+// A slice is a period of single-threaded, synchronization-free execution.
+// Slices have the *atomic property*: every access inside a slice has the
+// same happens-before relation to any instruction outside it, so DLRC can
+// propagate whole slices instead of individual writes. Each slice is the
+// triple <tid, modifications, timestamp> exactly as in the paper.
+//
+// Slices live logically in the metadata space: construction charges the
+// MetadataArena and destruction releases it, so arena usage tracks live
+// slice bytes and drives GC (paper §4.5 "Garbage Collection").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rfdet/mem/metadata_arena.h"
+#include "rfdet/mem/mod_list.h"
+#include "rfdet/time/vector_clock.h"
+
+namespace rfdet {
+
+class Slice {
+ public:
+  Slice(size_t tid, uint64_t seq, VectorClock time, ModList mods,
+        MetadataArena* arena)
+      : tid_(tid),
+        seq_(seq),
+        time_(std::move(time)),
+        mods_(std::move(mods)),
+        arena_(arena),
+        charged_bytes_(sizeof(Slice) + mods_.MemoryBytes() +
+                       time_.MemoryBytes()) {
+    if (arena_ != nullptr) arena_->Charge(charged_bytes_);
+  }
+
+  ~Slice() {
+    if (arena_ != nullptr) arena_->Release(charged_bytes_);
+  }
+
+  Slice(const Slice&) = delete;
+  Slice& operator=(const Slice&) = delete;
+
+  [[nodiscard]] size_t tid() const noexcept { return tid_; }
+  [[nodiscard]] uint64_t seq() const noexcept { return seq_; }
+  [[nodiscard]] const VectorClock& time() const noexcept { return time_; }
+  [[nodiscard]] const ModList& mods() const noexcept { return mods_; }
+  [[nodiscard]] size_t MemoryBytes() const noexcept { return charged_bytes_; }
+
+ private:
+  size_t tid_;
+  uint64_t seq_;
+  VectorClock time_;
+  ModList mods_;
+  MetadataArena* arena_;
+  size_t charged_bytes_;
+};
+
+using SliceRef = std::shared_ptr<const Slice>;
+
+// A thread's *slice pointers* list (paper §4.3): every slice — its own and
+// propagated ones — that happens-before the thread's current instruction,
+// in deterministic propagation order. Appended by the owner; read by other
+// threads during propagation; pruned by GC.
+class SliceLog {
+ public:
+  void Append(SliceRef slice) {
+    std::scoped_lock lock(mu_);
+    slices_.push_back(std::move(slice));
+  }
+
+  // Invokes fn(slice) on the current contents, in order, under the lock.
+  // fn must be cheap or the owner's appends stall (acceptable: propagation
+  // sources are briefly blocked in the paper's design too).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::scoped_lock lock(mu_);
+    for (const SliceRef& s : slices_) fn(s);
+  }
+
+  // Replaces contents wholesale (barrier: every thread adopts the merge
+  // thread's list).
+  void AssignFrom(const SliceLog& other) {
+    std::vector<SliceRef> copy;
+    {
+      std::scoped_lock lock(other.mu_);
+      copy = other.slices_;
+    }
+    std::scoped_lock lock(mu_);
+    slices_ = std::move(copy);
+  }
+
+  // Drops every slice with time ≤ bound (already merged into every live
+  // thread's memory — paper §4.5). Returns the number removed.
+  size_t Prune(const VectorClock& bound) {
+    std::scoped_lock lock(mu_);
+    const size_t before = slices_.size();
+    std::erase_if(slices_, [&bound](const SliceRef& s) {
+      return s->time().LessEq(bound);
+    });
+    return before - slices_.size();
+  }
+
+  [[nodiscard]] size_t Size() const {
+    std::scoped_lock lock(mu_);
+    return slices_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SliceRef> slices_;
+};
+
+}  // namespace rfdet

@@ -1,0 +1,48 @@
+#include "rfdet/time/vector_clock.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rfdet {
+
+void VectorClock::Join(const VectorClock& other) {
+  EnsureSize(other.c_.size());
+  for (size_t i = 0; i < other.c_.size(); ++i) {
+    c_[i] = std::max(c_[i], other.c_[i]);
+  }
+}
+
+void VectorClock::Meet(const VectorClock& other) {
+  // Missing components are zero on either side, so the result never has
+  // more (nonzero) dimensions than the smaller operand.
+  EnsureSize(other.c_.size());
+  for (size_t i = 0; i < c_.size(); ++i) {
+    c_[i] = std::min(c_[i], other.Get(i));
+  }
+}
+
+bool VectorClock::LessEq(const VectorClock& other) const noexcept {
+  for (size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] > other.Get(i)) return false;
+  }
+  return true;
+}
+
+bool VectorClock::Equals(const VectorClock& other) const noexcept {
+  const size_t n = std::max(c_.size(), other.c_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (Get(i) != other.Get(i)) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
+  os << '[';
+  for (size_t i = 0; i < vc.Dims(); ++i) {
+    if (i) os << ',';
+    os << vc.Get(i);
+  }
+  return os << ']';
+}
+
+}  // namespace rfdet

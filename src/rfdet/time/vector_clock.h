@@ -1,0 +1,90 @@
+// Vector clocks (Fidge/Mattern) — the happens-before substrate for DLRC.
+//
+// Every slice carries a vector-clock timestamp; DLRC's visibility rule
+// ("a write is visible iff it happens-before the current instruction") is
+// decided entirely by comparing these timestamps (paper §4.2: A → B iff
+// Time(A) < Time(B)).
+//
+// Clock protocol used by the runtime (equivalent to the paper's, with the
+// increment placed so every slice gets a time distinct from its
+// predecessor):
+//   * at each synchronization operation, thread t first ticks its own
+//     component, then closes the current slice with the resulting clock;
+//   * a release on object m publishes m.lastTime = Ct;
+//   * an acquire joins Ct with the observed release time.
+// Under this protocol the propagation filters of the paper's Figure 5
+// become exact set tests:
+//   propagate slice s  iff  s.time ≤ lastTime  (happens-before the release)
+//                      and !(s.time ≤ Ct)      (not already seen locally),
+// and the runtime maintains the invariant that s is in thread t's
+// slice-pointer list iff s.time ≤ Ct.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace rfdet {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(size_t dims) : c_(dims, 0) {}
+
+  // Component access; reads beyond the stored size are implicitly zero,
+  // so clocks created before later threads existed compare correctly.
+  [[nodiscard]] uint64_t Get(size_t tid) const noexcept {
+    return tid < c_.size() ? c_[tid] : 0;
+  }
+  void Set(size_t tid, uint64_t value) {
+    EnsureSize(tid + 1);
+    c_[tid] = value;
+  }
+  void Tick(size_t tid) {
+    EnsureSize(tid + 1);
+    ++c_[tid];
+  }
+
+  [[nodiscard]] size_t Dims() const noexcept { return c_.size(); }
+
+  // Componentwise least-upper-bound (the ⊔ of paper §4.2).
+  void Join(const VectorClock& other);
+
+  // Componentwise greatest-lower-bound; missing components count as zero.
+  // Used to compute the GC bound (min over all live threads' clocks).
+  void Meet(const VectorClock& other);
+
+  // Partial order. LessEq is componentwise ≤ (missing components are 0);
+  // Less additionally requires inequality; HappensBefore is an alias for
+  // Less matching the paper's A → B ⇔ Time(A) < Time(B).
+  [[nodiscard]] bool LessEq(const VectorClock& other) const noexcept;
+  [[nodiscard]] bool Less(const VectorClock& other) const noexcept {
+    return LessEq(other) && !Equals(other);
+  }
+  [[nodiscard]] bool Equals(const VectorClock& other) const noexcept;
+  [[nodiscard]] bool HappensBefore(const VectorClock& other) const noexcept {
+    return Less(other);
+  }
+  [[nodiscard]] bool ConcurrentWith(const VectorClock& other) const noexcept {
+    return !LessEq(other) && !other.LessEq(*this);
+  }
+
+  bool operator==(const VectorClock& other) const noexcept {
+    return Equals(other);
+  }
+
+  // Total memory retained by this clock (for metadata accounting).
+  [[nodiscard]] size_t MemoryBytes() const noexcept {
+    return c_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  void EnsureSize(size_t dims) {
+    if (c_.size() < dims) c_.resize(dims, 0);
+  }
+  std::vector<uint64_t> c_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc);
+
+}  // namespace rfdet

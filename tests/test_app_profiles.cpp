@@ -1,0 +1,172 @@
+// Table-1 profile regressions: each kernel must keep the synchronization
+// and sharing character the paper relies on (water-ns lock-heavy vs
+// water-sp, Phoenix lock-free, pipelines wait/signal-heavy, …), and every
+// kernel must run at both 1 and 8 threads.
+#include <gtest/gtest.h>
+
+#include "rfdet/apps/workload.h"
+#include "rfdet/backends/backends.h"
+#include "rfdet/harness/harness.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace {
+
+harness::RunOutcome RunCi(const char* name, size_t threads) {
+  const apps::Workload* w = apps::FindWorkload(name);
+  EXPECT_NE(w, nullptr) << name;
+  dmt::BackendConfig config;
+  config.kind = dmt::BackendKind::kRfdetCi;
+  config.region_bytes = 16u << 20;
+  apps::Params p;
+  p.threads = threads;
+  return harness::Measure(*w, p, config);
+}
+
+TEST(AppProfiles, WaterNsIsMuchMoreLockHeavyThanWaterSp) {
+  const auto ns = RunCi("water-ns", 4);
+  const auto sp = RunCi("water-sp", 4);
+  EXPECT_GT(ns.stats.locks, 4 * sp.stats.locks);
+}
+
+TEST(AppProfiles, PhoenixKernelsAreForkJoinOnly) {
+  for (const char* name :
+       {"linear_regression", "matrix_multiply", "wordcount",
+        "string_match"}) {
+    const auto out = RunCi(name, 4);
+    EXPECT_EQ(out.stats.locks, 0u) << name;
+    EXPECT_EQ(out.stats.cond_waits, 0u) << name;
+    EXPECT_EQ(out.stats.forks, 4u) << name;
+  }
+}
+
+TEST(AppProfiles, PipelinesAreWaitSignalHeavy) {
+  for (const char* name : {"dedup", "ferret"}) {
+    const auto out = RunCi(name, 4);
+    EXPECT_GT(out.stats.locks, 300u) << name;
+    EXPECT_GT(out.stats.cond_signals, 50u) << name;
+  }
+}
+
+TEST(AppProfiles, Splash2UsesLockBasedBarriers) {
+  // The c.m4.null.POSIX configuration: barriers come from lock/cond, so
+  // every SPLASH-2 kernel must report locks and waits but no native
+  // barrier operations.
+  for (const apps::Workload* w : apps::AllWorkloads()) {
+    if (w->Suite() != "splash2") continue;
+    dmt::BackendConfig config;
+    config.kind = dmt::BackendKind::kRfdetCi;
+    config.region_bytes = 16u << 20;
+    apps::Params p;
+    p.threads = 2;
+    const auto out = harness::Measure(*w, p, config);
+    EXPECT_GT(out.stats.locks, 0u) << w->Name();
+    EXPECT_GT(out.stats.cond_waits + out.stats.cond_signals, 0u)
+        << w->Name();
+    EXPECT_EQ(out.stats.barriers, 0u) << w->Name();
+  }
+}
+
+TEST(AppProfiles, LoadsOutnumberStores) {
+  // Paper §5.3: stores are the minority of memory operations. (Kernels
+  // whose traffic is dominated by their own setup writes, like
+  // linear_regression, are exactly balanced and excluded.)
+  for (const char* name : {"ocean", "water-ns", "ferret"}) {
+    const auto out = RunCi(name, 4);
+    EXPECT_GT(out.stats.loads, out.stats.stores) << name;
+  }
+}
+
+TEST(AppProfiles, SnapshotsAreASmallFractionOfStores) {
+  for (const char* name : {"ocean", "fft", "radix"}) {
+    const auto out = RunCi(name, 4);
+    EXPECT_LT(out.stats.stores_with_copy, out.stats.stores / 10) << name;
+  }
+}
+
+TEST(AppProfiles, RfdetFootprintExceedsPthreads) {
+  // Column 10 vs 11: isolated spaces multiply the shared footprint.
+  for (const char* name : {"linear_regression", "radix"}) {
+    const apps::Workload* w = apps::FindWorkload(name);
+    dmt::BackendConfig rf;
+    rf.kind = dmt::BackendKind::kRfdetCi;
+    rf.region_bytes = 16u << 20;
+    dmt::BackendConfig pt;
+    pt.kind = dmt::BackendKind::kPthreads;
+    pt.region_bytes = 16u << 20;
+    apps::Params p;
+    p.threads = 4;
+    const auto rfdet = harness::Measure(*w, p, rf);
+    const auto pthreads = harness::Measure(*w, p, pt);
+    EXPECT_GT(rfdet.footprint_bytes, pthreads.footprint_bytes) << name;
+  }
+}
+
+class AppThreadSweepTest
+    : public ::testing::TestWithParam<const apps::Workload*> {};
+INSTANTIATE_TEST_SUITE_P(AllApps, AppThreadSweepTest,
+                         ::testing::ValuesIn(apps::AllWorkloads()),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param->Name();
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(AppThreadSweepTest, RunsAtOneAndEightThreads) {
+  const apps::Workload& w = *GetParam();
+  for (const size_t threads : {1u, 8u}) {
+    dmt::BackendConfig config;
+    config.kind = dmt::BackendKind::kRfdetCi;
+    config.region_bytes = 16u << 20;
+    apps::Params p;
+    p.threads = threads;
+    const uint64_t sig = w.Run(*dmt::CreateEnv(config), p).signature;
+    EXPECT_NE(sig, 0u) << w.Name() << " @" << threads;
+  }
+}
+
+TEST(LazyWritesCoalescing, RepeatedCriticalSectionsCoalesce) {
+  // The paper's §4.5 example: ~20 critical sections updating the same
+  // location between the receiver's accesses — lazy writes must coalesce
+  // the parked updates so only the most recent value is ever written.
+  rfdet::RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.lazy_writes = true;
+  rfdet::RfdetRuntime rt(o);
+  // x on its own page: the receiver polls `done` without ever touching
+  // x's page, so x's parked updates accumulate and coalesce.
+  const rfdet::GAddr x = rt.AllocStatic(sizeof(uint64_t), 4096);
+  const rfdet::GAddr done = rt.AllocStatic(sizeof(uint64_t), 4096);
+  const size_t m = rt.CreateMutex();
+  const size_t tid = rt.Spawn([&] {
+    for (uint64_t i = 1; i <= 20; ++i) {
+      rt.MutexLock(m);
+      rt.Store(x, &i, sizeof i);
+      rt.MutexUnlock(m);
+      rt.Tick(200);
+    }
+    rt.MutexLock(m);
+    const uint64_t one = 1;
+    rt.Store(done, &one, sizeof one);
+    rt.MutexUnlock(m);
+  });
+  // Receiver: acquire repeatedly WITHOUT touching x, so updates park.
+  uint64_t d = 0;
+  while (d == 0) {
+    rt.MutexLock(m);
+    rt.Load(done, &d, sizeof d);
+    rt.MutexUnlock(m);
+    rt.Tick(50);
+  }
+  uint64_t v = 0;
+  rt.Load(x, &v, sizeof v);  // first touch applies the coalesced value
+  EXPECT_EQ(v, 20u);
+  const rfdet::StatsSnapshot s = rt.Snapshot();
+  EXPECT_GT(s.lazy_runs_parked, 0u);
+  EXPECT_GT(s.lazy_runs_coalesced, 0u);  // superseded updates never written
+  rt.Join(tid);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Utility substrate: deterministic RNG, hashing/signatures, snapshot pool,
+// chunk partitioning.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rfdet/apps/app_util.h"
+#include "rfdet/common/hash.h"
+#include "rfdet/common/rng.h"
+#include "rfdet/mem/snapshot_pool.h"
+
+namespace rfdet {
+namespace {
+
+TEST(Rng, SplitMix64IsReproducible) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  SplitMix64 c(43);
+  EXPECT_NE(SplitMix64(42).Next(), c.Next());
+}
+
+TEST(Rng, XoshiroStreamsAreSeedDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(Rng, NextDoubleIsInUnitInterval) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ReasonableSpread) {
+  Xoshiro256 rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 256; ++i) seen.insert(rng.Below(1u << 20));
+  EXPECT_GT(seen.size(), 250u);  // essentially no collisions
+}
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a(nullptr, 0), kFnvOffset);
+  EXPECT_EQ(Fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, SignatureIsOrderSensitive) {
+  Signature a;
+  a.Mix(1);
+  a.Mix(2);
+  Signature b;
+  b.Mix(2);
+  b.Mix(1);
+  EXPECT_NE(a.Value(), b.Value());
+  Signature c;
+  c.Mix(1);
+  c.Mix(2);
+  EXPECT_EQ(a.Value(), c.Value());
+}
+
+TEST(Hash, MixDoubleDistinguishesBitPatterns) {
+  Signature a;
+  a.MixDouble(0.0);
+  Signature b;
+  b.MixDouble(-0.0);
+  EXPECT_NE(a.Value(), b.Value());  // distinct IEEE bit patterns
+}
+
+TEST(SnapshotPool, AllocResetReuse) {
+  SnapshotPool pool;
+  EXPECT_EQ(pool.BytesInUse(), 0u);
+  std::byte* a = pool.AllocPage();
+  std::byte* b = pool.AllocPage();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.BytesInUse(), 2 * kPageSize);
+  a[0] = std::byte{1};
+  b[kPageSize - 1] = std::byte{2};  // both fully writable
+  pool.Reset();
+  EXPECT_EQ(pool.BytesInUse(), 0u);
+  EXPECT_EQ(pool.AllocPage(), a);  // memory is reused after reset
+}
+
+TEST(SnapshotPool, GrowsAcrossChunks) {
+  SnapshotPool pool;
+  std::set<std::byte*> pages;
+  for (int i = 0; i < 1500; ++i) {  // > one 1024-page chunk
+    std::byte* p = pool.AllocPage();
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(pages.insert(p).second) << "duplicate snapshot page";
+  }
+  EXPECT_GE(pool.BytesReserved(), 1500 * kPageSize);
+}
+
+TEST(ChunkOf, CoversExactlyOnce) {
+  for (const size_t n : {0u, 1u, 7u, 100u, 101u}) {
+    for (const size_t parts : {1u, 2u, 3u, 8u}) {
+      size_t covered = 0;
+      size_t prev_end = 0;
+      for (size_t t = 0; t < parts; ++t) {
+        const apps::Range r = apps::ChunkOf(n, parts, t);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_LE(r.begin, r.end);
+        covered += r.end - r.begin;
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(CombineUnordered, IsPartitionInsensitive) {
+  const uint64_t x = apps::CombineUnordered({1, 2, 3});
+  EXPECT_EQ(apps::CombineUnordered({3, 1, 2}), x);
+  EXPECT_EQ(apps::CombineUnordered({2, 3, 1}), x);
+  EXPECT_NE(apps::CombineUnordered({1, 2, 4}), x);
+}
+
+}  // namespace
+}  // namespace rfdet

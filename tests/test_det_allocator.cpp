@@ -1,0 +1,160 @@
+// DetAllocator unit and property tests: determinism, per-thread subheap
+// disjointness, size-class behaviour, free-list reuse, the static segment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "rfdet/common/rng.h"
+#include "rfdet/mem/det_allocator.h"
+
+namespace rfdet {
+namespace {
+
+DetAllocator::Config SmallConfig() {
+  DetAllocator::Config c;
+  c.static_size = 1u << 20;
+  c.heap_size = 8u << 20;
+  c.max_threads = 8;
+  return c;
+}
+
+TEST(DetAllocator, BlockSizeRounding) {
+  EXPECT_EQ(DetAllocator::BlockSizeFor(0), 16u);
+  EXPECT_EQ(DetAllocator::BlockSizeFor(1), 16u);
+  EXPECT_EQ(DetAllocator::BlockSizeFor(16), 16u);
+  EXPECT_EQ(DetAllocator::BlockSizeFor(17), 32u);
+  EXPECT_EQ(DetAllocator::BlockSizeFor(100), 128u);
+  EXPECT_EQ(DetAllocator::BlockSizeFor(4096), 4096u);
+  EXPECT_EQ(DetAllocator::BlockSizeFor(4097), 8192u);  // page-rounded large
+  EXPECT_EQ(DetAllocator::BlockSizeFor(10000), 12288u);
+}
+
+TEST(DetAllocator, StaticSegmentIsSequentialAndAligned) {
+  DetAllocator alloc(SmallConfig());
+  const GAddr a = alloc.AllocStatic(10);
+  const GAddr b = alloc.AllocStatic(10);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_GE(b, a + 10);
+  const GAddr c = alloc.AllocStatic(8, 64);
+  EXPECT_EQ(c % 64, 0u);
+}
+
+TEST(DetAllocator, StaticAndHeapNeverOverlap) {
+  DetAllocator alloc(SmallConfig());
+  const GAddr s = alloc.AllocStatic(1000);
+  const GAddr h = alloc.Alloc(0, 1000);
+  EXPECT_GE(h, alloc.HeapBase());
+  EXPECT_LT(s + 1000, alloc.HeapBase());
+}
+
+TEST(DetAllocator, ThreadsNeverCollide) {
+  DetAllocator alloc(SmallConfig());
+  std::map<GAddr, size_t> owners;
+  for (size_t t = 0; t < 8; ++t) {
+    for (int i = 0; i < 100; ++i) {
+      const GAddr a = alloc.Alloc(t, 64);
+      const auto [it, inserted] = owners.emplace(a, t);
+      EXPECT_TRUE(inserted) << "address " << a << " given to thread " << t
+                            << " and thread " << it->second;
+    }
+  }
+}
+
+TEST(DetAllocator, AllocationIsAPureFunctionOfPerThreadHistory) {
+  // Two allocators, fed the same per-thread sequences in different global
+  // interleavings, hand out identical addresses.
+  DetAllocator a(SmallConfig());
+  DetAllocator b(SmallConfig());
+  std::vector<GAddr> from_a;
+  std::vector<GAddr> from_b;
+  // Interleaving 1: round-robin.
+  for (int i = 0; i < 50; ++i) {
+    for (size_t t = 0; t < 4; ++t) from_a.push_back(a.Alloc(t, 48));
+  }
+  // Interleaving 2: thread-major.
+  std::vector<std::vector<GAddr>> per_thread(4);
+  for (size_t t = 0; t < 4; ++t) {
+    for (int i = 0; i < 50; ++i) per_thread[t].push_back(b.Alloc(t, 48));
+  }
+  for (int i = 0; i < 50; ++i) {
+    for (size_t t = 0; t < 4; ++t) from_b.push_back(per_thread[t][i]);
+  }
+  EXPECT_EQ(from_a, from_b);
+}
+
+TEST(DetAllocator, FreeListReuseIsLifo) {
+  DetAllocator alloc(SmallConfig());
+  const GAddr a = alloc.Alloc(0, 64);
+  const GAddr b = alloc.Alloc(0, 64);
+  alloc.Free(0, a);
+  alloc.Free(0, b);
+  EXPECT_EQ(alloc.Alloc(0, 64), b);  // LIFO
+  EXPECT_EQ(alloc.Alloc(0, 64), a);
+}
+
+TEST(DetAllocator, CrossThreadFreeMigratesOwnership) {
+  DetAllocator alloc(SmallConfig());
+  const GAddr a = alloc.Alloc(0, 128);
+  alloc.Free(1, a);                      // freed by a different thread
+  EXPECT_EQ(alloc.Alloc(1, 128), a);     // reused by the freeing thread
+}
+
+TEST(DetAllocator, LargeAllocationsRoundTrip) {
+  DetAllocator alloc(SmallConfig());
+  const GAddr a = alloc.Alloc(0, 100000);
+  alloc.Free(0, a);
+  EXPECT_EQ(alloc.Alloc(0, 100000), a);
+}
+
+TEST(DetAllocator, LiveBytesAccounting) {
+  DetAllocator alloc(SmallConfig());
+  EXPECT_EQ(alloc.LiveBytes(), 0u);
+  const GAddr a = alloc.Alloc(0, 100);  // rounds to 128
+  EXPECT_EQ(alloc.LiveBytes(), 128u);
+  EXPECT_EQ(alloc.PeakBytes(), 128u);
+  alloc.Free(0, a);
+  EXPECT_EQ(alloc.LiveBytes(), 0u);
+  EXPECT_EQ(alloc.PeakBytes(), 128u);
+  EXPECT_EQ(alloc.AllocCount(), 1u);
+  EXPECT_EQ(alloc.FreeCount(), 1u);
+}
+
+// Property: random alloc/free traffic never produces overlapping live
+// blocks and reuse stays within the same size class.
+class AllocatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorPropertyTest,
+                         ::testing::Values(3, 7, 31, 127));
+
+TEST_P(AllocatorPropertyTest, NoLiveOverlap) {
+  DetAllocator alloc(SmallConfig());
+  Xoshiro256 rng(GetParam());
+  std::map<GAddr, size_t> live;  // addr → rounded size
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.Below(3) != 0) {
+      const size_t want = 1 + rng.Below(600);
+      const GAddr a = alloc.Alloc(0, want);
+      const size_t block = DetAllocator::BlockSizeFor(want);
+      // Check non-overlap against every live block.
+      auto next = live.lower_bound(a);
+      if (next != live.end()) {
+        EXPECT_LE(a + block, next->first);
+      }
+      if (next != live.begin()) {
+        const auto prev = std::prev(next);
+        EXPECT_LE(prev->first + prev->second, a);
+      }
+      live.emplace(a, block);
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.Below(live.size()));
+      alloc.Free(0, it->first);
+      live.erase(it);
+    }
+  }
+  EXPECT_EQ(alloc.AllocCount() - alloc.FreeCount(), live.size());
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,164 @@
+// det_pthread compatibility shim: the paper's pthreads-replacement surface.
+#include <gtest/gtest.h>
+
+#include "rfdet/compat/det_pthread.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace {
+
+struct CounterArgs {
+  det_pthread_mutex_t* mutex;
+  uint64_t counter_addr;
+  int iters;
+};
+
+void* CounterWorker(void* raw) {
+  auto* args = static_cast<CounterArgs*>(raw);
+  for (int i = 0; i < args->iters; ++i) {
+    det_pthread_mutex_lock(args->mutex);
+    uint64_t v = 0;
+    det_load(args->counter_addr, &v, sizeof v);
+    ++v;
+    det_store(args->counter_addr, &v, sizeof v);
+    det_pthread_mutex_unlock(args->mutex);
+  }
+  return reinterpret_cast<void*>(static_cast<uintptr_t>(args->iters));
+}
+
+TEST(DetPthread, MutexCounterAndReturnValues) {
+  rfdet::RfdetOptions options;
+  options.region_bytes = 8u << 20;
+  options.static_bytes = 1u << 20;
+  rfdet::compat::DetProcess process(options);
+
+  det_pthread_mutex_t mutex;
+  ASSERT_EQ(det_pthread_mutex_init(&mutex, nullptr), 0);
+  const uint64_t counter = det_malloc(sizeof(uint64_t));
+  const uint64_t zero = 0;
+  det_store(counter, &zero, sizeof zero);
+
+  CounterArgs args{&mutex, counter, 40};
+  det_pthread_t t1;
+  det_pthread_t t2;
+  ASSERT_EQ(det_pthread_create(&t1, nullptr, CounterWorker, &args), 0);
+  ASSERT_EQ(det_pthread_create(&t2, nullptr, CounterWorker, &args), 0);
+  void* r1 = nullptr;
+  void* r2 = nullptr;
+  ASSERT_EQ(det_pthread_join(t1, &r1), 0);
+  ASSERT_EQ(det_pthread_join(t2, &r2), 0);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(r1), 40u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(r2), 40u);
+
+  uint64_t v = 0;
+  det_load(counter, &v, sizeof v);
+  EXPECT_EQ(v, 80u);
+  det_free(counter);
+  det_pthread_mutex_destroy(&mutex);
+}
+
+struct BarrierArgs {
+  det_pthread_barrier_t* barrier;
+  uint64_t slots;
+  int index;
+  int parties;
+  int sum;
+};
+
+void* BarrierWorker(void* raw) {
+  auto* args = static_cast<BarrierArgs*>(raw);
+  const int v = 100 + args->index;
+  det_store(args->slots + args->index * sizeof(int), &v, sizeof v);
+  det_pthread_barrier_wait(args->barrier);
+  int sum = 0;
+  for (int i = 0; i < args->parties; ++i) {
+    int x = 0;
+    det_load(args->slots + i * sizeof(int), &x, sizeof x);
+    sum += x;
+  }
+  args->sum = sum;
+  return nullptr;
+}
+
+TEST(DetPthread, BarrierAndSelf) {
+  rfdet::RfdetOptions options;
+  options.region_bytes = 8u << 20;
+  options.static_bytes = 1u << 20;
+  rfdet::compat::DetProcess process(options);
+  EXPECT_EQ(det_pthread_self(), 0u);  // main thread's deterministic id
+
+  constexpr int kParties = 3;
+  det_pthread_barrier_t barrier;
+  ASSERT_EQ(det_pthread_barrier_init(&barrier, nullptr, kParties), 0);
+  const uint64_t slots = det_malloc(kParties * sizeof(int));
+  BarrierArgs args[kParties];
+  det_pthread_t tids[kParties - 1];
+  for (int i = 0; i < kParties; ++i) {
+    args[i] = {&barrier, slots, i, kParties, 0};
+  }
+  for (int i = 1; i < kParties; ++i) {
+    ASSERT_EQ(det_pthread_create(&tids[i - 1], nullptr, BarrierWorker,
+                                 &args[i]),
+              0);
+  }
+  BarrierWorker(&args[0]);
+  for (int i = 1; i < kParties; ++i) {
+    ASSERT_EQ(det_pthread_join(tids[i - 1], nullptr), 0);
+  }
+  for (int i = 0; i < kParties; ++i) {
+    EXPECT_EQ(args[i].sum, 100 + 101 + 102);
+  }
+}
+
+struct CondArgs {
+  det_pthread_mutex_t* mutex;
+  det_pthread_cond_t* cond;
+  uint64_t stage;
+};
+
+void* CondWorker(void* raw) {
+  auto* args = static_cast<CondArgs*>(raw);
+  det_pthread_mutex_lock(args->mutex);
+  uint64_t s = 0;
+  det_load(args->stage, &s, sizeof s);
+  while (s != 1) {
+    det_pthread_cond_wait(args->cond, args->mutex);
+    det_load(args->stage, &s, sizeof s);
+  }
+  const uint64_t two = 2;
+  det_store(args->stage, &two, sizeof two);
+  det_pthread_cond_signal(args->cond);
+  det_pthread_mutex_unlock(args->mutex);
+  return nullptr;
+}
+
+TEST(DetPthread, CondHandshake) {
+  rfdet::RfdetOptions options;
+  options.region_bytes = 8u << 20;
+  options.static_bytes = 1u << 20;
+  rfdet::compat::DetProcess process(options);
+
+  det_pthread_mutex_t mutex;
+  det_pthread_cond_t cond;
+  det_pthread_mutex_init(&mutex, nullptr);
+  det_pthread_cond_init(&cond, nullptr);
+  const uint64_t stage = det_malloc(sizeof(uint64_t));
+
+  CondArgs args{&mutex, &cond, stage};
+  det_pthread_t tid;
+  ASSERT_EQ(det_pthread_create(&tid, nullptr, CondWorker, &args), 0);
+
+  det_pthread_mutex_lock(&mutex);
+  const uint64_t one = 1;
+  det_store(stage, &one, sizeof one);
+  det_pthread_cond_signal(&cond);
+  uint64_t s = 1;
+  while (s != 2) {
+    det_pthread_cond_wait(&cond, &mutex);
+    det_load(stage, &s, sizeof s);
+  }
+  det_pthread_mutex_unlock(&mutex);
+  ASSERT_EQ(det_pthread_join(tid, nullptr), 0);
+  EXPECT_EQ(s, 2u);
+}
+
+}  // namespace

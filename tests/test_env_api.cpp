@@ -1,0 +1,127 @@
+// dmt::Env surface: typed helpers, ArrayRef, backend metadata, and the
+// pthreads backend's basic behaviour (the one runtime not covered by the
+// determinism suites).
+#include <gtest/gtest.h>
+
+#include "rfdet/backends/backends.h"
+
+namespace {
+
+using dmt::BackendConfig;
+using dmt::BackendKind;
+
+std::unique_ptr<dmt::Env> Make(BackendKind kind) {
+  BackendConfig c;
+  c.kind = kind;
+  c.region_bytes = 16u << 20;
+  return dmt::CreateEnv(c);
+}
+
+TEST(EnvApi, NamesAndDeterminismFlags) {
+  EXPECT_EQ(Make(BackendKind::kPthreads)->Name(), "pthreads");
+  EXPECT_FALSE(Make(BackendKind::kPthreads)->Deterministic());
+  EXPECT_EQ(Make(BackendKind::kRfdetCi)->Name(), "rfdet-ci");
+  EXPECT_TRUE(Make(BackendKind::kRfdetCi)->Deterministic());
+  EXPECT_TRUE(Make(BackendKind::kDthreads)->Deterministic());
+}
+
+TEST(EnvApi, TypedHelpers) {
+  auto env = Make(BackendKind::kRfdetCi);
+  const dmt::GAddr a = env->AllocStatic(sizeof(double));
+  env->Put<double>(a, 3.25);
+  EXPECT_DOUBLE_EQ(env->Get<double>(a), 3.25);
+  struct Pod {
+    int x;
+    float y;
+  };
+  const dmt::GAddr b = env->AllocStatic(sizeof(Pod));
+  env->Put<Pod>(b, Pod{7, 1.5f});
+  const Pod r = env->Get<Pod>(b);
+  EXPECT_EQ(r.x, 7);
+  EXPECT_FLOAT_EQ(r.y, 1.5f);
+}
+
+TEST(EnvApi, ArrayRefBulkAndElementAccess) {
+  auto env = Make(BackendKind::kRfdetCi);
+  auto arr = dmt::MakeStaticArray<int32_t>(*env, 100);
+  EXPECT_EQ(arr.size(), 100u);
+  EXPECT_EQ(arr.addr(3), arr.base() + 12);
+  std::vector<int32_t> init(100);
+  for (int i = 0; i < 100; ++i) init[i] = i * i;
+  arr.Write(*env, 0, init.data(), 100);
+  EXPECT_EQ(arr.Get(*env, 9), 81);
+  arr.Put(*env, 9, -1);
+  std::vector<int32_t> out(5);
+  arr.Read(*env, 7, out.data(), 5);
+  EXPECT_EQ(out[0], 49);
+  EXPECT_EQ(out[2], -1);
+  EXPECT_EQ(out[4], 121);
+}
+
+TEST(EnvApi, MallocFreeOnEveryBackend) {
+  for (const BackendKind kind : dmt::AllBackends()) {
+    auto env = Make(kind);
+    const dmt::GAddr a = env->Malloc(256);
+    const dmt::GAddr b = env->Malloc(256);
+    EXPECT_NE(a, b) << dmt::ToString(kind);
+    env->Put<uint64_t>(a, 1);
+    env->Put<uint64_t>(b, 2);
+    EXPECT_EQ(env->Get<uint64_t>(a), 1u);
+    EXPECT_EQ(env->Get<uint64_t>(b), 2u);
+    env->Free(a);
+    env->Free(b);
+  }
+}
+
+TEST(PthreadsBackend, ThreadsAndSyncWork) {
+  auto env = Make(BackendKind::kPthreads);
+  const dmt::GAddr counter = env->AllocStatic(8, 8);
+  const size_t m = env->CreateMutex();
+  const size_t bar = env->CreateBarrier(3);
+  std::vector<size_t> tids;
+  for (int t = 0; t < 2; ++t) {
+    tids.push_back(env->Spawn([&] {
+      env->Barrier(bar);
+      for (int i = 0; i < 100; ++i) {
+        env->Lock(m);
+        env->Put<uint64_t>(counter, env->Get<uint64_t>(counter) + 1);
+        env->Unlock(m);
+      }
+    }));
+  }
+  env->Barrier(bar);
+  for (const size_t tid : tids) env->Join(tid);
+  EXPECT_EQ(env->Get<uint64_t>(counter), 200u);
+}
+
+TEST(PthreadsBackend, CondVarHandshake) {
+  auto env = Make(BackendKind::kPthreads);
+  const dmt::GAddr stage = env->AllocStatic(8, 8);
+  const size_t m = env->CreateMutex();
+  const size_t cv = env->CreateCond();
+  const size_t tid = env->Spawn([&] {
+    env->Lock(m);
+    while (env->Get<uint64_t>(stage) != 1) env->Wait(cv, m);
+    env->Put<uint64_t>(stage, 2);
+    env->Broadcast(cv);
+    env->Unlock(m);
+  });
+  env->Lock(m);
+  env->Put<uint64_t>(stage, 1);
+  env->Broadcast(cv);
+  while (env->Get<uint64_t>(stage) != 2) env->Wait(cv, m);
+  env->Unlock(m);
+  env->Join(tid);
+  EXPECT_EQ(env->Get<uint64_t>(stage), 2u);
+}
+
+TEST(EnvApi, StatsAreExposed) {
+  auto env = Make(BackendKind::kRfdetCi);
+  const dmt::GAddr a = env->AllocStatic(64);
+  for (int i = 0; i < 10; ++i) env->Put<uint64_t>(a, i);
+  const rfdet::StatsSnapshot s = env->Stats();
+  EXPECT_GE(s.stores, 10u);
+  EXPECT_GT(env->FootprintBytes(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+// pf-mode fault-handler robustness: genuine crashes must not be absorbed
+// by the monitoring handler, and monitoring must work across repeated
+// activate/deactivate cycles and multiple coexisting views.
+#include <gtest/gtest.h>
+
+#include "rfdet/mem/thread_view.h"
+
+namespace rfdet {
+namespace {
+
+TEST(FaultHandler, GenuineCrashStillDies) {
+  // With a pf view active on this thread, a wild access outside the view
+  // must fall through to the default disposition and kill the process.
+  EXPECT_DEATH(
+      {
+        MetadataArena arena(16u << 20);
+        ThreadView view(1u << 20, MonitorMode::kPageFault, &arena);
+        view.ActivateOnThisThread();
+        volatile int* wild = reinterpret_cast<int*>(0x10);
+        *wild = 1;  // not within any view: real segfault
+      },
+      "");
+}
+
+TEST(FaultHandler, ReactivationAcrossViews) {
+  MetadataArena arena(16u << 20);
+  ThreadView a(1u << 20, MonitorMode::kPageFault, &arena);
+  ThreadView b(1u << 20, MonitorMode::kPageFault, &arena);
+  const uint64_t va = 11;
+  const uint64_t vb = 22;
+  a.ActivateOnThisThread();
+  a.Store(0, &va, sizeof va);
+  b.ActivateOnThisThread();
+  b.Store(0, &vb, sizeof vb);
+  a.ActivateOnThisThread();
+  uint64_t r = 0;
+  a.Load(0, &r, sizeof r);
+  EXPECT_EQ(r, va);
+  b.ActivateOnThisThread();
+  b.Load(0, &r, sizeof r);
+  EXPECT_EQ(r, vb);
+  EXPECT_EQ(a.Stats().page_faults, 1u);
+  EXPECT_EQ(b.Stats().page_faults, 1u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST(FaultHandler, ReadOfCleanPageDoesNotFault) {
+  MetadataArena arena(16u << 20);
+  ThreadView view(1u << 20, MonitorMode::kPageFault, &arena);
+  view.ActivateOnThisThread();
+  uint64_t r = 1;
+  view.Load(4096 * 5, &r, sizeof r);  // untouched page: plain zero read
+  EXPECT_EQ(r, 0u);
+  EXPECT_EQ(view.Stats().page_faults, 0u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST(FaultHandler, WriteFaultsOncePerSlicePerPage) {
+  MetadataArena arena(16u << 20);
+  ThreadView view(1u << 20, MonitorMode::kPageFault, &arena);
+  view.ActivateOnThisThread();
+  const uint64_t v = 3;
+  for (int slice = 0; slice < 4; ++slice) {
+    for (int i = 0; i < 10; ++i) {
+      view.Store(static_cast<GAddr>(i) * 8, &v, sizeof v);
+    }
+    ModList mods;
+    view.CollectModifications(mods);
+  }
+  EXPECT_EQ(view.Stats().page_faults, 4u);  // one per slice, same page
+  ThreadView::DeactivateOnThisThread();
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,165 @@
+// Slice garbage collection (§4.5) and metadata-space accounting (§5.4).
+#include <gtest/gtest.h>
+
+#include "rfdet/runtime/runtime.h"
+#include "rfdet/slice/slice.h"
+
+namespace rfdet {
+namespace {
+
+TEST(MetadataArena, ChargeReleaseAndPeak) {
+  MetadataArena arena(1000, 0.5);
+  EXPECT_FALSE(arena.NeedsGc());
+  arena.Charge(400);
+  EXPECT_FALSE(arena.NeedsGc());
+  arena.Charge(200);
+  EXPECT_TRUE(arena.NeedsGc());  // 600 ≥ 500
+  arena.Release(300);
+  EXPECT_FALSE(arena.NeedsGc());
+  EXPECT_EQ(arena.Used(), 300u);
+  EXPECT_EQ(arena.Peak(), 600u);
+}
+
+TEST(Slice, ChargesArenaForItsLifetime) {
+  MetadataArena arena(1u << 20);
+  ModList mods;
+  const std::byte b[16] = {};
+  mods.Append(0, b);
+  {
+    Slice slice(0, 1, VectorClock(2), std::move(mods), &arena);
+    EXPECT_GT(arena.Used(), 0u);
+    EXPECT_EQ(arena.Used(), slice.MemoryBytes());
+  }
+  EXPECT_EQ(arena.Used(), 0u);
+}
+
+TEST(SliceLog, PruneRemovesOnlyDominatedSlices) {
+  MetadataArena arena(1u << 20);
+  SliceLog log;
+  auto mk = [&](std::initializer_list<uint64_t> time) {
+    VectorClock vc;
+    size_t i = 0;
+    for (const uint64_t v : time) vc.Set(i++, v);
+    return std::make_shared<Slice>(0, 0, vc, ModList{}, &arena);
+  };
+  log.Append(mk({1, 0}));
+  log.Append(mk({2, 0}));
+  log.Append(mk({0, 5}));
+  VectorClock bound;
+  bound.Set(0, 1);
+  bound.Set(1, 9);
+  EXPECT_EQ(log.Prune(bound), 2u);  // {1,0} and {0,5} are ≤ bound
+  EXPECT_EQ(log.Size(), 1u);
+}
+
+TEST(RuntimeGc, ForceGcCollectsFullyPropagatedSlices) {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  RfdetRuntime rt(o);
+  const GAddr a = rt.AllocStatic(4096);
+  const size_t m = rt.CreateMutex();
+  // Generate slices in the main thread only: with no other live thread,
+  // everything it produced is ≤ every live clock and thus collectable.
+  for (int i = 0; i < 20; ++i) {
+    rt.MutexLock(m);
+    rt.Store(a + static_cast<GAddr>(i) * 8, &i, sizeof i);
+    rt.MutexUnlock(m);
+  }
+  EXPECT_GT(rt.LiveSliceCount(), 0u);
+  const size_t used_before = rt.arena().Used();
+  EXPECT_GT(rt.ForceGc(), 0u);
+  EXPECT_EQ(rt.LiveSliceCount(), 0u);
+  EXPECT_LT(rt.arena().Used(), used_before);
+}
+
+TEST(RuntimeGc, SlicesNeededByPeersSurviveGc) {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  RfdetRuntime rt(o);
+  const GAddr a = rt.AllocStatic(64);
+  const GAddr gate = rt.AllocStatic(sizeof(int));
+  const size_t m = rt.CreateMutex();
+  // A child that waits (deterministically) before consuming main's writes.
+  const size_t tid = rt.Spawn([&] {
+    int go = 0;
+    while (go == 0) {
+      rt.MutexLock(m);
+      rt.Load(gate, &go, sizeof go);
+      rt.MutexUnlock(m);
+    }
+    int v = 0;
+    rt.Load(a, &v, sizeof v);
+    EXPECT_EQ(v, 1234);
+  });
+  const int v = 1234;
+  rt.MutexLock(m);
+  rt.Store(a, &v, sizeof v);
+  rt.MutexUnlock(m);
+  // GC now: the child has not yet seen the slice, so it must survive.
+  rt.ForceGc();
+  rt.MutexLock(m);
+  const int one = 1;
+  rt.Store(gate, &one, sizeof one);
+  rt.MutexUnlock(m);
+  rt.Join(tid);  // the child's EXPECT ran with the surviving slice
+}
+
+TEST(RuntimeGc, ThresholdTriggersAutomaticGc) {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.metadata_bytes = 512u << 10;  // tiny: 512 KB
+  o.gc_threshold = 0.5;
+  RfdetRuntime rt(o);
+  const GAddr a = rt.AllocStatic(256 * 1024);
+  const size_t m = rt.CreateMutex();
+  std::vector<std::byte> junk(8192);
+  for (int i = 0; i < 64; ++i) {
+    rt.MutexLock(m);
+    for (auto& b : junk) b = static_cast<std::byte>(i);
+    rt.Store(a + (i % 16) * 8192, junk.data(), junk.size());
+    rt.MutexUnlock(m);
+  }
+  EXPECT_GT(rt.Snapshot().gc_count, 0u);
+  EXPECT_GT(rt.Snapshot().slices_pruned, 0u);
+}
+
+TEST(RuntimeGc, GcDoesNotChangeResults) {
+  auto run = [](size_t metadata_bytes) {
+    RfdetOptions o;
+    o.region_bytes = 8u << 20;
+    o.static_bytes = 1u << 20;
+    o.metadata_bytes = metadata_bytes;
+    o.gc_threshold = 0.5;
+    RfdetRuntime rt(o);
+    const GAddr arr = rt.AllocStatic(64 * 1024);
+    const size_t m = rt.CreateMutex();
+    std::vector<size_t> tids;
+    for (int t = 0; t < 3; ++t) {
+      tids.push_back(rt.Spawn([&, t] {
+        std::vector<uint64_t> buf(512);
+        for (int i = 0; i < 40; ++i) {
+          rt.MutexLock(m);
+          rt.Load(arr, buf.data(), buf.size() * 8);
+          for (auto& b : buf) b = b * 31 + static_cast<uint64_t>(t + i);
+          rt.Store(arr, buf.data(), buf.size() * 8);
+          rt.MutexUnlock(m);
+        }
+      }));
+    }
+    for (const size_t tid : tids) rt.Join(tid);
+    uint64_t digest = 0;
+    std::vector<uint64_t> buf(512);
+    rt.Load(arr, buf.data(), buf.size() * 8);
+    for (const uint64_t b : buf) digest = digest * 1099511628211ull + b;
+    return digest;
+  };
+  const uint64_t with_pressure = run(256u << 10);
+  const uint64_t without_pressure = run(256u << 20);
+  EXPECT_EQ(with_pressure, without_pressure);
+}
+
+}  // namespace
+}  // namespace rfdet

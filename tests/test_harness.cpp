@@ -1,0 +1,111 @@
+// Harness utilities: flag parsing, geometric mean, formatting, and the
+// Measure plumbing (timings, stats, signatures).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfdet/harness/harness.h"
+
+namespace {
+
+TEST(Flags, ParsesKeyValueAndBareFlags) {
+  const char* argv[] = {"prog",        "--threads=8", "--name=radix",
+                        "--verbose",   "positional",  "--ratio=0.5"};
+  harness::Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.Int("threads", 1), 8);
+  EXPECT_EQ(flags.Str("name", "x"), "radix");
+  EXPECT_TRUE(flags.Bool("verbose", false));
+  EXPECT_EQ(flags.Str("ratio", ""), "0.5");
+  ASSERT_EQ(flags.Positional().size(), 1u);
+  EXPECT_EQ(flags.Positional()[0], "positional");
+}
+
+TEST(Flags, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  harness::Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.Int("missing", 42), 42);
+  EXPECT_EQ(flags.Str("missing", "dflt"), "dflt");
+  EXPECT_FALSE(flags.Bool("missing", false));
+}
+
+TEST(Flags, ExplicitFalseValues) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=1"};
+  harness::Flags flags(4, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.Bool("a", true));
+  EXPECT_FALSE(flags.Bool("b", true));
+  EXPECT_TRUE(flags.Bool("c", false));
+}
+
+TEST(GeoMean, BasicProperties) {
+  EXPECT_DOUBLE_EQ(harness::GeoMean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(harness::GeoMean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(harness::GeoMean({}), 0.0);
+  // Non-positive entries are ignored.
+  EXPECT_DOUBLE_EQ(harness::GeoMean({0.0, 2.0, 8.0}), 4.0);
+  // Scale invariance: gm(kx) = k · gm(x).
+  const double gm = harness::GeoMean({1.5, 2.5, 3.5});
+  const double gm2 = harness::GeoMean({3.0, 5.0, 7.0});
+  EXPECT_NEAR(gm2, 2.0 * gm, 1e-12);
+}
+
+TEST(Format, Strings) {
+  EXPECT_EQ(harness::FormatSeconds(1.23456), "1.235");
+  EXPECT_EQ(harness::FormatRatio(2.5), "2.50x");
+  EXPECT_EQ(harness::FormatBytesMb(27ull << 20), "27.0");
+  EXPECT_EQ(harness::FormatCount(123456), "123456");
+}
+
+TEST(Measure, ProducesTimingsStatsAndStableSignature) {
+  const apps::Workload* w = apps::FindWorkload("matrix_multiply");
+  ASSERT_NE(w, nullptr);
+  dmt::BackendConfig config;
+  config.kind = dmt::BackendKind::kRfdetCi;
+  config.region_bytes = 16u << 20;
+  apps::Params p;
+  p.threads = 2;
+  const harness::RunOutcome a = harness::Measure(*w, p, config);
+  const harness::RunOutcome b = harness::Measure(*w, p, config);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_GT(a.seconds, 0.0);
+  EXPECT_GT(a.stats.stores, 0u);
+  EXPECT_EQ(a.stats.forks, 2u);
+  EXPECT_GT(a.footprint_bytes, 0u);
+}
+
+TEST(Measure, BestOfRepeatKeepsMinimum) {
+  const apps::Workload* w = apps::FindWorkload("string_match");
+  dmt::BackendConfig config;
+  config.kind = dmt::BackendKind::kPthreads;
+  config.region_bytes = 16u << 20;
+  apps::Params p;
+  p.threads = 2;
+  const harness::RunOutcome best = harness::MeasureBest(*w, p, config, 3);
+  const harness::RunOutcome one = harness::Measure(*w, p, config);
+  EXPECT_EQ(best.signature, one.signature);
+  EXPECT_GT(best.seconds, 0.0);
+}
+
+TEST(Registry, AllPaperWorkloadsPresent) {
+  const char* expected[] = {
+      "ocean",         "water-ns",     "water-sp",  "fft",
+      "radix",         "lu-con",       "lu-non",    "linear_regression",
+      "matrix_multiply", "pca",        "wordcount", "string_match",
+      "blackscholes",  "swaptions",    "dedup",     "ferret",
+      "racey",         "canneal"};
+  for (const char* name : expected) {
+    EXPECT_NE(apps::FindWorkload(name), nullptr) << name;
+  }
+  EXPECT_EQ(apps::AllWorkloads().size(), 18u);
+  EXPECT_EQ(apps::FindWorkload("nope"), nullptr);
+}
+
+TEST(Backends, ParseRoundTrip) {
+  for (const dmt::BackendKind kind : dmt::AllBackends()) {
+    const auto parsed = dmt::ParseBackend(dmt::ToString(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(dmt::ParseBackend("bogus").has_value());
+}
+
+}  // namespace

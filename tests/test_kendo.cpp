@@ -1,0 +1,113 @@
+// KendoEngine unit tests: turn uniqueness, tid tie-breaking, pause/resume
+// semantics, and cross-thread turn hand-off.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rfdet/kendo/kendo.h"
+
+namespace rfdet {
+namespace {
+
+TEST(Kendo, SingleThreadAlwaysHasTurn) {
+  KendoEngine k(4);
+  ASSERT_EQ(k.RegisterThread(1), 0u);
+  EXPECT_TRUE(k.HasTurn(0));
+  k.Tick(0, 100);
+  EXPECT_TRUE(k.HasTurn(0));
+}
+
+TEST(Kendo, LowestClockHasTurn) {
+  KendoEngine k(4);
+  k.RegisterThread(5);
+  k.RegisterThread(3);
+  EXPECT_FALSE(k.HasTurn(0));
+  EXPECT_TRUE(k.HasTurn(1));
+  k.Tick(1, 10);  // now clock(1)=13 > clock(0)=5
+  EXPECT_TRUE(k.HasTurn(0));
+  EXPECT_FALSE(k.HasTurn(1));
+}
+
+TEST(Kendo, TidBreaksTies) {
+  KendoEngine k(4);
+  k.RegisterThread(7);
+  k.RegisterThread(7);
+  EXPECT_TRUE(k.HasTurn(0));
+  EXPECT_FALSE(k.HasTurn(1));
+}
+
+TEST(Kendo, TurnIsUnique) {
+  KendoEngine k(8);
+  for (int t = 0; t < 5; ++t) k.RegisterThread(10 + t % 3);
+  int holders = 0;
+  for (size_t t = 0; t < 5; ++t) holders += k.HasTurn(t) ? 1 : 0;
+  EXPECT_EQ(holders, 1);
+}
+
+TEST(Kendo, PausedThreadsAreExcluded) {
+  KendoEngine k(4);
+  k.RegisterThread(1);
+  k.RegisterThread(9);
+  EXPECT_FALSE(k.HasTurn(1));
+  k.Pause(0);
+  EXPECT_TRUE(k.IsPaused(0));
+  EXPECT_EQ(k.SavedClock(0), 1u);
+  EXPECT_TRUE(k.HasTurn(1));
+  k.Resume(0, 20);
+  EXPECT_FALSE(k.IsPaused(0));
+  EXPECT_TRUE(k.HasTurn(1));  // resumed with a larger clock
+  EXPECT_EQ(k.Clock(0), 20u);
+}
+
+TEST(Kendo, ExitIsPermanentExclusion) {
+  KendoEngine k(4);
+  k.RegisterThread(1);
+  k.RegisterThread(50);
+  k.Exit(0);
+  EXPECT_TRUE(k.HasTurn(1));
+}
+
+TEST(Kendo, WaitForTurnBlocksUntilOthersAdvance) {
+  KendoEngine k(4);
+  k.RegisterThread(10);  // tid 0: will wait
+  k.RegisterThread(2);   // tid 1: holds the turn initially
+  std::atomic<bool> got_turn{false};
+  std::thread waiter([&] {
+    k.WaitForTurn(0);
+    got_turn.store(true, std::memory_order_release);
+  });
+  // Busy thread advances past the waiter's clock, releasing the turn.
+  while (!got_turn.load(std::memory_order_acquire)) {
+    k.Tick(1, 1);
+  }
+  waiter.join();
+  EXPECT_GT(k.Clock(1), k.Clock(0));
+}
+
+TEST(Kendo, WaitForTurnUnblocksOnPause) {
+  KendoEngine k(4);
+  k.RegisterThread(10);
+  k.RegisterThread(2);
+  std::atomic<bool> got_turn{false};
+  std::thread waiter([&] {
+    k.WaitForTurn(0);
+    got_turn.store(true, std::memory_order_release);
+  });
+  k.Pause(1);  // the lower-clock thread blocks → waiter gets the turn
+  waiter.join();
+  EXPECT_TRUE(got_turn.load());
+}
+
+TEST(Kendo, RegistrationVisibleToTurnChecks) {
+  KendoEngine k(4);
+  k.RegisterThread(10);
+  EXPECT_TRUE(k.HasTurn(0));
+  k.RegisterThread(3);  // newcomer with smaller clock
+  EXPECT_FALSE(k.HasTurn(0));
+  EXPECT_TRUE(k.HasTurn(1));
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,111 @@
+// API-misuse hardening: the runtime fails fast (RFDET_CHECK) on the
+// pthreads usage errors that are undefined behaviour in POSIX.
+#include <gtest/gtest.h>
+
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+RfdetOptions Small() {
+  RfdetOptions o;
+  o.region_bytes = 4u << 20;
+  o.static_bytes = 1u << 20;
+  return o;
+}
+
+using MisuseDeathTest = ::testing::Test;
+
+TEST(MisuseDeathTest, UnlockWithoutLockAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t m = rt.CreateMutex();
+        rt.MutexUnlock(m);
+      },
+      "unlock of unowned mutex");
+}
+
+TEST(MisuseDeathTest, UnlockByNonOwnerAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t m = rt.CreateMutex();
+        rt.MutexLock(m);
+        const size_t tid = rt.Spawn([&] { rt.MutexUnlock(m); });
+        rt.Join(tid);
+      },
+      "unlock of unowned mutex");
+}
+
+TEST(MisuseDeathTest, WaitWithoutMutexAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t m = rt.CreateMutex();
+        const size_t cv = rt.CreateCond();
+        rt.CondWait(cv, m);  // mutex not held
+      },
+      "cond wait without holding the mutex");
+}
+
+TEST(MisuseDeathTest, WrongSyncKindAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t cv = rt.CreateCond();
+        rt.MutexLock(cv);  // a condvar id is not a mutex
+      },
+      "wrong kind");
+}
+
+TEST(MisuseDeathTest, UnknownSyncIdAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        rt.MutexLock(12345);
+      },
+      "unknown sync object id");
+}
+
+TEST(MisuseDeathTest, StaticAllocFromWorkerAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t tid = rt.Spawn([&] { rt.AllocStatic(16); });
+        rt.Join(tid);
+      },
+      "main-thread setup");
+}
+
+TEST(MisuseDeathTest, FreeOfUnallocatedAddressAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        rt.Free(424242);
+      },
+      "free of unallocated address");
+}
+
+TEST(MisuseDeathTest, DoubleJoinAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t tid = rt.Spawn([] {});
+        rt.Join(tid);
+        rt.Join(tid);
+      },
+      "double join");
+}
+
+TEST(MisuseDeathTest, SecondRuntimeOnSameThreadAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime first(Small());
+        RfdetRuntime second(Small());
+      },
+      "already attached");
+}
+
+}  // namespace
+}  // namespace rfdet

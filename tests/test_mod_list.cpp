@@ -1,0 +1,196 @@
+// ModList / page-diffing unit and property tests. The §4.6 correctness
+// argument rests on diffs being *byte-exact*: a run must never cover an
+// unmodified byte (or stale values would overwrite concurrent writers).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rfdet/common/rng.h"
+#include "rfdet/mem/mod_list.h"
+
+namespace rfdet {
+namespace {
+
+TEST(ModList, EmptyDiffProducesNoRuns) {
+  alignas(8) std::byte a[kPageSize] = {};
+  alignas(8) std::byte b[kPageSize] = {};
+  ModList mods;
+  mods.AppendPageDiff(0, a, b);
+  EXPECT_TRUE(mods.Empty());
+  EXPECT_EQ(mods.RunCount(), 0u);
+  EXPECT_EQ(mods.ByteCount(), 0u);
+}
+
+TEST(ModList, SingleByteDiff) {
+  alignas(8) std::byte snap[kPageSize] = {};
+  alignas(8) std::byte cur[kPageSize] = {};
+  cur[100] = std::byte{0xaa};
+  ModList mods;
+  mods.AppendPageDiff(4096, snap, cur);
+  ASSERT_EQ(mods.RunCount(), 1u);
+  const ModRun& run = mods.Runs()[0];
+  EXPECT_EQ(run.addr, 4096u + 100);
+  EXPECT_EQ(run.len, 1u);
+  EXPECT_EQ(mods.RunData(run)[0], std::byte{0xaa});
+}
+
+TEST(ModList, AdjacentBytesCoalesceIntoOneRun) {
+  alignas(8) std::byte snap[kPageSize] = {};
+  alignas(8) std::byte cur[kPageSize] = {};
+  for (int i = 10; i < 20; ++i) cur[i] = std::byte{0x11};
+  ModList mods;
+  mods.AppendPageDiff(0, snap, cur);
+  ASSERT_EQ(mods.RunCount(), 1u);
+  EXPECT_EQ(mods.Runs()[0].addr, 10u);
+  EXPECT_EQ(mods.Runs()[0].len, 10u);
+}
+
+TEST(ModList, GapsSplitRuns) {
+  alignas(8) std::byte snap[kPageSize] = {};
+  alignas(8) std::byte cur[kPageSize] = {};
+  cur[0] = std::byte{1};
+  cur[2] = std::byte{1};  // byte 1 unmodified
+  ModList mods;
+  mods.AppendPageDiff(0, snap, cur);
+  ASSERT_EQ(mods.RunCount(), 2u);
+  EXPECT_EQ(mods.Runs()[0].addr, 0u);
+  EXPECT_EQ(mods.Runs()[0].len, 1u);
+  EXPECT_EQ(mods.Runs()[1].addr, 2u);
+  EXPECT_EQ(mods.Runs()[1].len, 1u);
+}
+
+TEST(ModList, RedundantWriteProducesNoRun) {
+  // Rewriting a location with its existing value must not appear in the
+  // diff — the §4.6 local-wins policy depends on this.
+  alignas(8) std::byte snap[kPageSize];
+  alignas(8) std::byte cur[kPageSize];
+  std::memset(snap, 0x5a, kPageSize);
+  std::memcpy(cur, snap, kPageSize);
+  cur[77] = std::byte{0x5a};  // "write" of the same value
+  ModList mods;
+  mods.AppendPageDiff(0, snap, cur);
+  EXPECT_TRUE(mods.Empty());
+}
+
+TEST(ModList, BoundaryBytes) {
+  alignas(8) std::byte snap[kPageSize] = {};
+  alignas(8) std::byte cur[kPageSize] = {};
+  cur[0] = std::byte{1};
+  cur[kPageSize - 1] = std::byte{2};
+  ModList mods;
+  mods.AppendPageDiff(0, snap, cur);
+  ASSERT_EQ(mods.RunCount(), 2u);
+  EXPECT_EQ(mods.Runs()[0].addr, 0u);
+  EXPECT_EQ(mods.Runs()[1].addr, kPageSize - 1);
+}
+
+TEST(ModList, WholePageModified) {
+  alignas(8) std::byte snap[kPageSize] = {};
+  alignas(8) std::byte cur[kPageSize];
+  std::memset(cur, 0xff, kPageSize);
+  ModList mods;
+  mods.AppendPageDiff(0, snap, cur);
+  ASSERT_EQ(mods.RunCount(), 1u);
+  EXPECT_EQ(mods.Runs()[0].len, kPageSize);
+  EXPECT_EQ(mods.ByteCount(), kPageSize);
+}
+
+TEST(ModList, AppendIgnoresEmptySpans) {
+  ModList mods;
+  mods.Append(0, {});
+  EXPECT_TRUE(mods.Empty());
+}
+
+TEST(ModListCoalescing, ExactRangeIsReplacedInPlace) {
+  ModList mods;
+  const std::byte v1[4] = {std::byte{1}, std::byte{1}, std::byte{1},
+                           std::byte{1}};
+  const std::byte v2[4] = {std::byte{2}, std::byte{2}, std::byte{2},
+                           std::byte{2}};
+  EXPECT_FALSE(mods.AppendCoalescing(100, v1));
+  EXPECT_TRUE(mods.AppendCoalescing(100, v2));  // replaced, not appended
+  EXPECT_EQ(mods.RunCount(), 1u);
+  EXPECT_EQ(mods.RunData(mods.Runs()[0])[0], std::byte{2});
+}
+
+TEST(ModListCoalescing, DisjointRunsDoNotBlockReplacement) {
+  ModList mods;
+  const std::byte a[2] = {std::byte{1}, std::byte{1}};
+  const std::byte b[2] = {std::byte{2}, std::byte{2}};
+  const std::byte c[2] = {std::byte{3}, std::byte{3}};
+  mods.AppendCoalescing(0, a);
+  mods.AppendCoalescing(100, b);  // disjoint
+  EXPECT_TRUE(mods.AppendCoalescing(0, c));
+  EXPECT_EQ(mods.RunCount(), 2u);
+  EXPECT_EQ(mods.RunData(mods.Runs()[0])[0], std::byte{3});
+}
+
+TEST(ModListCoalescing, PartialOverlapForcesAppend) {
+  // [0,8) then [4,12): replacing the first in place would let the middle
+  // run win bytes it must lose — the scan must stop and append instead.
+  ModList mods;
+  std::byte v1[8];
+  std::memset(v1, 1, sizeof v1);
+  std::byte v2[8];
+  std::memset(v2, 2, sizeof v2);
+  std::byte v3[8];
+  std::memset(v3, 3, sizeof v3);
+  mods.AppendCoalescing(0, v1);
+  mods.AppendCoalescing(4, v2);
+  EXPECT_FALSE(mods.AppendCoalescing(0, v3));  // appended
+  EXPECT_EQ(mods.RunCount(), 3u);
+  // Replaying in order must give [0,4)=3, [4,8)=3, [8,12)=2.
+  std::byte out[12] = {};
+  for (const ModRun& run : mods.Runs()) {
+    const auto data = mods.RunData(run);
+    std::memcpy(out + run.addr, data.data(), data.size());
+  }
+  EXPECT_EQ(out[0], std::byte{3});
+  EXPECT_EQ(out[5], std::byte{3});
+  EXPECT_EQ(out[9], std::byte{2});
+}
+
+// Property: applying the diff of (snap → cur) onto a copy of snap yields
+// cur exactly; and runs never touch unmodified bytes.
+class DiffPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST_P(DiffPropertyTest, DiffApplyRoundTrip) {
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    alignas(8) std::byte snap[kPageSize];
+    alignas(8) std::byte cur[kPageSize];
+    for (auto& b : snap) b = static_cast<std::byte>(rng.Below(4));
+    std::memcpy(cur, snap, kPageSize);
+    // Random mutations, sometimes writing identical values.
+    const size_t edits = rng.Below(200);
+    for (size_t e = 0; e < edits; ++e) {
+      cur[rng.Below(kPageSize)] = static_cast<std::byte>(rng.Below(4));
+    }
+    ModList mods;
+    mods.AppendPageDiff(0, snap, cur);
+    // Apply onto a third buffer that started as snap.
+    alignas(8) std::byte replay[kPageSize];
+    std::memcpy(replay, snap, kPageSize);
+    for (const ModRun& run : mods.Runs()) {
+      const auto data = mods.RunData(run);
+      std::memcpy(replay + run.addr, data.data(), data.size());
+    }
+    EXPECT_EQ(std::memcmp(replay, cur, kPageSize), 0);
+    // Exactness: every byte inside a run differs between snap and cur.
+    for (const ModRun& run : mods.Runs()) {
+      for (uint32_t i = 0; i < run.len; ++i) {
+        EXPECT_NE(snap[run.addr + i], cur[run.addr + i]);
+      }
+    }
+    // Maximality: runs are separated by at least one unmodified byte.
+    for (size_t r = 1; r < mods.RunCount(); ++r) {
+      EXPECT_GT(mods.Runs()[r].addr,
+                mods.Runs()[r - 1].addr + mods.Runs()[r - 1].len);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,170 @@
+// §4.5 optimization semantics: slice merging, prelock and lazy writes are
+// performance features — they must not change program-visible results for
+// race-free programs (racy conflict resolution stays deterministic per
+// configuration; prelock may legally reorder concurrent conflicting
+// slices, which is why racey is only pinned per-configuration).
+#include <gtest/gtest.h>
+
+#include "rfdet/apps/workload.h"
+#include "rfdet/backends/backends.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+uint64_t RunApp(const char* name, bool merging, bool prelock, bool lazy) {
+  const apps::Workload* w = apps::FindWorkload(name);
+  dmt::BackendConfig config;
+  config.kind = dmt::BackendKind::kRfdetCi;
+  config.region_bytes = 16u << 20;
+  config.slice_merging = merging;
+  config.prelock = prelock;
+  config.lazy_writes = lazy;
+  auto env = dmt::CreateEnv(config);
+  apps::Params p;
+  p.threads = 3;
+  return w->Run(*env, p).signature;
+}
+
+class OptimizationMatrixTest
+    : public ::testing::TestWithParam<const char*> {};
+INSTANTIATE_TEST_SUITE_P(Apps, OptimizationMatrixTest,
+                         ::testing::Values("ocean", "water-ns", "dedup",
+                                           "radix", "ferret"),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(OptimizationMatrixTest, TogglesPreserveRaceFreeResults) {
+  const uint64_t reference = RunApp(GetParam(), true, true, true);
+  for (const bool merging : {false, true}) {
+    for (const bool prelock : {false, true}) {
+      for (const bool lazy : {false, true}) {
+        EXPECT_EQ(RunApp(GetParam(), merging, prelock, lazy), reference)
+            << "merging=" << merging << " prelock=" << prelock
+            << " lazy=" << lazy;
+      }
+    }
+  }
+}
+
+TEST(Optimizations, EachConfigurationReplaysDeterministicallyOnRacey) {
+  for (const bool prelock : {false, true}) {
+    for (const bool lazy : {false, true}) {
+      const uint64_t first = RunApp("racey", true, prelock, lazy);
+      EXPECT_EQ(RunApp("racey", true, prelock, lazy), first)
+          << "prelock=" << prelock << " lazy=" << lazy;
+    }
+  }
+}
+
+TEST(Optimizations, SliceMergingReducesSliceCount) {
+  auto slices_with_merging = [](bool merging) {
+    RfdetOptions o;
+    o.region_bytes = 8u << 20;
+    o.static_bytes = 1u << 20;
+    o.slice_merging = merging;
+    RfdetRuntime rt(o);
+    const GAddr a = rt.AllocStatic(4096);
+    const size_t m = rt.CreateMutex();
+    // Repeated uncontended lock/unlock by one thread, with a store on each
+    // side of the acquire. Without merging, the acquire closes a slice for
+    // the outside store and the release closes another for the inside
+    // store; with merging the acquire continues the slice, so each
+    // iteration emits one slice instead of two.
+    for (int i = 0; i < 50; ++i) {
+      rt.Store(a + (i % 32) * 8, &i, sizeof i);
+      rt.MutexLock(m);
+      const int inside = i + 1000;
+      rt.Store(a + 2048 + (i % 32) * 8, &inside, sizeof inside);
+      rt.MutexUnlock(m);
+    }
+    const StatsSnapshot s = rt.Snapshot();
+    return std::pair<uint64_t, uint64_t>(s.slices_created, s.slices_merged);
+  };
+  const auto [slices_off, merged_off] = slices_with_merging(false);
+  const auto [slices_on, merged_on] = slices_with_merging(true);
+  EXPECT_EQ(merged_off, 0u);
+  EXPECT_GT(merged_on, 0u);
+  EXPECT_LT(slices_on, slices_off);
+}
+
+TEST(Optimizations, LazyWritesParkAndApplyTransparently) {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.lazy_writes = true;
+  RfdetRuntime rt(o);
+  const GAddr a = rt.AllocStatic(sizeof(int));
+  const size_t m = rt.CreateMutex();
+  const GAddr f = rt.AllocStatic(sizeof(int));
+  const size_t tid = rt.Spawn([&] {
+    const int v = 77;
+    rt.Store(a, &v, sizeof v);
+    rt.MutexLock(m);
+    const int one = 1;
+    rt.Store(f, &one, sizeof one);
+    rt.MutexUnlock(m);
+    for (int i = 0; i < 300; ++i) rt.Tick(10);
+  });
+  int seen = 0;
+  while (seen == 0) {
+    rt.MutexLock(m);
+    rt.Load(f, &seen, sizeof seen);
+    rt.MutexUnlock(m);
+  }
+  int r = 0;
+  rt.Load(a, &r, sizeof r);  // first touch applies the parked run
+  EXPECT_EQ(r, 77);
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_GT(s.lazy_runs_parked, 0u);
+  EXPECT_GT(s.lazy_pages_applied, 0u);
+  rt.Join(tid);
+}
+
+TEST(Optimizations, PrelockMovesPropagationOffTheCriticalPath) {
+  // Heavy contention on one lock with large slices: the reservation queue
+  // should pre-propagate a nonzero share of bytes.
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.prelock = true;
+  RfdetRuntime rt(o);
+  const GAddr arr = rt.AllocStatic(64 * 1024);
+  const size_t m = rt.CreateMutex();
+  std::vector<size_t> tids;
+  for (int t = 0; t < 4; ++t) {
+    tids.push_back(rt.Spawn([&, t] {
+      std::vector<uint64_t> buf(1024);
+      for (int i = 0; i < 20; ++i) {
+        rt.MutexLock(m);
+        rt.Load(arr, buf.data(), buf.size() * 8);
+        for (auto& b : buf) b += static_cast<uint64_t>(t + 1);
+        rt.Store(arr, buf.data(), buf.size() * 8);
+        rt.MutexUnlock(m);
+        // Off-lock work, so the lock turns over several times before this
+        // thread's next attempt — by then the lock carries releases this
+        // thread has not yet seen, which is what prelock pre-propagates.
+        rt.Tick(4096 * (static_cast<uint64_t>(t) + 1));
+      }
+    }));
+  }
+  for (const size_t tid : tids) rt.Join(tid);
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_GT(s.prelock_bytes, 0u);
+  EXPECT_LE(s.prelock_bytes, s.bytes_propagated);
+  // The workload is race-free, so the result must match the non-prelock
+  // configuration (covered by TogglesPreserveRaceFreeResults as well).
+  std::vector<uint64_t> buf(1024);
+  rt.Load(arr, buf.data(), buf.size() * 8);
+  uint64_t sum = 0;
+  for (const uint64_t b : buf) sum += b;
+  EXPECT_EQ(sum, 1024u * 20 * (1 + 2 + 3 + 4));
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,146 @@
+// Randomized program generation: seeds deterministically generate small
+// multithreaded programs mixing ordinary accesses, mutex-protected
+// read-modify-writes, atomics, barriers and compute ticks. For race-free
+// generations with commutative shared updates, every backend must produce
+// the same signature; racy generations must replay bit-identically on each
+// strong-DMT backend. This sweeps far more synchronization shapes than the
+// hand-written kernels.
+#include <gtest/gtest.h>
+
+#include "rfdet/apps/app_util.h"
+#include "rfdet/backends/backends.h"
+#include "rfdet/common/rng.h"
+
+namespace {
+
+using dmt::BackendConfig;
+using dmt::BackendKind;
+
+struct ProgramShape {
+  uint64_t seed;
+  bool racy;
+};
+
+constexpr size_t kSlots = 48;
+constexpr size_t kSharedSlots = 16;  // slots 0..15 are cross-thread
+
+uint64_t RunProgram(BackendKind kind, const ProgramShape& shape) {
+  BackendConfig config;
+  config.kind = kind;
+  config.region_bytes = 16u << 20;
+  auto env = dmt::CreateEnv(config);
+
+  rfdet::Xoshiro256 meta(shape.seed);
+  const size_t threads = 2 + meta.Below(3);           // 2..4
+  const size_t mutexes = 1 + meta.Below(3);           // 1..3
+  const size_t barrier_rounds = meta.Below(3);        // 0..2
+  const size_t ops_per_segment = 12 + meta.Below(20);  // per thread
+
+  auto slots = dmt::MakeStaticArray<uint64_t>(*env, kSlots);
+  const dmt::GAddr counter = env->AllocStatic(8, 8);
+  std::vector<size_t> locks(mutexes);
+  for (auto& m : locks) m = env->CreateMutex();
+  const size_t barrier = env->CreateBarrier(threads);
+
+  std::vector<size_t> tids;
+  for (size_t t = 0; t < threads; ++t) {
+    tids.push_back(env->Spawn([&, t] {
+      rfdet::Xoshiro256 rng(shape.seed * 1315423911u + t);
+      for (size_t seg = 0; seg <= barrier_rounds; ++seg) {
+        for (size_t op = 0; op < ops_per_segment; ++op) {
+          switch (rng.Below(shape.racy ? 6 : 5)) {
+            case 0:  // compute
+              env->Tick(1 + rng.Below(64));
+              break;
+            case 1: {  // private slot write/read (t's own partition)
+              const size_t mine =
+                  kSharedSlots + (t + threads * rng.Below(2)) %
+                                     (kSlots - kSharedSlots);
+              const uint64_t v = slots.Get(*env, mine);
+              slots.Put(*env, mine, v * 31 + rng.Next() % 97);
+              break;
+            }
+            case 2: {  // locked commutative update of a shared slot
+              // Each shared slot is consistently guarded by one mutex
+              // (slot mod mutexes); anything else is a data race.
+              const size_t s = rng.Below(kSharedSlots);
+              const size_t m = s % mutexes;
+              const uint64_t delta = rng.Below(1000);
+              env->Lock(locks[m]);
+              slots.Put(*env, s, slots.Get(*env, s) + delta);
+              env->Unlock(locks[m]);
+              break;
+            }
+            case 3:  // atomic counter
+              env->AtomicFetchAdd(counter, 1 + rng.Below(9));
+              break;
+            case 4: {  // locked read of this mutex's shared slots
+              const size_t m = rng.Below(mutexes);
+              env->Lock(locks[m]);
+              uint64_t sink = 0;
+              for (size_t s = m; s < kSharedSlots; s += mutexes) {
+                sink ^= slots.Get(*env, s);
+              }
+              env->Unlock(locks[m]);
+              env->Tick(sink % 3);  // data-dependent but deterministic
+              break;
+            }
+            case 5: {  // RACY unsynchronized shared write (racy mode only)
+              const size_t s = rng.Below(kSharedSlots);
+              const uint64_t v = slots.Get(*env, s);
+              slots.Put(*env, s, v ^ rng.Next());
+              break;
+            }
+          }
+        }
+        if (seg < barrier_rounds) env->Barrier(barrier);
+      }
+    }));
+  }
+  for (const size_t tid : tids) env->Join(tid);
+
+  rfdet::Signature sig;
+  for (size_t i = 0; i < kSlots; ++i) sig.Mix(slots.Get(*env, i));
+  sig.Mix(env->AtomicLoad(counter));
+  return sig.Value();
+}
+
+class RandomRaceFreeProgramTest
+    : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRaceFreeProgramTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST_P(RandomRaceFreeProgramTest, AllBackendsAgree) {
+  // Shared updates are commutative (+ under a lock, atomic add), so even
+  // nondeterministic lock-win order cannot change the final state: every
+  // backend, pthreads included, must agree.
+  const ProgramShape shape{GetParam(), /*racy=*/false};
+  const uint64_t reference = RunProgram(BackendKind::kRfdetCi, shape);
+  for (const BackendKind kind : dmt::AllBackends()) {
+    EXPECT_EQ(RunProgram(kind, shape), reference)
+        << "seed " << shape.seed << " on " << dmt::ToString(kind);
+  }
+}
+
+class RandomRacyProgramTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRacyProgramTest,
+                         ::testing::Range<uint64_t>(100, 108));
+
+TEST_P(RandomRacyProgramTest, StrongBackendsReplayDeterministically) {
+  const ProgramShape shape{GetParam(), /*racy=*/true};
+  for (const BackendKind kind :
+       {BackendKind::kRfdetCi, BackendKind::kRfdetPf,
+        BackendKind::kDthreads, BackendKind::kCoredet}) {
+    const uint64_t first = RunProgram(kind, shape);
+    EXPECT_EQ(RunProgram(kind, shape), first)
+        << "seed " << shape.seed << " on " << dmt::ToString(kind);
+  }
+}
+
+TEST_P(RandomRacyProgramTest, MonitorModesAgreeEvenOnRaces) {
+  const ProgramShape shape{GetParam(), /*racy=*/true};
+  EXPECT_EQ(RunProgram(BackendKind::kRfdetCi, shape),
+            RunProgram(BackendKind::kRfdetPf, shape));
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Stress and lifecycle hygiene: spawn trees, runtime churn, and sequential
+// backend reuse in one process.
+#include <gtest/gtest.h>
+
+#include "rfdet/rfdet.h"
+
+namespace rfdet {
+namespace {
+
+RfdetOptions Small() {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  return o;
+}
+
+TEST(Stress, SpawnTreeReplaysDeterministically) {
+  auto run = [] {
+    RfdetRuntime rt(Small());
+    const GAddr cells = rt.AllocStatic(16 * sizeof(uint64_t));
+    const size_t m = rt.CreateMutex();
+    std::vector<size_t> level1;
+    for (uint64_t a = 0; a < 3; ++a) {
+      level1.push_back(rt.Spawn([&, a] {
+        std::vector<size_t> level2;
+        for (uint64_t b = 0; b < 2; ++b) {
+          level2.push_back(rt.Spawn([&, a, b] {
+            rt.MutexLock(m);
+            const GAddr slot = cells + ((a * 2 + b) % 16) * 8;
+            uint64_t v = 0;
+            rt.Load(slot, &v, sizeof v);
+            v = v * 31 + a * 10 + b;
+            rt.Store(slot, &v, sizeof v);
+            rt.MutexUnlock(m);
+          }));
+        }
+        for (const size_t t : level2) rt.Join(t);
+      }));
+    }
+    for (const size_t t : level1) rt.Join(t);
+    uint64_t digest = 14695981039346656037ull;
+    for (int i = 0; i < 16; ++i) {
+      uint64_t v = 0;
+      rt.Load(cells + i * 8, &v, sizeof v);
+      digest = (digest ^ v) * 1099511628211ull;
+    }
+    return digest;
+  };
+  const uint64_t first = run();
+  EXPECT_EQ(run(), first);
+  EXPECT_EQ(run(), first);
+}
+
+TEST(Stress, RuntimeLifecycleChurn) {
+  // Create/destroy many runtimes in one process: TLS bindings, the global
+  // fault handler, and kendo state must reset cleanly every time.
+  for (int cycle = 0; cycle < 15; ++cycle) {
+    const auto monitor = cycle % 2 == 0 ? MonitorMode::kInstrumented
+                                        : MonitorMode::kPageFault;
+    RfdetOptions o = Small();
+    o.monitor = monitor;
+    RfdetRuntime rt(o);
+    const GAddr a = rt.AllocStatic(64);
+    const size_t tid = rt.Spawn([&] {
+      const int v = cycle;
+      rt.Store(a, &v, sizeof v);
+    });
+    rt.Join(tid);
+    int r = -1;
+    rt.Load(a, &r, sizeof r);
+    ASSERT_EQ(r, cycle);
+  }
+}
+
+TEST(Stress, SequentialSpawnJoinChurn) {
+  RfdetRuntime rt(Small());
+  const GAddr acc = rt.AllocStatic(sizeof(uint64_t));
+  for (uint64_t i = 0; i < 30; ++i) {
+    const size_t tid = rt.Spawn([&, i] {
+      uint64_t v = 0;
+      rt.Load(acc, &v, sizeof v);
+      v += i + 1;
+      rt.Store(acc, &v, sizeof v);
+    });
+    rt.Join(tid);
+  }
+  uint64_t v = 0;
+  rt.Load(acc, &v, sizeof v);
+  EXPECT_EQ(v, 30u * 31 / 2);
+}
+
+TEST(Stress, AlternatingBackendsInOneProcess) {
+  for (const dmt::BackendKind kind :
+       {dmt::BackendKind::kRfdetCi, dmt::BackendKind::kDthreads,
+        dmt::BackendKind::kRfdetPf, dmt::BackendKind::kPthreads,
+        dmt::BackendKind::kKendo, dmt::BackendKind::kCoredet}) {
+    dmt::BackendConfig c;
+    c.kind = kind;
+    c.region_bytes = 8u << 20;
+    auto env = dmt::CreateEnv(c);
+    const dmt::GAddr a = env->AllocStatic(8, 8);
+    const size_t tid = env->Spawn([&] { env->AtomicFetchAdd(a, 5); });
+    env->Join(tid);
+    EXPECT_EQ(env->AtomicLoad(a), 5u) << dmt::ToString(kind);
+  }
+}
+
+}  // namespace
+}  // namespace rfdet

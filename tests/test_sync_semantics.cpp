@@ -1,0 +1,169 @@
+// POSIX-semantics corners of the deterministic sync objects: signals with
+// no waiters are lost, barriers are reusable across generations, condvars
+// can be shared by multiple producer/consumer roles, and mutexes can
+// protect different data over time.
+#include <gtest/gtest.h>
+
+#include "rfdet/rfdet.h"
+
+namespace rfdet {
+namespace {
+
+RfdetOptions Small() {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  return o;
+}
+
+TEST(SyncSemantics, SignalWithNoWaiterIsLost) {
+  RfdetRuntime rt(Small());
+  const size_t m = rt.CreateMutex();
+  const size_t cv = rt.CreateCond();
+  const GAddr stage = rt.AllocStatic(sizeof(int));
+  // Signal before anyone waits: must be a no-op (pthreads semantics).
+  rt.CondSignal(cv);
+  rt.CondBroadcast(cv);
+  // A waiter arriving later must NOT be woken by those stale signals; it
+  // wakes only on the real one.
+  const size_t tid = rt.Spawn([&] {
+    rt.MutexLock(m);
+    int s = 0;
+    rt.Load(stage, &s, sizeof s);
+    while (s != 1) {
+      rt.CondWait(cv, m);
+      rt.Load(stage, &s, sizeof s);
+    }
+    rt.MutexUnlock(m);
+  });
+  // Give the waiter time (deterministically) to park, then wake it.
+  for (int i = 0; i < 200; ++i) rt.Tick(20);
+  rt.MutexLock(m);
+  const int one = 1;
+  rt.Store(stage, &one, sizeof one);
+  rt.CondSignal(cv);
+  rt.MutexUnlock(m);
+  rt.Join(tid);  // completes only if the real signal woke it
+}
+
+TEST(SyncSemantics, BarrierIsReusableAcrossGenerations) {
+  RfdetRuntime rt(Small());
+  constexpr int kRounds = 6;
+  constexpr int kThreads = 3;
+  const size_t bar = rt.CreateBarrier(kThreads);
+  const GAddr round_sum = rt.AllocStatic(kRounds * sizeof(int));
+  const size_t m = rt.CreateMutex();
+  std::vector<size_t> tids;
+  for (int t = 0; t < kThreads; ++t) {
+    tids.push_back(rt.Spawn([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        rt.MutexLock(m);
+        int v = 0;
+        rt.Load(round_sum + r * sizeof(int), &v, sizeof v);
+        v += t + 1;
+        rt.Store(round_sum + r * sizeof(int), &v, sizeof v);
+        rt.MutexUnlock(m);
+        rt.BarrierWait(bar);
+        // After each generation, the round's sum must be complete.
+        int check = 0;
+        rt.Load(round_sum + r * sizeof(int), &check, sizeof check);
+        EXPECT_EQ(check, 1 + 2 + 3) << "round " << r << " thread " << t;
+      }
+    }));
+  }
+  for (const size_t tid : tids) rt.Join(tid);
+}
+
+TEST(SyncSemantics, OneCondManyRoles) {
+  // A single condvar multiplexing two predicates (classic bounded-buffer
+  // with one cond + broadcast).
+  RfdetRuntime rt(Small());
+  const size_t m = rt.CreateMutex();
+  const size_t cv = rt.CreateCond();
+  const GAddr count = rt.AllocStatic(sizeof(int));  // items in buffer
+  constexpr int kCap = 3;
+  constexpr int kItems = 25;
+  const size_t producer = rt.Spawn([&] {
+    for (int i = 0; i < kItems; ++i) {
+      rt.MutexLock(m);
+      int c = 0;
+      rt.Load(count, &c, sizeof c);
+      while (c == kCap) {
+        rt.CondWait(cv, m);
+        rt.Load(count, &c, sizeof c);
+      }
+      ++c;
+      rt.Store(count, &c, sizeof c);
+      rt.CondBroadcast(cv);
+      rt.MutexUnlock(m);
+    }
+  });
+  const size_t consumer = rt.Spawn([&] {
+    for (int i = 0; i < kItems; ++i) {
+      rt.MutexLock(m);
+      int c = 0;
+      rt.Load(count, &c, sizeof c);
+      while (c == 0) {
+        rt.CondWait(cv, m);
+        rt.Load(count, &c, sizeof c);
+      }
+      --c;
+      rt.Store(count, &c, sizeof c);
+      rt.CondBroadcast(cv);
+      rt.MutexUnlock(m);
+    }
+  });
+  rt.Join(producer);
+  rt.Join(consumer);
+  int c = -1;
+  rt.Load(count, &c, sizeof c);
+  EXPECT_EQ(c, 0);
+}
+
+TEST(SyncSemantics, MutexSerializesUnrelatedCriticalSectionsOverTime) {
+  RfdetRuntime rt(Small());
+  const size_t m = rt.CreateMutex();
+  const GAddr a = rt.AllocStatic(sizeof(int));
+  const GAddr b = rt.AllocStatic(sizeof(int));
+  // Phase 1: protect `a`.
+  const size_t t1 = rt.Spawn([&] {
+    for (int i = 0; i < 20; ++i) {
+      rt.MutexLock(m);
+      int v = 0;
+      rt.Load(a, &v, sizeof v);
+      ++v;
+      rt.Store(a, &v, sizeof v);
+      rt.MutexUnlock(m);
+    }
+  });
+  rt.Join(t1);
+  // Phase 2: the same mutex now protects `b` — no stale state interferes.
+  const size_t t2 = rt.Spawn([&] {
+    for (int i = 0; i < 20; ++i) {
+      rt.MutexLock(m);
+      int v = 0;
+      rt.Load(b, &v, sizeof v);
+      v += 2;
+      rt.Store(b, &v, sizeof v);
+      rt.MutexUnlock(m);
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    rt.MutexLock(m);
+    int v = 0;
+    rt.Load(b, &v, sizeof v);
+    v += 3;
+    rt.Store(b, &v, sizeof v);
+    rt.MutexUnlock(m);
+  }
+  rt.Join(t2);
+  int va = 0;
+  int vb = 0;
+  rt.Load(a, &va, sizeof va);
+  rt.Load(b, &vb, sizeof vb);
+  EXPECT_EQ(va, 20);
+  EXPECT_EQ(vb, 20 * 2 + 20 * 3);
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,286 @@
+// ThreadView unit tests, parameterized over the two monitor backends:
+// snapshot-on-first-store (Figure 4), slice diff collection, remote
+// application (eager and lazy), COW duplication, and pf-specific fault
+// accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rfdet/mem/thread_view.h"
+
+namespace rfdet {
+namespace {
+
+constexpr size_t kCap = 1u << 20;  // 256 pages
+
+class ThreadViewTest : public ::testing::TestWithParam<MonitorMode> {
+ protected:
+  MetadataArena arena_{64u << 20};
+};
+
+INSTANTIATE_TEST_SUITE_P(Monitors, ThreadViewTest,
+                         ::testing::Values(MonitorMode::kInstrumented,
+                                           MonitorMode::kPageFault),
+                         [](const auto& param_info) {
+                           return param_info.param == MonitorMode::kInstrumented
+                                      ? "ci"
+                                      : "pf";
+                         });
+
+TEST_P(ThreadViewTest, FreshViewReadsZero) {
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  uint64_t v = 1;
+  view.Load(12345, &v, sizeof v);
+  EXPECT_EQ(v, 0u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, StoreLoadRoundTrip) {
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  const uint64_t v = 0x1122334455667788ULL;
+  view.Store(4096 + 8, &v, sizeof v);
+  uint64_t r = 0;
+  view.Load(4096 + 8, &r, sizeof r);
+  EXPECT_EQ(r, v);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, CrossPageAccess) {
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  std::byte buf[100];
+  std::memset(buf, 0x7e, sizeof buf);
+  const GAddr addr = kPageSize - 50;  // spans two pages
+  view.Store(addr, buf, sizeof buf);
+  std::byte out[100] = {};
+  view.Load(addr, out, sizeof out);
+  EXPECT_EQ(std::memcmp(buf, out, sizeof buf), 0);
+  ModList mods;
+  view.CollectModifications(mods);
+  EXPECT_EQ(mods.ByteCount(), 100u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, FirstStorePerSliceSnapshotsOnce) {
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  const uint64_t v = 9;
+  view.Store(0, &v, sizeof v);
+  view.Store(8, &v, sizeof v);      // same page: no second snapshot
+  view.Store(kPageSize, &v, sizeof v);  // second page
+  EXPECT_EQ(view.Stats().stores_with_copy, 2u);
+  ModList mods;
+  view.CollectModifications(mods);
+  // A store in the next slice snapshots the page again — exactly once.
+  view.Store(0, &v, sizeof v);
+  const uint64_t w = 10;
+  view.Store(16, &w, sizeof w);
+  EXPECT_EQ(view.Stats().stores_with_copy, 3u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, DiffContainsExactlyTheModifiedBytes) {
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  const uint32_t a = 0xdeadbeef;
+  view.Store(100, &a, sizeof a);
+  ModList first;
+  view.CollectModifications(first);
+  EXPECT_EQ(first.ByteCount(), 4u);
+  // Second slice: rewrite the same value (redundant) plus one new byte.
+  view.Store(100, &a, sizeof a);
+  const uint8_t b = 0xff;
+  view.Store(200, &b, sizeof b);
+  ModList second;
+  view.CollectModifications(second);
+  EXPECT_EQ(second.ByteCount(), 1u);  // the redundant rewrite vanished
+  ASSERT_EQ(second.RunCount(), 1u);
+  EXPECT_EQ(second.Runs()[0].addr, 200u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, ApplyRemoteEagerDoesNotPolluteLocalDiffs) {
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  ModList remote;
+  const std::byte payload[4] = {std::byte{1}, std::byte{2}, std::byte{3},
+                                std::byte{4}};
+  remote.Append(500, payload);
+  view.ApplyRemote(remote, /*lazy=*/false);
+  uint32_t r = 0;
+  view.Load(500, &r, sizeof r);
+  EXPECT_EQ(r, 0x04030201u);
+  // The remote bytes must not reappear as this view's own modifications.
+  const uint8_t own = 9;
+  view.Store(600, &own, sizeof own);
+  ModList mods;
+  view.CollectModifications(mods);
+  ASSERT_EQ(mods.RunCount(), 1u);
+  EXPECT_EQ(mods.Runs()[0].addr, 600u);
+  EXPECT_EQ(mods.ByteCount(), 1u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, LazyRemoteAppliesOnFirstTouch) {
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  ModList remote;
+  const std::byte payload[2] = {std::byte{0xab}, std::byte{0xcd}};
+  remote.Append(kPageSize * 3 + 10, payload);
+  view.ApplyRemote(remote, /*lazy=*/true);
+  EXPECT_TRUE(view.HasPendingWrites());
+  EXPECT_EQ(view.Stats().lazy_runs_parked, 1u);
+  uint16_t r = 0;
+  view.Load(kPageSize * 3 + 10, &r, sizeof r);
+  EXPECT_EQ(r, 0xcdabu);
+  EXPECT_FALSE(view.HasPendingWrites());
+  EXPECT_EQ(view.Stats().lazy_pages_applied, 1u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, LazyRemoteLaterArrivalOverwritesEarlier) {
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  ModList first;
+  const std::byte one[1] = {std::byte{1}};
+  first.Append(40, one);
+  ModList second;
+  const std::byte two[1] = {std::byte{2}};
+  second.Append(40, two);
+  view.ApplyRemote(first, /*lazy=*/true);
+  view.ApplyRemote(second, /*lazy=*/true);
+  uint8_t r = 0;
+  view.Load(40, &r, sizeof r);
+  EXPECT_EQ(r, 2u);  // application preserves arrival order
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, LazyStoreAppliesPendingBeforeSnapshot) {
+  // A store to a page with parked remote runs must not re-attribute those
+  // runs to the local slice.
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  ModList remote;
+  const std::byte payload[1] = {std::byte{0x55}};
+  remote.Append(20, payload);
+  view.ApplyRemote(remote, /*lazy=*/true);
+  const uint8_t own = 0x66;
+  view.Store(30, &own, sizeof own);  // same page, different byte
+  ModList mods;
+  view.CollectModifications(mods);
+  ASSERT_EQ(mods.RunCount(), 1u);
+  EXPECT_EQ(mods.Runs()[0].addr, 30u);  // only our own byte
+  uint8_t r = 0;
+  view.Load(20, &r, sizeof r);
+  EXPECT_EQ(r, 0x55u);  // the pending byte did land in memory
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, CopyFromReplacesContents) {
+  ThreadView src(kCap, GetParam(), &arena_);
+  src.ActivateOnThisThread();
+  const uint64_t v = 42;
+  src.Store(1000, &v, sizeof v);
+  ModList sink;
+  src.CollectModifications(sink);
+
+  ThreadView dst(kCap, GetParam(), &arena_);
+  const uint64_t old = 7;
+  dst.ActivateOnThisThread();
+  dst.Store(2000, &old, sizeof old);
+  ModList sink2;
+  dst.CollectModifications(sink2);
+
+  dst.CopyFrom(src);
+  uint64_t r = 1;
+  dst.Load(1000, &r, sizeof r);
+  EXPECT_EQ(r, 42u);
+  dst.Load(2000, &r, sizeof r);
+  EXPECT_EQ(r, 0u);  // dst's old contents are fully replaced
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, CopyOnWriteIsolatesAfterCopy) {
+  ThreadView a(kCap, GetParam(), &arena_);
+  a.ActivateOnThisThread();
+  const uint64_t v = 1;
+  a.Store(0, &v, sizeof v);
+  ModList sink;
+  a.CollectModifications(sink);
+  ThreadView b(kCap, GetParam(), &arena_);
+  b.CopyFrom(a);
+  // Writing in a after the copy must not affect b (and vice versa).
+  const uint64_t w = 2;
+  a.Store(0, &w, sizeof w);
+  uint64_t r = 0;
+  b.ActivateOnThisThread();
+  b.Load(0, &r, sizeof r);
+  EXPECT_EQ(r, 1u);
+  const uint64_t x = 3;
+  b.Store(8, &x, sizeof x);
+  a.ActivateOnThisThread();
+  a.Load(8, &r, sizeof r);
+  EXPECT_EQ(r, 0u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST(ThreadViewCrossMode, CopyBetweenMonitorModes) {
+  MetadataArena arena(64u << 20);
+  for (const bool ci_to_pf : {true, false}) {
+    const MonitorMode src_mode =
+        ci_to_pf ? MonitorMode::kInstrumented : MonitorMode::kPageFault;
+    const MonitorMode dst_mode =
+        ci_to_pf ? MonitorMode::kPageFault : MonitorMode::kInstrumented;
+    ThreadView src(kCap, src_mode, &arena);
+    src.ActivateOnThisThread();
+    const uint64_t v1 = 0xabcdef;
+    const uint64_t v2 = 0x123456;
+    src.Store(100, &v1, sizeof v1);
+    src.Store(kPageSize * 7 + 8, &v2, sizeof v2);
+    ModList sink;
+    src.CollectModifications(sink);
+    ThreadView dst(kCap, dst_mode, &arena);
+    dst.ActivateOnThisThread();
+    const uint64_t old = 999;
+    dst.Store(kPageSize * 20, &old, sizeof old);
+    ModList sink2;
+    dst.CollectModifications(sink2);
+    dst.CopyFrom(src);
+    uint64_t r = 0;
+    dst.Load(100, &r, sizeof r);
+    EXPECT_EQ(r, v1) << (ci_to_pf ? "ci->pf" : "pf->ci");
+    dst.Load(kPageSize * 7 + 8, &r, sizeof r);
+    EXPECT_EQ(r, v2);
+    dst.Load(kPageSize * 20, &r, sizeof r);
+    EXPECT_EQ(r, 0u);  // old contents fully replaced
+    // Post-copy monitoring still works in the destination's mode (all
+    // bytes nonzero so the byte-exact diff covers the full word).
+    const uint64_t w = 0x1111111111111111ULL;
+    dst.Store(200, &w, sizeof w);
+    ModList mods;
+    dst.CollectModifications(mods);
+    EXPECT_EQ(mods.ByteCount(), sizeof w);
+    ThreadView::DeactivateOnThisThread();
+  }
+}
+
+TEST(ThreadViewPf, FaultAccounting) {
+  MetadataArena arena(64u << 20);
+  ThreadView view(kCap, MonitorMode::kPageFault, &arena);
+  view.ActivateOnThisThread();
+  const uint64_t v = 5;
+  view.Store(0, &v, sizeof v);  // write fault: snapshot + open
+  view.Store(8, &v, sizeof v);  // no fault: page already RW
+  EXPECT_EQ(view.Stats().page_faults, 1u);
+  EXPECT_GE(view.Stats().mprotect_calls, 1u);
+  ModList mods;
+  view.CollectModifications(mods);  // re-protects the page
+  view.Store(16, &v, sizeof v);     // faults again in the new slice
+  EXPECT_EQ(view.Stats().page_faults, 2u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,123 @@
+// Schedule tracing: the recorded synchronization order must be identical
+// across runs (it is the deterministic schedule itself) and must reflect
+// the operations the program performed.
+#include <gtest/gtest.h>
+
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+using TraceOp = RfdetRuntime::TraceOp;
+using TraceEvent = RfdetRuntime::TraceEvent;
+
+std::vector<TraceEvent> RunTraced() {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.record_trace = true;
+  RfdetRuntime rt(o);
+  const GAddr x = rt.AllocStatic(64);
+  const size_t m = rt.CreateMutex();
+  const size_t bar = rt.CreateBarrier(3);
+  std::vector<size_t> tids;
+  for (int t = 0; t < 2; ++t) {
+    tids.push_back(rt.Spawn([&, t] {
+      for (int i = 0; i < 5; ++i) {
+        rt.Tick(static_cast<uint64_t>(t) * 7 + 3);
+        rt.MutexLock(m);
+        int v = 0;
+        rt.Load(x, &v, sizeof v);
+        ++v;
+        rt.Store(x, &v, sizeof v);
+        rt.MutexUnlock(m);
+      }
+      rt.BarrierWait(bar);
+    }));
+  }
+  rt.BarrierWait(bar);
+  for (const size_t tid : tids) rt.Join(tid);
+  return rt.Trace();
+}
+
+TEST(ScheduleTrace, IdenticalAcrossRuns) {
+  const std::vector<TraceEvent> first = RunTraced();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(RunTraced(), first);
+  EXPECT_EQ(RunTraced(), first);
+}
+
+TEST(ScheduleTrace, ReflectsTheProgramsOperations) {
+  const std::vector<TraceEvent> trace = RunTraced();
+  size_t locks = 0;
+  size_t unlocks = 0;
+  size_t forks = 0;
+  size_t joins = 0;
+  size_t barrier_arrivals = 0;
+  size_t barrier_releases = 0;
+  size_t exits = 0;
+  for (const TraceEvent& e : trace) {
+    switch (e.op) {
+      case TraceOp::kLockAcquired: ++locks; break;
+      case TraceOp::kUnlock: ++unlocks; break;
+      case TraceOp::kFork: ++forks; break;
+      case TraceOp::kJoin: ++joins; break;
+      case TraceOp::kBarrierArrive: ++barrier_arrivals; break;
+      case TraceOp::kBarrierRelease: ++barrier_releases; break;
+      case TraceOp::kExit: ++exits; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(locks, 10u);   // 2 threads × 5 critical sections
+  EXPECT_EQ(unlocks, 10u);
+  EXPECT_EQ(forks, 2u);
+  EXPECT_EQ(joins, 2u);
+  EXPECT_EQ(barrier_arrivals, 3u);
+  EXPECT_EQ(barrier_releases, 1u);
+  EXPECT_EQ(exits, 2u);
+  // Lock/unlock alternate per mutex: no double-grants.
+  int held = 0;
+  for (const TraceEvent& e : trace) {
+    if (e.op == TraceOp::kLockAcquired) {
+      EXPECT_EQ(held, 0);
+      held = 1;
+    } else if (e.op == TraceOp::kUnlock) {
+      EXPECT_EQ(held, 1);
+      held = 0;
+    }
+  }
+}
+
+TEST(ScheduleTrace, DisabledByDefault) {
+  RfdetOptions o;
+  o.region_bytes = 4u << 20;
+  o.static_bytes = 1u << 20;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  rt.MutexLock(m);
+  rt.MutexUnlock(m);
+  EXPECT_TRUE(rt.Trace().empty());
+}
+
+TEST(ScheduleTrace, AtomicsAppear) {
+  RfdetOptions o;
+  o.region_bytes = 4u << 20;
+  o.static_bytes = 1u << 20;
+  o.record_trace = true;
+  RfdetRuntime rt(o);
+  const GAddr a = rt.AllocStatic(8, 8);
+  rt.AtomicStore(a, 5);
+  rt.AtomicFetchAdd(a, 1);
+  const std::vector<TraceEvent> trace = rt.Trace();
+  size_t atomics = 0;
+  for (const TraceEvent& e : trace) {
+    if (e.op == TraceOp::kAtomic) {
+      ++atomics;
+      EXPECT_EQ(e.object, a);
+    }
+  }
+  EXPECT_EQ(atomics, 2u);
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,159 @@
+// VectorClock unit and property tests: partial-order laws, join/meet
+// lattice properties, and the exactness of the propagation filter's
+// underlying comparisons.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rfdet/common/rng.h"
+#include "rfdet/time/vector_clock.h"
+
+namespace rfdet {
+namespace {
+
+VectorClock Make(std::initializer_list<uint64_t> values) {
+  VectorClock c;
+  size_t i = 0;
+  for (const uint64_t v : values) c.Set(i++, v);
+  return c;
+}
+
+TEST(VectorClock, DefaultIsZeroAndReflexive) {
+  VectorClock a;
+  EXPECT_TRUE(a.LessEq(a));
+  EXPECT_FALSE(a.Less(a));
+  EXPECT_TRUE(a.Equals(a));
+  EXPECT_FALSE(a.ConcurrentWith(a));
+}
+
+TEST(VectorClock, MissingComponentsAreZero) {
+  const VectorClock a = Make({1, 2});
+  const VectorClock b = Make({1, 2, 0, 0});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_TRUE(b.Equals(a));
+  EXPECT_TRUE(a.LessEq(b));
+  EXPECT_TRUE(b.LessEq(a));
+}
+
+TEST(VectorClock, StrictOrder) {
+  const VectorClock a = Make({1, 2, 3});
+  const VectorClock b = Make({1, 3, 3});
+  EXPECT_TRUE(a.Less(b));
+  EXPECT_TRUE(a.HappensBefore(b));
+  EXPECT_FALSE(b.Less(a));
+  EXPECT_FALSE(a.ConcurrentWith(b));
+}
+
+TEST(VectorClock, ConcurrentClocks) {
+  const VectorClock a = Make({2, 1});
+  const VectorClock b = Make({1, 2});
+  EXPECT_TRUE(a.ConcurrentWith(b));
+  EXPECT_TRUE(b.ConcurrentWith(a));
+  EXPECT_FALSE(a.LessEq(b));
+  EXPECT_FALSE(b.LessEq(a));
+}
+
+TEST(VectorClock, JoinIsLeastUpperBound) {
+  VectorClock a = Make({2, 1, 5});
+  const VectorClock b = Make({1, 4});
+  a.Join(b);
+  EXPECT_EQ(a.Get(0), 2u);
+  EXPECT_EQ(a.Get(1), 4u);
+  EXPECT_EQ(a.Get(2), 5u);
+  EXPECT_TRUE(b.LessEq(a));
+}
+
+TEST(VectorClock, MeetIsGreatestLowerBound) {
+  VectorClock a = Make({2, 1, 5});
+  const VectorClock b = Make({1, 4});  // component 2 missing → 0
+  a.Meet(b);
+  EXPECT_EQ(a.Get(0), 1u);
+  EXPECT_EQ(a.Get(1), 1u);
+  EXPECT_EQ(a.Get(2), 0u);
+  EXPECT_TRUE(a.LessEq(b));
+}
+
+TEST(VectorClock, TickAdvancesOnlyOwnComponent) {
+  VectorClock a = Make({3, 4});
+  const VectorClock before = a;
+  a.Tick(1);
+  EXPECT_TRUE(before.Less(a));
+  EXPECT_EQ(a.Get(0), 3u);
+  EXPECT_EQ(a.Get(1), 5u);
+}
+
+TEST(VectorClock, TickGrowsDimensions) {
+  VectorClock a;
+  a.Tick(5);
+  EXPECT_EQ(a.Get(5), 1u);
+  EXPECT_EQ(a.Dims(), 6u);
+  EXPECT_EQ(a.Get(9), 0u);  // read past the end
+}
+
+TEST(VectorClock, StreamFormat) {
+  std::ostringstream os;
+  os << Make({1, 0, 7});
+  EXPECT_EQ(os.str(), "[1,0,7]");
+}
+
+// Property sweep: random clock pairs obey the lattice laws.
+class VectorClockPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorClockPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(VectorClockPropertyTest, LatticeLaws) {
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const size_t dims = 1 + rng.Below(6);
+    VectorClock a;
+    VectorClock b;
+    for (size_t i = 0; i < dims; ++i) {
+      a.Set(i, rng.Below(5));
+      b.Set(i, rng.Below(5));
+    }
+    // Exactly one of: a<b, b<a, a==b, a∥b.
+    const int classification = static_cast<int>(a.Less(b)) +
+                               static_cast<int>(b.Less(a)) +
+                               static_cast<int>(a.Equals(b)) +
+                               static_cast<int>(a.ConcurrentWith(b));
+    EXPECT_EQ(classification, 1) << a << " vs " << b;
+    // Join dominates both operands and is the least such bound.
+    VectorClock j = a;
+    j.Join(b);
+    EXPECT_TRUE(a.LessEq(j));
+    EXPECT_TRUE(b.LessEq(j));
+    VectorClock m = a;
+    m.Meet(b);
+    EXPECT_TRUE(m.LessEq(a));
+    EXPECT_TRUE(m.LessEq(b));
+    // Absorption: meet(a, join(a,b)) == a.
+    VectorClock absorbed = a;
+    absorbed.Meet(j);
+    EXPECT_TRUE(absorbed.Equals(a));
+    // Join idempotence and commutativity.
+    VectorClock j2 = b;
+    j2.Join(a);
+    EXPECT_TRUE(j.Equals(j2));
+    j2.Join(j2);
+    EXPECT_TRUE(j2.Equals(j));
+  }
+}
+
+TEST_P(VectorClockPropertyTest, HappensBeforeIsTransitive) {
+  Xoshiro256 rng(GetParam() * 977);
+  for (int round = 0; round < 200; ++round) {
+    VectorClock a;
+    for (size_t i = 0; i < 4; ++i) a.Set(i, rng.Below(4));
+    VectorClock b = a;
+    for (size_t i = 0; i < 4; ++i) b.Set(i, b.Get(i) + rng.Below(3));
+    VectorClock c = b;
+    for (size_t i = 0; i < 4; ++i) c.Set(i, c.Get(i) + rng.Below(3));
+    EXPECT_TRUE(a.LessEq(b));
+    EXPECT_TRUE(b.LessEq(c));
+    EXPECT_TRUE(a.LessEq(c));
+    if (a.Less(b) && b.Less(c)) EXPECT_TRUE(a.Less(c));
+  }
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -1,0 +1,133 @@
+// Cross-backend workload integration tests.
+//
+// These pin the repository's central correctness claims:
+//  1. Race-free kernels produce the SAME signature on every backend
+//     (DLRC preserves sequential consistency for race-free programs, §3.3).
+//  2. Strong-DMT backends (rfdet-ci/pf, dthreads, coredet) replay to
+//     identical signatures — including racey, which is nothing but races.
+//  3. The two monitor modes (ci / pf) are observationally equivalent.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rfdet/apps/workload.h"
+#include "rfdet/backends/backends.h"
+
+namespace {
+
+using apps::AllWorkloads;
+using apps::Params;
+using apps::Workload;
+using dmt::BackendConfig;
+using dmt::BackendKind;
+
+BackendConfig TestConfig(BackendKind kind) {
+  BackendConfig c;
+  c.kind = kind;
+  c.region_bytes = 16u << 20;
+  c.static_bytes = 4u << 20;
+  c.metadata_bytes = 64u << 20;
+  return c;
+}
+
+uint64_t RunOnce(BackendKind kind, const Workload& w, size_t threads) {
+  auto env = dmt::CreateEnv(TestConfig(kind));
+  Params p;
+  p.threads = threads;
+  p.scale = 1;
+  return w.Run(*env, p).signature;
+}
+
+class WorkloadMatrixTest : public ::testing::TestWithParam<const Workload*> {
+};
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadMatrixTest,
+                         ::testing::ValuesIn(AllWorkloads()),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param->Name();
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(WorkloadMatrixTest, RaceFreeKernelsAgreeAcrossBackends) {
+  const Workload& w = *GetParam();
+  std::map<std::string, uint64_t> sigs;
+  for (const BackendKind kind : dmt::AllBackends()) {
+    sigs[std::string(dmt::ToString(kind))] = RunOnce(kind, w, 2);
+  }
+  if (!w.RaceFree()) {
+    GTEST_SKIP() << "racy kernel: cross-backend agreement not required";
+  }
+  const uint64_t expected = sigs.begin()->second;
+  for (const auto& [name, sig] : sigs) {
+    EXPECT_EQ(sig, expected) << "backend " << name << " diverged on "
+                             << w.Name();
+  }
+}
+
+TEST_P(WorkloadMatrixTest, RfdetCiReplaysDeterministically) {
+  const Workload& w = *GetParam();
+  const uint64_t first = RunOnce(BackendKind::kRfdetCi, w, 2);
+  const uint64_t second = RunOnce(BackendKind::kRfdetCi, w, 2);
+  EXPECT_EQ(first, second);
+}
+
+TEST_P(WorkloadMatrixTest, MonitorModesAreObservationallyEquivalent) {
+  const Workload& w = *GetParam();
+  // Holds even for racey: slice contents, clocks and conflict resolution
+  // are independent of how modified pages are detected.
+  EXPECT_EQ(RunOnce(BackendKind::kRfdetCi, w, 2),
+            RunOnce(BackendKind::kRfdetPf, w, 2));
+}
+
+TEST(RaceyDeterminism, RfdetIsStronglyDeterministic) {
+  const Workload* racey = apps::FindWorkload("racey");
+  ASSERT_NE(racey, nullptr);
+  const uint64_t first = RunOnce(BackendKind::kRfdetCi, *racey, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(RunOnce(BackendKind::kRfdetCi, *racey, 4), first);
+  }
+}
+
+TEST(RaceyDeterminism, LockstepBackendsAreDeterministicToo) {
+  const Workload* racey = apps::FindWorkload("racey");
+  ASSERT_NE(racey, nullptr);
+  for (const BackendKind kind :
+       {BackendKind::kDthreads, BackendKind::kCoredet}) {
+    const uint64_t first = RunOnce(kind, *racey, 4);
+    EXPECT_EQ(RunOnce(kind, *racey, 4), first)
+        << dmt::ToString(kind);
+  }
+}
+
+TEST(RaceyDeterminism, DthreadsPageFaultMonitorIsDeterministicToo) {
+  // The lockstep baseline with DThreads' real monitoring mechanism
+  // (mprotect + page faults) must replay as well.
+  const Workload* racey = apps::FindWorkload("racey");
+  BackendConfig c = TestConfig(BackendKind::kDthreads);
+  c.lockstep_monitor = rfdet::MonitorMode::kPageFault;
+  auto run = [&] {
+    auto env = dmt::CreateEnv(c);
+    Params p;
+    p.threads = 3;
+    return racey->Run(*env, p).signature;
+  };
+  const uint64_t first = run();
+  EXPECT_EQ(run(), first);
+}
+
+TEST(ThreadScaling, SignaturesStableFrom1To8Threads) {
+  // Thread count is an *input* (paper §3.4): signatures may differ between
+  // thread counts, but each count must replay identically.
+  const Workload* w = apps::FindWorkload("radix");
+  ASSERT_NE(w, nullptr);
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(RunOnce(BackendKind::kRfdetCi, *w, threads),
+              RunOnce(BackendKind::kRfdetCi, *w, threads))
+        << threads << " threads";
+  }
+}
+
+}  // namespace
