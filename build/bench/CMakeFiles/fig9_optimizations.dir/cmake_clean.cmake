@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_optimizations.dir/fig9_optimizations.cpp.o"
+  "CMakeFiles/fig9_optimizations.dir/fig9_optimizations.cpp.o.d"
+  "fig9_optimizations"
+  "fig9_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/racey_determinism.dir/racey_determinism.cpp.o"
+  "CMakeFiles/racey_determinism.dir/racey_determinism.cpp.o.d"
+  "racey_determinism"
+  "racey_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/racey_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

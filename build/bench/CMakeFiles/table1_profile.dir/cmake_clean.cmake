@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_profile.dir/table1_profile.cpp.o"
+  "CMakeFiles/table1_profile.dir/table1_profile.cpp.o.d"
+  "table1_profile"
+  "table1_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/det_pthread_demo.dir/det_pthread_demo.cpp.o"
+  "CMakeFiles/det_pthread_demo.dir/det_pthread_demo.cpp.o.d"
+  "det_pthread_demo"
+  "det_pthread_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/det_pthread_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deterministic_bank.dir/deterministic_bank.cpp.o"
+  "CMakeFiles/deterministic_bank.dir/deterministic_bank.cpp.o.d"
+  "deterministic_bank"
+  "deterministic_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deterministic_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

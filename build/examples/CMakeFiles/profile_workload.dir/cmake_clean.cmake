@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_workload.dir/profile_workload.cpp.o"
+  "CMakeFiles/profile_workload.dir/profile_workload.cpp.o.d"
+  "profile_workload"
+  "profile_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfdet/apps/canneal.cpp" "src/CMakeFiles/rfdet.dir/rfdet/apps/canneal.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/apps/canneal.cpp.o.d"
+  "/root/repo/src/rfdet/apps/parsec.cpp" "src/CMakeFiles/rfdet.dir/rfdet/apps/parsec.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/apps/parsec.cpp.o.d"
+  "/root/repo/src/rfdet/apps/phoenix.cpp" "src/CMakeFiles/rfdet.dir/rfdet/apps/phoenix.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/apps/phoenix.cpp.o.d"
+  "/root/repo/src/rfdet/apps/racey.cpp" "src/CMakeFiles/rfdet.dir/rfdet/apps/racey.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/apps/racey.cpp.o.d"
+  "/root/repo/src/rfdet/apps/registry.cpp" "src/CMakeFiles/rfdet.dir/rfdet/apps/registry.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/apps/registry.cpp.o.d"
+  "/root/repo/src/rfdet/apps/splash2.cpp" "src/CMakeFiles/rfdet.dir/rfdet/apps/splash2.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/apps/splash2.cpp.o.d"
+  "/root/repo/src/rfdet/backends/backends.cpp" "src/CMakeFiles/rfdet.dir/rfdet/backends/backends.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/backends/backends.cpp.o.d"
+  "/root/repo/src/rfdet/backends/lockstep_runtime.cpp" "src/CMakeFiles/rfdet.dir/rfdet/backends/lockstep_runtime.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/backends/lockstep_runtime.cpp.o.d"
+  "/root/repo/src/rfdet/backends/pthreads_runtime.cpp" "src/CMakeFiles/rfdet.dir/rfdet/backends/pthreads_runtime.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/backends/pthreads_runtime.cpp.o.d"
+  "/root/repo/src/rfdet/compat/det_pthread.cpp" "src/CMakeFiles/rfdet.dir/rfdet/compat/det_pthread.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/compat/det_pthread.cpp.o.d"
+  "/root/repo/src/rfdet/harness/harness.cpp" "src/CMakeFiles/rfdet.dir/rfdet/harness/harness.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/harness/harness.cpp.o.d"
+  "/root/repo/src/rfdet/kendo/kendo.cpp" "src/CMakeFiles/rfdet.dir/rfdet/kendo/kendo.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/kendo/kendo.cpp.o.d"
+  "/root/repo/src/rfdet/mem/det_allocator.cpp" "src/CMakeFiles/rfdet.dir/rfdet/mem/det_allocator.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/mem/det_allocator.cpp.o.d"
+  "/root/repo/src/rfdet/mem/mod_list.cpp" "src/CMakeFiles/rfdet.dir/rfdet/mem/mod_list.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/mem/mod_list.cpp.o.d"
+  "/root/repo/src/rfdet/mem/snapshot_pool.cpp" "src/CMakeFiles/rfdet.dir/rfdet/mem/snapshot_pool.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/mem/snapshot_pool.cpp.o.d"
+  "/root/repo/src/rfdet/mem/thread_view.cpp" "src/CMakeFiles/rfdet.dir/rfdet/mem/thread_view.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/mem/thread_view.cpp.o.d"
+  "/root/repo/src/rfdet/runtime/runtime.cpp" "src/CMakeFiles/rfdet.dir/rfdet/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/runtime/runtime.cpp.o.d"
+  "/root/repo/src/rfdet/time/vector_clock.cpp" "src/CMakeFiles/rfdet.dir/rfdet/time/vector_clock.cpp.o" "gcc" "src/CMakeFiles/rfdet.dir/rfdet/time/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

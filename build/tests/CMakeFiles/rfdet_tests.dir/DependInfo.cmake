@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adhoc_sync.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_adhoc_sync.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_adhoc_sync.cpp.o.d"
+  "/root/repo/tests/test_app_profiles.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_app_profiles.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_app_profiles.cpp.o.d"
+  "/root/repo/tests/test_app_util.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_app_util.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_app_util.cpp.o.d"
+  "/root/repo/tests/test_atomics.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_atomics.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_atomics.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_det_allocator.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_det_allocator.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_det_allocator.cpp.o.d"
+  "/root/repo/tests/test_det_pthread.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_det_pthread.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_det_pthread.cpp.o.d"
+  "/root/repo/tests/test_env_api.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_env_api.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_env_api.cpp.o.d"
+  "/root/repo/tests/test_fault_handler.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_fault_handler.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_fault_handler.cpp.o.d"
+  "/root/repo/tests/test_gc.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_gc.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_gc.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_kendo.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_kendo.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_kendo.cpp.o.d"
+  "/root/repo/tests/test_litmus.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_litmus.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_litmus.cpp.o.d"
+  "/root/repo/tests/test_lockstep.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_lockstep.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_lockstep.cpp.o.d"
+  "/root/repo/tests/test_misuse.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_misuse.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_misuse.cpp.o.d"
+  "/root/repo/tests/test_mod_list.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_mod_list.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_mod_list.cpp.o.d"
+  "/root/repo/tests/test_optimizations.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_optimizations.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_optimizations.cpp.o.d"
+  "/root/repo/tests/test_random_programs.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_random_programs.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_random_programs.cpp.o.d"
+  "/root/repo/tests/test_runtime_basic.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_runtime_basic.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_runtime_basic.cpp.o.d"
+  "/root/repo/tests/test_runtime_edges.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_runtime_edges.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_runtime_edges.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_sync_semantics.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_sync_semantics.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_sync_semantics.cpp.o.d"
+  "/root/repo/tests/test_thread_view.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_thread_view.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_thread_view.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_vector_clock.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_vector_clock.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_vector_clock.cpp.o.d"
+  "/root/repo/tests/test_view_oracle.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_view_oracle.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_view_oracle.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/rfdet_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/rfdet_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfdet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
