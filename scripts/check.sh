@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus an ASan pass over the failure-containment suites.
+#
+#   scripts/check.sh            # plain build + full ctest
+#   scripts/check.sh --asan     # additionally build with RFDET_SANITIZE=address
+#                               # and rerun the robustness tests under it
+#   scripts/check.sh --tsan     # same with thread sanitizer
+#
+# Sanitized builds go to build-asan/ / build-tsan/ so they never disturb
+# the primary build/ tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Validate arguments before the (long) tier-1 pass runs.
+sanitizers=()
+for arg in "$@"; do
+  case "$arg" in
+    --asan) sanitizers+=(address) ;;
+    --tsan) sanitizers+=(thread) ;;
+    *)
+      echo "usage: scripts/check.sh [--asan] [--tsan]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# Tier-1: the configuration CI pins.
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+for san in ${sanitizers[@]+"${sanitizers[@]}"}; do
+  dir="build-${san/address/asan}"
+  dir="${dir/build-thread/build-tsan}"
+  cmake -B "$dir" -S . "-DRFDET_SANITIZE=${san}"
+  cmake --build "$dir" -j
+  # Sanitizers multiply runtime; rerun only the suites this PR hardens.
+  # Death tests re-exec the binary, which ASan/TSan tolerate fine under
+  # the threadsafe style the fixtures select.
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)" \
+      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler')
+done
+
+echo "check.sh: all requested suites passed"

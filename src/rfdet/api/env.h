@@ -49,8 +49,20 @@ class Env {
   // accesses). `words` ≈ amount of work done.
   virtual void Tick(uint64_t words) = 0;
 
+  // Recoverable allocation: returns kNullGAddr instead of aborting when the
+  // backend can back out of exhaustion (rfdet/kendo); other backends fall
+  // back to the aborting Malloc.
+  virtual GAddr TryMalloc(size_t bytes) { return Malloc(bytes); }
+
   // ---- threads -----------------------------------------------------------
   virtual size_t Spawn(std::function<void()> fn) = 0;
+  // Recoverable spawn, errno-style: 0 on success (tid stored in *out_tid),
+  // EAGAIN when thread slots are exhausted. Default delegates to the
+  // aborting Spawn for backends without a recoverable path.
+  virtual int TrySpawn(std::function<void()> fn, size_t* out_tid) {
+    *out_tid = Spawn(std::move(fn));
+    return 0;
+  }
   virtual void Join(size_t tid) = 0;
 
   // ---- synchronization -----------------------------------------------------

@@ -51,8 +51,28 @@ class RuntimeEnv final : public Env {
     return runtime_.AtomicCas(addr, expected, desired);
   }
 
+  GAddr TryMalloc(size_t bytes) override {
+    // Runtimes with a recoverable allocation path expose TryMalloc; the
+    // others (pthreads, lockstep) keep the aborting semantics.
+    if constexpr (requires { runtime_.TryMalloc(bytes); }) {
+      return runtime_.TryMalloc(bytes);
+    } else {
+      return runtime_.Malloc(bytes);
+    }
+  }
+
   size_t Spawn(std::function<void()> fn) override {
     return runtime_.Spawn(std::move(fn));
+  }
+  int TrySpawn(std::function<void()> fn, size_t* out_tid) override {
+    if constexpr (requires {
+                    runtime_.TrySpawn(std::move(fn), out_tid);
+                  }) {
+      return rfdet::ErrcToErrno(runtime_.TrySpawn(std::move(fn), out_tid));
+    } else {
+      *out_tid = runtime_.Spawn(std::move(fn));
+      return 0;
+    }
   }
   void Join(size_t tid) override { runtime_.Join(tid); }
 

@@ -2,23 +2,13 @@
 //
 // RFDET_CHECK is always on (the runtime's correctness depends on these
 // invariants even in release builds); RFDET_DCHECK compiles out in NDEBUG
-// builds and is used on hot paths.
+// builds and is used on hot paths. The sink behind both is the pluggable
+// panic handler in common/panic.h, so a harness can capture diagnostics
+// (or a test can convert the abort into an exception) before the process
+// dies.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-
-namespace rfdet {
-
-[[noreturn]] inline void PanicImpl(const char* file, int line,
-                                   const char* cond, const char* msg) {
-  std::fprintf(stderr, "rfdet: fatal: %s:%d: check failed: %s%s%s\n", file,
-               line, cond, msg[0] ? " — " : "", msg);
-  std::fflush(stderr);
-  std::abort();
-}
-
-}  // namespace rfdet
+#include "rfdet/common/panic.h"
 
 #define RFDET_CHECK(cond)                                    \
   do {                                                       \

@@ -1,0 +1,59 @@
+// Structured, recoverable error codes for the rfdet runtime.
+//
+// Historically every failure path in the runtime ended in RFDET_CHECK →
+// abort(). For a deterministic runtime that is doubly harsh: resource
+// exhaustion (thread slots, subheaps, the metadata arena) and application
+// deadlock are *reproducible* conditions, so they are exactly the failures
+// a caller could handle — retry with fewer threads, free memory, back out
+// of a lock cycle. RfdetErrc is the status channel for those paths; the
+// values map onto the errno codes a real pthreads implementation would
+// return (EAGAIN from pthread_create, EDEADLK from an error-checking
+// mutex, ENOMEM from malloc), which det_pthread surfaces verbatim.
+#pragma once
+
+#include <cerrno>
+
+namespace rfdet {
+
+enum class RfdetErrc {
+  kOk = 0,
+  kAgain,     // resource temporarily exhausted (thread slots) — EAGAIN
+  kNoMemory,  // allocator / arena exhaustion — ENOMEM
+  kDeadlock,  // deterministic deadlock detected — EDEADLK
+  kInvalid,   // malformed request / configuration — EINVAL
+};
+
+[[nodiscard]] constexpr const char* ErrcName(RfdetErrc e) noexcept {
+  switch (e) {
+    case RfdetErrc::kOk:
+      return "ok";
+    case RfdetErrc::kAgain:
+      return "again";
+    case RfdetErrc::kNoMemory:
+      return "no-memory";
+    case RfdetErrc::kDeadlock:
+      return "deadlock";
+    case RfdetErrc::kInvalid:
+      return "invalid";
+  }
+  return "?";
+}
+
+// The errno value a pthreads-shaped API returns for this condition.
+[[nodiscard]] constexpr int ErrcToErrno(RfdetErrc e) noexcept {
+  switch (e) {
+    case RfdetErrc::kOk:
+      return 0;
+    case RfdetErrc::kAgain:
+      return EAGAIN;
+    case RfdetErrc::kNoMemory:
+      return ENOMEM;
+    case RfdetErrc::kDeadlock:
+      return EDEADLK;
+    case RfdetErrc::kInvalid:
+      return EINVAL;
+  }
+  return EINVAL;
+}
+
+}  // namespace rfdet

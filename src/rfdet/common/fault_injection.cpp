@@ -1,0 +1,58 @@
+#include "rfdet/common/fault_injection.h"
+
+#include "rfdet/common/rng.h"
+
+namespace rfdet {
+
+void FaultInjector::Arm(FaultSite site, const Plan& plan) noexcept {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  s.armed.store(false, std::memory_order_release);
+  s.plan = plan;
+  s.armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(FaultSite site) noexcept {
+  sites_[static_cast<size_t>(site)].armed.store(false,
+                                                std::memory_order_release);
+}
+
+void FaultInjector::DisarmAll() noexcept {
+  for (SiteState& s : sites_) s.armed.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) noexcept {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  const Plan& plan = s.plan;
+  if (hit < plan.skip || hit - plan.skip >= plan.count) return false;
+  if (plan.rate < 1.0) {
+    // Keyed on (seed, hit): a pure per-hit function, so the decision for
+    // hit n is identical no matter which thread performs it.
+    SplitMix64 stream(plan.seed ^ (hit * 0x9e3779b97f4a7c15ULL));
+    const double draw =
+        static_cast<double>(stream.Next() >> 11) * 0x1.0p-53;
+    if (draw >= plan.rate) return false;
+  }
+  s.injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultInjector::Hits(FaultSite site) const noexcept {
+  return sites_[static_cast<size_t>(site)].hits.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::Injected(FaultSite site) const noexcept {
+  return sites_[static_cast<size_t>(site)].injected.load(
+      std::memory_order_relaxed);
+}
+
+void FaultInjector::ResetCounters() noexcept {
+  for (SiteState& s : sites_) {
+    s.hits.store(0, std::memory_order_relaxed);
+    s.injected.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rfdet

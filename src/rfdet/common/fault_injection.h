@@ -1,0 +1,91 @@
+// Deterministic fault injection for the runtime's resource-failure paths.
+//
+// Every recoverable error the runtime can produce (arena exhaustion, spawn
+// failure, allocator exhaustion, snapshot-pool exhaustion) is rare in
+// practice, which makes the error paths the least-tested code in the
+// system. A FaultInjector armed at one of the FaultSite hooks forces those
+// paths on demand — and does so *deterministically*: a site is triggered
+// by its hit index (every call to ShouldFail counts one hit), so as long
+// as the site's hits are themselves deterministic (turn-ordered runtime
+// operations, or a single-threaded test) the injected failures land on the
+// identical operations in every run.
+//
+// Two arming modes:
+//   * windowed  — fail hits [skip, skip+count): "fail the 3rd spawn".
+//   * seeded    — within the window, fail each hit with probability `rate`
+//     decided by a SplitMix64 stream keyed on (seed, hit index): a pure
+//     function of the plan and the hit number, so concurrent sites still
+//     make per-hit-deterministic decisions.
+//
+// Thread-safety: ShouldFail is lock-free and safe from any thread
+// (including the pf-mode fault handler); Arm/Disarm must not race with
+// ShouldFail — reconfigure only while the runtime is quiescent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rfdet {
+
+enum class FaultSite : uint8_t {
+  kArenaCharge = 0,   // metadata-arena reservation (slice publication)
+  kSnapshotAcquire,   // page-snapshot allocation in the snapshot pool
+  kSpawn,             // deterministic thread creation
+  kHeapAlloc,         // DetAllocator subheap allocation
+  kStaticAlloc,       // static-segment bump allocation
+};
+inline constexpr size_t kNumFaultSites = 5;
+
+[[nodiscard]] constexpr const char* FaultSiteName(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::kArenaCharge:
+      return "arena-charge";
+    case FaultSite::kSnapshotAcquire:
+      return "snapshot-acquire";
+    case FaultSite::kSpawn:
+      return "spawn";
+    case FaultSite::kHeapAlloc:
+      return "heap-alloc";
+    case FaultSite::kStaticAlloc:
+      return "static-alloc";
+  }
+  return "?";
+}
+
+class FaultInjector {
+ public:
+  struct Plan {
+    uint64_t skip = 0;               // let this many hits pass first
+    uint64_t count = UINT64_MAX;     // size of the failure window
+    double rate = 1.0;               // P(fail) per hit inside the window
+    uint64_t seed = 0;               // stream key for rate < 1.0
+  };
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void Arm(FaultSite site, const Plan& plan) noexcept;
+  void Disarm(FaultSite site) noexcept;
+  void DisarmAll() noexcept;
+
+  // Counts one hit at `site`; returns true iff the hit should fail.
+  [[nodiscard]] bool ShouldFail(FaultSite site) noexcept;
+
+  // Introspection for tests.
+  [[nodiscard]] uint64_t Hits(FaultSite site) const noexcept;
+  [[nodiscard]] uint64_t Injected(FaultSite site) const noexcept;
+  void ResetCounters() noexcept;
+
+ private:
+  struct SiteState {
+    std::atomic<bool> armed{false};
+    Plan plan;  // written only while disarmed (see header comment)
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> injected{0};
+  };
+
+  SiteState sites_[kNumFaultSites];
+};
+
+}  // namespace rfdet

@@ -1,0 +1,30 @@
+#include "rfdet/common/panic.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rfdet {
+
+namespace {
+std::atomic<PanicHandler> g_panic_handler{nullptr};
+}  // namespace
+
+PanicHandler SetPanicHandler(PanicHandler handler) noexcept {
+  return g_panic_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void PanicImpl(const char* file, int line, const char* cond,
+               const char* msg) {
+  const PanicInfo info{file, line, cond, msg};
+  if (PanicHandler handler =
+          g_panic_handler.load(std::memory_order_acquire)) {
+    handler(info);  // may throw / not return
+  }
+  std::fprintf(stderr, "rfdet: fatal: %s:%d: check failed: %s%s%s\n", file,
+               line, cond, msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rfdet

@@ -1,0 +1,42 @@
+// Pluggable panic sink behind the RFDET_CHECK macros.
+//
+// The default disposition of a failed invariant is print-and-abort, which
+// is right for production but opaque for a harness: a test that wants to
+// assert *which* invariant fired, or a driver that wants to attach a state
+// dump to the crash report, needs a hook that runs before the process
+// dies. SetPanicHandler installs one. The handler may:
+//
+//   * return — PanicImpl then prints the standard message and aborts
+//     (use this to emit extra diagnostics, e.g. the harness prints the
+//     active workload/backend so a CI log ties the abort to a run);
+//   * not return (throw, longjmp, _exit) — e.g. a test handler throws to
+//     convert the panic into a catchable exception.
+//
+// The handler is a plain function pointer held in an atomic so installing
+// and firing are race-free; handlers must therefore be stateless (tests
+// use file-scope captures).
+#pragma once
+
+namespace rfdet {
+
+struct PanicInfo {
+  const char* file;
+  int line;
+  const char* condition;  // stringified failing expression
+  const char* message;    // optional human message ("" if none)
+};
+
+using PanicHandler = void (*)(const PanicInfo&);
+
+// Installs `handler` (nullptr restores the default); returns the previous
+// handler so scopes can nest.
+PanicHandler SetPanicHandler(PanicHandler handler) noexcept;
+
+// The sink behind RFDET_CHECK / RFDET_PANIC. Runs the installed handler
+// (if any), then prints the standard one-line report and aborts. Declared
+// [[noreturn]]: it never returns normally, though a handler may exit via
+// exception.
+[[noreturn]] void PanicImpl(const char* file, int line, const char* cond,
+                            const char* msg);
+
+}  // namespace rfdet

@@ -1,5 +1,6 @@
 #include "rfdet/compat/det_pthread.h"
 
+#include <cerrno>
 #include <mutex>
 #include <unordered_map>
 
@@ -49,17 +50,24 @@ int det_pthread_create(det_pthread_t* thread, const void* attr,
                        void* (*start_routine)(void*), void* arg) {
   RFDET_CHECK_MSG(attr == nullptr, "thread attributes are not supported");
   auto& rt = DetProcess::Runtime();
-  const size_t tid = rt.Spawn([start_routine, arg, &rt] {
-    void* ret = start_routine(arg);
-    std::scoped_lock lock(rfdet::compat::g_retval_mu);
-    rfdet::compat::g_retvals[rt.CurrentTid()] = ret;
-  });
+  size_t tid = 0;
+  // Recoverable path: slot exhaustion surfaces as EAGAIN, exactly like
+  // pthread_create, instead of aborting the process.
+  const rfdet::RfdetErrc err = rt.TrySpawn(
+      [start_routine, arg, &rt] {
+        void* ret = start_routine(arg);
+        std::scoped_lock lock(rfdet::compat::g_retval_mu);
+        rfdet::compat::g_retvals[rt.CurrentTid()] = ret;
+      },
+      &tid);
+  if (err != rfdet::RfdetErrc::kOk) return rfdet::ErrcToErrno(err);
   *thread = tid;
   return 0;
 }
 
 int det_pthread_join(det_pthread_t thread, void** retval) {
-  DetProcess::Runtime().Join(thread);
+  const rfdet::RfdetErrc err = DetProcess::Runtime().Join(thread);
+  if (err != rfdet::RfdetErrc::kOk) return rfdet::ErrcToErrno(err);
   if (retval != nullptr) {
     std::scoped_lock lock(rfdet::compat::g_retval_mu);
     const auto it = rfdet::compat::g_retvals.find(thread);
@@ -81,8 +89,9 @@ int det_pthread_mutex_init(det_pthread_mutex_t* mutex, const void* attr) {
 
 int det_pthread_mutex_lock(det_pthread_mutex_t* mutex) {
   RFDET_CHECK_MSG(mutex->initialized, "lock of uninitialized mutex");
-  DetProcess::Runtime().MutexLock(mutex->id);
-  return 0;
+  // Under DeadlockPolicy::kReturnError a provable deadlock comes back as
+  // EDEADLK — the POSIX error-checking-mutex contract.
+  return rfdet::ErrcToErrno(DetProcess::Runtime().MutexLock(mutex->id));
 }
 
 int det_pthread_mutex_unlock(det_pthread_mutex_t* mutex) {
@@ -106,8 +115,10 @@ int det_pthread_cond_init(det_pthread_cond_t* cond, const void* attr) {
 int det_pthread_cond_wait(det_pthread_cond_t* cond,
                           det_pthread_mutex_t* mutex) {
   RFDET_CHECK(cond->initialized && mutex->initialized);
-  DetProcess::Runtime().CondWait(cond->id, mutex->id);
-  return 0;
+  // EDEADLK on a provable stall (kReturnError policy); the mutex is then
+  // still held and the thread was never enqueued on the condition.
+  return rfdet::ErrcToErrno(
+      DetProcess::Runtime().CondWait(cond->id, mutex->id));
 }
 
 int det_pthread_cond_signal(det_pthread_cond_t* cond) {
@@ -137,8 +148,8 @@ int det_pthread_barrier_init(det_pthread_barrier_t* barrier,
 
 int det_pthread_barrier_wait(det_pthread_barrier_t* barrier) {
   RFDET_CHECK(barrier->initialized);
-  DetProcess::Runtime().BarrierWait(barrier->id);
-  return 0;
+  return rfdet::ErrcToErrno(
+      DetProcess::Runtime().BarrierWait(barrier->id));
 }
 
 int det_pthread_barrier_destroy(det_pthread_barrier_t* barrier) {
@@ -146,7 +157,12 @@ int det_pthread_barrier_destroy(det_pthread_barrier_t* barrier) {
   return 0;
 }
 
-uint64_t det_malloc(size_t size) { return DetProcess::Runtime().Malloc(size); }
+uint64_t det_malloc(size_t size) {
+  // malloc contract: 0 (no object ever lives at GAddr 0) on exhaustion
+  // instead of aborting.
+  const rfdet::GAddr addr = DetProcess::Runtime().TryMalloc(size);
+  return addr == rfdet::kNullGAddr ? 0 : addr;
+}
 
 void det_free(uint64_t addr) { DetProcess::Runtime().Free(addr); }
 

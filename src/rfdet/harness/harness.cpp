@@ -4,11 +4,47 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
+
+#include "rfdet/common/panic.h"
 
 namespace harness {
 
+namespace {
+
+// What Measure is currently running, for the panic handler: a CI log line
+// "rfdet: fatal: …" is much more useful when it names the workload and
+// backend that tripped the invariant. The handler returns, so the default
+// print-and-abort disposition is unchanged.
+std::mutex g_run_context_mu;
+std::string g_run_context;
+
+void PrintRunContext(const rfdet::PanicInfo&) {
+  std::scoped_lock lock(g_run_context_mu);
+  if (!g_run_context.empty()) {
+    std::fprintf(stderr, "harness: panic while running %s\n",
+                 g_run_context.c_str());
+    std::fflush(stderr);
+  }
+}
+
+void NoteRunContext(const apps::Workload& workload,
+                    const dmt::BackendConfig& config) {
+  static const bool installed = [] {
+    rfdet::SetPanicHandler(&PrintRunContext);
+    return true;
+  }();
+  (void)installed;
+  std::scoped_lock lock(g_run_context_mu);
+  g_run_context =
+      workload.Name() + " on " + std::string(dmt::ToString(config.kind));
+}
+
+}  // namespace
+
 RunOutcome Measure(const apps::Workload& workload, const apps::Params& params,
                    const dmt::BackendConfig& config) {
+  NoteRunContext(workload, config);
   auto env = dmt::CreateEnv(config);
   const auto start = std::chrono::steady_clock::now();
   const apps::Result result = workload.Run(*env, params);

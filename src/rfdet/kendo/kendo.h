@@ -59,6 +59,16 @@ class KendoEngine {
     return count_.load(std::memory_order_acquire);
   }
 
+  // Rolls back the most recent RegisterThread (spawn failed after the slot
+  // was claimed, e.g. the OS refused the host thread). Caller must hold
+  // the turn, so no other thread can have observed tid as active between
+  // registration and rollback.
+  void UnregisterLast(size_t tid) noexcept {
+    RFDET_DCHECK(count_.load(std::memory_order_relaxed) == tid + 1);
+    slots_[tid].clock.store(kPaused, std::memory_order_seq_cst);
+    count_.store(tid, std::memory_order_seq_cst);
+  }
+
   // Advances tid's deterministic clock. Only ever called by thread tid.
   void Tick(size_t tid, uint64_t n = 1) noexcept {
     auto& c = slots_[tid].clock;

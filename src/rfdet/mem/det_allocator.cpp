@@ -42,16 +42,21 @@ int DetAllocator::ClassFor(size_t block_size) noexcept {
   return cls;
 }
 
-GAddr DetAllocator::AllocStatic(size_t size, size_t align) {
+GAddr DetAllocator::TryAllocStatic(size_t size, size_t align) noexcept {
   if (align < kMinAlign) align = kMinAlign;
-  static_bump_ = AlignUp(static_bump_, align);
-  const GAddr addr = static_bump_;
-  RFDET_CHECK_MSG(addr + size <= static_end_, "static segment exhausted");
-  static_bump_ += size;
+  const GAddr aligned = AlignUp(static_bump_, align);
+  if (aligned + size > static_end_) return kNullGAddr;
+  static_bump_ = aligned + size;
+  return aligned;
+}
+
+GAddr DetAllocator::AllocStatic(size_t size, size_t align) {
+  const GAddr addr = TryAllocStatic(size, align);
+  RFDET_CHECK_MSG(addr != kNullGAddr, "static segment exhausted");
   return addr;
 }
 
-GAddr DetAllocator::Alloc(size_t tid, size_t size) {
+GAddr DetAllocator::TryAlloc(size_t tid, size_t size) {
   RFDET_CHECK(tid < subheaps_.size());
   const size_t block = BlockSizeFor(size);
   SubHeap& heap = subheaps_[tid];
@@ -73,7 +78,7 @@ GAddr DetAllocator::Alloc(size_t tid, size_t size) {
   if (addr == kNullGAddr) {
     const GAddr bumped = AlignUp(heap.bump, block <= kPageSize ? block
                                                                : kPageSize);
-    RFDET_CHECK_MSG(bumped + block <= heap.end, "subheap exhausted");
+    if (bumped + block > heap.end) return kNullGAddr;
     addr = bumped;
     heap.bump = bumped + block;
   }
@@ -85,6 +90,12 @@ GAddr DetAllocator::Alloc(size_t tid, size_t size) {
     live_bytes_ += block;
     peak_bytes_ = std::max(peak_bytes_, live_bytes_);
   }
+  return addr;
+}
+
+GAddr DetAllocator::Alloc(size_t tid, size_t size) {
+  const GAddr addr = TryAlloc(tid, size);
+  RFDET_CHECK_MSG(addr != kNullGAddr, "subheap exhausted");
   return addr;
 }
 

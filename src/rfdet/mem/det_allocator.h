@@ -42,11 +42,15 @@ class DetAllocator {
   DetAllocator& operator=(const DetAllocator&) = delete;
 
   // Bump allocation in the static segment (application setup, before any
-  // worker thread runs).
+  // worker thread runs). AllocStatic panics on exhaustion; TryAllocStatic
+  // returns kNullGAddr instead (the recoverable path).
   GAddr AllocStatic(size_t size, size_t align = kMinAlign);
+  GAddr TryAllocStatic(size_t size, size_t align = kMinAlign) noexcept;
 
-  // malloc/free replacements; tid identifies the *calling* thread.
+  // malloc/free replacements; tid identifies the *calling* thread. Alloc
+  // panics when the subheap is exhausted; TryAlloc returns kNullGAddr.
   GAddr Alloc(size_t tid, size_t size);
+  GAddr TryAlloc(size_t tid, size_t size);
   void Free(size_t tid, GAddr addr);
 
   [[nodiscard]] GAddr HeapBase() const noexcept { return heap_base_; }

@@ -53,6 +53,15 @@ class MetadataArena {
     return Used() >= gc_trip_bytes_;
   }
 
+  // True iff charging `bytes` would stay within the configured capacity.
+  // The arena is an accounting object, so exceeding capacity is *survivable*
+  // here (host memory still backs the data) — callers use HasRoom to drive
+  // the GC-then-retry path and to report overflow rather than to gate the
+  // charge itself.
+  [[nodiscard]] bool HasRoom(size_t bytes) const noexcept {
+    return Used() + bytes <= capacity_;
+  }
+
   void RecordGc() noexcept {
     gc_count_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -15,6 +15,10 @@ SnapshotPool::~SnapshotPool() {
 }
 
 std::byte* SnapshotPool::AllocPage() noexcept {
+  if (injector_ != nullptr &&
+      injector_->ShouldFail(FaultSite::kSnapshotAcquire)) {
+    return nullptr;  // simulated chunk-reservation failure
+  }
   const size_t chunk_idx = next_ / kChunkBytes;
   const size_t chunk_off = next_ % kChunkBytes;
   if (chunk_idx == chunks_.size()) {
@@ -25,12 +29,15 @@ std::byte* SnapshotPool::AllocPage() noexcept {
 }
 
 std::byte* SnapshotPool::Grow() noexcept {
+  // Exhaustion is reported to the caller (nullptr), not aborted here: the
+  // ThreadView turns it into a structured panic with the snapshot context,
+  // and fault-injection tests exercise that path without 1 GiB of mmaps.
   // push_back below never reallocates (capacity pre-reserved), keeping this
   // safe to run from the page-fault handler.
-  RFDET_CHECK_MSG(chunks_.size() < kMaxChunks, "snapshot pool exhausted");
+  if (chunks_.size() >= kMaxChunks) return nullptr;
   void* mem = ::mmap(nullptr, kChunkBytes, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  RFDET_CHECK_MSG(mem != MAP_FAILED, "snapshot pool mmap failed");
+  if (mem == MAP_FAILED) return nullptr;
   chunks_.push_back(static_cast<std::byte*>(mem));
   return chunks_.back();
 }

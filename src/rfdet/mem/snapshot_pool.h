@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "rfdet/common/fault_injection.h"
 #include "rfdet/mem/addr.h"
 
 namespace rfdet {
@@ -26,10 +27,16 @@ class SnapshotPool {
   SnapshotPool(const SnapshotPool&) = delete;
   SnapshotPool& operator=(const SnapshotPool&) = delete;
 
-  // Returns a kPageSize buffer valid until Reset(). Async-signal-safe
-  // unless the chunk directory's pre-reserved capacity is exhausted
-  // (kMaxChunks chunks = 1 GiB of snapshots; far beyond any slice).
+  // Returns a kPageSize buffer valid until Reset(), or nullptr when the
+  // pool cannot grow (chunk directory full, mmap failure, or an injected
+  // kSnapshotAcquire fault) — the caller owns the failure policy.
+  // Async-signal-safe: no malloc, chunk directory pre-reserved.
   std::byte* AllocPage() noexcept;
+
+  // Optional deterministic fault injection at the allocation site.
+  void SetFaultInjector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
 
   // Releases every snapshot (chunks are retained for reuse).
   void Reset() noexcept { next_ = 0; }
@@ -48,6 +55,7 @@ class SnapshotPool {
 
   std::vector<std::byte*> chunks_;
   size_t next_ = 0;  // bump offset across the logical concatenation
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace rfdet

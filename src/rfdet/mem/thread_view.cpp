@@ -59,8 +59,9 @@ void SegvHandler(int sig, siginfo_t* info, void* ucontext) {
 }  // namespace
 
 ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
-                       MetadataArena* arena)
+                       MetadataArena* arena, FaultInjector* injector)
     : mode_(mode), capacity_(capacity_bytes), arena_(arena) {
+  snapshots_.SetFaultInjector(injector);
   RFDET_CHECK_MSG(capacity_ % kPageSize == 0,
                   "region capacity must be page aligned");
   num_pages_ = capacity_ / kPageSize;
@@ -115,6 +116,9 @@ void ThreadView::SetProt(PageId pid, Prot p) noexcept {
 
 void ThreadView::SnapshotPf(PageId pid) noexcept {
   std::byte* snap = snapshots_.AllocPage();
+  // Structured failure instead of a wild memcpy: the pool cannot grow
+  // (genuine exhaustion or an injected kSnapshotAcquire fault).
+  RFDET_CHECK_MSG(snap != nullptr, "snapshot pool exhausted");
   std::memcpy(snap, flat_ + PageBase(pid), kPageSize);
   pf_snap_[pid] = snap;
   modified_.push_back(pid);
@@ -194,6 +198,7 @@ void ThreadView::UnshareCi(PageId pid) {
 void ThreadView::SnapshotCi(PageId pid) {
   PageEntry& e = table_[pid];
   std::byte* snap = snapshots_.AllocPage();
+  RFDET_CHECK_MSG(snap != nullptr, "snapshot pool exhausted");
   std::memcpy(snap, e.page->bytes, kPageSize);
   e.snapshot = snap;
   e.snapshot_seq = slice_seq_;

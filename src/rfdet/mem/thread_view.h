@@ -58,7 +58,8 @@ struct ViewStats {
 
 class ThreadView {
  public:
-  ThreadView(size_t capacity_bytes, MonitorMode mode, MetadataArena* arena);
+  ThreadView(size_t capacity_bytes, MonitorMode mode, MetadataArena* arena,
+             FaultInjector* injector = nullptr);
   ~ThreadView();
 
   ThreadView(const ThreadView&) = delete;

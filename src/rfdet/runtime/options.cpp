@@ -1,0 +1,43 @@
+#include "rfdet/runtime/options.h"
+
+#include <string>
+
+#include "rfdet/mem/addr.h"
+
+namespace rfdet {
+
+std::string ValidateOptions(const RfdetOptions& options) {
+  const auto mb = [](size_t bytes) {
+    return std::to_string(bytes >> 20) + " MiB";
+  };
+  if (options.max_threads == 0) {
+    return "max_threads must be > 0";
+  }
+  if (options.region_bytes == 0 || options.region_bytes % kPageSize != 0) {
+    return "region_bytes must be a non-zero multiple of the page size (" +
+           std::to_string(kPageSize) + ")";
+  }
+  // The allocator carves region_bytes into the static segment, two pages
+  // of alignment slack, and max_threads equal subheaps of ≥ one page each.
+  const size_t overhead = options.static_bytes + 2 * kPageSize;
+  if (options.region_bytes < overhead ||
+      options.region_bytes - overhead < options.max_threads * kPageSize) {
+    return "region_bytes (" + mb(options.region_bytes) +
+           ") too small: need static_bytes (" + mb(options.static_bytes) +
+           ") + 2 alignment pages + one page per thread (max_threads=" +
+           std::to_string(options.max_threads) + ")";
+  }
+  if (options.metadata_bytes == 0) {
+    return "metadata_bytes must be > 0";
+  }
+  if (!(options.gc_threshold > 0.0) || options.gc_threshold > 1.0) {
+    return "gc_threshold must be in (0, 1]";
+  }
+  if (options.ticks_per_word == 0) {
+    return "ticks_per_word must be > 0 (a zero-cost access stream would "
+           "starve the Kendo turn)";
+  }
+  return "";
+}
+
+}  // namespace rfdet

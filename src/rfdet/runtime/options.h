@@ -3,11 +3,27 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <string>
 
+#include "rfdet/common/error.h"
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/thread_view.h"
 
 namespace rfdet {
+
+class FaultInjector;
+
+// What the runtime does when it proves the application deadlocked.
+enum class DeadlockPolicy : uint8_t {
+  // Print the deterministic deadlock report to stderr and panic — a
+  // reproducible crash with an explanation beats a silent hang.
+  kPanic,
+  // The blocking operation backs out and returns RfdetErrc::kDeadlock
+  // (det_pthread surfaces EDEADLK, like a POSIX error-checking mutex).
+  // The report is retained and readable via LastDeadlockReport().
+  kReturnError,
+};
 
 struct RfdetOptions {
   // Monitor backend: RFDet-ci (compile-time-instrumentation analogue) or
@@ -42,6 +58,44 @@ struct RfdetOptions {
   // input to reproduce an execution, the trace is purely diagnostic —
   // unlike record&replay systems, it never needs to be replayed (§2).
   bool record_trace = false;
+
+  // ---- failure containment & diagnosis -----------------------------------
+
+  // Deterministic deadlock detection: whenever a thread is about to block
+  // (under its turn), the runtime walks the wait-for graph (mutex owners,
+  // join targets) and checks for a global stall (every other live thread
+  // already blocked). Detection, the victim, and the report are all pure
+  // functions of the deterministic schedule.
+  bool deadlock_detection = true;
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kPanic;
+  // Diagnostic tap: called (under the victim's turn) with the report
+  // before the policy is applied.
+  std::function<void(const std::string&)> on_deadlock;
+
+  // Turn-stall watchdog: a monitor thread *outside* the deterministic
+  // schedule that fires when no Kendo clock changes for this many
+  // milliseconds of wall-clock time, dumping a full state report to
+  // stderr. 0 disables. Diagnostics only — it never perturbs the
+  // schedule. With watchdog_fatal the dump is followed by a panic
+  // (turning a silent hang into an explained crash, e.g. in CI).
+  uint32_t watchdog_stall_ms = 0;
+  bool watchdog_fatal = false;
+  std::function<void(const std::string&)> on_stall;
+
+  // Sink for recoverable resource errors (arena overflow after GC retry,
+  // spawn/allocator exhaustion). Called before the error is returned;
+  // defaults to a rate-limited stderr note.
+  std::function<void(RfdetErrc, const std::string&)> on_error;
+
+  // Deterministic fault injection (tests): when set, the runtime threads
+  // this injector through the arena-reserve, snapshot-pool, spawn, and
+  // allocator sites. Not owned; must outlive the runtime.
+  FaultInjector* fault_injector = nullptr;
 };
+
+// Validates option invariants the subsystems would otherwise trip over
+// later (or worse, not trip over). Returns "" when valid, else a
+// human-readable description of the first violation.
+[[nodiscard]] std::string ValidateOptions(const RfdetOptions& options);
 
 }  // namespace rfdet

@@ -1,7 +1,10 @@
 #include "rfdet/runtime/runtime.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <sstream>
+#include <system_error>
 
 namespace rfdet {
 
@@ -13,6 +16,44 @@ struct TlsBinding {
 };
 thread_local TlsBinding g_tls;
 
+// Runs option validation before any other member (arena, Kendo, allocator)
+// is constructed from the values — the allocator in particular would
+// otherwise fail deep inside segment carving with a much worse message.
+const RfdetOptions& Validated(const RfdetOptions& options) {
+  const std::string err = ValidateOptions(options);
+  if (!err.empty()) {
+    const std::string full = "invalid RfdetOptions: " + err;
+    RFDET_CHECK_MSG(false, full.c_str());
+  }
+  return options;
+}
+
+std::string JoinTids(const std::vector<size_t>& tids) {
+  std::string out;
+  for (size_t i = 0; i < tids.size(); ++i) {
+    if (i) out += ' ';
+    out += std::to_string(tids[i]);
+  }
+  return out;
+}
+
+const char* TraceOpName(RfdetRuntime::TraceOp op) {
+  switch (op) {
+    case RfdetRuntime::TraceOp::kLockAcquired: return "lock";
+    case RfdetRuntime::TraceOp::kUnlock: return "unlock";
+    case RfdetRuntime::TraceOp::kCondEnterWait: return "cond-wait";
+    case RfdetRuntime::TraceOp::kSignal: return "signal";
+    case RfdetRuntime::TraceOp::kBroadcast: return "broadcast";
+    case RfdetRuntime::TraceOp::kBarrierArrive: return "barrier-arrive";
+    case RfdetRuntime::TraceOp::kBarrierRelease: return "barrier-release";
+    case RfdetRuntime::TraceOp::kFork: return "fork";
+    case RfdetRuntime::TraceOp::kJoin: return "join";
+    case RfdetRuntime::TraceOp::kExit: return "exit";
+    case RfdetRuntime::TraceOp::kAtomic: return "atomic";
+  }
+  return "?";
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -20,16 +61,16 @@ thread_local TlsBinding g_tls;
 // ---------------------------------------------------------------------------
 
 RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
-    : options_(options),
-      arena_(options.metadata_bytes, options.gc_threshold),
-      kendo_(options.max_threads),
+    : options_(Validated(options)),
+      arena_(options_.metadata_bytes, options_.gc_threshold),
+      kendo_(options_.max_threads),
       allocator_(DetAllocator::Config{
           .static_base = 16,
-          .static_size = options.static_bytes,
+          .static_size = options_.static_bytes,
           // Leave page-alignment slack between the segments.
-          .heap_size = options.region_bytes - options.static_bytes -
+          .heap_size = options_.region_bytes - options_.static_bytes -
                        2 * kPageSize,
-          .max_threads = options.max_threads,
+          .max_threads = options_.max_threads,
       }) {
   RFDET_CHECK_MSG(g_tls.runtime == nullptr,
                   "a runtime is already attached to this thread");
@@ -42,17 +83,31 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
   auto main_ctx = std::make_unique<ThreadCtx>();
   main_ctx->tid = 0;
   if (options_.isolation) {
-    main_ctx->view = std::make_unique<ThreadView>(options_.region_bytes,
-                                                  options_.monitor, &arena_);
+    main_ctx->view =
+        std::make_unique<ThreadView>(options_.region_bytes, options_.monitor,
+                                     &arena_, options_.fault_injector);
     main_ctx->view->ActivateOnThisThread();
   }
   threads_.push_back(std::move(main_ctx));
   const size_t tid = kendo_.RegisterThread(1);
   RFDET_CHECK(tid == 0);
   g_tls = {this, threads_[0].get()};
+
+  if (options_.watchdog_stall_ms > 0) {
+    watchdog_ = std::make_unique<Watchdog>(
+        Watchdog::Config{options_.watchdog_stall_ms, options_.watchdog_fatal},
+        [this] { return ProgressFingerprint(); },
+        [this] { return DumpStateReport(); },
+        [this](const std::string& report) {
+          stats_.watchdog_stalls.fetch_add(1, std::memory_order_relaxed);
+          if (options_.on_stall) options_.on_stall(report);
+        });
+  }
 }
 
 RfdetRuntime::~RfdetRuntime() {
+  // Teardown legitimately stops the clocks: silence the watchdog first.
+  if (watchdog_) watchdog_->Stop();
   // Reclaim any spawned thread the application forgot to Join. Their
   // deterministic work is already done (or will finish nondeterministically
   // during teardown — a program bug, like exiting with threads running).
@@ -90,8 +145,44 @@ GAddr RfdetRuntime::AllocStatic(size_t size, size_t align) {
   return allocator_.AllocStatic(size, align);
 }
 
+GAddr RfdetRuntime::TryAllocStatic(size_t size, size_t align) {
+  RFDET_CHECK_MSG(Ctx().tid == 0,
+                  "static allocation is a main-thread setup operation");
+  FaultInjector* fi = options_.fault_injector;
+  if (fi != nullptr && fi->ShouldFail(FaultSite::kStaticAlloc)) {
+    stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    ReportError(RfdetErrc::kNoMemory,
+                "static allocation failed (injected fault)");
+    return kNullGAddr;
+  }
+  const GAddr addr = allocator_.TryAllocStatic(size, align);
+  if (addr == kNullGAddr) {
+    stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    ReportError(RfdetErrc::kNoMemory, "static segment exhausted");
+  }
+  return addr;
+}
+
 GAddr RfdetRuntime::Malloc(size_t size) {
   return allocator_.Alloc(Ctx().tid, size);
+}
+
+GAddr RfdetRuntime::TryMalloc(size_t size) {
+  ThreadCtx& me = Ctx();
+  FaultInjector* fi = options_.fault_injector;
+  if (fi != nullptr && fi->ShouldFail(FaultSite::kHeapAlloc)) {
+    stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    ReportError(RfdetErrc::kNoMemory, "allocation failed (injected fault)");
+    return kNullGAddr;
+  }
+  const GAddr addr = allocator_.TryAlloc(me.tid, size);
+  if (addr == kNullGAddr) {
+    stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    ReportError(RfdetErrc::kNoMemory,
+                "subheap exhausted (thread " + std::to_string(me.tid) +
+                    ", request " + std::to_string(size) + " bytes)");
+  }
+  return addr;
 }
 
 void RfdetRuntime::Free(GAddr addr) { allocator_.Free(Ctx().tid, addr); }
@@ -142,12 +233,41 @@ void RfdetRuntime::CloseSlice(ThreadCtx& t) {
     time = t.vclock;
   }
   if (!mods.Empty()) {
+    ReserveSliceMetadata(Slice::BytesFor(mods, time));
     t.log.Append(std::make_shared<Slice>(t.tid, ++t.slice_seq,
                                          std::move(time), std::move(mods),
                                          &arena_));
     stats_.slices_created.fetch_add(1, std::memory_order_relaxed);
   }
   MaybeRunGc();
+}
+
+void RfdetRuntime::ReserveSliceMetadata(size_t bytes) {
+  FaultInjector* fi = options_.fault_injector;
+  const auto fits = [&] {
+    const bool injected =
+        fi != nullptr && fi->ShouldFail(FaultSite::kArenaCharge);
+    return !injected && arena_.HasRoom(bytes);
+  };
+  if (fits()) return;
+  // Shortfall: force a GC and retry once (paper §5.4 — slices can outgrow
+  // the metadata space when threads rarely synchronize, and the routine
+  // threshold GC may not have caught up).
+  stats_.arena_gc_retries.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(gc_mu_);
+    RunGc();
+  }
+  if (fits()) return;
+  // Still short. The arena is an accounting object (slice payloads live in
+  // ordinary host memory), so exceeding the budget is survivable: count
+  // the overflow and tell the application instead of aborting.
+  stats_.metadata_overflows.fetch_add(1, std::memory_order_relaxed);
+  ReportError(RfdetErrc::kNoMemory,
+              "metadata arena exhausted after GC retry (" +
+                  std::to_string(arena_.Used()) + " of " +
+                  std::to_string(arena_.Capacity()) +
+                  " bytes used); continuing over budget");
 }
 
 void RfdetRuntime::PropagateFrom(ThreadCtx& me, size_t src_tid,
@@ -222,11 +342,184 @@ void RfdetRuntime::Block(ThreadCtx& me, uint32_t baseline) {
 
 void RfdetRuntime::Wake(ThreadCtx& me, ThreadCtx& target, uint64_t delta,
                         size_t mail_src, const VectorClock& mail_time) {
+  SetBlocked(target, BlockKind::kNone, kNone);
   target.mail_src = mail_src;
   target.mail_time = mail_time;
   kendo_.Resume(target.tid, kendo_.Clock(me.tid) + delta);
   target.wake_seq.fetch_add(1, std::memory_order_release);
   target.wake_seq.notify_one();
+}
+
+void RfdetRuntime::SetBlocked(ThreadCtx& t, BlockKind kind, size_t object) {
+  std::scoped_lock lock(t.clock_mu);
+  t.block_kind = kind;
+  t.block_object = object;
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection
+// ---------------------------------------------------------------------------
+
+std::string RfdetRuntime::BlockDesc(BlockKind kind, size_t object) {
+  switch (kind) {
+    case BlockKind::kNone: return "nothing (runnable)";
+    case BlockKind::kMutex: return "mutex " + std::to_string(object);
+    case BlockKind::kCond: return "cond " + std::to_string(object);
+    case BlockKind::kBarrier: return "barrier " + std::to_string(object);
+    case BlockKind::kJoin: return "join of thread " + std::to_string(object);
+  }
+  return "?";
+}
+
+RfdetErrc RfdetRuntime::CheckBlockPermitted(ThreadCtx& me, BlockKind kind,
+                                            size_t object,
+                                            size_t releasing_mutex,
+                                            bool can_back_out) {
+  if (!options_.deadlock_detection) return RfdetErrc::kOk;
+
+  // Everything below runs under the caller's turn: block states, queue
+  // contents and mutex owners are only ever mutated under a turn, so this
+  // reads a deterministic snapshot of the wait-for graph — detection, the
+  // victim (the thread whose blocking attempt trips the check) and the
+  // report text are pure functions of the deterministic schedule.
+  struct Node {
+    size_t tid;
+    BlockKind kind;
+    size_t obj;
+  };
+
+  // One "thread A … waits for X" report line. Blocked threads are paused,
+  // so their deterministic clock lives in the Kendo saved slot.
+  const auto line = [&](const Node& n) {
+    const uint64_t clock = kendo_.IsPaused(n.tid) ? kendo_.SavedClock(n.tid)
+                                                  : kendo_.Clock(n.tid);
+    std::string held;
+    {
+      ThreadCtx& t = CtxOf(n.tid);
+      std::scoped_lock lock(t.clock_mu);
+      held = JoinTids(t.held_mutexes);
+    }
+    return "  thread " + std::to_string(n.tid) + " (kendo clock " +
+           std::to_string(clock) + ", holds mutexes [" + held +
+           "]) waits for " + BlockDesc(n.kind, n.obj);
+  };
+
+  // ---- pass 1: definite-edge cycle walk ---------------------------------
+  // A mutex waiter definitely waits for the owner; a joiner definitely
+  // waits for the target. Cond and barrier waits have no single definite
+  // peer, so the walk stops there (pass 2 handles those).
+  std::vector<Node> path;
+  path.push_back({me.tid, kind, object});
+  size_t cycle_start = kNone;
+  while (cycle_start == kNone && path.size() <= threads_.size()) {
+    const Node cur = path.back();
+    size_t next = kNone;
+    if (cur.kind == BlockKind::kMutex) {
+      next = Var(cur.obj, SyncVar::Kind::kMutex).owner;
+    } else if (cur.kind == BlockKind::kJoin) {
+      next = cur.obj;
+    }
+    if (next == kNone) break;
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (path[i].tid == next) {
+        cycle_start = i;
+        break;
+      }
+    }
+    if (cycle_start != kNone) break;
+    ThreadCtx& nctx = CtxOf(next);
+    if (nctx.finished.load(std::memory_order_acquire)) break;
+    Node n{next, BlockKind::kNone, kNone};
+    {
+      std::scoped_lock lock(nctx.clock_mu);
+      n.kind = nctx.block_kind;
+      n.obj = nctx.block_object;
+    }
+    if (n.kind == BlockKind::kNone) break;  // reached a runnable thread
+    path.push_back(n);
+  }
+  if (cycle_start != kNone) {
+    std::string report =
+        "rfdet: DEADLOCK: wait-for cycle of " +
+        std::to_string(path.size() - cycle_start) +
+        " thread(s), detected by thread " + std::to_string(me.tid) +
+        " blocking on " + BlockDesc(kind, object) + "\n";
+    for (size_t i = cycle_start; i < path.size(); ++i) {
+      const size_t next_tid = i + 1 < path.size() ? path[i + 1].tid
+                                                  : path[cycle_start].tid;
+      report += line(path[i]);
+      if (path[i].kind == BlockKind::kMutex ||
+          path[i].kind == BlockKind::kJoin) {
+        report += " (thread " + std::to_string(next_tid) + ")";
+      }
+      report += "\n";
+    }
+    return HandleDeadlock(report, can_back_out);
+  }
+
+  // ---- pass 2: global stall ----------------------------------------------
+  // If every other live thread is already blocked, blocking `me` too would
+  // stall the whole schedule — no thread could ever wake another. Threads
+  // waiting on `releasing_mutex` count as runnable: the caller (CondWait)
+  // is about to hand that mutex over as part of blocking.
+  std::vector<Node> all;
+  bool someone_runnable = false;
+  {
+    std::scoped_lock lock(threads_mu_);
+    for (const auto& ctx : threads_) {
+      if (ctx->finished.load(std::memory_order_acquire)) continue;
+      if (ctx->tid == me.tid) {
+        all.push_back({me.tid, kind, object});
+        continue;
+      }
+      Node n{ctx->tid, BlockKind::kNone, kNone};
+      {
+        std::scoped_lock cl(ctx->clock_mu);
+        n.kind = ctx->block_kind;
+        n.obj = ctx->block_object;
+      }
+      if (n.kind == BlockKind::kNone ||
+          (releasing_mutex != kNone && n.kind == BlockKind::kMutex &&
+           n.obj == releasing_mutex)) {
+        someone_runnable = true;
+        break;
+      }
+      all.push_back(n);
+    }
+  }
+  if (someone_runnable) return RfdetErrc::kOk;
+  std::string report =
+      "rfdet: DEADLOCK: global stall — thread " + std::to_string(me.tid) +
+      " blocking on " + BlockDesc(kind, object) +
+      " would leave no runnable thread\n";
+  for (const Node& n : all) report += line(n) + "\n";
+  return HandleDeadlock(report, can_back_out);
+}
+
+RfdetErrc RfdetRuntime::HandleDeadlock(const std::string& report,
+                                       bool can_back_out) {
+  stats_.deadlocks_detected.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(deadlock_mu_);
+    last_deadlock_report_ = report;
+  }
+  if (options_.on_deadlock) options_.on_deadlock(report);
+  if (!can_back_out ||
+      options_.deadlock_policy == DeadlockPolicy::kPanic) {
+    PanicDeadlock(report);
+  }
+  return RfdetErrc::kDeadlock;
+}
+
+void RfdetRuntime::PanicDeadlock(const std::string& report) {
+  std::fputs(report.c_str(), stderr);
+  std::fflush(stderr);
+  RFDET_PANIC("deadlock detected");
+}
+
+std::string RfdetRuntime::LastDeadlockReport() const {
+  std::scoped_lock lock(deadlock_mu_);
+  return last_deadlock_report_;
 }
 
 // ---------------------------------------------------------------------------
@@ -269,8 +562,8 @@ void RfdetRuntime::PrelockPropagate(ThreadCtx& me, const SyncVar& m) {
   }
 }
 
-void RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
-                            bool fresh) {
+RfdetErrc RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
+                                 bool fresh) {
   kendo_.WaitForTurn(me.tid);
   if (!m.locked) {
     const bool merge = fresh && options_.slice_merging &&
@@ -285,14 +578,31 @@ void RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
     }
     m.locked = true;
     m.owner = me.tid;
+    {
+      std::scoped_lock lock(me.clock_mu);
+      me.held_mutexes.push_back(id);
+    }
     Record(TraceOp::kLockAcquired, me.tid, id);
     kendo_.Tick(me.tid);
-    return;
+    return RfdetErrc::kOk;
+  }
+  // About to block: prove it safe first. Detects both relock of an owned
+  // mutex (a cycle of one — POSIX error-checking-mutex semantics) and
+  // longer ownership cycles. Only a fresh lock call can back out; the
+  // re-acquire inside CondWait has already given up its queue position
+  // and panics on detection regardless of policy.
+  if (const RfdetErrc err =
+          CheckBlockPermitted(me, BlockKind::kMutex, id, kNone,
+                              /*can_back_out=*/fresh);
+      err != RfdetErrc::kOk) {
+    kendo_.Tick(me.tid);
+    return err;
   }
   // Contended: enter the deterministic reservation order and sleep; the
   // releaser hands the lock over FIFO.
   if (fresh) CloseSlice(me);
   m.waiters.push_back(me.tid);
+  SetBlocked(me, BlockKind::kMutex, id);
   const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
   if (options_.prelock && options_.isolation) {
     PrelockPropagate(me, m);  // pauses the Kendo clock internally
@@ -303,12 +613,17 @@ void RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
   // We own the lock now (hand-off). Finish the residual propagation from
   // the actual release.
   PropagateFrom(me, me.mail_src, me.mail_time, /*prelock_phase=*/false);
+  {
+    std::scoped_lock lock(me.clock_mu);
+    me.held_mutexes.push_back(id);
+  }
+  return RfdetErrc::kOk;
 }
 
-void RfdetRuntime::MutexLock(size_t id) {
+RfdetErrc RfdetRuntime::MutexLock(size_t id) {
   ThreadCtx& me = Ctx();
   stats_.locks.fetch_add(1, std::memory_order_relaxed);
-  LockCore(me, id, Var(id, SyncVar::Kind::kMutex), /*fresh=*/true);
+  return LockCore(me, id, Var(id, SyncVar::Kind::kMutex), /*fresh=*/true);
 }
 
 void RfdetRuntime::MutexUnlock(size_t id) {
@@ -320,6 +635,11 @@ void RfdetRuntime::MutexUnlock(size_t id) {
   CloseSlice(me);
   ReleasePublish(me, m);
   Record(TraceOp::kUnlock, me.tid, id);
+  {
+    std::scoped_lock lock(me.clock_mu);
+    me.held_mutexes.erase(std::find(me.held_mutexes.begin(),
+                                    me.held_mutexes.end(), id));
+  }
   if (!m.waiters.empty()) {
     const size_t next = m.waiters.front();
     m.waiters.erase(m.waiters.begin());
@@ -337,7 +657,7 @@ void RfdetRuntime::MutexUnlock(size_t id) {
 // Condition variables
 // ---------------------------------------------------------------------------
 
-void RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
+RfdetErrc RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
   ThreadCtx& me = Ctx();
   stats_.cond_waits.fetch_add(1, std::memory_order_relaxed);
   SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
@@ -345,11 +665,26 @@ void RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
   kendo_.WaitForTurn(me.tid);
   RFDET_CHECK_MSG(m.locked && m.owner == me.tid,
                   "cond wait without holding the mutex");
+  // Waiting with nobody left to signal is a provable stall. Checked before
+  // any state changes: on kDeadlock the caller still holds the mutex and
+  // is not enqueued — a clean no-op failure, like pthread EDEADLK.
+  if (const RfdetErrc err =
+          CheckBlockPermitted(me, BlockKind::kCond, cond_id, mutex_id,
+                              /*can_back_out=*/true);
+      err != RfdetErrc::kOk) {
+    kendo_.Tick(me.tid);
+    return err;
+  }
   CloseSlice(me);
   ReleasePublish(me, m);  // the embedded unlock is a release
   Record(TraceOp::kCondEnterWait, me.tid, cond_id);
   const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
   c.cond_waiters.push_back(me.tid);
+  {
+    std::scoped_lock lock(me.clock_mu);
+    me.held_mutexes.erase(std::find(me.held_mutexes.begin(),
+                                    me.held_mutexes.end(), mutex_id));
+  }
   // Release the mutex (with deterministic hand-off), atomically with the
   // enqueue — we hold the turn, so no wakeup can be lost.
   if (!m.waiters.empty()) {
@@ -362,12 +697,13 @@ void RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
     m.locked = false;
     m.owner = kNone;
   }
+  SetBlocked(me, BlockKind::kCond, cond_id);
   kendo_.Pause(me.tid);
   Block(me, baseline);
   // Signalled: the signal is the paired release (paper §4.1).
   PropagateFrom(me, me.mail_src, me.mail_time, /*prelock_phase=*/false);
   // Re-acquire the mutex; our slice is already closed.
-  LockCore(me, mutex_id, m, /*fresh=*/false);
+  return LockCore(me, mutex_id, m, /*fresh=*/false);
 }
 
 void RfdetRuntime::CondSignal(size_t cond_id) {
@@ -501,21 +837,38 @@ bool RfdetRuntime::AtomicCas(GAddr addr, uint64_t& expected,
 // Barriers
 // ---------------------------------------------------------------------------
 
-void RfdetRuntime::BarrierWait(size_t id) {
+RfdetErrc RfdetRuntime::BarrierWait(size_t id) {
   ThreadCtx& me = Ctx();
   stats_.barriers.fetch_add(1, std::memory_order_relaxed);
   SyncVar& b = Var(id, SyncVar::Kind::kBarrier);
   kendo_.WaitForTurn(me.tid);
+  // Unreachable through the public API in a correct runtime (an arrived
+  // thread is paused until the cycle completes), but cheap to rule out.
+  RFDET_CHECK_MSG(std::find(b.arrived.begin(), b.arrived.end(), me.tid) ==
+                      b.arrived.end(),
+                  "barrier re-entered before the cycle completed");
+  if (b.arrived.size() + 1 < b.parties) {
+    // We would block. A provable stall here means the barrier can never
+    // fill — e.g. a party already blocked on a mutex we hold.
+    if (const RfdetErrc err =
+            CheckBlockPermitted(me, BlockKind::kBarrier, id, kNone,
+                                /*can_back_out=*/true);
+        err != RfdetErrc::kOk) {
+      kendo_.Tick(me.tid);
+      return err;
+    }
+  }
   CloseSlice(me);
   Record(TraceOp::kBarrierArrive, me.tid, id);
   b.arrived.push_back(me.tid);
   if (b.arrived.size() < b.parties) {
+    SetBlocked(me, BlockKind::kBarrier, id);
     const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
     kendo_.Pause(me.tid);
     Block(me, baseline);
     // The last arriver performed the merge and updated our view, log and
     // vector clock while we were blocked; nothing left to do.
-    return;
+    return RfdetErrc::kOk;
   }
   // Last arriver: perform the deterministic merge (paper §4.1 "Barriers").
   std::vector<size_t> group = std::move(b.arrived);
@@ -559,6 +912,7 @@ void RfdetRuntime::BarrierWait(size_t id) {
     Wake(me, CtxOf(u), delta++, kNone, VectorClock{});
   }
   kendo_.Tick(me.tid);
+  return RfdetErrc::kOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -574,7 +928,7 @@ void RfdetRuntime::WorkerMain(ThreadCtx& ctx, std::function<void()> fn) {
   g_tls = {nullptr, nullptr};
 }
 
-size_t RfdetRuntime::Spawn(std::function<void()> fn) {
+RfdetErrc RfdetRuntime::TrySpawn(std::function<void()> fn, size_t* out_tid) {
   ThreadCtx& me = Ctx();
   stats_.forks.fetch_add(1, std::memory_order_relaxed);
   kendo_.WaitForTurn(me.tid);
@@ -583,14 +937,27 @@ size_t RfdetRuntime::Spawn(std::function<void()> fn) {
   // needed (paper §4.1 "Thread Create and Join").
   CloseSlice(me);
 
+  FaultInjector* fi = options_.fault_injector;
+  const bool injected = fi != nullptr && fi->ShouldFail(FaultSite::kSpawn);
   size_t tid;
-  ThreadCtx* child;
+  ThreadCtx* child = nullptr;
   {
     std::scoped_lock lock(threads_mu_);
     tid = threads_.size();
-    RFDET_CHECK_MSG(tid < options_.max_threads, "max_threads exceeded");
-    threads_.push_back(std::make_unique<ThreadCtx>());
-    child = threads_.back().get();
+    if (!injected && tid < options_.max_threads) {
+      threads_.push_back(std::make_unique<ThreadCtx>());
+      child = threads_.back().get();
+    }
+  }
+  if (child == nullptr) {
+    stats_.spawn_failures.fetch_add(1, std::memory_order_relaxed);
+    ReportError(RfdetErrc::kAgain,
+                injected ? "spawn failed (injected fault)"
+                         : "spawn failed: max_threads (" +
+                               std::to_string(options_.max_threads) +
+                               ") reached");
+    kendo_.Tick(me.tid);
+    return RfdetErrc::kAgain;
   }
   child->tid = tid;
   {
@@ -599,18 +966,42 @@ size_t RfdetRuntime::Spawn(std::function<void()> fn) {
     child->turn_time = me.vclock;
   }
   if (options_.isolation) {
-    child->view = std::make_unique<ThreadView>(options_.region_bytes,
-                                               options_.monitor, &arena_);
+    child->view =
+        std::make_unique<ThreadView>(options_.region_bytes, options_.monitor,
+                                     &arena_, options_.fault_injector);
     child->view->CopyFrom(*me.view);
     child->log.AssignFrom(me.log);
   }
   const size_t ktid = kendo_.RegisterThread(kendo_.Clock(me.tid) + 1);
   RFDET_CHECK(ktid == tid);
-  child->worker = std::thread([this, child, fn = std::move(fn)]() mutable {
-    WorkerMain(*child, std::move(fn));
-  });
+  try {
+    child->worker = std::thread([this, child, fn = std::move(fn)]() mutable {
+      WorkerMain(*child, std::move(fn));
+    });
+  } catch (const std::system_error&) {
+    // The OS refused the host thread. Roll back under the turn: no other
+    // thread can have observed the registration between claim and here.
+    kendo_.UnregisterLast(tid);
+    {
+      std::scoped_lock lock(threads_mu_);
+      threads_.pop_back();
+    }
+    stats_.spawn_failures.fetch_add(1, std::memory_order_relaxed);
+    ReportError(RfdetErrc::kAgain,
+                "spawn failed: host thread creation refused");
+    kendo_.Tick(me.tid);
+    return RfdetErrc::kAgain;
+  }
   Record(TraceOp::kFork, me.tid, tid);
   kendo_.Tick(me.tid);
+  *out_tid = tid;
+  return RfdetErrc::kOk;
+}
+
+size_t RfdetRuntime::Spawn(std::function<void()> fn) {
+  size_t tid = kNone;
+  const RfdetErrc err = TrySpawn(std::move(fn), &tid);
+  RFDET_CHECK_MSG(err == RfdetErrc::kOk, "max_threads exceeded");
   return tid;
 }
 
@@ -631,13 +1022,24 @@ void RfdetRuntime::ThreadExit(ThreadCtx& me) {
   kendo_.Exit(me.tid);
 }
 
-void RfdetRuntime::Join(size_t tid) {
+RfdetErrc RfdetRuntime::Join(size_t tid) {
   ThreadCtx& me = Ctx();
   stats_.joins.fetch_add(1, std::memory_order_relaxed);
   RFDET_CHECK_MSG(tid < threads_.size() && tid != me.tid, "bad join target");
   ThreadCtx& target = CtxOf(tid);
   RFDET_CHECK_MSG(!target.joined, "double join");
   kendo_.WaitForTurn(me.tid);
+  if (!target.finished.load(std::memory_order_acquire)) {
+    // We would block on the target: a join cycle (or joining while every
+    // other thread is blocked) is a provable deadlock.
+    if (const RfdetErrc err =
+            CheckBlockPermitted(me, BlockKind::kJoin, tid, kNone,
+                                /*can_back_out=*/true);
+        err != RfdetErrc::kOk) {
+      kendo_.Tick(me.tid);
+      return err;
+    }
+  }
   CloseSlice(me);
   if (target.finished.load(std::memory_order_acquire)) {
     VectorClock upper;
@@ -655,6 +1057,7 @@ void RfdetRuntime::Join(size_t tid) {
   } else {
     RFDET_CHECK_MSG(target.joiner == kNone, "concurrent join");
     target.joiner = me.tid;
+    SetBlocked(me, BlockKind::kJoin, tid);
     const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
     kendo_.Pause(me.tid);
     Block(me, baseline);
@@ -662,6 +1065,7 @@ void RfdetRuntime::Join(size_t tid) {
   }
   target.joined = true;
   if (target.worker.joinable()) target.worker.join();
+  return RfdetErrc::kOk;
 }
 
 size_t RfdetRuntime::CurrentTid() const { return Ctx().tid; }
@@ -771,6 +1175,114 @@ size_t RfdetRuntime::ForceGc() {
 }
 
 // ---------------------------------------------------------------------------
+// Failure reporting / diagnostics
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::ReportError(RfdetErrc errc, const std::string& what) {
+  if (options_.on_error) {
+    options_.on_error(errc, what);
+    return;
+  }
+  // No sink installed: note each error code once on stderr (the caller
+  // still gets the structured status; this is just so a silently ignored
+  // status leaves a trace).
+  const uint32_t bit = 1u << static_cast<uint32_t>(errc);
+  if (error_note_mask_.fetch_or(bit, std::memory_order_relaxed) & bit) return;
+  std::fprintf(stderr, "rfdet: error (%s): %s\n", ErrcName(errc),
+               what.c_str());
+}
+
+uint64_t RfdetRuntime::ProgressFingerprint() const noexcept {
+  // Fold every Kendo clock slot (FNV-style). Any turn transition — tick,
+  // pause, resume, register — changes some slot, so a constant fingerprint
+  // over a window means the schedule is stalled. Reads are racy on
+  // purpose: the watchdog must never synchronize with the schedule.
+  const size_t n = kendo_.ThreadCount();
+  uint64_t h = 0xcbf29ce484222325ULL ^ n;
+  for (size_t t = 0; t < n; ++t) {
+    h = (h ^ kendo_.Clock(t)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string RfdetRuntime::DumpStateReport() const {
+  std::ostringstream os;
+  os << "=== rfdet state report ===\n";
+  {
+    std::scoped_lock lock(threads_mu_);
+    for (const auto& ctx : threads_) {
+      const ThreadCtx& t = *ctx;
+      os << "thread " << t.tid << ": ";
+      if (t.finished.load(std::memory_order_acquire)) {
+        os << "finished";
+      } else if (kendo_.IsPaused(t.tid)) {
+        os << "paused (saved kendo clock " << kendo_.SavedClock(t.tid)
+           << ")";
+      } else {
+        os << "kendo clock " << kendo_.Clock(t.tid);
+      }
+      BlockKind kind;
+      size_t object;
+      std::string held;
+      VectorClock vclock;
+      {
+        std::scoped_lock cl(t.clock_mu);
+        kind = t.block_kind;
+        object = t.block_object;
+        held = JoinTids(t.held_mutexes);
+        vclock = t.vclock;
+      }
+      if (kind != BlockKind::kNone) {
+        os << ", blocked on " << BlockDesc(kind, object);
+      }
+      os << ", holds mutexes [" << held << "], vclock " << vclock << "\n";
+    }
+  }
+  {
+    // Queue contents are mutated under turns without sync_vars_mu_; these
+    // reads are diagnostics-grade (the interesting case — a stalled
+    // schedule — has no concurrent mutator anyway).
+    std::scoped_lock lock(sync_vars_mu_);
+    for (size_t id = 0; id < sync_vars_.size(); ++id) {
+      const SyncVar& v = sync_vars_[id];
+      os << "sync " << id << ": ";
+      switch (v.kind) {
+        case SyncVar::Kind::kMutex:
+          os << "mutex " << (v.locked ? "locked" : "unlocked");
+          if (v.owner != kNone) os << " owner=" << v.owner;
+          os << " waiters=[" << JoinTids(v.waiters) << "]";
+          break;
+        case SyncVar::Kind::kCond:
+          os << "cond waiters=[" << JoinTids(v.cond_waiters) << "]";
+          break;
+        case SyncVar::Kind::kBarrier:
+          os << "barrier parties=" << v.parties << " arrived=["
+             << JoinTids(v.arrived) << "]";
+          break;
+      }
+      os << "\n";
+    }
+  }
+  os << "arena: used " << arena_.Used() << " / " << arena_.Capacity()
+     << " bytes, peak " << arena_.Peak() << ", gc count "
+     << arena_.GcCount() << "\n";
+  if (options_.record_trace) {
+    std::scoped_lock lock(trace_mu_);
+    const size_t n = trace_.size();
+    const size_t start = n > 16 ? n - 16 : 0;
+    os << "trace tail (" << (n - start) << " of " << n << " events):\n";
+    for (size_t i = start; i < n; ++i) {
+      const TraceEvent& e = trace_[i];
+      os << "  [" << i << "] tid " << e.tid << " " << TraceOpName(e.op);
+      if (e.object != kNone) os << " obj " << e.object;
+      os << " clock " << e.kendo_clock << "\n";
+    }
+  }
+  os << "=== end state report ===\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------------
 
@@ -814,6 +1326,12 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
   s.slices_pruned = stats_.slices_pruned.load();
   s.gc_count = arena_.GcCount();
   s.metadata_peak_bytes = arena_.Peak();
+  s.deadlocks_detected = stats_.deadlocks_detected.load();
+  s.watchdog_stalls = stats_.watchdog_stalls.load();
+  s.arena_gc_retries = stats_.arena_gc_retries.load();
+  s.metadata_overflows = stats_.metadata_overflows.load();
+  s.alloc_failures = stats_.alloc_failures.load();
+  s.spawn_failures = stats_.spawn_failures.load();
   std::scoped_lock lock(threads_mu_);
   for (const auto& ctx : threads_) {
     s.loads += ctx->loads.load(std::memory_order_relaxed);

@@ -25,23 +25,36 @@
 // With `options.isolation = false` the same runtime degrades to the weak-
 // determinism Kendo system (deterministic synchronization over one shared
 // image, no propagation) used as a comparison backend.
+//
+// Failure containment (see DESIGN.md §"Failure model & diagnostics"):
+// a deterministic runtime turns latent races into reproducible hangs, so
+// the runtime must be able to *explain* a hang. Blocking operations run a
+// wait-for-graph check under the turn and either panic with a
+// deterministic deadlock report or (DeadlockPolicy::kReturnError) back out
+// with RfdetErrc::kDeadlock; a wall-clock watchdog outside the schedule
+// dumps full state on turn stalls; and resource exhaustion is recoverable
+// through the Try* entry points instead of aborting.
 #pragma once
 
 #include <atomic>
 #include <deque>
-#include <unordered_map>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "rfdet/common/error.h"
+#include "rfdet/common/fault_injection.h"
 #include "rfdet/kendo/kendo.h"
 #include "rfdet/mem/det_allocator.h"
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/thread_view.h"
 #include "rfdet/runtime/options.h"
 #include "rfdet/runtime/stats.h"
+#include "rfdet/runtime/watchdog.h"
 #include "rfdet/slice/slice.h"
 #include "rfdet/time/vector_clock.h"
 
@@ -59,10 +72,17 @@ class RfdetRuntime {
 
   // ---- memory ------------------------------------------------------------
 
-  // Pre-thread bump allocation for application globals.
+  // Pre-thread bump allocation for application globals. AllocStatic panics
+  // on exhaustion; TryAllocStatic returns kNullGAddr (and reports through
+  // options.on_error) instead.
   GAddr AllocStatic(size_t size, size_t align = 16);
+  GAddr TryAllocStatic(size_t size, size_t align = 16);
   // Deterministic malloc/free replacements (per-thread subheaps, §4.4).
+  // Malloc panics when the caller's subheap is exhausted; TryMalloc
+  // returns kNullGAddr — the recoverable path (det_malloc maps it to 0,
+  // i.e. malloc's NULL).
   GAddr Malloc(size_t size);
+  GAddr TryMalloc(size_t size);
   void Free(GAddr addr);
 
   // Instrumented accesses: advance the caller's deterministic clock and
@@ -75,23 +95,35 @@ class RfdetRuntime {
   // ---- threads -----------------------------------------------------------
 
   // Spawns a deterministic thread running fn; returns its deterministic
-  // thread id (the value the paper's pthread_self returns).
+  // thread id (the value the paper's pthread_self returns). Spawn panics
+  // when thread slots are exhausted; TrySpawn returns kAgain (EAGAIN, like
+  // pthread_create) and leaves the runtime fully usable.
   size_t Spawn(std::function<void()> fn);
-  void Join(size_t tid);
+  RfdetErrc TrySpawn(std::function<void()> fn, size_t* out_tid);
+  // Join returns kDeadlock (policy kReturnError) if blocking would
+  // provably deadlock — e.g. a join cycle; otherwise kOk.
+  RfdetErrc Join(size_t tid);
   [[nodiscard]] size_t CurrentTid() const;
 
   // ---- synchronization ---------------------------------------------------
+  //
+  // Blocking operations return RfdetErrc::kOk normally. Under
+  // DeadlockPolicy::kReturnError a provable deadlock makes the operation
+  // fail with kDeadlock *before* any state change: a failed MutexLock has
+  // not enqueued, a failed CondWait still holds the mutex, a failed
+  // BarrierWait has not arrived. (The CondWait re-acquire after a wakeup
+  // cannot back out and always panics on deadlock.)
 
   size_t CreateMutex();
   size_t CreateCond();
   size_t CreateBarrier(size_t parties);
 
-  void MutexLock(size_t id);
+  RfdetErrc MutexLock(size_t id);
   void MutexUnlock(size_t id);
-  void CondWait(size_t cond_id, size_t mutex_id);
+  RfdetErrc CondWait(size_t cond_id, size_t mutex_id);
   void CondSignal(size_t cond_id);
   void CondBroadcast(size_t cond_id);
-  void BarrierWait(size_t id);
+  RfdetErrc BarrierWait(size_t id);
 
   // ---- low-level atomics (§4.6's sketched extension) -----------------------
   //
@@ -141,10 +173,26 @@ class RfdetRuntime {
   [[nodiscard]] const MetadataArena& arena() const noexcept { return arena_; }
   [[nodiscard]] size_t LiveSliceCount() const;
 
+  // The most recent deterministic deadlock report ("" if none). The report
+  // is a pure function of the deterministic schedule: byte-identical
+  // across runs of the same program.
+  [[nodiscard]] std::string LastDeadlockReport() const;
+
+  // Full diagnostic state dump: per-thread Kendo/vector clocks, block
+  // states and held-lock sets, sync-var states, arena usage, and the tail
+  // of the schedule trace. Safe to call from any thread at any time (the
+  // watchdog calls it from outside the schedule); values read from
+  // still-running threads are best-effort.
+  [[nodiscard]] std::string DumpStateReport() const;
+
   // Exposed for tests: force a GC cycle regardless of the threshold.
   size_t ForceGc();
 
  private:
+  // Why a thread is blocked (written under the holder's turn, guarded by
+  // ThreadCtx::clock_mu for the benefit of diagnostic readers).
+  enum class BlockKind : uint8_t { kNone, kMutex, kCond, kBarrier, kJoin };
+
   struct ThreadCtx {
     size_t tid = 0;
     std::unique_ptr<ThreadView> view;  // null when !isolation
@@ -166,6 +214,12 @@ class RfdetRuntime {
     VectorClock final_clock;
     size_t joiner = kNone;  // tid parked in Join() on this thread
     bool joined = false;
+
+    // Wait-for bookkeeping (guarded by clock_mu; all transitions happen
+    // under a turn, so turn-holders read deterministic values).
+    BlockKind block_kind = BlockKind::kNone;
+    size_t block_object = kNone;        // sync id, or join-target tid
+    std::vector<size_t> held_mutexes;   // acquisition order
 
     // Block/wake machinery: waiters sleep on wake_seq; the waker bumps it
     // after filling the mailbox under its turn.
@@ -206,6 +260,13 @@ class RfdetRuntime {
   // clock, publishes the slice, and triggers GC if the arena is full.
   void CloseSlice(ThreadCtx& t);
 
+  // Metadata reservation for a slice about to be published: on shortfall
+  // (or injected kArenaCharge fault) runs a forced GC and retries; a
+  // second shortfall is reported through on_error and *survived* — the
+  // arena here is an accounting object, so execution continues with the
+  // overflow counted (stats.metadata_overflows).
+  void ReserveSliceMetadata(size_t bytes);
+
   // Propagates from src's log every slice with time ≤ upper not already
   // seen by `me`, applying modifications to me's view and appending to
   // me's log; then joins me's vector clock with upper.
@@ -219,8 +280,9 @@ class RfdetRuntime {
 
   // Core of MutexLock. `fresh` is true for a direct lock call (the slice
   // must be closed here, and slice-merging may apply); false for the
-  // re-acquire inside CondWait, whose slice was already closed at entry.
-  void LockCore(ThreadCtx& me, size_t id, SyncVar& m, bool fresh);
+  // re-acquire inside CondWait, whose slice was already closed at entry
+  // (that path cannot back out of a deadlock and panics instead).
+  RfdetErrc LockCore(ThreadCtx& me, size_t id, SyncVar& m, bool fresh);
 
   // Park the calling thread until the next wake; returns after the waker
   // has filled the mailbox. Must be called with the turn held; pauses the
@@ -234,6 +296,33 @@ class RfdetRuntime {
   // Prelock (§4.5): called by a waiter after enqueuing, before blocking —
   // propagates slices that must happen-before its eventual acquire.
   void PrelockPropagate(ThreadCtx& me, const SyncVar& m);
+
+  // ---- deadlock detection (under the caller's turn) ----------------------
+
+  // Called before `me` blocks on (kind, object). Walks the definite
+  // wait-for edges (mutex → owner, join → target) looking for a cycle,
+  // then checks for a global stall (every other live thread blocked;
+  // threads waiting on `releasing_mutex` count as runnable because the
+  // caller is about to hand that mutex over). On detection: builds the
+  // deterministic report, and either panics (policy kPanic, or
+  // !can_back_out) or returns kDeadlock. Returns kOk when blocking is
+  // safe — or at least not provably fatal.
+  RfdetErrc CheckBlockPermitted(ThreadCtx& me, BlockKind kind, size_t object,
+                                size_t releasing_mutex, bool can_back_out);
+  [[noreturn]] void PanicDeadlock(const std::string& report);
+  RfdetErrc HandleDeadlock(const std::string& report, bool can_back_out);
+
+  // Marks/clears the wait-for record around an actual block.
+  void SetBlocked(ThreadCtx& t, BlockKind kind, size_t object);
+  // "mutex 3", "join of thread 2", … for reports.
+  static std::string BlockDesc(BlockKind kind, size_t object);
+
+  // Recoverable-error sink: forwards to options.on_error, else a
+  // once-per-code stderr note.
+  void ReportError(RfdetErrc errc, const std::string& what);
+
+  // Progress fingerprint for the watchdog: a hash of every Kendo clock.
+  [[nodiscard]] uint64_t ProgressFingerprint() const noexcept;
 
   void MaybeRunGc();
   size_t RunGc();
@@ -251,7 +340,7 @@ class RfdetRuntime {
   mutable std::mutex threads_mu_;                    // guards growth only
 
   std::deque<SyncVar> sync_vars_;  // stable references; growth under turn
-  std::mutex sync_vars_mu_;
+  mutable std::mutex sync_vars_mu_;
   std::unordered_map<GAddr, size_t> atomic_vars_;  // addr → sync var id
 
   // Shared image for !isolation mode.
@@ -266,6 +355,12 @@ class RfdetRuntime {
   void Record(TraceOp op, size_t acting_tid, size_t object);
   mutable std::mutex trace_mu_;
   std::vector<TraceEvent> trace_;
+
+  // Failure containment & diagnosis.
+  mutable std::mutex deadlock_mu_;
+  std::string last_deadlock_report_;
+  std::atomic<uint32_t> error_note_mask_{0};  // rate-limit stderr notes
+  std::unique_ptr<Watchdog> watchdog_;        // last member: stops first
 };
 
 }  // namespace rfdet

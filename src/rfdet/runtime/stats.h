@@ -27,6 +27,14 @@ struct RuntimeStats {
   std::atomic<uint64_t> prelock_slices{0};  // propagated during reservation
   std::atomic<uint64_t> prelock_bytes{0};
   std::atomic<uint64_t> slices_pruned{0};
+
+  // Failure containment & diagnosis.
+  std::atomic<uint64_t> deadlocks_detected{0};
+  std::atomic<uint64_t> watchdog_stalls{0};
+  std::atomic<uint64_t> arena_gc_retries{0};    // reserve failed → forced GC
+  std::atomic<uint64_t> metadata_overflows{0};  // still over after retry
+  std::atomic<uint64_t> alloc_failures{0};      // TryMalloc/TryAllocStatic
+  std::atomic<uint64_t> spawn_failures{0};      // TrySpawn
 };
 
 // Plain-value snapshot (also folds in per-view monitor stats).
@@ -38,6 +46,10 @@ struct StatsSnapshot {
   uint64_t slices_propagated = 0, bytes_propagated = 0;
   uint64_t prelock_slices = 0, prelock_bytes = 0, slices_pruned = 0;
   uint64_t gc_count = 0;
+  // Failure containment & diagnosis.
+  uint64_t deadlocks_detected = 0, watchdog_stalls = 0;
+  uint64_t arena_gc_retries = 0, metadata_overflows = 0;
+  uint64_t alloc_failures = 0, spawn_failures = 0;
   // Aggregated ViewStats.
   uint64_t stores_with_copy = 0, page_faults = 0, mprotect_calls = 0;
   uint64_t pages_diffed = 0;

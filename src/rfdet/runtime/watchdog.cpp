@@ -1,0 +1,83 @@
+#include "rfdet/runtime/watchdog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+Watchdog::Watchdog(const Config& config,
+                   std::function<uint64_t()> fingerprint,
+                   std::function<std::string()> dump,
+                   std::function<void(const std::string&)> on_stall)
+    : config_(config),
+      fingerprint_(std::move(fingerprint)),
+      dump_(std::move(dump)),
+      on_stall_(std::move(on_stall)) {
+  if (config_.stall_ms > 0) {
+    monitor_ = std::thread([this] { Loop(); });
+  }
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Stop() {
+  {
+    std::scoped_lock lock(mu_);
+    if (stopping_) {
+      // Already stopped (or stopping); just make sure the join happened.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void Watchdog::Loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto window = std::chrono::milliseconds(config_.stall_ms);
+  // Poll a few times per window so detection latency stays ≈ one window.
+  const auto poll =
+      std::chrono::milliseconds(std::max<uint32_t>(config_.stall_ms / 4, 1));
+
+  uint64_t last_fp = fingerprint_();
+  auto last_change = Clock::now();
+  bool fired_this_episode = false;
+
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, poll, [this] { return stopping_; });
+    if (stopping_) break;
+
+    const uint64_t fp = fingerprint_();
+    if (fp != last_fp) {
+      last_fp = fp;
+      last_change = Clock::now();
+      fired_this_episode = false;  // progress resumed: re-arm
+      continue;
+    }
+    if (fired_this_episode || Clock::now() - last_change < window) continue;
+
+    // Stall: no turn transition for a full window. Dump and (optionally)
+    // die. The dump runs without mu_ so a slow formatter cannot delay a
+    // concurrent Stop() forever.
+    fired_this_episode = true;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    const std::string report = dump_();
+    std::fprintf(stderr,
+                 "rfdet: WATCHDOG: no turn transition for %u ms — "
+                 "dumping state\n%s",
+                 config_.stall_ms, report.c_str());
+    std::fflush(stderr);
+    if (on_stall_) on_stall_(report);
+    if (config_.fatal) {
+      RFDET_PANIC("turn-stall watchdog fired (watchdog_fatal)");
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace rfdet

@@ -1,0 +1,74 @@
+// Turn-stall watchdog — the diagnosis path for hangs the deterministic
+// deadlock detector cannot prove.
+//
+// A Kendo-style runtime has a uniquely nasty failure mode: if any thread's
+// clock stops advancing (application deadlock through ad hoc sync, a lost
+// wakeup, a runtime bug), the turn stops migrating and *every* thread
+// spins in WaitForTurn — the process hangs silently at 100% CPU. The
+// wait-for-graph detector catches provable cycles; everything else (a
+// thread stuck in host code, a barrier short one party, a bug) needs a
+// wall-clock observer.
+//
+// The watchdog is that observer. It runs on its own host thread entirely
+// OUTSIDE the deterministic schedule: it only *reads* a progress
+// fingerprint (a pure function of the Kendo clocks), so it can never
+// perturb determinism. When the fingerprint stops changing for the
+// configured window it emits a state report (supplied by the runtime) to
+// stderr and optionally panics. One report per stall episode: the
+// watchdog re-arms only after progress resumes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rfdet {
+
+class Watchdog {
+ public:
+  struct Config {
+    uint32_t stall_ms = 0;  // wall-clock window; 0 = never start
+    bool fatal = false;     // panic after the dump
+  };
+
+  // `fingerprint` must be callable from the watchdog thread at any time
+  // and change whenever the runtime makes progress. `dump` builds the
+  // state report (diagnostics-grade: racy reads tolerated). `on_stall`
+  // (optional) observes the report, e.g. a test hook or log shipper.
+  Watchdog(const Config& config, std::function<uint64_t()> fingerprint,
+           std::function<std::string()> dump,
+           std::function<void(const std::string&)> on_stall);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Signals the monitor thread and joins it. Idempotent; called by the
+  // destructor, and by the runtime before it begins teardown (teardown
+  // legitimately stops the clocks).
+  void Stop();
+
+  [[nodiscard]] uint64_t StallsObserved() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  Config config_;
+  std::function<uint64_t()> fingerprint_;
+  std::function<std::string()> dump_;
+  std::function<void(const std::string&)> on_stall_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> stalls_{0};
+  std::thread monitor_;  // last: starts after every member is ready
+};
+
+}  // namespace rfdet

@@ -24,6 +24,13 @@ namespace rfdet {
 
 class Slice {
  public:
+  // The bytes a slice built from (mods, time) will charge to the arena —
+  // exposed so the runtime can reserve (GC-then-retry) before construction.
+  [[nodiscard]] static size_t BytesFor(const ModList& mods,
+                                       const VectorClock& time) noexcept {
+    return sizeof(Slice) + mods.MemoryBytes() + time.MemoryBytes();
+  }
+
   Slice(size_t tid, uint64_t seq, VectorClock time, ModList mods,
         MetadataArena* arena)
       : tid_(tid),

@@ -1,0 +1,203 @@
+// Deterministic deadlock detection (wait-for cycles and global stalls).
+//
+// The headline property: detection is part of the deterministic schedule,
+// so the *report* — cycle membership, victim, per-thread Kendo clocks,
+// held-lock sets — is byte-identical across runs of the same program.
+// That is only testable in-process, so most tests run under
+// DeadlockPolicy::kReturnError (the victim backs out with kDeadlock and
+// the program completes); the default panic policy gets a death test.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+RfdetOptions Small() {
+  RfdetOptions o;
+  o.region_bytes = 4u << 20;
+  o.static_bytes = 1u << 20;
+  return o;
+}
+
+// Classic two-thread lock-order inversion: t1 takes A then B, t2 takes B
+// then A, with big ticks between so both inner acquisitions are attempted
+// after both outer ones in the deterministic order. Returns the deadlock
+// report and writes whether both workers finished cleanly.
+struct InversionOutcome {
+  std::string report;
+  uint64_t deadlocks = 0;
+  int errors_seen = 0;  // kDeadlock returns observed by workers
+  bool completed = false;
+};
+
+InversionOutcome RunLockOrderInversion() {
+  InversionOutcome out;
+  std::mutex report_mu;
+  RfdetOptions o = Small();
+  o.deadlock_policy = DeadlockPolicy::kReturnError;
+  o.on_deadlock = [&](const std::string& r) {
+    std::scoped_lock lock(report_mu);
+    out.report = r;
+  };
+  std::atomic<int> errors{0};
+  {
+    RfdetRuntime rt(o);
+    const size_t a = rt.CreateMutex();
+    const size_t b = rt.CreateMutex();
+    auto worker = [&](size_t first, size_t second) {
+      EXPECT_EQ(rt.MutexLock(first), RfdetErrc::kOk);
+      rt.Tick(50000);  // both outer locks precede both inner attempts
+      const RfdetErrc err = rt.MutexLock(second);
+      if (err == RfdetErrc::kOk) {
+        rt.MutexUnlock(second);
+      } else {
+        EXPECT_EQ(err, RfdetErrc::kDeadlock);
+        errors.fetch_add(1);
+      }
+      rt.MutexUnlock(first);
+    };
+    const size_t t1 = rt.Spawn([&] { worker(a, b); });
+    const size_t t2 = rt.Spawn([&] { worker(b, a); });
+    EXPECT_EQ(rt.Join(t1), RfdetErrc::kOk);
+    EXPECT_EQ(rt.Join(t2), RfdetErrc::kOk);
+    out.deadlocks = rt.Snapshot().deadlocks_detected;
+    EXPECT_EQ(out.report, rt.LastDeadlockReport());
+  }
+  out.errors_seen = errors.load();
+  out.completed = true;
+  return out;
+}
+
+TEST(Deadlock, LockOrderInversionIsDetectedAndSurvivable) {
+  const InversionOutcome out = RunLockOrderInversion();
+  ASSERT_TRUE(out.completed);
+  // Exactly one thread is the deterministic victim; the other completes
+  // normally once the victim backs out and releases its outer lock.
+  EXPECT_EQ(out.errors_seen, 1);
+  EXPECT_EQ(out.deadlocks, 1u);
+  EXPECT_NE(out.report.find("DEADLOCK"), std::string::npos);
+  EXPECT_NE(out.report.find("wait-for cycle of 2 thread(s)"),
+            std::string::npos);
+  EXPECT_NE(out.report.find("kendo clock"), std::string::npos);
+  EXPECT_NE(out.report.find("holds mutexes"), std::string::npos);
+}
+
+TEST(Deadlock, ReportIsByteIdenticalAcrossRuns) {
+  const InversionOutcome first = RunLockOrderInversion();
+  ASSERT_FALSE(first.report.empty());
+  for (int run = 1; run < 5; ++run) {
+    const InversionOutcome again = RunLockOrderInversion();
+    EXPECT_EQ(again.report, first.report) << "run " << run;
+    EXPECT_EQ(again.errors_seen, 1) << "run " << run;
+  }
+}
+
+TEST(Deadlock, RelockOfOwnedMutexIsACycleOfOne) {
+  RfdetOptions o = Small();
+  o.deadlock_policy = DeadlockPolicy::kReturnError;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+  // Non-recursive mutex: POSIX error-checking semantics, EDEADLK.
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kDeadlock);
+  EXPECT_NE(rt.LastDeadlockReport().find("cycle of 1 thread(s)"),
+            std::string::npos);
+  rt.MutexUnlock(m);  // still owned: the failed lock changed nothing
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+  rt.MutexUnlock(m);
+}
+
+TEST(Deadlock, CondWaitWithNoPossibleSignallerIsAStall) {
+  RfdetOptions o = Small();
+  o.deadlock_policy = DeadlockPolicy::kReturnError;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  const size_t cv = rt.CreateCond();
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+  // Sole thread waiting: nobody can ever signal — a provable global stall.
+  EXPECT_EQ(rt.CondWait(cv, m), RfdetErrc::kDeadlock);
+  EXPECT_NE(rt.LastDeadlockReport().find("global stall"), std::string::npos);
+  // The failed wait is a no-op: the mutex is still held, and the thread
+  // was never enqueued on the condition.
+  rt.MutexUnlock(m);
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+  rt.MutexUnlock(m);
+}
+
+TEST(Deadlock, JoinOfCondWaiterIsAStallThenRecovers) {
+  RfdetOptions o = Small();
+  o.deadlock_policy = DeadlockPolicy::kReturnError;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  const size_t cv = rt.CreateCond();
+  const size_t tid = rt.Spawn([&] {
+    ASSERT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+    EXPECT_EQ(rt.CondWait(cv, m), RfdetErrc::kOk);
+    rt.MutexUnlock(m);
+  });
+  rt.Tick(50000);  // let the child reach the wait first, deterministically
+  // Joining now would leave every thread blocked: child in cond-wait (only
+  // we could signal), us in join.
+  EXPECT_EQ(rt.Join(tid), RfdetErrc::kDeadlock);
+  // Back out, signal, and the join completes.
+  rt.CondSignal(cv);
+  EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  EXPECT_GE(rt.Snapshot().deadlocks_detected, 1u);
+}
+
+TEST(Deadlock, BarrierThatCanNeverFillIsAStall) {
+  RfdetOptions o = Small();
+  o.deadlock_policy = DeadlockPolicy::kReturnError;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  const size_t bar = rt.CreateBarrier(2);
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+  const size_t tid = rt.Spawn([&] {
+    // Blocks on the mutex we hold; can therefore never reach the barrier.
+    EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+    rt.MutexUnlock(m);
+  });
+  rt.Tick(50000);  // child's lock attempt is turn-ordered before our wait
+  EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kDeadlock);
+  rt.MutexUnlock(m);
+  EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  EXPECT_NE(rt.LastDeadlockReport().find("barrier"), std::string::npos);
+}
+
+TEST(Deadlock, DetectionCanBeDisabled) {
+  RfdetOptions o = Small();
+  o.deadlock_detection = false;
+  o.deadlock_policy = DeadlockPolicy::kReturnError;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+  // With detection off nothing trips; use the one shape that does not hang
+  // when undetected (relock would). CondWait-with-no-signaller would hang,
+  // so only exercise the relock-free paths here.
+  rt.MutexUnlock(m);
+  EXPECT_EQ(rt.Snapshot().deadlocks_detected, 0u);
+  EXPECT_TRUE(rt.LastDeadlockReport().empty());
+}
+
+using DeadlockDeathTest = ::testing::Test;
+
+TEST(DeadlockDeathTest, DefaultPolicyPanicsWithReport) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RfdetOptions o = Small();  // default policy: kPanic
+        RfdetRuntime rt(o);
+        const size_t m = rt.CreateMutex();
+        rt.MutexLock(m);
+        rt.MutexLock(m);  // self-deadlock
+      },
+      "DEADLOCK");
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -8,7 +8,16 @@
 namespace rfdet {
 namespace {
 
-TEST(FaultHandler, GenuineCrashStillDies) {
+class FaultHandler : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The binary's other suites spawn threads; fork-based ("fast") death
+    // tests from a multithreaded process are unsafe — re-exec instead.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST_F(FaultHandler, GenuineCrashStillDies) {
   // With a pf view active on this thread, a wild access outside the view
   // must fall through to the default disposition and kill the process.
   EXPECT_DEATH(
@@ -22,7 +31,7 @@ TEST(FaultHandler, GenuineCrashStillDies) {
       "");
 }
 
-TEST(FaultHandler, ReactivationAcrossViews) {
+TEST_F(FaultHandler, ReactivationAcrossViews) {
   MetadataArena arena(16u << 20);
   ThreadView a(1u << 20, MonitorMode::kPageFault, &arena);
   ThreadView b(1u << 20, MonitorMode::kPageFault, &arena);
@@ -44,7 +53,7 @@ TEST(FaultHandler, ReactivationAcrossViews) {
   ThreadView::DeactivateOnThisThread();
 }
 
-TEST(FaultHandler, ReadOfCleanPageDoesNotFault) {
+TEST_F(FaultHandler, ReadOfCleanPageDoesNotFault) {
   MetadataArena arena(16u << 20);
   ThreadView view(1u << 20, MonitorMode::kPageFault, &arena);
   view.ActivateOnThisThread();
@@ -55,7 +64,7 @@ TEST(FaultHandler, ReadOfCleanPageDoesNotFault) {
   ThreadView::DeactivateOnThisThread();
 }
 
-TEST(FaultHandler, WriteFaultsOncePerSlicePerPage) {
+TEST_F(FaultHandler, WriteFaultsOncePerSlicePerPage) {
   MetadataArena arena(16u << 20);
   ThreadView view(1u << 20, MonitorMode::kPageFault, &arena);
   view.ActivateOnThisThread();

@@ -1,0 +1,227 @@
+// Deterministic fault injection: forcing the runtime's rare resource-
+// failure paths on demand, and checking that each one is (a) survivable
+// and (b) lands on the same operation in every run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/compat/det_pthread.h"
+#include "rfdet/mem/thread_view.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+RfdetOptions Small() {
+  RfdetOptions o;
+  o.region_bytes = 4u << 20;
+  o.static_bytes = 1u << 20;
+  return o;
+}
+
+// ---- injector unit behaviour ----------------------------------------------
+
+TEST(FaultInjector, WindowedPlanFailsExactlyTheConfiguredHits) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kSpawn, {/*skip=*/2, /*count=*/3});
+  std::vector<bool> decisions;
+  for (int i = 0; i < 8; ++i) decisions.push_back(fi.ShouldFail(FaultSite::kSpawn));
+  const std::vector<bool> expected = {false, false, true, true,
+                                      true,  false, false, false};
+  EXPECT_EQ(decisions, expected);
+  EXPECT_EQ(fi.Hits(FaultSite::kSpawn), 8u);
+  EXPECT_EQ(fi.Injected(FaultSite::kSpawn), 3u);
+  // Other sites are independent.
+  EXPECT_FALSE(fi.ShouldFail(FaultSite::kHeapAlloc));
+}
+
+TEST(FaultInjector, SeededRateIsAPureFunctionOfSeedAndHitIndex) {
+  constexpr int kHits = 200;
+  FaultInjector fi;
+  fi.Arm(FaultSite::kHeapAlloc, {/*skip=*/0, /*count=*/UINT64_MAX,
+                                 /*rate=*/0.5, /*seed=*/42});
+  std::vector<bool> first;
+  for (int i = 0; i < kHits; ++i) first.push_back(fi.ShouldFail(FaultSite::kHeapAlloc));
+  fi.ResetCounters();
+  std::vector<bool> second;
+  for (int i = 0; i < kHits; ++i) second.push_back(fi.ShouldFail(FaultSite::kHeapAlloc));
+  EXPECT_EQ(first, second);  // same seed, same hit index → same decision
+  // rate=0.5 over 200 hits: both outcomes occur (P(miss) ≈ 2^-200).
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+
+  fi.Arm(FaultSite::kHeapAlloc, {/*skip=*/0, /*count=*/UINT64_MAX,
+                                 /*rate=*/0.5, /*seed=*/43});
+  fi.ResetCounters();
+  std::vector<bool> other_seed;
+  for (int i = 0; i < kHits; ++i) {
+    other_seed.push_back(fi.ShouldFail(FaultSite::kHeapAlloc));
+  }
+  EXPECT_NE(other_seed, first);
+}
+
+// ---- spawn ------------------------------------------------------------------
+
+TEST(FaultInjection, InjectedSpawnFailureIsRetryable) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kSpawn, {/*skip=*/0, /*count=*/1});
+  RfdetOptions o = Small();
+  o.fault_injector = &fi;
+  RfdetRuntime rt(o);
+  std::atomic<int> ran{0};
+  size_t tid = 0;
+  EXPECT_EQ(rt.TrySpawn([&] { ran.fetch_add(1); }, &tid), RfdetErrc::kAgain);
+  // The failed spawn is a no-op: retrying succeeds and the thread runs.
+  ASSERT_EQ(rt.TrySpawn([&] { ran.fetch_add(1); }, &tid), RfdetErrc::kOk);
+  EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(rt.Snapshot().spawn_failures, 1u);
+  EXPECT_EQ(fi.Injected(FaultSite::kSpawn), 1u);
+}
+
+TEST(FaultInjection, RealSlotExhaustionIsEagainNotAbort) {
+  RfdetOptions o = Small();
+  o.max_threads = 2;  // main + one worker
+  std::vector<RfdetErrc> reported;
+  o.on_error = [&](RfdetErrc e, const std::string&) { reported.push_back(e); };
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  size_t t1 = 0;
+  size_t t2 = 0;
+  ASSERT_EQ(rt.TrySpawn(
+                [&] {
+                  ASSERT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+                  rt.MutexUnlock(m);
+                },
+                &t1),
+            RfdetErrc::kOk);
+  EXPECT_EQ(rt.TrySpawn([] {}, &t2), RfdetErrc::kAgain);
+  EXPECT_EQ(rt.Join(t1), RfdetErrc::kOk);
+  EXPECT_EQ(rt.Snapshot().spawn_failures, 1u);
+  ASSERT_EQ(reported.size(), 1u);
+  EXPECT_EQ(reported[0], RfdetErrc::kAgain);
+}
+
+TEST(FaultInjection, DetPthreadCreateSurfacesEagain) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kSpawn, {/*skip=*/0, /*count=*/1});
+  RfdetOptions o = Small();
+  o.fault_injector = &fi;
+  compat::DetProcess process(o);
+  det_pthread_t t{};
+  auto body = +[](void* arg) -> void* {
+    *static_cast<int*>(arg) = 7;
+    return arg;
+  };
+  int cell = 0;
+  EXPECT_EQ(det_pthread_create(&t, nullptr, body, &cell), EAGAIN);
+  ASSERT_EQ(det_pthread_create(&t, nullptr, body, &cell), 0);
+  void* ret = nullptr;
+  EXPECT_EQ(det_pthread_join(t, &ret), 0);
+  EXPECT_EQ(ret, &cell);
+  EXPECT_EQ(cell, 7);
+}
+
+// ---- allocator --------------------------------------------------------------
+
+TEST(FaultInjection, InjectedHeapAllocFailureReturnsNull) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kHeapAlloc, {/*skip=*/0, /*count=*/1});
+  RfdetOptions o = Small();
+  o.fault_injector = &fi;
+  RfdetRuntime rt(o);
+  EXPECT_EQ(rt.TryMalloc(64), kNullGAddr);
+  const GAddr a = rt.TryMalloc(64);  // window exhausted: allocator is fine
+  ASSERT_NE(a, kNullGAddr);
+  const uint64_t v = 99;
+  rt.Store(a, &v, sizeof v);
+  uint64_t r = 0;
+  rt.Load(a, &r, sizeof r);
+  EXPECT_EQ(r, v);
+  rt.Free(a);
+  EXPECT_EQ(rt.Snapshot().alloc_failures, 1u);
+}
+
+TEST(FaultInjection, RealStaticExhaustionReturnsNullAndContinues) {
+  RfdetOptions o = Small();  // static segment: 1 MiB
+  RfdetRuntime rt(o);
+  EXPECT_EQ(rt.TryAllocStatic(2u << 20), kNullGAddr);  // bigger than segment
+  const GAddr a = rt.TryAllocStatic(64);  // segment itself is untouched
+  EXPECT_NE(a, kNullGAddr);
+  EXPECT_EQ(rt.Snapshot().alloc_failures, 1u);
+}
+
+// ---- metadata arena ---------------------------------------------------------
+
+TEST(FaultInjection, ArenaChargeFailureGcRetriesThenContinuesOverBudget) {
+  FaultInjector fi;
+  // First two reservations fail both the initial test and the post-GC
+  // retry (two hits each); everything after passes.
+  fi.Arm(FaultSite::kArenaCharge, {/*skip=*/0, /*count=*/4});
+  std::atomic<int> nomem_reports{0};
+  RfdetOptions o = Small();
+  o.fault_injector = &fi;
+  o.on_error = [&](RfdetErrc e, const std::string& note) {
+    EXPECT_EQ(e, RfdetErrc::kNoMemory);
+    EXPECT_NE(note.find("after GC retry"), std::string::npos);
+    nomem_reports.fetch_add(1);
+  };
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  const GAddr counter = rt.AllocStatic(8);
+  auto bump = [&] {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+      uint64_t v = 0;
+      rt.Load(counter, &v, sizeof v);
+      ++v;
+      rt.Store(counter, &v, sizeof v);
+      rt.MutexUnlock(m);
+    }
+  };
+  const size_t t1 = rt.Spawn(bump);
+  const size_t t2 = rt.Spawn(bump);
+  EXPECT_EQ(rt.Join(t1), RfdetErrc::kOk);
+  EXPECT_EQ(rt.Join(t2), RfdetErrc::kOk);
+  // Execution survived the exhaustion and is still *correct*.
+  uint64_t total = 0;
+  rt.Load(counter, &total, sizeof total);
+  EXPECT_EQ(total, 100u);
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_EQ(s.arena_gc_retries, 2u);    // one forced GC per failed reserve
+  EXPECT_EQ(s.metadata_overflows, 2u);  // both still failed after retry
+  EXPECT_EQ(nomem_reports.load(), 2);
+  EXPECT_EQ(fi.Injected(FaultSite::kArenaCharge), 4u);
+}
+
+// ---- snapshot pool ----------------------------------------------------------
+
+class FaultInjectionDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST_F(FaultInjectionDeathTest, SnapshotExhaustionIsDiagnosedNotSilent) {
+  // Snapshot acquisition has no recoverable contract (a slice that cannot
+  // record its pre-image cannot preserve isolation), so injection here
+  // must produce the named fail-fast, not corruption or a hang.
+  EXPECT_DEATH(
+      {
+        FaultInjector fi;
+        fi.Arm(FaultSite::kSnapshotAcquire, {/*skip=*/0});
+        MetadataArena arena(16u << 20);
+        ThreadView view(1u << 20, MonitorMode::kInstrumented, &arena, &fi);
+        const uint64_t v = 1;
+        view.Store(0, &v, sizeof v);  // first touch needs a page snapshot
+      },
+      "snapshot pool exhausted");
+}
+
+}  // namespace
+}  // namespace rfdet

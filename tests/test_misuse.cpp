@@ -2,6 +2,7 @@
 // pthreads usage errors that are undefined behaviour in POSIX.
 #include <gtest/gtest.h>
 
+#include "rfdet/compat/det_pthread.h"
 #include "rfdet/runtime/runtime.h"
 
 namespace rfdet {
@@ -14,9 +15,17 @@ RfdetOptions Small() {
   return o;
 }
 
-using MisuseDeathTest = ::testing::Test;
+// The runtime spawns host threads; the default "fast" death-test style
+// forks from a multithreaded process, which is exactly the case gtest
+// documents as unsafe. Re-exec instead.
+class MisuseDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
 
-TEST(MisuseDeathTest, UnlockWithoutLockAborts) {
+TEST_F(MisuseDeathTest, UnlockWithoutLockAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime rt(Small());
@@ -26,7 +35,7 @@ TEST(MisuseDeathTest, UnlockWithoutLockAborts) {
       "unlock of unowned mutex");
 }
 
-TEST(MisuseDeathTest, UnlockByNonOwnerAborts) {
+TEST_F(MisuseDeathTest, UnlockByNonOwnerAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime rt(Small());
@@ -38,7 +47,7 @@ TEST(MisuseDeathTest, UnlockByNonOwnerAborts) {
       "unlock of unowned mutex");
 }
 
-TEST(MisuseDeathTest, WaitWithoutMutexAborts) {
+TEST_F(MisuseDeathTest, WaitWithoutMutexAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime rt(Small());
@@ -49,7 +58,7 @@ TEST(MisuseDeathTest, WaitWithoutMutexAborts) {
       "cond wait without holding the mutex");
 }
 
-TEST(MisuseDeathTest, WrongSyncKindAborts) {
+TEST_F(MisuseDeathTest, WrongSyncKindAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime rt(Small());
@@ -59,7 +68,56 @@ TEST(MisuseDeathTest, WrongSyncKindAborts) {
       "wrong kind");
 }
 
-TEST(MisuseDeathTest, UnknownSyncIdAborts) {
+TEST_F(MisuseDeathTest, SignalOnMutexIdAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t m = rt.CreateMutex();
+        rt.CondSignal(m);  // a mutex id is not a condvar
+      },
+      "wrong kind");
+}
+
+TEST_F(MisuseDeathTest, BroadcastOnBarrierIdAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t b = rt.CreateBarrier(2);
+        rt.CondBroadcast(b);
+      },
+      "wrong kind");
+}
+
+TEST_F(MisuseDeathTest, BarrierWaitOnCondIdAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        const size_t cv = rt.CreateCond();
+        rt.BarrierWait(cv);
+      },
+      "wrong kind");
+}
+
+// True re-entry (arriving at a barrier twice within one cycle) is
+// unreachable through the public API — an arrived thread stays paused
+// until the cycle completes — and the runtime guards it with a defensive
+// CHECK. What *is* reachable, and must keep working, is cyclic reuse:
+// re-entering the same barrier after each completed cycle.
+TEST_F(MisuseDeathTest, BarrierReuseAcrossCompletedCyclesIsFine) {
+  RfdetRuntime rt(Small());
+  const size_t bar = rt.CreateBarrier(2);
+  const size_t tid = rt.Spawn([&] {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+  }
+  rt.Join(tid);
+}
+
+TEST_F(MisuseDeathTest, UnknownSyncIdAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime rt(Small());
@@ -68,7 +126,7 @@ TEST(MisuseDeathTest, UnknownSyncIdAborts) {
       "unknown sync object id");
 }
 
-TEST(MisuseDeathTest, StaticAllocFromWorkerAborts) {
+TEST_F(MisuseDeathTest, StaticAllocFromWorkerAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime rt(Small());
@@ -78,7 +136,7 @@ TEST(MisuseDeathTest, StaticAllocFromWorkerAborts) {
       "main-thread setup");
 }
 
-TEST(MisuseDeathTest, FreeOfUnallocatedAddressAborts) {
+TEST_F(MisuseDeathTest, FreeOfUnallocatedAddressAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime rt(Small());
@@ -87,7 +145,7 @@ TEST(MisuseDeathTest, FreeOfUnallocatedAddressAborts) {
       "free of unallocated address");
 }
 
-TEST(MisuseDeathTest, DoubleJoinAborts) {
+TEST_F(MisuseDeathTest, DoubleJoinAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime rt(Small());
@@ -98,13 +156,74 @@ TEST(MisuseDeathTest, DoubleJoinAborts) {
       "double join");
 }
 
-TEST(MisuseDeathTest, SecondRuntimeOnSameThreadAborts) {
+TEST_F(MisuseDeathTest, JoinOfNeverSpawnedTidAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        rt.Join(99);  // no such thread was ever created
+      },
+      "bad join target");
+}
+
+TEST_F(MisuseDeathTest, SelfJoinAborts) {
+  EXPECT_DEATH(
+      {
+        RfdetRuntime rt(Small());
+        rt.Join(rt.CurrentTid());
+      },
+      "bad join target");
+}
+
+TEST_F(MisuseDeathTest, SecondRuntimeOnSameThreadAborts) {
   EXPECT_DEATH(
       {
         RfdetRuntime first(Small());
         RfdetRuntime second(Small());
       },
       "already attached");
+}
+
+// ---- det_pthread lifecycle misuse ------------------------------------------
+// The destroyed-object paths only exist at the compat layer (the runtime's
+// sync vars have no destroy), so they are exercised through det_pthread.
+
+TEST_F(MisuseDeathTest, LockOfDestroyedMutexAborts) {
+  EXPECT_DEATH(
+      {
+        compat::DetProcess process(Small());
+        det_pthread_mutex_t m{};
+        det_pthread_mutex_init(&m, nullptr);
+        det_pthread_mutex_destroy(&m);
+        det_pthread_mutex_lock(&m);
+      },
+      "uninitialized mutex");
+}
+
+TEST_F(MisuseDeathTest, WaitOnDestroyedCondAborts) {
+  EXPECT_DEATH(
+      {
+        compat::DetProcess process(Small());
+        det_pthread_mutex_t m{};
+        det_pthread_cond_t cv{};
+        det_pthread_mutex_init(&m, nullptr);
+        det_pthread_cond_init(&cv, nullptr);
+        det_pthread_cond_destroy(&cv);
+        det_pthread_mutex_lock(&m);
+        det_pthread_cond_wait(&cv, &m);
+      },
+      "initialized");
+}
+
+TEST_F(MisuseDeathTest, WaitOnDestroyedBarrierAborts) {
+  EXPECT_DEATH(
+      {
+        compat::DetProcess process(Small());
+        det_pthread_barrier_t b{};
+        det_pthread_barrier_init(&b, nullptr, 2);
+        det_pthread_barrier_destroy(&b);
+        det_pthread_barrier_wait(&b);
+      },
+      "initialized");
 }
 
 }  // namespace

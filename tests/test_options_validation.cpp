@@ -1,0 +1,96 @@
+// RfdetOptions validation: every geometry/config invariant the subsystems
+// rely on is checked up front with a named error, and the runtime refuses
+// to construct from an invalid configuration.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rfdet/mem/addr.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+RfdetOptions Valid() {
+  RfdetOptions o;
+  o.region_bytes = 4u << 20;
+  o.static_bytes = 1u << 20;
+  return o;
+}
+
+TEST(OptionsValidation, DefaultsAreValid) {
+  EXPECT_EQ(ValidateOptions(RfdetOptions{}), "");
+  EXPECT_EQ(ValidateOptions(Valid()), "");
+}
+
+TEST(OptionsValidation, ZeroMaxThreads) {
+  RfdetOptions o = Valid();
+  o.max_threads = 0;
+  EXPECT_NE(ValidateOptions(o).find("max_threads"), std::string::npos);
+}
+
+TEST(OptionsValidation, ZeroRegion) {
+  RfdetOptions o = Valid();
+  o.region_bytes = 0;
+  EXPECT_NE(ValidateOptions(o).find("region_bytes"), std::string::npos);
+}
+
+TEST(OptionsValidation, UnalignedRegion) {
+  RfdetOptions o = Valid();
+  o.region_bytes = kPageSize + 1;
+  EXPECT_NE(ValidateOptions(o).find("multiple of the page size"),
+            std::string::npos);
+}
+
+TEST(OptionsValidation, RegionTooSmallForStaticPlusThreads) {
+  RfdetOptions o = Valid();
+  // Static segment swallows the whole region: no room for even one page
+  // per thread of subheap.
+  o.region_bytes = 1u << 20;
+  o.static_bytes = 1u << 20;
+  const std::string err = ValidateOptions(o);
+  EXPECT_NE(err.find("too small"), std::string::npos);
+  EXPECT_NE(err.find("max_threads"), std::string::npos);
+}
+
+TEST(OptionsValidation, ZeroMetadata) {
+  RfdetOptions o = Valid();
+  o.metadata_bytes = 0;
+  EXPECT_NE(ValidateOptions(o).find("metadata_bytes"), std::string::npos);
+}
+
+TEST(OptionsValidation, GcThresholdOutOfRange) {
+  RfdetOptions o = Valid();
+  o.gc_threshold = 0.0;
+  EXPECT_NE(ValidateOptions(o).find("gc_threshold"), std::string::npos);
+  o.gc_threshold = 1.5;
+  EXPECT_NE(ValidateOptions(o).find("gc_threshold"), std::string::npos);
+  o.gc_threshold = 1.0;  // boundary is inclusive
+  EXPECT_EQ(ValidateOptions(o), "");
+}
+
+TEST(OptionsValidation, ZeroTicksPerWord) {
+  RfdetOptions o = Valid();
+  o.ticks_per_word = 0;
+  EXPECT_NE(ValidateOptions(o).find("ticks_per_word"), std::string::npos);
+}
+
+class OptionsValidationDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST_F(OptionsValidationDeathTest, RuntimeRefusesInvalidOptions) {
+  EXPECT_DEATH(
+      {
+        RfdetOptions o;
+        o.max_threads = 0;
+        RfdetRuntime rt(o);
+      },
+      "invalid RfdetOptions: max_threads");
+}
+
+}  // namespace
+}  // namespace rfdet
