@@ -1,0 +1,286 @@
+// Propagation fast-path microbenchmark (ISSUE 2 / EXPERIMENTS.md).
+//
+// Measures the slice-apply hot path in isolation: a synthetic source slice
+// (P pages × F fragments, plus cross-page runs) applied repeatedly to a
+// receiver ThreadView, for every cell of
+//   {ci, pf} × {eager, lazy} × {legacy per-run splitting, planned apply}.
+//
+// Reported per cell: slices/sec, MB/sec of payload, and mprotect calls per
+// applied slice (the per-acquire syscall cost in pf mode). The planned
+// path must be byte-identical to the legacy path — every cell is
+// cross-checked against a legacy replay before timing, and --smoke runs
+// only that check (wired into ctest).
+//
+// --json=PATH writes a machine-readable record (BENCH_propagation.json)
+// so later PRs can track a perf trajectory.
+//
+// Flags: --pages=64 --frags=8 --run_len=48 --iters=400 --stride=1
+//        --smoke --json=PATH
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rfdet/harness/harness.h"
+#include "rfdet/mem/apply_plan.h"
+#include "rfdet/mem/mod_list.h"
+#include "rfdet/mem/thread_view.h"
+
+namespace {
+
+using namespace rfdet;  // NOLINT: bench-local brevity
+
+struct Shape {
+  size_t pages = 64;      // distinct pages the slice touches
+  size_t frags = 8;       // fragments per page
+  size_t run_len = 48;    // bytes per fragment
+  size_t stride = 1;      // page stride (1 = contiguous dirty range)
+  size_t iters = 400;     // applies per timed cell
+};
+
+constexpr size_t kCapacity = 32u << 20;  // 8192 pages
+
+// A synthetic slice: `frags` runs in each of `pages` pages (strided), plus
+// one page-boundary-crossing run per 8 pages to exercise plan clipping.
+ModList MakeSourceMods(const Shape& shape) {
+  ModList mods;
+  std::vector<std::byte> payload(shape.run_len);
+  uint8_t seed = 1;
+  for (size_t p = 0; p < shape.pages; ++p) {
+    const GAddr base = PageBase(p * shape.stride);
+    for (size_t f = 0; f < shape.frags; ++f) {
+      for (auto& b : payload) b = static_cast<std::byte>(seed++);
+      const GAddr addr =
+          base + f * (kPageSize / shape.frags) % (kPageSize - shape.run_len);
+      mods.Append(addr, payload);
+    }
+    if (p % 8 == 7 && shape.stride == 1 && p + 1 < shape.pages) {
+      for (auto& b : payload) b = static_cast<std::byte>(seed++);
+      mods.Append(base + kPageSize - shape.run_len / 2, payload);
+    }
+  }
+  return mods;
+}
+
+struct CellResult {
+  std::string mode;       // "ci" | "pf"
+  std::string apply;      // "eager" | "lazy"
+  std::string path;       // "legacy" | "planned"
+  double slices_per_sec = 0;
+  double mbytes_per_sec = 0;
+  double mprotect_per_apply = 0;
+  double seconds = 0;
+};
+
+void ApplyOnce(ThreadView& view, const ModList& mods, const ApplyPlan* plan,
+               bool lazy) {
+  if (plan != nullptr) {
+    view.ApplyRemote(mods, *plan, lazy);
+  } else {
+    view.ApplyRemote(mods, lazy);
+  }
+  if (lazy) view.FlushPending();  // force application so work is measured
+}
+
+// Byte-identical cross-check: planned apply must equal a legacy replay.
+bool VerifyCell(MonitorMode mode, const ModList& mods, const ApplyPlan& plan,
+                bool lazy) {
+  MetadataArena arena(256u << 20);
+  ThreadView a(kCapacity, mode, &arena);
+  ThreadView b(kCapacity, mode, &arena);
+  a.ActivateOnThisThread();
+  ApplyOnce(a, mods, nullptr, lazy);
+  b.ActivateOnThisThread();
+  ApplyOnce(b, mods, &plan, lazy);
+  std::vector<std::byte> la(kPageSize);
+  std::vector<std::byte> lb(kPageSize);
+  bool ok = true;
+  for (PageId pid = 0; pid < kCapacity / kPageSize && ok; ++pid) {
+    a.ActivateOnThisThread();
+    a.Load(PageBase(pid), la.data(), kPageSize);
+    b.ActivateOnThisThread();
+    b.Load(PageBase(pid), lb.data(), kPageSize);
+    ok = std::memcmp(la.data(), lb.data(), kPageSize) == 0;
+    if (!ok) {
+      std::fprintf(stderr, "MISMATCH: page %llu differs (%s, %s)\n",
+                   static_cast<unsigned long long>(pid),
+                   mode == MonitorMode::kInstrumented ? "ci" : "pf",
+                   lazy ? "lazy" : "eager");
+    }
+  }
+  ThreadView::DeactivateOnThisThread();
+  return ok;
+}
+
+CellResult RunCell(MonitorMode mode, bool lazy, bool planned,
+                   const ModList& mods, const ApplyPlan& plan,
+                   const Shape& shape) {
+  MetadataArena arena(256u << 20);
+  ThreadView view(kCapacity, mode, &arena);
+  view.ActivateOnThisThread();
+  // Warm-up: materialize pages / take the first-touch costs out of the
+  // timed region.
+  ApplyOnce(view, mods, planned ? &plan : nullptr, lazy);
+
+  const uint64_t mprotect_before = view.Stats().mprotect_calls;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < shape.iters; ++i) {
+    ApplyOnce(view, mods, planned ? &plan : nullptr, lazy);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t mprotect_after = view.Stats().mprotect_calls;
+  ThreadView::DeactivateOnThisThread();
+
+  CellResult r;
+  r.mode = mode == MonitorMode::kInstrumented ? "ci" : "pf";
+  r.apply = lazy ? "lazy" : "eager";
+  r.path = planned ? "planned" : "legacy";
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double per_sec =
+      r.seconds > 0 ? static_cast<double>(shape.iters) / r.seconds : 0;
+  r.slices_per_sec = per_sec;
+  r.mbytes_per_sec =
+      per_sec * static_cast<double>(mods.ByteCount()) / (1024.0 * 1024.0);
+  r.mprotect_per_apply =
+      static_cast<double>(mprotect_after - mprotect_before) /
+      static_cast<double>(shape.iters);
+  return r;
+}
+
+double CellValue(const std::vector<CellResult>& cells, const char* mode,
+                 const char* apply, const char* path,
+                 double CellResult::* field) {
+  for (const CellResult& c : cells) {
+    if (c.mode == mode && c.apply == apply && c.path == path) {
+      return c.*field;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  Shape shape;
+  const bool smoke = flags.Bool("smoke", false);
+  shape.pages = static_cast<size_t>(flags.Int("pages", smoke ? 16 : 64));
+  shape.frags = static_cast<size_t>(flags.Int("frags", 8));
+  shape.run_len = static_cast<size_t>(flags.Int("run_len", 48));
+  shape.stride = static_cast<size_t>(flags.Int("stride", 1));
+  shape.iters = static_cast<size_t>(flags.Int("iters", smoke ? 4 : 400));
+  const std::string json_path = flags.Str("json", "");
+
+  const ModList mods = MakeSourceMods(shape);
+  const ApplyPlan plan = ApplyPlan::Build(mods);
+
+  std::printf(
+      "propagation_path: %zu pages x %zu frags x %zu B (%zu runs), "
+      "%zu plan pages / %zu segments, %zu payload bytes\n",
+      shape.pages, shape.frags, shape.run_len, mods.RunCount(),
+      plan.PageCount(), plan.SegmentCount(), mods.ByteCount());
+
+  // Correctness gate first — a fast wrong apply is worthless.
+  bool ok = true;
+  for (const MonitorMode mode :
+       {MonitorMode::kInstrumented, MonitorMode::kPageFault}) {
+    for (const bool lazy : {false, true}) {
+      ok = VerifyCell(mode, mods, plan, lazy) && ok;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "propagation_path: planned apply diverged from legacy\n");
+    return 1;
+  }
+  std::printf("verify: planned apply byte-identical to legacy (4/4 cells)\n");
+  if (smoke && !flags.Bool("force_timing", false)) {
+    std::printf("--smoke: correctness check only, skipping timed cells\n");
+    if (json_path.empty()) return 0;
+  }
+
+  std::vector<CellResult> cells;
+  harness::Table table({"mode", "apply", "path", "slices/s", "MB/s",
+                        "mprotect/apply"});
+  for (const MonitorMode mode :
+       {MonitorMode::kInstrumented, MonitorMode::kPageFault}) {
+    for (const bool lazy : {false, true}) {
+      for (const bool planned : {false, true}) {
+        const CellResult r = RunCell(mode, lazy, planned, mods, plan, shape);
+        char buf[3][32];
+        std::snprintf(buf[0], sizeof buf[0], "%.0f", r.slices_per_sec);
+        std::snprintf(buf[1], sizeof buf[1], "%.1f", r.mbytes_per_sec);
+        std::snprintf(buf[2], sizeof buf[2], "%.2f", r.mprotect_per_apply);
+        table.AddRow({r.mode, r.apply, r.path, buf[0], buf[1], buf[2]});
+        cells.push_back(r);
+      }
+    }
+  }
+  table.Print();
+
+  const double legacy_mp = CellValue(cells, "pf", "eager", "legacy",
+                                     &CellResult::mprotect_per_apply);
+  const double planned_mp = CellValue(cells, "pf", "eager", "planned",
+                                      &CellResult::mprotect_per_apply);
+  const double mp_reduction = planned_mp > 0 ? legacy_mp / planned_mp : 0;
+  const double pf_speedup =
+      CellValue(cells, "pf", "eager", "planned",
+                &CellResult::slices_per_sec) /
+      std::max(1.0, CellValue(cells, "pf", "eager", "legacy",
+                              &CellResult::slices_per_sec));
+  const double ci_speedup =
+      CellValue(cells, "ci", "eager", "planned",
+                &CellResult::slices_per_sec) /
+      std::max(1.0, CellValue(cells, "ci", "eager", "legacy",
+                              &CellResult::slices_per_sec));
+  std::printf(
+      "\nsummary: pf-eager mprotect/apply %.2f -> %.2f (%.1fx reduction), "
+      "pf-eager %.2fx slices/s, ci-eager %.2fx slices/s\n",
+      legacy_mp, planned_mp, mp_reduction, pf_speedup, ci_speedup);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"propagation_path\",\n";
+    out << "  \"shape\": {\"pages\": " << shape.pages
+        << ", \"frags_per_page\": " << shape.frags
+        << ", \"run_len\": " << shape.run_len
+        << ", \"stride\": " << shape.stride
+        << ", \"iters\": " << shape.iters
+        << ", \"payload_bytes\": " << mods.ByteCount() << "},\n";
+    out << "  \"cells\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const CellResult& c = cells[i];
+      out << "    {\"mode\": \"" << c.mode << "\", \"apply\": \"" << c.apply
+          << "\", \"path\": \"" << c.path
+          << "\", \"slices_per_sec\": " << c.slices_per_sec
+          << ", \"mbytes_per_sec\": " << c.mbytes_per_sec
+          << ", \"mprotect_per_apply\": " << c.mprotect_per_apply << "}"
+          << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"summary\": {\n";
+    out << "    \"pf_eager_mprotect_per_apply_legacy\": " << legacy_mp
+        << ",\n";
+    out << "    \"pf_eager_mprotect_per_apply_planned\": " << planned_mp
+        << ",\n";
+    out << "    \"pf_eager_mprotect_reduction\": " << mp_reduction << ",\n";
+    out << "    \"pf_eager_slices_per_sec_speedup\": " << pf_speedup
+        << ",\n";
+    out << "    \"ci_eager_slices_per_sec_speedup\": " << ci_speedup << "\n";
+    out << "  }\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  // Acceptance: the batched path must at least halve mprotect traffic.
+  if (!smoke && mp_reduction < 2.0) {
+    std::fprintf(stderr,
+                 "propagation_path: mprotect reduction %.2fx < 2x target\n",
+                 mp_reduction);
+    return 1;
+  }
+  return 0;
+}

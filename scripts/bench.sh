@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Propagation-path benchmark runner: Release build + timed run, emitting
+# bench/artifacts/BENCH_propagation.json so PRs leave a perf trajectory.
+#
+#   scripts/bench.sh             # full timed run (writes the JSON)
+#   scripts/bench.sh --smoke     # correctness cells only (no JSON refresh)
+#
+# The Release tree lives in build-bench/ so it never disturbs the primary
+# RelWithDebInfo build/ tree the tier-1 gate uses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    *)
+      echo "usage: scripts/bench.sh [--smoke]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j --target propagation_path racey_determinism
+
+mkdir -p bench/artifacts
+if [[ "$smoke" == 1 ]]; then
+  ./build-bench/bench/propagation_path --smoke
+else
+  ./build-bench/bench/propagation_path \
+      --json="$(pwd)/bench/artifacts/BENCH_propagation.json"
+  echo "bench.sh: wrote bench/artifacts/BENCH_propagation.json"
+fi

@@ -5,20 +5,25 @@
 #   scripts/check.sh --asan     # additionally build with RFDET_SANITIZE=address
 #                               # and rerun the robustness tests under it
 #   scripts/check.sh --tsan     # same with thread sanitizer
+#   scripts/check.sh --bench    # additionally Release-build and run the
+#                               # propagation-path bench (scripts/bench.sh),
+#                               # refreshing bench/artifacts/BENCH_propagation.json
 #
-# Sanitized builds go to build-asan/ / build-tsan/ so they never disturb
-# the primary build/ tree.
+# Sanitized builds go to build-asan/ / build-tsan/ (and the bench build to
+# build-bench/) so they never disturb the primary build/ tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Validate arguments before the (long) tier-1 pass runs.
 sanitizers=()
+run_bench=0
 for arg in "$@"; do
   case "$arg" in
     --asan) sanitizers+=(address) ;;
     --tsan) sanitizers+=(thread) ;;
+    --bench) run_bench=1 ;;
     *)
-      echo "usage: scripts/check.sh [--asan] [--tsan]" >&2
+      echo "usage: scripts/check.sh [--asan] [--tsan] [--bench]" >&2
       exit 2
       ;;
   esac
@@ -40,5 +45,12 @@ for san in ${sanitizers[@]+"${sanitizers[@]}"}; do
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)" \
       -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler')
 done
+
+if [[ "$run_bench" == 1 ]]; then
+  # Release-build bench step: the propagation-path numbers only mean
+  # something at -O3, and the binary exits nonzero if the batched path
+  # regresses below the 2x mprotect-reduction floor.
+  scripts/bench.sh
+fi
 
 echo "check.sh: all requested suites passed"

@@ -1,0 +1,51 @@
+#include "rfdet/mem/apply_plan.h"
+
+#include <algorithm>
+
+namespace rfdet {
+
+ApplyPlan ApplyPlan::Build(const ModList& mods) {
+  ApplyPlan plan;
+  if (mods.Empty()) return plan;
+
+  // Clip every run at page boundaries. Most runs are intra-page, so the
+  // fragment count is close to the run count.
+  plan.segments_.reserve(mods.RunCount());
+  for (const ModRun& run : mods.Runs()) {
+    GAddr addr = run.addr;
+    uint32_t remaining = run.len;
+    uint32_t data_offset = run.data_offset;
+    while (remaining > 0) {
+      const auto n = static_cast<uint32_t>(
+          std::min<size_t>(remaining, kPageSize - PageOffset(addr)));
+      plan.segments_.push_back(PlanSegment{addr, n, data_offset});
+      addr += n;
+      data_offset += n;
+      remaining -= n;
+    }
+  }
+
+  // Group by page. stable_sort keeps the original run order within each
+  // page, which the later-run-wins overlap policy depends on.
+  std::stable_sort(plan.segments_.begin(), plan.segments_.end(),
+                   [](const PlanSegment& a, const PlanSegment& b) {
+                     return PageOf(a.addr) < PageOf(b.addr);
+                   });
+
+  for (size_t i = 0; i < plan.segments_.size();) {
+    const PageId pid = PageOf(plan.segments_[i].addr);
+    PlanPage page{pid, static_cast<uint32_t>(i), 0, 0};
+    while (i < plan.segments_.size() &&
+           PageOf(plan.segments_[i].addr) == pid) {
+      ++page.count;
+      page.bytes += plan.segments_[i].len;
+      ++i;
+    }
+    plan.pages_.push_back(page);
+  }
+  plan.pages_.shrink_to_fit();
+  plan.segments_.shrink_to_fit();
+  return plan;
+}
+
+}  // namespace rfdet

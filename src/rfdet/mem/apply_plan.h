@@ -1,0 +1,80 @@
+// Page-partitioned apply plans — the propagation fast path's run index.
+//
+// A slice's ModList is immutable once published, but every receiver of the
+// slice must apply it page by page: pending-list handling, page protection
+// and ci page materialization are all per-page concerns, so the legacy
+// apply loop re-split every run at page boundaries *per receiver*. An
+// ApplyPlan performs that partitioning exactly once: it clips each run
+// into single-page segments and groups them by page (pages ascending,
+// segments in original run order within a page). N receivers then share
+// one plan — and because the plan's page list is sorted, a page-fault-mode
+// receiver can open/close contiguous page ranges with single mprotect
+// calls instead of two syscalls per fragment (see
+// ThreadView::ApplyRemote(const ModList&, const ApplyPlan&, bool)).
+//
+// Grouping by page cannot change results: segments on different pages
+// address disjoint bytes, and within one page the original order is kept,
+// so the §4.6 later-run-wins overlap policy is preserved bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rfdet/mem/addr.h"
+#include "rfdet/mem/mod_list.h"
+
+namespace rfdet {
+
+// One run fragment clipped to a single page. `data_offset` indexes the
+// payload of the ModList the plan was built from.
+struct PlanSegment {
+  GAddr addr;
+  uint32_t len;
+  uint32_t data_offset;
+};
+
+// All segments landing on one page, contiguous in the segment array.
+struct PlanPage {
+  PageId pid;
+  uint32_t first;  // index of the page's first segment
+  uint32_t count;
+  uint32_t bytes;  // total payload bytes targeting this page
+};
+
+class ApplyPlan {
+ public:
+  ApplyPlan() = default;
+
+  // Partitions `mods` into a plan. O(F log P) for F page-clipped fragments
+  // over P distinct pages — paid once per slice instead of per receiver.
+  [[nodiscard]] static ApplyPlan Build(const ModList& mods);
+
+  [[nodiscard]] bool Empty() const noexcept { return pages_.empty(); }
+  [[nodiscard]] size_t PageCount() const noexcept { return pages_.size(); }
+  [[nodiscard]] size_t SegmentCount() const noexcept {
+    return segments_.size();
+  }
+
+  // Pages in ascending PageId order.
+  [[nodiscard]] std::span<const PlanPage> Pages() const noexcept {
+    return pages_;
+  }
+  [[nodiscard]] std::span<const PlanSegment> Segments(
+      const PlanPage& page) const noexcept {
+    return {segments_.data() + page.first, page.count};
+  }
+
+  // Retained memory, for metadata-space accounting (plans live logically
+  // in the metadata space alongside the slice that caches them).
+  [[nodiscard]] size_t MemoryBytes() const noexcept {
+    return pages_.capacity() * sizeof(PlanPage) +
+           segments_.capacity() * sizeof(PlanSegment);
+  }
+
+ private:
+  std::vector<PlanPage> pages_;        // sorted by pid
+  std::vector<PlanSegment> segments_;  // grouped by page, run order within
+};
+
+}  // namespace rfdet

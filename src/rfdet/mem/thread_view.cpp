@@ -27,6 +27,37 @@ bool FaultIsWrite(void* ucontext) noexcept {
 #if defined(__x86_64__)
   const auto* uc = static_cast<const ucontext_t*>(ucontext);
   return (uc->uc_mcontext.gregs[REG_ERR] & 0x2) != 0;
+#elif defined(__aarch64__) && defined(__linux__)
+  // Linux exposes the fault's ESR_EL1 as an esr_context record in the
+  // mcontext's __reserved area. For data aborts (EC 0x24/0x25) bit 6 (WnR)
+  // distinguishes writes from reads; decoding it avoids the spurious
+  // page snapshot a treat-as-write fallback pays on every read fault.
+  constexpr uint32_t kEsrMagic = 0x45535201;  // ESR_MAGIC
+  constexpr uint32_t kEcDataAbortLower = 0x24;
+  constexpr uint32_t kEcDataAbortSame = 0x25;
+  const auto* uc = static_cast<const ucontext_t*>(ucontext);
+  const auto* p =
+      reinterpret_cast<const uint8_t*>(uc->uc_mcontext.__reserved);
+  const uint8_t* const end = p + sizeof(uc->uc_mcontext.__reserved);
+  while (p + 8 <= end) {
+    uint32_t magic;
+    uint32_t size;
+    std::memcpy(&magic, p, sizeof magic);
+    std::memcpy(&size, p + 4, sizeof size);
+    if (magic == 0 || size < 8 || p + size > end) break;
+    if (magic == kEsrMagic) {
+      if (size < 16) break;
+      uint64_t esr;
+      std::memcpy(&esr, p + 8, sizeof esr);
+      const uint32_t ec = static_cast<uint32_t>(esr >> 26) & 0x3f;
+      if (ec == kEcDataAbortLower || ec == kEcDataAbortSame) {
+        return (esr & (uint64_t{1} << 6)) != 0;  // WnR
+      }
+      break;  // not a data abort: fall back to the conservative answer
+    }
+    p += size;
+  }
+  return true;  // no ESR record found: conservative treat-as-write
 #else
   (void)ucontext;
   return true;  // conservative: treat as write (costs a spurious snapshot)
@@ -105,13 +136,39 @@ void ThreadView::ActivateOnThisThread() noexcept { g_active_view = this; }
 
 void ThreadView::DeactivateOnThisThread() noexcept { g_active_view = nullptr; }
 
+namespace {
+constexpr int kNativeProt[] = {PROT_READ, PROT_READ | PROT_WRITE, PROT_NONE};
+}  // namespace
+
 void ThreadView::SetProt(PageId pid, Prot p) noexcept {
-  static constexpr int kNative[] = {PROT_READ, PROT_READ | PROT_WRITE,
-                                    PROT_NONE};
   if (prot_[pid] == p) return;
-  ::mprotect(flat_ + PageBase(pid), kPageSize, kNative[p]);
+  ::mprotect(flat_ + PageBase(pid), kPageSize, kNativeProt[p]);
   ++stats_.mprotect_calls;
   prot_[pid] = static_cast<uint8_t>(p);
+}
+
+void ThreadView::ProtectSorted(std::span<const PageId> pids,
+                               Prot to) noexcept {
+  size_t i = 0;
+  while (i < pids.size()) {
+    // Skip pages already at the target protection.
+    while (i < pids.size() && prot_[pids[i]] == to) ++i;
+    if (i == pids.size()) break;
+    // Extend over pages that are address-contiguous and need the change —
+    // mixed source protections (RO and NONE) merge into one call.
+    size_t j = i;
+    while (j + 1 < pids.size() && pids[j + 1] == pids[j] + 1 &&
+           prot_[pids[j + 1]] != to) {
+      ++j;
+    }
+    ::mprotect(flat_ + PageBase(pids[i]),
+               (pids[j] - pids[i] + 1) * kPageSize, kNativeProt[to]);
+    ++stats_.mprotect_calls;
+    for (size_t k = i; k <= j; ++k) {
+      prot_[pids[k]] = static_cast<uint8_t>(to);
+    }
+    i = j + 1;
+  }
 }
 
 void ThreadView::SnapshotPf(PageId pid) noexcept {
@@ -157,6 +214,10 @@ bool ThreadView::HandleFault(void* addr, bool is_write) noexcept {
 // ---------------------------------------------------------------------------
 
 void ThreadView::CollectModifications(ModList& out) {
+  // Diffing wants ascending page order anyway (runs come out address-
+  // sorted per page), and sorted pages let the pf re-protection below
+  // collapse into one mprotect per contiguous dirty range.
+  std::sort(modified_.begin(), modified_.end());
   for (const PageId pid : modified_) {
     const std::byte* snap;
     const std::byte* cur;
@@ -170,8 +231,8 @@ void ThreadView::CollectModifications(ModList& out) {
     }
     out.AppendPageDiff(PageBase(pid), snap, cur);
     ++stats_.pages_diffed;
-    if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtRO);
   }
+  if (mode_ == MonitorMode::kPageFault) ProtectSorted(modified_, kProtRO);
   modified_.clear();
   if (arena_ != nullptr) arena_->Release(snapshots_.BytesInUse());
   snapshots_.Reset();
@@ -270,11 +331,13 @@ void ThreadView::Load(GAddr addr, void* dst, size_t len) {
 // Pending (lazy-write) machinery
 // ---------------------------------------------------------------------------
 
-void ThreadView::ParkPending(PageId pid, GAddr addr,
-                             std::span<const std::byte> bytes) {
-  uint32_t& idx = (mode_ == MonitorMode::kInstrumented)
-                      ? table_[pid].pending
-                      : pf_pending_[pid];
+uint32_t& ThreadView::PendingIndexOf(PageId pid) noexcept {
+  return (mode_ == MonitorMode::kInstrumented) ? table_[pid].pending
+                                               : pf_pending_[pid];
+}
+
+uint32_t ThreadView::EnsurePendingSlot(PageId pid) {
+  uint32_t& idx = PendingIndexOf(pid);
   if (idx == kNoPending) {
     if (!pending_free_.empty()) {
       idx = pending_free_.back();
@@ -283,40 +346,57 @@ void ThreadView::ParkPending(PageId pid, GAddr addr,
       idx = static_cast<uint32_t>(pending_pool_.size());
       pending_pool_.emplace_back();
     }
+    pending_pool_[idx].dir_pos =
+        static_cast<uint32_t>(pending_pages_.size());
     pending_pages_.push_back(pid);
-    if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtNone);
   }
+  return idx;
+}
+
+void ThreadView::ParkPending(PageId pid, GAddr addr,
+                             std::span<const std::byte> bytes) {
+  const bool fresh = PendingIndexOf(pid) == kNoPending;
+  const uint32_t idx = EnsurePendingSlot(pid);
+  if (fresh && mode_ == MonitorMode::kPageFault) SetProt(pid, kProtNone);
   if (pending_pool_[idx].mods.AppendCoalescing(addr, bytes)) {
     ++stats_.lazy_runs_coalesced;
   }
   ++stats_.lazy_runs_parked;
 }
 
-void ThreadView::ApplyPendingToPage(PageId pid) {
-  uint32_t& idx = (mode_ == MonitorMode::kInstrumented)
-                      ? table_[pid].pending
-                      : pf_pending_[pid];
+void ThreadView::DrainPendingWritable(PageId pid) {
+  uint32_t& idx = PendingIndexOf(pid);
   if (idx == kNoPending) return;
   const uint32_t taken = idx;
   idx = kNoPending;  // clear first: RawWrite below re-enters page helpers
-  // pf: open the page while applying, and leave it clean (RO) afterwards —
-  // it must never remain PROT_NONE once its pending list is gone, or later
-  // cross-thread reads (barrier view copies) would fault unhandled.
-  if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtRW);
   ModList& mods = pending_pool_[taken].mods;
   for (const ModRun& run : mods.Runs()) {
     RawWrite(run.addr, mods.RunData(run));
   }
-  if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtRO);
   stats_.lazy_runs_applied += mods.RunCount();
   ++stats_.lazy_pages_applied;
   mods.Clear();
-  pending_free_.push_back(taken);
-  // Swap-remove from the pending-page directory.
-  auto it = std::find(pending_pages_.begin(), pending_pages_.end(), pid);
-  RFDET_DCHECK(it != pending_pages_.end());
-  *it = pending_pages_.back();
+  // O(1) swap-remove from the pending-page directory via the stored
+  // position (the removed page tells the moved page its new slot).
+  const uint32_t pos = pending_pool_[taken].dir_pos;
+  RFDET_DCHECK(pos < pending_pages_.size() && pending_pages_[pos] == pid);
+  const PageId moved = pending_pages_.back();
+  pending_pages_[pos] = moved;
   pending_pages_.pop_back();
+  if (pos < pending_pages_.size()) {
+    pending_pool_[PendingIndexOf(moved)].dir_pos = pos;
+  }
+  pending_free_.push_back(taken);
+}
+
+void ThreadView::ApplyPendingToPage(PageId pid) {
+  if (PendingIndexOf(pid) == kNoPending) return;
+  // pf: open the page while applying, and leave it clean (RO) afterwards —
+  // it must never remain PROT_NONE once its pending list is gone, or later
+  // cross-thread reads (barrier view copies) would fault unhandled.
+  if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtRW);
+  DrainPendingWritable(pid);
+  if (mode_ == MonitorMode::kPageFault) SetProt(pid, kProtRO);
 }
 
 void ThreadView::RawWrite(GAddr addr, std::span<const std::byte> bytes) {
@@ -353,6 +433,82 @@ void ThreadView::RawWrite(GAddr addr, std::span<const std::byte> bytes) {
   }
 }
 
+std::byte* ThreadView::RawWritablePageCi(PageId pid) {
+  PageEntry& e = table_[pid];
+  RFDET_DCHECK(e.pending == kNoPending);
+  if (!e.page) {
+    MaterializeCi(pid);
+  } else if (e.page.use_count() > 1) {
+    UnshareCi(pid);
+  }
+  return e.page->bytes;
+}
+
+void ThreadView::ApplyRemote(const ModList& mods, const ApplyPlan& plan,
+                             bool lazy) {
+  if (plan.Empty()) return;
+  ++stats_.planned_applies;
+  if (lazy) {
+    if (mode_ == MonitorMode::kPageFault) {
+      // Batch the PROT_NONE flips for pages not yet pending. Plan pages
+      // are sorted, so fresh pages group into contiguous mprotect ranges.
+      scratch_pages_.clear();
+      for (const PlanPage& page : plan.Pages()) {
+        if (pf_pending_[page.pid] == kNoPending) {
+          scratch_pages_.push_back(page.pid);
+        }
+      }
+      for (const PageId pid : scratch_pages_) EnsurePendingSlot(pid);
+      ProtectSorted(scratch_pages_, kProtNone);
+    }
+    for (const PlanPage& page : plan.Pages()) {
+      const uint32_t idx = EnsurePendingSlot(page.pid);
+      ModList& parked = pending_pool_[idx].mods;
+      for (const PlanSegment& seg : plan.Segments(page)) {
+        if (parked.AppendCoalescing(seg.addr,
+                                    {mods.DataAt(seg.data_offset),
+                                     seg.len})) {
+          ++stats_.lazy_runs_coalesced;
+        }
+        ++stats_.lazy_runs_parked;
+      }
+    }
+    return;
+  }
+  if (mode_ == MonitorMode::kPageFault) {
+    // Open every target page that is not already writable with ranged
+    // mprotect calls, drain pending lists and write segments with the
+    // pages open, then re-protect the same ranges. Pages found RW (a
+    // fault-handler re-entry) are left RW, matching the per-run path.
+    scratch_pages_.clear();
+    for (const PlanPage& page : plan.Pages()) {
+      if (prot_[page.pid] != kProtRW) scratch_pages_.push_back(page.pid);
+    }
+    ProtectSorted(scratch_pages_, kProtRW);
+    for (const PlanPage& page : plan.Pages()) {
+      // Older parked runs must land before this slice's segments.
+      DrainPendingWritable(page.pid);
+      for (const PlanSegment& seg : plan.Segments(page)) {
+        std::memcpy(flat_ + seg.addr, mods.DataAt(seg.data_offset),
+                    seg.len);
+      }
+      touched_[page.pid] = 1;
+    }
+    ProtectSorted(scratch_pages_, kProtRO);
+  } else {
+    for (const PlanPage& page : plan.Pages()) {
+      if (table_[page.pid].pending != kNoPending) {
+        ApplyPendingToPage(page.pid);
+      }
+      std::byte* dst = RawWritablePageCi(page.pid);
+      for (const PlanSegment& seg : plan.Segments(page)) {
+        std::memcpy(dst + PageOffset(seg.addr),
+                    mods.DataAt(seg.data_offset), seg.len);
+      }
+    }
+  }
+}
+
 void ThreadView::ApplyRemote(const ModList& mods, bool lazy) {
   for (const ModRun& run : mods.Runs()) {
     const auto bytes = mods.RunData(run);
@@ -383,8 +539,19 @@ void ThreadView::ApplyRemote(const ModList& mods, bool lazy) {
 }
 
 void ThreadView::FlushPending() {
-  while (!pending_pages_.empty()) {
-    ApplyPendingToPage(pending_pages_.back());
+  if (pending_pages_.empty()) return;
+  if (mode_ == MonitorMode::kPageFault) {
+    // Open all pending pages in ranged mprotect batches, drain, re-protect
+    // — the same syscall batching the planned ApplyRemote uses.
+    scratch_pages_ = pending_pages_;
+    std::sort(scratch_pages_.begin(), scratch_pages_.end());
+    ProtectSorted(scratch_pages_, kProtRW);
+    for (const PageId pid : scratch_pages_) DrainPendingWritable(pid);
+    ProtectSorted(scratch_pages_, kProtRO);
+  } else {
+    while (!pending_pages_.empty()) {
+      ApplyPendingToPage(pending_pages_.back());
+    }
   }
 }
 

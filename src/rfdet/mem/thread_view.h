@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "rfdet/mem/addr.h"
+#include "rfdet/mem/apply_plan.h"
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/mod_list.h"
 #include "rfdet/mem/snapshot_pool.h"
@@ -54,6 +55,7 @@ struct ViewStats {
   uint64_t lazy_runs_coalesced = 0;  // superseded before ever being written
   uint64_t lazy_pages_applied = 0;   // lazy writes: pages flushed on touch
   uint64_t lazy_runs_applied = 0;
+  uint64_t planned_applies = 0;    // ApplyRemote calls that used an ApplyPlan
 };
 
 class ThreadView {
@@ -87,7 +89,20 @@ class ThreadView {
   // Must be called between slices in this view's owning thread's context
   // (i.e. no snapshots outstanding is NOT required — remote runs bypass
   // snapshot bookkeeping entirely and so never pollute local diffs).
+  //
+  // This overload re-partitions `mods` at page boundaries on every call
+  // and, in pf mode, pays two mprotect calls per page fragment. It remains
+  // the fallback for ad hoc ModLists applied once (lockstep backend,
+  // tests); slice propagation uses the plan overload below.
   void ApplyRemote(const ModList& mods, bool lazy);
+
+  // Fast path: applies `mods` through its pre-built page-partitioned plan
+  // (Slice::Plan()). Byte-identical results to the overload above — the
+  // plan only reorders work across pages, which address disjoint bytes.
+  // In pf mode, the sorted page list lets protection changes happen in
+  // contiguous batches: one mprotect per page range to open, one to
+  // re-protect, instead of an RW/RO toggle pair per run fragment.
+  void ApplyRemote(const ModList& mods, const ApplyPlan& plan, bool lazy);
 
   // Applies every parked pending run now (needed before view duplication).
   void FlushPending();
@@ -134,6 +149,9 @@ class ThreadView {
 
   struct PendingPage {
     ModList mods;
+    // This page's position in pending_pages_, kept current so removal is
+    // O(1) instead of a std::find scan of the directory.
+    uint32_t dir_pos = 0;
   };
 
   // pf page protection states.
@@ -149,11 +167,27 @@ class ThreadView {
   // -- pf helpers --
   void SetProt(PageId pid, Prot p) noexcept;
   void SnapshotPf(PageId pid) noexcept;
+  // Batched protection change: applies `to` to every page of `pids`
+  // (sorted ascending) whose protection differs, one mprotect per
+  // contiguous stretch. The propagation fast path's syscall saver.
+  void ProtectSorted(std::span<const PageId> pids, Prot to) noexcept;
 
   // -- pending (both modes) --
+  // The per-page pending-list slot (table_[pid].pending in ci,
+  // pf_pending_[pid] in pf).
+  [[nodiscard]] uint32_t& PendingIndexOf(PageId pid) noexcept;
+  // Allocates a pending slot and directory entry for pid (no protection
+  // change — callers batch or apply it themselves). Returns the slot.
+  uint32_t EnsurePendingSlot(PageId pid);
   void ParkPending(PageId pid, GAddr addr, std::span<const std::byte> bytes);
+  // Drains pid's pending list assuming the page is already writable;
+  // updates stats, frees the slot, O(1)-removes the directory entry.
+  void DrainPendingWritable(PageId pid);
   void ApplyPendingToPage(PageId pid);
   void RawWrite(GAddr addr, std::span<const std::byte> bytes);
+  // ci: page writable for a *remote* (non-slice-attributed) write —
+  // materialize/unshare without snapshotting.
+  std::byte* RawWritablePageCi(PageId pid);
 
   MonitorMode mode_;
   size_t capacity_;
@@ -179,6 +213,9 @@ class ThreadView {
   std::vector<uint32_t> pending_free_;
   std::vector<PageId> pending_pages_;
   std::vector<uint32_t> pf_pending_;  // pf: per-page pending index
+
+  // Scratch page list reused by the batched-mprotect apply path.
+  std::vector<PageId> scratch_pages_;
 
   size_t resident_ = 0;
   ViewStats stats_;

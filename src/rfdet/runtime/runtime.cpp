@@ -296,7 +296,10 @@ void RfdetRuntime::PropagateFrom(ThreadCtx& me, size_t src_tid,
   });
   uint64_t bytes = 0;
   for (const SliceRef& s : batch) {
-    me.view->ApplyRemote(s->mods(), options_.lazy_writes);
+    // Fast path: the slice's cached page-partitioned plan — built by the
+    // first receiver, shared by all later ones (see DESIGN.md §10).
+    me.view->ApplyRemote(s->mods(), s->Plan(&stats_.apply_plans_built),
+                         options_.lazy_writes);
     bytes += s->mods().ByteCount();
     me.log.Append(s);
   }
@@ -1320,6 +1323,7 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
   s.slices_created = stats_.slices_created.load();
   s.slices_merged = stats_.slices_merged.load();
   s.slices_propagated = stats_.slices_propagated.load();
+  s.apply_plans_built = stats_.apply_plans_built.load();
   s.bytes_propagated = stats_.bytes_propagated.load();
   s.prelock_slices = stats_.prelock_slices.load();
   s.prelock_bytes = stats_.prelock_bytes.load();
@@ -1345,6 +1349,7 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
       s.lazy_runs_parked += v.lazy_runs_parked;
       s.lazy_runs_coalesced += v.lazy_runs_coalesced;
       s.lazy_pages_applied += v.lazy_pages_applied;
+      s.planned_applies += v.planned_applies;
       s.resident_bytes += ctx->view->ResidentBytes();
     }
   }

@@ -23,6 +23,9 @@ struct RuntimeStats {
   std::atomic<uint64_t> slices_created{0};
   std::atomic<uint64_t> slices_merged{0};  // acquires continuing a slice
   std::atomic<uint64_t> slices_propagated{0};
+  // Apply plans built (≤ slices_propagated: receivers after the first
+  // reuse the slice's cached plan).
+  std::atomic<uint64_t> apply_plans_built{0};
   std::atomic<uint64_t> bytes_propagated{0};
   std::atomic<uint64_t> prelock_slices{0};  // propagated during reservation
   std::atomic<uint64_t> prelock_bytes{0};
@@ -43,7 +46,8 @@ struct StatsSnapshot {
   uint64_t barriers = 0, forks = 0, joins = 0;
   uint64_t loads = 0, stores = 0;
   uint64_t slices_created = 0, slices_merged = 0;
-  uint64_t slices_propagated = 0, bytes_propagated = 0;
+  uint64_t slices_propagated = 0, apply_plans_built = 0;
+  uint64_t bytes_propagated = 0;
   uint64_t prelock_slices = 0, prelock_bytes = 0, slices_pruned = 0;
   uint64_t gc_count = 0;
   // Failure containment & diagnosis.
@@ -54,7 +58,7 @@ struct StatsSnapshot {
   uint64_t stores_with_copy = 0, page_faults = 0, mprotect_calls = 0;
   uint64_t pages_diffed = 0;
   uint64_t lazy_runs_parked = 0, lazy_runs_coalesced = 0;
-  uint64_t lazy_pages_applied = 0;
+  uint64_t lazy_pages_applied = 0, planned_applies = 0;
   // Memory accounting.
   size_t resident_bytes = 0;       // Σ per-thread view resident pages
   size_t metadata_peak_bytes = 0;  // arena high-water mark

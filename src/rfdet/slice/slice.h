@@ -11,11 +11,13 @@
 // slice bytes and drives GC (paper §4.5 "Garbage Collection").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "rfdet/mem/apply_plan.h"
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/mod_list.h"
 #include "rfdet/time/vector_clock.h"
@@ -44,7 +46,7 @@ class Slice {
   }
 
   ~Slice() {
-    if (arena_ != nullptr) arena_->Release(charged_bytes_);
+    if (arena_ != nullptr) arena_->Release(charged_bytes_ + plan_bytes_);
   }
 
   Slice(const Slice&) = delete;
@@ -54,7 +56,32 @@ class Slice {
   [[nodiscard]] uint64_t seq() const noexcept { return seq_; }
   [[nodiscard]] const VectorClock& time() const noexcept { return time_; }
   [[nodiscard]] const ModList& mods() const noexcept { return mods_; }
-  [[nodiscard]] size_t MemoryBytes() const noexcept { return charged_bytes_; }
+  [[nodiscard]] size_t MemoryBytes() const noexcept {
+    return charged_bytes_ + plan_bytes_;
+  }
+
+  // The slice's page-partitioned apply plan, built lazily on the first
+  // acquire that propagates this slice and shared by every later receiver
+  // (the ModList is frozen, so the plan never changes). Thread-safe:
+  // concurrent receivers race to the same call_once. The plan's memory is
+  // arena-charged like the rest of the slice and released on destruction.
+  // `built_counter`, when non-null, is incremented iff this call performed
+  // the build (runtime stats: plans built vs. slices propagated).
+  [[nodiscard]] const ApplyPlan& Plan(
+      std::atomic<uint64_t>* built_counter = nullptr) const {
+    std::call_once(plan_once_, [this, built_counter] {
+      plan_ = ApplyPlan::Build(mods_);
+      plan_bytes_ = plan_.MemoryBytes();
+      if (arena_ != nullptr) arena_->Charge(plan_bytes_);
+      if (built_counter != nullptr) {
+        built_counter->fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    return plan_;
+  }
+
+  // True iff Plan() has been called (test/introspection hook).
+  [[nodiscard]] bool PlanBuilt() const noexcept { return plan_bytes_ != 0; }
 
  private:
   size_t tid_;
@@ -63,6 +90,9 @@ class Slice {
   ModList mods_;
   MetadataArena* arena_;
   size_t charged_bytes_;
+  mutable std::once_flag plan_once_;
+  mutable ApplyPlan plan_;
+  mutable size_t plan_bytes_ = 0;
 };
 
 using SliceRef = std::shared_ptr<const Slice>;

@@ -1,0 +1,200 @@
+// ApplyPlan unit and equivalence tests. The propagation fast path's
+// correctness contract: a plan-driven apply must be byte-identical to the
+// legacy per-run apply (the plan only regroups work across pages, which
+// address disjoint bytes), and a slice builds its plan exactly once no
+// matter how many receivers consume it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "rfdet/common/rng.h"
+#include "rfdet/mem/apply_plan.h"
+#include "rfdet/mem/thread_view.h"
+#include "rfdet/slice/slice.h"
+#include "rfdet/time/vector_clock.h"
+
+namespace rfdet {
+namespace {
+
+std::vector<std::byte> Bytes(size_t n, uint8_t seed) {
+  std::vector<std::byte> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>(seed + i);
+  }
+  return v;
+}
+
+TEST(ApplyPlan, EmptyModListYieldsEmptyPlan) {
+  ModList mods;
+  const ApplyPlan plan = ApplyPlan::Build(mods);
+  EXPECT_TRUE(plan.Empty());
+  EXPECT_EQ(plan.PageCount(), 0u);
+  EXPECT_EQ(plan.SegmentCount(), 0u);
+}
+
+TEST(ApplyPlan, IntraPageRunIsOneSegment) {
+  ModList mods;
+  const auto payload = Bytes(32, 1);
+  mods.Append(100, payload);
+  const ApplyPlan plan = ApplyPlan::Build(mods);
+  ASSERT_EQ(plan.PageCount(), 1u);
+  ASSERT_EQ(plan.SegmentCount(), 1u);
+  const PlanPage& page = plan.Pages()[0];
+  EXPECT_EQ(page.pid, 0u);
+  EXPECT_EQ(page.bytes, 32u);
+  const PlanSegment& seg = plan.Segments(page)[0];
+  EXPECT_EQ(seg.addr, 100u);
+  EXPECT_EQ(seg.len, 32u);
+  EXPECT_EQ(std::memcmp(mods.DataAt(seg.data_offset), payload.data(), 32),
+            0);
+}
+
+TEST(ApplyPlan, CrossPageRunIsClippedAtEveryBoundary) {
+  // A run spanning three pages must produce one segment per page with
+  // contiguous data offsets.
+  ModList mods;
+  const size_t len = 2 * kPageSize + 100;
+  const GAddr start = kPageSize - 50;
+  mods.Append(start, Bytes(len, 3));
+  const ApplyPlan plan = ApplyPlan::Build(mods);
+  ASSERT_EQ(plan.PageCount(), 4u);  // pages 0..3
+  ASSERT_EQ(plan.SegmentCount(), 4u);
+  uint32_t expect_offset = 0;
+  GAddr expect_addr = start;
+  for (const PlanPage& page : plan.Pages()) {
+    ASSERT_EQ(page.count, 1u);
+    const PlanSegment& seg = plan.Segments(page)[0];
+    EXPECT_EQ(seg.addr, expect_addr);
+    EXPECT_EQ(seg.data_offset, expect_offset);
+    EXPECT_EQ(PageOf(seg.addr), PageOf(seg.addr + seg.len - 1))
+        << "segment crosses a page boundary";
+    expect_addr += seg.len;
+    expect_offset += seg.len;
+  }
+  EXPECT_EQ(expect_addr, start + len);
+}
+
+TEST(ApplyPlan, PagesSortedAndRunOrderKeptWithinPage) {
+  // Runs hit pages 5, 1, 5 (overlapping) — the plan must list pages
+  // ascending and keep the two page-5 runs in original order so the later
+  // one still wins the overlap.
+  ModList mods;
+  mods.Append(PageBase(5) + 10, Bytes(8, 1));
+  mods.Append(PageBase(1) + 20, Bytes(8, 2));
+  mods.Append(PageBase(5) + 12, Bytes(8, 3));  // overlaps the first run
+  const ApplyPlan plan = ApplyPlan::Build(mods);
+  ASSERT_EQ(plan.PageCount(), 2u);
+  EXPECT_EQ(plan.Pages()[0].pid, 1u);
+  EXPECT_EQ(plan.Pages()[1].pid, 5u);
+  const auto segs5 = plan.Segments(plan.Pages()[1]);
+  ASSERT_EQ(segs5.size(), 2u);
+  EXPECT_EQ(segs5[0].addr, PageBase(5) + 10);
+  EXPECT_EQ(segs5[1].addr, PageBase(5) + 12);
+}
+
+// Randomized equivalence: planned apply == legacy apply, for both monitor
+// modes and both eager/lazy, over ModLists with cross-page and
+// overlapping runs.
+class PlanEquivalenceTest : public ::testing::TestWithParam<MonitorMode> {};
+INSTANTIATE_TEST_SUITE_P(Monitors, PlanEquivalenceTest,
+                         ::testing::Values(MonitorMode::kInstrumented,
+                                           MonitorMode::kPageFault),
+                         [](const auto& info) {
+                           return info.param == MonitorMode::kInstrumented
+                                      ? "ci"
+                                      : "pf";
+                         });
+
+TEST_P(PlanEquivalenceTest, PlannedApplyMatchesLegacyApply) {
+  constexpr size_t kCap = 1u << 20;
+  Xoshiro256 rng(2024);
+  for (const bool lazy : {false, true}) {
+    for (int round = 0; round < 8; ++round) {
+      ModList mods;
+      const size_t runs = 1 + rng.Below(40);
+      for (size_t r = 0; r < runs; ++r) {
+        const size_t len = 1 + rng.Below(3 * kPageSize / 2);
+        const GAddr addr = rng.Below(kCap - len);
+        mods.Append(addr, Bytes(len, static_cast<uint8_t>(rng.Below(256))));
+      }
+      const ApplyPlan plan = ApplyPlan::Build(mods);
+
+      MetadataArena arena(256u << 20);
+      ThreadView legacy(kCap, GetParam(), &arena);
+      ThreadView planned(kCap, GetParam(), &arena);
+      legacy.ActivateOnThisThread();
+      legacy.ApplyRemote(mods, lazy);
+      if (lazy) legacy.FlushPending();
+      planned.ActivateOnThisThread();
+      planned.ApplyRemote(mods, plan, lazy);
+      if (lazy) planned.FlushPending();
+      EXPECT_EQ(planned.Stats().planned_applies, 1u);
+
+      std::vector<std::byte> a(kPageSize);
+      std::vector<std::byte> b(kPageSize);
+      for (PageId pid = 0; pid < kCap / kPageSize; ++pid) {
+        legacy.ActivateOnThisThread();
+        legacy.Load(PageBase(pid), a.data(), kPageSize);
+        planned.ActivateOnThisThread();
+        planned.Load(PageBase(pid), b.data(), kPageSize);
+        ASSERT_EQ(std::memcmp(a.data(), b.data(), kPageSize), 0)
+            << "page " << pid << " differs (round " << round
+            << ", lazy=" << lazy << ")";
+      }
+      ThreadView::DeactivateOnThisThread();
+    }
+  }
+}
+
+TEST(SlicePlan, BuiltOnceSharedByAllReceiversAndArenaCharged) {
+  MetadataArena arena(64u << 20);
+  ModList mods;
+  mods.Append(10, Bytes(64, 7));
+  mods.Append(kPageSize - 8, Bytes(16, 9));  // crosses into page 1
+  VectorClock time(2);
+  time.Set(0, 1);
+  auto slice = std::make_shared<const Slice>(0, 1, std::move(time),
+                                             std::move(mods), &arena);
+  EXPECT_FALSE(slice->PlanBuilt());
+  const size_t charged_before = arena.Used();
+
+  std::atomic<uint64_t> built{0};
+  const ApplyPlan* first = &slice->Plan(&built);
+  const ApplyPlan* second = &slice->Plan(&built);
+  EXPECT_EQ(first, second);  // cached, not rebuilt
+  EXPECT_EQ(built.load(), 1u);
+  EXPECT_TRUE(slice->PlanBuilt());
+  EXPECT_EQ(first->PageCount(), 2u);
+  EXPECT_EQ(first->SegmentCount(), 3u);
+  EXPECT_EQ(arena.Used(), charged_before + first->MemoryBytes());
+
+  // Destruction releases the slice bytes *and* the plan bytes.
+  const size_t before_destroy = arena.Used();
+  const size_t slice_bytes = slice->MemoryBytes();
+  slice.reset();
+  EXPECT_EQ(arena.Used(), before_destroy - slice_bytes);
+}
+
+TEST(SlicePlan, ConcurrentReceiversBuildExactlyOnce) {
+  MetadataArena arena(64u << 20);
+  ModList mods;
+  mods.Append(100, Bytes(256, 1));
+  VectorClock time(4);
+  auto slice = std::make_shared<const Slice>(0, 1, std::move(time),
+                                             std::move(mods), &arena);
+  std::atomic<uint64_t> built{0};
+  std::vector<std::thread> threads;
+  std::vector<const ApplyPlan*> seen(8, nullptr);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    threads.emplace_back([&, i] { seen[i] = &slice->Plan(&built); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(built.load(), 1u);
+  for (const ApplyPlan* p : seen) EXPECT_EQ(p, seen[0]);
+}
+
+}  // namespace
+}  // namespace rfdet

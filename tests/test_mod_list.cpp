@@ -150,6 +150,96 @@ TEST(ModListCoalescing, PartialOverlapForcesAppend) {
   EXPECT_EQ(out[9], std::byte{2});
 }
 
+TEST(ModList, RunEndingExactlyAtPageTail) {
+  // The block-skip loop must not lose a run whose last byte is the page's
+  // last byte (i == kPageSize exactly when the run closes).
+  alignas(8) std::byte snap[kPageSize] = {};
+  alignas(8) std::byte cur[kPageSize] = {};
+  for (size_t i = kPageSize - 16; i < kPageSize; ++i) {
+    cur[i] = std::byte{0x3c};
+  }
+  ModList mods;
+  mods.AppendPageDiff(0, snap, cur);
+  ASSERT_EQ(mods.RunCount(), 1u);
+  EXPECT_EQ(mods.Runs()[0].addr, kPageSize - 16);
+  EXPECT_EQ(mods.Runs()[0].len, 16u);
+}
+
+TEST(ModList, DiffStraddling64ByteBlockBoundaries) {
+  // Runs positioned to cross the 64-byte fast-scan blocks: last byte of
+  // one block + first byte of the next, and a run covering a whole block
+  // exactly.
+  alignas(64) std::byte snap[kPageSize] = {};
+  alignas(64) std::byte cur[kPageSize] = {};
+  cur[63] = std::byte{1};
+  cur[64] = std::byte{1};  // one run straddling blocks 0/1
+  for (size_t i = 256; i < 320; ++i) cur[i] = std::byte{2};  // block 4 whole
+  cur[kPageSize - 65] = std::byte{3};  // last byte of penultimate block
+  ModList mods;
+  mods.AppendPageDiff(0, snap, cur);
+  ASSERT_EQ(mods.RunCount(), 3u);
+  EXPECT_EQ(mods.Runs()[0].addr, 63u);
+  EXPECT_EQ(mods.Runs()[0].len, 2u);
+  EXPECT_EQ(mods.Runs()[1].addr, 256u);
+  EXPECT_EQ(mods.Runs()[1].len, 64u);
+  EXPECT_EQ(mods.Runs()[2].addr, kPageSize - 65);
+  EXPECT_EQ(mods.Runs()[2].len, 1u);
+}
+
+TEST(ModList, AlternatingBytesAcrossWholePage) {
+  // Worst case for a block scanner: every other byte modified — no block
+  // or word can be skipped, and every run is one byte.
+  alignas(8) std::byte snap[kPageSize] = {};
+  alignas(8) std::byte cur[kPageSize] = {};
+  for (size_t i = 0; i < kPageSize; i += 2) cur[i] = std::byte{0xee};
+  ModList mods;
+  mods.AppendPageDiff(0, snap, cur);
+  EXPECT_EQ(mods.RunCount(), kPageSize / 2);
+  EXPECT_EQ(mods.ByteCount(), kPageSize / 2);
+  EXPECT_EQ(mods.Runs()[1].addr, 2u);
+}
+
+TEST(ModListCoalescing, ScanCapFallsBackToAppend) {
+  // The backward scan is capped (kMaxScan = 16): a matching range buried
+  // deeper than the cap is appended, not replaced — always sound, since
+  // replay order makes the appended run win.
+  ModList mods;
+  const std::byte v[2] = {std::byte{1}, std::byte{1}};
+  mods.AppendCoalescing(0, v);  // the run we will try to re-coalesce
+  for (GAddr a = 1; a <= 17; ++a) {
+    mods.AppendCoalescing(a * 100, v);  // 17 disjoint runs on top
+  }
+  const std::byte w[2] = {std::byte{9}, std::byte{9}};
+  EXPECT_FALSE(mods.AppendCoalescing(0, w));  // beyond the cap: appended
+  EXPECT_EQ(mods.RunCount(), 19u);
+}
+
+TEST(ModListCoalescing, OverlapStopsScanBeforeEarlierExactMatch) {
+  // An exact-range match *behind* an overlapping later run must not be
+  // replaced in place: the overlap owns the intersection. The scan stops
+  // at the first intersecting run and appends.
+  ModList mods;
+  const std::byte v1[8] = {std::byte{1}, std::byte{1}, std::byte{1},
+                           std::byte{1}, std::byte{1}, std::byte{1},
+                           std::byte{1}, std::byte{1}};
+  const std::byte v2[4] = {std::byte{2}, std::byte{2}, std::byte{2},
+                           std::byte{2}};
+  const std::byte v3[8] = {std::byte{3}, std::byte{3}, std::byte{3},
+                           std::byte{3}, std::byte{3}, std::byte{3},
+                           std::byte{3}, std::byte{3}};
+  mods.AppendCoalescing(0, v1);   // [0,8)
+  mods.AppendCoalescing(4, v2);   // [4,8) — overlaps
+  EXPECT_FALSE(mods.AppendCoalescing(0, v3));  // must append, not replace
+  ASSERT_EQ(mods.RunCount(), 3u);
+  // Replay: v3 wins everywhere it covers.
+  std::byte out[8] = {};
+  for (const ModRun& run : mods.Runs()) {
+    const auto data = mods.RunData(run);
+    std::memcpy(out + run.addr, data.data(), data.size());
+  }
+  for (const std::byte b : out) EXPECT_EQ(b, std::byte{3});
+}
+
 // Property: applying the diff of (snap → cur) onto a copy of snap yields
 // cur exactly; and runs never touch unmodified bytes.
 class DiffPropertyTest : public ::testing::TestWithParam<uint64_t> {};

@@ -266,6 +266,153 @@ TEST(ThreadViewCrossMode, CopyBetweenMonitorModes) {
   }
 }
 
+TEST_P(ThreadViewTest, PlannedApplyHandlesPageCrossingRuns) {
+  // A run spanning three pages applied through its plan, eagerly and
+  // lazily — values must land intact and lazily parked bytes must flush
+  // on first touch.
+  for (const bool lazy : {false, true}) {
+    ThreadView view(kCap, GetParam(), &arena_);
+    view.ActivateOnThisThread();
+    ModList remote;
+    std::vector<std::byte> payload(2 * kPageSize + 100);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::byte>(i * 7 + 1);
+    }
+    const GAddr start = kPageSize - 50;
+    remote.Append(start, payload);
+    const ApplyPlan plan = ApplyPlan::Build(remote);
+    EXPECT_EQ(plan.PageCount(), 4u);
+    view.ApplyRemote(remote, plan, lazy);
+    EXPECT_EQ(view.HasPendingWrites(), lazy);
+    std::vector<std::byte> out(payload.size());
+    view.Load(start, out.data(), out.size());
+    EXPECT_EQ(std::memcmp(out.data(), payload.data(), payload.size()), 0);
+    EXPECT_FALSE(view.HasPendingWrites());
+    EXPECT_EQ(view.Stats().planned_applies, 1u);
+    // Remote bytes must not leak into the local diff afterwards.
+    ModList mods;
+    view.CollectModifications(mods);
+    EXPECT_TRUE(mods.Empty());
+    ThreadView::DeactivateOnThisThread();
+  }
+}
+
+TEST_P(ThreadViewTest, PlannedLazyKeepsArrivalOrderPerPage) {
+  // Two planned slices overlapping on the same byte: the later arrival
+  // must win after the flush, exactly as with per-run parking.
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  ModList first;
+  const std::byte one[4] = {std::byte{1}, std::byte{1}, std::byte{1},
+                            std::byte{1}};
+  first.Append(80, one);
+  ModList second;
+  const std::byte two[4] = {std::byte{2}, std::byte{2}, std::byte{2},
+                            std::byte{2}};
+  second.Append(80, two);
+  const ApplyPlan plan1 = ApplyPlan::Build(first);
+  const ApplyPlan plan2 = ApplyPlan::Build(second);
+  view.ApplyRemote(first, plan1, /*lazy=*/true);
+  view.ApplyRemote(second, plan2, /*lazy=*/true);
+  EXPECT_EQ(view.Stats().lazy_runs_coalesced, 1u);  // exact-range rewrite
+  uint32_t r = 0;
+  view.Load(80, &r, sizeof r);
+  EXPECT_EQ(r, 0x02020202u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST_P(ThreadViewTest, DensePendingStressDrainsInArbitraryOrder) {
+  // Satellite regression for the O(1) pending-directory removal: park
+  // pending runs on many pages, then drain them in a scattered order (by
+  // touch) and in bulk (FlushPending); every removal exercises the
+  // swap-remove position bookkeeping.
+  constexpr size_t kPages = 128;
+  ThreadView view(kCap, GetParam(), &arena_);
+  view.ActivateOnThisThread();
+  ModList remote;
+  for (size_t p = 0; p < kPages; ++p) {
+    const auto v = static_cast<std::byte>(p + 1);
+    const std::byte payload[2] = {v, v};
+    remote.Append(PageBase(p) + (p % 97), payload);
+  }
+  const ApplyPlan plan = ApplyPlan::Build(remote);
+  view.ApplyRemote(remote, plan, /*lazy=*/true);
+  EXPECT_TRUE(view.HasPendingWrites());
+  // Touch pages in a scattered order: (i * 61) mod 128 permutes 0..127.
+  for (size_t i = 0; i < kPages; i += 2) {
+    const size_t p = (i * 61) % kPages;
+    uint8_t r = 0;
+    view.Load(PageBase(p) + (p % 97), &r, sizeof r);
+    EXPECT_EQ(r, static_cast<uint8_t>(p + 1)) << "page " << p;
+  }
+  EXPECT_EQ(view.Stats().lazy_pages_applied, kPages / 2);
+  view.FlushPending();  // drains the other half in bulk
+  EXPECT_FALSE(view.HasPendingWrites());
+  EXPECT_EQ(view.Stats().lazy_pages_applied, kPages);
+  for (size_t p = 0; p < kPages; ++p) {
+    uint8_t r = 0;
+    view.Load(PageBase(p) + (p % 97), &r, sizeof r);
+    EXPECT_EQ(r, static_cast<uint8_t>(p + 1)) << "page " << p;
+  }
+  // Repopulate after a full drain: freed slots and directory reuse.
+  view.ApplyRemote(remote, plan, /*lazy=*/true);
+  EXPECT_TRUE(view.HasPendingWrites());
+  view.FlushPending();
+  EXPECT_FALSE(view.HasPendingWrites());
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST(ThreadViewPf, PlannedEagerApplyBatchesMprotect) {
+  // Eight contiguous dirty pages: the planned path must open and close
+  // them with one ranged mprotect each (2 calls total), not 2 per run.
+  MetadataArena arena(64u << 20);
+  ThreadView view(kCap, MonitorMode::kPageFault, &arena);
+  view.ActivateOnThisThread();
+  ModList remote;
+  for (size_t p = 0; p < 8; ++p) {
+    const std::byte payload[8] = {std::byte{1}, std::byte{2}, std::byte{3},
+                                  std::byte{4}, std::byte{5}, std::byte{6},
+                                  std::byte{7}, std::byte{8}};
+    remote.Append(PageBase(p) + 16, payload);
+    remote.Append(PageBase(p) + 512, payload);
+  }
+  const ApplyPlan plan = ApplyPlan::Build(remote);
+  const uint64_t before = view.Stats().mprotect_calls;
+  view.ApplyRemote(remote, plan, /*lazy=*/false);
+  EXPECT_EQ(view.Stats().mprotect_calls - before, 2u);
+  // Legacy path on a fresh view: two calls per run fragment.
+  ThreadView legacy(kCap, MonitorMode::kPageFault, &arena);
+  legacy.ActivateOnThisThread();
+  const uint64_t lbefore = legacy.Stats().mprotect_calls;
+  legacy.ApplyRemote(remote, /*lazy=*/false);
+  EXPECT_EQ(legacy.Stats().mprotect_calls - lbefore, 2u * 16u);
+  ThreadView::DeactivateOnThisThread();
+}
+
+TEST(ThreadViewPf, SliceCloseReprotectsDirtyRangeInOneCall) {
+  // Three contiguous dirty pages: each first store faults and opens its
+  // page individually, but the slice-close re-protection must collapse
+  // into a single ranged mprotect.
+  MetadataArena arena(64u << 20);
+  ThreadView view(kCap, MonitorMode::kPageFault, &arena);
+  view.ActivateOnThisThread();
+  const uint64_t v = 0x0101010101010101ULL;
+  view.Store(PageBase(2), &v, sizeof v);
+  view.Store(PageBase(0), &v, sizeof v);
+  view.Store(PageBase(1), &v, sizeof v);
+  const uint64_t before = view.Stats().mprotect_calls;
+  ModList mods;
+  view.CollectModifications(mods);
+  EXPECT_EQ(view.Stats().mprotect_calls - before, 1u);
+  EXPECT_EQ(mods.ByteCount(), 3 * sizeof v);
+  // Diff runs come out in ascending page order after the sort.
+  ASSERT_EQ(mods.RunCount(), 3u);
+  EXPECT_EQ(mods.Runs()[0].addr, PageBase(0));
+  EXPECT_EQ(mods.Runs()[1].addr, PageBase(1));
+  EXPECT_EQ(mods.Runs()[2].addr, PageBase(2));
+  ThreadView::DeactivateOnThisThread();
+}
+
 TEST(ThreadViewPf, FaultAccounting) {
   MetadataArena arena(64u << 20);
   ThreadView view(kCap, MonitorMode::kPageFault, &arena);
