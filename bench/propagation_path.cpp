@@ -27,6 +27,7 @@
 #include "rfdet/mem/apply_plan.h"
 #include "rfdet/mem/mod_list.h"
 #include "rfdet/mem/thread_view.h"
+#include "rfdet/verify/fingerprint.h"
 
 namespace {
 
@@ -149,6 +150,53 @@ CellResult RunCell(MonitorMode mode, bool lazy, bool planned,
   return r;
 }
 
+// The pf-eager-planned cell with record-mode fingerprinting in the loop:
+// every apply is also absorbed into a receiver memory stream (OnApply
+// digests the vector clock plus the full ModList payload). The ratio
+// against the same loop without fingerprinting is the det-check record
+// overhead on the propagation hot path; ISSUE 3 budgets it at ≤2x. The
+// two loops run paired on one warmed view, best-of-3 each, so the ratio
+// is not at the mercy of scheduler noise between separately-built cells.
+double FingerprintOverhead(const ModList& mods, const ApplyPlan& plan,
+                           const Shape& shape) {
+  MetadataArena arena(256u << 20);
+  ThreadView view(kCapacity, MonitorMode::kPageFault, &arena);
+  view.ActivateOnThisThread();
+  ApplyOnce(view, mods, &plan, /*lazy=*/false);
+
+  ExecutionFingerprint::Config fc;
+  fc.mode = FingerprintMode::kRecord;  // empty path: digest only
+  fc.epoch_ops = 64;
+  fc.max_threads = 2;
+  fc.arena = &arena;
+  ExecutionFingerprint fp(fc);
+  VectorClock time(2);
+  uint64_t seq = 0;
+
+  double plain = 0;
+  double with_fp = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < shape.iters; ++i) {
+      ApplyOnce(view, mods, &plan, /*lazy=*/false);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < shape.iters; ++i) {
+      ApplyOnce(view, mods, &plan, /*lazy=*/false);
+      time.Tick(1);  // a fresh source slice per apply, as in a real run
+      fp.OnApply(/*receiver=*/0, /*src_tid=*/1, /*src_seq=*/seq++, time,
+                 mods);
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    const double p = std::chrono::duration<double>(t1 - t0).count();
+    const double f = std::chrono::duration<double>(t2 - t1).count();
+    if (rep == 0 || p < plain) plain = p;
+    if (rep == 0 || f < with_fp) with_fp = f;
+  }
+  ThreadView::DeactivateOnThisThread();
+  return plain > 0 ? with_fp / plain : 0;
+}
+
 double CellValue(const std::vector<CellResult>& cells, const char* mode,
                  const char* apply, const char* path,
                  double CellResult::* field) {
@@ -235,10 +283,13 @@ int main(int argc, char** argv) {
                 &CellResult::slices_per_sec) /
       std::max(1.0, CellValue(cells, "ci", "eager", "legacy",
                               &CellResult::slices_per_sec));
+  const double fp_overhead = FingerprintOverhead(mods, plan, shape);
   std::printf(
       "\nsummary: pf-eager mprotect/apply %.2f -> %.2f (%.1fx reduction), "
-      "pf-eager %.2fx slices/s, ci-eager %.2fx slices/s\n",
-      legacy_mp, planned_mp, mp_reduction, pf_speedup, ci_speedup);
+      "pf-eager %.2fx slices/s, ci-eager %.2fx slices/s\n"
+      "fingerprint record overhead on pf-eager-planned: %.2fx\n",
+      legacy_mp, planned_mp, mp_reduction, pf_speedup, ci_speedup,
+      fp_overhead);
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -271,15 +322,25 @@ int main(int argc, char** argv) {
     out << "    \"pf_eager_mprotect_reduction\": " << mp_reduction << ",\n";
     out << "    \"pf_eager_slices_per_sec_speedup\": " << pf_speedup
         << ",\n";
-    out << "    \"ci_eager_slices_per_sec_speedup\": " << ci_speedup << "\n";
+    out << "    \"ci_eager_slices_per_sec_speedup\": " << ci_speedup
+        << ",\n";
+    out << "    \"pf_eager_planned_fingerprint_overhead\": " << fp_overhead
+        << "\n";
     out << "  }\n}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  // Acceptance: the batched path must at least halve mprotect traffic.
+  // Acceptance: the batched path must at least halve mprotect traffic, and
+  // record-mode fingerprinting must stay within its 2x overhead budget.
   if (!smoke && mp_reduction < 2.0) {
     std::fprintf(stderr,
                  "propagation_path: mprotect reduction %.2fx < 2x target\n",
                  mp_reduction);
+    return 1;
+  }
+  if (!smoke && fp_overhead > 2.0) {
+    std::fprintf(stderr,
+                 "propagation_path: fingerprint overhead %.2fx > 2x budget\n",
+                 fp_overhead);
     return 1;
   }
   return 0;

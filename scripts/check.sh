@@ -8,6 +8,9 @@
 #   scripts/check.sh --bench    # additionally Release-build and run the
 #                               # propagation-path bench (scripts/bench.sh),
 #                               # refreshing bench/artifacts/BENCH_propagation.json
+#   scripts/check.sh --detcheck # additionally run the determinism
+#                               # self-check: record a racey execution
+#                               # fingerprint, verify 4 more runs against it
 #
 # Sanitized builds go to build-asan/ / build-tsan/ (and the bench build to
 # build-bench/) so they never disturb the primary build/ tree.
@@ -17,13 +20,15 @@ cd "$(dirname "$0")/.."
 # Validate arguments before the (long) tier-1 pass runs.
 sanitizers=()
 run_bench=0
+run_detcheck=0
 for arg in "$@"; do
   case "$arg" in
     --asan) sanitizers+=(address) ;;
     --tsan) sanitizers+=(thread) ;;
     --bench) run_bench=1 ;;
+    --detcheck) run_detcheck=1 ;;
     *)
-      echo "usage: scripts/check.sh [--asan] [--tsan] [--bench]" >&2
+      echo "usage: scripts/check.sh [--asan] [--tsan] [--bench] [--detcheck]" >&2
       exit 2
       ;;
   esac
@@ -43,7 +48,7 @@ for san in ${sanitizers[@]+"${sanitizers[@]}"}; do
   # Death tests re-exec the binary, which ASan/TSan tolerate fine under
   # the threadsafe style the fixtures select.
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)" \
-      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler')
+      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint')
 done
 
 if [[ "$run_bench" == 1 ]]; then
@@ -51,6 +56,14 @@ if [[ "$run_bench" == 1 ]]; then
   # something at -O3, and the binary exits nonzero if the batched path
   # regresses below the 2x mprotect-reduction floor.
   scripts/bench.sh
+fi
+
+if [[ "$run_detcheck" == 1 ]]; then
+  # Determinism self-check on the racey stress workload: record one
+  # fingerprint, verify 4 more executions epoch-by-epoch against it. Exits
+  # nonzero with a pinpointed report at the first diverging epoch.
+  ./build/bench/det_check --workload=racey --det-check=5 --threads=4 \
+      --paranoia
 fi
 
 echo "check.sh: all requested suites passed"

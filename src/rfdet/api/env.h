@@ -92,6 +92,17 @@ class Env {
   // Approximate memory footprint of the run (Table 1 columns 10-12).
   [[nodiscard]] virtual size_t FootprintBytes() const { return 0; }
 
+  // ---- determinism self-verification ---------------------------------------
+  // Completes execution fingerprinting (writes the recording / performs the
+  // final verify checks) and returns the rollup digest. Call from the main
+  // thread after the workload finishes, before destroying the Env. 0 for
+  // backends without fingerprinting (or with it off).
+  virtual uint64_t FinalizeFingerprint() { return 0; }
+  // First divergence report of a verify run ("" if none / unsupported).
+  [[nodiscard]] virtual std::string LastDivergenceReport() const {
+    return "";
+  }
+
   // ---- typed convenience ---------------------------------------------------
   template <typename T>
   [[nodiscard]] T Get(GAddr addr) {

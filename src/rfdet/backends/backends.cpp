@@ -94,6 +94,21 @@ class RuntimeEnv final : public Env {
     runtime_.BarrierWait(barrier_id);
   }
 
+  uint64_t FinalizeFingerprint() override {
+    if constexpr (requires { runtime_.FinalizeFingerprint(); }) {
+      return runtime_.FinalizeFingerprint();
+    } else {
+      return 0;
+    }
+  }
+  [[nodiscard]] std::string LastDivergenceReport() const override {
+    if constexpr (requires { runtime_.LastDivergenceReport(); }) {
+      return runtime_.LastDivergenceReport();
+    } else {
+      return "";
+    }
+  }
+
   [[nodiscard]] rfdet::StatsSnapshot Stats() const override {
     return runtime_.Snapshot();
   }
@@ -172,6 +187,13 @@ std::unique_ptr<Env> CreateEnv(const BackendConfig& config) {
       opts.max_threads = config.max_threads;
       opts.metadata_bytes = config.metadata_bytes;
       opts.gc_threshold = config.gc_threshold;
+      opts.fingerprint = config.fingerprint;
+      opts.fingerprint_path = config.fingerprint_path;
+      opts.divergence_policy = config.fingerprint_panic
+                                   ? rfdet::DivergencePolicy::kPanic
+                                   : rfdet::DivergencePolicy::kReport;
+      opts.fingerprint_epoch_ops = config.fingerprint_epoch_ops;
+      opts.dlrc_paranoia = config.dlrc_paranoia;
       return std::make_unique<RuntimeEnv<rfdet::RfdetRuntime>>(
           name, /*deterministic=*/true, opts);
     }

@@ -9,6 +9,7 @@
 
 #include "rfdet/api/env.h"
 #include "rfdet/mem/thread_view.h"
+#include "rfdet/verify/fingerprint.h"
 
 namespace dmt {
 
@@ -38,6 +39,15 @@ struct BackendConfig {
 
   // CoreDet quantum length in deterministic ticks (~words of work).
   uint64_t coredet_quantum = 100'000;
+
+  // Determinism self-verification (rfdet/kendo backends; ignored by the
+  // others). fingerprint_panic maps to DivergencePolicy::kPanic; false
+  // retains the report (Env::LastDivergenceReport) and keeps running.
+  rfdet::FingerprintMode fingerprint = rfdet::FingerprintMode::kOff;
+  std::string fingerprint_path;
+  bool fingerprint_panic = true;
+  size_t fingerprint_epoch_ops = 64;
+  bool dlrc_paranoia = false;
 
   // Monitor used by the lockstep baselines. Real DThreads uses page
   // protection; the default here is the COW-page-table monitor because it

@@ -21,6 +21,7 @@ enum class RfdetErrc {
   kNoMemory,  // allocator / arena exhaustion — ENOMEM
   kDeadlock,  // deterministic deadlock detected — EDEADLK
   kInvalid,   // malformed request / configuration — EINVAL
+  kIo,        // fingerprint-file read/write failure — EIO
 };
 
 [[nodiscard]] constexpr const char* ErrcName(RfdetErrc e) noexcept {
@@ -35,6 +36,8 @@ enum class RfdetErrc {
       return "deadlock";
     case RfdetErrc::kInvalid:
       return "invalid";
+    case RfdetErrc::kIo:
+      return "io";
   }
   return "?";
 }
@@ -52,6 +55,8 @@ enum class RfdetErrc {
       return EDEADLK;
     case RfdetErrc::kInvalid:
       return EINVAL;
+    case RfdetErrc::kIo:
+      return EIO;
   }
   return EINVAL;
 }

@@ -33,8 +33,9 @@ enum class FaultSite : uint8_t {
   kSpawn,             // deterministic thread creation
   kHeapAlloc,         // DetAllocator subheap allocation
   kStaticAlloc,       // static-segment bump allocation
+  kFingerprintIo,     // fingerprint-file read (verify) / write (record)
 };
-inline constexpr size_t kNumFaultSites = 5;
+inline constexpr size_t kNumFaultSites = 6;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite s) noexcept {
   switch (s) {
@@ -48,6 +49,8 @@ inline constexpr size_t kNumFaultSites = 5;
       return "heap-alloc";
     case FaultSite::kStaticAlloc:
       return "static-alloc";
+    case FaultSite::kFingerprintIo:
+      return "fingerprint-io";
   }
   return "?";
 }

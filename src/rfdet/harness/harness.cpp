@@ -1,10 +1,15 @@
 #include "rfdet/harness/harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <mutex>
+#include <system_error>
+
+#include <unistd.h>
 
 #include "rfdet/common/panic.h"
 
@@ -52,6 +57,11 @@ RunOutcome Measure(const apps::Workload& workload, const apps::Params& params,
   RunOutcome out;
   out.signature = result.signature;
   out.seconds = std::chrono::duration<double>(stop - start).count();
+  // Finalize fingerprinting while the Env is still alive (main thread
+  // attached, workers joined by the workload) so the rollup and any
+  // divergence report are part of the outcome.
+  out.fingerprint_rollup = env->FinalizeFingerprint();
+  out.divergence_report = env->LastDivergenceReport();
   out.stats = env->Stats();
   out.footprint_bytes = env->FootprintBytes();
   return out;
@@ -66,6 +76,61 @@ RunOutcome MeasureBest(const apps::Workload& workload,
     if (i == 0 || out.seconds < best.seconds) best = out;
   }
   return best;
+}
+
+DetCheckOutcome DetCheck(const apps::Workload& workload,
+                         const apps::Params& params,
+                         dmt::BackendConfig config, int runs) {
+  namespace fs = std::filesystem;
+  DetCheckOutcome out;
+  out.runs = std::max(runs, 2);
+
+  // Fingerprint files are run artifacts, not repo contents: they go to the
+  // system temp directory (bench/artifacts as the fallback) and are
+  // removed below.
+  std::error_code ec;
+  fs::path dir = fs::temp_directory_path(ec);
+  if (ec || dir.empty()) dir = "bench/artifacts";
+  static std::atomic<uint64_t> g_counter{0};
+  const fs::path file =
+      dir / ("rfdet_detcheck_" +
+             std::to_string(static_cast<unsigned long>(::getpid())) + "_" +
+             std::to_string(g_counter.fetch_add(1)) + ".fp");
+  config.fingerprint_path = file.string();
+  // Divergences must come back as data, not a panic: the caller decides.
+  config.fingerprint_panic = false;
+
+  config.fingerprint = rfdet::FingerprintMode::kRecord;
+  const RunOutcome rec = Measure(workload, params, config);
+  out.signature = rec.signature;
+  out.rollup = rec.fingerprint_rollup;
+  out.record_seconds = rec.seconds;
+  if (!rec.divergence_report.empty()) {
+    // Only paranoia can fire during a record run.
+    out.failure = rec.divergence_report;
+  }
+
+  config.fingerprint = rfdet::FingerprintMode::kVerify;
+  for (int i = 2; i <= out.runs && out.failure.empty(); ++i) {
+    const RunOutcome ver = Measure(workload, params, config);
+    out.verify_seconds += ver.seconds;
+    if (!ver.divergence_report.empty()) {
+      out.failure = ver.divergence_report;
+    } else if (ver.signature != rec.signature) {
+      out.failure = "run " + std::to_string(i) + " workload signature " +
+                    std::to_string(ver.signature) +
+                    " != " + std::to_string(rec.signature) +
+                    " (fingerprint clean — digest coverage gap?)";
+    } else if (ver.fingerprint_rollup != rec.fingerprint_rollup &&
+               ver.fingerprint_rollup != 0) {
+      out.failure = "run " + std::to_string(i) + " fingerprint rollup " +
+                    std::to_string(ver.fingerprint_rollup) +
+                    " != " + std::to_string(rec.fingerprint_rollup);
+    }
+  }
+  fs::remove(file, ec);
+  out.ok = out.failure.empty();
+  return out;
 }
 
 Flags::Flags(int argc, char** argv) {

@@ -19,6 +19,9 @@ struct RunOutcome {
   double seconds = 0.0;
   rfdet::StatsSnapshot stats;
   size_t footprint_bytes = 0;
+  // Determinism self-verification (0 / "" when fingerprinting is off).
+  uint64_t fingerprint_rollup = 0;
+  std::string divergence_report;
 };
 
 // Runs `workload` once on a fresh Env built from `config`; wall-clock time
@@ -32,6 +35,27 @@ RunOutcome Measure(const apps::Workload& workload, const apps::Params& params,
 RunOutcome MeasureBest(const apps::Workload& workload,
                        const apps::Params& params,
                        const dmt::BackendConfig& config, int repeat);
+
+// ---- determinism self-check (--det-check=N) --------------------------------
+
+struct DetCheckOutcome {
+  bool ok = false;
+  int runs = 0;               // total runs performed (1 record + verifies)
+  std::string failure;        // first divergence/mismatch report ("" if ok)
+  uint64_t signature = 0;     // workload signature of the record run
+  uint64_t rollup = 0;        // fingerprint rollup of the record run
+  double record_seconds = 0.0;
+  double verify_seconds = 0.0;  // summed over the verify runs
+};
+
+// Runs the workload `runs` times in-process on fresh Envs: run 1 records an
+// execution fingerprint to a temp file, runs 2..N verify against it
+// (divergences are reported, not panicked, so the outcome is returned).
+// Signatures and rollups are cross-checked too. The fingerprint file lives
+// under the system temp directory and is removed before returning.
+DetCheckOutcome DetCheck(const apps::Workload& workload,
+                         const apps::Params& params,
+                         dmt::BackendConfig config, int runs);
 
 // ---- command-line flags ----------------------------------------------------
 

@@ -37,6 +37,17 @@ std::string ValidateOptions(const RfdetOptions& options) {
     return "ticks_per_word must be > 0 (a zero-cost access stream would "
            "starve the Kendo turn)";
   }
+  if (options.record_trace && options.trace_limit == 0) {
+    return "trace_limit must be > 0 when record_trace is set";
+  }
+  if (options.fingerprint == FingerprintMode::kVerify &&
+      options.fingerprint_path.empty()) {
+    return "fingerprint kVerify needs a fingerprint_path to compare against";
+  }
+  if (options.fingerprint != FingerprintMode::kOff &&
+      options.fingerprint_epoch_ops == 0) {
+    return "fingerprint_epoch_ops must be > 0";
+  }
   return "";
 }
 

@@ -9,10 +9,32 @@
 #include "rfdet/common/error.h"
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/thread_view.h"
+#include "rfdet/verify/fingerprint.h"
 
 namespace rfdet {
 
 class FaultInjector;
+
+// Test-only determinism mutation: injects exactly one perturbation into
+// the execution so the fingerprint verifier can be shown to pinpoint it
+// (see tests/test_fingerprint.cpp). Never enable outside tests.
+struct DetMutation {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    // XOR the first payload byte of the index-th slice applied to `tid`'s
+    // view (a silently corrupted propagation).
+    kCorruptPropagatedByte,
+    // Drop the index-th slice apply on `tid` entirely (lost propagation;
+    // the vector-clock join still happens, as a real bug would).
+    kSkipSliceApply,
+    // Add one extra Kendo tick at `tid`'s index-th turn-ordered sync op
+    // (schedule skew).
+    kSkewKendoTick,
+  };
+  Kind kind = Kind::kNone;
+  size_t tid = 0;      // thread whose event stream is perturbed
+  uint64_t index = 0;  // which matching event (0-based) on that thread
+};
 
 // What the runtime does when it proves the application deadlocked.
 enum class DeadlockPolicy : uint8_t {
@@ -58,6 +80,34 @@ struct RfdetOptions {
   // input to reproduce an execution, the trace is purely diagnostic —
   // unlike record&replay systems, it never needs to be replayed (§2).
   bool record_trace = false;
+  // Trace storage is a fixed ring of this many events, charged to the
+  // metadata arena; older events are dropped (stats.trace_dropped) so a
+  // long-running traced workload cannot grow without bound.
+  size_t trace_limit = 64u << 10;
+
+  // ---- determinism self-verification (see verify/fingerprint.h) ----------
+
+  // kRecord digests the execution and serializes the epoch chain to
+  // fingerprint_path at teardown; kVerify stream-compares against that
+  // file and applies divergence_policy at the first diverging epoch.
+  FingerprintMode fingerprint = FingerprintMode::kOff;
+  std::string fingerprint_path;
+  DivergencePolicy divergence_policy = DivergencePolicy::kPanic;
+  // Events per fingerprint epoch: 1 pinpoints the exact event (and makes
+  // the first divergent stream deterministic); larger values amortize
+  // epoch bookkeeping at within-epoch granularity.
+  size_t fingerprint_epoch_ops = 64;
+  // Diagnostic tap: called once with the first divergence report before
+  // the policy is applied.
+  std::function<void(const std::string&)> on_divergence;
+
+  // Cheap online DLRC invariant checks (propagation-filter recheck,
+  // vector-clock monotonicity across acquire, ModList shape consistency
+  // at slice close). Failures route through the divergence sink.
+  bool dlrc_paranoia = false;
+
+  // Test-only single-event perturbation (see DetMutation above).
+  DetMutation test_mutation;
 
   // ---- failure containment & diagnosis -----------------------------------
 

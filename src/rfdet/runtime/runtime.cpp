@@ -93,6 +93,23 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
   RFDET_CHECK(tid == 0);
   g_tls = {this, threads_[0].get()};
 
+  if (options_.fingerprint != FingerprintMode::kOff ||
+      options_.dlrc_paranoia) {
+    ExecutionFingerprint::Config fc;
+    fc.mode = options_.fingerprint;
+    fc.path = options_.fingerprint_path;
+    fc.policy = options_.divergence_policy;
+    fc.epoch_ops = options_.fingerprint_epoch_ops;
+    fc.max_threads = options_.max_threads;
+    fc.arena = &arena_;
+    fc.injector = options_.fault_injector;
+    fc.on_divergence = options_.on_divergence;
+    fc.on_error = [this](RfdetErrc errc, const std::string& what) {
+      ReportError(errc, what);
+    };
+    fingerprint_ = std::make_unique<ExecutionFingerprint>(fc);
+  }
+
   if (options_.watchdog_stall_ms > 0) {
     watchdog_ = std::make_unique<Watchdog>(
         Watchdog::Config{options_.watchdog_stall_ms, options_.watchdog_fatal},
@@ -114,8 +131,13 @@ RfdetRuntime::~RfdetRuntime() {
   for (auto& ctx : threads_) {
     if (ctx->worker.joinable()) ctx->worker.join();
   }
+  // All workers are quiescent and the main thread is still attached: the
+  // last chance to fold the region into the rollup and write/verify the
+  // fingerprint file (idempotent if the harness already finalized).
+  FinalizeFingerprint();
   if (options_.isolation) ThreadView::DeactivateOnThisThread();
   g_tls = {nullptr, nullptr};
+  if (trace_charged_ > 0) arena_.Release(trace_charged_);
 }
 
 RfdetRuntime::ThreadCtx& RfdetRuntime::Ctx() const {
@@ -233,12 +255,17 @@ void RfdetRuntime::CloseSlice(ThreadCtx& t) {
     time = t.vclock;
   }
   if (!mods.Empty()) {
+    if (options_.dlrc_paranoia) ParanoiaCheckMods(t, mods);
+    if (fingerprint_ && fingerprint_->Absorbing()) {
+      fingerprint_->OnSliceClose(t.tid, t.slice_seq + 1, time, mods);
+    }
     ReserveSliceMetadata(Slice::BytesFor(mods, time));
     t.log.Append(std::make_shared<Slice>(t.tid, ++t.slice_seq,
                                          std::move(time), std::move(mods),
                                          &arena_));
     stats_.slices_created.fetch_add(1, std::memory_order_relaxed);
   }
+  if (fingerprint_) UpdateTurnFingerprint(t);
   MaybeRunGc();
 }
 
@@ -294,18 +321,70 @@ void RfdetRuntime::PropagateFrom(ThreadCtx& me, size_t src_tid,
       batch.push_back(s);
     }
   });
+  const bool fp = fingerprint_ != nullptr && fingerprint_->Absorbing();
+  const DetMutation& mut = options_.test_mutation;
   uint64_t bytes = 0;
   for (const SliceRef& s : batch) {
-    // Fast path: the slice's cached page-partitioned plan — built by the
-    // first receiver, shared by all later ones (see DESIGN.md §10).
-    me.view->ApplyRemote(s->mods(), s->Plan(&stats_.apply_plans_built),
-                         options_.lazy_writes);
+    if (options_.dlrc_paranoia && !s->time().LessEq(upper)) {
+      ParanoiaFailure("received slice (tid " + std::to_string(s->tid()) +
+                      ", seq " + std::to_string(s->seq()) +
+                      ") does not happen-before the release it arrived on");
+    }
+    // Test-only perturbations, targeted by the receiver's deterministic
+    // apply counter (see DetMutation).
+    bool skip = false;
+    bool corrupt = false;
+    if ((mut.kind == DetMutation::Kind::kSkipSliceApply ||
+         mut.kind == DetMutation::Kind::kCorruptPropagatedByte) &&
+        me.tid == mut.tid && me.fp_applies++ == mut.index) {
+      skip = mut.kind == DetMutation::Kind::kSkipSliceApply;
+      corrupt = !skip;
+    }
+    if (skip) {
+      me.log.Append(s);  // lost propagation: the bytes never arrive
+      continue;
+    }
+    if (corrupt && !s->mods().Empty()) {
+      // Flip one bit of the first payload byte — a silent wire corruption.
+      ModList mangled;
+      bool flipped = false;
+      for (const ModRun& run : s->mods().Runs()) {
+        const auto payload = s->mods().RunData(run);
+        if (!flipped) {
+          std::vector<std::byte> copy(payload.begin(), payload.end());
+          copy.front() ^= std::byte{0x01};
+          mangled.Append(run.addr, copy);
+          flipped = true;
+        } else {
+          mangled.Append(run.addr, payload);
+        }
+      }
+      me.view->ApplyRemote(mangled, options_.lazy_writes);
+      if (fp) {
+        fingerprint_->OnApply(me.tid, s->tid(), s->seq(), s->time(),
+                              mangled);
+      }
+    } else {
+      // Fast path: the slice's cached page-partitioned plan — built by the
+      // first receiver, shared by all later ones (see DESIGN.md §10).
+      me.view->ApplyRemote(s->mods(), s->Plan(&stats_.apply_plans_built),
+                           options_.lazy_writes);
+      if (fp) {
+        fingerprint_->OnApply(me.tid, s->tid(), s->seq(), s->time(),
+                              s->mods());
+      }
+    }
     bytes += s->mods().ByteCount();
     me.log.Append(s);
   }
   {
     std::scoped_lock lock(me.clock_mu);
     me.vclock.Join(upper);
+    if (options_.dlrc_paranoia && !lower.LessEq(me.vclock)) {
+      ParanoiaFailure(
+          "vector clock of thread " + std::to_string(me.tid) +
+          " regressed across an acquire (join is not monotonic)");
+    }
   }
   stats_.slices_propagated.fetch_add(batch.size(),
                                      std::memory_order_relaxed);
@@ -321,8 +400,11 @@ void RfdetRuntime::AcquireFrom(ThreadCtx& me, const SyncVar& sv) {
   if (!options_.isolation || sv.last_tid == kNone) return;
   PropagateFrom(me, sv.last_tid, sv.last_time, /*prelock_phase=*/false);
   // The join above ran under the turn: refresh the deterministic snapshot.
-  std::scoped_lock lock(me.clock_mu);
-  me.turn_time = me.vclock;
+  {
+    std::scoped_lock lock(me.clock_mu);
+    me.turn_time = me.vclock;
+  }
+  if (fingerprint_) UpdateTurnFingerprint(me);
 }
 
 void RfdetRuntime::ReleasePublish(ThreadCtx& me, SyncVar& sv) {
@@ -397,14 +479,22 @@ RfdetErrc RfdetRuntime::CheckBlockPermitted(ThreadCtx& me, BlockKind kind,
     const uint64_t clock = kendo_.IsPaused(n.tid) ? kendo_.SavedClock(n.tid)
                                                   : kendo_.Clock(n.tid);
     std::string held;
+    std::string fp_note;
     {
       ThreadCtx& t = CtxOf(n.tid);
       std::scoped_lock lock(t.clock_mu);
       held = JoinTids(t.held_mutexes);
+      if (fingerprint_ != nullptr) {
+        // turn_fp_* only changes under the thread's turn (all of which
+        // were turn-ordered before this detection), so the values — and
+        // the report — stay deterministic.
+        fp_note = ", fp epoch " + std::to_string(t.turn_fp_epochs) +
+                  " (" + std::to_string(t.turn_fp_events) + " events)";
+      }
     }
     return "  thread " + std::to_string(n.tid) + " (kendo clock " +
-           std::to_string(clock) + ", holds mutexes [" + held +
-           "]) waits for " + BlockDesc(n.kind, n.obj);
+           std::to_string(clock) + ", holds mutexes [" + held + "]" +
+           fp_note + ") waits for " + BlockDesc(n.kind, n.obj);
   };
 
   // ---- pass 1: definite-edge cycle walk ---------------------------------
@@ -1195,6 +1285,91 @@ void RfdetRuntime::ReportError(RfdetErrc errc, const std::string& what) {
                what.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Determinism self-verification
+// ---------------------------------------------------------------------------
+
+uint64_t RfdetRuntime::RegionDigest() {
+  // Level 3 of the fingerprint hierarchy: the static segment, where
+  // workloads place their shared output. Reads go through the main view
+  // (plain loads — no ticks, no schedule perturbation), so lazily parked
+  // runs are resolved the same way the workload's own reads would.
+  const size_t n = options_.static_bytes;
+  if (!options_.isolation) {
+    return ExecutionFingerprint::HashBytes(shared_image_.get(), n);
+  }
+  ThreadView& view = *threads_[0]->view;
+  std::vector<std::byte> buf(kPageSize);
+  uint64_t h = kFnvOffset;
+  for (size_t off = 0; off < n; off += kPageSize) {
+    const size_t chunk = std::min(kPageSize, n - off);
+    view.Load(off, buf.data(), chunk);
+    h = ExecutionFingerprint::HashBytes(buf.data(), chunk, h);
+  }
+  return h;
+}
+
+uint64_t RfdetRuntime::FinalizeFingerprint() {
+  if (fingerprint_ == nullptr ||
+      options_.fingerprint == FingerprintMode::kOff) {
+    return 0;
+  }
+  return fingerprint_->Finalize(RegionDigest());
+}
+
+std::string RfdetRuntime::LastDivergenceReport() const {
+  return fingerprint_ != nullptr ? fingerprint_->LastDivergenceReport() : "";
+}
+
+void RfdetRuntime::UpdateTurnFingerprint(ThreadCtx& t) {
+  uint64_t events;
+  uint64_t epochs;
+  uint64_t chain;
+  fingerprint_->ThreadProgress(t.tid, &events, &epochs, &chain);
+  std::scoped_lock lock(t.clock_mu);
+  t.turn_fp_events = events;
+  t.turn_fp_epochs = epochs;
+}
+
+void RfdetRuntime::ParanoiaFailure(const std::string& what) {
+  stats_.paranoia_failures.fetch_add(1, std::memory_order_relaxed);
+  // fingerprint_ exists whenever dlrc_paranoia is set (see constructor);
+  // the divergence sink provides report retention, the tap, and policy.
+  fingerprint_->RaiseDivergence("rfdet: DIVERGENCE: dlrc_paranoia: " + what +
+                                "\n");
+}
+
+void RfdetRuntime::ParanoiaCheckMods(const ThreadCtx& t,
+                                     const ModList& mods) {
+  const std::string who = "slice of thread " + std::to_string(t.tid);
+  size_t total = 0;
+  for (const ModRun& run : mods.Runs()) {
+    if (run.len == 0) {
+      ParanoiaFailure(who + " has an empty modification run");
+      return;
+    }
+    if (static_cast<size_t>(run.data_offset) + run.len > mods.ByteCount()) {
+      ParanoiaFailure(who + " has a run whose payload [" +
+                      std::to_string(run.data_offset) + ", +" +
+                      std::to_string(run.len) +
+                      ") lies outside the diff data");
+      return;
+    }
+    if (run.addr + run.len > options_.region_bytes) {
+      ParanoiaFailure(who + " modifies bytes beyond the shared region (addr " +
+                      std::to_string(run.addr) + ", len " +
+                      std::to_string(run.len) + ")");
+      return;
+    }
+    total += run.len;
+  }
+  if (total != mods.ByteCount()) {
+    ParanoiaFailure(who + " run lengths sum to " + std::to_string(total) +
+                    " but the diff payload is " +
+                    std::to_string(mods.ByteCount()) + " bytes");
+  }
+}
+
 uint64_t RfdetRuntime::ProgressFingerprint() const noexcept {
   // Fold every Kendo clock slot (FNV-style). Any turn transition — tick,
   // pause, resume, register — changes some slot, so a constant fingerprint
@@ -1269,14 +1444,20 @@ std::string RfdetRuntime::DumpStateReport() const {
   os << "arena: used " << arena_.Used() << " / " << arena_.Capacity()
      << " bytes, peak " << arena_.Peak() << ", gc count "
      << arena_.GcCount() << "\n";
+  if (fingerprint_ != nullptr) os << fingerprint_->ProgressSummary();
   if (options_.record_trace) {
-    std::scoped_lock lock(trace_mu_);
-    const size_t n = trace_.size();
+    const std::vector<TraceEvent> events = Trace();
+    const uint64_t dropped =
+        stats_.trace_dropped.load(std::memory_order_relaxed);
+    const size_t n = events.size();
     const size_t start = n > 16 ? n - 16 : 0;
-    os << "trace tail (" << (n - start) << " of " << n << " events):\n";
+    os << "trace tail (" << (n - start) << " of " << n << " buffered, "
+       << dropped << " dropped):\n";
     for (size_t i = start; i < n; ++i) {
-      const TraceEvent& e = trace_[i];
-      os << "  [" << i << "] tid " << e.tid << " " << TraceOpName(e.op);
+      const TraceEvent& e = events[i];
+      // Index in the full schedule, counting ring-evicted events.
+      os << "  [" << (dropped + i) << "] tid " << e.tid << " "
+         << TraceOpName(e.op);
       if (e.object != kNone) os << " obj " << e.object;
       os << " clock " << e.kendo_clock << "\n";
     }
@@ -1290,18 +1471,58 @@ std::string RfdetRuntime::DumpStateReport() const {
 // ---------------------------------------------------------------------------
 
 void RfdetRuntime::Record(TraceOp op, size_t acting_tid, size_t object) {
+  const bool fp = fingerprint_ != nullptr && fingerprint_->Absorbing();
+  const bool skew =
+      options_.test_mutation.kind == DetMutation::Kind::kSkewKendoTick;
+  if (!options_.record_trace && !fp && !skew) return;
+  const uint64_t raw = kendo_.Clock(acting_tid);
+  const bool paused = raw == KendoEngine::kPaused;
+  const uint64_t clock = paused ? kendo_.SavedClock(acting_tid) : raw;
+  if (fp) {
+    fingerprint_->OnSyncOp(acting_tid, static_cast<uint8_t>(op),
+                           TraceOpName(op), object, clock);
+  }
+  // Test-only schedule skew: one extra tick at the target's index-th
+  // self-recorded, non-paused op. Self-recorded only (not events a waker
+  // records on a granted waiter's behalf — the waiter may already be
+  // running, so ticking it here would race), and non-paused only (ticking
+  // a paused slot would corrupt the kPaused sentinel). Both conditions are
+  // themselves deterministic, so the counter is too.
+  if (skew && !paused && acting_tid == options_.test_mutation.tid &&
+      g_tls.ctx == &CtxOf(acting_tid) &&
+      CtxOf(acting_tid).fp_sync_ops++ == options_.test_mutation.index) {
+    kendo_.Tick(acting_tid, 1);
+  }
   if (!options_.record_trace) return;
-  const uint64_t clock = kendo_.Clock(acting_tid);
+  const TraceEvent event{acting_tid, op, object, clock};
   std::scoped_lock lock(trace_mu_);
-  trace_.push_back(TraceEvent{acting_tid, op, object,
-                              clock == KendoEngine::kPaused
-                                  ? kendo_.SavedClock(acting_tid)
-                                  : clock});
+  if (trace_.size() < options_.trace_limit) {
+    const size_t before = trace_.capacity();
+    trace_.push_back(event);
+    if (trace_.capacity() != before) {
+      const size_t delta =
+          (trace_.capacity() - before) * sizeof(TraceEvent);
+      arena_.Charge(delta);
+      trace_charged_ += delta;
+    }
+    return;
+  }
+  // Ring full: overwrite the oldest event.
+  trace_[trace_next_] = event;
+  trace_next_ = (trace_next_ + 1) % trace_.size();
+  stats_.trace_dropped.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<RfdetRuntime::TraceEvent> RfdetRuntime::Trace() const {
   std::scoped_lock lock(trace_mu_);
-  return trace_;
+  // Reassemble schedule order: the ring's oldest event is at trace_next_
+  // once the buffer has wrapped.
+  std::vector<TraceEvent> out;
+  out.reserve(trace_.size());
+  for (size_t i = 0; i < trace_.size(); ++i) {
+    out.push_back(trace_[(trace_next_ + i) % trace_.size()]);
+  }
+  return out;
 }
 
 size_t RfdetRuntime::LiveSliceCount() const {
@@ -1336,6 +1557,14 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
   s.metadata_overflows = stats_.metadata_overflows.load();
   s.alloc_failures = stats_.alloc_failures.load();
   s.spawn_failures = stats_.spawn_failures.load();
+  s.trace_dropped = stats_.trace_dropped.load();
+  s.paranoia_failures = stats_.paranoia_failures.load();
+  if (fingerprint_ != nullptr) {
+    s.fingerprint_events = fingerprint_->Events();
+    s.fingerprint_epochs = fingerprint_->Epochs();
+    s.fingerprint_divergences = fingerprint_->Divergences();
+    s.fingerprint_io_errors = fingerprint_->IoErrors();
+  }
   std::scoped_lock lock(threads_mu_);
   for (const auto& ctx : threads_) {
     s.loads += ctx->loads.load(std::memory_order_relaxed);

@@ -57,6 +57,7 @@
 #include "rfdet/runtime/watchdog.h"
 #include "rfdet/slice/slice.h"
 #include "rfdet/time/vector_clock.h"
+#include "rfdet/verify/fingerprint.h"
 
 namespace rfdet {
 
@@ -162,7 +163,23 @@ class RfdetRuntime {
     bool operator==(const TraceEvent&) const = default;
   };
   // Snapshot of the schedule recorded so far (requires record_trace).
+  // Storage is a ring of options.trace_limit events: the returned vector
+  // holds the most recent events in schedule order (older ones counted in
+  // stats.trace_dropped).
   [[nodiscard]] std::vector<TraceEvent> Trace() const;
+
+  // ---- determinism self-verification --------------------------------------
+
+  // Closes all partial fingerprint epochs, folds in the static-region
+  // digest and writes (kRecord) / final-checks (kVerify) the fingerprint
+  // file; returns the rollup digest. Idempotent; called automatically at
+  // destruction, or earlier by the harness (main thread, workers joined)
+  // so the result is readable before teardown. 0 when fingerprinting is
+  // off.
+  uint64_t FinalizeFingerprint();
+  // First divergence report of a kVerify/paranoia run ("" if none). Under
+  // DivergencePolicy::kReport this is the deterministic failure artifact.
+  [[nodiscard]] std::string LastDivergenceReport() const;
 
   // ---- introspection -----------------------------------------------------
 
@@ -226,6 +243,16 @@ class RfdetRuntime {
     std::atomic<uint32_t> wake_seq{0};
     size_t mail_src = kNone;     // releasing thread (propagation source)
     VectorClock mail_time;       // the release's vector time
+
+    // Deterministic event counters for DetMutation targeting (owner- or
+    // merge-exclusive, like the memory fingerprint stream itself).
+    uint64_t fp_applies = 0;   // slices applied to this thread's view
+    uint64_t fp_sync_ops = 0;  // non-paused turn-ordered sync ops
+    // Fingerprint progress as of this thread's last turn-ordered slice
+    // close (guarded by clock_mu, the turn_time pattern): deterministic
+    // for the deadlock report, unlike the live stream counters.
+    uint64_t turn_fp_events = 0;
+    uint64_t turn_fp_epochs = 0;
   };
 
   struct SyncVar {
@@ -321,6 +348,21 @@ class RfdetRuntime {
   // once-per-code stderr note.
   void ReportError(RfdetErrc errc, const std::string& what);
 
+  // ---- determinism self-verification --------------------------------------
+
+  // Digest of the static segment (where workloads put their output) via
+  // the main thread's view — the rollup's level-3 component. Must run on
+  // an attached thread (the main thread at finalize time).
+  [[nodiscard]] uint64_t RegionDigest();
+  // dlrc_paranoia: ModList shape invariants at slice close (runs non-empty,
+  // payload offsets in bounds, Σ run lengths == ByteCount, region bounds).
+  void ParanoiaCheckMods(const ThreadCtx& t, const ModList& mods);
+  // dlrc_paranoia failure → stats + the fingerprint divergence sink.
+  void ParanoiaFailure(const std::string& what);
+  // Refreshes t.turn_fp_* from the live stream counters (call under t's
+  // turn, after turn-ordered fingerprint absorbs).
+  void UpdateTurnFingerprint(ThreadCtx& t);
+
   // Progress fingerprint for the watchdog: a hash of every Kendo clock.
   [[nodiscard]] uint64_t ProgressFingerprint() const noexcept;
 
@@ -351,15 +393,19 @@ class RfdetRuntime {
 
   // Schedule trace: appended only under the turn (so the order is the
   // deterministic synchronization order); the mutex covers the physical
-  // race with Trace() readers.
+  // race with Trace() readers. Storage is a bounded ring over trace_
+  // (trace_next_ = next overwrite position once full), arena-charged.
   void Record(TraceOp op, size_t acting_tid, size_t object);
   mutable std::mutex trace_mu_;
   std::vector<TraceEvent> trace_;
+  size_t trace_next_ = 0;
+  size_t trace_charged_ = 0;
 
   // Failure containment & diagnosis.
   mutable std::mutex deadlock_mu_;
   std::string last_deadlock_report_;
   std::atomic<uint32_t> error_note_mask_{0};  // rate-limit stderr notes
+  std::unique_ptr<ExecutionFingerprint> fingerprint_;  // null when off
   std::unique_ptr<Watchdog> watchdog_;        // last member: stops first
 };
 

@@ -38,6 +38,10 @@ struct RuntimeStats {
   std::atomic<uint64_t> metadata_overflows{0};  // still over after retry
   std::atomic<uint64_t> alloc_failures{0};      // TryMalloc/TryAllocStatic
   std::atomic<uint64_t> spawn_failures{0};      // TrySpawn
+
+  // Determinism self-verification.
+  std::atomic<uint64_t> trace_dropped{0};       // ring-evicted trace events
+  std::atomic<uint64_t> paranoia_failures{0};   // dlrc_paranoia violations
 };
 
 // Plain-value snapshot (also folds in per-view monitor stats).
@@ -54,6 +58,10 @@ struct StatsSnapshot {
   uint64_t deadlocks_detected = 0, watchdog_stalls = 0;
   uint64_t arena_gc_retries = 0, metadata_overflows = 0;
   uint64_t alloc_failures = 0, spawn_failures = 0;
+  // Determinism self-verification.
+  uint64_t trace_dropped = 0, paranoia_failures = 0;
+  uint64_t fingerprint_events = 0, fingerprint_epochs = 0;
+  uint64_t fingerprint_divergences = 0, fingerprint_io_errors = 0;
   // Aggregated ViewStats.
   uint64_t stores_with_copy = 0, page_faults = 0, mprotect_calls = 0;
   uint64_t pages_diffed = 0;

@@ -1,0 +1,574 @@
+#include "rfdet/verify/fingerprint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "rfdet/common/check.h"
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/mem/addr.h"
+
+namespace rfdet {
+
+namespace {
+
+// File layout: magic, epoch_ops, record count, then records as plain
+// little-endian u64 sextuples in deterministic order (schedule epochs,
+// memory epochs by ascending tid, final rollup) — recording the same
+// execution twice yields byte-identical files.
+constexpr char kMagic[8] = {'R', 'F', 'D', 'T', 'F', 'P', '0', '1'};
+
+constexpr uint64_t kKindSchedule = 0;
+constexpr uint64_t kKindMemory = 1;
+constexpr uint64_t kKindFinal = 2;
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>((in)[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *v = r;
+  return true;
+}
+
+std::string Hex(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+uint64_t MixStep(uint64_t chain, uint64_t v) {
+  chain ^= v + 0x9e3779b97f4a7c15ULL + (chain << 6) + (chain >> 2);
+  return chain * kFnvPrime;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Digest helpers
+// ---------------------------------------------------------------------------
+
+// Lane seeds: distinct odd constants so a block permuted across lanes
+// changes the digest.
+constexpr uint64_t kLaneSalt[4] = {0, 0x9e3779b97f4a7c15ULL,
+                                   0xc2b2ae3d27d4eb4fULL,
+                                   0x165667b19e3779f9ULL};
+
+uint64_t ExecutionFingerprint::HashBytes(const void* data, size_t len,
+                                         uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  size_t i = 0;
+  if (len >= 64) {
+    // The FNV chain is serial — one multiply latency per 8 bytes. Four
+    // independent lanes keep the multiplier pipeline full on the bulk.
+    uint64_t lane[4] = {seed ^ kLaneSalt[0], seed ^ kLaneSalt[1],
+                        seed ^ kLaneSalt[2], seed ^ kLaneSalt[3]};
+    for (; i + 32 <= len; i += 32) {
+      for (int l = 0; l < 4; ++l) {
+        uint64_t word;
+        std::memcpy(&word, p + i + 8 * l, 8);
+        lane[l] = (lane[l] ^ word) * kFnvPrime;
+      }
+    }
+    h = lane[0];
+    h = MixStep(h, lane[1]);
+    h = MixStep(h, lane[2]);
+    h = MixStep(h, lane[3]);
+  }
+  for (; i + 8 <= len; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    h = (h ^ word) * kFnvPrime;
+  }
+  for (; i < len; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+uint64_t ExecutionFingerprint::HashClock(const VectorClock& vc,
+                                         uint64_t seed) {
+  uint64_t h = (seed ^ vc.Dims()) * kFnvPrime;
+  for (size_t d = 0; d < vc.Dims(); ++d) h = (h ^ vc.Get(d)) * kFnvPrime;
+  return h;
+}
+
+uint64_t ExecutionFingerprint::HashMods(const ModList& mods, uint64_t seed) {
+  uint64_t h = (seed ^ mods.RunCount()) * kFnvPrime;
+  // Run metadata rides the serial chain; payload words stripe across four
+  // lanes that persist across runs, so short fragmented runs (the common
+  // shape — tens of bytes) still pipeline their multiplies. Striping is a
+  // pure function of run order and length, hence deterministic.
+  uint64_t lane[4] = {seed ^ kLaneSalt[0], seed ^ kLaneSalt[1],
+                      seed ^ kLaneSalt[2], seed ^ kLaneSalt[3]};
+  for (const ModRun& run : mods.Runs()) {
+    h = (h ^ run.addr) * kFnvPrime;
+    h = (h ^ run.len) * kFnvPrime;
+    const auto bytes = mods.RunData(run);
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+    const size_t n = bytes.size();
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+      for (int l = 0; l < 4; ++l) {
+        uint64_t word;
+        std::memcpy(&word, p + i + 8 * l, 8);
+        lane[l] = (lane[l] ^ word) * kFnvPrime;
+      }
+    }
+    for (; i + 8 <= n; i += 8) {
+      uint64_t word;
+      std::memcpy(&word, p + i, 8);
+      uint64_t& ln = lane[(i >> 3) & 3];
+      ln = (ln ^ word) * kFnvPrime;
+    }
+    for (; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  }
+  h = MixStep(h, lane[0]);
+  h = MixStep(h, lane[1]);
+  h = MixStep(h, lane[2]);
+  h = MixStep(h, lane[3]);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+ExecutionFingerprint::ExecutionFingerprint(const Config& config)
+    : mode_(config.mode),
+      path_(config.path),
+      policy_(config.policy),
+      epoch_ops_(config.epoch_ops == 0 ? 1 : config.epoch_ops),
+      arena_(config.arena),
+      injector_(config.injector),
+      on_divergence_(config.on_divergence),
+      on_error_(config.on_error) {
+  memory_.reserve(config.max_threads);
+  for (size_t t = 0; t < config.max_threads; ++t) {
+    memory_.push_back(std::make_unique<Stream>());
+  }
+  ChargeArena(config.max_threads * sizeof(Stream) + sizeof(Stream));
+  if (mode_ != FingerprintMode::kVerify) return;
+  std::vector<FingerprintEpoch> records;
+  if (!LoadFile(&records)) return;  // IoError already retired the subsystem
+  size_t bytes = 0;
+  for (const FingerprintEpoch& e : records) {
+    if (e.kind == kKindSchedule) {
+      schedule_.expected.push_back(e);
+    } else if (e.kind == kKindMemory && e.stream < memory_.size()) {
+      memory_[e.stream]->expected.push_back(e);
+    } else if (e.kind == kKindFinal) {
+      expected_final_ = e;
+      have_expected_final_ = true;
+    } else {
+      IoError("fingerprint file names thread " + std::to_string(e.stream) +
+              " beyond max_threads");
+      return;
+    }
+    bytes += sizeof(FingerprintEpoch);
+  }
+  ChargeArena(bytes);
+}
+
+ExecutionFingerprint::~ExecutionFingerprint() {
+  const size_t charged = charged_bytes_.load(std::memory_order_relaxed);
+  if (arena_ != nullptr && charged > 0) arena_->Release(charged);
+}
+
+void ExecutionFingerprint::ChargeArena(size_t bytes) {
+  if (arena_ != nullptr) arena_->Charge(bytes);
+  charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Event absorption
+// ---------------------------------------------------------------------------
+
+void ExecutionFingerprint::Absorb(Stream& s, uint64_t kind,
+                                  uint64_t stream_id, uint64_t event_digest,
+                                  uint64_t anchor, std::string event_desc) {
+  const uint64_t chain =
+      MixStep(s.chain.load(std::memory_order_relaxed), event_digest);
+  s.chain.store(chain, std::memory_order_relaxed);
+  s.last_anchor = anchor;
+  s.last_event = std::move(event_desc);
+  const uint64_t events =
+      s.events.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (events % epoch_ops_ == 0) CloseEpoch(s, kind, stream_id);
+}
+
+void ExecutionFingerprint::OnSyncOp(size_t tid, uint8_t op,
+                                    const char* op_name, uint64_t object,
+                                    uint64_t kendo_clock) {
+  if (!Absorbing()) return;
+  uint64_t d = (kFnvOffset ^ tid) * kFnvPrime;
+  d = (d ^ op) * kFnvPrime;
+  d = (d ^ object) * kFnvPrime;
+  d = (d ^ kendo_clock) * kFnvPrime;
+  std::string desc = "tid " + std::to_string(tid) + " " + op_name + " obj " +
+                     std::to_string(object) + " kendo clock " +
+                     std::to_string(kendo_clock);
+  Absorb(schedule_, kKindSchedule, 0, d, kendo_clock, std::move(desc));
+}
+
+void ExecutionFingerprint::OnSliceClose(size_t tid, uint64_t seq,
+                                        const VectorClock& time,
+                                        const ModList& mods) {
+  if (!Absorbing() || tid >= memory_.size()) return;
+  uint64_t d = (kFnvOffset ^ 0x51u) * kFnvPrime;  // close tag
+  d = (d ^ seq) * kFnvPrime;
+  d = HashClock(time, d);
+  d = HashMods(mods, d);
+  std::ostringstream desc;
+  desc << "close of own slice " << seq << ", first page "
+       << (mods.Empty() ? GAddr{0} : PageOf(mods.Runs().front().addr))
+       << ", " << mods.ByteCount() << " bytes, vclock " << time;
+  Absorb(*memory_[tid], kKindMemory, tid, d, time.Get(tid), desc.str());
+}
+
+void ExecutionFingerprint::OnApply(size_t receiver, size_t src_tid,
+                                   uint64_t src_seq, const VectorClock& time,
+                                   const ModList& mods) {
+  if (!Absorbing() || receiver >= memory_.size()) return;
+  uint64_t d = (kFnvOffset ^ 0xA9u) * kFnvPrime;  // apply tag
+  d = (d ^ src_tid) * kFnvPrime;
+  d = (d ^ src_seq) * kFnvPrime;
+  d = HashClock(time, d);
+  d = HashMods(mods, d);
+  std::ostringstream desc;
+  desc << "apply of slice (src tid " << src_tid << ", seq " << src_seq
+       << "), first page "
+       << (mods.Empty() ? GAddr{0} : PageOf(mods.Runs().front().addr))
+       << ", " << mods.ByteCount() << " bytes, vclock " << time;
+  Absorb(*memory_[receiver], kKindMemory, receiver, d, time.Get(src_tid),
+         desc.str());
+}
+
+// ---------------------------------------------------------------------------
+// Epochs and verification
+// ---------------------------------------------------------------------------
+
+std::string ExecutionFingerprint::StreamName(uint64_t kind,
+                                             uint64_t stream_id) {
+  if (kind == kKindSchedule) return "schedule stream";
+  if (kind == kKindFinal) return "final rollup";
+  return "memory stream of thread " + std::to_string(stream_id);
+}
+
+void ExecutionFingerprint::CloseEpoch(Stream& s, uint64_t kind,
+                                      uint64_t stream_id) {
+  FingerprintEpoch e;
+  e.kind = kind;
+  e.stream = stream_id;
+  e.seq = s.epochs.fetch_add(1, std::memory_order_relaxed);
+  e.digest = s.chain.load(std::memory_order_relaxed);
+  e.anchor = s.last_anchor;
+  e.events = s.events.load(std::memory_order_relaxed);
+  if (mode_ == FingerprintMode::kRecord) {
+    const size_t before = s.recorded.capacity();
+    s.recorded.push_back(e);
+    if (s.recorded.capacity() != before) {
+      ChargeArena((s.recorded.capacity() - before) *
+                  sizeof(FingerprintEpoch));
+    }
+    return;
+  }
+  CompareEpoch(s, stream_id, e);
+}
+
+void ExecutionFingerprint::CompareEpoch(const Stream& s, uint64_t stream_id,
+                                        const FingerprintEpoch& got) {
+  const std::string name = StreamName(got.kind, stream_id);
+  if (got.seq >= s.expected.size()) {
+    RaiseDivergence("rfdet: DIVERGENCE: " + name + " epoch " +
+                    std::to_string(got.seq) +
+                    ": execution produced more epochs than the recording (" +
+                    std::to_string(s.expected.size()) + ")\n  last event: " +
+                    s.last_event + "\n");
+    return;
+  }
+  const FingerprintEpoch& want = s.expected[got.seq];
+  if (want.digest == got.digest && want.events == got.events) return;
+  std::string report = "rfdet: DIVERGENCE: " + name + " epoch " +
+                       std::to_string(got.seq) + ": digest " +
+                       Hex(got.digest) + " != recorded " + Hex(want.digest) +
+                       "\n  events absorbed: " + std::to_string(got.events) +
+                       " (recorded " + std::to_string(want.events) + ")" +
+                       "\n  last event: " + s.last_event +
+                       "\n  recorded anchor: " + std::to_string(want.anchor) +
+                       ", this run: " + std::to_string(got.anchor) + "\n";
+  RaiseDivergence(report);
+}
+
+void ExecutionFingerprint::RaiseDivergence(const std::string& report) {
+  divergences_.fetch_add(1, std::memory_order_relaxed);
+  bool first;
+  {
+    std::scoped_lock lock(report_mu_);
+    first = first_report_.empty();
+    if (first) first_report_ = report;
+  }
+  // Fail fast: the first divergence retires the subsystem, so later
+  // (causally-downstream) mismatches never overwrite the root cause.
+  dead_.store(true, std::memory_order_relaxed);
+  if (!first) return;
+  if (on_divergence_) on_divergence_(report);
+  if (policy_ == DivergencePolicy::kPanic) {
+    std::fputs(report.c_str(), stderr);
+    std::fflush(stderr);
+    RFDET_PANIC("determinism divergence detected");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Finalize
+// ---------------------------------------------------------------------------
+
+uint64_t ExecutionFingerprint::FoldRollup(uint64_t region_digest) const {
+  uint64_t h = MixStep(kFnvOffset,
+                       schedule_.chain.load(std::memory_order_relaxed));
+  h = MixStep(h, schedule_.events.load(std::memory_order_relaxed));
+  for (const auto& s : memory_) {
+    h = MixStep(h, s->chain.load(std::memory_order_relaxed));
+    h = MixStep(h, s->events.load(std::memory_order_relaxed));
+  }
+  return MixStep(h, region_digest);
+}
+
+uint64_t ExecutionFingerprint::Finalize(uint64_t region_digest) {
+  std::scoped_lock lock(finalize_mu_);
+  if (finalized_) return rollup_;
+  finalized_ = true;
+  if (mode_ == FingerprintMode::kOff) return 0;
+
+  const auto close_partial = [&](Stream& s, uint64_t kind, uint64_t id) {
+    if (dead_.load(std::memory_order_relaxed)) return;
+    const uint64_t events = s.events.load(std::memory_order_relaxed);
+    if (events > 0 && events % epoch_ops_ != 0) CloseEpoch(s, kind, id);
+  };
+  close_partial(schedule_, kKindSchedule, 0);
+  for (size_t t = 0; t < memory_.size(); ++t) {
+    close_partial(*memory_[t], kKindMemory, t);
+  }
+
+  rollup_ = FoldRollup(region_digest);
+  FingerprintEpoch final_record;
+  final_record.kind = kKindFinal;
+  final_record.digest = rollup_;
+  final_record.anchor = region_digest;
+  final_record.events = Events();
+
+  if (mode_ == FingerprintMode::kRecord) {
+    if (dead_.load(std::memory_order_relaxed)) return rollup_;
+    std::vector<FingerprintEpoch> records = schedule_.recorded;
+    for (const auto& s : memory_) {
+      records.insert(records.end(), s->recorded.begin(), s->recorded.end());
+    }
+    records.push_back(final_record);
+    if (!path_.empty()) WriteFile(records);
+    return rollup_;
+  }
+
+  // kVerify: completeness — a stream that stopped short of the recording
+  // is as divergent as one that overran it.
+  if (dead_.load(std::memory_order_relaxed)) return rollup_;
+  const auto check_complete = [&](const Stream& s, uint64_t kind,
+                                  uint64_t id) {
+    if (dead_.load(std::memory_order_relaxed)) return;
+    const uint64_t epochs = s.epochs.load(std::memory_order_relaxed);
+    if (epochs < s.expected.size()) {
+      RaiseDivergence(
+          "rfdet: DIVERGENCE: " + StreamName(kind, id) +
+          " ended after epoch " + std::to_string(epochs) +
+          ": the recording has " + std::to_string(s.expected.size()) +
+          " epochs\n  last event: " +
+          (s.last_event.empty() ? "(none)" : s.last_event) + "\n");
+    }
+  };
+  check_complete(schedule_, kKindSchedule, 0);
+  for (size_t t = 0; t < memory_.size(); ++t) {
+    check_complete(*memory_[t], kKindMemory, t);
+  }
+  if (!dead_.load(std::memory_order_relaxed) && have_expected_final_ &&
+      expected_final_.digest != rollup_) {
+    RaiseDivergence("rfdet: DIVERGENCE: final rollup " + Hex(rollup_) +
+                    " != recorded " + Hex(expected_final_.digest) +
+                    "\n  region digest: " + Hex(region_digest) +
+                    ", recorded " + Hex(expected_final_.anchor) + "\n");
+  }
+  return rollup_;
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+bool ExecutionFingerprint::IoFault() noexcept {
+  return injector_ != nullptr &&
+         injector_->ShouldFail(FaultSite::kFingerprintIo);
+}
+
+void ExecutionFingerprint::IoError(const std::string& what) {
+  io_errors_.fetch_add(1, std::memory_order_relaxed);
+  // Fail safe, not fail stop: a broken fingerprint file must not take the
+  // workload down — verification is disabled and the error reported.
+  dead_.store(true, std::memory_order_relaxed);
+  if (on_error_) {
+    on_error_(RfdetErrc::kIo, what);
+  } else {
+    std::fprintf(stderr, "rfdet: fingerprint I/O error: %s\n", what.c_str());
+  }
+}
+
+bool ExecutionFingerprint::WriteFile(
+    const std::vector<FingerprintEpoch>& records) {
+  std::string blob;
+  blob.reserve(sizeof kMagic + 16 + records.size() * 48);
+  blob.append(kMagic, sizeof kMagic);
+  PutU64(blob, epoch_ops_);
+  PutU64(blob, records.size());
+  for (const FingerprintEpoch& e : records) {
+    PutU64(blob, e.kind);
+    PutU64(blob, e.stream);
+    PutU64(blob, e.seq);
+    PutU64(blob, e.digest);
+    PutU64(blob, e.anchor);
+    PutU64(blob, e.events);
+  }
+  std::FILE* f = IoFault() ? nullptr : std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    IoError("cannot write fingerprint file " + path_);
+    return false;
+  }
+  const bool ok = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    IoError("short write to fingerprint file " + path_);
+    return false;
+  }
+  return true;
+}
+
+bool ExecutionFingerprint::LoadFile(std::vector<FingerprintEpoch>* records) {
+  std::FILE* f = IoFault() ? nullptr : std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    IoError("cannot open fingerprint file " + path_);
+    return false;
+  }
+  std::string blob;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) blob.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    IoError("read error on fingerprint file " + path_);
+    return false;
+  }
+  if (blob.size() < sizeof kMagic + 16 ||
+      std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0) {
+    IoError("not a fingerprint file: " + path_);
+    return false;
+  }
+  size_t pos = sizeof kMagic;
+  uint64_t file_epoch_ops = 0;
+  uint64_t count = 0;
+  GetU64(blob, &pos, &file_epoch_ops);
+  GetU64(blob, &pos, &count);
+  if (file_epoch_ops != epoch_ops_) {
+    IoError("fingerprint file " + path_ + " was recorded with epoch_ops=" +
+            std::to_string(file_epoch_ops) + ", this run uses " +
+            std::to_string(epoch_ops_));
+    return false;
+  }
+  records->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FingerprintEpoch e;
+    if (!GetU64(blob, &pos, &e.kind) || !GetU64(blob, &pos, &e.stream) ||
+        !GetU64(blob, &pos, &e.seq) || !GetU64(blob, &pos, &e.digest) ||
+        !GetU64(blob, &pos, &e.anchor) || !GetU64(blob, &pos, &e.events)) {
+      IoError("truncated fingerprint file " + path_);
+      return false;
+    }
+    records->push_back(e);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint64_t ExecutionFingerprint::Events() const noexcept {
+  uint64_t n = schedule_.events.load(std::memory_order_relaxed);
+  for (const auto& s : memory_) {
+    n += s->events.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+uint64_t ExecutionFingerprint::Epochs() const noexcept {
+  uint64_t n = schedule_.epochs.load(std::memory_order_relaxed);
+  for (const auto& s : memory_) {
+    n += s->epochs.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::string ExecutionFingerprint::LastDivergenceReport() const {
+  std::scoped_lock lock(report_mu_);
+  return first_report_;
+}
+
+uint64_t ExecutionFingerprint::Rollup() const {
+  {
+    std::scoped_lock lock(finalize_mu_);
+    if (finalized_) return rollup_;
+  }
+  return FoldRollup(0);
+}
+
+void ExecutionFingerprint::ThreadProgress(size_t tid, uint64_t* events,
+                                          uint64_t* epochs,
+                                          uint64_t* chain) const {
+  if (tid >= memory_.size()) {
+    *events = *epochs = *chain = 0;
+    return;
+  }
+  const Stream& s = *memory_[tid];
+  *events = s.events.load(std::memory_order_relaxed);
+  *epochs = s.epochs.load(std::memory_order_relaxed);
+  *chain = s.chain.load(std::memory_order_relaxed);
+}
+
+std::string ExecutionFingerprint::ProgressSummary() const {
+  std::ostringstream os;
+  os << "fingerprint: mode="
+     << (mode_ == FingerprintMode::kRecord
+             ? "record"
+             : mode_ == FingerprintMode::kVerify ? "verify" : "off")
+     << ", schedule epochs "
+     << schedule_.epochs.load(std::memory_order_relaxed) << " (events "
+     << schedule_.events.load(std::memory_order_relaxed) << ", chain "
+     << Hex(schedule_.chain.load(std::memory_order_relaxed))
+     << "), divergences " << Divergences() << ", io errors " << IoErrors()
+     << "\n";
+  for (size_t t = 0; t < memory_.size(); ++t) {
+    const Stream& s = *memory_[t];
+    const uint64_t events = s.events.load(std::memory_order_relaxed);
+    if (events == 0) continue;
+    os << "  thread " << t << ": memory events " << events << ", epochs "
+       << s.epochs.load(std::memory_order_relaxed) << ", chain "
+       << Hex(s.chain.load(std::memory_order_relaxed)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rfdet

@@ -1,0 +1,229 @@
+// Execution fingerprinting — online determinism self-verification.
+//
+// RFDet's promise is strong determinism, but a single end-of-run workload
+// signature can only *assert* it: a determinism bug surfaces as "hash
+// mismatch" with zero localization. This subsystem incrementally digests
+// the execution at three levels so a divergence is pinpointed instead:
+//
+//   1. Schedule digest — one global stream absorbing every turn-ordered
+//      synchronization transition (tid, op, sync var, kendo clock). All
+//      absorbs happen under a turn, so the stream order is the
+//      deterministic synchronization order itself.
+//   2. Memory digests — one stream per thread, absorbing that thread's
+//      slice closes (vector clock + ModList page-diff bytes) and every
+//      remote slice applied to its view. Propagation runs concurrently
+//      (prelock, post-wake), so a *global* order of memory events is not
+//      deterministic — but each receiver's own sequence is, which is
+//      exactly the per-stream granularity used here.
+//   3. Final rollup — the per-stream chains folded with a digest of the
+//      static region (where workloads put their output).
+//
+// Streams are chunked into *epochs*: every `epoch_ops` events the running
+// chain is snapshotted as an epoch record {stream, seq, digest, anchor}.
+// kRecord serializes the epoch chain to a compact binary file; kVerify
+// streams the same execution against a recorded file and fails at the
+// first epoch whose digest differs, with a report naming the stream
+// (schedule or thread), epoch, and the last absorbed event (thread, kendo
+// clock, vector clock, sync var or page). Within one stream the first
+// divergent epoch — and therefore the report — is a pure function of the
+// deterministic execution: byte-identical across runs.
+//
+// Thread-safety: each stream is only ever absorbed into by one host
+// thread at a time (the schedule stream by the turn holder; a memory
+// stream by its owner — or, during a barrier merge, by the last arriver
+// while the owner is blocked). Counters are relaxed atomics so the
+// watchdog can read racy-but-sane progress values from outside the
+// schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rfdet/common/error.h"
+#include "rfdet/common/hash.h"
+#include "rfdet/mem/metadata_arena.h"
+#include "rfdet/mem/mod_list.h"
+#include "rfdet/time/vector_clock.h"
+
+namespace rfdet {
+
+class FaultInjector;
+
+enum class FingerprintMode : uint8_t {
+  kOff = 0,
+  kRecord,  // digest and serialize the fingerprint file at finalize
+  kVerify,  // digest and stream-compare against a recorded file
+};
+
+// What a kVerify divergence (or a dlrc_paranoia invariant failure) does.
+enum class DivergencePolicy : uint8_t {
+  // Print the deterministic divergence report to stderr and panic — the
+  // guardrail disposition (CI, det-check).
+  kPanic,
+  // Retain the first report (LastDivergenceReport), count it, call
+  // on_divergence, and stop verifying; execution continues.
+  kReport,
+};
+
+// One serialized digest record. kind 0 = schedule epoch (stream is 0),
+// kind 1 = memory epoch (stream is the owning tid), kind 2 = the final
+// rollup (stream 0, digest = rollup, anchor = region digest).
+struct FingerprintEpoch {
+  uint64_t kind = 0;
+  uint64_t stream = 0;
+  uint64_t seq = 0;     // epoch index within the stream
+  uint64_t digest = 0;  // chained digest after the epoch's last event
+  uint64_t anchor = 0;  // kendo clock (schedule) / vclock component (memory)
+  uint64_t events = 0;  // cumulative events absorbed into the stream
+  bool operator==(const FingerprintEpoch&) const = default;
+};
+
+class ExecutionFingerprint {
+ public:
+  struct Config {
+    FingerprintMode mode = FingerprintMode::kOff;
+    std::string path;  // fingerprint file ("" in kRecord: digest only)
+    DivergencePolicy policy = DivergencePolicy::kPanic;
+    size_t epoch_ops = 64;  // events per epoch (1 = exact pinpointing)
+    size_t max_threads = 64;
+    MetadataArena* arena = nullptr;      // charged for epoch storage
+    FaultInjector* injector = nullptr;   // kFingerprintIo site
+    std::function<void(const std::string&)> on_divergence;
+    // Sink for recoverable file-I/O failures (RfdetErrc::kIo).
+    std::function<void(RfdetErrc, const std::string&)> on_error;
+  };
+
+  explicit ExecutionFingerprint(const Config& config);
+  ~ExecutionFingerprint();
+
+  ExecutionFingerprint(const ExecutionFingerprint&) = delete;
+  ExecutionFingerprint& operator=(const ExecutionFingerprint&) = delete;
+
+  // True while events should be fed in: mode is not kOff and neither a
+  // divergence nor an I/O failure has retired the subsystem.
+  [[nodiscard]] bool Absorbing() const noexcept {
+    return mode_ != FingerprintMode::kOff &&
+           !dead_.load(std::memory_order_relaxed);
+  }
+
+  // ---- event absorption ----------------------------------------------------
+
+  // A turn-ordered synchronization transition (call under the turn).
+  void OnSyncOp(size_t tid, uint8_t op, const char* op_name, uint64_t object,
+                uint64_t kendo_clock);
+  // Thread `tid` closed a slice with the given time and modifications.
+  void OnSliceClose(size_t tid, uint64_t seq, const VectorClock& time,
+                    const ModList& mods);
+  // A remote slice (src_tid, src_seq, time) was applied to receiver's view.
+  void OnApply(size_t receiver, size_t src_tid, uint64_t src_seq,
+               const VectorClock& time, const ModList& mods);
+
+  // Paranoia / external invariant failure: routed through the same
+  // divergence sink (report retention, on_divergence, policy).
+  void RaiseDivergence(const std::string& report);
+
+  // Closes all partial epochs, folds the rollup (with `region_digest`
+  // covering the shared region's output bytes), then writes the recording
+  // (kRecord) or checks stream completeness and the final record
+  // (kVerify). Idempotent; call once all worker threads have quiesced.
+  uint64_t Finalize(uint64_t region_digest);
+
+  // ---- introspection -------------------------------------------------------
+
+  [[nodiscard]] FingerprintMode mode() const noexcept { return mode_; }
+  [[nodiscard]] uint64_t Events() const noexcept;
+  [[nodiscard]] uint64_t Epochs() const noexcept;
+  [[nodiscard]] uint64_t Divergences() const noexcept {
+    return divergences_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t IoErrors() const noexcept {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
+  // The first divergence report ("" if none). Under kReport this is the
+  // deterministic, byte-identical failure artifact.
+  [[nodiscard]] std::string LastDivergenceReport() const;
+  // The final rollup once finalized; a live (racy-but-sane) fold before.
+  [[nodiscard]] uint64_t Rollup() const;
+  // Racy progress counters for thread `tid`'s memory stream (watchdog and
+  // deadlock-report use; reading under the turn yields deterministic
+  // values because every absorb into the stream is turn-or-causally
+  // ordered before the read).
+  void ThreadProgress(size_t tid, uint64_t* events, uint64_t* epochs,
+                      uint64_t* chain) const;
+  // Multi-line "fingerprint: …" block for DumpStateReport.
+  [[nodiscard]] std::string ProgressSummary() const;
+
+  // ---- digest helpers (shared with benches/tests) --------------------------
+
+  // Word-lane FNV-1a, four independent lanes on bulk input so the
+  // multiplies pipeline instead of serializing on the chain. Not
+  // byte-FNV-compatible, but far faster — the record-mode overhead budget
+  // (≤2x on the propagation bench) is dominated by this loop.
+  [[nodiscard]] static uint64_t HashBytes(const void* data, size_t len,
+                                          uint64_t seed = kFnvOffset);
+  [[nodiscard]] static uint64_t HashClock(const VectorClock& vc,
+                                          uint64_t seed = kFnvOffset);
+  [[nodiscard]] static uint64_t HashMods(const ModList& mods, uint64_t seed);
+
+ private:
+  struct Stream {
+    std::atomic<uint64_t> events{0};
+    std::atomic<uint64_t> epochs{0};
+    std::atomic<uint64_t> chain{kFnvOffset};
+    // Last absorbed event, owner-written, read only by the owner when it
+    // builds a divergence report.
+    uint64_t last_anchor = 0;
+    std::string last_event;
+    // kRecord: the epoch log this run produces.
+    std::vector<FingerprintEpoch> recorded;
+    // kVerify: the recording's epochs for this stream.
+    std::vector<FingerprintEpoch> expected;
+  };
+
+  [[nodiscard]] bool IoFault() noexcept;
+  void IoError(const std::string& what);
+  void Absorb(Stream& s, uint64_t kind, uint64_t stream_id,
+              uint64_t event_digest, uint64_t anchor, std::string event_desc);
+  void CloseEpoch(Stream& s, uint64_t kind, uint64_t stream_id);
+  void CompareEpoch(const Stream& s, uint64_t stream_id,
+                    const FingerprintEpoch& got);
+  [[nodiscard]] static std::string StreamName(uint64_t kind,
+                                              uint64_t stream_id);
+  [[nodiscard]] uint64_t FoldRollup(uint64_t region_digest) const;
+  void ChargeArena(size_t bytes);
+  bool WriteFile(const std::vector<FingerprintEpoch>& records);
+  bool LoadFile(std::vector<FingerprintEpoch>* records);
+
+  const FingerprintMode mode_;
+  const std::string path_;
+  const DivergencePolicy policy_;
+  const size_t epoch_ops_;
+  MetadataArena* const arena_;
+  FaultInjector* const injector_;
+  const std::function<void(const std::string&)> on_divergence_;
+  const std::function<void(RfdetErrc, const std::string&)> on_error_;
+
+  Stream schedule_;
+  std::vector<std::unique_ptr<Stream>> memory_;  // index = tid
+  FingerprintEpoch expected_final_;
+  bool have_expected_final_ = false;
+
+  std::atomic<bool> dead_{false};
+  std::atomic<uint64_t> divergences_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  mutable std::mutex report_mu_;
+  std::string first_report_;
+
+  mutable std::mutex finalize_mu_;
+  bool finalized_ = false;
+  uint64_t rollup_ = 0;
+  // Streams charge concurrently (each under its own host thread).
+  std::atomic<size_t> charged_bytes_{0};
+};
+
+}  // namespace rfdet

@@ -1,0 +1,340 @@
+// Execution fingerprinting: record/verify round trips, mutation
+// pinpointing, I/O fault recovery, paranoia checks, and the bounded trace
+// ring. The mutation tests are the subsystem's reason to exist — each one
+// perturbs a single event of a verify run and asserts the divergence
+// report names the exact stream, with the report byte-identical across
+// repeated verify runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+struct FpRun {
+  uint64_t rollup = 0;
+  std::string report;
+  StatsSnapshot stats;
+  std::string dump;
+};
+
+RfdetOptions Base() {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  return o;
+}
+
+// A small workload with both lock-ordered and racy shared accesses:
+// 3 spawned threads increment a mutex-protected counter and store to
+// per-thread slots in a shared page, so every thread both closes slices
+// and receives remote applies.
+FpRun RunWorkload(RfdetOptions o) {
+  FpRun out;
+  RfdetRuntime rt(o);
+  const GAddr counter = rt.AllocStatic(64);
+  const GAddr slots = rt.AllocStatic(4096, 64);
+  const size_t m = rt.CreateMutex();
+  const size_t bar = rt.CreateBarrier(4);
+  std::vector<size_t> tids;
+  for (int t = 0; t < 3; ++t) {
+    tids.push_back(rt.Spawn([&rt, t, counter, slots, m, bar] {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+        int v = 0;
+        rt.Load(counter, &v, sizeof v);
+        ++v;
+        rt.Store(counter, &v, sizeof v);
+        rt.MutexUnlock(m);
+        const uint32_t w = static_cast<uint32_t>(t * 1000 + i);
+        rt.Store(slots + (static_cast<size_t>(t) * 64 +
+                          static_cast<size_t>(i)) * sizeof w,
+                 &w, sizeof w);
+        rt.Tick(3);
+      }
+      EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+    }));
+  }
+  EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+  for (const size_t tid : tids) EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  int final_count = 0;
+  rt.Load(counter, &final_count, sizeof final_count);
+  out.rollup = rt.FinalizeFingerprint();
+  out.report = rt.LastDivergenceReport();
+  out.stats = rt.Snapshot();
+  out.dump = rt.DumpStateReport();
+  // The lock-protected counter is exact unless a mutation dropped or
+  // corrupted the propagation that carries it — don't assert it here.
+  (void)final_count;
+  return out;
+}
+
+std::string TempFpPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---- record / verify round trip -------------------------------------------
+
+TEST(Fingerprint, RecordThenVerifyClean) {
+  const std::string path = TempFpPath("fp_clean.bin");
+  RfdetOptions o = Base();
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  const FpRun rec = RunWorkload(o);
+  EXPECT_TRUE(rec.report.empty()) << rec.report;
+  EXPECT_GT(rec.stats.fingerprint_events, 0u);
+  EXPECT_GT(rec.stats.fingerprint_epochs, 0u);
+  EXPECT_EQ(rec.stats.fingerprint_divergences, 0u);
+  EXPECT_NE(rec.rollup, 0u);
+
+  o.fingerprint = FingerprintMode::kVerify;
+  const FpRun ver = RunWorkload(o);
+  EXPECT_TRUE(ver.report.empty()) << ver.report;
+  EXPECT_EQ(ver.stats.fingerprint_divergences, 0u);
+  EXPECT_EQ(ver.rollup, rec.rollup);
+  std::remove(path.c_str());
+}
+
+TEST(Fingerprint, RecordingIsByteStable) {
+  const std::string a = TempFpPath("fp_stable_a.bin");
+  const std::string b = TempFpPath("fp_stable_b.bin");
+  RfdetOptions o = Base();
+  o.fingerprint = FingerprintMode::kRecord;
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.fingerprint_path = a;
+  RunWorkload(o);
+  o.fingerprint_path = b;
+  RunWorkload(o);
+  const std::string bytes_a = SlurpFile(a);
+  const std::string bytes_b = SlurpFile(b);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// ---- mutation pinpointing --------------------------------------------------
+
+// Records a clean fingerprint, then verifies twice with `mut` injected.
+// Returns the two verify-run reports (expected identical).
+std::pair<std::string, std::string> VerifyWithMutation(
+    const char* file, const DetMutation& mut) {
+  const std::string path = TempFpPath(file);
+  RfdetOptions o = Base();
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  // epoch_ops=1: every event is its own epoch, so the report pinpoints
+  // the exact perturbed event and the first divergent stream is a pure
+  // function of the execution.
+  o.fingerprint_epoch_ops = 1;
+  const FpRun rec = RunWorkload(o);
+  EXPECT_TRUE(rec.report.empty()) << rec.report;
+
+  o.fingerprint = FingerprintMode::kVerify;
+  o.test_mutation = mut;
+  const FpRun v1 = RunWorkload(o);
+  const FpRun v2 = RunWorkload(o);
+  EXPECT_GT(v1.stats.fingerprint_divergences, 0u);
+  std::remove(path.c_str());
+  return {v1.report, v2.report};
+}
+
+TEST(Fingerprint, CorruptedPropagationBytePinpointed) {
+  DetMutation mut;
+  mut.kind = DetMutation::Kind::kCorruptPropagatedByte;
+  mut.tid = 1;
+  mut.index = 1;
+  const auto [r1, r2] = VerifyWithMutation("fp_corrupt.bin", mut);
+  ASSERT_FALSE(r1.empty());
+  // The corrupted apply lands in the receiver's own memory stream, so the
+  // report names thread 1 — the thread configured above.
+  EXPECT_NE(r1.find("memory stream of thread 1"), std::string::npos) << r1;
+  EXPECT_NE(r1.find("apply of slice"), std::string::npos) << r1;
+  EXPECT_EQ(r1, r2);  // deterministic, byte-identical report
+}
+
+TEST(Fingerprint, SkippedSliceApplyPinpointed) {
+  DetMutation mut;
+  mut.kind = DetMutation::Kind::kSkipSliceApply;
+  mut.tid = 1;
+  mut.index = 1;
+  const auto [r1, r2] = VerifyWithMutation("fp_skip.bin", mut);
+  ASSERT_FALSE(r1.empty());
+  EXPECT_NE(r1.find("memory stream of thread 1"), std::string::npos) << r1;
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(Fingerprint, KendoTickSkewPinpointed) {
+  DetMutation mut;
+  mut.kind = DetMutation::Kind::kSkewKendoTick;
+  mut.tid = 1;
+  mut.index = 2;
+  const auto [r1, r2] = VerifyWithMutation("fp_skew.bin", mut);
+  ASSERT_FALSE(r1.empty());
+  // A skewed kendo clock perturbs the turn order, which the global
+  // schedule stream digests.
+  EXPECT_NE(r1.find("schedule stream"), std::string::npos) << r1;
+  EXPECT_EQ(r1, r2);
+}
+
+// ---- fingerprint file I/O faults -------------------------------------------
+
+TEST(Fingerprint, VerifyLoadFaultIsRecoverable) {
+  const std::string path = TempFpPath("fp_iofault.bin");
+  RfdetOptions o = Base();
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  const FpRun rec = RunWorkload(o);
+  EXPECT_TRUE(rec.report.empty()) << rec.report;
+
+  FaultInjector fi;
+  fi.Arm(FaultSite::kFingerprintIo, {/*skip=*/0, /*count=*/1});
+  o.fingerprint = FingerprintMode::kVerify;
+  o.fault_injector = &fi;
+  const FpRun ver = RunWorkload(o);  // load fails; run must complete
+  EXPECT_EQ(ver.stats.fingerprint_io_errors, 1u);
+  EXPECT_EQ(ver.stats.fingerprint_divergences, 0u);
+  EXPECT_TRUE(ver.report.empty()) << ver.report;
+  std::remove(path.c_str());
+}
+
+TEST(Fingerprint, RecordSaveFaultIsRecoverable) {
+  const std::string path = TempFpPath("fp_savefault.bin");
+  FaultInjector fi;
+  fi.Arm(FaultSite::kFingerprintIo, {/*skip=*/0, /*count=*/1});
+  RfdetOptions o = Base();
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.fault_injector = &fi;
+  const FpRun rec = RunWorkload(o);  // save fails at finalize
+  EXPECT_EQ(rec.stats.fingerprint_io_errors, 1u);
+  EXPECT_TRUE(rec.report.empty()) << rec.report;
+  std::remove(path.c_str());
+}
+
+// ---- dlrc paranoia ---------------------------------------------------------
+
+TEST(Fingerprint, ParanoiaCleanRun) {
+  RfdetOptions o = Base();
+  o.dlrc_paranoia = true;  // fingerprint mode stays kOff
+  o.divergence_policy = DivergencePolicy::kReport;
+  const FpRun run = RunWorkload(o);
+  EXPECT_EQ(run.stats.paranoia_failures, 0u);
+  EXPECT_TRUE(run.report.empty()) << run.report;
+}
+
+TEST(Fingerprint, ParanoiaComposesWithVerify) {
+  const std::string path = TempFpPath("fp_paranoia.bin");
+  RfdetOptions o = Base();
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.dlrc_paranoia = true;
+  const FpRun rec = RunWorkload(o);
+  EXPECT_TRUE(rec.report.empty()) << rec.report;
+  o.fingerprint = FingerprintMode::kVerify;
+  const FpRun ver = RunWorkload(o);
+  EXPECT_TRUE(ver.report.empty()) << ver.report;
+  EXPECT_EQ(ver.stats.paranoia_failures, 0u);
+  std::remove(path.c_str());
+}
+
+// ---- introspection surfaces ------------------------------------------------
+
+TEST(Fingerprint, DumpStateReportIncludesProgress) {
+  RfdetOptions o = Base();
+  o.fingerprint = FingerprintMode::kRecord;  // no path: digest only
+  o.divergence_policy = DivergencePolicy::kReport;
+  const FpRun run = RunWorkload(o);
+  EXPECT_NE(run.dump.find("fingerprint: mode="), std::string::npos)
+      << run.dump;
+}
+
+TEST(Fingerprint, DeadlockReportShowsFingerprintEpochs) {
+  RfdetOptions o = Base();
+  o.fingerprint = FingerprintMode::kRecord;  // digest only
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.deadlock_policy = DeadlockPolicy::kReturnError;
+  RfdetRuntime rt(o);
+  const size_t a = rt.CreateMutex();
+  const size_t b = rt.CreateMutex();
+  std::atomic<int> backed_out{0};
+  auto worker = [&](size_t first, size_t second) {
+    EXPECT_EQ(rt.MutexLock(first), RfdetErrc::kOk);
+    rt.Tick(50000);
+    if (rt.MutexLock(second) == RfdetErrc::kOk) {
+      rt.MutexUnlock(second);
+    } else {
+      backed_out.fetch_add(1);
+    }
+    rt.MutexUnlock(first);
+  };
+  const size_t t1 = rt.Spawn([&] { worker(a, b); });
+  const size_t t2 = rt.Spawn([&] { worker(b, a); });
+  EXPECT_EQ(rt.Join(t1), RfdetErrc::kOk);
+  EXPECT_EQ(rt.Join(t2), RfdetErrc::kOk);
+  EXPECT_GE(backed_out.load(), 1);
+  const std::string report = rt.LastDeadlockReport();
+  ASSERT_FALSE(report.empty());
+  // Each thread line carries its fingerprint progress when the subsystem
+  // is active, so a divergence investigation can line the deadlock up
+  // against the recorded epoch chain.
+  EXPECT_NE(report.find("fp epoch"), std::string::npos) << report;
+}
+
+// ---- bounded schedule trace (satellite 1) ----------------------------------
+
+TEST(Fingerprint, TraceRingIsBounded) {
+  RfdetOptions o = Base();
+  o.record_trace = true;
+  o.trace_limit = 32;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+    rt.MutexUnlock(m);
+  }
+  const auto trace = rt.Trace();
+  EXPECT_EQ(trace.size(), 32u);
+  EXPECT_GT(rt.Snapshot().trace_dropped, 0u);
+}
+
+TEST(Fingerprint, TraceRingKeepsTheTail) {
+  RfdetOptions o = Base();
+  o.record_trace = true;
+  o.trace_limit = 16;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+    rt.MutexUnlock(m);
+  }
+  // The retained window is the most recent events: its last entry must be
+  // the final unlock the loop performed.
+  const auto trace = rt.Trace();
+  ASSERT_EQ(trace.size(), 16u);
+  EXPECT_EQ(trace.back().op, RfdetRuntime::TraceOp::kUnlock);
+}
+
+}  // namespace
+}  // namespace rfdet

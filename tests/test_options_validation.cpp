@@ -75,6 +75,33 @@ TEST(OptionsValidation, ZeroTicksPerWord) {
   EXPECT_NE(ValidateOptions(o).find("ticks_per_word"), std::string::npos);
 }
 
+TEST(OptionsValidation, ZeroTraceLimitWithTracing) {
+  RfdetOptions o = Valid();
+  o.trace_limit = 0;
+  EXPECT_EQ(ValidateOptions(o), "");  // irrelevant while tracing is off
+  o.record_trace = true;
+  EXPECT_NE(ValidateOptions(o).find("trace_limit"), std::string::npos);
+}
+
+TEST(OptionsValidation, VerifyNeedsAFingerprintPath) {
+  RfdetOptions o = Valid();
+  o.fingerprint = FingerprintMode::kVerify;
+  EXPECT_NE(ValidateOptions(o).find("fingerprint_path"), std::string::npos);
+  o.fingerprint_path = "/tmp/fp.bin";
+  // Still invalid overall? No: a nonexistent file surfaces as a
+  // recoverable I/O error at construction, not a validation failure.
+  EXPECT_EQ(ValidateOptions(o), "");
+}
+
+TEST(OptionsValidation, ZeroFingerprintEpochOps) {
+  RfdetOptions o = Valid();
+  o.fingerprint_epoch_ops = 0;
+  EXPECT_EQ(ValidateOptions(o), "");  // irrelevant while fingerprinting off
+  o.fingerprint = FingerprintMode::kRecord;
+  EXPECT_NE(ValidateOptions(o).find("fingerprint_epoch_ops"),
+            std::string::npos);
+}
+
 class OptionsValidationDeathTest : public ::testing::Test {
  protected:
   void SetUp() override {
