@@ -27,6 +27,8 @@
 #include "rfdet/mem/apply_plan.h"
 #include "rfdet/mem/mod_list.h"
 #include "rfdet/mem/thread_view.h"
+#include "rfdet/race/race_detector.h"
+#include "rfdet/slice/slice.h"
 #include "rfdet/verify/fingerprint.h"
 
 namespace {
@@ -197,6 +199,79 @@ double FingerprintOverhead(const ModList& mods, const ApplyPlan& plan,
   return plain > 0 ? with_fp / plain : 0;
 }
 
+// The same paired loop with the race detector on the close path: every
+// apply is followed by an OnSliceClose of a premade slice, alternating
+// between two tids whose vector clocks tick only their own component, so
+// every cross-thread window pair stays concurrent and each close walks the
+// full window (vclock compare, Bloom prefilter, sorted-page intersection;
+// the dedup set caps the exact byte sweep after the first report, as in a
+// real run's steady state). The ratio against the plain loop is the
+// kReport-mode detection overhead on the propagation hot path; the PR
+// budgets it at ≤1.5x.
+double RaceOverhead(const ModList& mods, const ApplyPlan& plan,
+                    const Shape& shape) {
+  MetadataArena arena(256u << 20);
+  ThreadView view(kCapacity, MonitorMode::kPageFault, &arena);
+  view.ActivateOnThisThread();
+  ApplyOnce(view, mods, &plan, /*lazy=*/false);
+
+  RaceDetector::Config rc;
+  rc.policy = RacePolicy::kReport;
+  rc.page_count = kCapacity / kPageSize;
+  rc.arena = &arena;
+  RaceDetector det(rc);
+
+  // Two premade slices (one per tid) stand in for freshly closed slices;
+  // slice construction is not detector cost — a real CloseSlice builds the
+  // slice whether or not detection is on. The close time is passed
+  // separately, so reusing the slices with fresh clocks is sound.
+  VectorClock clock_a(2);
+  VectorClock clock_b(2);
+  const SliceRef slice_a = std::make_shared<Slice>(
+      /*tid=*/0, /*seq=*/0, clock_a, ModList(mods), nullptr);
+  const SliceRef slice_b = std::make_shared<Slice>(
+      /*tid=*/1, /*seq=*/0, clock_b, ModList(mods), nullptr);
+  uint64_t seq = 0;
+
+  double plain = 0;
+  double with_race = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < shape.iters; ++i) {
+      ApplyOnce(view, mods, &plan, /*lazy=*/false);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < shape.iters; ++i) {
+      ApplyOnce(view, mods, &plan, /*lazy=*/false);
+      const size_t tid = i & 1;
+      VectorClock& time = tid == 0 ? clock_a : clock_b;
+      time.Tick(tid);
+      ++seq;
+      det.OnSliceClose(tid, seq, seq, time, tid == 0 ? slice_a : slice_b,
+                       {});
+      // Periodic synchronization, as in a locked program: the clocks
+      // join, ordering every earlier close before everything later, and
+      // the GC frontier (their meet) retires those entries — the window
+      // stays at its real-run steady-state size instead of accumulating
+      // to the budget cap, which no GC'd execution does.
+      if ((i & 15) == 15) {
+        clock_a.Join(clock_b);
+        clock_b.Join(clock_a);
+        VectorClock meet = clock_a;
+        meet.Meet(clock_b);
+        det.Retire(meet);
+      }
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    const double p = std::chrono::duration<double>(t1 - t0).count();
+    const double r = std::chrono::duration<double>(t2 - t1).count();
+    if (rep == 0 || p < plain) plain = p;
+    if (rep == 0 || r < with_race) with_race = r;
+  }
+  ThreadView::DeactivateOnThisThread();
+  return plain > 0 ? with_race / plain : 0;
+}
+
 double CellValue(const std::vector<CellResult>& cells, const char* mode,
                  const char* apply, const char* path,
                  double CellResult::* field) {
@@ -284,12 +359,14 @@ int main(int argc, char** argv) {
       std::max(1.0, CellValue(cells, "ci", "eager", "legacy",
                               &CellResult::slices_per_sec));
   const double fp_overhead = FingerprintOverhead(mods, plan, shape);
+  const double race_overhead = RaceOverhead(mods, plan, shape);
   std::printf(
       "\nsummary: pf-eager mprotect/apply %.2f -> %.2f (%.1fx reduction), "
       "pf-eager %.2fx slices/s, ci-eager %.2fx slices/s\n"
-      "fingerprint record overhead on pf-eager-planned: %.2fx\n",
+      "fingerprint record overhead on pf-eager-planned: %.2fx\n"
+      "race detection (kReport) overhead on pf-eager-planned: %.2fx\n",
       legacy_mp, planned_mp, mp_reduction, pf_speedup, ci_speedup,
-      fp_overhead);
+      fp_overhead, race_overhead);
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -325,6 +402,8 @@ int main(int argc, char** argv) {
     out << "    \"ci_eager_slices_per_sec_speedup\": " << ci_speedup
         << ",\n";
     out << "    \"pf_eager_planned_fingerprint_overhead\": " << fp_overhead
+        << ",\n";
+    out << "    \"pf_eager_planned_race_overhead\": " << race_overhead
         << "\n";
     out << "  }\n}\n";
     std::printf("wrote %s\n", json_path.c_str());
@@ -341,6 +420,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "propagation_path: fingerprint overhead %.2fx > 2x budget\n",
                  fp_overhead);
+    return 1;
+  }
+  if (!smoke && race_overhead > 1.5) {
+    std::fprintf(stderr,
+                 "propagation_path: race overhead %.2fx > 1.5x budget\n",
+                 race_overhead);
     return 1;
   }
   return 0;

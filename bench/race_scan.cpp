@@ -1,0 +1,127 @@
+// Online race-detection driver (scripts/check.sh --races).
+//
+// Runs one workload N times under RacePolicy::kReport and checks the two
+// properties the detector promises:
+//
+//   1. Determinism: the race report text is byte-identical across runs.
+//      Detection piggybacks on turn-ordered slice closes, so the set of
+//      reported races — like every other observable — must not vary.
+//   2. Expectation: --expect=races demands a nonempty report (racey),
+//      --expect=none demands an empty one (properly locked workloads).
+//
+// Flags:
+//   --workload=racey     any apps workload name
+//   --backend=rfdet-pf   rfdet-ci | rfdet-pf
+//   --runs=5 --threads=4 --scale=1
+//   --expect=races       races | none | any (default: any, report only)
+//   --track-reads        also enable page-granular write-read detection
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rfdet/harness/harness.h"
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  const int runs = std::max<int>(1, static_cast<int>(flags.Int("runs", 5)));
+  const std::string workload_name = flags.Str("workload", "racey");
+  const std::string backend_name = flags.Str("backend", "rfdet-pf");
+  const std::string expect = flags.Str("expect", "any");
+
+  const apps::Workload* workload = apps::FindWorkload(workload_name);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "race_scan: unknown workload '%s'\n",
+                 workload_name.c_str());
+    return 2;
+  }
+  const auto kind = dmt::ParseBackend(backend_name);
+  if (!kind || (*kind != dmt::BackendKind::kRfdetCi &&
+                *kind != dmt::BackendKind::kRfdetPf)) {
+    std::fprintf(stderr,
+                 "race_scan: backend '%s' has no race detector "
+                 "(use rfdet-ci or rfdet-pf)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+  if (expect != "races" && expect != "none" && expect != "any") {
+    std::fprintf(stderr, "race_scan: --expect must be races|none|any\n");
+    return 2;
+  }
+
+  dmt::BackendConfig config;
+  config.kind = *kind;
+  config.region_bytes = 16u << 20;
+  config.race_policy = rfdet::RacePolicy::kReport;
+  config.race_track_reads = flags.Bool("track-reads", false);
+
+  apps::Params params;
+  params.threads = static_cast<size_t>(flags.Int("threads", 4));
+  params.scale = static_cast<int>(flags.Int("scale", 1));
+
+  std::printf("race-scan: %s on %s, %zu threads, %d runs, expect=%s%s\n\n",
+              workload_name.c_str(), backend_name.c_str(), params.threads,
+              runs, expect.c_str(),
+              config.race_track_reads ? ", read tracking on" : "");
+
+  std::vector<harness::RunOutcome> outs;
+  outs.reserve(static_cast<size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    outs.push_back(harness::Measure(*workload, params, config));
+  }
+
+  harness::Table table(
+      {"run", "signature", "ww", "rw pages", "checks", "report"});
+  for (int i = 0; i < runs; ++i) {
+    const harness::RunOutcome& out = outs[static_cast<size_t>(i)];
+    char sig[32];
+    std::snprintf(sig, sizeof sig, "%016llx",
+                  static_cast<unsigned long long>(out.signature));
+    table.AddRow({std::to_string(i + 1), sig,
+                  harness::FormatCount(out.stats.races_ww),
+                  harness::FormatCount(out.stats.races_rw_pages),
+                  harness::FormatCount(out.stats.race_checks),
+                  out.race_report.empty() ? "empty"
+                                          : std::to_string(
+                                                out.race_report.size()) +
+                                                " bytes"});
+  }
+  table.Print();
+
+  int failures = 0;
+  for (int i = 1; i < runs; ++i) {
+    const auto idx = static_cast<size_t>(i);
+    if (outs[idx].race_report != outs[0].race_report) {
+      std::printf("\nFAIL: run %d race report differs from run 1 "
+                  "(%zu vs %zu bytes) — detection is nondeterministic\n",
+                  i + 1, outs[idx].race_report.size(),
+                  outs[0].race_report.size());
+      ++failures;
+    }
+    if (outs[idx].signature != outs[0].signature) {
+      std::printf("\nFAIL: run %d workload signature differs from run 1\n",
+                  i + 1);
+      ++failures;
+    }
+  }
+  const bool raced = !outs[0].race_report.empty();
+  if (expect == "races" && !raced) {
+    std::printf("\nFAIL: expected races, report is empty\n");
+    ++failures;
+  }
+  if (expect == "none" && raced) {
+    std::printf("\nFAIL: expected no races, got report:\n%s\n",
+                outs[0].race_report.c_str());
+    ++failures;
+  }
+
+  if (failures == 0) {
+    if (raced) {
+      std::printf("\nAll %d runs produced this byte-identical report:\n%s",
+                  runs, outs[0].race_report.c_str());
+    } else {
+      std::printf("\nAll %d runs race-free (empty report).\n", runs);
+    }
+    return 0;
+  }
+  return 1;
+}

@@ -1,0 +1,75 @@
+// Online race detection: a racy bank vs. the same bank with locks.
+//
+// RFDet already materializes everything a happens-before race detector
+// needs — every slice carries its byte-exact write set and a vector clock —
+// so turning detection on (RacePolicy::kReport) costs no extra
+// instrumentation. And because the execution is deterministic, the
+// detector is too: the racy bank produces the *same* race report every
+// run, so a race seen once in production can be re-triggered and debugged
+// at will — no "it only crashes on Tuesdays".
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rfdet/backends/backends.h"
+
+namespace {
+
+constexpr size_t kAccounts = 16;
+constexpr size_t kThreads = 4;
+constexpr size_t kDeposits = 200;
+
+// Runs the bank; when `locked` is false the deposits race on the shared
+// balances. Returns the run's deterministic race report ("" = race-free).
+std::string RunBank(bool locked) {
+  dmt::BackendConfig config;
+  config.kind = dmt::BackendKind::kRfdetCi;
+  config.race_policy = rfdet::RacePolicy::kReport;
+  auto env = dmt::CreateEnv(config);
+
+  auto balances = dmt::MakeStaticArray<int64_t>(*env, kAccounts);
+  for (size_t i = 0; i < kAccounts; ++i) balances.Put(*env, i, 0);
+  std::vector<size_t> locks(kAccounts);
+  for (auto& l : locks) l = env->CreateMutex();
+
+  std::vector<size_t> tids;
+  for (size_t t = 0; t < kThreads; ++t) {
+    tids.push_back(env->Spawn([&, t] {
+      for (size_t i = 0; i < kDeposits; ++i) {
+        const size_t account = (t + i) % kAccounts;  // threads collide
+        if (locked) env->Lock(locks[account]);
+        balances.Put(*env, account, balances.Get(*env, account) + 1);
+        if (locked) env->Unlock(locks[account]);
+      }
+    }));
+  }
+  for (const size_t tid : tids) env->Join(tid);
+
+  int64_t total = 0;
+  for (size_t i = 0; i < kAccounts; ++i) total += balances.Get(*env, i);
+  std::printf("  %s bank: total=%lld (expected %zu)\n",
+              locked ? "locked" : "racy ", static_cast<long long>(total),
+              kThreads * kDeposits);
+  return env->RaceReportText();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("racy bank (no locks — lost updates AND a race report):\n");
+  const std::string racy1 = RunBank(/*locked=*/false);
+  const std::string racy2 = RunBank(/*locked=*/false);
+  std::printf("\nfirst racy run reported:\n%s\n", racy1.c_str());
+
+  std::printf("locked bank (per-account locks — clean):\n");
+  const std::string clean = RunBank(/*locked=*/true);
+
+  std::printf("\nracy bank reported races:        %s\n",
+              !racy1.empty() ? "yes ✓" : "NO — detector missed them");
+  std::printf("report identical across runs:    %s\n",
+              racy1 == racy2 ? "yes ✓ (deterministic detection)"
+                             : "NO — reports diverged");
+  std::printf("locked bank is race-free:        %s\n",
+              clean.empty() ? "yes ✓" : "NO — false positive");
+  return (!racy1.empty() && racy1 == racy2 && clean.empty()) ? 0 : 1;
+}

@@ -11,6 +11,10 @@
 #   scripts/check.sh --detcheck # additionally run the determinism
 #                               # self-check: record a racey execution
 #                               # fingerprint, verify 4 more runs against it
+#   scripts/check.sh --races    # additionally run the online race
+#                               # detector: racey must report a nonempty,
+#                               # byte-identical race set across 5 runs;
+#                               # locked workloads must stay silent
 #
 # Sanitized builds go to build-asan/ / build-tsan/ (and the bench build to
 # build-bench/) so they never disturb the primary build/ tree.
@@ -21,14 +25,16 @@ cd "$(dirname "$0")/.."
 sanitizers=()
 run_bench=0
 run_detcheck=0
+run_races=0
 for arg in "$@"; do
   case "$arg" in
     --asan) sanitizers+=(address) ;;
     --tsan) sanitizers+=(thread) ;;
     --bench) run_bench=1 ;;
     --detcheck) run_detcheck=1 ;;
+    --races) run_races=1 ;;
     *)
-      echo "usage: scripts/check.sh [--asan] [--tsan] [--bench] [--detcheck]" >&2
+      echo "usage: scripts/check.sh [--asan] [--tsan] [--bench] [--detcheck] [--races]" >&2
       exit 2
       ;;
   esac
@@ -48,7 +54,7 @@ for san in ${sanitizers[@]+"${sanitizers[@]}"}; do
   # Death tests re-exec the binary, which ASan/TSan tolerate fine under
   # the threadsafe style the fixtures select.
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)" \
-      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint')
+      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint|Race')
 done
 
 if [[ "$run_bench" == 1 ]]; then
@@ -64,6 +70,26 @@ if [[ "$run_detcheck" == 1 ]]; then
   # nonzero with a pinpointed report at the first diverging epoch.
   ./build/bench/det_check --workload=racey --det-check=5 --threads=4 \
       --paranoia
+fi
+
+if [[ "$run_races" == 1 ]]; then
+  # Online race detection gate (race_scan diffs the per-run reports
+  # itself and exits nonzero on any mismatch):
+  #  * racey — intentionally racy; a nonempty write-write race set,
+  #    byte-identical across 5 runs, on both monitors.
+  #  * pca / wordcount (phoenix) — properly synchronized; the byte-exact
+  #    write-write check must stay silent. (canneal is intentionally racy
+  #    — see apps/canneal.cpp — so it belongs with racey, not here.)
+  ./build/bench/race_scan --workload=racey --backend=rfdet-pf --runs=5 \
+      --threads=4 --expect=races
+  ./build/bench/race_scan --workload=racey --backend=rfdet-ci --runs=5 \
+      --threads=4 --expect=races
+  ./build/bench/race_scan --workload=canneal --backend=rfdet-pf --runs=3 \
+      --threads=4 --expect=races
+  ./build/bench/race_scan --workload=pca --backend=rfdet-pf --runs=3 \
+      --threads=4 --expect=none
+  ./build/bench/race_scan --workload=wordcount --backend=rfdet-ci --runs=3 \
+      --threads=4 --expect=none
 fi
 
 echo "check.sh: all requested suites passed"

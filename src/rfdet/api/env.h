@@ -103,6 +103,12 @@ class Env {
     return "";
   }
 
+  // ---- data-race detection --------------------------------------------------
+  // The run's deterministic race report text so far ("" if no races, race
+  // detection off, or unsupported by the backend). Byte-identical across
+  // runs of the same program under RacePolicy::kReport.
+  [[nodiscard]] virtual std::string RaceReportText() const { return ""; }
+
   // ---- typed convenience ---------------------------------------------------
   template <typename T>
   [[nodiscard]] T Get(GAddr addr) {

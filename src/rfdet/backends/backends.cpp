@@ -108,6 +108,13 @@ class RuntimeEnv final : public Env {
       return "";
     }
   }
+  [[nodiscard]] std::string RaceReportText() const override {
+    if constexpr (requires { runtime_.RaceReportText(); }) {
+      return runtime_.RaceReportText();
+    } else {
+      return "";
+    }
+  }
 
   [[nodiscard]] rfdet::StatsSnapshot Stats() const override {
     return runtime_.Snapshot();
@@ -194,6 +201,16 @@ std::unique_ptr<Env> CreateEnv(const BackendConfig& config) {
                                    : rfdet::DivergencePolicy::kReport;
       opts.fingerprint_epoch_ops = config.fingerprint_epoch_ops;
       opts.dlrc_paranoia = config.dlrc_paranoia;
+      // The kendo backend runs without isolation: no slices exist, so
+      // there is nothing for the detector to compare.
+      if (opts.isolation) {
+        opts.race_policy = config.race_policy;
+        opts.race_window_bytes = config.race_window_bytes;
+        opts.race_max_reports = config.race_max_reports;
+        opts.race_track_reads =
+            config.race_track_reads &&
+            config.race_policy != rfdet::RacePolicy::kOff;
+      }
       return std::make_unique<RuntimeEnv<rfdet::RfdetRuntime>>(
           name, /*deterministic=*/true, opts);
     }

@@ -9,6 +9,7 @@
 
 #include "rfdet/api/env.h"
 #include "rfdet/mem/thread_view.h"
+#include "rfdet/race/race_detector.h"
 #include "rfdet/verify/fingerprint.h"
 
 namespace dmt {
@@ -48,6 +49,13 @@ struct BackendConfig {
   bool fingerprint_panic = true;
   size_t fingerprint_epoch_ops = 64;
   bool dlrc_paranoia = false;
+
+  // Data-race detection (rfdet backends only; forced off for kendo, which
+  // has no slices to compare, and ignored by the others).
+  rfdet::RacePolicy race_policy = rfdet::RacePolicy::kOff;
+  size_t race_window_bytes = 8u << 20;
+  size_t race_max_reports = 64;
+  bool race_track_reads = false;
 
   // Monitor used by the lockstep baselines. Real DThreads uses page
   // protection; the default here is the COW-page-table monitor because it

@@ -34,8 +34,9 @@ enum class FaultSite : uint8_t {
   kHeapAlloc,         // DetAllocator subheap allocation
   kStaticAlloc,       // static-segment bump allocation
   kFingerprintIo,     // fingerprint-file read (verify) / write (record)
+  kRaceWindow,        // race-detector window-entry arena charge
 };
-inline constexpr size_t kNumFaultSites = 6;
+inline constexpr size_t kNumFaultSites = 7;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite s) noexcept {
   switch (s) {
@@ -51,6 +52,8 @@ inline constexpr size_t kNumFaultSites = 6;
       return "static-alloc";
     case FaultSite::kFingerprintIo:
       return "fingerprint-io";
+    case FaultSite::kRaceWindow:
+      return "race-window";
   }
   return "?";
 }

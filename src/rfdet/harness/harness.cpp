@@ -62,6 +62,7 @@ RunOutcome Measure(const apps::Workload& workload, const apps::Params& params,
   // divergence report are part of the outcome.
   out.fingerprint_rollup = env->FinalizeFingerprint();
   out.divergence_report = env->LastDivergenceReport();
+  out.race_report = env->RaceReportText();
   out.stats = env->Stats();
   out.footprint_bytes = env->FootprintBytes();
   return out;

@@ -22,6 +22,8 @@ struct RunOutcome {
   // Determinism self-verification (0 / "" when fingerprinting is off).
   uint64_t fingerprint_rollup = 0;
   std::string divergence_report;
+  // Deterministic race report ("" when race detection is off / no races).
+  std::string race_report;
 };
 
 // Runs `workload` once on a fresh Env built from `config`; wall-clock time

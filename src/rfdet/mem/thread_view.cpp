@@ -90,8 +90,12 @@ void SegvHandler(int sig, siginfo_t* info, void* ucontext) {
 }  // namespace
 
 ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
-                       MetadataArena* arena, FaultInjector* injector)
-    : mode_(mode), capacity_(capacity_bytes), arena_(arena) {
+                       MetadataArena* arena, FaultInjector* injector,
+                       bool track_reads)
+    : mode_(mode),
+      capacity_(capacity_bytes),
+      arena_(arena),
+      track_reads_(track_reads) {
   snapshots_.SetFaultInjector(injector);
   RFDET_CHECK_MSG(capacity_ % kPageSize == 0,
                   "region capacity must be page aligned");
@@ -99,14 +103,24 @@ ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
   modified_.reserve(num_pages_);
   pending_pages_.reserve(256);
   pending_free_.reserve(256);
+  if (track_reads_) {
+    read_marked_.assign(num_pages_, 0);
+    // MarkRead runs inside the pf fault handler, where allocating is not
+    // async-signal-safe. read_marked_ dedups per slice, so num_pages_
+    // bounds the list; reserving it keeps push_back allocation-free.
+    read_pages_.reserve(num_pages_);
+  }
   if (mode_ == MonitorMode::kInstrumented) {
     table_.resize(num_pages_);
   } else {
-    void* mem = ::mmap(nullptr, capacity_, PROT_READ,
+    // With read tracking, pages start (and return between slices to)
+    // PROT_NONE so the first read of a page faults and is recorded.
+    void* mem = ::mmap(nullptr, capacity_,
+                       track_reads_ ? PROT_NONE : PROT_READ,
                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
     RFDET_CHECK_MSG(mem != MAP_FAILED, "view mmap failed");
     flat_ = static_cast<std::byte*>(mem);
-    prot_.assign(num_pages_, kProtRO);
+    prot_.assign(num_pages_, track_reads_ ? kProtNone : kProtRO);
     touched_.assign(num_pages_, 0);
     pf_snap_.assign(num_pages_, nullptr);
     pf_pending_.assign(num_pages_, kNoPending);
@@ -192,10 +206,16 @@ bool ThreadView::HandleFault(void* addr, bool is_write) noexcept {
   ++stats_.page_faults;
   switch (prot_[pid]) {
     case kProtNone:
-      ApplyPendingToPage(pid);  // leaves the page RO
+      ApplyPendingToPage(pid);  // leaves the page RO if it had pending runs
+      // Read tracking arms pages NONE even without pending runs, so the
+      // drain above may not have changed the protection; open to RO
+      // explicitly or the access would fault forever.
+      if (prot_[pid] == kProtNone) SetProt(pid, kProtRO);
       if (is_write) {
         SnapshotPf(pid);
         SetProt(pid, kProtRW);
+      } else if (track_reads_) {
+        MarkRead(pid);  // stays RO: one read fault per page per slice
       }
       return true;
     case kProtRO:
@@ -232,7 +252,11 @@ void ThreadView::CollectModifications(ModList& out) {
     out.AppendPageDiff(PageBase(pid), snap, cur);
     ++stats_.pages_diffed;
   }
-  if (mode_ == MonitorMode::kPageFault) ProtectSorted(modified_, kProtRO);
+  if (mode_ == MonitorMode::kPageFault) {
+    // Read tracking re-arms dirty pages all the way to NONE so the next
+    // slice's first read of them is seen, not just the first write.
+    ProtectSorted(modified_, track_reads_ ? kProtNone : kProtRO);
+  }
   modified_.clear();
   if (arena_ != nullptr) arena_->Release(snapshots_.BytesInUse());
   snapshots_.Reset();
@@ -321,6 +345,7 @@ void ThreadView::Load(GAddr addr, void* dst, size_t len) {
     const size_t off = PageOffset(addr);
     const size_t n = std::min(len, kPageSize - off);
     std::memcpy(d, ReadablePageCi(pid) + off, n);
+    if (track_reads_) MarkRead(pid);
     addr += n;
     d += n;
     len -= n;
@@ -494,7 +519,10 @@ void ThreadView::ApplyRemote(const ModList& mods, const ApplyPlan& plan,
       }
       touched_[page.pid] = 1;
     }
-    ProtectSorted(scratch_pages_, kProtRO);
+    // Under read tracking the remotely-written pages re-arm to NONE so
+    // the next local read of them is still observed. The extra fault is
+    // deterministic (the access stream is).
+    ProtectSorted(scratch_pages_, track_reads_ ? kProtNone : kProtRO);
   } else {
     for (const PlanPage& page : plan.Pages()) {
       if (table_[page.pid].pending != kNoPending) {
@@ -547,12 +575,49 @@ void ThreadView::FlushPending() {
     std::sort(scratch_pages_.begin(), scratch_pages_.end());
     ProtectSorted(scratch_pages_, kProtRW);
     for (const PageId pid : scratch_pages_) DrainPendingWritable(pid);
-    ProtectSorted(scratch_pages_, kProtRO);
+    ProtectSorted(scratch_pages_, track_reads_ ? kProtNone : kProtRO);
   } else {
     while (!pending_pages_.empty()) {
       ApplyPendingToPage(pending_pages_.back());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Read tracking (race detection)
+// ---------------------------------------------------------------------------
+
+void ThreadView::HarvestReadPages(std::vector<PageId>& out) {
+  out.clear();
+  if (!track_reads_ || read_pages_.empty()) return;
+  std::sort(read_pages_.begin(), read_pages_.end());
+  // Re-arm the pages this slice read (pages it also wrote were already
+  // re-armed by CollectModifications and are skipped by ProtectSorted).
+  if (mode_ == MonitorMode::kPageFault) {
+    ProtectSorted(read_pages_, kProtNone);
+  }
+  for (const PageId pid : read_pages_) read_marked_[pid] = 0;
+  out.swap(read_pages_);
+  // The swap gave our full-capacity buffer away; restore it here (outside
+  // the fault handler) so MarkRead never allocates.
+  read_pages_.reserve(num_pages_);
+}
+
+void ThreadView::DisarmReadTracking() noexcept {
+  if (!track_reads_ || mode_ != MonitorMode::kPageFault) return;
+  ::mprotect(flat_, capacity_, PROT_READ);
+  ++stats_.mprotect_calls;
+  std::fill(prot_.begin(), prot_.end(), kProtRO);
+}
+
+void ThreadView::RearmReadTracking() noexcept {
+  if (!track_reads_) return;
+  for (const PageId pid : read_pages_) read_marked_[pid] = 0;
+  read_pages_.clear();
+  if (mode_ != MonitorMode::kPageFault) return;
+  ::mprotect(flat_, capacity_, PROT_NONE);
+  ++stats_.mprotect_calls;
+  std::fill(prot_.begin(), prot_.end(), kProtNone);
 }
 
 // ---------------------------------------------------------------------------
@@ -565,6 +630,10 @@ void ThreadView::CopyFrom(ThreadView& other) {
                   "CopyFrom requires both views to be between slices");
   other.FlushPending();
   FlushPending();
+  // The copy below reads other.flat_ directly, but the fault handler only
+  // covers the view active on *this* thread — drop the source's armed
+  // PROT_NONE pages to readable for the duration.
+  other.DisarmReadTracking();
   if (mode_ != other.mode_) {
     // Cross-mode copy (e.g. a pf thread view refreshing from a lockstep
     // runtime's ci global image): enumerate the source's materialized
@@ -601,6 +670,8 @@ void ThreadView::CopyFrom(ThreadView& other) {
       ++stats_.mprotect_calls;
       std::fill(prot_.begin(), prot_.end(), kProtRO);
     }
+    RearmReadTracking();
+    other.RearmReadTracking();
     return;
   }
   if (mode_ == MonitorMode::kInstrumented) {
@@ -631,6 +702,8 @@ void ThreadView::CopyFrom(ThreadView& other) {
     ::mprotect(flat_, capacity_, PROT_READ);
     std::fill(prot_.begin(), prot_.end(), kProtRO);
   }
+  RearmReadTracking();
+  other.RearmReadTracking();
 }
 
 }  // namespace rfdet

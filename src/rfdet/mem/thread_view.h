@@ -60,8 +60,16 @@ struct ViewStats {
 
 class ThreadView {
  public:
+  // `track_reads` opts into page-granularity read-set tracking for the
+  // race detector: pf mode keeps pages PROT_NONE between slices and
+  // records a page on its first read fault (the page then drops to RO,
+  // so one fault per page per slice); ci mode records in Load. Best
+  // effort by design — a page whose first access is a write goes
+  // straight to RW and its later reads are not seen — but the missed
+  // set is a pure function of the deterministic access sequence, so
+  // reports stay byte-identical across runs.
   ThreadView(size_t capacity_bytes, MonitorMode mode, MetadataArena* arena,
-             FaultInjector* injector = nullptr);
+             FaultInjector* injector = nullptr, bool track_reads = false);
   ~ThreadView();
 
   ThreadView(const ThreadView&) = delete;
@@ -122,6 +130,13 @@ class ThreadView {
   [[nodiscard]] bool HasPendingWrites() const noexcept {
     return !pending_pages_.empty();
   }
+  [[nodiscard]] bool TrackingReads() const noexcept { return track_reads_; }
+
+  // Moves the slice's page-granularity read set into `out` (sorted,
+  // deduplicated), clears the marks, and (pf) re-arms the harvested
+  // pages to PROT_NONE for the next slice. Call after
+  // CollectModifications, between slices. No-op when tracking is off.
+  void HarvestReadPages(std::vector<PageId>& out);
 
   // ---- pf-mode machinery -------------------------------------------------
 
@@ -189,6 +204,20 @@ class ThreadView {
   // materialize/unshare without snapshotting.
   std::byte* RawWritablePageCi(PageId pid);
 
+  // -- read tracking --
+  void MarkRead(PageId pid) {
+    if (read_marked_[pid] == 0) {
+      read_marked_[pid] = 1;
+      read_pages_.push_back(pid);
+    }
+  }
+  // pf: drops the whole region to PROT_READ so another thread can memcpy
+  // from flat_ without faulting (the handler only covers the view active
+  // on the *calling* thread). Re-arm with RearmReadTracking.
+  void DisarmReadTracking() noexcept;
+  // pf: PROT_NONE over the whole region and clears the read marks.
+  void RearmReadTracking() noexcept;
+
   MonitorMode mode_;
   size_t capacity_;
   size_t num_pages_;
@@ -216,6 +245,11 @@ class ThreadView {
 
   // Scratch page list reused by the batched-mprotect apply path.
   std::vector<PageId> scratch_pages_;
+
+  // Read-tracking state (race detection).
+  bool track_reads_ = false;
+  std::vector<uint8_t> read_marked_;  // per-page "read this slice" bit
+  std::vector<PageId> read_pages_;    // insertion-ordered marked pages
 
   size_t resident_ = 0;
   ViewStats stats_;

@@ -1,0 +1,351 @@
+#include "rfdet/race/race_detector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "rfdet/common/check.h"
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/common/hash.h"
+
+namespace rfdet {
+namespace {
+
+// One bit per page in a 64-bit Bloom filter. Fibonacci hashing spreads
+// adjacent page ids across the word so dense-but-small working sets do
+// not collapse onto a few bits.
+[[nodiscard]] constexpr uint64_t BloomBit(PageId pid) noexcept {
+  return uint64_t{1} << ((pid * 0x9E3779B97F4A7C15ull) >> 58);
+}
+
+[[nodiscard]] uint64_t PlanBloom(const ApplyPlan& plan) noexcept {
+  uint64_t bloom = 0;
+  for (const PlanPage& page : plan.Pages()) bloom |= BloomBit(page.pid);
+  return bloom;
+}
+
+[[nodiscard]] uint64_t PageListBloom(const std::vector<PageId>& pages) noexcept {
+  uint64_t bloom = 0;
+  for (const PageId pid : pages) bloom |= BloomBit(pid);
+  return bloom;
+}
+
+}  // namespace
+
+RaceDetector::RaceDetector(const Config& config)
+    : policy_(config.policy),
+      window_bytes_(config.window_bytes),
+      max_reports_(config.max_reports),
+      page_count_(config.page_count),
+      arena_(config.arena),
+      injector_(config.injector),
+      on_race_(config.on_race),
+      on_error_(config.on_error),
+      digest_(kFnvOffset) {}
+
+RaceDetector::~RaceDetector() {
+  std::scoped_lock lock(mu_);
+  if (arena_ != nullptr) {
+    for (const Entry& e : window_) arena_->Release(e.charged);
+  }
+  window_.clear();
+}
+
+void RaceDetector::OnSliceClose(size_t tid, uint64_t seq, uint64_t kendo_clock,
+                                const VectorClock& time, SliceRef slice,
+                                std::vector<PageId> read_pages) {
+  if (!Enabled()) return;
+
+  Entry e;
+  e.tid = tid;
+  e.seq = seq;
+  e.kendo_clock = kendo_clock;
+  e.time = time;
+  e.slice = std::move(slice);
+  e.read_pages = std::move(read_pages);
+  if (e.slice != nullptr) e.write_bloom = PlanBloom(e.slice->Plan());
+  e.read_bloom = PageListBloom(e.read_pages);
+
+  std::scoped_lock lock(mu_);
+  for (const Entry& w : window_) {
+    if (w.tid == e.tid) continue;  // same thread: always ordered
+    checks_.fetch_add(1, std::memory_order_relaxed);
+    if (!w.time.ConcurrentWith(e.time)) continue;
+    CheckPair(e, w);
+  }
+
+  if (e.slice == nullptr && e.read_pages.empty()) return;  // nothing to hold
+
+  // The slice's payload is already arena-charged by Slice itself; the
+  // window charge covers only the entry bookkeeping. The budget, by
+  // contrast, counts the full retained footprint — holding the SliceRef
+  // keeps the slice (and its charge) alive past GC, which is exactly
+  // what race_window_bytes bounds.
+  e.charged = sizeof(Entry) + e.time.MemoryBytes() +
+              e.read_pages.capacity() * sizeof(PageId);
+  e.budget = e.charged +
+             (e.slice != nullptr ? e.slice->MemoryBytes() : size_t{0});
+  const bool injected =
+      injector_ != nullptr && injector_->ShouldFail(FaultSite::kRaceWindow);
+  if (injected || (arena_ != nullptr && !arena_->HasRoom(e.charged))) {
+    // Recoverable: the slice is still propagated and GC'd normally; the
+    // detector just cannot retain it, so races against it may be missed.
+    window_evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (on_error_) {
+      on_error_(RfdetErrc::kNoMemory,
+                std::string("race detector: dropped window entry (tid ") +
+                    std::to_string(e.tid) + " seq " + std::to_string(e.seq) +
+                    (injected ? ", injected fault)" : ", arena full)"));
+    }
+    return;
+  }
+  if (arena_ != nullptr) arena_->Charge(e.charged);
+  window_used_ += e.budget;
+  window_.push_back(std::move(e));
+  while (window_used_ > window_bytes_ && window_.size() > 1) EvictOldest();
+}
+
+void RaceDetector::Retire(const VectorClock& frontier) {
+  if (!Enabled()) return;
+  std::scoped_lock lock(mu_);
+  // Anything closed from now on has time ≥ frontier (the Meet of all
+  // live threads' clocks), so an entry with time ≤ frontier
+  // happens-before every future slice: it can never race again.
+  std::erase_if(window_, [&](const Entry& e) {
+    if (!e.time.LessEq(frontier)) return false;
+    if (arena_ != nullptr) arena_->Release(e.charged);
+    window_used_ -= e.budget;
+    return true;
+  });
+}
+
+void RaceDetector::EvictOldest() {
+  Entry& e = window_.front();
+  if (arena_ != nullptr) arena_->Release(e.charged);
+  window_used_ -= e.budget;
+  window_.pop_front();
+  window_evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RaceDetector::CheckPair(const Entry& incoming, const Entry& older) {
+  // Write-write: byte-exact over the two plans.
+  if (incoming.slice != nullptr && older.slice != nullptr &&
+      (incoming.write_bloom & older.write_bloom) != 0) {
+    prefilter_hits_.fetch_add(1, std::memory_order_relaxed);
+    const ApplyPlan& pa = older.slice->Plan();
+    const ApplyPlan& pb = incoming.slice->Plan();
+    const auto pages_a = pa.Pages();
+    const auto pages_b = pb.Pages();
+    const PairKey pair{0, std::min(incoming.tid, older.tid),
+                       std::max(incoming.tid, older.tid)};
+    const std::vector<uint64_t>* reported = Reported(pair);
+    size_t ia = 0, ib = 0;
+    while (ia < pages_a.size() && ib < pages_b.size()) {
+      if (pages_a[ia].pid < pages_b[ib].pid) {
+        ++ia;
+      } else if (pages_b[ib].pid < pages_a[ia].pid) {
+        ++ib;
+      } else {
+        const PageId pid = pages_a[ia].pid;
+        // Dedup before the exact intersection: in steady state a hot
+        // racing page costs one bit test, not a segment sweep.
+        if (!TestPage(reported, pid)) {
+          // First overlapping byte range on this page, by lowest start
+          // address — deterministic regardless of segment counts.
+          GAddr best_start = kNullGAddr;
+          uint32_t best_len = 0;
+          const PlanSegment* best_b = nullptr;
+          for (const PlanSegment& sa : pa.Segments(pages_a[ia])) {
+            for (const PlanSegment& sb : pb.Segments(pages_b[ib])) {
+              const GAddr lo = std::max(sa.addr, sb.addr);
+              const GAddr hi =
+                  std::min(sa.addr + sa.len, sb.addr + sb.len);
+              if (lo < hi && lo < best_start) {
+                best_start = lo;
+                best_len = static_cast<uint32_t>(hi - lo);
+                best_b = &sb;
+              }
+            }
+          }
+          if (best_b != nullptr) {
+            const std::byte* later = incoming.slice->mods().DataAt(
+                best_b->data_offset +
+                static_cast<uint32_t>(best_start - best_b->addr));
+            EmitWW(older, incoming, pid, best_start, best_len, later);
+            reported = Reported(pair);  // Record created the bitmap
+          }
+        }
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+
+  // Write-read, both directions. Reads are page-granular, so this only
+  // needs the sorted page lists.
+  const auto check_rw = [this](const Entry& writer, const Entry& reader) {
+    if (writer.slice == nullptr || reader.read_pages.empty()) return;
+    if ((writer.write_bloom & reader.read_bloom) == 0) return;
+    prefilter_hits_.fetch_add(1, std::memory_order_relaxed);
+    const auto pages = writer.slice->Plan().Pages();
+    const PairKey pair{1, writer.tid, reader.tid};
+    const std::vector<uint64_t>* reported = Reported(pair);
+    size_t iw = 0, ir = 0;
+    while (iw < pages.size() && ir < reader.read_pages.size()) {
+      if (pages[iw].pid < reader.read_pages[ir]) {
+        ++iw;
+      } else if (reader.read_pages[ir] < pages[iw].pid) {
+        ++ir;
+      } else {
+        if (!TestPage(reported, pages[iw].pid)) {
+          EmitRW(writer, reader, pages[iw].pid);
+          reported = Reported(pair);
+        }
+        ++iw;
+        ++ir;
+      }
+    }
+  };
+  check_rw(incoming, older);
+  check_rw(older, incoming);
+}
+
+namespace {
+
+void AppendSliceLine(std::ostream& os, const char* label, size_t tid,
+                     uint64_t seq, uint64_t kendo, const VectorClock& time) {
+  os << "  " << label << ": tid " << tid << " seq " << seq << " kendo "
+     << kendo << " vclock " << time << "\n";
+}
+
+}  // namespace
+
+void RaceDetector::EmitWW(const Entry& a, const Entry& b, PageId pid,
+                          GAddr addr, uint32_t len,
+                          const std::byte* later_bytes) {
+  std::ostringstream os;
+  os << "rfdet: data race (write-write)\n";
+  AppendSliceLine(os, "slice A", a.tid, a.seq, a.kendo_clock, a.time);
+  AppendSliceLine(os, "slice B", b.tid, b.seq, b.kendo_clock, b.time);
+  os << "  overlap: gaddr [0x" << std::hex << addr << ", 0x" << addr + len
+     << std::dec << ") " << len << " byte(s) on page " << pid << "\n";
+  os << "  later writer (slice B) bytes:";
+  char buf[8];
+  const uint32_t shown = std::min<uint32_t>(len, 16);
+  for (uint32_t i = 0; i < shown; ++i) {
+    std::snprintf(buf, sizeof buf, " %02x",
+                  static_cast<unsigned>(later_bytes[i]));
+    os << buf;
+  }
+  if (shown < len) os << " …";
+  os << "\n";
+
+  RaceReport report;
+  report.kind = 0;
+  report.first_tid = std::min(a.tid, b.tid);
+  report.second_tid = std::max(a.tid, b.tid);
+  report.page = pid;
+  report.addr = addr;
+  report.bytes = len;
+  report.text = os.str();
+  Record(0, report.first_tid, report.second_tid, pid, std::move(report));
+}
+
+void RaceDetector::EmitRW(const Entry& writer, const Entry& reader,
+                          PageId pid) {
+  std::ostringstream os;
+  os << "rfdet: data race (write-read, page-granular, may be false "
+        "positive)\n";
+  AppendSliceLine(os, "writer", writer.tid, writer.seq, writer.kendo_clock,
+                  writer.time);
+  AppendSliceLine(os, "reader", reader.tid, reader.seq, reader.kendo_clock,
+                  reader.time);
+  os << "  page " << pid << ": gaddr [0x" << std::hex << PageBase(pid)
+     << ", 0x" << PageBase(pid) + kPageSize << std::dec << ")\n";
+
+  RaceReport report;
+  report.kind = 1;
+  report.first_tid = writer.tid;
+  report.second_tid = reader.tid;
+  report.page = pid;
+  report.addr = PageBase(pid);
+  report.bytes = static_cast<uint32_t>(kPageSize);
+  report.text = os.str();
+  Record(1, writer.tid, reader.tid, pid, std::move(report));
+}
+
+const std::vector<uint64_t>* RaceDetector::Reported(
+    const PairKey& key) const {
+  const auto it = reported_.find(key);
+  return it == reported_.end() ? nullptr : &it->second;
+}
+
+bool RaceDetector::Record(uint8_t kind, size_t key_a, size_t key_b,
+                          PageId page, RaceReport report) {
+  std::vector<uint64_t>& bits = reported_[PairKey{kind, key_a, key_b}];
+  const size_t word = static_cast<size_t>(page >> 6);
+  if (bits.size() <= word) bits.resize(word + 1, 0);
+  const uint64_t mask = uint64_t{1} << (page & 63);
+  if ((bits[word] & mask) != 0) return false;
+  bits[word] |= mask;
+  const std::array<uint64_t, 4> key{kind, key_a, key_b, page};
+  // The digest covers every dedup'd race in detection order — including
+  // ones past max_reports — so a divergent race set always diverges the
+  // fingerprint rollup.
+  digest_ = Fnv1a(key.data(), sizeof(key), digest_);
+  if (kind == 0) {
+    races_ww_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    races_rw_pages_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const bool panic = policy_ == RacePolicy::kPanic;
+  if (panic) std::fputs(report.text.c_str(), stderr);
+  if (reports_.size() < max_reports_) {
+    reports_.push_back(std::move(report));
+    if (on_race_) on_race_(reports_.back());
+  } else {
+    ++suppressed_;
+  }
+  if (panic) RFDET_PANIC("rfdet: data race detected (RacePolicy::kPanic)");
+  return true;
+}
+
+uint64_t RaceDetector::Digest() const {
+  std::scoped_lock lock(mu_);
+  return digest_;
+}
+
+std::vector<RaceReport> RaceDetector::Reports() const {
+  std::scoped_lock lock(mu_);
+  return reports_;
+}
+
+std::string RaceDetector::ReportText() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  for (const RaceReport& r : reports_) out += r.text;
+  if (suppressed_ != 0) {
+    out += "rfdet: " + std::to_string(suppressed_) +
+           " further race(s) suppressed (race_max_reports=" +
+           std::to_string(max_reports_) + ")\n";
+  }
+  return out;
+}
+
+std::string RaceDetector::Summary() const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  os << "races: policy " << RacePolicyName(policy_) << ", ww "
+     << races_ww_.load(std::memory_order_relaxed) << ", rw-pages "
+     << races_rw_pages_.load(std::memory_order_relaxed) << ", checks "
+     << checks_.load(std::memory_order_relaxed) << ", prefilter-hits "
+     << prefilter_hits_.load(std::memory_order_relaxed) << "\n";
+  os << "races: window " << window_used_ << "/" << window_bytes_
+     << " bytes (" << window_.size() << " entries, "
+     << window_evictions_.load(std::memory_order_relaxed)
+     << " evictions), reports " << reports_.size() << " (" << suppressed_
+     << " suppressed)\n";
+  return os.str();
+}
+
+}  // namespace rfdet

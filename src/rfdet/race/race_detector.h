@@ -1,0 +1,234 @@
+// Deterministic online data-race detection over slices.
+//
+// DLRC already materializes everything a happens-before race detector
+// needs: every slice is <tid, ModList, vector clock>, and the paper's
+// atomic property (§4.2) guarantees every access inside a slice has the
+// same happens-before relation to anything outside it. Two slices
+// therefore *race* exactly when their vector clocks are incomparable
+// (ConcurrentWith) and their byte ranges overlap — slice-granularity
+// comparison is sound, no per-access instrumentation needed.
+//
+// The detector piggybacks on the close path: every slice close runs
+// under the closing thread's Kendo turn, so OnSliceClose calls arrive in
+// the deterministic global synchronization order. The detector keeps a
+// bounded window of recently closed slices and checks each newcomer
+// against the concurrent entries:
+//
+//   1. prefilter — 64-bit page Bloom built from the slice's ApplyPlan
+//      page partition; disjoint blooms can never overlap, so the common
+//      no-conflict case costs one AND.
+//   2. page intersection — the plans' page lists are sorted, so a
+//      two-pointer sweep yields the common pages.
+//   3. exact byte intersection — per common page, segment-pair overlap
+//      over the plans' single-page segments; a write-write race is
+//      reported only when actual bytes intersect (disjoint writes to the
+//      same page are NOT races, matching the §4.6 byte-merge semantics).
+//
+// Write-read races come from an opt-in page-granularity read set
+// (race_track_reads): pf mode keeps pages PROT_NONE between slices and
+// records the page on the first read fault; ci mode records in the Load
+// path. Reads are only known per page, so write-read reports say
+// "page-granular, may be false positive".
+//
+// Window retirement reuses the GC frontier: RunGc's bound is the Meet of
+// all live threads' clocks, so any slice the runtime will ever close
+// afterwards has time ≥ bound — entries with time ≤ bound can no longer
+// be concurrent with anything future and are retired. GC timing is not
+// deterministic, but retirement by this rule can only drop entries that
+// could never produce another report, so the report set is unaffected.
+// Budget evictions (window over race_window_bytes) ARE part of the
+// deterministic state machine: they happen inside turn-ordered
+// OnSliceClose, oldest first.
+//
+// Reports are deduplicated by a stable key (kind, tids, page), capped at
+// race_max_reports, and folded into a detection-order digest that the
+// runtime mixes into the fingerprint rollup — a kVerify run with a
+// divergent race set fails verification. The full report text is a pure
+// function of the deterministic execution: byte-identical across runs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rfdet/common/error.h"
+#include "rfdet/mem/addr.h"
+#include "rfdet/slice/slice.h"
+#include "rfdet/time/vector_clock.h"
+
+namespace rfdet {
+
+class FaultInjector;
+
+enum class RacePolicy : uint8_t {
+  kOff = 0,
+  kReport,  // retain deterministic reports, surface them at exit
+  kPanic,   // print the first race report and panic
+};
+
+[[nodiscard]] constexpr const char* RacePolicyName(RacePolicy p) noexcept {
+  switch (p) {
+    case RacePolicy::kOff:
+      return "off";
+    case RacePolicy::kReport:
+      return "report";
+    case RacePolicy::kPanic:
+      return "panic";
+  }
+  return "?";
+}
+
+// One deduplicated race. All fields are deterministic; `text` is the
+// multi-line human report in the deadlock/divergence style.
+struct RaceReport {
+  uint8_t kind = 0;  // 0 = write-write (byte-exact), 1 = write-read (page)
+  size_t first_tid = 0;   // WW: lower tid; WR: writer tid
+  size_t second_tid = 0;  // WW: higher tid; WR: reader tid
+  PageId page = 0;
+  GAddr addr = 0;      // WW: first overlapping byte; WR: page base
+  uint32_t bytes = 0;  // WW: overlapping byte count; WR: kPageSize
+  std::string text;
+};
+
+class RaceDetector {
+ public:
+  struct Config {
+    RacePolicy policy = RacePolicy::kOff;
+    size_t window_bytes = 8u << 20;  // live-slice window budget
+    size_t max_reports = 64;         // dedup'd reports retained
+    size_t page_count = 0;           // region pages (for report context)
+    MetadataArena* arena = nullptr;  // charged for window entries
+    FaultInjector* injector = nullptr;  // kRaceWindow site
+    // Called with each new dedup'd report (under the reporting turn).
+    std::function<void(const RaceReport&)> on_race;
+    // Sink for recoverable failures (arena exhaustion drops the entry).
+    std::function<void(RfdetErrc, const std::string&)> on_error;
+  };
+
+  explicit RaceDetector(const Config& config);
+  ~RaceDetector();
+
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  [[nodiscard]] bool Enabled() const noexcept {
+    return policy_ != RacePolicy::kOff;
+  }
+  [[nodiscard]] RacePolicy policy() const noexcept { return policy_; }
+
+  // Thread `tid` closed a slice. Must be called under the closing
+  // thread's turn (that is what makes detection order deterministic).
+  // `slice` may be null when the close produced no writes but the thread
+  // has tracked reads; `read_pages` is the sorted page-granularity read
+  // set (empty when read tracking is off). `kendo_clock` is the closing
+  // thread's deterministic logical clock, for the report.
+  void OnSliceClose(size_t tid, uint64_t seq, uint64_t kendo_clock,
+                    const VectorClock& time, SliceRef slice,
+                    std::vector<PageId> read_pages);
+
+  // Retires window entries with time ≤ frontier (the GC bound: nothing
+  // closed from now on can be concurrent with them). Safe to call from
+  // any thread; never affects the report set.
+  void Retire(const VectorClock& frontier);
+
+  // ---- introspection -------------------------------------------------------
+
+  [[nodiscard]] uint64_t RacesWW() const noexcept {
+    return races_ww_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t RacesRWPages() const noexcept {
+    return races_rw_pages_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t Checks() const noexcept {
+    return checks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t PrefilterHits() const noexcept {
+    return prefilter_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t WindowEvictions() const noexcept {
+    return window_evictions_.load(std::memory_order_relaxed);
+  }
+
+  // Detection-order digest over the dedup keys — folded into the
+  // fingerprint rollup so kVerify catches a divergent race set.
+  [[nodiscard]] uint64_t Digest() const;
+  // Deduplicated reports in detection order (copy; watchdog-safe).
+  [[nodiscard]] std::vector<RaceReport> Reports() const;
+  // Full deterministic report text: every retained report concatenated,
+  // plus a suppression line if max_reports was hit. "" when no races.
+  [[nodiscard]] std::string ReportText() const;
+  // Multi-line "races: …" block for DumpStateReport.
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  struct Entry {
+    size_t tid = 0;
+    uint64_t seq = 0;
+    uint64_t kendo_clock = 0;
+    VectorClock time;
+    SliceRef slice;  // null for read-only entries
+    uint64_t write_bloom = 0;
+    uint64_t read_bloom = 0;
+    std::vector<PageId> read_pages;  // sorted
+    size_t charged = 0;              // arena charge for this entry
+    size_t budget = 0;               // window-budget footprint
+  };
+
+  // Dedup key prefix: (kind, first tid, second tid). The page dimension
+  // lives in a per-pair bitmap so the steady-state re-check of an
+  // already-reported page is one bit test, not an ordered-set lookup —
+  // the lookups dominated the close path once a pair kept racing.
+  using PairKey = std::array<uint64_t, 3>;
+
+  void CheckPair(const Entry& incoming, const Entry& older);
+  void EmitWW(const Entry& a, const Entry& b, PageId pid, GAddr addr,
+              uint32_t len, const std::byte* later_bytes);
+  void EmitRW(const Entry& writer, const Entry& reader, PageId pid);
+  // Records a dedup'd report; returns false when already seen.
+  bool Record(uint8_t kind, size_t key_a, size_t key_b, PageId page,
+              RaceReport report);
+  void EvictOldest();
+  [[nodiscard]] const std::vector<uint64_t>* Reported(
+      const PairKey& key) const;
+  [[nodiscard]] static bool TestPage(const std::vector<uint64_t>* bits,
+                                     PageId pid) noexcept {
+    if (bits == nullptr) return false;
+    const size_t word = static_cast<size_t>(pid >> 6);
+    return word < bits->size() && (((*bits)[word] >> (pid & 63)) & 1) != 0;
+  }
+
+  const RacePolicy policy_;
+  const size_t window_bytes_;
+  const size_t max_reports_;
+  const size_t page_count_;
+  MetadataArena* const arena_;
+  FaultInjector* const injector_;
+  const std::function<void(const RaceReport&)> on_race_;
+  const std::function<void(RfdetErrc, const std::string&)> on_error_;
+
+  // Guards window/report state. All mutating calls arrive turn-ordered,
+  // but the watchdog and DumpStateReport read from outside the schedule.
+  mutable std::mutex mu_;
+  std::deque<Entry> window_;
+  size_t window_used_ = 0;
+  // Reported-page bitmaps, lazily grown per racing pair; bounded by
+  // pairs × page_count/8 bytes and only allocated once a pair reports.
+  std::map<PairKey, std::vector<uint64_t>> reported_;
+  std::vector<RaceReport> reports_;
+  uint64_t digest_;
+  uint64_t suppressed_ = 0;
+
+  std::atomic<uint64_t> races_ww_{0};
+  std::atomic<uint64_t> races_rw_pages_{0};
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> prefilter_hits_{0};
+  std::atomic<uint64_t> window_evictions_{0};
+};
+
+}  // namespace rfdet

@@ -48,6 +48,22 @@ std::string ValidateOptions(const RfdetOptions& options) {
       options.fingerprint_epoch_ops == 0) {
     return "fingerprint_epoch_ops must be > 0";
   }
+  if (options.race_policy != RacePolicy::kOff) {
+    if (!options.isolation) {
+      return "race detection needs isolation (slices are the detection "
+             "substrate; the kendo backend has none)";
+    }
+    if (options.race_window_bytes == 0) {
+      return "race_window_bytes must be > 0 when race detection is on";
+    }
+    if (options.race_max_reports == 0) {
+      return "race_max_reports must be > 0 when race detection is on";
+    }
+  }
+  if (options.race_track_reads && options.race_policy == RacePolicy::kOff) {
+    return "race_track_reads without a race policy tracks reads nobody "
+           "consumes; set race_policy or clear race_track_reads";
+  }
   return "";
 }
 

@@ -9,6 +9,7 @@
 #include "rfdet/common/error.h"
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/thread_view.h"
+#include "rfdet/race/race_detector.h"
 #include "rfdet/verify/fingerprint.h"
 
 namespace rfdet {
@@ -108,6 +109,30 @@ struct RfdetOptions {
 
   // Test-only single-event perturbation (see DetMutation above).
   DetMutation test_mutation;
+
+  // ---- data-race detection (see race/race_detector.h) --------------------
+
+  // Online happens-before race detection over closed slices. kReport
+  // retains deterministic byte-identical reports (surfaced in
+  // DumpStateReport and at runtime teardown); kPanic crashes on the
+  // first race. Requires isolation (slices are the detection substrate).
+  RacePolicy race_policy = RacePolicy::kOff;
+  // Budget for the detector's live-slice window. Retaining a slice in
+  // the window keeps it (and its arena charge) alive past GC, so this
+  // bounds the detector's extra footprint; oldest entries are evicted
+  // deterministically when the budget is exceeded.
+  size_t race_window_bytes = 8u << 20;
+  // Deduplicated race reports retained (further races are still counted,
+  // digested, and deduplicated — just not stored).
+  size_t race_max_reports = 64;
+  // Opt-in page-granularity read-set tracking for write-read detection:
+  // pf mode keeps pages PROT_NONE between slices and records the page on
+  // the first read fault; ci mode records in the instrumented Load path.
+  // Write-read reports are page-granular and may be false positives.
+  bool race_track_reads = false;
+  // Diagnostic tap: called (under the detecting thread's turn) with each
+  // new deduplicated race before the policy is applied.
+  std::function<void(const RaceReport&)> on_race;
 
   // ---- failure containment & diagnosis -----------------------------------
 

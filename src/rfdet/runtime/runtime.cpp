@@ -83,9 +83,9 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
   auto main_ctx = std::make_unique<ThreadCtx>();
   main_ctx->tid = 0;
   if (options_.isolation) {
-    main_ctx->view =
-        std::make_unique<ThreadView>(options_.region_bytes, options_.monitor,
-                                     &arena_, options_.fault_injector);
+    main_ctx->view = std::make_unique<ThreadView>(
+        options_.region_bytes, options_.monitor, &arena_,
+        options_.fault_injector, TrackReads());
     main_ctx->view->ActivateOnThisThread();
   }
   threads_.push_back(std::move(main_ctx));
@@ -108,6 +108,21 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
       ReportError(errc, what);
     };
     fingerprint_ = std::make_unique<ExecutionFingerprint>(fc);
+  }
+
+  if (options_.race_policy != RacePolicy::kOff) {
+    RaceDetector::Config rc;
+    rc.policy = options_.race_policy;
+    rc.window_bytes = options_.race_window_bytes;
+    rc.max_reports = options_.race_max_reports;
+    rc.page_count = options_.region_bytes / kPageSize;
+    rc.arena = &arena_;
+    rc.injector = options_.fault_injector;
+    rc.on_race = options_.on_race;
+    rc.on_error = [this](RfdetErrc errc, const std::string& what) {
+      ReportError(errc, what);
+    };
+    race_detector_ = std::make_unique<RaceDetector>(rc);
   }
 
   if (options_.watchdog_stall_ms > 0) {
@@ -135,6 +150,21 @@ RfdetRuntime::~RfdetRuntime() {
   // last chance to fold the region into the rollup and write/verify the
   // fingerprint file (idempotent if the harness already finalized).
   FinalizeFingerprint();
+  // Surface the run's deterministic race set at exit (kPanic already
+  // crashed at the first race; kReport collects them until here).
+  if (race_detector_ != nullptr &&
+      race_detector_->policy() == RacePolicy::kReport) {
+    const std::string races = race_detector_->ReportText();
+    if (!races.empty()) {
+      std::fprintf(stderr,
+                   "rfdet: %llu write-write and %llu write-read race(s) "
+                   "detected:\n%s",
+                   static_cast<unsigned long long>(race_detector_->RacesWW()),
+                   static_cast<unsigned long long>(
+                       race_detector_->RacesRWPages()),
+                   races.c_str());
+    }
+  }
   if (options_.isolation) ThreadView::DeactivateOnThisThread();
   g_tls = {nullptr, nullptr};
   if (trace_charged_ > 0) arena_.Release(trace_charged_);
@@ -247,6 +277,8 @@ void RfdetRuntime::CloseSlice(ThreadCtx& t) {
   if (!options_.isolation) return;
   ModList mods;
   t.view->CollectModifications(mods);
+  std::vector<PageId> read_pages;
+  if (race_detector_ != nullptr) t.view->HarvestReadPages(read_pages);
   VectorClock time;
   {
     std::scoped_lock lock(t.clock_mu);
@@ -254,16 +286,26 @@ void RfdetRuntime::CloseSlice(ThreadCtx& t) {
     t.turn_time = t.vclock;
     time = t.vclock;
   }
+  SliceRef slice;
   if (!mods.Empty()) {
     if (options_.dlrc_paranoia) ParanoiaCheckMods(t, mods);
     if (fingerprint_ && fingerprint_->Absorbing()) {
       fingerprint_->OnSliceClose(t.tid, t.slice_seq + 1, time, mods);
     }
     ReserveSliceMetadata(Slice::BytesFor(mods, time));
-    t.log.Append(std::make_shared<Slice>(t.tid, ++t.slice_seq,
-                                         std::move(time), std::move(mods),
-                                         &arena_));
+    slice = std::make_shared<Slice>(t.tid, ++t.slice_seq, time,
+                                    std::move(mods), &arena_);
+    t.log.Append(slice);
     stats_.slices_created.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (race_detector_ != nullptr &&
+      (slice != nullptr || !read_pages.empty())) {
+    // Every CloseSlice call site runs under the caller's Kendo turn, so
+    // detection (and therefore the report set) follows the deterministic
+    // global synchronization order.
+    race_detector_->OnSliceClose(t.tid, t.slice_seq, kendo_.Clock(t.tid),
+                                 time, std::move(slice),
+                                 std::move(read_pages));
   }
   if (fingerprint_) UpdateTurnFingerprint(t);
   MaybeRunGc();
@@ -1059,9 +1101,9 @@ RfdetErrc RfdetRuntime::TrySpawn(std::function<void()> fn, size_t* out_tid) {
     child->turn_time = me.vclock;
   }
   if (options_.isolation) {
-    child->view =
-        std::make_unique<ThreadView>(options_.region_bytes, options_.monitor,
-                                     &arena_, options_.fault_injector);
+    child->view = std::make_unique<ThreadView>(
+        options_.region_bytes, options_.monitor, &arena_,
+        options_.fault_injector, TrackReads());
     child->view->CopyFrom(*me.view);
     child->log.AssignFrom(me.log);
   }
@@ -1257,6 +1299,10 @@ size_t RfdetRuntime::RunGc() {
       pruned += ctx->log.Prune(bound);
     }
   }
+  // Race-window entries with time ≤ bound can never be concurrent with a
+  // future slice: retiring them here cannot change the race set, so GC
+  // timing stays irrelevant to the deterministic reports.
+  if (race_detector_ != nullptr) race_detector_->Retire(bound);
   arena_.RecordGc();
   stats_.slices_pruned.fetch_add(pruned, std::memory_order_relaxed);
   return pruned;
@@ -1314,7 +1360,15 @@ uint64_t RfdetRuntime::FinalizeFingerprint() {
       options_.fingerprint == FingerprintMode::kOff) {
     return 0;
   }
-  return fingerprint_->Finalize(RegionDigest());
+  uint64_t region = RegionDigest();
+  if (race_detector_ != nullptr) {
+    // Fold the detection-order race digest into the rollup: a kVerify
+    // run whose race set diverges from the recording fails verification
+    // even if the region contents happen to agree.
+    const uint64_t races = race_detector_->Digest();
+    region = ExecutionFingerprint::HashBytes(&races, sizeof races, region);
+  }
+  return fingerprint_->Finalize(region);
 }
 
 std::string RfdetRuntime::LastDivergenceReport() const {
@@ -1445,6 +1499,7 @@ std::string RfdetRuntime::DumpStateReport() const {
      << " bytes, peak " << arena_.Peak() << ", gc count "
      << arena_.GcCount() << "\n";
   if (fingerprint_ != nullptr) os << fingerprint_->ProgressSummary();
+  if (race_detector_ != nullptr) os << race_detector_->Summary();
   if (options_.record_trace) {
     const std::vector<TraceEvent> events = Trace();
     const uint64_t dropped =
@@ -1564,6 +1619,13 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
     s.fingerprint_epochs = fingerprint_->Epochs();
     s.fingerprint_divergences = fingerprint_->Divergences();
     s.fingerprint_io_errors = fingerprint_->IoErrors();
+  }
+  if (race_detector_ != nullptr) {
+    s.races_ww = race_detector_->RacesWW();
+    s.races_rw_pages = race_detector_->RacesRWPages();
+    s.race_checks = race_detector_->Checks();
+    s.race_prefilter_hits = race_detector_->PrefilterHits();
+    s.race_window_evictions = race_detector_->WindowEvictions();
   }
   std::scoped_lock lock(threads_mu_);
   for (const auto& ctx : threads_) {

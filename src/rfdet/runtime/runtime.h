@@ -52,6 +52,7 @@
 #include "rfdet/mem/det_allocator.h"
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/thread_view.h"
+#include "rfdet/race/race_detector.h"
 #include "rfdet/runtime/options.h"
 #include "rfdet/runtime/stats.h"
 #include "rfdet/runtime/watchdog.h"
@@ -180,6 +181,20 @@ class RfdetRuntime {
   // First divergence report of a kVerify/paranoia run ("" if none). Under
   // DivergencePolicy::kReport this is the deterministic failure artifact.
   [[nodiscard]] std::string LastDivergenceReport() const;
+
+  // ---- data-race detection -------------------------------------------------
+
+  // The online race detector (null when race_policy is kOff). Reports,
+  // counters and the detection-order digest are all deterministic; see
+  // race/race_detector.h.
+  [[nodiscard]] const RaceDetector* race_detector() const noexcept {
+    return race_detector_.get();
+  }
+  // Full deterministic race report text ("" when off / no races).
+  [[nodiscard]] std::string RaceReportText() const {
+    return race_detector_ != nullptr ? race_detector_->ReportText()
+                                     : std::string();
+  }
 
   // ---- introspection -----------------------------------------------------
 
@@ -366,6 +381,13 @@ class RfdetRuntime {
   // Progress fingerprint for the watchdog: a hash of every Kendo clock.
   [[nodiscard]] uint64_t ProgressFingerprint() const noexcept;
 
+  // Whether views should track page-granularity read sets for the race
+  // detector (validated: implies race_policy != kOff and isolation).
+  [[nodiscard]] bool TrackReads() const noexcept {
+    return options_.race_track_reads &&
+           options_.race_policy != RacePolicy::kOff;
+  }
+
   void MaybeRunGc();
   size_t RunGc();
 
@@ -406,6 +428,7 @@ class RfdetRuntime {
   std::string last_deadlock_report_;
   std::atomic<uint32_t> error_note_mask_{0};  // rate-limit stderr notes
   std::unique_ptr<ExecutionFingerprint> fingerprint_;  // null when off
+  std::unique_ptr<RaceDetector> race_detector_;        // null when off
   std::unique_ptr<Watchdog> watchdog_;        // last member: stops first
 };
 

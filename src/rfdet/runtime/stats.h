@@ -62,6 +62,10 @@ struct StatsSnapshot {
   uint64_t trace_dropped = 0, paranoia_failures = 0;
   uint64_t fingerprint_events = 0, fingerprint_epochs = 0;
   uint64_t fingerprint_divergences = 0, fingerprint_io_errors = 0;
+  // Data-race detection (race/race_detector.h; pulled from the detector).
+  uint64_t races_ww = 0, races_rw_pages = 0;
+  uint64_t race_checks = 0, race_prefilter_hits = 0;
+  uint64_t race_window_evictions = 0;
   // Aggregated ViewStats.
   uint64_t stores_with_copy = 0, page_faults = 0, mprotect_calls = 0;
   uint64_t pages_diffed = 0;

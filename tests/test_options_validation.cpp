@@ -102,6 +102,39 @@ TEST(OptionsValidation, ZeroFingerprintEpochOps) {
             std::string::npos);
 }
 
+TEST(OptionsValidation, RaceDetectionNeedsIsolation) {
+  RfdetOptions o = Valid();
+  o.race_policy = RacePolicy::kReport;
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.isolation = false;
+  EXPECT_NE(ValidateOptions(o).find("race detection needs isolation"),
+            std::string::npos);
+}
+
+TEST(OptionsValidation, ZeroRaceWindow) {
+  RfdetOptions o = Valid();
+  o.race_window_bytes = 0;
+  EXPECT_EQ(ValidateOptions(o), "");  // irrelevant while detection is off
+  o.race_policy = RacePolicy::kReport;
+  EXPECT_NE(ValidateOptions(o).find("race_window_bytes"), std::string::npos);
+}
+
+TEST(OptionsValidation, ZeroRaceMaxReports) {
+  RfdetOptions o = Valid();
+  o.race_max_reports = 0;
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.race_policy = RacePolicy::kPanic;
+  EXPECT_NE(ValidateOptions(o).find("race_max_reports"), std::string::npos);
+}
+
+TEST(OptionsValidation, ReadTrackingWithoutPolicy) {
+  RfdetOptions o = Valid();
+  o.race_track_reads = true;
+  EXPECT_NE(ValidateOptions(o).find("race_track_reads"), std::string::npos);
+  o.race_policy = RacePolicy::kReport;
+  EXPECT_EQ(ValidateOptions(o), "");
+}
+
 class OptionsValidationDeathTest : public ::testing::Test {
  protected:
   void SetUp() override {
