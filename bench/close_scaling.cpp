@@ -1,0 +1,359 @@
+// Close-throughput scaling bench (off-turn slice close + SIMD kernels).
+//
+// T spawned threads each run a close-heavy loop: dirty `pages` private
+// pages (one `run_len`-byte store per page, so the close diff scans the
+// full page and then byte-refines a large differing run — the
+// refinement loop is where the vector diff kernel is an order of
+// magnitude ahead of the scalar one) and close the slice with an
+// uncontended per-thread atomic acquire. Aggregate close throughput
+// (slices/s summed over threads) is measured for every cell of
+//
+//   {ci, pf} x {turn-serial + scalar kernels, off-turn + auto kernels}
+//            x {1, 8 threads}
+//
+// The first config is the pre-PR behavior (every close diffs under the
+// turn with the portable byte loop); the second is this PR's fast path
+// (diff/plan/pre-hash off turn, best SIMD tier).
+//
+// Two throughput views are reported per cell:
+//  * wall slices/s — end-to-end aggregate over the measurement window;
+//  * turn capacity — slices/s of *turn-held* close time (close_turn_ns
+//    runtime counter). Closes serialize on the Kendo turn, so at T
+//    threads the aggregate close rate is capped at T cores by
+//    1 / turn-held-time-per-close; off-turn close attacks exactly this
+//    term by moving the diff/plan/pre-hash out of the turn.
+//
+// The acceptance gate is >=2x turn capacity at 8 threads, ci monitor,
+// treatment vs baseline, plus a wall-clock sanity floor (the wall ratio
+// understates the win on few-core hosts, where the off-turn work cannot
+// actually overlap and only the SIMD kernels show up end to end). pf
+// cells are reported too (their closes are fault-dominated, so the
+// kernel win is diluted by constant syscall cost).
+//
+// --merge_json=PATH splices the two summary keys this PR adds
+// (`pf_eager_offturn_close_speedup`, `close_scaling_8t_vs_1t`) into an
+// existing BENCH_propagation.json written by propagation_path.
+//
+// Flags: --pages=32 --run_len=2048 --iters=200 --smoke
+//        --json=PATH --merge_json=PATH
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rfdet/harness/harness.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace {
+
+using namespace rfdet;  // NOLINT: bench-local brevity
+
+struct Shape {
+  size_t pages = 32;     // private pages dirtied per slice
+  size_t run_len = 2048; // bytes stored per page (one contiguous run)
+  size_t iters = 200;    // timed closes per thread
+  size_t warmup = 3;     // untimed closes per thread (page materialization)
+  size_t repeat = 3;     // per-cell reruns; best throughput wins (noise)
+};
+
+struct CellResult {
+  std::string mode;      // "ci" | "pf"
+  std::string config;    // "serial-scalar" | "offturn-auto"
+  size_t threads = 0;
+  double slices_per_sec = 0;
+  double seconds = 0;
+  double turn_us_per_slice = 0;  // turn-held close time (close_turn_ns)
+  uint64_t prepared_slices = 0;
+};
+
+CellResult RunCell(MonitorMode monitor, bool off_turn, const char* kernels,
+                   size_t threads, const Shape& shape) {
+  RfdetOptions o;
+  o.monitor = monitor;
+  o.region_bytes = 96u << 20;
+  o.static_bytes = 8u << 20;
+  o.off_turn_close = off_turn;
+  o.kernels = kernels;
+  RfdetRuntime rt(o);
+
+  const GAddr data = rt.AllocStatic(threads * shape.pages * kPageSize,
+                                    kPageSize);
+  const GAddr sync = rt.AllocStatic(threads * 64, 64);
+
+  // Host-side wall-clock slots, one writer each; read after the joins.
+  std::vector<double> begin_s(threads, 0.0);
+  std::vector<double> end_s(threads, 0.0);
+  const auto now = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+
+  std::vector<size_t> tids;
+  for (size_t t = 0; t < threads; ++t) {
+    tids.push_back(rt.Spawn([&, t] {
+      const GAddr base = data + t * shape.pages * kPageSize;
+      const GAddr my_sync = sync + t * 64;
+      std::vector<std::byte> buf(shape.run_len);
+      for (size_t i = 0; i < shape.warmup + shape.iters; ++i) {
+        if (i == shape.warmup) begin_s[t] = now();
+        // Fresh payload once per iteration (outside the page loop so the
+        // bench's own byte mutation stays a small share of the close
+        // work), then one large store per page: the close diff scans the
+        // whole page and byte-refines a run_len differing run — the
+        // refinement-dominated shape where the vector kernel leads most.
+        for (auto& b : buf) {
+          b = static_cast<std::byte>(i + 1 + static_cast<size_t>(b));
+        }
+        for (size_t p = 0; p < shape.pages; ++p) {
+          const GAddr at = base + p * kPageSize +
+                           (i % 2 == 0 ? 0 : kPageSize - shape.run_len);
+          rt.Store(at, buf.data(), buf.size());
+        }
+        rt.AtomicLoad(my_sync);  // uncontended acquire: closes the slice
+      }
+      end_s[t] = now();
+    }));
+  }
+  for (const size_t tid : tids) rt.Join(tid);
+
+  const double window =
+      *std::max_element(end_s.begin(), end_s.end()) -
+      *std::min_element(begin_s.begin(), begin_s.end());
+  CellResult r;
+  r.mode = monitor == MonitorMode::kInstrumented ? "ci" : "pf";
+  r.config = off_turn ? "offturn-auto" : "serial-scalar";
+  r.threads = threads;
+  r.seconds = window;
+  r.slices_per_sec =
+      window > 0
+          ? static_cast<double>(threads * shape.iters) / window
+          : 0;
+  const StatsSnapshot snap = rt.Snapshot();
+  r.prepared_slices = snap.offturn_prepared_slices;
+  r.turn_us_per_slice =
+      snap.slices_created > 0
+          ? static_cast<double>(snap.close_turn_ns) / 1000.0 /
+                static_cast<double>(snap.slices_created)
+          : 0;
+  return r;
+}
+
+const CellResult* Cell(const std::vector<CellResult>& cells,
+                       const char* mode, const char* config,
+                       size_t threads) {
+  for (const CellResult& c : cells) {
+    if (c.mode == mode && c.config == config && c.threads == threads) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+double WallRatio(const CellResult* num, const CellResult* den) {
+  if (num == nullptr || den == nullptr || den->slices_per_sec <= 0) return 0;
+  return num->slices_per_sec / den->slices_per_sec;
+}
+
+// Aggregate-close-capacity ratio: closes serialize on the turn, so
+// capacity scales as 1 / turn-held-time-per-close.
+double TurnCapacityRatio(const CellResult* num, const CellResult* den) {
+  if (num == nullptr || den == nullptr || num->turn_us_per_slice <= 0) {
+    return 0;
+  }
+  return den->turn_us_per_slice / num->turn_us_per_slice;
+}
+
+// Splices the two new summary keys into a BENCH_propagation.json written
+// by propagation_path (plain string surgery on its fixed layout — the
+// file is this repo's own artifact, not arbitrary JSON).
+void EraseKeyLine(std::string& text, const std::string& key) {
+  const std::string needle = "\n    \"" + key + "\":";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return;
+  const size_t end = text.find('\n', at + 1);
+  if (end == std::string::npos) return;
+  text.erase(at, end - at);
+}
+
+bool MergeIntoPropagationJson(const std::string& path, double pf_speedup,
+                              double scaling_8t_vs_1t) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "close_scaling: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  // Idempotent: running the merge twice replaces rather than duplicates.
+  EraseKeyLine(text, "pf_eager_offturn_close_speedup");
+  EraseKeyLine(text, "close_scaling_8t_vs_1t");
+  const std::string anchor = "\"summary\": {";
+  const size_t at = text.find(anchor);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "close_scaling: no summary object in %s\n",
+                 path.c_str());
+    return false;
+  }
+  char keys[256];
+  std::snprintf(keys, sizeof keys,
+                "\n    \"pf_eager_offturn_close_speedup\": %g,"
+                "\n    \"close_scaling_8t_vs_1t\": %g,",
+                pf_speedup, scaling_8t_vs_1t);
+  text.insert(at + anchor.size(), keys);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "close_scaling: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  const bool smoke = flags.Bool("smoke", false);
+  Shape shape;
+  shape.pages = static_cast<size_t>(flags.Int("pages", smoke ? 8 : 32));
+  shape.repeat = smoke ? 1 : 3;
+  shape.run_len = static_cast<size_t>(flags.Int("run_len", 2048));
+  shape.iters = static_cast<size_t>(flags.Int("iters", smoke ? 6 : 200));
+  const std::string json_path = flags.Str("json", "");
+  const std::string merge_path = flags.Str("merge_json", "");
+  const std::vector<size_t> thread_counts =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 8};
+  const size_t top = thread_counts.back();
+
+  std::printf("close_scaling: %zu pages x %zu B per slice, %zu iters, "
+              "threads {%zu, %zu}\n",
+              shape.pages, shape.run_len, shape.iters, thread_counts.front(),
+              top);
+
+  std::vector<CellResult> cells;
+  harness::Table table({"mode", "config", "threads", "slices/s", "seconds",
+                        "turn-us/slice"});
+  bool counters_ok = true;
+  for (const MonitorMode monitor :
+       {MonitorMode::kInstrumented, MonitorMode::kPageFault}) {
+    for (const bool off_turn : {false, true}) {
+      for (const size_t t : thread_counts) {
+        // Best of `repeat` runs: each run spawns fresh threads, so a
+        // single run can absorb an unrelated scheduling burst. Wall
+        // throughput takes the fastest run; turn-held time takes the
+        // minimum (both are "least disturbed" estimates).
+        CellResult r;
+        for (size_t rep = 0; rep < shape.repeat; ++rep) {
+          const CellResult one =
+              RunCell(monitor, off_turn, off_turn ? "auto" : "scalar", t,
+                      shape);
+          if (rep == 0) {
+            r = one;
+          } else {
+            if (one.slices_per_sec > r.slices_per_sec) {
+              r.slices_per_sec = one.slices_per_sec;
+              r.seconds = one.seconds;
+            }
+            r.turn_us_per_slice =
+                std::min(r.turn_us_per_slice, one.turn_us_per_slice);
+          }
+        }
+        // Correctness tripwire: treatment cells must actually have
+        // prepared off turn; baseline cells must not.
+        if (off_turn ? r.prepared_slices == 0 : r.prepared_slices != 0) {
+          std::fprintf(stderr,
+                       "close_scaling: offturn_prepared_slices=%llu in a "
+                       "%s cell\n",
+                       static_cast<unsigned long long>(r.prepared_slices),
+                       r.config.c_str());
+          counters_ok = false;
+        }
+        char buf[3][32];
+        std::snprintf(buf[0], sizeof buf[0], "%.0f", r.slices_per_sec);
+        std::snprintf(buf[1], sizeof buf[1], "%.3f", r.seconds);
+        std::snprintf(buf[2], sizeof buf[2], "%.2f", r.turn_us_per_slice);
+        table.AddRow({r.mode, r.config, std::to_string(r.threads), buf[0],
+                      buf[1], buf[2]});
+        cells.push_back(r);
+      }
+    }
+  }
+  table.Print();
+  if (!counters_ok) return 1;
+
+  const CellResult* ci_base = Cell(cells, "ci", "serial-scalar", top);
+  const CellResult* ci_treat = Cell(cells, "ci", "offturn-auto", top);
+  const CellResult* pf_base = Cell(cells, "pf", "serial-scalar", top);
+  const CellResult* pf_treat = Cell(cells, "pf", "offturn-auto", top);
+  const double ci_wall = WallRatio(ci_treat, ci_base);
+  const double ci_capacity = TurnCapacityRatio(ci_treat, ci_base);
+  const double pf_wall = WallRatio(pf_treat, pf_base);
+  const double pf_capacity = TurnCapacityRatio(pf_treat, pf_base);
+  const double scaling =
+      WallRatio(pf_treat, Cell(cells, "pf", "offturn-auto", 1));
+  std::printf(
+      "\nsummary (at %zu threads): ci close capacity %.1fx (wall %.2fx), "
+      "pf close capacity %.1fx (wall %.2fx), pf off-turn aggregate "
+      "%zut/1t scaling %.2fx\n",
+      top, ci_capacity, ci_wall, pf_capacity, pf_wall, top, scaling);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"close_scaling\",\n";
+    out << "  \"shape\": {\"pages\": " << shape.pages
+        << ", \"run_len\": " << shape.run_len
+        << ", \"iters\": " << shape.iters << "},\n  \"cells\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const CellResult& c = cells[i];
+      out << "    {\"mode\": \"" << c.mode << "\", \"config\": \""
+          << c.config << "\", \"threads\": " << c.threads
+          << ", \"slices_per_sec\": " << c.slices_per_sec
+          << ", \"turn_us_per_slice\": " << c.turn_us_per_slice << "}"
+          << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"summary\": {\n";
+    out << "    \"ci_offturn_close_speedup\": " << ci_capacity << ",\n";
+    out << "    \"ci_offturn_close_wall_speedup\": " << ci_wall << ",\n";
+    out << "    \"pf_eager_offturn_close_speedup\": " << pf_capacity
+        << ",\n";
+    out << "    \"pf_eager_offturn_close_wall_speedup\": " << pf_wall
+        << ",\n";
+    out << "    \"close_scaling_8t_vs_1t\": " << scaling << "\n";
+    out << "  }\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!merge_path.empty() &&
+      !MergeIntoPropagationJson(merge_path, pf_capacity, scaling)) {
+    return 1;
+  }
+
+  // Acceptance, at the top thread count on the ci monitor: the off-turn +
+  // SIMD close must at least double aggregate close *capacity* (the
+  // turn-held-time cap that actually bounds close throughput at scale)
+  // over the turn-serial scalar baseline, and must beat it end to end by
+  // a sanity margin even on hosts with too few cores for the off-turn
+  // work to overlap. The pf cells are fault-dominated; their ratios are
+  // recorded, not gated.
+  if (!smoke && ci_capacity < 2.0) {
+    std::fprintf(stderr,
+                 "close_scaling: ci close capacity %.2fx < 2x target\n",
+                 ci_capacity);
+    return 1;
+  }
+  if (!smoke && ci_wall < 1.15) {
+    std::fprintf(stderr,
+                 "close_scaling: ci wall speedup %.2fx < 1.15x floor\n",
+                 ci_wall);
+    return 1;
+  }
+  return 0;
+}

@@ -6,12 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <random>
 
 #include "rfdet/kendo/kendo.h"
 #include "rfdet/mem/det_allocator.h"
 #include "rfdet/mem/mod_list.h"
 #include "rfdet/mem/thread_view.h"
 #include "rfdet/runtime/runtime.h"
+#include "rfdet/simd/kernels.h"
 #include "rfdet/time/vector_clock.h"
 
 namespace {
@@ -65,6 +67,71 @@ void BM_PageDiff(benchmark::State& state) {
                           kPageSize);
 }
 BENCHMARK(BM_PageDiff)->Arg(0)->Arg(64)->Arg(1024)->Arg(4096);
+
+// ---- per-tier kernel cells -------------------------------------------------
+// range(0) is a simd::KernelTier. Only the tiers this build/CPU can run
+// are registered (SupportedTiers), so every emitted row is a real run.
+
+void TierArgs(benchmark::internal::Benchmark* b) {
+  for (const simd::KernelTier t : simd::SupportedTiers()) {
+    b->Arg(static_cast<int>(t));
+  }
+}
+
+const simd::KernelOps& TierOps(const benchmark::State& state) {
+  const auto tier = static_cast<simd::KernelTier>(state.range(0));
+  const simd::KernelOps* ops = simd::KernelsForTier(tier);
+  return ops != nullptr ? *ops
+                        : *simd::KernelsForTier(simd::KernelTier::kScalar);
+}
+
+void BM_PageDiffKernel(benchmark::State& state) {
+  const simd::KernelOps& ops = TierOps(state);
+  // Half-page contiguous edit: the diff-dominated shape close_scaling
+  // drives (full-page scan + a large byte-refined run).
+  alignas(64) std::byte snap[kPageSize] = {};
+  alignas(64) std::byte cur[kPageSize] = {};
+  std::memset(cur + 1024, 0x5a, 2048);
+  simd::DiffRun runs[simd::kMaxDiffRuns];
+  for (auto _ : state) {
+    const size_t n = ops.page_diff_runs(snap, cur, runs);
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(runs);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kPageSize);
+}
+BENCHMARK(BM_PageDiffKernel)->Apply(TierArgs);
+
+void BM_FnvLanesKernel(benchmark::State& state) {
+  const simd::KernelOps& ops = TierOps(state);
+  std::vector<unsigned char> buf(64 * 1024);
+  std::mt19937_64 rng(7);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng());
+  uint64_t lanes[4];
+  for (auto _ : state) {
+    lanes[0] = lanes[1] = lanes[2] = lanes[3] = 0xcbf29ce484222325u;
+    ops.fnv_lanes32(lanes, buf.data(), buf.size());
+    benchmark::DoNotOptimize(lanes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_FnvLanesKernel)->Apply(TierArgs);
+
+void BM_CopyBytesKernel(benchmark::State& state) {
+  const simd::KernelOps& ops = TierOps(state);
+  alignas(64) std::byte src[kPageSize];
+  alignas(64) std::byte dst[kPageSize];
+  std::memset(src, 0x33, sizeof src);
+  for (auto _ : state) {
+    ops.copy_bytes(dst, src, kPageSize);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kPageSize);
+}
+BENCHMARK(BM_CopyBytesKernel)->Apply(TierArgs);
 
 void BM_ModListApply(benchmark::State& state) {
   ModList mods;

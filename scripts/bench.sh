@@ -22,13 +22,19 @@ for arg in "$@"; do
 done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench -j --target propagation_path racey_determinism
+cmake --build build-bench -j --target propagation_path racey_determinism \
+    close_scaling
 
 mkdir -p bench/artifacts
 if [[ "$smoke" == 1 ]]; then
   ./build-bench/bench/propagation_path --smoke
+  ./build-bench/bench/close_scaling --smoke
 else
   ./build-bench/bench/propagation_path \
       --json="$(pwd)/bench/artifacts/BENCH_propagation.json"
+  # close_scaling gates >=2x off-turn+SIMD close throughput at 8 threads
+  # and splices its summary keys into the propagation JSON.
+  ./build-bench/bench/close_scaling \
+      --merge_json="$(pwd)/bench/artifacts/BENCH_propagation.json"
   echo "bench.sh: wrote bench/artifacts/BENCH_propagation.json"
 fi

@@ -1,6 +1,9 @@
 #include "rfdet/mem/mod_list.h"
 
+#include <array>
 #include <cstring>
+
+#include "rfdet/simd/kernels.h"
 
 namespace rfdet {
 
@@ -35,50 +38,17 @@ bool ModList::AppendCoalescing(GAddr addr, std::span<const std::byte> bytes) {
   return false;
 }
 
-namespace {
-
-// 64-byte block equality: eight unrolled uint64_t XORs folded into one
-// accumulator — branch-free inside the block, so the compiler can keep it
-// in vector registers. memcpy tolerates the unaligned positions a run tail
-// leaves behind.
-inline bool Block64Equal(const std::byte* a, const std::byte* b) noexcept {
-  uint64_t x[8];
-  uint64_t y[8];
-  std::memcpy(x, a, sizeof x);
-  std::memcpy(y, b, sizeof y);
-  uint64_t acc = 0;
-  for (int k = 0; k < 8; ++k) acc |= x[k] ^ y[k];
-  return acc == 0;
-}
-
-constexpr size_t kDiffBlock = 64;
-
-}  // namespace
-
 void ModList::AppendPageDiff(GAddr page_base, const std::byte* snapshot,
                              const std::byte* current) {
-  size_t i = 0;
-  while (i < kPageSize) {
-    // Fast-skip identical stretches a 64-byte block at a time, then refine
-    // to the first differing byte word- and byte-wise.
-    while (i + kDiffBlock <= kPageSize &&
-           Block64Equal(snapshot + i, current + i)) {
-      i += kDiffBlock;
-    }
-    while (i + sizeof(uint64_t) <= kPageSize) {
-      uint64_t a;
-      uint64_t b;
-      std::memcpy(&a, snapshot + i, sizeof a);
-      std::memcpy(&b, current + i, sizeof b);
-      if (a != b) break;
-      i += sizeof(uint64_t);
-    }
-    while (i < kPageSize && snapshot[i] == current[i]) ++i;
-    if (i >= kPageSize) break;
-    // Found a differing byte; extend to the maximal modified run.
-    const size_t start = i;
-    while (i < kPageSize && snapshot[i] != current[i]) ++i;
-    Append(page_base + start, {current + start, i - start});
+  // Run extraction goes through the dispatched kernel (AVX2/SSE2/NEON or
+  // scalar). Every tier emits the same maximal differing-byte runs, so the
+  // ModList — and every digest folded over it — is tier-independent.
+  static thread_local std::array<simd::DiffRun, simd::kMaxDiffRuns> scratch;
+  const simd::KernelOps& ops = simd::Kernels();
+  const size_t count = ops.page_diff_runs(snapshot, current, scratch.data());
+  for (size_t r = 0; r < count; ++r) {
+    const simd::DiffRun& run = scratch[r];
+    Append(page_base + run.start, {current + run.start, run.len});
   }
 }
 

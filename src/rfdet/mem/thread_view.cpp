@@ -1,14 +1,17 @@
 #include "rfdet/mem/thread_view.h"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/mman.h>
 #include <ucontext.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstring>
 
 #include "rfdet/common/check.h"
+#include "rfdet/simd/kernels.h"
 
 namespace rfdet {
 
@@ -16,6 +19,24 @@ namespace {
 
 // All-zero page backing reads of never-written ci pages.
 alignas(kPageSize) const std::byte kZeroPage[kPageSize] = {};
+
+// Plan segments are usually tens of bytes, where the libc call (plus the
+// dispatch-table indirection) costs more than the copy itself: inline a
+// word loop below the kernel cutoff, dispatch above it. Hundreds of
+// segments per apply make this the planned path's inner loop.
+inline void CopySegment(std::byte* dst, const std::byte* src, size_t n,
+                        const simd::KernelOps& ops) {
+  if (n >= simd::kDispatchMinBytes) {
+    ops.copy_bytes(dst, src, n);
+    return;
+  }
+  for (; n >= 8; dst += 8, src += 8, n -= 8) {
+    uint64_t w;
+    std::memcpy(&w, src, 8);
+    std::memcpy(dst, &w, 8);
+  }
+  for (; n > 0; ++dst, ++src, --n) *dst = *src;
+}
 
 // The view whose pages are currently fault-monitored on this thread.
 thread_local ThreadView* g_active_view = nullptr;
@@ -115,9 +136,39 @@ ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
   } else {
     // With read tracking, pages start (and return between slices to)
     // PROT_NONE so the first read of a page faults and is recorded.
-    void* mem = ::mmap(nullptr, capacity_,
-                       track_reads_ ? PROT_NONE : PROT_READ,
-                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    // Back the region with a memfd and map it twice: the monitored
+    // mapping (whose per-page protections drive write detection) plus an
+    // always-RW alias for remote propagation, which then needs no
+    // mprotect at all. Fall back to a plain anonymous mapping — and the
+    // mprotect-batched apply — where memfd is unavailable.
+    const int prot0 = track_reads_ ? PROT_NONE : PROT_READ;
+    void* mem = MAP_FAILED;
+#if defined(__linux__)
+    memfd_ = ::memfd_create("rfdet-view", MFD_CLOEXEC);
+    if (memfd_ >= 0 &&
+        ::ftruncate(memfd_, static_cast<off_t>(capacity_)) == 0) {
+      mem = ::mmap(nullptr, capacity_, prot0, MAP_SHARED | MAP_NORESERVE,
+                   memfd_, 0);
+      if (mem != MAP_FAILED) {
+        void* rw = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_NORESERVE, memfd_, 0);
+        if (rw != MAP_FAILED) {
+          alias_ = static_cast<std::byte*>(rw);
+        } else {
+          ::munmap(mem, capacity_);
+          mem = MAP_FAILED;
+        }
+      }
+    }
+    if (mem == MAP_FAILED && memfd_ >= 0) {
+      ::close(memfd_);
+      memfd_ = -1;
+    }
+#endif
+    if (mem == MAP_FAILED) {
+      mem = ::mmap(nullptr, capacity_, prot0,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    }
     RFDET_CHECK_MSG(mem != MAP_FAILED, "view mmap failed");
     flat_ = static_cast<std::byte*>(mem);
     prot_.assign(num_pages_, track_reads_ ? kProtNone : kProtRO);
@@ -130,6 +181,19 @@ ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
 
 ThreadView::~ThreadView() {
   if (flat_ != nullptr) ::munmap(flat_, capacity_);
+  if (alias_ != nullptr) ::munmap(alias_, capacity_);
+  if (memfd_ >= 0) ::close(memfd_);
+}
+
+void ThreadView::ZeroResetPf() {
+#if defined(__linux__)
+  if (memfd_ >= 0) {
+    RFDET_CHECK(::fallocate(memfd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                            0, static_cast<off_t>(capacity_)) == 0);
+    return;
+  }
+#endif
+  ::madvise(flat_, capacity_, MADV_DONTNEED);
 }
 
 // ---------------------------------------------------------------------------
@@ -501,6 +565,27 @@ void ThreadView::ApplyRemote(const ModList& mods, const ApplyPlan& plan,
     return;
   }
   if (mode_ == MonitorMode::kPageFault) {
+    if (alias_ != nullptr && !track_reads_) {
+      // Zero-mprotect apply: segments land through the always-RW alias,
+      // so the monitored mapping's protections stay exactly as they are
+      // (RO pages stay RO and keep faulting on local writes; pages the
+      // local thread already opened stay RW, matching the open-page
+      // path's merge behavior). Read tracking still takes the mprotect
+      // path below — it must re-arm remotely-written pages to PROT_NONE
+      // so the next local read is observed.
+      const simd::KernelOps& ops = simd::Kernels();
+      for (const PlanPage& page : plan.Pages()) {
+        // Older parked runs must land before this slice's segments
+        // (no-op unless a lazy configuration parked some earlier).
+        ApplyPendingToPage(page.pid);
+        for (const PlanSegment& seg : plan.Segments(page)) {
+          CopySegment(alias_ + seg.addr, mods.DataAt(seg.data_offset),
+                      seg.len, ops);
+        }
+        touched_[page.pid] = 1;
+      }
+      return;
+    }
     // Open every target page that is not already writable with ranged
     // mprotect calls, drain pending lists and write segments with the
     // pages open, then re-protect the same ranges. Pages found RW (a
@@ -510,12 +595,13 @@ void ThreadView::ApplyRemote(const ModList& mods, const ApplyPlan& plan,
       if (prot_[page.pid] != kProtRW) scratch_pages_.push_back(page.pid);
     }
     ProtectSorted(scratch_pages_, kProtRW);
+    const simd::KernelOps& ops = simd::Kernels();
     for (const PlanPage& page : plan.Pages()) {
       // Older parked runs must land before this slice's segments.
       DrainPendingWritable(page.pid);
       for (const PlanSegment& seg : plan.Segments(page)) {
-        std::memcpy(flat_ + seg.addr, mods.DataAt(seg.data_offset),
-                    seg.len);
+        CopySegment(flat_ + seg.addr, mods.DataAt(seg.data_offset), seg.len,
+                    ops);
       }
       touched_[page.pid] = 1;
     }
@@ -524,14 +610,15 @@ void ThreadView::ApplyRemote(const ModList& mods, const ApplyPlan& plan,
     // deterministic (the access stream is).
     ProtectSorted(scratch_pages_, track_reads_ ? kProtNone : kProtRO);
   } else {
+    const simd::KernelOps& ops = simd::Kernels();
     for (const PlanPage& page : plan.Pages()) {
       if (table_[page.pid].pending != kNoPending) {
         ApplyPendingToPage(page.pid);
       }
       std::byte* dst = RawWritablePageCi(page.pid);
       for (const PlanSegment& seg : plan.Segments(page)) {
-        std::memcpy(dst + PageOffset(seg.addr),
-                    mods.DataAt(seg.data_offset), seg.len);
+        CopySegment(dst + PageOffset(seg.addr), mods.DataAt(seg.data_offset),
+                    seg.len, ops);
       }
     }
   }
@@ -643,7 +730,7 @@ void ThreadView::CopyFrom(ThreadView& other) {
       resident_ = 0;
     } else {
       ::mprotect(flat_, capacity_, PROT_READ | PROT_WRITE);
-      ::madvise(flat_, capacity_, MADV_DONTNEED);
+      ZeroResetPf();
       stats_.mprotect_calls += 2;
       std::fill(touched_.begin(), touched_.end(), 0);
       resident_ = 0;
@@ -686,7 +773,7 @@ void ThreadView::CopyFrom(ThreadView& other) {
   } else {
     // Reset to zero cheaply, then copy the source's touched pages.
     ::mprotect(flat_, capacity_, PROT_READ | PROT_WRITE);
-    ::madvise(flat_, capacity_, MADV_DONTNEED);
+    ZeroResetPf();
     stats_.mprotect_calls += 2;
     resident_ = 0;
     for (PageId pid = 0; pid < num_pages_; ++pid) {

@@ -211,6 +211,11 @@ class ThreadView {
       read_pages_.push_back(pid);
     }
   }
+  // pf: returns the whole region to zeros. Punches a hole in the backing
+  // memfd when one exists (MADV_DONTNEED would re-expose the old file
+  // contents on a shared mapping), else MADV_DONTNEED on the anonymous
+  // mapping.
+  void ZeroResetPf();
   // pf: drops the whole region to PROT_READ so another thread can memcpy
   // from flat_ without faulting (the handler only covers the view active
   // on the *calling* thread). Re-arm with RearmReadTracking.
@@ -228,6 +233,13 @@ class ThreadView {
 
   // pf state.
   std::byte* flat_ = nullptr;
+  // Always-writable alias of the same memfd-backed pages (nullptr when
+  // the region fell back to a plain anonymous mapping). Remote
+  // propagation writes land through the alias, so the planned apply
+  // needs no mprotect at all and the monitored mapping's per-page
+  // protections — which drive local write detection — stay untouched.
+  std::byte* alias_ = nullptr;
+  int memfd_ = -1;
   std::vector<uint8_t> prot_;
   std::vector<uint8_t> touched_;
   std::vector<std::byte*> pf_snap_;  // per-page snapshot, valid while on modified_

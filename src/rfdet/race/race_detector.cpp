@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <sstream>
 
+#include <array>
+
 #include "rfdet/common/check.h"
 #include "rfdet/common/fault_injection.h"
 #include "rfdet/common/hash.h"
+#include "rfdet/simd/kernels.h"
 
 namespace rfdet {
 namespace {
@@ -28,6 +31,48 @@ namespace {
   uint64_t bloom = 0;
   for (const PageId pid : pages) bloom |= BloomBit(pid);
   return bloom;
+}
+
+// Byte-occupancy bitmap of one page (one bit per byte) for the exact
+// write-write intersection. Above kBitmapSweepPairs candidate pairs the
+// O(na*nb) segment sweep is replaced by marking both slices' bytes and
+// ANDing the bitmaps with the dispatched SIMD kernel; the sweep then only
+// runs to identify the segment pair behind an already-proven overlap, so
+// reports stay byte-identical to the plain sweep.
+constexpr size_t kPageBitmapWords = kPageSize / 64;
+constexpr size_t kBitmapSweepPairs = 32;
+
+using PageBitmap = std::array<uint64_t, kPageBitmapWords>;
+
+void MarkBytes(PageBitmap& bm, size_t first, size_t len) noexcept {
+  size_t word = first >> 6;
+  size_t bit = first & 63;
+  while (len > 0) {
+    const size_t n = std::min(len, size_t{64} - bit);
+    const uint64_t ones =
+        n == 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1) << bit;
+    bm[word] |= ones;
+    ++word;
+    bit = 0;
+    len -= n;
+  }
+}
+
+// First byte offset written by both segment lists, or SIZE_MAX.
+size_t FirstOverlapByte(std::span<const PlanSegment> segs_a,
+                        std::span<const PlanSegment> segs_b, GAddr base) {
+  static thread_local PageBitmap bits_a;
+  static thread_local PageBitmap bits_b;
+  bits_a.fill(0);
+  bits_b.fill(0);
+  for (const PlanSegment& s : segs_a) {
+    MarkBytes(bits_a, static_cast<size_t>(s.addr - base), s.len);
+  }
+  for (const PlanSegment& s : segs_b) {
+    MarkBytes(bits_b, static_cast<size_t>(s.addr - base), s.len);
+  }
+  return simd::Kernels().and_first_set(bits_a.data(), bits_b.data(),
+                                       kPageBitmapWords);
 }
 
 }  // namespace
@@ -150,13 +195,32 @@ void RaceDetector::CheckPair(const Entry& incoming, const Entry& older) {
         // Dedup before the exact intersection: in steady state a hot
         // racing page costs one bit test, not a segment sweep.
         if (!TestPage(reported, pid)) {
+          const auto segs_a = pa.Segments(pages_a[ia]);
+          const auto segs_b = pb.Segments(pages_b[ib]);
+          // On fragmented pages, prove (or refute) the overlap first with
+          // the SIMD bitmap intersect; disjoint same-page writes — the
+          // common page-collision shape — then skip the pair sweep.
+          GAddr known_lo = kNullGAddr;
+          bool sweep = true;
+          if (segs_a.size() * segs_b.size() >= kBitmapSweepPairs) {
+            const size_t first =
+                FirstOverlapByte(segs_a, segs_b, PageBase(pid));
+            sweep = first != SIZE_MAX;
+            if (sweep) known_lo = PageBase(pid) + first;
+          }
           // First overlapping byte range on this page, by lowest start
           // address — deterministic regardless of segment counts.
           GAddr best_start = kNullGAddr;
           uint32_t best_len = 0;
           const PlanSegment* best_b = nullptr;
-          for (const PlanSegment& sa : pa.Segments(pages_a[ia])) {
-            for (const PlanSegment& sb : pb.Segments(pages_b[ib])) {
+          const auto done = [&] {
+            // A strict `<` below means the first pair reaching the
+            // bitmap's first overlapping byte is final: stop both loops.
+            return known_lo != kNullGAddr && best_start == known_lo;
+          };
+          for (const PlanSegment& sa : segs_a) {
+            if (!sweep || done()) break;
+            for (const PlanSegment& sb : segs_b) {
               const GAddr lo = std::max(sa.addr, sb.addr);
               const GAddr hi =
                   std::min(sa.addr + sa.len, sb.addr + sb.len);
@@ -165,6 +229,7 @@ void RaceDetector::CheckPair(const Entry& incoming, const Entry& older) {
                 best_len = static_cast<uint32_t>(hi - lo);
                 best_b = &sb;
               }
+              if (done()) break;
             }
           }
           if (best_b != nullptr) {

@@ -64,6 +64,16 @@ std::string ValidateOptions(const RfdetOptions& options) {
     return "race_track_reads without a race policy tracks reads nobody "
            "consumes; set race_policy or clear race_track_reads";
   }
+  if (options.off_turn_close && !options.isolation) {
+    return "off_turn_close needs isolation (there is no slice close to "
+           "move off the turn under the kendo backend)";
+  }
+  if (options.kernels != "auto" && options.kernels != "scalar" &&
+      options.kernels != "sse2" && options.kernels != "avx2" &&
+      options.kernels != "neon") {
+    return "kernels must be one of auto, scalar, sse2, avx2, neon (got \"" +
+           options.kernels + "\")";
+  }
   return "";
 }
 

@@ -63,6 +63,22 @@ struct RfdetOptions {
   bool prelock = true;
   bool lazy_writes = true;
 
+  // Off-turn slice close: run the thread-private half of CloseSlice —
+  // snapshot diffing into a ModList, ApplyPlan construction, pre-hashing
+  // the mod bytes for the fingerprint — *before* taking the Kendo turn, so
+  // N threads closing write-heavy slices diff in parallel instead of
+  // serializing. Only the order-sensitive publish (vclock stamp, slice
+  // insert, fingerprint fold, race scan) stays under the turn. Requires
+  // isolation. Default off: identical behavior to the turn-serial close.
+  bool off_turn_close = false;
+
+  // Byte-kernel tier for diffing/hashing/apply copies: "auto" (best the
+  // CPU supports), or force "scalar", "sse2", "avx2", "neon". All tiers
+  // are byte-identical (same ModLists, same fingerprints), so this is a
+  // perf/debug knob, not a semantic one. The RFDET_KERNELS environment
+  // variable, when set, wins over this option.
+  std::string kernels = "auto";
+
   // Shared-region geometry.
   size_t region_bytes = 64u << 20;
   size_t static_bytes = 4u << 20;

@@ -1,10 +1,14 @@
 #include "rfdet/runtime/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <system_error>
+
+#include "rfdet/simd/kernels.h"
 
 namespace rfdet {
 
@@ -74,6 +78,23 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
       }) {
   RFDET_CHECK_MSG(g_tls.runtime == nullptr,
                   "a runtime is already attached to this thread");
+  // Kernel tier: the RFDET_KERNELS environment variable (debug knob) wins
+  // over the option. A validated-but-unsupported option name (e.g. "avx2"
+  // on a CPU without it) warns and keeps the current selection — all tiers
+  // are byte-identical, so this is never a correctness decision.
+  if (const char* env = std::getenv("RFDET_KERNELS");
+      env != nullptr && *env != '\0') {
+    if (!simd::SelectKernels(env).empty()) {
+      std::fprintf(stderr,
+                   "rfdet: ignoring RFDET_KERNELS=%s (unknown or "
+                   "unsupported); using options.kernels\n",
+                   env);
+      (void)simd::SelectKernels(options_.kernels);
+    }
+  } else if (const std::string err = simd::SelectKernels(options_.kernels);
+             !err.empty()) {
+    std::fprintf(stderr, "rfdet: options.kernels: %s\n", err.c_str());
+  }
   threads_.reserve(options_.max_threads);
   if (!options_.isolation) {
     shared_image_ = std::make_unique<std::byte[]>(options_.region_bytes);
@@ -273,12 +294,76 @@ void RfdetRuntime::Tick(uint64_t words) {
 // Slices and propagation
 // ---------------------------------------------------------------------------
 
+void RfdetRuntime::PrepareSlice(ThreadCtx& me) {
+  if (!options_.isolation || !options_.off_turn_close) return;
+  ThreadCtx::PreparedSlice& p = me.prepared;
+  // A prepared slice can survive a sync op that never published it (slice
+  // merging, an error back-out): CollectModifications appends, so the new
+  // window's diff merges into the carried one. Later runs win on overlap —
+  // both the legacy apply loop and ApplyPlan (stable_sort) preserve run
+  // order within a page, matching what one combined diff would apply.
+  const bool had = p.valid;
+  const bool had_mods = had && !p.mods.Empty();
+  const size_t bytes_before = p.mods.ByteCount();
+  me.view->CollectModifications(p.mods);
+  if (race_detector_ != nullptr) {
+    if (!had) {
+      me.view->HarvestReadPages(p.read_pages);
+    } else {
+      std::vector<PageId> fresh;
+      me.view->HarvestReadPages(fresh);
+      p.read_pages.insert(p.read_pages.end(), fresh.begin(), fresh.end());
+      std::sort(p.read_pages.begin(), p.read_pages.end());
+      p.read_pages.erase(std::unique(p.read_pages.begin(), p.read_pages.end()),
+                         p.read_pages.end());
+    }
+  }
+  p.valid = true;
+  if (p.mods.Empty()) {
+    p.mods_digest = 0;
+    return;
+  }
+  // The expensive, order-insensitive half of a close: pre-hash the mod
+  // bytes for the fingerprint and build the apply plan receivers will use.
+  // Everything here reads only this thread's private view output.
+  p.mods_digest = fingerprint_ != nullptr
+                      ? ExecutionFingerprint::HashMods(p.mods, kFnvOffset)
+                      : 0;
+  p.plan = ApplyPlan::Build(p.mods);
+  if (!had_mods) {
+    stats_.offturn_prepared_slices.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.offturn_prepared_bytes.fetch_add(p.mods.ByteCount() - bytes_before,
+                                          std::memory_order_relaxed);
+}
+
 void RfdetRuntime::CloseSlice(ThreadCtx& t) {
   if (!options_.isolation) return;
+  const auto close_t0 = std::chrono::steady_clock::now();
   ModList mods;
-  t.view->CollectModifications(mods);
   std::vector<PageId> read_pages;
-  if (race_detector_ != nullptr) t.view->HarvestReadPages(read_pages);
+  uint64_t mods_digest = 0;
+  ApplyPlan plan;
+  bool prepared = false;
+  if (t.prepared.valid) {
+    // Off-turn close: adopt the diff/plan/pre-hash done before this thread
+    // took its turn. No instrumented write can land between PrepareSlice
+    // and here — every sync op prepares immediately before requesting the
+    // turn and runs no application code in between.
+    prepared = true;
+    mods = std::move(t.prepared.mods);
+    read_pages = std::move(t.prepared.read_pages);
+    mods_digest = t.prepared.mods_digest;
+    plan = std::move(t.prepared.plan);
+    t.prepared.valid = false;
+    t.prepared.mods.Clear();
+    t.prepared.read_pages.clear();
+    t.prepared.mods_digest = 0;
+    t.prepared.plan = ApplyPlan();
+  } else {
+    t.view->CollectModifications(mods);
+    if (race_detector_ != nullptr) t.view->HarvestReadPages(read_pages);
+  }
   VectorClock time;
   {
     std::scoped_lock lock(t.clock_mu);
@@ -290,11 +375,17 @@ void RfdetRuntime::CloseSlice(ThreadCtx& t) {
   if (!mods.Empty()) {
     if (options_.dlrc_paranoia) ParanoiaCheckMods(t, mods);
     if (fingerprint_ && fingerprint_->Absorbing()) {
-      fingerprint_->OnSliceClose(t.tid, t.slice_seq + 1, time, mods);
+      if (prepared) {
+        fingerprint_->OnSliceClose(t.tid, t.slice_seq + 1, time, mods,
+                                   mods_digest);
+      } else {
+        fingerprint_->OnSliceClose(t.tid, t.slice_seq + 1, time, mods);
+      }
     }
     ReserveSliceMetadata(Slice::BytesFor(mods, time));
     slice = std::make_shared<Slice>(t.tid, ++t.slice_seq, time,
                                     std::move(mods), &arena_);
+    if (prepared) slice->PrimePlan(std::move(plan));
     t.log.Append(slice);
     stats_.slices_created.fetch_add(1, std::memory_order_relaxed);
   }
@@ -309,6 +400,11 @@ void RfdetRuntime::CloseSlice(ThreadCtx& t) {
   }
   if (fingerprint_) UpdateTurnFingerprint(t);
   MaybeRunGc();
+  stats_.close_turn_ns.fetch_add(
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - close_t0)
+                                .count()),
+      std::memory_order_relaxed);
 }
 
 void RfdetRuntime::ReserveSliceMetadata(size_t bytes) {
@@ -758,6 +854,7 @@ RfdetErrc RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
 RfdetErrc RfdetRuntime::MutexLock(size_t id) {
   ThreadCtx& me = Ctx();
   stats_.locks.fetch_add(1, std::memory_order_relaxed);
+  PrepareSlice(me);
   return LockCore(me, id, Var(id, SyncVar::Kind::kMutex), /*fresh=*/true);
 }
 
@@ -765,6 +862,7 @@ void RfdetRuntime::MutexUnlock(size_t id) {
   ThreadCtx& me = Ctx();
   stats_.unlocks.fetch_add(1, std::memory_order_relaxed);
   SyncVar& m = Var(id, SyncVar::Kind::kMutex);
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   RFDET_CHECK_MSG(m.locked && m.owner == me.tid, "unlock of unowned mutex");
   CloseSlice(me);
@@ -797,6 +895,7 @@ RfdetErrc RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
   stats_.cond_waits.fetch_add(1, std::memory_order_relaxed);
   SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
   SyncVar& m = Var(mutex_id, SyncVar::Kind::kMutex);
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   RFDET_CHECK_MSG(m.locked && m.owner == me.tid,
                   "cond wait without holding the mutex");
@@ -845,6 +944,7 @@ void RfdetRuntime::CondSignal(size_t cond_id) {
   ThreadCtx& me = Ctx();
   stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
   SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   CloseSlice(me);
   ReleasePublish(me, c);
@@ -861,6 +961,7 @@ void RfdetRuntime::CondBroadcast(size_t cond_id) {
   ThreadCtx& me = Ctx();
   stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
   SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   CloseSlice(me);
   ReleasePublish(me, c);
@@ -910,6 +1011,7 @@ void RfdetRuntime::RawStore64(ThreadCtx& me, GAddr addr, uint64_t value) {
 
 uint64_t RfdetRuntime::AtomicLoad(GAddr addr) {
   ThreadCtx& me = Ctx();
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   SyncVar& sv = AtomicVar(addr);
   Record(TraceOp::kAtomic, me.tid, addr);
@@ -922,6 +1024,7 @@ uint64_t RfdetRuntime::AtomicLoad(GAddr addr) {
 
 void RfdetRuntime::AtomicStore(GAddr addr, uint64_t value) {
   ThreadCtx& me = Ctx();
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   SyncVar& sv = AtomicVar(addr);
   Record(TraceOp::kAtomic, me.tid, addr);
@@ -934,6 +1037,7 @@ void RfdetRuntime::AtomicStore(GAddr addr, uint64_t value) {
 
 uint64_t RfdetRuntime::AtomicFetchAdd(GAddr addr, uint64_t delta) {
   ThreadCtx& me = Ctx();
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   SyncVar& sv = AtomicVar(addr);
   Record(TraceOp::kAtomic, me.tid, addr);
@@ -950,6 +1054,7 @@ uint64_t RfdetRuntime::AtomicFetchAdd(GAddr addr, uint64_t delta) {
 bool RfdetRuntime::AtomicCas(GAddr addr, uint64_t& expected,
                              uint64_t desired) {
   ThreadCtx& me = Ctx();
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   SyncVar& sv = AtomicVar(addr);
   Record(TraceOp::kAtomic, me.tid, addr);
@@ -976,6 +1081,7 @@ RfdetErrc RfdetRuntime::BarrierWait(size_t id) {
   ThreadCtx& me = Ctx();
   stats_.barriers.fetch_add(1, std::memory_order_relaxed);
   SyncVar& b = Var(id, SyncVar::Kind::kBarrier);
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   // Unreachable through the public API in a correct runtime (an arrived
   // thread is paused until the cycle completes), but cheap to rule out.
@@ -1066,6 +1172,7 @@ void RfdetRuntime::WorkerMain(ThreadCtx& ctx, std::function<void()> fn) {
 RfdetErrc RfdetRuntime::TrySpawn(std::function<void()> fn, size_t* out_tid) {
   ThreadCtx& me = Ctx();
   stats_.forks.fetch_add(1, std::memory_order_relaxed);
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   // Thread creation is a release whose paired acquire is the child's entry
   // point; the child inherits the parent's memory, so no propagation is
@@ -1141,6 +1248,7 @@ size_t RfdetRuntime::Spawn(std::function<void()> fn) {
 }
 
 void RfdetRuntime::ThreadExit(ThreadCtx& me) {
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   CloseSlice(me);
   {
@@ -1163,6 +1271,7 @@ RfdetErrc RfdetRuntime::Join(size_t tid) {
   RFDET_CHECK_MSG(tid < threads_.size() && tid != me.tid, "bad join target");
   ThreadCtx& target = CtxOf(tid);
   RFDET_CHECK_MSG(!target.joined, "double join");
+  PrepareSlice(me);
   kendo_.WaitForTurn(me.tid);
   if (!target.finished.load(std::memory_order_acquire)) {
     // We would block on the target: a join cycle (or joining while every
@@ -1498,6 +1607,15 @@ std::string RfdetRuntime::DumpStateReport() const {
   os << "arena: used " << arena_.Used() << " / " << arena_.Capacity()
      << " bytes, peak " << arena_.Peak() << ", gc count "
      << arena_.GcCount() << "\n";
+  os << "kernels: " << simd::KernelTierName(simd::Kernels().tier)
+     << ", off-turn close "
+     << (options_.off_turn_close ? "enabled" : "disabled") << " ("
+     << stats_.offturn_prepared_slices.load(std::memory_order_relaxed)
+     << " slices, "
+     << stats_.offturn_prepared_bytes.load(std::memory_order_relaxed)
+     << " bytes prepared off turn, "
+     << stats_.close_turn_ns.load(std::memory_order_relaxed)
+     << " ns closing under the turn)\n";
   if (fingerprint_ != nullptr) os << fingerprint_->ProgressSummary();
   if (race_detector_ != nullptr) os << race_detector_->Summary();
   if (options_.record_trace) {
@@ -1604,6 +1722,9 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
   s.prelock_slices = stats_.prelock_slices.load();
   s.prelock_bytes = stats_.prelock_bytes.load();
   s.slices_pruned = stats_.slices_pruned.load();
+  s.offturn_prepared_slices = stats_.offturn_prepared_slices.load();
+  s.offturn_prepared_bytes = stats_.offturn_prepared_bytes.load();
+  s.close_turn_ns = stats_.close_turn_ns.load();
   s.gc_count = arena_.GcCount();
   s.metadata_peak_bytes = arena_.Peak();
   s.deadlocks_detected = stats_.deadlocks_detected.load();

@@ -241,6 +241,18 @@ class RfdetRuntime {
     std::atomic<uint64_t> loads{0};   // word-counted, owner-written
     std::atomic<uint64_t> stores{0};
 
+    // Off-turn close (options.off_turn_close): the thread-private half of
+    // CloseSlice, produced by PrepareSlice *before* taking the turn and
+    // consumed by the turn-ordered publish inside CloseSlice. Owner-only.
+    struct PreparedSlice {
+      bool valid = false;
+      ModList mods;
+      std::vector<PageId> read_pages;
+      uint64_t mods_digest = 0;  // HashMods(mods, kFnvOffset)
+      ApplyPlan plan;
+    };
+    PreparedSlice prepared;
+
     std::thread worker;  // empty for the main thread
     std::atomic<bool> finished{false};
     VectorClock final_clock;
@@ -298,8 +310,18 @@ class RfdetRuntime {
   uint64_t RawLoad64(ThreadCtx& me, GAddr addr);
   void RawStore64(ThreadCtx& me, GAddr addr, uint64_t value);
 
-  // Ends the current slice: collects modifications, ticks the vector
-  // clock, publishes the slice, and triggers GC if the arena is full.
+  // Off-turn half of CloseSlice: collects modifications, harvests read
+  // pages, builds the apply plan and pre-hashes the mod bytes — all
+  // thread-private work on the thread's own view and snapshots, run
+  // before WaitForTurn so concurrent closers diff in parallel. No-op
+  // unless options.off_turn_close (and isolation). A prepared slice left
+  // behind by an error back-out (kDeadlock) is merged into, never
+  // dropped: the runs append and the digest/plan are recomputed.
+  void PrepareSlice(ThreadCtx& me);
+
+  // Ends the current slice: collects modifications (or adopts the
+  // prepared ones), ticks the vector clock, publishes the slice, and
+  // triggers GC if the arena is full.
   void CloseSlice(ThreadCtx& t);
 
   // Metadata reservation for a slice about to be published: on shortfall

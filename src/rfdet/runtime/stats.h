@@ -30,6 +30,13 @@ struct RuntimeStats {
   std::atomic<uint64_t> prelock_slices{0};  // propagated during reservation
   std::atomic<uint64_t> prelock_bytes{0};
   std::atomic<uint64_t> slices_pruned{0};
+  // Off-turn close: slices whose diff/plan/pre-hash ran before the turn.
+  std::atomic<uint64_t> offturn_prepared_slices{0};
+  std::atomic<uint64_t> offturn_prepared_bytes{0};
+  // Wall time spent inside CloseSlice, i.e. under the caller's Kendo turn.
+  // Closes serialize on the turn, so aggregate close throughput is capped
+  // at slices_created / this — the quantity off-turn close improves.
+  std::atomic<uint64_t> close_turn_ns{0};
 
   // Failure containment & diagnosis.
   std::atomic<uint64_t> deadlocks_detected{0};
@@ -53,6 +60,8 @@ struct StatsSnapshot {
   uint64_t slices_propagated = 0, apply_plans_built = 0;
   uint64_t bytes_propagated = 0;
   uint64_t prelock_slices = 0, prelock_bytes = 0, slices_pruned = 0;
+  uint64_t offturn_prepared_slices = 0, offturn_prepared_bytes = 0;
+  uint64_t close_turn_ns = 0;
   uint64_t gc_count = 0;
   // Failure containment & diagnosis.
   uint64_t deadlocks_detected = 0, watchdog_stalls = 0;

@@ -1,0 +1,462 @@
+#include "rfdet/simd/kernels.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "rfdet/common/hash.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define RFDET_KERNELS_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define RFDET_KERNELS_NEON 1
+#endif
+
+namespace rfdet::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared run builder. Each tier only supplies a 64-bit "differs" mask per
+// 64-byte block (bit i set ⇔ byte i differs); run extraction and the merge
+// of runs spanning block boundaries are common, which is what makes the
+// tiers byte-identical by construction.
+// ---------------------------------------------------------------------------
+
+size_t AppendMaskRuns(uint64_t mask, size_t base, DiffRun* out,
+                      size_t count) noexcept {
+  while (mask != 0) {
+    const auto start = static_cast<unsigned>(std::countr_zero(mask));
+    const uint64_t shifted = mask >> start;
+    const auto len = static_cast<unsigned>(std::countr_one(shifted));
+    const auto abs = static_cast<uint32_t>(base + start);
+    if (count > 0 && out[count - 1].start + out[count - 1].len == abs) {
+      out[count - 1].len += len;
+    } else {
+      out[count++] = DiffRun{abs, static_cast<uint32_t>(len)};
+    }
+    if (start + len >= 64) break;
+    mask = (shifted >> len) << (start + len);
+  }
+  return count;
+}
+
+template <uint64_t (*DiffMask)(const std::byte*, const std::byte*)>
+size_t PageDiffRunsImpl(const std::byte* snap, const std::byte* cur,
+                        DiffRun* out) {
+  size_t count = 0;
+  for (size_t base = 0; base < kPageSize; base += 64) {
+    const uint64_t mask = DiffMask(snap + base, cur + base);
+    if (mask != 0) count = AppendMaskRuns(mask, base, out, count);
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier. Word-compare to skip equal words, byte-compare only inside
+// differing words (endian-independent).
+// ---------------------------------------------------------------------------
+
+uint64_t DiffMask64Scalar(const std::byte* a, const std::byte* b) {
+  uint64_t mask = 0;
+  for (size_t w = 0; w < 8; ++w) {
+    uint64_t x;
+    uint64_t y;
+    std::memcpy(&x, a + 8 * w, 8);
+    std::memcpy(&y, b + 8 * w, 8);
+    if (x == y) continue;
+    for (size_t j = 0; j < 8; ++j) {
+      if (a[8 * w + j] != b[8 * w + j]) mask |= uint64_t{1} << (8 * w + j);
+    }
+  }
+  return mask;
+}
+
+bool Block64EqualScalar(const std::byte* a, const std::byte* b) {
+  uint64_t acc = 0;
+  for (size_t w = 0; w < 8; ++w) {
+    uint64_t x;
+    uint64_t y;
+    std::memcpy(&x, a + 8 * w, 8);
+    std::memcpy(&y, b + 8 * w, 8);
+    acc |= x ^ y;
+  }
+  return acc == 0;
+}
+
+void CopyBytesScalar(std::byte* dst, const std::byte* src, size_t n) {
+  std::memcpy(dst, src, n);
+}
+
+void FnvLanes32Scalar(uint64_t lanes[4], const unsigned char* data, size_t n) {
+  for (size_t i = 0; i + 32 <= n; i += 32) {
+    for (size_t l = 0; l < 4; ++l) {
+      uint64_t w;
+      std::memcpy(&w, data + i + 8 * l, 8);
+      lanes[l] = (lanes[l] ^ w) * kFnvPrime;
+    }
+  }
+}
+
+size_t AndFirstSetScalar(const uint64_t* a, const uint64_t* b, size_t nwords) {
+  for (size_t w = 0; w < nwords; ++w) {
+    const uint64_t x = a[w] & b[w];
+    if (x != 0) return w * 64 + static_cast<size_t>(std::countr_zero(x));
+  }
+  return SIZE_MAX;
+}
+
+constexpr KernelOps kScalarOps = {KernelTier::kScalar,    Block64EqualScalar,
+                                  PageDiffRunsImpl<DiffMask64Scalar>,
+                                  CopyBytesScalar,         FnvLanes32Scalar,
+                                  AndFirstSetScalar};
+
+// ---------------------------------------------------------------------------
+// x86: SSE2 and AVX2 tiers. Per-function target attributes keep the rest of
+// the build at the baseline ISA; the dispatcher only hands out a table the
+// running CPU supports.
+// ---------------------------------------------------------------------------
+
+#if defined(RFDET_KERNELS_X86)
+
+__attribute__((target("sse2"))) uint64_t DiffMask64Sse2(const std::byte* a,
+                                                        const std::byte* b) {
+  uint64_t mask = 0;
+  for (size_t v = 0; v < 4; ++v) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + 16 * v));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + 16 * v));
+    const auto eq =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    mask |= uint64_t{~eq & 0xffffu} << (16 * v);
+  }
+  return mask;
+}
+
+__attribute__((target("sse2"))) bool Block64EqualSse2(const std::byte* a,
+                                                      const std::byte* b) {
+  const auto* pa = reinterpret_cast<const __m128i*>(a);
+  const auto* pb = reinterpret_cast<const __m128i*>(b);
+  __m128i eq = _mm_cmpeq_epi8(_mm_loadu_si128(pa), _mm_loadu_si128(pb));
+  for (size_t v = 1; v < 4; ++v) {
+    eq = _mm_and_si128(eq, _mm_cmpeq_epi8(_mm_loadu_si128(pa + v),
+                                          _mm_loadu_si128(pb + v)));
+  }
+  return _mm_movemask_epi8(eq) == 0xffff;
+}
+
+__attribute__((target("sse2"))) void CopyBytesSse2(std::byte* dst,
+                                                   const std::byte* src,
+                                                   size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+  }
+  if (i < n) std::memcpy(dst + i, src + i, n - i);
+}
+
+// 64-bit lane multiply built from 32-bit partial products; exact mod 2^64,
+// so the digests match the scalar IMUL bit for bit.
+__attribute__((target("sse2"))) inline __m128i Mul64Sse2(__m128i a,
+                                                         __m128i b) {
+  const __m128i lolo = _mm_mul_epu32(a, b);
+  const __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(a, _mm_srli_epi64(b, 32)),
+                    _mm_mul_epu32(_mm_srli_epi64(a, 32), b));
+  return _mm_add_epi64(lolo, _mm_slli_epi64(cross, 32));
+}
+
+__attribute__((target("sse2"))) void FnvLanes32Sse2(uint64_t lanes[4],
+                                                    const unsigned char* data,
+                                                    size_t n) {
+  const __m128i prime = _mm_set1_epi64x(static_cast<int64_t>(kFnvPrime));
+  __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes));
+  __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 2));
+  for (size_t i = 0; i + 32 <= n; i += 32) {
+    const auto* p = reinterpret_cast<const __m128i*>(data + i);
+    lo = Mul64Sse2(_mm_xor_si128(lo, _mm_loadu_si128(p)), prime);
+    hi = Mul64Sse2(_mm_xor_si128(hi, _mm_loadu_si128(p + 1)), prime);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), lo);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes + 2), hi);
+}
+
+__attribute__((target("sse2"))) size_t AndFirstSetSse2(const uint64_t* a,
+                                                       const uint64_t* b,
+                                                       size_t nwords) {
+  size_t w = 0;
+  const __m128i zero = _mm_setzero_si128();
+  for (; w + 2 <= nwords; w += 2) {
+    const __m128i x = _mm_and_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + w)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + w)));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(x, zero)) != 0xffff) {
+      return AndFirstSetScalar(a + w, b + w, 2) + w * 64;
+    }
+  }
+  if (w < nwords && (a[w] & b[w]) != 0) {
+    return w * 64 + static_cast<size_t>(std::countr_zero(a[w] & b[w]));
+  }
+  return SIZE_MAX;
+}
+
+constexpr KernelOps kSse2Ops = {KernelTier::kSse2,      Block64EqualSse2,
+                                PageDiffRunsImpl<DiffMask64Sse2>,
+                                CopyBytesSse2,           FnvLanes32Sse2,
+                                AndFirstSetSse2};
+
+__attribute__((target("avx2"))) uint64_t DiffMask64Avx2(const std::byte* a,
+                                                        const std::byte* b) {
+  const __m256i a0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i a1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 32));
+  const __m256i b0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const __m256i b1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 32));
+  const auto eq0 = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(a0, b0)));
+  const auto eq1 = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(a1, b1)));
+  return uint64_t{~eq0} | (uint64_t{~eq1} << 32);
+}
+
+__attribute__((target("avx2"))) bool Block64EqualAvx2(const std::byte* a,
+                                                      const std::byte* b) {
+  const __m256i eq = _mm256_and_si256(
+      _mm256_cmpeq_epi8(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b))),
+      _mm256_cmpeq_epi8(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 32)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 32))));
+  return _mm256_movemask_epi8(eq) == -1;
+}
+
+__attribute__((target("avx2"))) void CopyBytesAvx2(std::byte* dst,
+                                                   const std::byte* src,
+                                                   size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+  }
+  if (i < n) std::memcpy(dst + i, src + i, n - i);
+}
+
+__attribute__((target("avx2"))) inline __m256i Mul64Avx2(__m256i a,
+                                                         __m256i b) {
+  const __m256i lolo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+                       _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+  return _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) void FnvLanes32Avx2(uint64_t lanes[4],
+                                                    const unsigned char* data,
+                                                    size_t n) {
+  const __m256i prime = _mm256_set1_epi64x(static_cast<int64_t>(kFnvPrime));
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes));
+  for (size_t i = 0; i + 32 <= n; i += 32) {
+    const __m256i stripe =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    acc = Mul64Avx2(_mm256_xor_si256(acc, stripe), prime);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+}
+
+__attribute__((target("avx2"))) size_t AndFirstSetAvx2(const uint64_t* a,
+                                                       const uint64_t* b,
+                                                       size_t nwords) {
+  size_t w = 0;
+  for (; w + 4 <= nwords; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    if (!_mm256_testz_si256(va, vb)) {
+      return AndFirstSetScalar(a + w, b + w, 4) + w * 64;
+    }
+  }
+  const size_t rest = AndFirstSetScalar(a + w, b + w, nwords - w);
+  return rest == SIZE_MAX ? SIZE_MAX : rest + w * 64;
+}
+
+constexpr KernelOps kAvx2Ops = {KernelTier::kAvx2,      Block64EqualAvx2,
+                                PageDiffRunsImpl<DiffMask64Avx2>,
+                                CopyBytesAvx2,           FnvLanes32Avx2,
+                                AndFirstSetAvx2};
+
+#endif  // RFDET_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// aarch64: NEON tier (baseline on aarch64, no runtime probe needed). NEON
+// has no 64-bit lane multiply, so the FNV fold stays scalar.
+// ---------------------------------------------------------------------------
+
+#if defined(RFDET_KERNELS_NEON)
+
+uint64_t DiffMask64Neon(const std::byte* a, const std::byte* b) {
+  static const uint8x8_t kBitSel = {1, 2, 4, 8, 16, 32, 64, 128};
+  uint64_t mask = 0;
+  for (size_t w = 0; w < 8; ++w) {
+    const uint8x8_t va = vld1_u8(reinterpret_cast<const uint8_t*>(a + 8 * w));
+    const uint8x8_t vb = vld1_u8(reinterpret_cast<const uint8_t*>(b + 8 * w));
+    const uint8x8_t ne = vmvn_u8(vceq_u8(va, vb));
+    mask |= uint64_t{vaddv_u8(vand_u8(ne, kBitSel))} << (8 * w);
+  }
+  return mask;
+}
+
+bool Block64EqualNeon(const std::byte* a, const std::byte* b) {
+  const auto* pa = reinterpret_cast<const uint8_t*>(a);
+  const auto* pb = reinterpret_cast<const uint8_t*>(b);
+  uint8x16_t acc = veorq_u8(vld1q_u8(pa), vld1q_u8(pb));
+  for (size_t v = 1; v < 4; ++v) {
+    acc = vorrq_u8(acc, veorq_u8(vld1q_u8(pa + 16 * v), vld1q_u8(pb + 16 * v)));
+  }
+  return vmaxvq_u8(acc) == 0;
+}
+
+void CopyBytesNeon(std::byte* dst, const std::byte* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(reinterpret_cast<uint8_t*>(dst + i),
+             vld1q_u8(reinterpret_cast<const uint8_t*>(src + i)));
+  }
+  if (i < n) std::memcpy(dst + i, src + i, n - i);
+}
+
+constexpr KernelOps kNeonOps = {KernelTier::kNeon,      Block64EqualNeon,
+                                PageDiffRunsImpl<DiffMask64Neon>,
+                                CopyBytesNeon,           FnvLanes32Scalar,
+                                AndFirstSetScalar};
+
+#endif  // RFDET_KERNELS_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+const KernelOps* OpsForName(std::string_view name) noexcept {
+  if (name == "auto") return KernelsForTier(BestSupportedTier());
+  if (name == "scalar") return KernelsForTier(KernelTier::kScalar);
+  if (name == "sse2") return KernelsForTier(KernelTier::kSse2);
+  if (name == "avx2") return KernelsForTier(KernelTier::kAvx2);
+  if (name == "neon") return KernelsForTier(KernelTier::kNeon);
+  return nullptr;
+}
+
+const KernelOps& DefaultOps() noexcept {
+  static const KernelOps* chosen = [] {
+    if (const char* env = std::getenv("RFDET_KERNELS");
+        env != nullptr && *env != '\0') {
+      if (const KernelOps* ops = OpsForName(env)) return ops;
+      std::fprintf(stderr,
+                   "rfdet: RFDET_KERNELS=%s is unknown or unsupported here; "
+                   "using auto\n",
+                   env);
+    }
+    return KernelsForTier(BestSupportedTier());
+  }();
+  return *chosen;
+}
+
+std::atomic<const KernelOps*> g_selected{nullptr};
+
+}  // namespace
+
+const char* KernelTierName(KernelTier tier) noexcept {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kSse2:
+      return "sse2";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+KernelTier BestSupportedTier() noexcept {
+#if defined(RFDET_KERNELS_X86)
+  if (__builtin_cpu_supports("avx2")) return KernelTier::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return KernelTier::kSse2;
+#endif
+#if defined(RFDET_KERNELS_NEON)
+  return KernelTier::kNeon;
+#endif
+  return KernelTier::kScalar;
+}
+
+const KernelOps* KernelsForTier(KernelTier tier) noexcept {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return &kScalarOps;
+    case KernelTier::kSse2:
+#if defined(RFDET_KERNELS_X86)
+      if (__builtin_cpu_supports("sse2")) return &kSse2Ops;
+#endif
+      return nullptr;
+    case KernelTier::kAvx2:
+#if defined(RFDET_KERNELS_X86)
+      if (__builtin_cpu_supports("avx2")) return &kAvx2Ops;
+#endif
+      return nullptr;
+    case KernelTier::kNeon:
+#if defined(RFDET_KERNELS_NEON)
+      return &kNeonOps;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::vector<KernelTier> SupportedTiers() {
+  std::vector<KernelTier> tiers;
+  for (KernelTier t : {KernelTier::kAvx2, KernelTier::kNeon, KernelTier::kSse2,
+                       KernelTier::kScalar}) {
+    if (KernelsForTier(t) != nullptr) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+std::string SelectKernels(std::string_view name) {
+  const KernelOps* ops = OpsForName(name);
+  if (ops == nullptr) {
+    std::string err = "unknown or unsupported kernel tier \"";
+    err.append(name);
+    err += "\" (valid: auto, scalar";
+#if defined(RFDET_KERNELS_X86)
+    if (__builtin_cpu_supports("sse2")) err += ", sse2";
+    if (__builtin_cpu_supports("avx2")) err += ", avx2";
+#endif
+#if defined(RFDET_KERNELS_NEON)
+    err += ", neon";
+#endif
+    err += ")";
+    return err;
+  }
+  g_selected.store(ops, std::memory_order_release);
+  return "";
+}
+
+const KernelOps& Kernels() noexcept {
+  const KernelOps* ops = g_selected.load(std::memory_order_acquire);
+  return ops != nullptr ? *ops : DefaultOps();
+}
+
+}  // namespace rfdet::simd

@@ -1,0 +1,92 @@
+// Runtime-dispatched byte kernels for the propagation hot loops.
+//
+// Four primitives dominate the slice-close and apply paths: 64-byte block
+// equality (snapshot diffing), page diff-to-runs (ModList construction),
+// bulk copy (planned apply), and the four-lane word-FNV fold (execution
+// fingerprinting). Each gets an AVX2 / SSE2 / NEON / scalar variant behind
+// one dispatch table selected once at startup (cpuid on x86, unconditional
+// on aarch64), overridable with RFDET_KERNELS=scalar|sse2|avx2|neon|auto or
+// RfdetOptions::kernels.
+//
+// Every variant is byte-identical to the scalar one: diff runs are the
+// maximal differing-byte runs (a pure function of the two buffers) and the
+// FNV lane arithmetic is exact mod 2^64, so a fingerprint recorded with one
+// tier verifies under any other — including across ISAs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rfdet/mem/addr.h"
+
+namespace rfdet::simd {
+
+enum class KernelTier : uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+const char* KernelTierName(KernelTier tier) noexcept;
+
+// One maximal run of differing bytes inside a page, page-relative.
+struct DiffRun {
+  uint32_t start;
+  uint32_t len;
+};
+
+// Worst case: every other byte differs.
+inline constexpr size_t kMaxDiffRuns = kPageSize / 2;
+
+// Below roughly this many bytes the indirect call through the dispatch
+// table costs more than the vector variant saves; hot call sites with
+// mostly-tiny inputs (fingerprint runs, apply segments) inline a scalar
+// path below the cutoff and dispatch above it. Any fixed cutoff is
+// deterministic — both paths compute byte-identical results.
+inline constexpr size_t kDispatchMinBytes = 256;
+
+struct KernelOps {
+  KernelTier tier;
+
+  // Equality of two 64-byte blocks; no alignment requirement.
+  bool (*block64_equal)(const std::byte* a, const std::byte* b);
+
+  // Writes the maximal differing-byte runs between two kPageSize buffers to
+  // `out` (capacity kMaxDiffRuns) and returns the run count. Output is a
+  // pure function of the inputs, so every tier produces identical runs.
+  size_t (*page_diff_runs)(const std::byte* snap, const std::byte* cur,
+                           DiffRun* out);
+
+  // memcpy semantics; ranges must not overlap.
+  void (*copy_bytes)(std::byte* dst, const std::byte* src, size_t n);
+
+  // Folds n bytes (n % 32 == 0) into four FNV lanes: per 32-byte stripe,
+  // lane[l] = (lane[l] ^ word_l) * kFnvPrime with little-endian 8-byte
+  // words. Exact mod 2^64 on every tier.
+  void (*fnv_lanes32)(uint64_t lanes[4], const unsigned char* data, size_t n);
+
+  // Bit index of the first set bit of a[i] & b[i] over nwords words, or
+  // SIZE_MAX when the intersection is empty (race-detector byte intersect).
+  size_t (*and_first_set)(const uint64_t* a, const uint64_t* b, size_t nwords);
+};
+
+// Best tier this machine can run.
+KernelTier BestSupportedTier() noexcept;
+
+// Ops for one tier; nullptr when the tier is not compiled in or the CPU
+// lacks it. KernelsForTier(kScalar) never fails.
+const KernelOps* KernelsForTier(KernelTier tier) noexcept;
+
+// Tiers runnable on this machine, best first; always ends with kScalar.
+std::vector<KernelTier> SupportedTiers();
+
+// Process-wide selection. "auto" resolves to BestSupportedTier(); a tier
+// name forces that tier. Returns "" on success, else an error message
+// (unknown name or unsupported tier) and the selection is unchanged.
+std::string SelectKernels(std::string_view name);
+
+// Current selection. Before any SelectKernels call this honours the
+// RFDET_KERNELS environment variable when it names a usable tier (a bad
+// value warns on stderr once) and otherwise resolves "auto".
+const KernelOps& Kernels() noexcept;
+
+}  // namespace rfdet::simd

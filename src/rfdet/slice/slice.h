@@ -80,6 +80,19 @@ class Slice {
     return plan_;
   }
 
+  // Installs a plan the off-turn prepare phase already built from the same
+  // ModList, so the first receiver finds it ready instead of building it
+  // under propagation. Same call_once as Plan(): whichever runs first wins,
+  // and a primed plan does not count as "built" in the stats (nothing was
+  // constructed on the propagation path).
+  void PrimePlan(ApplyPlan&& plan) const {
+    std::call_once(plan_once_, [this, &plan] {
+      plan_ = std::move(plan);
+      plan_bytes_ = plan_.MemoryBytes();
+      if (arena_ != nullptr) arena_->Charge(plan_bytes_);
+    });
+  }
+
   // True iff Plan() has been called (test/introspection hook).
   [[nodiscard]] bool PlanBuilt() const noexcept { return plan_bytes_ != 0; }
 

@@ -7,6 +7,7 @@
 #include "rfdet/common/check.h"
 #include "rfdet/common/fault_injection.h"
 #include "rfdet/mem/addr.h"
+#include "rfdet/simd/kernels.h"
 
 namespace rfdet {
 
@@ -50,6 +51,28 @@ uint64_t MixStep(uint64_t chain, uint64_t v) {
   return chain * kFnvPrime;
 }
 
+// Same stripe fold as the dispatched fnv_lanes32 kernels (exact mod 2^64,
+// byte-identical), inlined for the tiny bulks — most fingerprint runs are
+// tens of bytes, where the indirect call would dominate.
+inline void FnvLanesInline(uint64_t lanes[4], const unsigned char* data,
+                           size_t n) {
+  for (size_t i = 0; i + 32 <= n; i += 32) {
+    for (size_t l = 0; l < 4; ++l) {
+      uint64_t w;
+      std::memcpy(&w, data + i + 8 * l, 8);
+      lanes[l] = (lanes[l] ^ w) * kFnvPrime;
+    }
+  }
+}
+
+inline void FnvLanes(uint64_t lanes[4], const unsigned char* data, size_t n) {
+  if (n >= simd::kDispatchMinBytes) {
+    simd::Kernels().fnv_lanes32(lanes, data, n);
+  } else {
+    FnvLanesInline(lanes, data, n);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -69,16 +92,14 @@ uint64_t ExecutionFingerprint::HashBytes(const void* data, size_t len,
   size_t i = 0;
   if (len >= 64) {
     // The FNV chain is serial — one multiply latency per 8 bytes. Four
-    // independent lanes keep the multiplier pipeline full on the bulk.
+    // independent lanes keep the multiplier pipeline full on the bulk; the
+    // dispatched kernel vectorizes the fold with exact mod-2^64 lane
+    // multiplies, so every tier produces the same digest.
     uint64_t lane[4] = {seed ^ kLaneSalt[0], seed ^ kLaneSalt[1],
                         seed ^ kLaneSalt[2], seed ^ kLaneSalt[3]};
-    for (; i + 32 <= len; i += 32) {
-      for (int l = 0; l < 4; ++l) {
-        uint64_t word;
-        std::memcpy(&word, p + i + 8 * l, 8);
-        lane[l] = (lane[l] ^ word) * kFnvPrime;
-      }
-    }
+    const size_t bulk = len & ~size_t{31};
+    FnvLanes(lane, p, bulk);
+    i = bulk;
     h = lane[0];
     h = MixStep(h, lane[1]);
     h = MixStep(h, lane[2]);
@@ -114,14 +135,9 @@ uint64_t ExecutionFingerprint::HashMods(const ModList& mods, uint64_t seed) {
     const auto bytes = mods.RunData(run);
     const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
     const size_t n = bytes.size();
-    size_t i = 0;
-    for (; i + 32 <= n; i += 32) {
-      for (int l = 0; l < 4; ++l) {
-        uint64_t word;
-        std::memcpy(&word, p + i + 8 * l, 8);
-        lane[l] = (lane[l] ^ word) * kFnvPrime;
-      }
-    }
+    const size_t bulk = n & ~size_t{31};
+    FnvLanes(lane, p, bulk);
+    size_t i = bulk;
     for (; i + 8 <= n; i += 8) {
       uint64_t word;
       std::memcpy(&word, p + i, 8);
@@ -222,10 +238,21 @@ void ExecutionFingerprint::OnSliceClose(size_t tid, uint64_t seq,
                                         const VectorClock& time,
                                         const ModList& mods) {
   if (!Absorbing() || tid >= memory_.size()) return;
+  OnSliceClose(tid, seq, time, mods, HashMods(mods, kFnvOffset));
+}
+
+void ExecutionFingerprint::OnSliceClose(size_t tid, uint64_t seq,
+                                        const VectorClock& time,
+                                        const ModList& mods,
+                                        uint64_t mods_digest) {
+  if (!Absorbing() || tid >= memory_.size()) return;
   uint64_t d = (kFnvOffset ^ 0x51u) * kFnvPrime;  // close tag
   d = (d ^ seq) * kFnvPrime;
   d = HashClock(time, d);
-  d = HashMods(mods, d);
+  // The mods digest is seeded with kFnvOffset, not the chain above, so it
+  // is a pure function of the ModList: the off-turn prepare phase can
+  // compute it before seq and the close time are known.
+  d = MixStep(d, mods_digest);
   std::ostringstream desc;
   desc << "close of own slice " << seq << ", first page "
        << (mods.Empty() ? GAddr{0} : PageOf(mods.Runs().front().addr))

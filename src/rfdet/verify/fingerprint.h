@@ -119,6 +119,11 @@ class ExecutionFingerprint {
   // Thread `tid` closed a slice with the given time and modifications.
   void OnSliceClose(size_t tid, uint64_t seq, const VectorClock& time,
                     const ModList& mods);
+  // Same, with the mods digest precomputed as HashMods(mods, kFnvOffset) —
+  // the off-turn close path hashes the ModList bytes before taking the
+  // turn and folds only this 64-bit value under it.
+  void OnSliceClose(size_t tid, uint64_t seq, const VectorClock& time,
+                    const ModList& mods, uint64_t mods_digest);
   // A remote slice (src_tid, src_seq, time) was applied to receiver's view.
   void OnApply(size_t receiver, size_t src_tid, uint64_t src_seq,
                const VectorClock& time, const ModList& mods);

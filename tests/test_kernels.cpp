@@ -1,0 +1,349 @@
+// Runtime-dispatched SIMD byte kernels: every compiled tier must be
+// byte-identical to the scalar reference on randomized inputs — identical
+// diff runs, identical 4-lane FNV digests, identical copies and bitmap
+// intersections. A divergent tier would silently break determinism (the
+// fingerprint of a run would depend on the host CPU), so these tests are
+// the contract that makes "kernels" a pure perf knob. The final tests
+// prove it end to end: an execution recorded with the best tier verifies
+// byte-exactly under the forced-scalar tier.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "rfdet/mem/addr.h"
+#include "rfdet/runtime/runtime.h"
+#include "rfdet/simd/kernels.h"
+
+namespace rfdet {
+namespace {
+
+using simd::DiffRun;
+using simd::KernelOps;
+using simd::KernelTier;
+
+std::vector<const KernelOps*> AllCompiledOps() {
+  std::vector<const KernelOps*> ops;
+  for (const KernelTier tier : simd::SupportedTiers()) {
+    const KernelOps* k = simd::KernelsForTier(tier);
+    EXPECT_NE(k, nullptr);
+    if (k != nullptr) ops.push_back(k);
+  }
+  return ops;
+}
+
+// Deterministic page pair: `current` equals `snapshot` except for `edits`
+// runs at pseudo-random offsets/lengths (possibly overlapping, possibly
+// crossing the 64-byte kernel block boundaries).
+struct PagePair {
+  alignas(64) std::byte snap[kPageSize];
+  alignas(64) std::byte cur[kPageSize];
+};
+
+void FillPair(PagePair& p, std::mt19937_64& rng, size_t edits) {
+  for (size_t i = 0; i < kPageSize; ++i) {
+    p.snap[i] = static_cast<std::byte>(rng());
+  }
+  std::memcpy(p.cur, p.snap, kPageSize);
+  for (size_t e = 0; e < edits; ++e) {
+    const size_t start = rng() % kPageSize;
+    const size_t len = 1 + rng() % std::min<size_t>(192, kPageSize - start);
+    for (size_t i = 0; i < len; ++i) {
+      // XOR with a nonzero byte guarantees the byte really differs.
+      p.cur[start + i] ^= static_cast<std::byte>(1 + rng() % 255);
+    }
+  }
+}
+
+std::vector<DiffRun> DiffPage(const KernelOps& ops, const PagePair& p) {
+  std::vector<DiffRun> out(simd::kMaxDiffRuns);
+  out.resize(ops.page_diff_runs(p.snap, p.cur, out.data()));
+  return out;
+}
+
+TEST(Kernels, ScalarTierAlwaysAvailable) {
+  EXPECT_NE(simd::KernelsForTier(KernelTier::kScalar), nullptr);
+  const std::vector<KernelTier> tiers = simd::SupportedTiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.back(), KernelTier::kScalar);
+  EXPECT_EQ(tiers.front(), simd::BestSupportedTier());
+  for (const KernelTier t : tiers) {
+    EXPECT_STRNE(simd::KernelTierName(t), "");
+  }
+}
+
+TEST(Kernels, SelectRejectsUnknownNamesAndKeepsSelection) {
+  const KernelTier before = simd::Kernels().tier;
+  const std::string err = simd::SelectKernels("avx512");
+  EXPECT_NE(err.find("avx512"), std::string::npos);
+  EXPECT_EQ(simd::Kernels().tier, before);
+  EXPECT_EQ(simd::SelectKernels("scalar"), "");
+  EXPECT_EQ(simd::Kernels().tier, KernelTier::kScalar);
+  EXPECT_EQ(simd::SelectKernels("auto"), "");
+  EXPECT_EQ(simd::Kernels().tier, simd::BestSupportedTier());
+}
+
+TEST(Kernels, PageDiffRunsMatchScalarOnRandomPages) {
+  const std::vector<const KernelOps*> ops = AllCompiledOps();
+  const KernelOps* scalar = simd::KernelsForTier(KernelTier::kScalar);
+  std::mt19937_64 rng(0x5eedu);
+  auto page = std::make_unique<PagePair>();
+  for (const size_t edits : {size_t{0}, size_t{1}, size_t{3}, size_t{16},
+                             size_t{64}, size_t{400}}) {
+    FillPair(*page, rng, edits);
+    const std::vector<DiffRun> want = DiffPage(*scalar, *page);
+    for (const KernelOps* k : ops) {
+      const std::vector<DiffRun> got = DiffPage(*k, *page);
+      ASSERT_EQ(got.size(), want.size())
+          << simd::KernelTierName(k->tier) << " edits=" << edits;
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].start, want[i].start)
+            << simd::KernelTierName(k->tier) << " run " << i;
+        EXPECT_EQ(got[i].len, want[i].len)
+            << simd::KernelTierName(k->tier) << " run " << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, PageDiffEdgeShapes) {
+  const std::vector<const KernelOps*> ops = AllCompiledOps();
+  auto page = std::make_unique<PagePair>();
+  std::memset(page->snap, 0x00, kPageSize);
+
+  // Whole page differs: one maximal run.
+  std::memset(page->cur, 0xff, kPageSize);
+  for (const KernelOps* k : ops) {
+    const std::vector<DiffRun> runs = DiffPage(*k, *page);
+    ASSERT_EQ(runs.size(), 1u) << simd::KernelTierName(k->tier);
+    EXPECT_EQ(runs[0].start, 0u);
+    EXPECT_EQ(runs[0].len, kPageSize);
+  }
+
+  // Alternating bytes: the worst case fills the scratch bound exactly.
+  std::memset(page->cur, 0x00, kPageSize);
+  for (size_t i = 0; i < kPageSize; i += 2) page->cur[i] = std::byte{1};
+  for (const KernelOps* k : ops) {
+    const std::vector<DiffRun> runs = DiffPage(*k, *page);
+    ASSERT_EQ(runs.size(), simd::kMaxDiffRuns)
+        << simd::KernelTierName(k->tier);
+    EXPECT_EQ(runs.front().start, 0u);
+    EXPECT_EQ(runs.front().len, 1u);
+    EXPECT_EQ(runs.back().start, kPageSize - 2);
+  }
+
+  // A run spanning the 64-byte block seam must come out merged.
+  std::memset(page->cur, 0x00, kPageSize);
+  for (size_t i = 60; i < 70; ++i) page->cur[i] = std::byte{7};
+  page->cur[kPageSize - 1] = std::byte{7};
+  for (const KernelOps* k : ops) {
+    const std::vector<DiffRun> runs = DiffPage(*k, *page);
+    ASSERT_EQ(runs.size(), 2u) << simd::KernelTierName(k->tier);
+    EXPECT_EQ(runs[0].start, 60u);
+    EXPECT_EQ(runs[0].len, 10u);
+    EXPECT_EQ(runs[1].start, kPageSize - 1);
+    EXPECT_EQ(runs[1].len, 1u);
+  }
+}
+
+TEST(Kernels, Block64EqualAgreesAcrossTiers) {
+  const std::vector<const KernelOps*> ops = AllCompiledOps();
+  std::mt19937_64 rng(0xb10cu);
+  alignas(64) std::byte a[64];
+  alignas(64) std::byte b[64];
+  for (int round = 0; round < 200; ++round) {
+    for (auto& x : a) x = static_cast<std::byte>(rng());
+    std::memcpy(b, a, sizeof a);
+    if (round % 2 == 1) b[rng() % 64] ^= static_cast<std::byte>(1);
+    const bool want = round % 2 == 0;
+    for (const KernelOps* k : ops) {
+      EXPECT_EQ(k->block64_equal(a, b), want)
+          << simd::KernelTierName(k->tier) << " round " << round;
+    }
+  }
+}
+
+TEST(Kernels, FnvLanesMatchScalarOnRandomBuffers) {
+  const std::vector<const KernelOps*> ops = AllCompiledOps();
+  const KernelOps* scalar = simd::KernelsForTier(KernelTier::kScalar);
+  std::mt19937_64 rng(0xf9fu);
+  std::vector<unsigned char> buf(1 << 16);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng());
+  for (const size_t n : {size_t{0}, size_t{32}, size_t{64}, size_t{4096},
+                         size_t{4096 + 32}, buf.size()}) {
+    uint64_t want[4] = {1, 2, 3, rng()};
+    uint64_t seed[4];
+    std::memcpy(seed, want, sizeof seed);
+    scalar->fnv_lanes32(want, buf.data(), n);
+    for (const KernelOps* k : ops) {
+      uint64_t got[4];
+      std::memcpy(got, seed, sizeof got);
+      k->fnv_lanes32(got, buf.data(), n);
+      for (int l = 0; l < 4; ++l) {
+        EXPECT_EQ(got[l], want[l])
+            << simd::KernelTierName(k->tier) << " n=" << n << " lane " << l;
+      }
+    }
+  }
+}
+
+TEST(Kernels, CopyBytesMatchesMemcpy) {
+  const std::vector<const KernelOps*> ops = AllCompiledOps();
+  std::mt19937_64 rng(0xc09u);
+  std::vector<std::byte> src(8192);
+  for (auto& b : src) b = static_cast<std::byte>(rng());
+  std::vector<std::byte> dst(src.size());
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{31},
+                         size_t{33}, size_t{4096}, size_t{4097},
+                         src.size()}) {
+    for (const KernelOps* k : ops) {
+      std::fill(dst.begin(), dst.end(), std::byte{0});
+      k->copy_bytes(dst.data(), src.data(), n);
+      EXPECT_EQ(std::memcmp(dst.data(), src.data(), n), 0)
+          << simd::KernelTierName(k->tier) << " n=" << n;
+      for (size_t i = n; i < dst.size(); ++i) {
+        ASSERT_EQ(dst[i], std::byte{0})
+            << simd::KernelTierName(k->tier) << " wrote past n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Kernels, AndFirstSetMatchesScalar) {
+  const std::vector<const KernelOps*> ops = AllCompiledOps();
+  const KernelOps* scalar = simd::KernelsForTier(KernelTier::kScalar);
+  std::mt19937_64 rng(0xa2du);
+  constexpr size_t kWords = kPageSize / 64;
+  std::vector<uint64_t> a(kWords);
+  std::vector<uint64_t> b(kWords);
+  for (int round = 0; round < 300; ++round) {
+    // Sparse bitmaps so disjoint and single-overlap cases both occur.
+    std::fill(a.begin(), a.end(), 0);
+    std::fill(b.begin(), b.end(), 0);
+    for (int i = 0; i < 6; ++i) {
+      a[rng() % kWords] |= uint64_t{1} << (rng() % 64);
+      b[rng() % kWords] |= uint64_t{1} << (rng() % 64);
+    }
+    if (round % 3 == 0) {
+      const size_t w = rng() % kWords;
+      const uint64_t bit = uint64_t{1} << (rng() % 64);
+      a[w] |= bit;
+      b[w] |= bit;  // guaranteed overlap
+    }
+    const size_t want = scalar->and_first_set(a.data(), b.data(), kWords);
+    for (const KernelOps* k : ops) {
+      EXPECT_EQ(k->and_first_set(a.data(), b.data(), kWords), want)
+          << simd::KernelTierName(k->tier) << " round " << round;
+    }
+  }
+  // Empty intersection of all-zero bitmaps.
+  std::fill(a.begin(), a.end(), 0);
+  std::fill(b.begin(), b.end(), 0);
+  for (const KernelOps* k : ops) {
+    EXPECT_EQ(k->and_first_set(a.data(), b.data(), kWords), SIZE_MAX);
+  }
+}
+
+// ---- end-to-end: tiers are fingerprint-identical ---------------------------
+
+// The fingerprint workload from tests/test_fingerprint.cpp: 3 spawned
+// threads, a mutex-protected counter, per-thread slots, a closing barrier.
+uint64_t RunFingerprintWorkload(RfdetOptions o, std::string* report) {
+  RfdetRuntime rt(o);
+  const GAddr counter = rt.AllocStatic(64);
+  const GAddr slots = rt.AllocStatic(4096, 64);
+  const size_t m = rt.CreateMutex();
+  const size_t bar = rt.CreateBarrier(4);
+  std::vector<size_t> tids;
+  for (int t = 0; t < 3; ++t) {
+    tids.push_back(rt.Spawn([&rt, t, counter, slots, m, bar] {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+        int v = 0;
+        rt.Load(counter, &v, sizeof v);
+        ++v;
+        rt.Store(counter, &v, sizeof v);
+        rt.MutexUnlock(m);
+        const uint32_t w = static_cast<uint32_t>(t * 1000 + i);
+        rt.Store(slots + (static_cast<size_t>(t) * 64 +
+                          static_cast<size_t>(i)) * sizeof w,
+                 &w, sizeof w);
+        rt.Tick(3);
+      }
+      EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+    }));
+  }
+  EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+  for (const size_t tid : tids) EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  const uint64_t rollup = rt.FinalizeFingerprint();
+  *report = rt.LastDivergenceReport();
+  return rollup;
+}
+
+// Record with the best tier, verify with forced scalar (and vice versa):
+// if any kernel tier hashed or diffed differently the verify run would
+// fail at the first diverging epoch.
+TEST(Kernels, FingerprintIdenticalAcrossTiers) {
+  const std::string path = ::testing::TempDir() + "fp_kernel_tiers.bin";
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.kernels = "auto";
+  std::string report;
+  const uint64_t recorded = RunFingerprintWorkload(o, &report);
+  EXPECT_TRUE(report.empty()) << report;
+
+  o.fingerprint = FingerprintMode::kVerify;
+  o.kernels = "scalar";
+  const uint64_t scalar_rollup = RunFingerprintWorkload(o, &report);
+  EXPECT_TRUE(report.empty()) << report;
+  EXPECT_EQ(scalar_rollup, recorded);
+
+  std::remove(path.c_str());
+  EXPECT_EQ(simd::SelectKernels("auto"), "");
+}
+
+// RFDET_KERNELS wins over options.kernels: a verify run with the env
+// forcing scalar against an auto-recorded file still matches.
+TEST(Kernels, EnvOverrideForcesScalarVerify) {
+  const std::string path = ::testing::TempDir() + "fp_kernel_env.bin";
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.kernels = "auto";
+  std::string report;
+  const uint64_t recorded = RunFingerprintWorkload(o, &report);
+  EXPECT_TRUE(report.empty()) << report;
+
+  ASSERT_EQ(::setenv("RFDET_KERNELS", "scalar", /*overwrite=*/1), 0);
+  o.fingerprint = FingerprintMode::kVerify;
+  o.kernels = "auto";  // the env must out-rank this
+  uint64_t env_rollup = 0;
+  {
+    // Scoped so the runtime (and its constructor-time selection) lives
+    // entirely under the env override.
+    env_rollup = RunFingerprintWorkload(o, &report);
+    EXPECT_EQ(simd::Kernels().tier, KernelTier::kScalar);
+  }
+  ASSERT_EQ(::unsetenv("RFDET_KERNELS"), 0);
+  EXPECT_TRUE(report.empty()) << report;
+  EXPECT_EQ(env_rollup, recorded);
+
+  std::remove(path.c_str());
+  EXPECT_EQ(simd::SelectKernels("auto"), "");
+}
+
+}  // namespace
+}  // namespace rfdet

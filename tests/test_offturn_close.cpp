@@ -1,0 +1,229 @@
+// Off-turn slice close: the thread-private half of CloseSlice (page diff,
+// apply-plan build, fingerprint pre-hash) runs *before* the closing
+// thread takes its Kendo turn; only the order-sensitive publish stays
+// under the turn. These tests pin the semantics: byte-identical results
+// vs the turn-serial close, fingerprint record/verify round trips, the
+// prepared slice surviving a merge and a deadlock back-out, and the new
+// stats counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+RfdetOptions Base(bool off_turn, MonitorMode monitor) {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.off_turn_close = off_turn;
+  o.monitor = monitor;
+  return o;
+}
+
+struct WorkloadResult {
+  int counter = 0;
+  std::vector<uint32_t> slots;
+  StatsSnapshot stats;
+  uint64_t rollup = 0;
+  std::string report;
+  std::string dump;
+};
+
+// 3 spawned threads hammer a mutex-protected counter and per-thread slot
+// arrays (both same-page and cross-page stores), with atomics and a
+// closing barrier — every publish path (lock, unlock, atomic, barrier,
+// join, exit) closes slices.
+WorkloadResult RunWorkload(RfdetOptions o) {
+  WorkloadResult out;
+  RfdetRuntime rt(o);
+  const GAddr counter = rt.AllocStatic(64);
+  const GAddr slots = rt.AllocStatic(3 * 64 * sizeof(uint32_t), 64);
+  const GAddr flag = rt.AllocStatic(64, 8);
+  const size_t m = rt.CreateMutex();
+  const size_t bar = rt.CreateBarrier(4);
+  std::vector<size_t> tids;
+  for (int t = 0; t < 3; ++t) {
+    tids.push_back(rt.Spawn([&rt, t, counter, slots, flag, m, bar] {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+        int v = 0;
+        rt.Load(counter, &v, sizeof v);
+        ++v;
+        rt.Store(counter, &v, sizeof v);
+        rt.MutexUnlock(m);
+        const uint32_t w = static_cast<uint32_t>(t * 1000 + i);
+        rt.Store(slots + (static_cast<size_t>(t) * 64 +
+                          static_cast<size_t>(i)) * sizeof w,
+                 &w, sizeof w);
+        if (i % 3 == 0) rt.AtomicFetchAdd(flag, 1);
+        rt.Tick(5);
+      }
+      EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+    }));
+  }
+  EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+  for (const size_t tid : tids) EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  rt.Load(counter, &out.counter, sizeof out.counter);
+  out.slots.resize(3 * 64);
+  rt.Load(slots, out.slots.data(), out.slots.size() * sizeof(uint32_t));
+  out.rollup = rt.FinalizeFingerprint();
+  out.report = rt.LastDivergenceReport();
+  out.stats = rt.Snapshot();
+  out.dump = rt.DumpStateReport();
+  return out;
+}
+
+TEST(OffTurnClose, ResultsMatchTurnSerialClose) {
+  for (const MonitorMode monitor :
+       {MonitorMode::kInstrumented, MonitorMode::kPageFault}) {
+    const WorkloadResult serial = RunWorkload(Base(false, monitor));
+    const WorkloadResult offturn = RunWorkload(Base(true, monitor));
+    EXPECT_EQ(serial.counter, 30);
+    EXPECT_EQ(offturn.counter, serial.counter);
+    EXPECT_EQ(offturn.slots, serial.slots);
+    EXPECT_EQ(serial.stats.offturn_prepared_slices, 0u);
+    EXPECT_GT(offturn.stats.offturn_prepared_slices, 0u);
+    EXPECT_GT(offturn.stats.offturn_prepared_bytes, 0u);
+  }
+}
+
+TEST(OffTurnClose, OffTurnRunIsItselfDeterministic) {
+  const WorkloadResult a = RunWorkload(Base(true, MonitorMode::kPageFault));
+  const WorkloadResult b = RunWorkload(Base(true, MonitorMode::kPageFault));
+  EXPECT_EQ(a.counter, b.counter);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.stats.slices_created, b.stats.slices_created);
+  EXPECT_EQ(a.stats.offturn_prepared_slices,
+            b.stats.offturn_prepared_slices);
+}
+
+TEST(OffTurnClose, FingerprintRecordVerifyRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fp_offturn.bin";
+  RfdetOptions o = Base(true, MonitorMode::kInstrumented);
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  const WorkloadResult rec = RunWorkload(o);
+  EXPECT_TRUE(rec.report.empty()) << rec.report;
+  EXPECT_GT(rec.stats.fingerprint_events, 0u);
+  EXPECT_NE(rec.rollup, 0u);
+
+  o.fingerprint = FingerprintMode::kVerify;
+  const WorkloadResult ver = RunWorkload(o);
+  EXPECT_TRUE(ver.report.empty()) << ver.report;
+  EXPECT_EQ(ver.stats.fingerprint_divergences, 0u);
+  EXPECT_EQ(ver.rollup, rec.rollup);
+  std::remove(path.c_str());
+}
+
+// The off-turn pre-hash feeds the same per-thread memory stream as the
+// under-turn hash: a run recorded turn-serially must verify with the
+// off-turn close enabled, and vice versa (the digest formula is shared).
+TEST(OffTurnClose, FingerprintMatchesAcrossCloseModes) {
+  const std::string path = ::testing::TempDir() + "fp_offturn_cross.bin";
+  RfdetOptions o = Base(false, MonitorMode::kInstrumented);
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  const WorkloadResult rec = RunWorkload(o);
+  EXPECT_TRUE(rec.report.empty()) << rec.report;
+
+  o.off_turn_close = true;
+  o.fingerprint = FingerprintMode::kVerify;
+  const WorkloadResult ver = RunWorkload(o);
+  EXPECT_TRUE(ver.report.empty()) << ver.report;
+  EXPECT_EQ(ver.rollup, rec.rollup);
+  std::remove(path.c_str());
+}
+
+// Slice merging skips the publish: the prepared slice must survive the
+// merged acquire and fold the next window's diff into itself, ending up
+// byte-identical to the turn-serial merged close.
+TEST(OffTurnClose, PreparedSliceSurvivesSliceMerging) {
+  RfdetOptions o = Base(true, MonitorMode::kInstrumented);
+  ASSERT_TRUE(o.slice_merging);
+  RfdetRuntime rt(o);
+  const GAddr data = rt.AllocStatic(4096, 64);
+  const size_t m = rt.CreateMutex();
+  // Same-thread relock after a release: LockCore's merge path fires (we
+  // were the last releaser), so the PrepareSlice before the lock is left
+  // holding a valid prepared slice across the acquire.
+  for (uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+    rt.Store(data + i * 8, &i, sizeof i);
+    const uint64_t again = i * 100;
+    rt.Store(data + i * 8, &again, sizeof again);  // overlap: later wins
+    rt.MutexUnlock(m);
+  }
+  const size_t t = rt.Spawn([&rt, data, m] {
+    EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+    for (uint64_t i = 0; i < 6; ++i) {
+      uint64_t v = 0;
+      rt.Load(data + i * 8, &v, sizeof v);
+      EXPECT_EQ(v, i * 100);
+    }
+    rt.MutexUnlock(m);
+  });
+  EXPECT_EQ(rt.Join(t), RfdetErrc::kOk);
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_GT(s.slices_merged, 0u);
+  EXPECT_GT(s.offturn_prepared_slices, 0u);
+}
+
+// A deadlock back-out returns from the sync op without publishing; the
+// prepared slice must carry to the victim's next close, not vanish.
+TEST(OffTurnClose, PreparedSliceSurvivesDeadlockBackout) {
+  RfdetOptions o = Base(true, MonitorMode::kInstrumented);
+  o.deadlock_policy = DeadlockPolicy::kReturnError;
+  std::atomic<int> errors{0};
+  RfdetRuntime rt(o);
+  const GAddr data = rt.AllocStatic(4096, 64);
+  const size_t a = rt.CreateMutex();
+  const size_t b = rt.CreateMutex();
+  auto worker = [&](size_t first, size_t second, GAddr slot) {
+    EXPECT_EQ(rt.MutexLock(first), RfdetErrc::kOk);
+    const uint64_t mark = slot;
+    rt.Store(slot, &mark, sizeof mark);  // pending write at the inner lock
+    rt.Tick(50000);  // both outer locks precede both inner attempts
+    const RfdetErrc err = rt.MutexLock(second);
+    if (err == RfdetErrc::kOk) {
+      rt.MutexUnlock(second);
+    } else {
+      EXPECT_EQ(err, RfdetErrc::kDeadlock);
+      errors.fetch_add(1);
+    }
+    rt.MutexUnlock(first);
+  };
+  const size_t t1 = rt.Spawn([&] { worker(a, b, data); });
+  const size_t t2 = rt.Spawn([&] { worker(b, a, data + 512); });
+  EXPECT_EQ(rt.Join(t1), RfdetErrc::kOk);
+  EXPECT_EQ(rt.Join(t2), RfdetErrc::kOk);
+  EXPECT_EQ(errors.load(), 1);
+  // Both threads' stores — including the victim's, whose inner lock
+  // backed out — must have been published by the eventual unlock closes.
+  uint64_t v1 = 0;
+  uint64_t v2 = 0;
+  rt.Load(data, &v1, sizeof v1);
+  rt.Load(data + 512, &v2, sizeof v2);
+  EXPECT_EQ(v1, static_cast<uint64_t>(data));
+  EXPECT_EQ(v2, static_cast<uint64_t>(data) + 512);
+}
+
+TEST(OffTurnClose, StateReportNamesKernelTierAndOffTurnCounters) {
+  const WorkloadResult on = RunWorkload(Base(true, MonitorMode::kInstrumented));
+  EXPECT_NE(on.dump.find("kernels: "), std::string::npos) << on.dump;
+  EXPECT_NE(on.dump.find("off-turn close enabled"), std::string::npos);
+  const WorkloadResult off =
+      RunWorkload(Base(false, MonitorMode::kInstrumented));
+  EXPECT_NE(off.dump.find("off-turn close disabled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfdet

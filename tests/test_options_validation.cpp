@@ -127,6 +127,29 @@ TEST(OptionsValidation, ZeroRaceMaxReports) {
   EXPECT_NE(ValidateOptions(o).find("race_max_reports"), std::string::npos);
 }
 
+TEST(OptionsValidation, OffTurnCloseNeedsIsolation) {
+  RfdetOptions o = Valid();
+  o.off_turn_close = true;
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.isolation = false;
+  EXPECT_NE(ValidateOptions(o).find("off_turn_close needs isolation"),
+            std::string::npos);
+}
+
+TEST(OptionsValidation, KernelsNameMustBeKnown) {
+  RfdetOptions o = Valid();
+  for (const char* name : {"auto", "scalar", "sse2", "avx2", "neon"}) {
+    o.kernels = name;
+    EXPECT_EQ(ValidateOptions(o), "") << name;
+  }
+  o.kernels = "avx512";
+  EXPECT_NE(ValidateOptions(o).find("kernels must be one of"),
+            std::string::npos);
+  o.kernels = "";
+  EXPECT_NE(ValidateOptions(o).find("kernels must be one of"),
+            std::string::npos);
+}
+
 TEST(OptionsValidation, ReadTrackingWithoutPolicy) {
   RfdetOptions o = Valid();
   o.race_track_reads = true;
