@@ -1,0 +1,310 @@
+// Record/replay + checkpoint overhead bench.
+//
+// Determinism makes the replay log a complete description of a run, so the
+// interesting question is what that completeness costs on the hot path.
+// Four cells run the identical phased, sync-heavy workload (T spawned
+// threads per phase bumping a lock-protected counter, joined at each phase
+// boundary):
+//
+//   base         — replay off (the tier-1 runtime as benched elsewhere)
+//   record       — replay_mode=kRecord: every grant appended under its turn
+//   replay       — replay_mode=kReplay, driven by the cell-2 log
+//   record+ckpt  — kRecord plus an explicit CheckpointNow at every phase
+//                  boundary (reports image size and capture time)
+//
+// Gates (full run only): record wall overhead <= 1.5x over base — the log
+// write is a buffered append under an already-taken turn, so it must stay
+// well under the paper-scale overheads — and zero replay divergences
+// (the replayed schedule *is* the recorded schedule). The replay/record
+// wall ratio and per-checkpoint cost are reported and merged into the
+// shared JSON, not gated: replay trades arbitration spins for log-cursor
+// waits, which is workload-shaped.
+//
+// --merge_json=PATH splices the summary keys into an existing
+// BENCH_propagation.json (idempotently, same surgery as close_scaling).
+//
+// Flags: --threads=4 --phases=8 --iters=400 --smoke
+//        --json=PATH --merge_json=PATH
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rfdet/harness/harness.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace {
+
+using namespace rfdet;  // NOLINT: bench-local brevity
+
+struct Shape {
+  size_t threads = 4;
+  size_t phases = 8;
+  size_t iters = 400;  // locked increments per thread per phase
+  size_t repeat = 3;   // per-cell reruns; best (min) wall time wins
+};
+
+struct CellResult {
+  std::string name;
+  double seconds = 0;
+  StatsSnapshot snap;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One full run: construction (log parse, checkpoint restore) through
+// teardown (log finalize) is all attributable to the cell's mode.
+CellResult RunCell(const std::string& name, const RfdetOptions& opts,
+                   bool checkpoint_each_phase, const Shape& shape) {
+  const double t0 = Now();
+  CellResult r;
+  r.name = name;
+  {
+    RfdetRuntime rt(opts);
+    const GAddr counter = rt.AllocStatic(64);
+    const GAddr slots = rt.AllocStatic(shape.threads * 64, 64);
+    const size_t m = rt.CreateMutex();
+    for (size_t p = 0; p < shape.phases; ++p) {
+      std::vector<size_t> tids;
+      for (size_t t = 0; t < shape.threads; ++t) {
+        tids.push_back(rt.Spawn([&rt, &shape, counter, slots, m, t] {
+          for (size_t i = 0; i < shape.iters; ++i) {
+            if (rt.MutexLock(m) != RfdetErrc::kOk) std::abort();
+            uint64_t v = 0;
+            rt.Load(counter, &v, sizeof v);
+            ++v;
+            rt.Store(counter, &v, sizeof v);
+            rt.MutexUnlock(m);
+            rt.Store(slots + t * 64, &i, sizeof i);
+            rt.Tick(1);
+          }
+        }));
+      }
+      for (const size_t tid : tids) {
+        if (rt.Join(tid) != RfdetErrc::kOk) std::abort();
+      }
+      if (checkpoint_each_phase && rt.CheckpointNow() != RfdetErrc::kOk) {
+        std::fprintf(stderr, "replay_overhead: CheckpointNow failed\n");
+        std::abort();
+      }
+    }
+    uint64_t total = 0;
+    rt.Load(counter, &total, sizeof total);
+    const uint64_t want = shape.phases * shape.threads * shape.iters;
+    if (total != want) {
+      std::fprintf(stderr,
+                   "replay_overhead[%s]: counter %llu != %llu\n",
+                   name.c_str(), static_cast<unsigned long long>(total),
+                   static_cast<unsigned long long>(want));
+      std::abort();
+    }
+    r.snap = rt.Snapshot();
+    const std::string div = rt.LastReplayDivergence();
+    if (!div.empty()) {
+      std::fprintf(stderr, "replay_overhead[%s]: %s\n", name.c_str(),
+                   div.c_str());
+      std::abort();
+    }
+  }
+  r.seconds = Now() - t0;
+  return r;
+}
+
+CellResult Best(const std::string& name, const RfdetOptions& opts,
+                bool checkpoint_each_phase, const Shape& shape) {
+  CellResult best;
+  for (size_t rep = 0; rep < shape.repeat; ++rep) {
+    CellResult one = RunCell(name, opts, checkpoint_each_phase, shape);
+    if (rep == 0 || one.seconds < best.seconds) best = std::move(one);
+  }
+  return best;
+}
+
+// Same fixed-layout string surgery as close_scaling: the JSON is this
+// repo's own artifact, not arbitrary input.
+void EraseKeyLine(std::string& text, const std::string& key) {
+  const std::string needle = "\n    \"" + key + "\":";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return;
+  const size_t end = text.find('\n', at + 1);
+  if (end == std::string::npos) return;
+  text.erase(at, end - at);
+}
+
+bool MergeIntoPropagationJson(const std::string& path, double record_ov,
+                              double replay_ratio, double ckpt_ms,
+                              double ckpt_mb) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "replay_overhead: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  // Idempotent: running the merge twice replaces rather than duplicates.
+  EraseKeyLine(text, "replay_record_overhead");
+  EraseKeyLine(text, "replay_vs_record_wall");
+  EraseKeyLine(text, "checkpoint_avg_ms");
+  EraseKeyLine(text, "checkpoint_image_mb");
+  const std::string anchor = "\"summary\": {";
+  const size_t at = text.find(anchor);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "replay_overhead: no summary object in %s\n",
+                 path.c_str());
+    return false;
+  }
+  char keys[320];
+  std::snprintf(keys, sizeof keys,
+                "\n    \"replay_record_overhead\": %g,"
+                "\n    \"replay_vs_record_wall\": %g,"
+                "\n    \"checkpoint_avg_ms\": %g,"
+                "\n    \"checkpoint_image_mb\": %g,",
+                record_ov, replay_ratio, ckpt_ms, ckpt_mb);
+  text.insert(at + anchor.size(), keys);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "replay_overhead: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  const bool smoke = flags.Bool("smoke", false);
+  Shape shape;
+  shape.threads = static_cast<size_t>(flags.Int("threads", 4));
+  shape.phases = static_cast<size_t>(flags.Int("phases", smoke ? 3 : 8));
+  shape.iters = static_cast<size_t>(flags.Int("iters", smoke ? 40 : 400));
+  shape.repeat = smoke ? 1 : 3;
+  const std::string json_path = flags.Str("json", "");
+  const std::string merge_path = flags.Str("merge_json", "");
+  const std::string log_path = "replay_overhead_log.bin";
+  const std::string ckpt_path = "replay_overhead_ckpt.img";
+
+  std::printf("replay_overhead: %zu threads x %zu phases x %zu iters\n",
+              shape.threads, shape.phases, shape.iters);
+
+  RfdetOptions base;
+  base.region_bytes = 32u << 20;
+  base.static_bytes = 4u << 20;
+  base.divergence_policy = DivergencePolicy::kReport;
+
+  const CellResult cell_base = Best("base", base, false, shape);
+
+  RfdetOptions rec = base;
+  rec.replay_mode = ReplayMode::kRecord;
+  rec.replay_log_path = log_path;
+  const CellResult cell_rec = Best("record", rec, false, shape);
+  if (cell_rec.snap.replay_grants == 0 ||
+      cell_rec.snap.replay_io_errors != 0) {
+    std::fprintf(stderr, "replay_overhead: recording produced no log\n");
+    return 1;
+  }
+
+  RfdetOptions rep = base;
+  rep.replay_mode = ReplayMode::kReplay;
+  rep.replay_log_path = log_path;
+  const CellResult cell_rep = Best("replay", rep, false, shape);
+  if (cell_rep.snap.replay_divergences != 0) {
+    std::fprintf(stderr, "replay_overhead: %llu replay divergence(s)\n",
+                 static_cast<unsigned long long>(
+                     cell_rep.snap.replay_divergences));
+    return 1;
+  }
+
+  RfdetOptions ck = rec;
+  ck.replay_log_path = log_path + ".ckpt";  // keep the replay log intact
+  ck.checkpoint_path = ckpt_path;
+  const CellResult cell_ck = Best("record+ckpt", ck, true, shape);
+  if (cell_ck.snap.checkpoints_written != shape.phases ||
+      cell_ck.snap.checkpoint_io_errors != 0) {
+    std::fprintf(stderr, "replay_overhead: expected %zu checkpoints, got "
+                 "%llu\n",
+                 shape.phases,
+                 static_cast<unsigned long long>(
+                     cell_ck.snap.checkpoints_written));
+    return 1;
+  }
+
+  const double record_ov =
+      cell_base.seconds > 0 ? cell_rec.seconds / cell_base.seconds : 0;
+  const double replay_ratio =
+      cell_rec.seconds > 0 ? cell_rep.seconds / cell_rec.seconds : 0;
+  const double ckpt_ms =
+      static_cast<double>(cell_ck.snap.checkpoint_ns) / 1e6 /
+      static_cast<double>(cell_ck.snap.checkpoints_written);
+  const double ckpt_mb =
+      static_cast<double>(cell_ck.snap.checkpoint_bytes) / (1u << 20) /
+      static_cast<double>(cell_ck.snap.checkpoints_written);
+
+  harness::Table table({"cell", "seconds", "grants", "ckpts", "notes"});
+  const auto row = [&](const CellResult& c, const std::string& notes) {
+    char sec[32];
+    std::snprintf(sec, sizeof sec, "%.3f", c.seconds);
+    table.AddRow({c.name, sec, std::to_string(c.snap.replay_grants),
+                  std::to_string(c.snap.checkpoints_written), notes});
+  };
+  char note[96];
+  row(cell_base, "");
+  std::snprintf(note, sizeof note, "%.2fx vs base", record_ov);
+  row(cell_rec, note);
+  std::snprintf(note, sizeof note, "%.2fx vs record", replay_ratio);
+  row(cell_rep, note);
+  std::snprintf(note, sizeof note, "%.2f ms, %.2f MiB per image", ckpt_ms,
+                ckpt_mb);
+  row(cell_ck, note);
+  table.Print();
+  std::printf("\nsummary: record %.2fx vs base, replay %.2fx vs record, "
+              "checkpoint %.2f ms / %.2f MiB\n",
+              record_ov, replay_ratio, ckpt_ms, ckpt_mb);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"replay_overhead\",\n";
+    out << "  \"shape\": {\"threads\": " << shape.threads
+        << ", \"phases\": " << shape.phases << ", \"iters\": " << shape.iters
+        << "},\n  \"summary\": {\n";
+    out << "    \"replay_record_overhead\": " << record_ov << ",\n";
+    out << "    \"replay_vs_record_wall\": " << replay_ratio << ",\n";
+    out << "    \"checkpoint_avg_ms\": " << ckpt_ms << ",\n";
+    out << "    \"checkpoint_image_mb\": " << ckpt_mb << "\n";
+    out << "  }\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!merge_path.empty() &&
+      !MergeIntoPropagationJson(merge_path, record_ov, replay_ratio, ckpt_ms,
+                                ckpt_mb)) {
+    return 1;
+  }
+
+  std::remove(log_path.c_str());
+  std::remove((log_path + ".ckpt").c_str());
+  std::remove(ckpt_path.c_str());
+
+  // Acceptance (full run only): grant recording is a buffered append under
+  // an already-taken turn — if it costs more than 1.5x on a sync-saturated
+  // workload, the fail-safe I/O has leaked onto the hot path.
+  if (!smoke && record_ov > 1.5) {
+    std::fprintf(stderr,
+                 "replay_overhead: record overhead %.2fx > 1.5x gate\n",
+                 record_ov);
+    return 1;
+  }
+  return 0;
+}

@@ -23,18 +23,23 @@ done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j --target propagation_path racey_determinism \
-    close_scaling
+    close_scaling replay_overhead
 
 mkdir -p bench/artifacts
 if [[ "$smoke" == 1 ]]; then
   ./build-bench/bench/propagation_path --smoke
   ./build-bench/bench/close_scaling --smoke
+  ./build-bench/bench/replay_overhead --smoke
 else
   ./build-bench/bench/propagation_path \
       --json="$(pwd)/bench/artifacts/BENCH_propagation.json"
   # close_scaling gates >=2x off-turn+SIMD close throughput at 8 threads
   # and splices its summary keys into the propagation JSON.
   ./build-bench/bench/close_scaling \
+      --merge_json="$(pwd)/bench/artifacts/BENCH_propagation.json"
+  # replay_overhead gates <=1.5x record overhead and splices record/replay/
+  # checkpoint summary keys into the propagation JSON.
+  ./build-bench/bench/replay_overhead \
       --merge_json="$(pwd)/bench/artifacts/BENCH_propagation.json"
   echo "bench.sh: wrote bench/artifacts/BENCH_propagation.json"
 fi

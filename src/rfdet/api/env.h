@@ -109,6 +109,16 @@ class Env {
   // runs of the same program under RacePolicy::kReport.
   [[nodiscard]] virtual std::string RaceReportText() const { return ""; }
 
+  // ---- checkpoint / restore -------------------------------------------------
+  // Writes a crash-consistent checkpoint of the deterministic state to the
+  // configured checkpoint path (a turn-ordered schedule transition — record
+  // and replay runs must call it at the same program point). Main thread
+  // only. False when unsupported, unconfigured, or the write failed.
+  virtual bool Checkpoint() { return false; }
+  // True when this Env resumed from a checkpoint image instead of starting
+  // fresh (workloads use this to skip already-completed setup phases).
+  [[nodiscard]] virtual bool Restored() const { return false; }
+
   // ---- typed convenience ---------------------------------------------------
   template <typename T>
   [[nodiscard]] T Get(GAddr addr) {

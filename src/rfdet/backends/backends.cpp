@@ -116,6 +116,21 @@ class RuntimeEnv final : public Env {
     }
   }
 
+  bool Checkpoint() override {
+    if constexpr (requires { runtime_.CheckpointNow(); }) {
+      return runtime_.CheckpointNow() == rfdet::RfdetErrc::kOk;
+    } else {
+      return false;
+    }
+  }
+  [[nodiscard]] bool Restored() const override {
+    if constexpr (requires { runtime_.Restored(); }) {
+      return runtime_.Restored();
+    } else {
+      return false;
+    }
+  }
+
   [[nodiscard]] rfdet::StatsSnapshot Stats() const override {
     return runtime_.Snapshot();
   }
@@ -210,6 +225,15 @@ std::unique_ptr<Env> CreateEnv(const BackendConfig& config) {
         opts.race_track_reads =
             config.race_track_reads &&
             config.race_policy != rfdet::RacePolicy::kOff;
+      }
+      // Replay only needs the deterministic schedule; checkpointing needs
+      // a view to image, so it is dropped (not an error) for kendo.
+      opts.replay_mode = config.replay_mode;
+      opts.replay_log_path = config.replay_log_path;
+      if (opts.isolation) {
+        opts.checkpoint_path = config.checkpoint_path;
+        opts.checkpoint_interval_turns = config.checkpoint_interval_turns;
+        opts.restore_checkpoint_path = config.restore_checkpoint_path;
       }
       return std::make_unique<RuntimeEnv<rfdet::RfdetRuntime>>(
           name, /*deterministic=*/true, opts);

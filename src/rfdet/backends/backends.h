@@ -10,6 +10,7 @@
 #include "rfdet/api/env.h"
 #include "rfdet/mem/thread_view.h"
 #include "rfdet/race/race_detector.h"
+#include "rfdet/replay/replay_log.h"
 #include "rfdet/verify/fingerprint.h"
 
 namespace dmt {
@@ -56,6 +57,15 @@ struct BackendConfig {
   size_t race_window_bytes = 8u << 20;
   size_t race_max_reports = 64;
   bool race_track_reads = false;
+
+  // Record/replay + checkpoint/restore (rfdet/kendo backends; replay only
+  // needs the deterministic schedule, checkpointing additionally needs
+  // isolation and is dropped for kendo). See RfdetOptions for semantics.
+  rfdet::ReplayMode replay_mode = rfdet::ReplayMode::kOff;
+  std::string replay_log_path;
+  std::string checkpoint_path;
+  uint64_t checkpoint_interval_turns = 0;
+  std::string restore_checkpoint_path;
 
   // Monitor used by the lockstep baselines. Real DThreads uses page
   // protection; the default here is the COW-page-table monitor because it

@@ -35,8 +35,10 @@ enum class FaultSite : uint8_t {
   kStaticAlloc,       // static-segment bump allocation
   kFingerprintIo,     // fingerprint-file read (verify) / write (record)
   kRaceWindow,        // race-detector window-entry arena charge
+  kReplayIo,          // replay-log read (replay) / write (record)
+  kCheckpointIo,      // checkpoint-file write / restore read
 };
-inline constexpr size_t kNumFaultSites = 7;
+inline constexpr size_t kNumFaultSites = 9;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite s) noexcept {
   switch (s) {
@@ -54,6 +56,10 @@ inline constexpr size_t kNumFaultSites = 7;
       return "fingerprint-io";
     case FaultSite::kRaceWindow:
       return "race-window";
+    case FaultSite::kReplayIo:
+      return "replay-io";
+    case FaultSite::kCheckpointIo:
+      return "checkpoint-io";
   }
   return "?";
 }

@@ -1,0 +1,60 @@
+// Little-endian wire helpers shared by the binary file formats (the
+// fingerprint recording, the replay log, the checkpoint image). Encoding
+// is explicitly byte-ordered so recordings are portable across hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace rfdet::wire {
+
+inline void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+[[nodiscard]] inline bool GetU64(const std::string& in, size_t* pos,
+                                 uint64_t* out) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *out = v;
+  return true;
+}
+
+inline void PutBytes(std::string& out, const void* data, size_t len) {
+  out.append(static_cast<const char*>(data), len);
+}
+
+[[nodiscard]] inline bool GetBytes(const std::string& in, size_t* pos,
+                                   void* out, size_t len) {
+  if (*pos + len > in.size()) return false;
+  std::memcpy(out, in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+// Length-prefixed string.
+inline void PutString(std::string& out, const std::string& s) {
+  PutU64(out, s.size());
+  out.append(s);
+}
+
+[[nodiscard]] inline bool GetString(const std::string& in, size_t* pos,
+                                    std::string* out) {
+  uint64_t len = 0;
+  if (!GetU64(in, pos, &len)) return false;
+  if (len > in.size() - *pos) return false;
+  out->assign(in, *pos, static_cast<size_t>(len));
+  *pos += static_cast<size_t>(len);
+  return true;
+}
+
+}  // namespace rfdet::wire

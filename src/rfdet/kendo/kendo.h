@@ -121,6 +121,15 @@ class KendoEngine {
   // Permanently removes tid from arbitration.
   void Exit(size_t tid) noexcept { Pause(tid); }
 
+  // Checkpoint restore: writes a slot's full state directly. Only valid
+  // while the engine is single-threaded (the restoring thread is the sole
+  // runner); tid must already be registered.
+  void RestoreSlot(size_t tid, uint64_t clock, uint64_t saved_clock) noexcept {
+    RFDET_DCHECK(tid < count_.load(std::memory_order_relaxed));
+    slots_[tid].saved_clock = saved_clock;
+    slots_[tid].clock.store(clock, std::memory_order_seq_cst);
+  }
+
   // Total WaitForTurn spin iterations (coarse contention metric).
   [[nodiscard]] uint64_t TurnSpins() const noexcept {
     return turn_spins_.load(std::memory_order_relaxed);

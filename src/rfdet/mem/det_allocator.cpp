@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "rfdet/common/check.h"
+#include "rfdet/common/wire.h"
 
 namespace rfdet {
 
@@ -117,6 +118,119 @@ void DetAllocator::Free(size_t tid, GAddr addr) {
   } else {
     heap.large_free[block].push_back(addr);
   }
+}
+
+void DetAllocator::SerializeState(std::string& out) {
+  std::scoped_lock lock(size_map_mu_);
+  wire::PutU64(out, static_bump_);
+  wire::PutU64(out, heap_base_);
+  wire::PutU64(out, heap_size_);
+  wire::PutU64(out, subheaps_.size());
+  for (const SubHeap& heap : subheaps_) {
+    wire::PutU64(out, heap.bump);
+    for (const auto& list : heap.free_lists) {
+      wire::PutU64(out, list.size());
+      for (GAddr a : list) wire::PutU64(out, a);
+    }
+    // Hash-map iteration order is not stable; sort so the image is a
+    // pure function of the allocator state.
+    std::vector<size_t> sizes;
+    sizes.reserve(heap.large_free.size());
+    for (const auto& [size, list] : heap.large_free) {
+      if (!list.empty()) sizes.push_back(size);
+    }
+    std::sort(sizes.begin(), sizes.end());
+    wire::PutU64(out, sizes.size());
+    for (size_t size : sizes) {
+      const auto& list = heap.large_free.at(size);
+      wire::PutU64(out, size);
+      wire::PutU64(out, list.size());
+      for (GAddr a : list) wire::PutU64(out, a);
+    }
+  }
+  std::vector<GAddr> live;
+  live.reserve(size_map_.size());
+  for (const auto& [addr, size] : size_map_) live.push_back(addr);
+  std::sort(live.begin(), live.end());
+  wire::PutU64(out, live.size());
+  for (GAddr a : live) {
+    wire::PutU64(out, a);
+    wire::PutU64(out, size_map_.at(a));
+  }
+  wire::PutU64(out, allocs_);
+  wire::PutU64(out, frees_);
+  wire::PutU64(out, live_bytes_);
+  wire::PutU64(out, peak_bytes_);
+}
+
+bool DetAllocator::RestoreState(const std::string& in, size_t* pos) {
+  std::scoped_lock lock(size_map_mu_);
+  uint64_t v = 0;
+  if (!wire::GetU64(in, pos, &v)) return false;
+  const GAddr static_bump = v;
+  if (static_bump > static_end_) return false;
+  if (!wire::GetU64(in, pos, &v) || v != heap_base_) return false;
+  if (!wire::GetU64(in, pos, &v) || v != heap_size_) return false;
+  if (!wire::GetU64(in, pos, &v) || v != subheaps_.size()) return false;
+  std::vector<SubHeap> heaps(subheaps_.size());
+  for (size_t t = 0; t < heaps.size(); ++t) {
+    SubHeap& heap = heaps[t];
+    heap.base = subheaps_[t].base;
+    heap.end = subheaps_[t].end;
+    if (!wire::GetU64(in, pos, &heap.bump) || heap.bump < heap.base ||
+        heap.bump > heap.end) {
+      return false;
+    }
+    for (auto& list : heap.free_lists) {
+      uint64_t n = 0;
+      if (!wire::GetU64(in, pos, &n) || n > in.size() / 8) return false;
+      list.resize(n);
+      for (auto& a : list) {
+        if (!wire::GetU64(in, pos, &a)) return false;
+      }
+    }
+    uint64_t nsizes = 0;
+    if (!wire::GetU64(in, pos, &nsizes) || nsizes > in.size() / 8) {
+      return false;
+    }
+    for (uint64_t i = 0; i < nsizes; ++i) {
+      uint64_t size = 0, n = 0;
+      if (!wire::GetU64(in, pos, &size) || !wire::GetU64(in, pos, &n) ||
+          n > in.size() / 8) {
+        return false;
+      }
+      auto& list = heap.large_free[size];
+      list.resize(n);
+      for (auto& a : list) {
+        if (!wire::GetU64(in, pos, &a)) return false;
+      }
+    }
+  }
+  uint64_t nlive = 0;
+  if (!wire::GetU64(in, pos, &nlive) || nlive > in.size() / 16) return false;
+  std::unordered_map<GAddr, size_t> size_map;
+  size_map.reserve(nlive);
+  for (uint64_t i = 0; i < nlive; ++i) {
+    uint64_t addr = 0, size = 0;
+    if (!wire::GetU64(in, pos, &addr) || !wire::GetU64(in, pos, &size)) {
+      return false;
+    }
+    size_map.emplace(addr, size);
+  }
+  uint64_t allocs = 0, frees = 0, live_bytes = 0, peak_bytes = 0;
+  if (!wire::GetU64(in, pos, &allocs) || !wire::GetU64(in, pos, &frees) ||
+      !wire::GetU64(in, pos, &live_bytes) ||
+      !wire::GetU64(in, pos, &peak_bytes)) {
+    return false;
+  }
+  static_bump_ = static_bump;
+  subheaps_ = std::move(heaps);
+  size_map_ = std::move(size_map);
+  allocs_ = allocs;
+  frees_ = frees;
+  live_bytes_ = live_bytes;
+  peak_bytes_ = peak_bytes;
+  return true;
 }
 
 }  // namespace rfdet

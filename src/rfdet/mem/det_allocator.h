@@ -68,6 +68,15 @@ class DetAllocator {
   // Exposed for tests: the rounded block size a request maps to.
   static size_t BlockSizeFor(size_t size) noexcept;
 
+  // Checkpoint support. SerializeState appends the complete allocator
+  // state (bump cursors, free lists, live-block map, counters) to `out`
+  // in a stable order; RestoreState rebuilds it from `in` at `*pos`,
+  // returning false on a truncated or geometry-mismatched image. The
+  // target allocator must have been built with the same Config. Both are
+  // quiescent-only (checkpoints happen at a quiescent turn boundary).
+  void SerializeState(std::string& out);
+  [[nodiscard]] bool RestoreState(const std::string& in, size_t* pos);
+
  private:
   static constexpr size_t kMinAlign = 16;
   static constexpr size_t kNumClasses = 9;  // 16..4096, ×2 each

@@ -708,6 +708,38 @@ void ThreadView::RearmReadTracking() noexcept {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint support
+// ---------------------------------------------------------------------------
+
+void ThreadView::ForEachResidentPage(
+    const std::function<void(PageId, const std::byte*)>& fn) {
+  RFDET_CHECK_MSG(!SliceDirty() && !HasPendingWrites(),
+                  "checkpoint page scan requires an idle slice");
+  if (mode_ == MonitorMode::kInstrumented) {
+    for (PageId pid = 0; pid < num_pages_; ++pid) {
+      const PageEntry& e = table_[pid];
+      if (e.page) fn(pid, e.page->bytes);
+    }
+    return;
+  }
+  // pf: untouched pages are all-zero; touched pages may be armed
+  // PROT_NONE under read tracking — read through the always-RW alias
+  // when one exists, else open the page RO for the copy and re-arm it
+  // (an mprotect pair, never a fault, so no read mark is recorded).
+  for (PageId pid = 0; pid < num_pages_; ++pid) {
+    if (!touched_[pid]) continue;
+    if (alias_ != nullptr) {
+      fn(pid, alias_ + PageBase(pid));
+      continue;
+    }
+    const auto prev = static_cast<Prot>(prot_[pid]);
+    if (prev == kProtNone) SetProt(pid, kProtRO);
+    fn(pid, flat_ + PageBase(pid));
+    if (prev == kProtNone) SetProt(pid, prev);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // View duplication
 // ---------------------------------------------------------------------------
 

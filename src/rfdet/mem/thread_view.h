@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -137,6 +138,36 @@ class ThreadView {
   // pages to PROT_NONE for the next slice. Call after
   // CollectModifications, between slices. No-op when tracking is off.
   void HarvestReadPages(std::vector<PageId>& out);
+
+  // ---- Checkpoint support ------------------------------------------------
+
+  // True while the current slice holds monitoring state a checkpoint
+  // could not capture: snapshotted (possibly dirty) pages, read marks, or
+  // parked lazy writes. Auto-checkpoints only fire when clean — the
+  // zero-perturbation rule that keeps checkpointing runs fingerprint-
+  // identical to non-checkpointing ones.
+  [[nodiscard]] bool SliceDirty() const noexcept {
+    return !modified_.empty() || !read_pages_.empty() ||
+           !pending_pages_.empty();
+  }
+
+  // Invokes `fn(pid, bytes)` for every resident (possibly non-zero) page
+  // without perturbing monitoring state: no snapshots, no read marks, no
+  // unhandled faults (armed pf pages are briefly opened RO and re-armed).
+  // Quiescent-only: requires an idle slice (SliceDirty() false).
+  void ForEachResidentPage(
+      const std::function<void(PageId, const std::byte*)>& fn);
+
+  // Backing memfd of the pf flat image (-1 in ci mode or on the
+  // anonymous-mapping fallback). Page contents live at offset
+  // PageBase(pid) — the checkpoint writer's copy_file_range source.
+  [[nodiscard]] int MemfdFd() const noexcept { return memfd_; }
+
+  // Restores one page's contents from a checkpoint image. Bypasses slice
+  // attribution (the write never appears in a local diff). Quiescent-only.
+  void RestorePage(PageId pid, const std::byte* bytes) {
+    RawWrite(PageBase(pid), std::span<const std::byte>(bytes, kPageSize));
+  }
 
   // ---- pf-mode machinery -------------------------------------------------
 

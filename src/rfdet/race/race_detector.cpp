@@ -9,6 +9,7 @@
 #include "rfdet/common/check.h"
 #include "rfdet/common/fault_injection.h"
 #include "rfdet/common/hash.h"
+#include "rfdet/common/wire.h"
 #include "rfdet/simd/kernels.h"
 
 namespace rfdet {
@@ -395,6 +396,105 @@ std::string RaceDetector::ReportText() const {
            std::to_string(max_reports_) + ")\n";
   }
   return out;
+}
+
+bool RaceDetector::WindowEmpty() const {
+  std::scoped_lock lock(mu_);
+  return window_.empty();
+}
+
+void RaceDetector::SerializeState(std::string& out) const {
+  std::scoped_lock lock(mu_);
+  RFDET_CHECK_MSG(window_.empty(),
+                  "race-detector checkpoint requires an empty window");
+  wire::PutU64(out, reported_.size());
+  for (const auto& [key, bits] : reported_) {
+    for (uint64_t k : key) wire::PutU64(out, k);
+    wire::PutU64(out, bits.size());
+    for (uint64_t w : bits) wire::PutU64(out, w);
+  }
+  wire::PutU64(out, reports_.size());
+  for (const RaceReport& r : reports_) {
+    wire::PutU64(out, r.kind);
+    wire::PutU64(out, r.first_tid);
+    wire::PutU64(out, r.second_tid);
+    wire::PutU64(out, r.page);
+    wire::PutU64(out, r.addr);
+    wire::PutU64(out, r.bytes);
+    wire::PutString(out, r.text);
+  }
+  wire::PutU64(out, digest_);
+  wire::PutU64(out, suppressed_);
+  wire::PutU64(out, races_ww_.load(std::memory_order_relaxed));
+  wire::PutU64(out, races_rw_pages_.load(std::memory_order_relaxed));
+  wire::PutU64(out, checks_.load(std::memory_order_relaxed));
+  wire::PutU64(out, prefilter_hits_.load(std::memory_order_relaxed));
+  wire::PutU64(out, window_evictions_.load(std::memory_order_relaxed));
+}
+
+bool RaceDetector::RestoreState(const std::string& in, size_t* pos) {
+  std::scoped_lock lock(mu_);
+  uint64_t npairs = 0;
+  if (!wire::GetU64(in, pos, &npairs) || npairs > in.size() / 24) {
+    return false;
+  }
+  std::map<PairKey, std::vector<uint64_t>> reported;
+  for (uint64_t i = 0; i < npairs; ++i) {
+    PairKey key{};
+    for (uint64_t& k : key) {
+      if (!wire::GetU64(in, pos, &k)) return false;
+    }
+    uint64_t nwords = 0;
+    if (!wire::GetU64(in, pos, &nwords) || nwords > in.size() / 8) {
+      return false;
+    }
+    std::vector<uint64_t> bits(nwords);
+    for (uint64_t& w : bits) {
+      if (!wire::GetU64(in, pos, &w)) return false;
+    }
+    reported.emplace(key, std::move(bits));
+  }
+  uint64_t nreports = 0;
+  if (!wire::GetU64(in, pos, &nreports) || nreports > in.size() / 48) {
+    return false;
+  }
+  std::vector<RaceReport> reports;
+  reports.reserve(nreports);
+  for (uint64_t i = 0; i < nreports; ++i) {
+    RaceReport r;
+    uint64_t kind = 0, first = 0, second = 0, addr = 0, bytes = 0;
+    if (!wire::GetU64(in, pos, &kind) || !wire::GetU64(in, pos, &first) ||
+        !wire::GetU64(in, pos, &second) || !wire::GetU64(in, pos, &r.page) ||
+        !wire::GetU64(in, pos, &addr) || !wire::GetU64(in, pos, &bytes) ||
+        !wire::GetString(in, pos, &r.text)) {
+      return false;
+    }
+    r.kind = static_cast<uint8_t>(kind);
+    r.first_tid = static_cast<size_t>(first);
+    r.second_tid = static_cast<size_t>(second);
+    r.addr = addr;
+    r.bytes = static_cast<uint32_t>(bytes);
+    reports.push_back(std::move(r));
+  }
+  uint64_t digest = 0, suppressed = 0;
+  uint64_t ww = 0, rw = 0, checks = 0, prefilter = 0, evictions = 0;
+  if (!wire::GetU64(in, pos, &digest) ||
+      !wire::GetU64(in, pos, &suppressed) || !wire::GetU64(in, pos, &ww) ||
+      !wire::GetU64(in, pos, &rw) || !wire::GetU64(in, pos, &checks) ||
+      !wire::GetU64(in, pos, &prefilter) ||
+      !wire::GetU64(in, pos, &evictions)) {
+    return false;
+  }
+  reported_ = std::move(reported);
+  reports_ = std::move(reports);
+  digest_ = digest;
+  suppressed_ = suppressed;
+  races_ww_.store(ww, std::memory_order_relaxed);
+  races_rw_pages_.store(rw, std::memory_order_relaxed);
+  checks_.store(checks, std::memory_order_relaxed);
+  prefilter_hits_.store(prefilter, std::memory_order_relaxed);
+  window_evictions_.store(evictions, std::memory_order_relaxed);
+  return true;
 }
 
 std::string RaceDetector::Summary() const {

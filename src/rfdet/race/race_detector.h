@@ -166,6 +166,19 @@ class RaceDetector {
   // Multi-line "races: …" block for DumpStateReport.
   [[nodiscard]] std::string Summary() const;
 
+  // ---- checkpoint support --------------------------------------------------
+
+  // True when the live-slice window holds no entries. Checkpoints only
+  // serialize the detector at quiescent boundaries where a Retire with
+  // the final frontier has emptied the window (no retained SliceRefs to
+  // capture).
+  [[nodiscard]] bool WindowEmpty() const;
+  // Appends the report state (dedup bitmaps, retained reports, digest,
+  // counters) to `out`; requires an empty window. RestoreState rebuilds
+  // it from `in` at `*pos`, returning false on a truncated image.
+  void SerializeState(std::string& out) const;
+  [[nodiscard]] bool RestoreState(const std::string& in, size_t* pos);
+
  private:
   struct Entry {
     size_t tid = 0;

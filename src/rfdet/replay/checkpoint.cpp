@@ -1,0 +1,195 @@
+#include "rfdet/replay/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "rfdet/common/fault_injection.h"
+
+namespace rfdet {
+namespace {
+
+bool FullWrite(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(const Config& config)
+    : path_(config.path),
+      tmp_path_(config.path + ".tmp"),
+      injector_(config.injector),
+      on_error_(config.on_error) {}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (!committed_) Abort();
+}
+
+bool CheckpointWriter::IoFault() noexcept {
+  return injector_ && injector_->ShouldFail(FaultSite::kCheckpointIo);
+}
+
+bool CheckpointWriter::Fail(const std::string& what) {
+  failed_ = true;
+  Abort();
+  if (on_error_) {
+    on_error_(RfdetErrc::kIo, what);
+  } else {
+    std::fprintf(stderr, "rfdet: checkpoint error: %s\n", what.c_str());
+  }
+  return false;
+}
+
+void CheckpointWriter::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(tmp_path_.c_str());
+  }
+}
+
+bool CheckpointWriter::Begin() {
+  if (failed_ || committed_ || fd_ >= 0) return false;
+  if (IoFault()) return Fail("injected checkpoint open fault: " + tmp_path_);
+  fd_ = ::open(tmp_path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) return Fail("checkpoint open failed: " + tmp_path_);
+  if (!FullWrite(fd_, kCheckpointMagic, sizeof kCheckpointMagic)) {
+    return Fail("checkpoint magic write failed: " + tmp_path_);
+  }
+  bytes_ = sizeof kCheckpointMagic;
+  return true;
+}
+
+bool CheckpointWriter::Append(const void* data, size_t len) {
+  if (failed_ || fd_ < 0) return false;
+  if (IoFault()) return Fail("injected checkpoint write fault: " + tmp_path_);
+  if (!FullWrite(fd_, data, len)) {
+    return Fail("checkpoint write failed: " + tmp_path_);
+  }
+  bytes_ += len;
+  return true;
+}
+
+bool CheckpointWriter::AppendFromFd(int fd, uint64_t offset, size_t len) {
+  if (failed_ || fd_ < 0) return false;
+  if (IoFault()) return Fail("injected checkpoint write fault: " + tmp_path_);
+#if defined(__linux__)
+  // Fast path: splice the pages kernel-side. Fall back on the first
+  // refusal (old kernel, filesystem pairing) and stay on read+write.
+  size_t remaining = len;
+  off_t in_off = static_cast<off_t>(offset);
+  bool fast_ok = true;
+  while (remaining > 0 && fast_ok) {
+    const ssize_t n = ::copy_file_range(fd, &in_off, fd_, nullptr,
+                                        remaining, 0);
+    if (n > 0) {
+      remaining -= static_cast<size_t>(n);
+      bytes_ += static_cast<uint64_t>(n);
+      fast_bytes_ += static_cast<uint64_t>(n);
+    } else if (n == 0) {
+      return Fail("checkpoint copy_file_range hit EOF: " + tmp_path_);
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      fast_ok = false;  // EXDEV/EINVAL/ENOSYS/EBADF → slow path
+    }
+  }
+  if (remaining == 0) return true;
+  offset += len - remaining;
+  len = remaining;
+#endif
+  std::vector<char> buf(64 << 10);
+  while (len > 0) {
+    const size_t want = len < buf.size() ? len : buf.size();
+    const ssize_t n = ::pread(fd, buf.data(), want,
+                              static_cast<off_t>(offset));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Fail("checkpoint source read failed: " + tmp_path_);
+    if (!FullWrite(fd_, buf.data(), static_cast<size_t>(n))) {
+      return Fail("checkpoint write failed: " + tmp_path_);
+    }
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+    bytes_ += static_cast<uint64_t>(n);
+  }
+  return true;
+}
+
+bool CheckpointWriter::Commit() {
+  if (failed_ || fd_ < 0) return false;
+  if (IoFault()) return Fail("injected checkpoint commit fault: " + tmp_path_);
+  if (::fsync(fd_) != 0) {
+    return Fail("checkpoint fsync failed: " + tmp_path_);
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp_path_.c_str());
+    failed_ = true;
+    if (on_error_) {
+      on_error_(RfdetErrc::kIo, "checkpoint rename failed: " + path_);
+    } else {
+      std::fprintf(stderr, "rfdet: checkpoint rename failed: %s\n",
+                   path_.c_str());
+    }
+    return false;
+  }
+  committed_ = true;
+  return true;
+}
+
+bool LoadCheckpointFile(
+    const std::string& path, FaultInjector* injector,
+    const std::function<void(RfdetErrc, const std::string&)>& on_error,
+    std::string* blob) {
+  const auto fail = [&](const std::string& what) {
+    if (on_error) {
+      on_error(RfdetErrc::kIo, what);
+    } else {
+      std::fprintf(stderr, "rfdet: checkpoint error: %s\n", what.c_str());
+    }
+    return false;
+  };
+  if (injector && injector->ShouldFail(FaultSite::kCheckpointIo)) {
+    return fail("injected checkpoint read fault: " + path);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return fail("checkpoint open failed: " + path);
+  std::string data;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f);
+    if (size > 0) data.resize(static_cast<size_t>(size));
+    std::rewind(f);
+  }
+  size_t got = 0;
+  while (got < data.size()) {
+    const size_t n = std::fread(data.data() + got, 1, data.size() - got, f);
+    if (n == 0) break;
+    got += n;
+  }
+  std::fclose(f);
+  if (got != data.size() || data.size() < sizeof kCheckpointMagic ||
+      std::memcmp(data.data(), kCheckpointMagic, sizeof kCheckpointMagic) !=
+          0) {
+    return fail("bad checkpoint file: " + path);
+  }
+  blob->assign(data, sizeof kCheckpointMagic,
+               data.size() - sizeof kCheckpointMagic);
+  return true;
+}
+
+}  // namespace rfdet

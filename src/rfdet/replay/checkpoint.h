@@ -1,0 +1,96 @@
+// Crash-consistent checkpoint file I/O.
+//
+// A checkpoint captures the runtime's complete deterministic state at a
+// quiescent turn boundary (see Runtime::CheckpointNow): region pages,
+// allocator and arena cursors, kendo clocks, vector clocks, sync-object
+// state, race-detector state, fingerprint streams, and the replay-log
+// cursors that tie the image to its log tail. This file provides only the
+// *file* layer; serialization of the state itself lives in the runtime
+// (which owns the state).
+//
+// Crash consistency comes from the commit protocol, not from the format:
+// the image is written to `<path>.tmp` and rename(2)d over `<path>` only
+// after a successful fsync, so `<path>` always names the latest *complete*
+// checkpoint — a crash mid-write leaves the previous image intact.
+//
+// Page payloads can bypass user space: when the source view is backed by a
+// memfd (the pf monitor's always-RW alias mapping), AppendFromFd issues
+// copy_file_range(2) from the memfd straight into the checkpoint file,
+// falling back to pread+write where the syscall is unavailable or refuses
+// the pairing.
+//
+// Failures — including injected FaultSite::kCheckpointIo faults — follow
+// the subsystem-wide fail-safe discipline: surface RfdetErrc::kIo through
+// on_error, leave the previous checkpoint untouched, and never crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rfdet/common/error.h"
+
+namespace rfdet {
+
+class FaultInjector;
+
+inline constexpr char kCheckpointMagic[8] = {'R', 'F', 'D', 'T',
+                                             'C', 'K', '0', '1'};
+
+class CheckpointWriter {
+ public:
+  struct Config {
+    std::string path;
+    FaultInjector* injector = nullptr;  // kCheckpointIo site
+    std::function<void(RfdetErrc, const std::string&)> on_error;
+  };
+
+  explicit CheckpointWriter(const Config& config);
+  ~CheckpointWriter();  // aborts (removes the tmp file) if not committed
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  // Opens `<path>.tmp` and writes the magic. False on failure.
+  [[nodiscard]] bool Begin();
+  // Appends raw bytes. False on failure (writer is then dead).
+  [[nodiscard]] bool Append(const void* data, size_t len);
+  // Appends `len` bytes read from `fd` at `offset`, using copy_file_range
+  // when the kernel accepts the pairing (zero user-space copies), else
+  // pread+write.
+  [[nodiscard]] bool AppendFromFd(int fd, uint64_t offset, size_t len);
+  // fsync + atomic rename over `path`. False on failure (previous
+  // checkpoint file, if any, is left intact).
+  [[nodiscard]] bool Commit();
+
+  [[nodiscard]] uint64_t BytesWritten() const noexcept { return bytes_; }
+  [[nodiscard]] uint64_t FastPathBytes() const noexcept {
+    return fast_bytes_;
+  }
+
+ private:
+  [[nodiscard]] bool IoFault() noexcept;
+  bool Fail(const std::string& what);
+  void Abort();
+
+  const std::string path_;
+  const std::string tmp_path_;
+  FaultInjector* const injector_;
+  const std::function<void(RfdetErrc, const std::string&)> on_error_;
+  int fd_ = -1;
+  bool failed_ = false;
+  bool committed_ = false;
+  uint64_t bytes_ = 0;
+  uint64_t fast_bytes_ = 0;
+};
+
+// Reads `path`, verifies the magic, and returns the payload (everything
+// after the magic) in `*blob`. On failure reports RfdetErrc::kIo through
+// `on_error` and returns false.
+[[nodiscard]] bool LoadCheckpointFile(
+    const std::string& path, FaultInjector* injector,
+    const std::function<void(RfdetErrc, const std::string&)>& on_error,
+    std::string* blob);
+
+}  // namespace rfdet

@@ -1,0 +1,556 @@
+#include "rfdet/replay/replay_log.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/common/wire.h"
+
+namespace rfdet {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'F', 'D', 'T', 'R', 'L', '0', '1'};
+constexpr size_t kHeaderBytes = 16;  // magic + max_threads
+
+constexpr uint64_t kRecGrant = 1;
+constexpr uint64_t kRecRace = 2;
+constexpr uint64_t kRecNondet = 3;
+constexpr uint64_t kRecMark = 4;
+
+// Consecutive 1-second waits with no cursor motion before a blocked
+// replayer declares the recording divergent (the recorded turn order
+// requires a thread that never arrives). Failure path only — a healthy
+// replay never sleeps this long on one grant.
+constexpr int kStallLimitSec = 10;
+
+std::string Describe(uint64_t tid, uint64_t op, uint64_t object,
+                     uint64_t clock) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "tid=%" PRIu64 " op=%s object=%" PRIu64
+                                 " clock=%" PRIu64,
+                tid, ReplayOpName(static_cast<ReplayOp>(op)), object, clock);
+  return buf;
+}
+
+}  // namespace
+
+ReplayLog::ReplayLog(const Config& config)
+    : mode_(config.mode),
+      path_(config.path),
+      max_threads_(config.max_threads),
+      injector_(config.injector),
+      on_divergence_(config.on_divergence),
+      on_error_(config.on_error),
+      nondet_written_(kNumNondetSites * config.max_threads, 0),
+      nondet_(kNumNondetSites * config.max_threads),
+      nondet_consumed_(kNumNondetSites * config.max_threads, 0) {
+  if (mode_ == ReplayMode::kOff) return;
+  resume_ = config.resume;
+  std::string err;
+  if (mode_ == ReplayMode::kRecord) {
+    OpenRecord(&err);
+  } else {
+    LoadReplay(&err);
+  }
+  if (!err.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++io_errors_;
+      dead_ = true;
+      if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+      }
+    }
+    EmitIoError(err);
+  }
+}
+
+ReplayLog::~ReplayLog() { Finalize(); }
+
+bool ReplayLog::Active() const noexcept {
+  if (mode_ == ReplayMode::kOff) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return !dead_;
+}
+
+bool ReplayLog::IoFault() noexcept {
+  return injector_ && injector_->ShouldFail(FaultSite::kReplayIo);
+}
+
+void ReplayLog::EmitIoError(const std::string& what) {
+  if (on_error_) {
+    on_error_(RfdetErrc::kIo, what);
+  } else {
+    std::fprintf(stderr, "rfdet: replay log error: %s\n", what.c_str());
+  }
+}
+
+void ReplayLog::DivergeLocked(const std::string& report) {
+  ++divergences_;
+  if (first_report_.empty()) first_report_ = report;
+  dead_ = true;
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Record side
+// ---------------------------------------------------------------------------
+
+void ReplayLog::OpenRecord(std::string* err) {
+  if (IoFault()) {
+    *err = "injected replay-log open fault: " + path_;
+    return;
+  }
+  if (resume_.active) {
+    // Continue the interrupted recording: drop everything past the
+    // checkpoint's durable offset (a crash may have left a partial tail)
+    // and append from there.
+    file_ = std::fopen(path_.c_str(), "r+b");
+    if (!file_) {
+      *err = "replay log reopen failed: " + path_;
+      return;
+    }
+    char magic[8];
+    if (std::fread(magic, 1, sizeof magic, file_) != sizeof magic ||
+        std::memcmp(magic, kMagic, sizeof magic) != 0) {
+      *err = "bad replay log magic: " + path_;
+      return;
+    }
+    if (resume_.file_offset < kHeaderBytes ||
+        std::fseek(file_, 0, SEEK_END) != 0 ||
+        static_cast<uint64_t>(std::ftell(file_)) < resume_.file_offset) {
+      *err = "replay log shorter than checkpoint offset: " + path_;
+      return;
+    }
+    if (ftruncate(fileno(file_), static_cast<off_t>(resume_.file_offset)) !=
+            0 ||
+        std::fseek(file_, static_cast<long>(resume_.file_offset), SEEK_SET) !=
+            0) {
+      *err = "replay log truncate failed: " + path_;
+      return;
+    }
+    flushed_bytes_ = resume_.file_offset;
+    grants_written_ = resume_.grant_cursor;
+    races_written_ = resume_.race_cursor;
+    if (resume_.nondet_consumed.size() == nondet_written_.size()) {
+      nondet_written_ = resume_.nondet_consumed;
+    }
+    return;
+  }
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (!file_) {
+    *err = "replay log open failed: " + path_;
+    return;
+  }
+  std::string header(kMagic, sizeof kMagic);
+  wire::PutU64(header, max_threads_);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fflush(file_) != 0) {
+    *err = "replay log header write failed: " + path_;
+    return;
+  }
+  flushed_bytes_ = header.size();
+}
+
+void ReplayLog::AppendLocked(const std::string& bytes) { buf_.append(bytes); }
+
+void ReplayLog::RecordGrant(size_t tid, ReplayOp op, uint64_t object,
+                            uint64_t clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_ || mode_ != ReplayMode::kRecord) return;
+  std::string rec;
+  wire::PutU64(rec, kRecGrant);
+  wire::PutU64(rec, tid);
+  wire::PutU64(rec, static_cast<uint64_t>(op));
+  wire::PutU64(rec, object);
+  wire::PutU64(rec, clock);
+  AppendLocked(rec);
+  ++grants_written_;
+}
+
+void ReplayLog::RecordRace(uint64_t kind, uint64_t first_tid,
+                           uint64_t second_tid, uint64_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_ || mode_ != ReplayMode::kRecord) return;
+  std::string rec;
+  wire::PutU64(rec, kRecRace);
+  wire::PutU64(rec, kind);
+  wire::PutU64(rec, first_tid);
+  wire::PutU64(rec, second_tid);
+  wire::PutU64(rec, page);
+  AppendLocked(rec);
+  ++races_written_;
+}
+
+void ReplayLog::RecordNondet(NondetSite site, size_t tid, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_ || mode_ != ReplayMode::kRecord) return;
+  std::string rec;
+  wire::PutU64(rec, kRecNondet);
+  wire::PutU64(rec, static_cast<uint64_t>(site));
+  wire::PutU64(rec, tid);
+  wire::PutU64(rec, value);
+  AppendLocked(rec);
+  ++nondet_written_[NondetIndex(site, tid)];
+}
+
+void ReplayLog::MarkCheckpoint(uint64_t checkpoint_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_ || mode_ != ReplayMode::kRecord) return;
+  std::string rec;
+  wire::PutU64(rec, kRecMark);
+  wire::PutU64(rec, checkpoint_seq);
+  AppendLocked(rec);
+}
+
+bool ReplayLog::FlushLocked(std::string* err) {
+  if (dead_ || !file_) return false;
+  if (buf_.empty()) return true;
+  if (IoFault()) {
+    *err = "injected replay-log write fault: " + path_;
+    return false;
+  }
+  if (std::fwrite(buf_.data(), 1, buf_.size(), file_) != buf_.size() ||
+      std::fflush(file_) != 0) {
+    *err = "replay log write failed: " + path_;
+    return false;
+  }
+  flushed_bytes_ += buf_.size();
+  buf_.clear();
+  return true;
+}
+
+bool ReplayLog::Flush() {
+  std::string err;
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mode_ != ReplayMode::kRecord) return !dead_;
+    ok = FlushLocked(&err);
+    if (!err.empty()) {
+      ++io_errors_;
+      dead_ = true;
+      cv_.notify_all();
+    }
+  }
+  if (!err.empty()) EmitIoError(err);
+  return ok;
+}
+
+uint64_t ReplayLog::FileOffset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushed_bytes_;
+}
+
+void ReplayLog::Finalize() {
+  std::string err;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finalized_) return;
+    finalized_ = true;
+    if (file_) {
+      if (!dead_) FlushLocked(&err);
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    if (!err.empty()) {
+      ++io_errors_;
+      dead_ = true;
+      cv_.notify_all();
+    }
+  }
+  if (!err.empty()) EmitIoError(err);
+}
+
+// ---------------------------------------------------------------------------
+// Replay side
+// ---------------------------------------------------------------------------
+
+void ReplayLog::LoadReplay(std::string* err) {
+  if (IoFault()) {
+    *err = "injected replay-log read fault: " + path_;
+    return;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (!f) {
+    *err = "replay log open failed: " + path_;
+    return;
+  }
+  std::string blob;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f);
+    if (size > 0) blob.resize(static_cast<size_t>(size));
+    std::rewind(f);
+  }
+  size_t got = 0;
+  while (got < blob.size()) {
+    const size_t n = std::fread(blob.data() + got, 1, blob.size() - got, f);
+    if (n == 0) break;
+    got += n;
+  }
+  std::fclose(f);
+  if (got != blob.size() || blob.size() < kHeaderBytes ||
+      std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0) {
+    *err = "bad replay log header: " + path_;
+    return;
+  }
+  size_t pos = sizeof kMagic;
+  uint64_t threads = 0;
+  if (!wire::GetU64(blob, &pos, &threads) || threads != max_threads_) {
+    *err = "replay log max_threads mismatch: " + path_;
+    return;
+  }
+  while (pos < blob.size()) {
+    uint64_t type = 0;
+    uint64_t a = 0, b = 0, c = 0, d = 0;
+    bool ok = wire::GetU64(blob, &pos, &type);
+    if (ok) {
+      switch (type) {
+        case kRecGrant:
+          ok = wire::GetU64(blob, &pos, &a) && wire::GetU64(blob, &pos, &b) &&
+               wire::GetU64(blob, &pos, &c) && wire::GetU64(blob, &pos, &d);
+          if (ok) grants_.push_back(Grant{a, b, c, d});
+          break;
+        case kRecRace:
+          ok = wire::GetU64(blob, &pos, &a) && wire::GetU64(blob, &pos, &b) &&
+               wire::GetU64(blob, &pos, &c) && wire::GetU64(blob, &pos, &d);
+          if (ok) races_.push_back(Race{a, b, c, d});
+          break;
+        case kRecNondet:
+          ok = wire::GetU64(blob, &pos, &a) && wire::GetU64(blob, &pos, &b) &&
+               wire::GetU64(blob, &pos, &c);
+          if (ok) {
+            const size_t idx = static_cast<size_t>(a) * max_threads_ +
+                               static_cast<size_t>(b);
+            if (idx >= nondet_.size()) {
+              ok = false;
+            } else {
+              nondet_[idx].push_back(c);
+            }
+          }
+          break;
+        case kRecMark:
+          ok = wire::GetU64(blob, &pos, &a);
+          break;
+        default:
+          ok = false;
+          break;
+      }
+    }
+    if (!ok) {
+      *err = "truncated replay log: " + path_;
+      return;
+    }
+  }
+  if (resume_.active) {
+    if (resume_.grant_cursor > grants_.size() ||
+        resume_.race_cursor > races_.size()) {
+      *err = "checkpoint cursors beyond replay log: " + path_;
+      return;
+    }
+    cursor_ = resume_.grant_cursor;
+    race_cursor_ = resume_.race_cursor;
+    if (resume_.nondet_consumed.size() == nondet_.size()) {
+      for (size_t i = 0; i < nondet_.size(); ++i) {
+        uint64_t take = resume_.nondet_consumed[i];
+        if (take > nondet_[i].size()) {
+          *err = "checkpoint nondet cursor beyond replay log: " + path_;
+          return;
+        }
+        nondet_[i].erase(nondet_[i].begin(),
+                         nondet_[i].begin() + static_cast<long>(take));
+        nondet_consumed_[i] = take;
+      }
+    }
+  }
+}
+
+bool ReplayLog::AwaitGrant(size_t tid, ReplayOp op, uint64_t object,
+                           uint64_t clock) {
+  std::string report;
+  bool granted = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t last_seen = cursor_;
+    int stalls = 0;
+    for (;;) {
+      if (dead_) return false;
+      if (cursor_ >= grants_.size()) {
+        report = "replay divergence: log exhausted at grant #" +
+                 std::to_string(cursor_) + "; live op " +
+                 Describe(tid, static_cast<uint64_t>(op), object, clock);
+        DivergeLocked(report);
+        break;
+      }
+      const Grant& g = grants_[cursor_];
+      if (g.tid == tid) {
+        if (g.op != static_cast<uint64_t>(op) || g.object != object ||
+            g.clock != clock) {
+          report = "replay divergence: grant #" + std::to_string(cursor_) +
+                   " mismatch\n  recorded: " +
+                   Describe(g.tid, g.op, g.object, g.clock) +
+                   "\n  live:     " +
+                   Describe(tid, static_cast<uint64_t>(op), object, clock);
+          DivergeLocked(report);
+          break;
+        }
+        granted = true;
+        break;
+      }
+      if (cv_.wait_for(lock, std::chrono::seconds(1)) ==
+          std::cv_status::timeout) {
+        if (cursor_ == last_seen) {
+          if (++stalls >= kStallLimitSec) {
+            report = "replay divergence: stalled at grant #" +
+                     std::to_string(cursor_) + " (recorded " +
+                     Describe(g.tid, g.op, g.object, g.clock) +
+                     " never arrived); live op " +
+                     Describe(tid, static_cast<uint64_t>(op), object, clock);
+            DivergeLocked(report);
+            break;
+          }
+        } else {
+          last_seen = cursor_;
+          stalls = 0;
+        }
+      }
+    }
+  }
+  if (!report.empty() && on_divergence_) on_divergence_(report);
+  return granted;
+}
+
+void ReplayLog::CompleteGrant() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return;
+  ++cursor_;
+  cv_.notify_all();
+}
+
+bool ReplayLog::NextNondet(NondetSite site, size_t tid, uint64_t* value) {
+  std::string report;
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return false;
+    auto& q = nondet_[NondetIndex(site, tid)];
+    if (q.empty()) {
+      report = "replay divergence: nondet record exhausted (site=" +
+               std::to_string(static_cast<int>(site)) +
+               " tid=" + std::to_string(tid) + ")";
+      DivergeLocked(report);
+    } else {
+      *value = q.front();
+      q.pop_front();
+      ++nondet_consumed_[NondetIndex(site, tid)];
+      ok = true;
+    }
+  }
+  if (!report.empty() && on_divergence_) on_divergence_(report);
+  return ok;
+}
+
+void ReplayLog::VerifyRace(uint64_t kind, uint64_t first_tid,
+                           uint64_t second_tid, uint64_t page) {
+  std::string report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_ || mode_ != ReplayMode::kReplay) return;
+    if (race_cursor_ >= races_.size()) {
+      report = "replay divergence: race not in recording (kind=" +
+               std::to_string(kind) + " tids=" + std::to_string(first_tid) +
+               "," + std::to_string(second_tid) +
+               " page=" + std::to_string(page) + ")";
+      DivergeLocked(report);
+    } else {
+      const Race& r = races_[race_cursor_];
+      if (r.kind != kind || r.first_tid != first_tid ||
+          r.second_tid != second_tid || r.page != page) {
+        report = "replay divergence: race #" + std::to_string(race_cursor_) +
+                 " mismatch (recorded kind=" + std::to_string(r.kind) +
+                 " tids=" + std::to_string(r.first_tid) + "," +
+                 std::to_string(r.second_tid) +
+                 " page=" + std::to_string(r.page) +
+                 "; live kind=" + std::to_string(kind) +
+                 " tids=" + std::to_string(first_tid) + "," +
+                 std::to_string(second_tid) +
+                 " page=" + std::to_string(page) + ")";
+        DivergeLocked(report);
+      } else {
+        ++race_cursor_;
+      }
+    }
+  }
+  if (!report.empty() && on_divergence_) on_divergence_(report);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint64_t ReplayLog::Grants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_ == ReplayMode::kReplay ? cursor_ : grants_written_;
+}
+
+uint64_t ReplayLog::TotalGrants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grants_.size();
+}
+
+uint64_t ReplayLog::RaceCursor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_ == ReplayMode::kReplay ? race_cursor_ : races_written_;
+}
+
+std::vector<uint64_t> ReplayLog::NondetCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_ == ReplayMode::kReplay ? nondet_consumed_ : nondet_written_;
+}
+
+uint64_t ReplayLog::Divergences() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return divergences_;
+}
+
+uint64_t ReplayLog::IoErrors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_errors_;
+}
+
+std::string ReplayLog::LastDivergenceReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_report_;
+}
+
+std::string ReplayLog::ProgressSummary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t nondet = 0;
+  const auto& counts =
+      mode_ == ReplayMode::kReplay ? nondet_consumed_ : nondet_written_;
+  for (uint64_t c : counts) nondet += c;
+  char buf[256];
+  if (mode_ == ReplayMode::kRecord) {
+    std::snprintf(buf, sizeof buf,
+                  "replay: mode=record grants=%" PRIu64 " races=%" PRIu64
+                  " nondet=%" PRIu64 " durable=%" PRIu64
+                  "B pending=%zuB io-errors=%" PRIu64 "%s",
+                  grants_written_, races_written_, nondet, flushed_bytes_,
+                  buf_.size(), io_errors_, dead_ ? " (retired)" : "");
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "replay: mode=replay grant %" PRIu64 "/%zu races=%" PRIu64
+                  "/%zu nondet=%" PRIu64 " divergences=%" PRIu64
+                  " io-errors=%" PRIu64 "%s",
+                  cursor_, grants_.size(), race_cursor_, races_.size(), nondet,
+                  divergences_, io_errors_, dead_ ? " (live fallback)" : "");
+  }
+  return buf;
+}
+
+}  // namespace rfdet

@@ -1,0 +1,271 @@
+// Deterministic record/replay log.
+//
+// Determinism makes an execution a pure function of its inputs — so the
+// *complete* description of a run is tiny: the turn-ordered sequence of
+// synchronization grants (which thread passed Kendo arbitration, for what
+// operation, at what deterministic clock), plus the few genuinely
+// nondeterministic inputs the runtime admits (fault-injector decisions on
+// off-turn allocation paths, OS spawn failures). This log captures exactly
+// that:
+//
+//   * grant records — one per WaitForTurn passage, appended under the turn
+//     itself, so file order *is* the deterministic synchronization order;
+//   * race records — the RaceDetector's deduplicated findings, reported
+//     under the detecting thread's turn (deterministic order), so a replay
+//     can cross-check that it reproduces the same race set;
+//   * nondet records — Try* outcomes. Grant-ordered sites (spawn) are
+//     appended under the turn; allocation sites run off-turn, so their
+//     file interleaving is nondeterministic — but each (site, tid)
+//     subsequence is deterministic, which is the granularity replay
+//     consumes them at.
+//
+// In kRecord mode records are buffered and flushed on demand (the
+// checkpoint path flushes before capturing the durable byte offset, which
+// is what makes "restore from checkpoint + log tail" crash-consistent). In
+// kReplay mode the log is parsed up front and *drives* arbitration: each
+// thread blocks in AwaitGrant until the cursor reaches its next recorded
+// grant, giving the recorded run's exact turn order without live Kendo
+// waits. Kendo clocks still tick normally during replay, so any
+// divergence (mismatched grant, exhausted log, I/O failure) retires the
+// replayer and execution falls back to live arbitration seamlessly.
+//
+// All file I/O follows the fingerprint subsystem's fail-safe discipline:
+// failures (including injected FaultSite::kReplayIo faults) count an
+// io_error, surface RfdetErrc::kIo through on_error, and retire the
+// subsystem — they never crash or wedge the execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rfdet/common/error.h"
+
+namespace rfdet {
+
+class FaultInjector;
+
+enum class ReplayMode : uint8_t {
+  kOff = 0,
+  kRecord,  // append grants/races/nondet to the log file
+  kReplay,  // drive arbitration from a recorded log
+};
+
+// What kind of synchronization transition a grant covers. Purely a
+// cross-check: replay verifies the op (and object, and clock) of every
+// grant it hands out, so a divergent execution is caught at the first
+// wrong synchronization attempt instead of corrupting silently.
+enum class ReplayOp : uint8_t {
+  kLock = 0,
+  kUnlock,
+  kCondWait,
+  kCondSignal,
+  kCondBroadcast,
+  kBarrier,
+  kAtomicLoad,
+  kAtomicStore,
+  kAtomicRmw,
+  kAtomicCas,
+  kSpawn,
+  kJoin,
+  kThreadExit,
+  kCreateMutex,
+  kCreateCond,
+  kCreateBarrier,
+  kCheckpoint,
+};
+
+[[nodiscard]] constexpr const char* ReplayOpName(ReplayOp op) noexcept {
+  switch (op) {
+    case ReplayOp::kLock: return "lock";
+    case ReplayOp::kUnlock: return "unlock";
+    case ReplayOp::kCondWait: return "cond-wait";
+    case ReplayOp::kCondSignal: return "signal";
+    case ReplayOp::kCondBroadcast: return "broadcast";
+    case ReplayOp::kBarrier: return "barrier";
+    case ReplayOp::kAtomicLoad: return "atomic-load";
+    case ReplayOp::kAtomicStore: return "atomic-store";
+    case ReplayOp::kAtomicRmw: return "atomic-rmw";
+    case ReplayOp::kAtomicCas: return "atomic-cas";
+    case ReplayOp::kSpawn: return "spawn";
+    case ReplayOp::kJoin: return "join";
+    case ReplayOp::kThreadExit: return "thread-exit";
+    case ReplayOp::kCreateMutex: return "create-mutex";
+    case ReplayOp::kCreateCond: return "create-cond";
+    case ReplayOp::kCreateBarrier: return "create-barrier";
+    case ReplayOp::kCheckpoint: return "checkpoint";
+  }
+  return "?";
+}
+
+// Nondeterministic-input sites. Allocation outcomes are nondeterministic
+// only through the fault injector (a seeded injector keys on the *global*
+// hit index, which off-turn allocations race for); spawn additionally
+// admits OS thread-creation failure.
+enum class NondetSite : uint8_t {
+  kSpawn = 0,
+  kHeapAlloc,
+  kStaticAlloc,
+};
+inline constexpr size_t kNumNondetSites = 3;
+
+// Cursor state needed to resume a log mid-stream after a checkpoint
+// restore (see replay/checkpoint.h). `nondet_consumed` is indexed
+// site * max_threads + tid.
+struct ReplayResume {
+  bool active = false;
+  uint64_t file_offset = 0;   // durable log bytes at the checkpoint
+  uint64_t grant_cursor = 0;  // grants consumed before the checkpoint
+  uint64_t race_cursor = 0;
+  std::vector<uint64_t> nondet_consumed;
+};
+
+class ReplayLog {
+ public:
+  struct Config {
+    ReplayMode mode = ReplayMode::kOff;
+    std::string path;
+    size_t max_threads = 64;
+    FaultInjector* injector = nullptr;  // kReplayIo site
+    // Divergence sink (replay mismatch / log exhaustion); the runtime
+    // wires this into the fingerprint divergence machinery.
+    std::function<void(const std::string&)> on_divergence;
+    // Sink for recoverable file-I/O failures (RfdetErrc::kIo).
+    std::function<void(RfdetErrc, const std::string&)> on_error;
+    // When restoring from a checkpoint: kRecord reopens the existing log,
+    // truncates it to `file_offset` (dropping any post-crash tail) and
+    // appends; kReplay seeks its cursors past the already-consumed prefix.
+    ReplayResume resume;
+  };
+
+  explicit ReplayLog(const Config& config);
+  ~ReplayLog();
+
+  ReplayLog(const ReplayLog&) = delete;
+  ReplayLog& operator=(const ReplayLog&) = delete;
+
+  [[nodiscard]] ReplayMode mode() const noexcept { return mode_; }
+  // True while the log should be fed (record) or consulted (replay):
+  // mode is not kOff and no divergence/I-O failure has retired it.
+  [[nodiscard]] bool Active() const noexcept;
+
+  // ---- record side ---------------------------------------------------------
+
+  // One WaitForTurn passage (call under the granted turn).
+  void RecordGrant(size_t tid, ReplayOp op, uint64_t object, uint64_t clock);
+  // A deduplicated race report (called under the detecting turn).
+  void RecordRace(uint64_t kind, uint64_t first_tid, uint64_t second_tid,
+                  uint64_t page);
+  // A Try* outcome. Safe off-turn (internally synchronized).
+  void RecordNondet(NondetSite site, size_t tid, uint64_t value);
+  // Informational checkpoint marker (debugging aid in log dumps).
+  void MarkCheckpoint(uint64_t checkpoint_seq);
+
+  // Makes all buffered records durable. Returns false on I/O failure
+  // (after which the log is retired). The checkpoint path calls this
+  // before capturing FileOffset().
+  bool Flush();
+  // Durable byte offset after the last successful Flush.
+  [[nodiscard]] uint64_t FileOffset() const;
+  // Flush + close; idempotent. Called at runtime teardown.
+  void Finalize();
+
+  // ---- replay side ---------------------------------------------------------
+
+  // Blocks until the cursor grant belongs to `tid`, then verifies
+  // {op, object, clock} against the recording. Returns true if the grant
+  // matched (caller holds the replayed turn until CompleteGrant); false
+  // if replay has been retired — mismatch, log exhausted, I/O failure —
+  // in which case the caller must fall back to live arbitration.
+  [[nodiscard]] bool AwaitGrant(size_t tid, ReplayOp op, uint64_t object,
+                                uint64_t clock);
+  // Releases the replayed turn: advances the cursor and wakes waiters.
+  void CompleteGrant();
+  // Pops the next recorded outcome for (site, tid). Returns false if
+  // replay is retired or the subsequence is exhausted (divergence).
+  [[nodiscard]] bool NextNondet(NondetSite site, size_t tid, uint64_t* value);
+  // Cross-checks a live-detected race against the recorded sequence.
+  void VerifyRace(uint64_t kind, uint64_t first_tid, uint64_t second_tid,
+                  uint64_t page);
+
+  // ---- introspection -------------------------------------------------------
+
+  [[nodiscard]] uint64_t Grants() const;       // written (record) / consumed
+  [[nodiscard]] uint64_t TotalGrants() const;  // parsed (replay only)
+  [[nodiscard]] uint64_t RaceCursor() const;
+  // Per-(site, tid) consumption counts, indexed site * max_threads + tid
+  // (the shape ReplayResume::nondet_consumed wants).
+  [[nodiscard]] std::vector<uint64_t> NondetCounts() const;
+  [[nodiscard]] uint64_t Divergences() const;
+  [[nodiscard]] uint64_t IoErrors() const;
+  [[nodiscard]] std::string LastDivergenceReport() const;
+  // Multi-line "replay: …" block for DumpStateReport.
+  [[nodiscard]] std::string ProgressSummary() const;
+
+ private:
+  struct Grant {
+    uint64_t tid = 0;
+    uint64_t op = 0;
+    uint64_t object = 0;
+    uint64_t clock = 0;
+  };
+  struct Race {
+    uint64_t kind = 0;
+    uint64_t first_tid = 0;
+    uint64_t second_tid = 0;
+    uint64_t page = 0;
+  };
+
+  [[nodiscard]] bool IoFault() noexcept;
+  // Callback emission happens outside mu_ (callbacks may re-enter the
+  // log's introspection API); the *Locked helpers only mutate state.
+  void EmitIoError(const std::string& what);
+  void DivergeLocked(const std::string& report);
+  void AppendLocked(const std::string& bytes);
+  bool FlushLocked(std::string* err);
+  void OpenRecord(std::string* err);
+  void LoadReplay(std::string* err);
+  [[nodiscard]] size_t NondetIndex(NondetSite site, size_t tid) const {
+    return static_cast<size_t>(site) * max_threads_ + tid;
+  }
+
+  const ReplayMode mode_;
+  const std::string path_;
+  const size_t max_threads_;
+  FaultInjector* const injector_;
+  const std::function<void(const std::string&)> on_divergence_;
+  const std::function<void(RfdetErrc, const std::string&)> on_error_;
+  ReplayResume resume_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool dead_ = false;
+  bool finalized_ = false;
+
+  // record side
+  std::FILE* file_ = nullptr;
+  std::string buf_;             // records not yet fwritten
+  uint64_t flushed_bytes_ = 0;  // durable file size (header included)
+  uint64_t grants_written_ = 0;
+  uint64_t races_written_ = 0;
+  std::vector<uint64_t> nondet_written_;  // site * max_threads + tid
+
+  // replay side
+  std::vector<Grant> grants_;
+  std::vector<Race> races_;
+  std::vector<std::deque<uint64_t>> nondet_;  // site * max_threads + tid
+  std::vector<uint64_t> nondet_consumed_;
+  uint64_t cursor_ = 0;
+  uint64_t race_cursor_ = 0;
+
+  uint64_t divergences_ = 0;
+  uint64_t io_errors_ = 0;
+  std::string first_report_;
+};
+
+}  // namespace rfdet

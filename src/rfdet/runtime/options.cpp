@@ -68,6 +68,26 @@ std::string ValidateOptions(const RfdetOptions& options) {
     return "off_turn_close needs isolation (there is no slice close to "
            "move off the turn under the kendo backend)";
   }
+  if (options.replay_mode != ReplayMode::kOff &&
+      options.replay_log_path.empty()) {
+    return "replay_mode needs a replay_log_path (kRecord writes it, "
+           "kReplay reads it)";
+  }
+  if (options.replay_mode == ReplayMode::kOff &&
+      !options.replay_log_path.empty()) {
+    return "replay_log_path without replay_mode names a log nobody writes "
+           "or reads; set replay_mode or clear replay_log_path";
+  }
+  if (options.checkpoint_interval_turns > 0 &&
+      options.checkpoint_path.empty()) {
+    return "checkpoint_interval_turns needs a checkpoint_path to write to";
+  }
+  if ((!options.checkpoint_path.empty() ||
+       !options.restore_checkpoint_path.empty()) &&
+      !options.isolation) {
+    return "checkpoint/restore needs isolation (the image is the main "
+           "view's region; the kendo backend has no view to capture)";
+  }
   if (options.kernels != "auto" && options.kernels != "scalar" &&
       options.kernels != "sse2" && options.kernels != "avx2" &&
       options.kernels != "neon") {

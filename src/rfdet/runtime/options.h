@@ -10,6 +10,7 @@
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/thread_view.h"
 #include "rfdet/race/race_detector.h"
+#include "rfdet/replay/replay_log.h"
 #include "rfdet/verify/fingerprint.h"
 
 namespace rfdet {
@@ -149,6 +150,33 @@ struct RfdetOptions {
   // Diagnostic tap: called (under the detecting thread's turn) with each
   // new deduplicated race before the policy is applied.
   std::function<void(const RaceReport&)> on_race;
+
+  // ---- record / replay / checkpoint (see replay/replay_log.h) ------------
+
+  // kRecord appends every turn grant, race report, and nondeterministic
+  // Try* outcome to replay_log_path; kReplay parses that file and drives
+  // turn arbitration from it, falling back to live Kendo arbitration on
+  // the first divergence. Requires replay_log_path.
+  ReplayMode replay_mode = ReplayMode::kOff;
+  std::string replay_log_path;
+
+  // Checkpoint/restore (requires isolation — the image is the main view's
+  // region plus deterministic runtime state). checkpoint_path is where
+  // CheckpointNow() (and the automatic interval below) writes the image;
+  // the write is tmp+rename, so the path always names the latest complete
+  // checkpoint. checkpoint_interval_turns > 0 additionally attempts a
+  // zero-perturbation checkpoint every that-many turn ends (skipped — and
+  // retried at the next turn — unless the runtime is quiescent: all
+  // spawned threads joined, main's slice clean).
+  std::string checkpoint_path;
+  uint64_t checkpoint_interval_turns = 0;  // 0 = explicit CheckpointNow only
+  // When set, the constructor restores the runtime from this checkpoint
+  // image (and, combined with replay_mode, resumes the log mid-stream:
+  // kRecord truncates the log to the checkpointed offset and appends,
+  // kReplay seeks its cursors past the consumed prefix). A failed restore
+  // is recoverable: reported through on_error (RfdetErrc::kIo), and the
+  // runtime starts fresh.
+  std::string restore_checkpoint_path;
 
   // ---- failure containment & diagnosis -----------------------------------
 

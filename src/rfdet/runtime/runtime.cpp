@@ -8,11 +8,45 @@
 #include <sstream>
 #include <system_error>
 
+#include "rfdet/common/wire.h"
 #include "rfdet/simd/kernels.h"
 
 namespace rfdet {
 
 namespace {
+
+// Checkpoint-image helpers: vector clocks as dims + components.
+void PutClock(std::string& out, const VectorClock& vc) {
+  wire::PutU64(out, vc.Dims());
+  for (size_t i = 0; i < vc.Dims(); ++i) wire::PutU64(out, vc.Get(i));
+}
+
+[[nodiscard]] bool GetClock(const std::string& in, size_t* pos,
+                            VectorClock* out) {
+  uint64_t dims;
+  if (!wire::GetU64(in, pos, &dims) || dims > in.size() / 8) return false;
+  VectorClock vc;
+  for (uint64_t i = 0; i < dims; ++i) {
+    uint64_t v;
+    if (!wire::GetU64(in, pos, &v)) return false;
+    if (v != 0) vc.Set(i, v);
+  }
+  *out = std::move(vc);
+  return true;
+}
+
+[[nodiscard]] bool PageIsZero(const std::byte* p) {
+  static constexpr std::byte kZeros[64] = {};
+  for (size_t off = 0; off < kPageSize; off += sizeof kZeros) {
+    if (std::memcmp(p + off, kZeros, sizeof kZeros) != 0) return false;
+  }
+  return true;
+}
+
+// Checkpoint image payload version (bumped on layout changes).
+constexpr uint64_t kCheckpointVersion = 1;
+// Page-section terminator (no page id can be SIZE_MAX).
+constexpr uint64_t kPageSentinel = ~0ull;
 
 struct TlsBinding {
   RfdetRuntime* runtime = nullptr;
@@ -139,11 +173,47 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
     rc.page_count = options_.region_bytes / kPageSize;
     rc.arena = &arena_;
     rc.injector = options_.fault_injector;
-    rc.on_race = options_.on_race;
+    // Race reports surface under the detecting thread's turn, so their
+    // order is deterministic — exactly what the replay log records
+    // (kRecord) and cross-checks (kReplay) before the user tap runs.
+    rc.on_race = [this](const RaceReport& r) {
+      if (replay_ != nullptr && replay_->Active()) {
+        if (replay_->mode() == ReplayMode::kRecord) {
+          replay_->RecordRace(r.kind, r.first_tid, r.second_tid, r.page);
+        } else if (replay_->mode() == ReplayMode::kReplay) {
+          replay_->VerifyRace(r.kind, r.first_tid, r.second_tid, r.page);
+        }
+      }
+      if (options_.on_race) options_.on_race(r);
+    };
     rc.on_error = [this](RfdetErrc errc, const std::string& what) {
       ReportError(errc, what);
     };
     race_detector_ = std::make_unique<RaceDetector>(rc);
+  }
+
+  // Restore precedes replay-log construction: a kRecord ReplayLog opened
+  // fresh would truncate the very log whose checkpointed offset the
+  // restore is about to resume from.
+  if (!options_.restore_checkpoint_path.empty()) {
+    if (RestoreFromCheckpoint(options_.restore_checkpoint_path)) {
+      restored_ = true;
+      stats_.restores.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (options_.replay_mode != ReplayMode::kOff) {
+    ReplayLog::Config lc;
+    lc.mode = options_.replay_mode;
+    lc.path = options_.replay_log_path;
+    lc.max_threads = options_.max_threads;
+    lc.injector = options_.fault_injector;
+    lc.on_divergence = options_.on_divergence;
+    lc.on_error = [this](RfdetErrc errc, const std::string& what) {
+      ReportError(errc, what);
+    };
+    if (restored_) lc.resume = restored_resume_;
+    replay_ = std::make_unique<ReplayLog>(lc);
   }
 
   if (options_.watchdog_stall_ms > 0) {
@@ -186,6 +256,28 @@ RfdetRuntime::~RfdetRuntime() {
                    races.c_str());
     }
   }
+  // Exit summary for record/replay and checkpointing: flush the log and
+  // surface the run's replay disposition (divergence report first — it is
+  // the deterministic failure artifact).
+  if (replay_ != nullptr) {
+    replay_->Finalize();
+    const std::string divergence = replay_->LastDivergenceReport();
+    if (!divergence.empty()) std::fputs(divergence.c_str(), stderr);
+    std::fprintf(stderr, "rfdet: %s\n", replay_->ProgressSummary().c_str());
+  }
+  if (const uint64_t written =
+          stats_.checkpoints_written.load(std::memory_order_relaxed);
+      written > 0 || restored_) {
+    std::fprintf(
+        stderr,
+        "rfdet: checkpoint: %llu written (%llu bytes, %llu skipped)%s\n",
+        static_cast<unsigned long long>(written),
+        static_cast<unsigned long long>(
+            stats_.checkpoint_bytes.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            stats_.checkpoint_skips.load(std::memory_order_relaxed)),
+        restored_ ? ", restored from checkpoint" : "");
+  }
   if (options_.isolation) ThreadView::DeactivateOnThisThread();
   g_tls = {nullptr, nullptr};
   if (trace_charged_ > 0) arena_.Release(trace_charged_);
@@ -221,8 +313,7 @@ GAddr RfdetRuntime::AllocStatic(size_t size, size_t align) {
 GAddr RfdetRuntime::TryAllocStatic(size_t size, size_t align) {
   RFDET_CHECK_MSG(Ctx().tid == 0,
                   "static allocation is a main-thread setup operation");
-  FaultInjector* fi = options_.fault_injector;
-  if (fi != nullptr && fi->ShouldFail(FaultSite::kStaticAlloc)) {
+  if (NondetFail(NondetSite::kStaticAlloc, 0, FaultSite::kStaticAlloc)) {
     stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
     ReportError(RfdetErrc::kNoMemory,
                 "static allocation failed (injected fault)");
@@ -242,8 +333,7 @@ GAddr RfdetRuntime::Malloc(size_t size) {
 
 GAddr RfdetRuntime::TryMalloc(size_t size) {
   ThreadCtx& me = Ctx();
-  FaultInjector* fi = options_.fault_injector;
-  if (fi != nullptr && fi->ShouldFail(FaultSite::kHeapAlloc)) {
+  if (NondetFail(NondetSite::kHeapAlloc, me.tid, FaultSite::kHeapAlloc)) {
     stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
     ReportError(RfdetErrc::kNoMemory, "allocation failed (injected fault)");
     return kNullGAddr;
@@ -788,6 +878,7 @@ void RfdetRuntime::PrelockPropagate(ThreadCtx& me, const SyncVar& m) {
   // The snapshots above were taken under the turn; the propagation itself
   // runs after we pause — concurrently with the lock holder.
   kendo_.Pause(me.tid);
+  ReplayTurnDone();
   for (const Source& src : sources) {
     PropagateFrom(me, src.tid, src.upper, /*prelock_phase=*/true);
   }
@@ -795,7 +886,7 @@ void RfdetRuntime::PrelockPropagate(ThreadCtx& me, const SyncVar& m) {
 
 RfdetErrc RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
                                  bool fresh) {
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kLock, id);
   if (!m.locked) {
     const bool merge = fresh && options_.slice_merging &&
                        options_.isolation && m.last_tid == me.tid;
@@ -814,7 +905,7 @@ RfdetErrc RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
       me.held_mutexes.push_back(id);
     }
     Record(TraceOp::kLockAcquired, me.tid, id);
-    kendo_.Tick(me.tid);
+    TurnEndTick(me);
     return RfdetErrc::kOk;
   }
   // About to block: prove it safe first. Detects both relock of an owned
@@ -826,7 +917,7 @@ RfdetErrc RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
           CheckBlockPermitted(me, BlockKind::kMutex, id, kNone,
                               /*can_back_out=*/fresh);
       err != RfdetErrc::kOk) {
-    kendo_.Tick(me.tid);
+    TurnEndTick(me);
     return err;
   }
   // Contended: enter the deterministic reservation order and sleep; the
@@ -838,7 +929,7 @@ RfdetErrc RfdetRuntime::LockCore(ThreadCtx& me, size_t id, SyncVar& m,
   if (options_.prelock && options_.isolation) {
     PrelockPropagate(me, m);  // pauses the Kendo clock internally
   } else {
-    kendo_.Pause(me.tid);
+    TurnEndPause(me);
   }
   Block(me, baseline);
   // We own the lock now (hand-off). Finish the residual propagation from
@@ -863,7 +954,7 @@ void RfdetRuntime::MutexUnlock(size_t id) {
   stats_.unlocks.fetch_add(1, std::memory_order_relaxed);
   SyncVar& m = Var(id, SyncVar::Kind::kMutex);
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kUnlock, id);
   RFDET_CHECK_MSG(m.locked && m.owner == me.tid, "unlock of unowned mutex");
   CloseSlice(me);
   ReleasePublish(me, m);
@@ -883,7 +974,7 @@ void RfdetRuntime::MutexUnlock(size_t id) {
     m.locked = false;
     m.owner = kNone;
   }
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
 }
 
 // ---------------------------------------------------------------------------
@@ -896,7 +987,7 @@ RfdetErrc RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
   SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
   SyncVar& m = Var(mutex_id, SyncVar::Kind::kMutex);
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kCondWait, cond_id);
   RFDET_CHECK_MSG(m.locked && m.owner == me.tid,
                   "cond wait without holding the mutex");
   // Waiting with nobody left to signal is a provable stall. Checked before
@@ -906,7 +997,7 @@ RfdetErrc RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
           CheckBlockPermitted(me, BlockKind::kCond, cond_id, mutex_id,
                               /*can_back_out=*/true);
       err != RfdetErrc::kOk) {
-    kendo_.Tick(me.tid);
+    TurnEndTick(me);
     return err;
   }
   CloseSlice(me);
@@ -932,7 +1023,7 @@ RfdetErrc RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
     m.owner = kNone;
   }
   SetBlocked(me, BlockKind::kCond, cond_id);
-  kendo_.Pause(me.tid);
+  TurnEndPause(me);
   Block(me, baseline);
   // Signalled: the signal is the paired release (paper §4.1).
   PropagateFrom(me, me.mail_src, me.mail_time, /*prelock_phase=*/false);
@@ -945,7 +1036,7 @@ void RfdetRuntime::CondSignal(size_t cond_id) {
   stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
   SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kCondSignal, cond_id);
   CloseSlice(me);
   ReleasePublish(me, c);
   Record(TraceOp::kSignal, me.tid, cond_id);
@@ -954,7 +1045,7 @@ void RfdetRuntime::CondSignal(size_t cond_id) {
     c.cond_waiters.erase(c.cond_waiters.begin());
     Wake(me, CtxOf(w), /*delta=*/1, me.tid, c.last_time);
   }
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
 }
 
 void RfdetRuntime::CondBroadcast(size_t cond_id) {
@@ -962,7 +1053,7 @@ void RfdetRuntime::CondBroadcast(size_t cond_id) {
   stats_.cond_signals.fetch_add(1, std::memory_order_relaxed);
   SyncVar& c = Var(cond_id, SyncVar::Kind::kCond);
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kCondBroadcast, cond_id);
   CloseSlice(me);
   ReleasePublish(me, c);
   Record(TraceOp::kBroadcast, me.tid, cond_id);
@@ -973,7 +1064,7 @@ void RfdetRuntime::CondBroadcast(size_t cond_id) {
     Wake(me, CtxOf(w), delta++, me.tid, c.last_time);
   }
   c.cond_waiters.clear();
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
 }
 
 // ---------------------------------------------------------------------------
@@ -1012,33 +1103,33 @@ void RfdetRuntime::RawStore64(ThreadCtx& me, GAddr addr, uint64_t value) {
 uint64_t RfdetRuntime::AtomicLoad(GAddr addr) {
   ThreadCtx& me = Ctx();
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kAtomicLoad, addr);
   SyncVar& sv = AtomicVar(addr);
   Record(TraceOp::kAtomic, me.tid, addr);
   CloseSlice(me);
   AcquireFrom(me, sv);  // an atomic load is an acquire
   const uint64_t v = RawLoad64(me, addr);
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
   return v;
 }
 
 void RfdetRuntime::AtomicStore(GAddr addr, uint64_t value) {
   ThreadCtx& me = Ctx();
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kAtomicStore, addr);
   SyncVar& sv = AtomicVar(addr);
   Record(TraceOp::kAtomic, me.tid, addr);
   CloseSlice(me);
   RawStore64(me, addr, value);
   CloseSlice(me);  // the store must be inside the released slice
   ReleasePublish(me, sv);
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
 }
 
 uint64_t RfdetRuntime::AtomicFetchAdd(GAddr addr, uint64_t delta) {
   ThreadCtx& me = Ctx();
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kAtomicRmw, addr);
   SyncVar& sv = AtomicVar(addr);
   Record(TraceOp::kAtomic, me.tid, addr);
   CloseSlice(me);
@@ -1047,7 +1138,7 @@ uint64_t RfdetRuntime::AtomicFetchAdd(GAddr addr, uint64_t delta) {
   RawStore64(me, addr, old + delta);
   CloseSlice(me);
   ReleasePublish(me, sv);  // … and release
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
   return old;
 }
 
@@ -1055,7 +1146,7 @@ bool RfdetRuntime::AtomicCas(GAddr addr, uint64_t& expected,
                              uint64_t desired) {
   ThreadCtx& me = Ctx();
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kAtomicCas, addr);
   SyncVar& sv = AtomicVar(addr);
   Record(TraceOp::kAtomic, me.tid, addr);
   CloseSlice(me);
@@ -1069,7 +1160,7 @@ bool RfdetRuntime::AtomicCas(GAddr addr, uint64_t& expected,
   } else {
     expected = old;
   }
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
   return success;
 }
 
@@ -1082,7 +1173,7 @@ RfdetErrc RfdetRuntime::BarrierWait(size_t id) {
   stats_.barriers.fetch_add(1, std::memory_order_relaxed);
   SyncVar& b = Var(id, SyncVar::Kind::kBarrier);
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kBarrier, id);
   // Unreachable through the public API in a correct runtime (an arrived
   // thread is paused until the cycle completes), but cheap to rule out.
   RFDET_CHECK_MSG(std::find(b.arrived.begin(), b.arrived.end(), me.tid) ==
@@ -1095,7 +1186,7 @@ RfdetErrc RfdetRuntime::BarrierWait(size_t id) {
             CheckBlockPermitted(me, BlockKind::kBarrier, id, kNone,
                                 /*can_back_out=*/true);
         err != RfdetErrc::kOk) {
-      kendo_.Tick(me.tid);
+      TurnEndTick(me);
       return err;
     }
   }
@@ -1105,7 +1196,7 @@ RfdetErrc RfdetRuntime::BarrierWait(size_t id) {
   if (b.arrived.size() < b.parties) {
     SetBlocked(me, BlockKind::kBarrier, id);
     const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
-    kendo_.Pause(me.tid);
+    TurnEndPause(me);
     Block(me, baseline);
     // The last arriver performed the merge and updated our view, log and
     // vector clock while we were blocked; nothing left to do.
@@ -1152,7 +1243,7 @@ RfdetErrc RfdetRuntime::BarrierWait(size_t id) {
     if (u == me.tid) continue;
     Wake(me, CtxOf(u), delta++, kNone, VectorClock{});
   }
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
   return RfdetErrc::kOk;
 }
 
@@ -1173,14 +1264,14 @@ RfdetErrc RfdetRuntime::TrySpawn(std::function<void()> fn, size_t* out_tid) {
   ThreadCtx& me = Ctx();
   stats_.forks.fetch_add(1, std::memory_order_relaxed);
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kSpawn, kNone);
   // Thread creation is a release whose paired acquire is the child's entry
   // point; the child inherits the parent's memory, so no propagation is
   // needed (paper §4.1 "Thread Create and Join").
   CloseSlice(me);
 
-  FaultInjector* fi = options_.fault_injector;
-  const bool injected = fi != nullptr && fi->ShouldFail(FaultSite::kSpawn);
+  const bool injected = NondetFail(NondetSite::kSpawn, me.tid,
+                                   FaultSite::kSpawn);
   size_t tid;
   ThreadCtx* child = nullptr;
   {
@@ -1198,7 +1289,7 @@ RfdetErrc RfdetRuntime::TrySpawn(std::function<void()> fn, size_t* out_tid) {
                          : "spawn failed: max_threads (" +
                                std::to_string(options_.max_threads) +
                                ") reached");
-    kendo_.Tick(me.tid);
+    TurnEndTick(me);
     return RfdetErrc::kAgain;
   }
   child->tid = tid;
@@ -1231,11 +1322,13 @@ RfdetErrc RfdetRuntime::TrySpawn(std::function<void()> fn, size_t* out_tid) {
     stats_.spawn_failures.fetch_add(1, std::memory_order_relaxed);
     ReportError(RfdetErrc::kAgain,
                 "spawn failed: host thread creation refused");
-    kendo_.Tick(me.tid);
+    // Not nondet-recorded: a host-thread refusal during replay simply
+    // diverges (grant mismatch) and the run falls back to live.
+    TurnEndTick(me);
     return RfdetErrc::kAgain;
   }
   Record(TraceOp::kFork, me.tid, tid);
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
   *out_tid = tid;
   return RfdetErrc::kOk;
 }
@@ -1249,7 +1342,7 @@ size_t RfdetRuntime::Spawn(std::function<void()> fn) {
 
 void RfdetRuntime::ThreadExit(ThreadCtx& me) {
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kThreadExit, kNone);
   CloseSlice(me);
   {
     std::scoped_lock lock(me.clock_mu);
@@ -1262,17 +1355,26 @@ void RfdetRuntime::ThreadExit(ThreadCtx& me) {
     Wake(me, CtxOf(joiner), /*delta=*/1, me.tid, me.final_clock);
     Record(TraceOp::kJoin, joiner, me.tid);
   }
-  kendo_.Exit(me.tid);
+  TurnEndExit(me);
 }
 
 RfdetErrc RfdetRuntime::Join(size_t tid) {
   ThreadCtx& me = Ctx();
   stats_.joins.fetch_add(1, std::memory_order_relaxed);
-  RFDET_CHECK_MSG(tid < threads_.size() && tid != me.tid, "bad join target");
-  ThreadCtx& target = CtxOf(tid);
+  // This validation runs before TurnBegin, so a sibling thread may be
+  // mid-Spawn and reallocating threads_ right now; take the spawn lock for
+  // the vector access. The ThreadCtx itself is heap-stable once created.
+  ThreadCtx* target_ptr = nullptr;
+  {
+    std::scoped_lock lock(threads_mu_);
+    RFDET_CHECK_MSG(tid < threads_.size() && tid != me.tid,
+                    "bad join target");
+    target_ptr = threads_[tid].get();
+  }
+  ThreadCtx& target = *target_ptr;
   RFDET_CHECK_MSG(!target.joined, "double join");
   PrepareSlice(me);
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kJoin, tid);
   if (!target.finished.load(std::memory_order_acquire)) {
     // We would block on the target: a join cycle (or joining while every
     // other thread is blocked) is a provable deadlock.
@@ -1280,7 +1382,7 @@ RfdetErrc RfdetRuntime::Join(size_t tid) {
             CheckBlockPermitted(me, BlockKind::kJoin, tid, kNone,
                                 /*can_back_out=*/true);
         err != RfdetErrc::kOk) {
-      kendo_.Tick(me.tid);
+      TurnEndTick(me);
       return err;
     }
   }
@@ -1297,13 +1399,13 @@ RfdetErrc RfdetRuntime::Join(size_t tid) {
       me.turn_time = me.vclock;
     }
     Record(TraceOp::kJoin, me.tid, tid);
-    kendo_.Tick(me.tid);
+    TurnEndTick(me);
   } else {
     RFDET_CHECK_MSG(target.joiner == kNone, "concurrent join");
     target.joiner = me.tid;
     SetBlocked(me, BlockKind::kJoin, tid);
     const uint32_t baseline = me.wake_seq.load(std::memory_order_acquire);
-    kendo_.Pause(me.tid);
+    TurnEndPause(me);
     Block(me, baseline);
     PropagateFrom(me, me.mail_src, me.mail_time, /*prelock_phase=*/false);
   }
@@ -1320,34 +1422,34 @@ size_t RfdetRuntime::CurrentTid() const { return Ctx().tid; }
 
 size_t RfdetRuntime::CreateMutex() {
   ThreadCtx& me = Ctx();
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kCreateMutex, kNone);
   size_t id;
   {
     std::scoped_lock lock(sync_vars_mu_);
     id = sync_vars_.size();
     sync_vars_.emplace_back(SyncVar::Kind::kMutex);
   }
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
   return id;
 }
 
 size_t RfdetRuntime::CreateCond() {
   ThreadCtx& me = Ctx();
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kCreateCond, kNone);
   size_t id;
   {
     std::scoped_lock lock(sync_vars_mu_);
     id = sync_vars_.size();
     sync_vars_.emplace_back(SyncVar::Kind::kCond);
   }
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
   return id;
 }
 
 size_t RfdetRuntime::CreateBarrier(size_t parties) {
   RFDET_CHECK(parties > 0);
   ThreadCtx& me = Ctx();
-  kendo_.WaitForTurn(me.tid);
+  TurnBegin(me, ReplayOp::kCreateBarrier, kNone);
   size_t id;
   {
     std::scoped_lock lock(sync_vars_mu_);
@@ -1355,7 +1457,7 @@ size_t RfdetRuntime::CreateBarrier(size_t parties) {
     sync_vars_.emplace_back(SyncVar::Kind::kBarrier);
     sync_vars_.back().parties = parties;
   }
-  kendo_.Tick(me.tid);
+  TurnEndTick(me);
   return id;
 }
 
@@ -1420,6 +1522,554 @@ size_t RfdetRuntime::RunGc() {
 size_t RfdetRuntime::ForceGc() {
   std::scoped_lock lock(gc_mu_);
   return RunGc();
+}
+
+// ---------------------------------------------------------------------------
+// Record / replay turn brackets
+// ---------------------------------------------------------------------------
+
+void RfdetRuntime::TurnBegin(ThreadCtx& me, ReplayOp op, uint64_t object) {
+  if (replay_ != nullptr && replay_->mode() == ReplayMode::kReplay &&
+      replay_->Active()) {
+    // Block on the recorded grant order first. Kendo then agrees
+    // immediately: in replay every thread gates its WaitForTurn behind
+    // AwaitGrant, so the engine only ever sees the log's order. A
+    // mismatch retires the log (false return) and every thread — this
+    // one included — falls through to live arbitration.
+    (void)replay_->AwaitGrant(me.tid, op, object, kendo_.Clock(me.tid));
+  }
+  kendo_.WaitForTurn(me.tid);
+  if (replay_ != nullptr && replay_->mode() == ReplayMode::kRecord &&
+      replay_->Active()) {
+    // Appended under the turn just taken: file order is the deterministic
+    // synchronization order itself.
+    replay_->RecordGrant(me.tid, op, object, kendo_.Clock(me.tid));
+  }
+}
+
+void RfdetRuntime::ReplayTurnDone() {
+  if (replay_ != nullptr && replay_->mode() == ReplayMode::kReplay &&
+      replay_->Active()) {
+    replay_->CompleteGrant();
+  }
+}
+
+void RfdetRuntime::TurnEndTick(ThreadCtx& me) {
+  MaybeAutoCheckpoint(me);  // still under the turn
+  kendo_.Tick(me.tid);
+  ReplayTurnDone();
+}
+
+void RfdetRuntime::TurnEndPause(ThreadCtx& me) {
+  kendo_.Pause(me.tid);
+  ReplayTurnDone();
+}
+
+void RfdetRuntime::TurnEndExit(ThreadCtx& me) {
+  kendo_.Exit(me.tid);
+  ReplayTurnDone();
+}
+
+bool RfdetRuntime::NondetFail(NondetSite site, size_t tid,
+                              FaultSite fault_site) {
+  if (replay_ != nullptr && replay_->Active() &&
+      replay_->mode() == ReplayMode::kReplay) {
+    uint64_t v;
+    if (replay_->NextNondet(site, tid, &v)) return v != 0;
+    // Subsequence exhausted: NextNondet already declared the divergence;
+    // fall through to the live injector like every other retired path.
+  }
+  FaultInjector* fi = options_.fault_injector;
+  const bool fail = fi != nullptr && fi->ShouldFail(fault_site);
+  if (replay_ != nullptr && replay_->Active() &&
+      replay_->mode() == ReplayMode::kRecord) {
+    replay_->RecordNondet(site, tid, fail ? 1 : 0);
+  }
+  return fail;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+
+bool RfdetRuntime::CheckpointQuiescent() const {
+  std::scoped_lock lock(threads_mu_);
+  for (const auto& ctx : threads_) {
+    if (ctx->tid != 0 && !ctx->joined) return false;
+  }
+  return true;
+}
+
+void RfdetRuntime::MaybeAutoCheckpoint(ThreadCtx& me) {
+  if (options_.checkpoint_interval_turns == 0) return;
+  ++turns_since_checkpoint_;  // mutated under the turn only
+  if (me.tid != 0 ||
+      turns_since_checkpoint_ < options_.checkpoint_interval_turns) {
+    return;
+  }
+  // Zero-perturbation gate: the image must be capturable *without*
+  // closing a slice — an extra vector-clock tick here would make a
+  // checkpointing run fingerprint-diverge from a non-checkpointing one.
+  // That needs main's view clean (its last CloseSlice captured every
+  // write, and no prepared slice is parked) and the runtime quiescent
+  // (all spawned threads joined, so main's view contains their writes).
+  if (me.view == nullptr || me.view->SliceDirty() || me.prepared.valid ||
+      !CheckpointQuiescent()) {
+    stats_.checkpoint_skips.fetch_add(1, std::memory_order_relaxed);
+    return;  // counter stays armed: retry at main's next turn end
+  }
+  ForceGc();  // prune-only; GC timing never affects deterministic state
+  if (LiveSliceCount() != 0 ||
+      (race_detector_ != nullptr && !race_detector_->WindowEmpty())) {
+    stats_.checkpoint_skips.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (WriteCheckpoint(me)) turns_since_checkpoint_ = 0;
+}
+
+RfdetErrc RfdetRuntime::CheckpointNow() {
+  ThreadCtx& me = Ctx();
+  if (options_.checkpoint_path.empty() || !options_.isolation) {
+    ReportError(RfdetErrc::kInvalid,
+                "CheckpointNow without options.checkpoint_path");
+    return RfdetErrc::kInvalid;
+  }
+  if (me.tid != 0) {
+    ReportError(RfdetErrc::kInvalid,
+                "CheckpointNow is a main-thread operation");
+    return RfdetErrc::kInvalid;
+  }
+  // An explicit checkpoint is a deterministic schedule transition in every
+  // mode (it closes a slice and ticks the clock), so record and replay
+  // runs stay in lockstep across it — the grant below is what lets a
+  // replayed run reproduce a recorded run's checkpoint boundary.
+  PrepareSlice(me);
+  TurnBegin(me, ReplayOp::kCheckpoint, kNone);
+  RfdetErrc result;
+  if (!CheckpointQuiescent()) {
+    stats_.checkpoint_skips.fetch_add(1, std::memory_order_relaxed);
+    ReportError(RfdetErrc::kAgain,
+                "checkpoint skipped: spawned threads not yet joined");
+    result = RfdetErrc::kAgain;
+  } else {
+    CloseSlice(me);
+    ForceGc();
+    if (LiveSliceCount() != 0 ||
+        (race_detector_ != nullptr && !race_detector_->WindowEmpty())) {
+      // Unreachable when quiescent (every worker slice is merged and
+      // retired by the GC above) — but never capture a partial image.
+      stats_.checkpoint_skips.fetch_add(1, std::memory_order_relaxed);
+      ReportError(RfdetErrc::kAgain,
+                  "checkpoint skipped: live slices remain");
+      result = RfdetErrc::kAgain;
+    } else {
+      result = WriteCheckpoint(me) ? RfdetErrc::kOk : RfdetErrc::kIo;
+    }
+    turns_since_checkpoint_ = 0;
+  }
+  TurnEndTick(me);
+  return result;
+}
+
+void RfdetRuntime::SerializeCheckpoint(ThreadCtx& me, std::string& out) {
+  wire::PutU64(out, kCheckpointVersion);
+  wire::PutU64(out, options_.region_bytes);
+  wire::PutU64(out, options_.static_bytes);
+  wire::PutU64(out, options_.max_threads);
+  wire::PutU64(out, checkpoint_seq_);
+
+  // Replay-log cursors, tying the image to its log tail.
+  const bool replay_live = replay_ != nullptr && replay_->Active();
+  wire::PutU64(out, replay_live ? 1 : 0);
+  wire::PutU64(out, replay_live ? replay_->FileOffset() : 0);
+  wire::PutU64(out, replay_live ? replay_->Grants() : 0);
+  wire::PutU64(out, replay_live ? replay_->RaceCursor() : 0);
+  const std::vector<uint64_t> nondet =
+      replay_live ? replay_->NondetCounts() : std::vector<uint64_t>{};
+  wire::PutU64(out, nondet.size());
+  for (const uint64_t c : nondet) wire::PutU64(out, c);
+
+  // Finished threads (quiescence: everyone but main is joined). Their
+  // whole deterministic residue is the Kendo saved clock (Exit == Pause)
+  // and the final vector clock a future Join would propagate from.
+  {
+    std::scoped_lock lock(threads_mu_);
+    wire::PutU64(out, threads_.size());
+    for (const auto& ctx : threads_) {
+      if (ctx->tid == 0) continue;
+      RFDET_DCHECK(ctx->joined);
+      wire::PutU64(out, kendo_.SavedClock(ctx->tid));
+      std::scoped_lock cl(ctx->clock_mu);
+      PutClock(out, ctx->final_clock);
+    }
+  }
+
+  // Main thread. Serialization runs inside the checkpointing turn, before
+  // its terminal kendo_.Tick — but a restored run resumes *after* that
+  // turn, so the image stores the post-tick clock.
+  wire::PutU64(out, kendo_.Clock(me.tid) + 1);
+  {
+    std::scoped_lock lock(me.clock_mu);
+    PutClock(out, me.vclock);
+    PutClock(out, me.turn_time);
+    wire::PutU64(out, me.slice_seq);
+    wire::PutU64(out, me.held_mutexes.size());
+    for (const size_t id : me.held_mutexes) wire::PutU64(out, id);
+  }
+  wire::PutU64(out, me.loads.load(std::memory_order_relaxed));
+  wire::PutU64(out, me.stores.load(std::memory_order_relaxed));
+  wire::PutU64(out, me.fp_applies);
+  wire::PutU64(out, me.fp_sync_ops);
+
+  // Sync objects. Queues are provably empty at quiescence (a queued
+  // thread cannot exit, and everyone but main has): only the scalar state
+  // and the DLRC release metadata survive.
+  {
+    std::scoped_lock lock(sync_vars_mu_);
+    wire::PutU64(out, sync_vars_.size());
+    for (const SyncVar& v : sync_vars_) {
+      RFDET_DCHECK(v.waiters.empty() && v.cond_waiters.empty() &&
+                   v.arrived.empty());
+      wire::PutU64(out, static_cast<uint64_t>(v.kind));
+      wire::PutU64(out, v.locked ? 1 : 0);
+      wire::PutU64(out, v.owner);
+      wire::PutU64(out, v.parties);
+      wire::PutU64(out, v.last_tid);
+      PutClock(out, v.last_time);
+    }
+    // Atomic-location mapping, sorted so the image is a pure function of
+    // state (the map itself is unordered).
+    std::vector<std::pair<GAddr, size_t>> atomics(atomic_vars_.begin(),
+                                                  atomic_vars_.end());
+    std::sort(atomics.begin(), atomics.end());
+    wire::PutU64(out, atomics.size());
+    for (const auto& [addr, id] : atomics) {
+      wire::PutU64(out, addr);
+      wire::PutU64(out, id);
+    }
+  }
+
+  // Subsystem states, length-framed so a truncated image fails restore
+  // validation before any state is touched.
+  std::string sub;
+  allocator_.SerializeState(sub);
+  wire::PutString(out, sub);
+
+  wire::PutU64(out, race_detector_ != nullptr ? 1 : 0);
+  sub.clear();
+  if (race_detector_ != nullptr) race_detector_->SerializeState(sub);
+  wire::PutString(out, sub);
+
+  wire::PutU64(out, fingerprint_ != nullptr ? 1 : 0);
+  sub.clear();
+  if (fingerprint_ != nullptr) fingerprint_->ExportStreams(sub);
+  wire::PutString(out, sub);
+}
+
+bool RfdetRuntime::WriteCheckpoint(ThreadCtx& me) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // The image claims a durable log offset: flush the recording first so
+  // "restore + log tail" never references bytes a crash could lose.
+  if (replay_ != nullptr && replay_->Active() &&
+      replay_->mode() == ReplayMode::kRecord) {
+    replay_->MarkCheckpoint(checkpoint_seq_);
+    if (!replay_->Flush()) {
+      stats_.checkpoint_io_errors.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  CheckpointWriter::Config wc;
+  wc.path = options_.checkpoint_path;
+  wc.injector = options_.fault_injector;
+  wc.on_error = [this](RfdetErrc errc, const std::string& what) {
+    ReportError(errc, what);
+  };
+  CheckpointWriter writer(wc);
+  // Remote slices applied lazily may still be parked as pending runs;
+  // materialize them so the page scan sees every propagated write. Pure
+  // view-internal state — a non-checkpointing run would do the same work
+  // at the next local touch — so this stays zero-perturbation.
+  me.view->FlushPending();
+  std::string blob;
+  SerializeCheckpoint(me, blob);
+  bool ok = writer.Begin() && writer.Append(blob.data(), blob.size());
+  if (ok) {
+    // Region pages: non-zero resident pages only (restore starts from a
+    // zeroed region). The pf view is memfd-backed, so page payloads can
+    // be spliced kernel-side straight from the flat file.
+    const int memfd = me.view->MemfdFd();
+    std::string hdr;
+    me.view->ForEachResidentPage([&](PageId pid, const std::byte* bytes) {
+      if (!ok || PageIsZero(bytes)) return;
+      hdr.clear();
+      wire::PutU64(hdr, pid);
+      ok = writer.Append(hdr.data(), hdr.size());
+      if (!ok) return;
+      ok = memfd >= 0
+               ? writer.AppendFromFd(memfd, PageBase(pid), kPageSize)
+               : writer.Append(bytes, kPageSize);
+    });
+  }
+  if (ok) {
+    std::string tail;
+    wire::PutU64(tail, kPageSentinel);
+    ok = writer.Append(tail.data(), tail.size()) && writer.Commit();
+  }
+  stats_.checkpoint_ns.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
+  if (!ok) {
+    stats_.checkpoint_io_errors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ++checkpoint_seq_;
+  stats_.checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+  stats_.checkpoint_bytes.fetch_add(writer.BytesWritten(),
+                                    std::memory_order_relaxed);
+  return true;
+}
+
+bool RfdetRuntime::RestoreFromCheckpoint(const std::string& path) {
+  const auto fail = [&](const std::string& why) {
+    ReportError(RfdetErrc::kIo,
+                "checkpoint restore failed (" + path + "): " + why +
+                    "; starting fresh");
+    return false;
+  };
+  std::string blob;
+  if (!LoadCheckpointFile(
+          path, options_.fault_injector,
+          [this](RfdetErrc errc, const std::string& what) {
+            ReportError(errc, what + "; starting fresh");
+          },
+          &blob)) {
+    return false;  // already reported
+  }
+
+  // ---- phase 1: parse and validate everything into staging ---------------
+  // Nothing below this comment mutates runtime state until the whole image
+  // (including the page section) has been bounds-checked, so a truncated
+  // or mismatched file leaves the fresh-constructed runtime untouched.
+  size_t pos = 0;
+  uint64_t version, region, statics, maxthreads, seq;
+  if (!wire::GetU64(blob, &pos, &version) ||
+      !wire::GetU64(blob, &pos, &region) ||
+      !wire::GetU64(blob, &pos, &statics) ||
+      !wire::GetU64(blob, &pos, &maxthreads) ||
+      !wire::GetU64(blob, &pos, &seq)) {
+    return fail("truncated header");
+  }
+  if (version != kCheckpointVersion) {
+    return fail("image version " + std::to_string(version) +
+                " (expected " + std::to_string(kCheckpointVersion) + ")");
+  }
+  if (region != options_.region_bytes || statics != options_.static_bytes ||
+      maxthreads != options_.max_threads) {
+    return fail("geometry mismatch (image region/static/threads " +
+                std::to_string(region) + "/" + std::to_string(statics) +
+                "/" + std::to_string(maxthreads) + ")");
+  }
+
+  ReplayResume resume;
+  uint64_t replay_active, nondet_n;
+  if (!wire::GetU64(blob, &pos, &replay_active) ||
+      !wire::GetU64(blob, &pos, &resume.file_offset) ||
+      !wire::GetU64(blob, &pos, &resume.grant_cursor) ||
+      !wire::GetU64(blob, &pos, &resume.race_cursor) ||
+      !wire::GetU64(blob, &pos, &nondet_n) || nondet_n > blob.size() / 8) {
+    return fail("truncated replay cursors");
+  }
+  resume.active = replay_active != 0;
+  resume.nondet_consumed.resize(nondet_n);
+  for (uint64_t i = 0; i < nondet_n; ++i) {
+    if (!wire::GetU64(blob, &pos, &resume.nondet_consumed[i])) {
+      return fail("truncated replay cursors");
+    }
+  }
+
+  uint64_t nthreads;
+  if (!wire::GetU64(blob, &pos, &nthreads) || nthreads == 0 ||
+      nthreads > options_.max_threads) {
+    return fail("bad thread count");
+  }
+  struct DeadThread {
+    uint64_t saved_clock = 0;
+    VectorClock final_clock;
+  };
+  std::vector<DeadThread> dead(nthreads - 1);
+  for (DeadThread& t : dead) {
+    if (!wire::GetU64(blob, &pos, &t.saved_clock) ||
+        !GetClock(blob, &pos, &t.final_clock)) {
+      return fail("truncated thread table");
+    }
+  }
+
+  uint64_t main_clock, slice_seq, nheld;
+  VectorClock main_vclock, main_turn_time;
+  if (!wire::GetU64(blob, &pos, &main_clock) ||
+      !GetClock(blob, &pos, &main_vclock) ||
+      !GetClock(blob, &pos, &main_turn_time) ||
+      !wire::GetU64(blob, &pos, &slice_seq) ||
+      !wire::GetU64(blob, &pos, &nheld) || nheld > blob.size() / 8) {
+    return fail("truncated main-thread state");
+  }
+  std::vector<size_t> held(nheld);
+  for (uint64_t i = 0; i < nheld; ++i) {
+    uint64_t id;
+    if (!wire::GetU64(blob, &pos, &id)) {
+      return fail("truncated main-thread state");
+    }
+    held[i] = id;
+  }
+  uint64_t main_loads, main_stores, main_fp_applies, main_fp_sync_ops;
+  if (!wire::GetU64(blob, &pos, &main_loads) ||
+      !wire::GetU64(blob, &pos, &main_stores) ||
+      !wire::GetU64(blob, &pos, &main_fp_applies) ||
+      !wire::GetU64(blob, &pos, &main_fp_sync_ops)) {
+    return fail("truncated main-thread state");
+  }
+
+  uint64_t nsync;
+  if (!wire::GetU64(blob, &pos, &nsync) || nsync > blob.size() / 8) {
+    return fail("truncated sync-object table");
+  }
+  struct SyncStage {
+    uint64_t kind, locked, owner, parties, last_tid;
+    VectorClock last_time;
+  };
+  std::vector<SyncStage> syncs(nsync);
+  for (SyncStage& s : syncs) {
+    if (!wire::GetU64(blob, &pos, &s.kind) || s.kind > 2 ||
+        !wire::GetU64(blob, &pos, &s.locked) ||
+        !wire::GetU64(blob, &pos, &s.owner) ||
+        !wire::GetU64(blob, &pos, &s.parties) ||
+        !wire::GetU64(blob, &pos, &s.last_tid) ||
+        !GetClock(blob, &pos, &s.last_time)) {
+      return fail("truncated sync-object table");
+    }
+  }
+  uint64_t natomics;
+  if (!wire::GetU64(blob, &pos, &natomics) || natomics > nsync) {
+    return fail("truncated atomic-location table");
+  }
+  std::vector<std::pair<GAddr, size_t>> atomics(natomics);
+  for (auto& [addr, id] : atomics) {
+    uint64_t a, i;
+    if (!wire::GetU64(blob, &pos, &a) || !wire::GetU64(blob, &pos, &i) ||
+        i >= nsync) {
+      return fail("truncated atomic-location table");
+    }
+    addr = a;
+    id = i;
+  }
+
+  std::string alloc_blob, race_blob, fp_blob;
+  uint64_t has_race, has_fp;
+  if (!wire::GetString(blob, &pos, &alloc_blob) ||
+      !wire::GetU64(blob, &pos, &has_race) ||
+      !wire::GetString(blob, &pos, &race_blob) ||
+      !wire::GetU64(blob, &pos, &has_fp) ||
+      !wire::GetString(blob, &pos, &fp_blob)) {
+    return fail("truncated subsystem state");
+  }
+  if (has_race != 0 && race_detector_ == nullptr) {
+    return fail("image carries race-detector state but race_policy is off");
+  }
+  if (has_fp != 0 && fingerprint_ == nullptr) {
+    return fail("image carries fingerprint state but fingerprinting is off");
+  }
+
+  // Page section: pre-scan offsets so application below cannot fail.
+  const size_t page_count = options_.region_bytes / kPageSize;
+  std::vector<std::pair<PageId, size_t>> pages;  // pid → payload offset
+  for (;;) {
+    uint64_t pid;
+    if (!wire::GetU64(blob, &pos, &pid)) return fail("truncated page table");
+    if (pid == kPageSentinel) break;
+    if (pid >= page_count || blob.size() - pos < kPageSize) {
+      return fail("truncated page table");
+    }
+    pages.emplace_back(static_cast<PageId>(pid), pos);
+    pos += kPageSize;
+  }
+
+  // ---- phase 2: commit ----------------------------------------------------
+  // Subsystem restores go first: their parsers build into locals and
+  // commit atomically, so an internal failure (a corrupt full-length
+  // image — truncation was caught above) still leaves the thread table,
+  // the Kendo engine, and the region untouched for the fresh run.
+  size_t sub_pos = 0;
+  if (!allocator_.RestoreState(alloc_blob, &sub_pos)) {
+    return fail("allocator state rejected");
+  }
+  if (has_race != 0) {
+    sub_pos = 0;
+    if (!race_detector_->RestoreState(race_blob, &sub_pos)) {
+      return fail("race-detector state rejected");
+    }
+  }
+  if (has_fp != 0) {
+    sub_pos = 0;
+    if (!fingerprint_->ImportStreams(fp_blob, &sub_pos)) {
+      return fail("fingerprint state rejected");
+    }
+  }
+
+  ThreadCtx& main = *threads_[0];
+  for (size_t i = 1; i < nthreads; ++i) {
+    auto ctx = std::make_unique<ThreadCtx>();
+    ctx->tid = i;
+    ctx->finished.store(true, std::memory_order_release);
+    ctx->joined = true;
+    ctx->final_clock = dead[i - 1].final_clock;
+    ctx->vclock = dead[i - 1].final_clock;
+    ctx->turn_time = dead[i - 1].final_clock;
+    {
+      std::scoped_lock lock(threads_mu_);
+      threads_.push_back(std::move(ctx));
+    }
+    const size_t tid = kendo_.RegisterThread(0);
+    RFDET_CHECK(tid == i);
+    kendo_.RestoreSlot(i, KendoEngine::kPaused, dead[i - 1].saved_clock);
+  }
+  kendo_.RestoreSlot(0, main_clock, 0);
+  {
+    std::scoped_lock lock(main.clock_mu);
+    main.vclock = main_vclock;
+    main.turn_time = main_turn_time;
+    main.held_mutexes = std::move(held);
+  }
+  main.slice_seq = slice_seq;
+  main.loads.store(main_loads, std::memory_order_relaxed);
+  main.stores.store(main_stores, std::memory_order_relaxed);
+  main.fp_applies = main_fp_applies;
+  main.fp_sync_ops = main_fp_sync_ops;
+
+  {
+    std::scoped_lock lock(sync_vars_mu_);
+    for (const SyncStage& s : syncs) {
+      sync_vars_.emplace_back(static_cast<SyncVar::Kind>(s.kind));
+      SyncVar& v = sync_vars_.back();
+      v.locked = s.locked != 0;
+      v.owner = s.owner;
+      v.parties = s.parties;
+      v.last_tid = s.last_tid;
+      v.last_time = s.last_time;
+    }
+    for (const auto& [addr, id] : atomics) atomic_vars_.emplace(addr, id);
+  }
+
+  for (const auto& [pid, offset] : pages) {
+    main.view->RestorePage(
+        pid, reinterpret_cast<const std::byte*>(blob.data() + offset));
+  }
+
+  checkpoint_seq_ = seq + 1;
+  restored_resume_ = std::move(resume);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -1618,6 +2268,25 @@ std::string RfdetRuntime::DumpStateReport() const {
      << " ns closing under the turn)\n";
   if (fingerprint_ != nullptr) os << fingerprint_->ProgressSummary();
   if (race_detector_ != nullptr) os << race_detector_->Summary();
+  if (replay_ != nullptr) os << replay_->ProgressSummary() << "\n";
+  if (!options_.checkpoint_path.empty() ||
+      !options_.restore_checkpoint_path.empty()) {
+    os << "checkpoint: seq " << checkpoint_seq_ << ", "
+       << stats_.checkpoints_written.load(std::memory_order_relaxed)
+       << " written ("
+       << stats_.checkpoint_bytes.load(std::memory_order_relaxed)
+       << " bytes, "
+       << stats_.checkpoint_skips.load(std::memory_order_relaxed)
+       << " skipped, "
+       << stats_.checkpoint_io_errors.load(std::memory_order_relaxed)
+       << " io-errors)";
+    if (options_.checkpoint_interval_turns > 0) {
+      os << ", interval " << options_.checkpoint_interval_turns
+         << " turns (" << turns_since_checkpoint_ << " since last)";
+    }
+    if (restored_) os << ", restored from checkpoint";
+    os << "\n";
+  }
   if (options_.record_trace) {
     const std::vector<TraceEvent> events = Trace();
     const uint64_t dropped =
@@ -1748,6 +2417,17 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
     s.race_prefilter_hits = race_detector_->PrefilterHits();
     s.race_window_evictions = race_detector_->WindowEvictions();
   }
+  if (replay_ != nullptr) {
+    s.replay_grants = replay_->Grants();
+    s.replay_divergences = replay_->Divergences();
+    s.replay_io_errors = replay_->IoErrors();
+  }
+  s.checkpoints_written = stats_.checkpoints_written.load();
+  s.checkpoint_skips = stats_.checkpoint_skips.load();
+  s.checkpoint_bytes = stats_.checkpoint_bytes.load();
+  s.checkpoint_ns = stats_.checkpoint_ns.load();
+  s.checkpoint_io_errors = stats_.checkpoint_io_errors.load();
+  s.restores = stats_.restores.load();
   std::scoped_lock lock(threads_mu_);
   for (const auto& ctx : threads_) {
     s.loads += ctx->loads.load(std::memory_order_relaxed);

@@ -53,6 +53,8 @@
 #include "rfdet/mem/metadata_arena.h"
 #include "rfdet/mem/thread_view.h"
 #include "rfdet/race/race_detector.h"
+#include "rfdet/replay/checkpoint.h"
+#include "rfdet/replay/replay_log.h"
 #include "rfdet/runtime/options.h"
 #include "rfdet/runtime/stats.h"
 #include "rfdet/runtime/watchdog.h"
@@ -194,6 +196,29 @@ class RfdetRuntime {
   [[nodiscard]] std::string RaceReportText() const {
     return race_detector_ != nullptr ? race_detector_->ReportText()
                                      : std::string();
+  }
+
+  // ---- record / replay / checkpoint ----------------------------------------
+
+  // Writes a checkpoint image to options.checkpoint_path at a deterministic
+  // turn boundary: takes the turn as a kCheckpoint grant, closes the
+  // caller's slice, force-GCs the slice logs, and captures the region plus
+  // all deterministic runtime state. Main thread only, and only while
+  // quiescent (every spawned thread joined) — otherwise kAgain, with the
+  // runtime unperturbed beyond the turn transition itself. kIo on a write
+  // failure (the previous checkpoint file is left intact), kInvalid when
+  // checkpointing is unconfigured.
+  RfdetErrc CheckpointNow();
+  // True when this runtime was restored from options.restore_checkpoint_path.
+  [[nodiscard]] bool Restored() const noexcept { return restored_; }
+  // The record/replay log (null when replay_mode is kOff).
+  [[nodiscard]] const ReplayLog* replay_log() const noexcept {
+    return replay_.get();
+  }
+  // First replay divergence report ("" if none / replay off).
+  [[nodiscard]] std::string LastReplayDivergence() const {
+    return replay_ != nullptr ? replay_->LastDivergenceReport()
+                              : std::string();
   }
 
   // ---- introspection -----------------------------------------------------
@@ -416,6 +441,47 @@ class RfdetRuntime {
   void WorkerMain(ThreadCtx& ctx, std::function<void()> fn);
   void ThreadExit(ThreadCtx& me);
 
+  // ---- record / replay / checkpoint ----------------------------------------
+  //
+  // Every synchronization site brackets its turn with these wrappers
+  // instead of calling the Kendo engine directly. TurnBegin waits for the
+  // turn — in kReplay by blocking on the log's next grant for this thread
+  // first (the recorded order), then in Kendo (which agrees unless the
+  // execution diverged); in kRecord it appends the grant under the turn.
+  // The TurnEnd* variants release the replayed grant cursor around the
+  // matching Kendo transition; TurnEndTick additionally drives the
+  // automatic checkpoint interval.
+  void TurnBegin(ThreadCtx& me, ReplayOp op, uint64_t object);
+  void TurnEndTick(ThreadCtx& me);
+  void TurnEndPause(ThreadCtx& me);
+  void TurnEndExit(ThreadCtx& me);
+  // Advances the replay grant cursor (no-op unless actively replaying).
+  void ReplayTurnDone();
+  // The injected-fault decision for a Try* site: consults the replay log
+  // in kReplay (the recorded outcome wins over the live injector), records
+  // the live outcome in kRecord.
+  [[nodiscard]] bool NondetFail(NondetSite site, size_t tid,
+                                FaultSite fault_site);
+
+  // True when a checkpoint can capture complete state: every spawned
+  // thread has been joined (their slices are merged into main's view).
+  [[nodiscard]] bool CheckpointQuiescent() const;
+  // Zero-perturbation interval checkpoint, called under main's turn from
+  // TurnEndTick; skips (stats.checkpoint_skips) unless quiescent and
+  // main's view has no un-closed writes.
+  void MaybeAutoCheckpoint(ThreadCtx& me);
+  // Serializes the deterministic runtime state (everything but region
+  // pages) into `out`. Caller holds the turn, runtime quiescent, slice
+  // logs empty (post ForceGc).
+  void SerializeCheckpoint(ThreadCtx& me, std::string& out);
+  // Builds and commits the image (meta blob + non-zero region pages).
+  // False on I/O failure; the previous checkpoint file stays intact.
+  bool WriteCheckpoint(ThreadCtx& me);
+  // Constructor-time restore from options.restore_checkpoint_path. On any
+  // failure (missing/truncated/mismatched image) reports RfdetErrc::kIo
+  // and returns false with the fresh-constructed state untouched.
+  bool RestoreFromCheckpoint(const std::string& path);
+
   RfdetOptions options_;
   MetadataArena arena_;
   KendoEngine kendo_;
@@ -451,6 +517,19 @@ class RfdetRuntime {
   std::atomic<uint32_t> error_note_mask_{0};  // rate-limit stderr notes
   std::unique_ptr<ExecutionFingerprint> fingerprint_;  // null when off
   std::unique_ptr<RaceDetector> race_detector_;        // null when off
+
+  // Record/replay + checkpoint/restore. replay_ is constructed *after* a
+  // checkpoint restore (kRecord must reopen the existing log, not
+  // truncate it). checkpoint_seq_ / turns_since_checkpoint_ are mutated
+  // only under a turn (turn-holding is mutually exclusive and Kendo's
+  // seq_cst clock stores order the accesses).
+  std::unique_ptr<ReplayLog> replay_;  // null when replay_mode is kOff
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t turns_since_checkpoint_ = 0;
+  bool restored_ = false;
+  // Log cursors staged by RestoreFromCheckpoint for replay_'s Config.
+  ReplayResume restored_resume_;
+
   std::unique_ptr<Watchdog> watchdog_;        // last member: stops first
 };
 

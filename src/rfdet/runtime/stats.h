@@ -49,6 +49,14 @@ struct RuntimeStats {
   // Determinism self-verification.
   std::atomic<uint64_t> trace_dropped{0};       // ring-evicted trace events
   std::atomic<uint64_t> paranoia_failures{0};   // dlrc_paranoia violations
+
+  // Record/replay + checkpoint/restore (see replay/).
+  std::atomic<uint64_t> checkpoints_written{0};
+  std::atomic<uint64_t> checkpoint_skips{0};   // gate not met (kAgain)
+  std::atomic<uint64_t> checkpoint_bytes{0};   // Σ committed image sizes
+  std::atomic<uint64_t> checkpoint_ns{0};      // wall time building+writing
+  std::atomic<uint64_t> checkpoint_io_errors{0};
+  std::atomic<uint64_t> restores{0};           // successful constructor restores
 };
 
 // Plain-value snapshot (also folds in per-view monitor stats).
@@ -75,6 +83,11 @@ struct StatsSnapshot {
   uint64_t races_ww = 0, races_rw_pages = 0;
   uint64_t race_checks = 0, race_prefilter_hits = 0;
   uint64_t race_window_evictions = 0;
+  // Record/replay (pulled from the ReplayLog) + checkpoint/restore.
+  uint64_t replay_grants = 0, replay_divergences = 0, replay_io_errors = 0;
+  uint64_t checkpoints_written = 0, checkpoint_skips = 0;
+  uint64_t checkpoint_bytes = 0, checkpoint_ns = 0;
+  uint64_t checkpoint_io_errors = 0, restores = 0;
   // Aggregated ViewStats.
   uint64_t stores_with_copy = 0, page_faults = 0, mprotect_calls = 0;
   uint64_t pages_diffed = 0;

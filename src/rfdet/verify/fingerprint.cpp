@@ -6,6 +6,7 @@
 
 #include "rfdet/common/check.h"
 #include "rfdet/common/fault_injection.h"
+#include "rfdet/common/wire.h"
 #include "rfdet/mem/addr.h"
 #include "rfdet/simd/kernels.h"
 
@@ -201,6 +202,76 @@ ExecutionFingerprint::~ExecutionFingerprint() {
 void ExecutionFingerprint::ChargeArena(size_t bytes) {
   if (arena_ != nullptr) arena_->Charge(bytes);
   charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint support
+// ---------------------------------------------------------------------------
+
+void ExecutionFingerprint::ExportStreams(std::string& out) const {
+  const auto put_stream = [&out](const Stream& s) {
+    wire::PutU64(out, s.events.load(std::memory_order_relaxed));
+    wire::PutU64(out, s.epochs.load(std::memory_order_relaxed));
+    wire::PutU64(out, s.chain.load(std::memory_order_relaxed));
+    wire::PutU64(out, s.last_anchor);
+    wire::PutString(out, s.last_event);
+    wire::PutU64(out, s.recorded.size());
+    for (const FingerprintEpoch& e : s.recorded) {
+      wire::PutU64(out, e.kind);
+      wire::PutU64(out, e.stream);
+      wire::PutU64(out, e.seq);
+      wire::PutU64(out, e.digest);
+      wire::PutU64(out, e.anchor);
+      wire::PutU64(out, e.events);
+    }
+  };
+  wire::PutU64(out, 1 + memory_.size());
+  put_stream(schedule_);
+  for (const auto& s : memory_) put_stream(*s);
+}
+
+bool ExecutionFingerprint::ImportStreams(const std::string& in, size_t* pos) {
+  const auto get_stream = [&in, pos, this](Stream& s) {
+    uint64_t events = 0, epochs = 0, chain = 0, anchor = 0, n = 0;
+    std::string last_event;
+    if (!wire::GetU64(in, pos, &events) || !wire::GetU64(in, pos, &epochs) ||
+        !wire::GetU64(in, pos, &chain) || !wire::GetU64(in, pos, &anchor) ||
+        !wire::GetString(in, pos, &last_event) ||
+        !wire::GetU64(in, pos, &n) || n > in.size() / 48) {
+      return false;
+    }
+    std::vector<FingerprintEpoch> recorded;
+    recorded.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      FingerprintEpoch e;
+      if (!wire::GetU64(in, pos, &e.kind) ||
+          !wire::GetU64(in, pos, &e.stream) ||
+          !wire::GetU64(in, pos, &e.seq) ||
+          !wire::GetU64(in, pos, &e.digest) ||
+          !wire::GetU64(in, pos, &e.anchor) ||
+          !wire::GetU64(in, pos, &e.events)) {
+        return false;
+      }
+      recorded.push_back(e);
+    }
+    s.events.store(events, std::memory_order_relaxed);
+    s.epochs.store(epochs, std::memory_order_relaxed);
+    s.chain.store(chain, std::memory_order_relaxed);
+    s.last_anchor = anchor;
+    s.last_event = std::move(last_event);
+    s.recorded = std::move(recorded);
+    ChargeArena(s.recorded.capacity() * sizeof(FingerprintEpoch));
+    return true;
+  };
+  uint64_t nstreams = 0;
+  if (!wire::GetU64(in, pos, &nstreams) || nstreams != 1 + memory_.size()) {
+    return false;
+  }
+  if (!get_stream(schedule_)) return false;
+  for (const auto& s : memory_) {
+    if (!get_stream(*s)) return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

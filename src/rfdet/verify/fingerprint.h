@@ -163,6 +163,18 @@ class ExecutionFingerprint {
   // Multi-line "fingerprint: …" block for DumpStateReport.
   [[nodiscard]] std::string ProgressSummary() const;
 
+  // ---- checkpoint support --------------------------------------------------
+
+  // Appends the live stream state — event/epoch counters, chains,
+  // anchors, last-event strings, and (kRecord) the epochs recorded so
+  // far — to `out`. ImportStreams restores it from `in` at `*pos`,
+  // returning false on a truncated or shape-mismatched image. In kVerify
+  // the expected epochs stay as loaded from the recording file; the
+  // restored epoch counters simply resume indexing into them. Both are
+  // quiescent-only (no concurrent absorbs).
+  void ExportStreams(std::string& out) const;
+  [[nodiscard]] bool ImportStreams(const std::string& in, size_t* pos);
+
   // ---- digest helpers (shared with benches/tests) --------------------------
 
   // Word-lane FNV-1a, four independent lanes on bulk input so the

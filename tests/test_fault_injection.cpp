@@ -3,9 +3,15 @@
 // and (b) lands on the same operation in every run.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "rfdet/common/fault_injection.h"
@@ -196,6 +202,168 @@ TEST(FaultInjection, ArenaChargeFailureGcRetriesThenContinuesOverBudget) {
   EXPECT_EQ(s.metadata_overflows, 2u);  // both still failed after retry
   EXPECT_EQ(nomem_reports.load(), 2);
   EXPECT_EQ(fi.Injected(FaultSite::kArenaCharge), 4u);
+}
+
+// ---- replay-log and checkpoint I/O ------------------------------------------
+
+std::string FiTempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string FiSlurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Two workers bump a lock-protected counter; returns the final tally.
+uint64_t LockedCounterRun(RfdetRuntime& rt, int iters) {
+  const size_t m = rt.CreateMutex();
+  const GAddr counter = rt.AllocStatic(8);
+  auto bump = [&rt, m, counter, iters] {
+    for (int i = 0; i < iters; ++i) {
+      ASSERT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+      uint64_t v = 0;
+      rt.Load(counter, &v, sizeof v);
+      ++v;
+      rt.Store(counter, &v, sizeof v);
+      rt.MutexUnlock(m);
+    }
+  };
+  const size_t t1 = rt.Spawn(bump);
+  const size_t t2 = rt.Spawn(bump);
+  EXPECT_EQ(rt.Join(t1), RfdetErrc::kOk);
+  EXPECT_EQ(rt.Join(t2), RfdetErrc::kOk);
+  uint64_t total = 0;
+  rt.Load(counter, &total, sizeof total);
+  return total;
+}
+
+TEST(FaultInjection, InjectedReplayIoRetiresLogAndRunContinues) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kReplayIo, {/*skip=*/0, /*count=*/UINT64_MAX});
+  std::atomic<int> io_reports{0};
+  RfdetOptions o = Small();
+  o.fault_injector = &fi;
+  o.replay_mode = ReplayMode::kRecord;
+  o.replay_log_path = FiTempPath("fi_replay_io.bin");
+  o.on_error = [&](RfdetErrc e, const std::string&) {
+    if (e == RfdetErrc::kIo) io_reports.fetch_add(1);
+  };
+  RfdetRuntime rt(o);
+  // The log retired at its first write; execution is unaffected.
+  EXPECT_EQ(LockedCounterRun(rt, 20), 40u);
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_GE(s.replay_io_errors, 1u);
+  EXPECT_GE(fi.Injected(FaultSite::kReplayIo), 1u);
+  EXPECT_GE(io_reports.load(), 1);
+  std::remove(o.replay_log_path.c_str());
+}
+
+TEST(FaultInjection, TruncatedReplayLogFallsBackToLiveArbitration) {
+  const std::string log = FiTempPath("fi_replay_trunc.bin");
+  RfdetOptions o = Small();
+  o.replay_mode = ReplayMode::kRecord;
+  o.replay_log_path = log;
+  {
+    RfdetRuntime rt(o);
+    EXPECT_EQ(LockedCounterRun(rt, 20), 40u);
+  }
+  const std::string bytes = FiSlurp(log);
+  ASSERT_FALSE(bytes.empty());
+  ASSERT_EQ(::truncate(log.c_str(), static_cast<off_t>(bytes.size() / 2)), 0);
+
+  std::atomic<int> io_reports{0};
+  o.replay_mode = ReplayMode::kReplay;
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.on_error = [&](RfdetErrc e, const std::string&) {
+    if (e == RfdetErrc::kIo) io_reports.fetch_add(1);
+  };
+  RfdetRuntime rt(o);
+  // The half-log either fails to parse (I/O error) or exhausts mid-run
+  // (divergence); both retire the replayer into live arbitration, and
+  // the execution still finishes deterministically correct.
+  EXPECT_EQ(LockedCounterRun(rt, 20), 40u);
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_GE(s.replay_divergences + s.replay_io_errors, 1u);
+  std::remove(log.c_str());
+}
+
+TEST(FaultInjection, InjectedCheckpointWriteKeepsPreviousImage) {
+  FaultInjector fi;
+  std::atomic<int> io_reports{0};
+  RfdetOptions o = Small();
+  o.fault_injector = &fi;
+  o.checkpoint_path = FiTempPath("fi_ckpt.img");
+  o.on_error = [&](RfdetErrc e, const std::string&) {
+    if (e == RfdetErrc::kIo) io_reports.fetch_add(1);
+  };
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+  rt.MutexUnlock(m);
+  ASSERT_EQ(rt.CheckpointNow(), RfdetErrc::kOk);
+  const std::string good = FiSlurp(o.checkpoint_path);
+  ASSERT_FALSE(good.empty());
+
+  fi.Arm(FaultSite::kCheckpointIo, {/*skip=*/0, /*count=*/UINT64_MAX});
+  EXPECT_EQ(rt.CheckpointNow(), RfdetErrc::kIo);
+  // tmp+rename discipline: the failed attempt never touched the image.
+  EXPECT_EQ(FiSlurp(o.checkpoint_path), good);
+  EXPECT_GE(io_reports.load(), 1);
+
+  fi.Disarm(FaultSite::kCheckpointIo);
+  EXPECT_EQ(rt.CheckpointNow(), RfdetErrc::kOk);
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_EQ(s.checkpoints_written, 2u);
+  EXPECT_EQ(s.checkpoint_io_errors, 1u);
+  std::remove(o.checkpoint_path.c_str());
+}
+
+TEST(FaultInjection, DamagedCheckpointRestoreStartsFreshAndSurvives) {
+  const std::string ckpt = FiTempPath("fi_ckpt_short.img");
+  {
+    RfdetOptions o = Small();
+    o.checkpoint_path = ckpt;
+    RfdetRuntime rt(o);
+    const GAddr g = rt.AllocStatic(64);
+    const uint64_t v = 7;
+    rt.Store(g, &v, sizeof v);
+    ASSERT_EQ(rt.CheckpointNow(), RfdetErrc::kOk);
+  }
+  const std::string bytes = FiSlurp(ckpt);
+  ASSERT_FALSE(bytes.empty());
+  // A short write (crash mid-image without the tmp+rename guard, e.g. a
+  // copied-off partial file) must be rejected whole, not half-applied.
+  ASSERT_EQ(::truncate(ckpt.c_str(), static_cast<off_t>(bytes.size() / 2)),
+            0);
+  {
+    std::atomic<int> io_reports{0};
+    RfdetOptions o = Small();
+    o.restore_checkpoint_path = ckpt;
+    o.on_error = [&](RfdetErrc e, const std::string&) {
+      if (e == RfdetErrc::kIo) io_reports.fetch_add(1);
+    };
+    RfdetRuntime rt(o);
+    EXPECT_FALSE(rt.Restored());
+    EXPECT_GE(io_reports.load(), 1);
+    EXPECT_EQ(LockedCounterRun(rt, 10), 20u);  // fresh start, fully usable
+  }
+  // An injected read fault on an *intact* image is equally recoverable.
+  std::ofstream(ckpt, std::ios::binary) << bytes;
+  {
+    FaultInjector fi;
+    fi.Arm(FaultSite::kCheckpointIo, {/*skip=*/0, /*count=*/1});
+    RfdetOptions o = Small();
+    o.fault_injector = &fi;
+    o.restore_checkpoint_path = ckpt;
+    RfdetRuntime rt(o);
+    EXPECT_FALSE(rt.Restored());
+    EXPECT_EQ(fi.Injected(FaultSite::kCheckpointIo), 1u);
+    EXPECT_EQ(LockedCounterRun(rt, 10), 20u);
+  }
+  std::remove(ckpt.c_str());
 }
 
 // ---- snapshot pool ----------------------------------------------------------

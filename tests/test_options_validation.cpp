@@ -158,6 +158,46 @@ TEST(OptionsValidation, ReadTrackingWithoutPolicy) {
   EXPECT_EQ(ValidateOptions(o), "");
 }
 
+TEST(OptionsValidation, ReplayModeNeedsLogPath) {
+  RfdetOptions o = Valid();
+  o.replay_mode = ReplayMode::kRecord;
+  EXPECT_NE(ValidateOptions(o).find("replay_log_path"), std::string::npos);
+  o.replay_log_path = "/tmp/replay.bin";
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.replay_mode = ReplayMode::kReplay;
+  EXPECT_EQ(ValidateOptions(o), "");
+}
+
+TEST(OptionsValidation, LogPathNeedsReplayMode) {
+  RfdetOptions o = Valid();
+  o.replay_log_path = "/tmp/replay.bin";
+  EXPECT_NE(ValidateOptions(o).find("replay_mode"), std::string::npos);
+}
+
+TEST(OptionsValidation, CheckpointIntervalNeedsPath) {
+  RfdetOptions o = Valid();
+  o.checkpoint_interval_turns = 100;
+  EXPECT_NE(ValidateOptions(o).find("checkpoint_path"), std::string::npos);
+  o.checkpoint_path = "/tmp/ckpt.img";
+  EXPECT_EQ(ValidateOptions(o), "");
+}
+
+TEST(OptionsValidation, CheckpointNeedsIsolation) {
+  RfdetOptions o = Valid();
+  o.checkpoint_path = "/tmp/ckpt.img";
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.isolation = false;
+  EXPECT_NE(ValidateOptions(o).find("isolation"), std::string::npos);
+}
+
+TEST(OptionsValidation, RestoreNeedsIsolation) {
+  RfdetOptions o = Valid();
+  o.restore_checkpoint_path = "/tmp/ckpt.img";
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.isolation = false;
+  EXPECT_NE(ValidateOptions(o).find("isolation"), std::string::npos);
+}
+
 class OptionsValidationDeathTest : public ::testing::Test {
  protected:
   void SetUp() override {

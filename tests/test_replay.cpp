@@ -1,0 +1,533 @@
+// Deterministic record/replay + crash-consistent checkpoint/restore.
+//
+// Determinism makes the replay log a *complete* description of a run: the
+// turn-ordered grant sequence plus the few nondeterministic Try* inputs.
+// These tests close that loop end to end: a recorded run replays
+// bit-identically (fingerprint rollup equality) from turn 0 and from a
+// mid-run checkpoint, and a recording run killed mid-execution restores
+// from the latest checkpoint + log tail and finishes with the same rollup
+// as an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+bool NonEmptyFile(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+RfdetOptions Small() {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.divergence_policy = DivergencePolicy::kReport;
+  return o;
+}
+
+// ---- record → replay from turn 0 ------------------------------------------
+
+struct RunResult {
+  uint64_t rollup = 0;
+  int counter = 0;
+  StatsSnapshot stats;
+  std::string replay_divergence;
+  std::string fp_divergence;
+  std::string race_report;
+};
+
+// Lock-ordered increments, deliberately racy same-page stores (so the race
+// detector has something to report in both runs), atomics, a barrier —
+// every grant kind the log distinguishes except cond ops.
+RunResult RunMixedWorkload(const RfdetOptions& o) {
+  RunResult out;
+  RfdetRuntime rt(o);
+  const GAddr counter = rt.AllocStatic(64);
+  const GAddr racy = rt.AllocStatic(4096, 64);
+  const GAddr abox = rt.AllocStatic(64, 8);
+  const size_t m = rt.CreateMutex();
+  const size_t bar = rt.CreateBarrier(4);
+  std::vector<size_t> tids;
+  for (int t = 0; t < 3; ++t) {
+    tids.push_back(rt.Spawn([&rt, t, counter, racy, abox, m, bar] {
+      for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+        int v = 0;
+        rt.Load(counter, &v, sizeof v);
+        ++v;
+        rt.Store(counter, &v, sizeof v);
+        rt.MutexUnlock(m);
+        // Unordered same-address stores from every thread: a W-W race
+        // the detector must report identically under record and replay.
+        const uint32_t w = static_cast<uint32_t>(t * 100 + i);
+        rt.Store(racy + static_cast<size_t>(i) * sizeof w, &w, sizeof w);
+        (void)rt.AtomicFetchAdd(abox, 1);
+        rt.Tick(3);
+      }
+      EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+    }));
+  }
+  EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+  for (const size_t tid : tids) EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  rt.Load(counter, &out.counter, sizeof out.counter);
+  out.rollup = rt.FinalizeFingerprint();
+  out.race_report = rt.RaceReportText();
+  out.replay_divergence = rt.LastReplayDivergence();
+  out.fp_divergence = rt.LastDivergenceReport();
+  out.stats = rt.Snapshot();
+  return out;
+}
+
+TEST(Replay, RecordThenReplayBitIdentical) {
+  const std::string log = TempPath("replay_rt0.bin");
+  const std::string fp = TempPath("replay_rt0_fp.bin");
+  RfdetOptions o = Small();
+  o.race_policy = RacePolicy::kReport;
+  o.replay_mode = ReplayMode::kRecord;
+  o.replay_log_path = log;
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = fp;
+  const RunResult rec = RunMixedWorkload(o);
+  EXPECT_TRUE(rec.replay_divergence.empty()) << rec.replay_divergence;
+  EXPECT_GT(rec.stats.replay_grants, 0u);
+  EXPECT_EQ(rec.stats.replay_divergences, 0u);
+  EXPECT_EQ(rec.stats.replay_io_errors, 0u);
+  EXPECT_EQ(rec.counter, 18);  // lock-protected: exact
+  ASSERT_TRUE(NonEmptyFile(log));
+
+  o.replay_mode = ReplayMode::kReplay;
+  o.fingerprint = FingerprintMode::kVerify;
+  const RunResult rep = RunMixedWorkload(o);
+  EXPECT_TRUE(rep.replay_divergence.empty()) << rep.replay_divergence;
+  EXPECT_TRUE(rep.fp_divergence.empty()) << rep.fp_divergence;
+  EXPECT_EQ(rep.stats.replay_divergences, 0u);
+  EXPECT_EQ(rep.stats.fingerprint_divergences, 0u);
+  EXPECT_EQ(rep.stats.replay_grants, rec.stats.replay_grants);
+  EXPECT_EQ(rep.rollup, rec.rollup);
+  EXPECT_EQ(rep.counter, rec.counter);
+  EXPECT_EQ(rep.race_report, rec.race_report);
+  std::remove(log.c_str());
+  std::remove(fp.c_str());
+}
+
+// Grants are appended under the granted turn itself and every nondet site
+// in this workload runs on the (deterministic) main thread, so the whole
+// log file — not just its semantic content — must be byte-stable.
+TEST(Replay, RecordedLogIsByteStable) {
+  const std::string a = TempPath("replay_stable_a.bin");
+  const std::string b = TempPath("replay_stable_b.bin");
+  RfdetOptions o = Small();
+  o.replay_mode = ReplayMode::kRecord;
+  o.replay_log_path = a;
+  RunMixedWorkload(o);
+  o.replay_log_path = b;
+  RunMixedWorkload(o);
+  const std::string bytes_a = SlurpFile(a);
+  const std::string bytes_b = SlurpFile(b);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// ---- explicit checkpoints + replay from mid-run ---------------------------
+
+struct CkptLayout {
+  GAddr counter = kNullGAddr;
+  GAddr slots = kNullGAddr;
+  size_t mutex_id = 0;
+};
+
+CkptLayout CkptSetup(RfdetRuntime& rt) {
+  CkptLayout a;
+  a.counter = rt.AllocStatic(64);
+  a.slots = rt.AllocStatic(4096, 64);
+  a.mutex_id = rt.CreateMutex();
+  return a;
+}
+
+void CkptPhase(RfdetRuntime& rt, const CkptLayout& a, int p) {
+  std::vector<size_t> tids;
+  for (int t = 0; t < 2; ++t) {
+    tids.push_back(rt.Spawn([&rt, &a, p, t] {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(rt.MutexLock(a.mutex_id), RfdetErrc::kOk);
+        int v = 0;
+        rt.Load(a.counter, &v, sizeof v);
+        ++v;
+        rt.Store(a.counter, &v, sizeof v);
+        rt.MutexUnlock(a.mutex_id);
+        const uint32_t w = static_cast<uint32_t>(p * 100 + t * 10 + i);
+        rt.Store(a.slots + (static_cast<size_t>(p * 2 + t) * 8 +
+                            static_cast<size_t>(i)) *
+                               sizeof w,
+                 &w, sizeof w);
+        rt.Tick(2);
+      }
+    }));
+  }
+  for (const size_t tid : tids) EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+}
+
+TEST(Replay, ReplayFromMidRunCheckpoint) {
+  const std::string log = TempPath("replay_ckpt.bin");
+  const std::string fp = TempPath("replay_ckpt_fp.bin");
+  const std::string ckpt = TempPath("replay_ckpt.img");
+  constexpr int kPhases = 4;
+
+  RfdetOptions o = Small();
+  o.replay_mode = ReplayMode::kRecord;
+  o.replay_log_path = log;
+  o.checkpoint_path = ckpt;
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = fp;
+
+  CkptLayout layout;
+  uint64_t rollup_rec = 0;
+  int counter_rec = 0;
+  uint64_t grants_rec = 0;
+  {
+    RfdetRuntime rt(o);
+    EXPECT_FALSE(rt.Restored());
+    layout = CkptSetup(rt);
+    for (int p = 0; p < kPhases; ++p) {
+      CkptPhase(rt, layout, p);
+      if (p == 1) EXPECT_EQ(rt.CheckpointNow(), RfdetErrc::kOk);
+    }
+    rt.Load(layout.counter, &counter_rec, sizeof counter_rec);
+    rollup_rec = rt.FinalizeFingerprint();
+    EXPECT_TRUE(rt.LastReplayDivergence().empty())
+        << rt.LastReplayDivergence();
+    const StatsSnapshot s = rt.Snapshot();
+    EXPECT_EQ(s.checkpoints_written, 1u);
+    EXPECT_EQ(s.checkpoint_io_errors, 0u);
+    EXPECT_GT(s.checkpoint_bytes, 0u);
+    grants_rec = s.replay_grants;
+  }
+  ASSERT_TRUE(NonEmptyFile(ckpt));
+  EXPECT_EQ(counter_rec, kPhases * 2 * 4);
+
+  // Resume in replay+verify mode: setup and phases 0-1 come from the
+  // image (CheckpointNow's grant is inside the consumed prefix, so the
+  // resumed run must NOT call it); phases 2-3 re-execute, driven by the
+  // log tail. Shared addresses and sync ids are deterministic, so the
+  // layout captured from the recording run names the restored objects.
+  RfdetOptions r = Small();
+  r.replay_mode = ReplayMode::kReplay;
+  r.replay_log_path = log;
+  r.restore_checkpoint_path = ckpt;
+  r.fingerprint = FingerprintMode::kVerify;
+  r.fingerprint_path = fp;
+  {
+    RfdetRuntime rt(r);
+    ASSERT_TRUE(rt.Restored());
+    for (int p = 2; p < kPhases; ++p) CkptPhase(rt, layout, p);
+    int counter_res = 0;
+    rt.Load(layout.counter, &counter_res, sizeof counter_res);
+    EXPECT_EQ(counter_res, counter_rec);
+    const uint64_t rollup_res = rt.FinalizeFingerprint();
+    EXPECT_TRUE(rt.LastReplayDivergence().empty())
+        << rt.LastReplayDivergence();
+    EXPECT_TRUE(rt.LastDivergenceReport().empty())
+        << rt.LastDivergenceReport();
+    EXPECT_EQ(rollup_res, rollup_rec);
+    const StatsSnapshot s = rt.Snapshot();
+    EXPECT_EQ(s.restores, 1u);
+    EXPECT_EQ(s.replay_divergences, 0u);
+    EXPECT_EQ(s.fingerprint_divergences, 0u);
+    // The cursor was seeded past the checkpointed prefix and must land
+    // exactly on the recording's final grant count.
+    EXPECT_EQ(s.replay_grants, grants_rec);
+  }
+  std::remove(log.c_str());
+  std::remove(fp.c_str());
+  std::remove(ckpt.c_str());
+}
+
+// ---- kill → restore from latest checkpoint + log tail ---------------------
+
+constexpr uint64_t kCrashPhases = 6;
+constexpr int kCrashIters = 6;
+
+struct CrashLayout {
+  GAddr counter = kNullGAddr;  // mutex-protected tally
+  GAddr phase = kNullGAddr;    // atomic phase counter (loop-top read)
+  GAddr scratch = kNullGAddr;  // dirtying store, see below
+  GAddr slots = kNullGAddr;
+  size_t mutex_id = 0;
+};
+
+struct CrashResult {
+  uint64_t rollup = 0;
+  uint64_t counter = 0;
+  StatsSnapshot stats;
+};
+
+// Phase loop whose *only* quiescent-and-clean main turn end is the
+// post-AtomicStore phase boundary, so interval checkpoints always land
+// where a restored run resumes (the loop top):
+//   * the loop-top AtomicLoad closes the slice, but the interval counter
+//     was reset one turn earlier, so no checkpoint fires there;
+//   * spawn / first-join turn ends are never quiescent;
+//   * a scratch store before the final join keeps main's slice dirty
+//     across it;
+//   * the phase-advancing AtomicStore closes the slice again — clean,
+//     quiescent, counter beyond the interval: the checkpoint fires here.
+// With kill_at > 0 a worker calls _Exit(2) at the kill_at-th inner op:
+// a crash with no teardown, so the log is durable only up to the last
+// checkpoint's flush.
+CrashResult RunCrashWorkload(const RfdetOptions& o, uint64_t kill_at,
+                             CrashLayout* io_layout) {
+  CrashResult out;
+  std::atomic<uint64_t> ops{0};
+  RfdetRuntime rt(o);
+  CrashLayout a;
+  if (rt.Restored()) {
+    // Setup already happened in the recording run; allocation and sync-id
+    // assignment are deterministic, so the caller-provided layout names
+    // the restored objects.
+    a = *io_layout;
+  } else {
+    a.counter = rt.AllocStatic(64);
+    a.phase = a.counter + 8;
+    a.scratch = a.counter + 16;
+    a.slots = rt.AllocStatic(4096, 64);
+    a.mutex_id = rt.CreateMutex();
+    if (io_layout != nullptr) *io_layout = a;
+  }
+  const uint64_t scratch_tag = 0x5C;
+  while (true) {
+    const uint64_t p = rt.AtomicLoad(a.phase);
+    if (p >= kCrashPhases) break;
+    std::vector<size_t> tids;
+    for (int t = 0; t < 2; ++t) {
+      tids.push_back(rt.Spawn([&rt, &a, &ops, p, t, kill_at] {
+        for (int i = 0; i < kCrashIters; ++i) {
+          if (rt.MutexLock(a.mutex_id) != RfdetErrc::kOk) std::_Exit(9);
+          uint64_t v = 0;
+          rt.Load(a.counter, &v, sizeof v);
+          ++v;
+          rt.Store(a.counter, &v, sizeof v);
+          rt.MutexUnlock(a.mutex_id);
+          const uint64_t w = (p << 8) | static_cast<uint64_t>(t * 16 + i);
+          rt.Store(a.slots + ((p * 2 + static_cast<uint64_t>(t)) *
+                                  kCrashIters +
+                              static_cast<uint64_t>(i)) *
+                                 sizeof w,
+                   &w, sizeof w);
+          rt.Tick(2);
+          const uint64_t n =
+              ops.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (kill_at != 0 && n >= kill_at) std::_Exit(2);
+        }
+      }));
+    }
+    if (rt.Join(tids[0]) != RfdetErrc::kOk) std::_Exit(9);
+    rt.Store(a.scratch, &scratch_tag, sizeof scratch_tag);
+    if (rt.Join(tids[1]) != RfdetErrc::kOk) std::_Exit(9);
+    rt.AtomicStore(a.phase, p + 1);
+  }
+  rt.Load(a.counter, &out.counter, sizeof out.counter);
+  out.rollup = rt.FinalizeFingerprint();
+  out.stats = rt.Snapshot();
+  return out;
+}
+
+TEST(Replay, CrashRestoreResumesBitIdentical) {
+  const std::string log = TempPath("crash_replay.bin");
+  const std::string ckpt = TempPath("crash_ckpt.img");
+  const std::string fp_child = TempPath("crash_fp_child.bin");
+  const std::string fp_ref = TempPath("crash_fp_ref.bin");
+  const std::string fp_res = TempPath("crash_fp_res.bin");
+  std::remove(log.c_str());
+  std::remove(ckpt.c_str());
+
+  // "Kill at a random op, deterministically": a fixed seed picks the crash
+  // point inside phases 3-4 — late enough that several interval
+  // checkpoints committed, early enough that real work remains.
+  std::mt19937 rng(20260808u);
+  const uint64_t kill_at = 40 + rng() % 20;
+  // Interval below the cheapest full phase's ~18 ticking turn ends and
+  // above the single turn between a phase boundary and the next loop-top
+  // AtomicLoad: fires at every boundary, never anywhere else.
+  const uint64_t interval = 8;
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Recording child. _Exit skips all teardown (no log finalize, no
+    // fingerprint write): durability comes only from checkpoint flushes.
+    RfdetOptions o = Small();
+    o.replay_mode = ReplayMode::kRecord;
+    o.replay_log_path = log;
+    o.checkpoint_path = ckpt;
+    o.checkpoint_interval_turns = interval;
+    o.fingerprint = FingerprintMode::kRecord;
+    o.fingerprint_path = fp_child;
+    RunCrashWorkload(o, kill_at, nullptr);
+    std::_Exit(7);  // completed without reaching kill_at: test bug
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 2);
+  ASSERT_TRUE(NonEmptyFile(ckpt));  // tmp+rename: always a complete image
+  ASSERT_TRUE(NonEmptyFile(log));
+
+  // Uninterrupted reference, no replay/checkpoint configured at all —
+  // interval checkpoints are zero-perturbation, so the resumed run must
+  // match this one's fingerprint stream anyway.
+  RfdetOptions ref = Small();
+  ref.fingerprint = FingerprintMode::kRecord;
+  ref.fingerprint_path = fp_ref;
+  CrashLayout layout;
+  const CrashResult want = RunCrashWorkload(ref, 0, &layout);
+  EXPECT_EQ(want.counter, kCrashPhases * 2 * kCrashIters);
+
+  // Restore from the latest checkpoint + log tail (kRecord truncates the
+  // log to the checkpointed durable offset and appends) and run to
+  // completion.
+  RfdetOptions res = Small();
+  res.replay_mode = ReplayMode::kRecord;
+  res.replay_log_path = log;
+  res.checkpoint_path = ckpt;
+  res.checkpoint_interval_turns = interval;
+  res.restore_checkpoint_path = ckpt;
+  res.fingerprint = FingerprintMode::kRecord;
+  res.fingerprint_path = fp_res;
+  const CrashResult got = RunCrashWorkload(res, 0, &layout);
+  EXPECT_EQ(got.stats.restores, 1u);
+  EXPECT_EQ(got.counter, want.counter);
+  EXPECT_EQ(got.rollup, want.rollup);
+  EXPECT_EQ(got.stats.fingerprint_divergences, 0u);
+  EXPECT_EQ(got.stats.replay_io_errors, 0u);
+  EXPECT_EQ(got.stats.checkpoint_io_errors, 0u);
+
+  // The stitched log (recorded prefix + resumed tail) and the resumed
+  // run's fingerprint file both describe the complete execution: a fresh
+  // replay from turn 0 must verify against them with zero divergences.
+  RfdetOptions full = Small();
+  full.replay_mode = ReplayMode::kReplay;
+  full.replay_log_path = log;
+  full.fingerprint = FingerprintMode::kVerify;
+  full.fingerprint_path = fp_res;
+  const CrashResult rep = RunCrashWorkload(full, 0, nullptr);
+  EXPECT_EQ(rep.counter, want.counter);
+  EXPECT_EQ(rep.rollup, want.rollup);
+  EXPECT_EQ(rep.stats.replay_divergences, 0u);
+  EXPECT_EQ(rep.stats.fingerprint_divergences, 0u);
+
+  std::remove(log.c_str());
+  std::remove(ckpt.c_str());
+  std::remove(fp_child.c_str());
+  std::remove(fp_ref.c_str());
+  std::remove(fp_res.c_str());
+}
+
+// ---- checkpoint gating and recovery ---------------------------------------
+
+TEST(Replay, CheckpointNowRequiresConfigAndQuiescence) {
+  {
+    RfdetRuntime rt(Small());
+    EXPECT_EQ(rt.CheckpointNow(), RfdetErrc::kInvalid);
+  }
+  const std::string ckpt = TempPath("ckpt_gate.img");
+  RfdetOptions o = Small();
+  o.checkpoint_path = ckpt;
+  RfdetRuntime rt(o);
+  const size_t bar = rt.CreateBarrier(2);
+  const size_t tid = rt.Spawn([&rt, bar] {
+    // A checkpoint is a main-thread operation.
+    EXPECT_EQ(rt.CheckpointNow(), RfdetErrc::kInvalid);
+    EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+  });
+  // The worker exists and is not joined: not quiescent.
+  EXPECT_EQ(rt.CheckpointNow(), RfdetErrc::kAgain);
+  EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+  EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  EXPECT_EQ(rt.CheckpointNow(), RfdetErrc::kOk);
+  EXPECT_TRUE(NonEmptyFile(ckpt));
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_EQ(s.checkpoints_written, 1u);
+  EXPECT_GE(s.checkpoint_skips, 1u);
+  EXPECT_GT(s.checkpoint_bytes, 0u);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Replay, CorruptCheckpointRestoreStartsFresh) {
+  const std::string ckpt = TempPath("ckpt_corrupt.img");
+  {
+    std::ofstream f(ckpt, std::ios::binary);
+    f << "definitely not a checkpoint image";
+  }
+  std::vector<std::string> errors;
+  RfdetOptions o = Small();
+  o.restore_checkpoint_path = ckpt;
+  o.on_error = [&errors](RfdetErrc e, const std::string& what) {
+    if (e == RfdetErrc::kIo) errors.push_back(what);
+  };
+  RfdetRuntime rt(o);
+  EXPECT_FALSE(rt.Restored());
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("starting fresh"), std::string::npos)
+      << errors.front();
+  // The failed restore is fully recoverable: the runtime works.
+  const GAddr g = rt.AllocStatic(64);
+  int v = 42;
+  rt.Store(g, &v, sizeof v);
+  int r = 0;
+  rt.Load(g, &r, sizeof r);
+  EXPECT_EQ(r, 42);
+  EXPECT_EQ(rt.Snapshot().restores, 0u);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Replay, ProgressAppearsInStateDump) {
+  const std::string log = TempPath("replay_dump.bin");
+  const std::string ckpt = TempPath("replay_dump.img");
+  RfdetOptions o = Small();
+  o.replay_mode = ReplayMode::kRecord;
+  o.replay_log_path = log;
+  o.checkpoint_path = ckpt;
+  RfdetRuntime rt(o);
+  const size_t m = rt.CreateMutex();
+  EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+  rt.MutexUnlock(m);
+  EXPECT_EQ(rt.CheckpointNow(), RfdetErrc::kOk);
+  const std::string dump = rt.DumpStateReport();
+  EXPECT_NE(dump.find("replay: mode=record"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("checkpoint: seq"), std::string::npos) << dump;
+  std::remove(log.c_str());
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace rfdet
