@@ -30,9 +30,18 @@
 // cells are reported too (their closes are fault-dominated, so the
 // kernel win is diluted by constant syscall cost).
 //
-// --merge_json=PATH splices the two summary keys this PR adds
-// (`pf_eager_offturn_close_speedup`, `close_scaling_8t_vs_1t`) into an
-// existing BENCH_propagation.json written by propagation_path.
+// A turn-wait comparison pass reruns the contended ci off-turn cell at
+// the top thread count under spin vs park waiting (DESIGN.md §15) and
+// gates a >=10x reduction in wait-loop iterations (turn_spins). The JSON
+// summary records host_cores and the turn_wait mode; wall-clock gates
+// auto-relax when host_cores < top threads (the overlap cannot
+// physically materialize on an oversubscribed host).
+//
+// --merge_json=PATH splices this bench's summary keys
+// (`pf_eager_offturn_close_speedup`, `close_scaling_8t_vs_1t`,
+// `close_scaling_host_cores`, `close_scaling_turn_wait`,
+// `close_scaling_turn_spins_reduction`) into an existing
+// BENCH_propagation.json written by propagation_path.
 //
 // Flags: --pages=32 --run_len=2048 --iters=200 --smoke
 //        --json=PATH --merge_json=PATH
@@ -42,6 +51,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rfdet/harness/harness.h"
@@ -67,16 +77,20 @@ struct CellResult {
   double seconds = 0;
   double turn_us_per_slice = 0;  // turn-held close time (close_turn_ns)
   uint64_t prepared_slices = 0;
+  uint64_t turn_spins = 0;  // wait-loop iterations (kendo WaitCounters)
+  uint64_t turn_parks = 0;
 };
 
 CellResult RunCell(MonitorMode monitor, bool off_turn, const char* kernels,
-                   size_t threads, const Shape& shape) {
+                   size_t threads, const Shape& shape,
+                   const char* turn_wait = "adaptive") {
   RfdetOptions o;
   o.monitor = monitor;
   o.region_bytes = 96u << 20;
   o.static_bytes = 8u << 20;
   o.off_turn_close = off_turn;
   o.kernels = kernels;
+  o.turn_wait = turn_wait;
   RfdetRuntime rt(o);
 
   const GAddr data = rt.AllocStatic(threads * shape.pages * kPageSize,
@@ -134,6 +148,8 @@ CellResult RunCell(MonitorMode monitor, bool off_turn, const char* kernels,
           : 0;
   const StatsSnapshot snap = rt.Snapshot();
   r.prepared_slices = snap.offturn_prepared_slices;
+  r.turn_spins = snap.turn_spins;
+  r.turn_parks = snap.turn_parks;
   r.turn_us_per_slice =
       snap.slices_created > 0
           ? static_cast<double>(snap.close_turn_ns) / 1000.0 /
@@ -180,7 +196,9 @@ void EraseKeyLine(std::string& text, const std::string& key) {
 }
 
 bool MergeIntoPropagationJson(const std::string& path, double pf_speedup,
-                              double scaling_8t_vs_1t) {
+                              double scaling_8t_vs_1t, unsigned host_cores,
+                              const std::string& turn_wait,
+                              double spins_reduction) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "close_scaling: cannot read %s\n", path.c_str());
@@ -192,6 +210,9 @@ bool MergeIntoPropagationJson(const std::string& path, double pf_speedup,
   // Idempotent: running the merge twice replaces rather than duplicates.
   EraseKeyLine(text, "pf_eager_offturn_close_speedup");
   EraseKeyLine(text, "close_scaling_8t_vs_1t");
+  EraseKeyLine(text, "close_scaling_host_cores");
+  EraseKeyLine(text, "close_scaling_turn_wait");
+  EraseKeyLine(text, "close_scaling_turn_spins_reduction");
   const std::string anchor = "\"summary\": {";
   const size_t at = text.find(anchor);
   if (at == std::string::npos) {
@@ -199,11 +220,15 @@ bool MergeIntoPropagationJson(const std::string& path, double pf_speedup,
                  path.c_str());
     return false;
   }
-  char keys[256];
+  char keys[512];
   std::snprintf(keys, sizeof keys,
                 "\n    \"pf_eager_offturn_close_speedup\": %g,"
-                "\n    \"close_scaling_8t_vs_1t\": %g,",
-                pf_speedup, scaling_8t_vs_1t);
+                "\n    \"close_scaling_8t_vs_1t\": %g,"
+                "\n    \"close_scaling_host_cores\": %u,"
+                "\n    \"close_scaling_turn_wait\": \"%s\","
+                "\n    \"close_scaling_turn_spins_reduction\": %g,",
+                pf_speedup, scaling_8t_vs_1t, host_cores, turn_wait.c_str(),
+                spins_reduction);
   text.insert(at + anchor.size(), keys);
   std::ofstream out(path);
   if (!out) {
@@ -296,11 +321,36 @@ int main(int argc, char** argv) {
   const double pf_capacity = TurnCapacityRatio(pf_treat, pf_base);
   const double scaling =
       WallRatio(pf_treat, Cell(cells, "pf", "offturn-auto", 1));
+  const unsigned host_cores = std::thread::hardware_concurrency();
   std::printf(
-      "\nsummary (at %zu threads): ci close capacity %.1fx (wall %.2fx), "
-      "pf close capacity %.1fx (wall %.2fx), pf off-turn aggregate "
-      "%zut/1t scaling %.2fx\n",
-      top, ci_capacity, ci_wall, pf_capacity, pf_wall, top, scaling);
+      "\nsummary (at %zu threads, %u host cores): ci close capacity %.1fx "
+      "(wall %.2fx), pf close capacity %.1fx (wall %.2fx), pf off-turn "
+      "aggregate %zut/1t scaling %.2fx\n",
+      top, host_cores, ci_capacity, ci_wall, pf_capacity, pf_wall, top,
+      scaling);
+
+  // Turn-wait comparison (DESIGN.md §15): the same contended ci off-turn
+  // cell at the top thread count under spin vs park waiting. The park
+  // cell's waiters sleep on their futex words between successor handoffs
+  // instead of polling, so its wait-loop iteration count (turn_spins)
+  // collapses; the reduction is the gated metric. Determinism is
+  // unaffected by mode, so throughput differences are pure wait overhead.
+  const CellResult spin_cell = RunCell(MonitorMode::kInstrumented, true,
+                                       "auto", top, shape, "spin");
+  const CellResult park_cell = RunCell(MonitorMode::kInstrumented, true,
+                                       "auto", top, shape, "park");
+  const double spins_reduction =
+      park_cell.turn_spins > 0
+          ? static_cast<double>(spin_cell.turn_spins) /
+                static_cast<double>(park_cell.turn_spins)
+          : 0;
+  std::printf(
+      "turn-wait at %zu threads: spin %llu spins; park %llu spins, "
+      "%llu parks -> %.1fx spin reduction\n",
+      top, static_cast<unsigned long long>(spin_cell.turn_spins),
+      static_cast<unsigned long long>(park_cell.turn_spins),
+      static_cast<unsigned long long>(park_cell.turn_parks),
+      spins_reduction);
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -327,12 +377,18 @@ int main(int argc, char** argv) {
         << ",\n";
     out << "    \"pf_eager_offturn_close_wall_speedup\": " << pf_wall
         << ",\n";
-    out << "    \"close_scaling_8t_vs_1t\": " << scaling << "\n";
+    out << "    \"close_scaling_8t_vs_1t\": " << scaling << ",\n";
+    out << "    \"host_cores\": " << host_cores << ",\n";
+    out << "    \"turn_wait\": \"adaptive\",\n";
+    out << "    \"turn_spins_spin\": " << spin_cell.turn_spins << ",\n";
+    out << "    \"turn_spins_park\": " << park_cell.turn_spins << ",\n";
+    out << "    \"turn_spins_reduction\": " << spins_reduction << "\n";
     out << "  }\n}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
   if (!merge_path.empty() &&
-      !MergeIntoPropagationJson(merge_path, pf_capacity, scaling)) {
+      !MergeIntoPropagationJson(merge_path, pf_capacity, scaling, host_cores,
+                                "adaptive", spins_reduction)) {
     return 1;
   }
 
@@ -340,19 +396,42 @@ int main(int argc, char** argv) {
   // SIMD close must at least double aggregate close *capacity* (the
   // turn-held-time cap that actually bounds close throughput at scale)
   // over the turn-serial scalar baseline, and must beat it end to end by
-  // a sanity margin even on hosts with too few cores for the off-turn
-  // work to overlap. The pf cells are fault-dominated; their ratios are
-  // recorded, not gated.
+  // a sanity margin. Wall-clock gates auto-relax when the host has fewer
+  // cores than the top thread count (recorded as host_cores in the JSON):
+  // with T threads time-slicing < T cores, neither the off-turn overlap
+  // nor the 1t->Tt aggregate scaling can physically materialize, so those
+  // ratios are recorded but not gated. The turn-held capacity ratio and
+  // the spin-reduction ratio do not depend on parallel hardware and gate
+  // everywhere. pf cells are fault-dominated; recorded, not gated.
+  const bool gate_wall = host_cores >= top;
   if (!smoke && ci_capacity < 2.0) {
     std::fprintf(stderr,
                  "close_scaling: ci close capacity %.2fx < 2x target\n",
                  ci_capacity);
     return 1;
   }
-  if (!smoke && ci_wall < 1.15) {
+  if (!smoke && gate_wall && ci_wall < 1.15) {
     std::fprintf(stderr,
                  "close_scaling: ci wall speedup %.2fx < 1.15x floor\n",
                  ci_wall);
+    return 1;
+  }
+  if (!smoke && gate_wall && scaling < 2.0) {
+    std::fprintf(stderr,
+                 "close_scaling: %zut/1t wall scaling %.2fx < 2x target\n",
+                 top, scaling);
+    return 1;
+  }
+  if (!gate_wall) {
+    std::printf("close_scaling: wall gates relaxed (host_cores %u < top "
+                "threads %zu)\n",
+                host_cores, top);
+  }
+  if (!smoke && spins_reduction < 10.0) {
+    std::fprintf(stderr,
+                 "close_scaling: park-mode turn_spins reduction %.1fx < "
+                 "10x target\n",
+                 spins_reduction);
     return 1;
   }
   return 0;

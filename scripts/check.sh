@@ -54,7 +54,7 @@ for san in ${sanitizers[@]+"${sanitizers[@]}"}; do
   # Death tests re-exec the binary, which ASan/TSan tolerate fine under
   # the threadsafe style the fixtures select.
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)" \
-      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint|Race|Kernel|Close|Replay|Checkpoint')
+      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint|Race|Kernel|Close|Replay|Checkpoint|Turn|Park')
 done
 
 if [[ "$run_bench" == 1 ]]; then

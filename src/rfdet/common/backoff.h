@@ -3,7 +3,13 @@
 // Kendo-style arbitration and the DThreads fence both poll shared state.
 // On machines with fewer cores than threads (including single-core CI
 // boxes) a raw spin deadlocks the scheduler's fairness budget, so waiters
-// must escalate: pause → yield → short sleep.
+// must escalate: pause → yield → capped-exponential sleep (1µs doubling
+// to 64µs). The exponential ramp keeps the first sleeps short — a waiter
+// that is next in the turn order typically needs only a few microseconds —
+// while the cap bounds the worst-case grant latency a sleeping loser adds.
+// The same escalation serves as the pre-park spin budget of the adaptive
+// turn-wait mode (kendo/kendo.cpp): parking starts where spinning stops
+// paying.
 #pragma once
 
 #include <chrono>
@@ -23,16 +29,23 @@ class Backoff {
       ++spins_;
       std::this_thread::yield();
     } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+      if (sleep_us_ < kMaxSleepUs) sleep_us_ *= 2;
     }
   }
 
-  void Reset() noexcept { spins_ = 0; }
+  void Reset() noexcept {
+    spins_ = 0;
+    sleep_us_ = kMinSleepUs;
+  }
 
  private:
   static constexpr int kSpinLimit = 64;
   static constexpr int kYieldLimit = 256;
+  static constexpr int kMinSleepUs = 1;
+  static constexpr int kMaxSleepUs = 64;
   int spins_ = 0;
+  int sleep_us_ = kMinSleepUs;
 };
 
 }  // namespace rfdet

@@ -1,0 +1,59 @@
+// How a thread waits for its deterministic turn (and for a replayed
+// grant): the *wait mechanism* knob of the turn-arbitration pipeline.
+//
+// The arbitration function itself — the (clock, tid) lexicographic
+// minimum — is identical across all modes; only the way losers wait for
+// it changes. That separation is a determinism contract: a kRecord run
+// under one mode must verify (§11) and replay (§14) byte-identically
+// under any other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rfdet {
+
+enum class TurnWaitMode : uint8_t {
+  // Spin (pause → yield → capped-exponential sleep) until the turn
+  // arrives. Lowest grant latency on idle cores, but burns a hardware
+  // thread per waiter — on hosts with fewer cores than threads the
+  // waiters' spinning *competes with the turn-holder* for cycles.
+  kSpin,
+  // Spin a bounded budget (turn_spin_budget iterations), then park on the
+  // per-thread futex word until the successor handoff (or a liveness
+  // timeout) wakes us. The default: near-spin latency when the turn is
+  // about to arrive, near-zero CPU when it is not.
+  kAdaptive,
+  // Park almost immediately (a cache-warmth-sized spin only). Lowest CPU;
+  // pays one wake latency per grant. The right mode for oversubscribed
+  // hosts and for measuring the handoff path itself.
+  kPark,
+};
+
+[[nodiscard]] constexpr const char* TurnWaitModeName(
+    TurnWaitMode mode) noexcept {
+  switch (mode) {
+    case TurnWaitMode::kSpin: return "spin";
+    case TurnWaitMode::kAdaptive: return "adaptive";
+    case TurnWaitMode::kPark: return "park";
+  }
+  return "?";
+}
+
+// Parses "spin" / "adaptive" / "park". Returns false (and leaves *out
+// untouched) on anything else.
+[[nodiscard]] inline bool ParseTurnWaitMode(const std::string& name,
+                                            TurnWaitMode* out) noexcept {
+  if (name == "spin") {
+    *out = TurnWaitMode::kSpin;
+  } else if (name == "adaptive") {
+    *out = TurnWaitMode::kAdaptive;
+  } else if (name == "park") {
+    *out = TurnWaitMode::kPark;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rfdet

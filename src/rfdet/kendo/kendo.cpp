@@ -1,18 +1,186 @@
 #include "rfdet/kendo/kendo.h"
 
+#include <chrono>
+
 #include "rfdet/common/backoff.h"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <ctime>
+#endif
 
 namespace rfdet {
 
-void KendoEngine::WaitForTurn(size_t tid) const {
-  Backoff backoff;
-  uint64_t spins = 0;
-  while (!HasTurn(tid)) {
-    ++spins;
-    backoff.Pause();
+namespace {
+
+// Liveness backstop for parked waiters: even if a handoff wake is lost
+// to a transiently wrong tree (possible only while concurrent publishers
+// race), a parked thread re-examines the world this often. Pure
+// liveness — a timeout re-enters the same deterministic wait loop and
+// cannot perturb the arbitration order.
+constexpr int64_t kParkTimeoutNs = 2'000'000;  // 2ms
+
+// Pre-park spin count of kPark mode: one heal round to catch a handoff
+// already in flight, then straight to the futex — kPark's contract is
+// minimal CPU, not minimal latency (kAdaptive is the latency/CPU blend).
+constexpr uint64_t kParkModeSpinBudget = 2;
+
+// Periodicity of the exact-scan insurance poll in the wait loop.
+constexpr uint64_t kExactScanPeriod = 1024;
+
+#if defined(__linux__)
+void FutexWait(std::atomic<uint32_t>* addr, uint32_t expected,
+               int64_t timeout_ns) noexcept {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000);
+  syscall(SYS_futex, addr, FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+}
+
+void FutexWake(std::atomic<uint32_t>* addr) noexcept {
+  syscall(SYS_futex, addr, FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+}
+#endif
+
+}  // namespace
+
+uint64_t KendoEngine::Park(size_t tid) const noexcept {
+  WaitSlot& w = waits_[tid];
+  // Dekker-style no-lost-wake protocol, pairing with WakeThread:
+  //   waiter: word.load; parked.store(1); recheck turn; sleep-if(word
+  //           unchanged)
+  //   waker:  publish transition; parked.load; word.fetch_add; futex_wake
+  // Both sides are seq_cst, so either the waker sees parked == 1 (and
+  // its word bump aborts or ends the sleep) or the waiter's recheck sees
+  // the waker's prior transition and skips the sleep.
+  const uint32_t observed = w.word.load(std::memory_order_seq_cst);
+  w.parked.store(1, std::memory_order_seq_cst);
+  if (HasTurnFast(tid) || HasTurn(tid)) {
+    w.parked.store(0, std::memory_order_seq_cst);
+    return 0;
   }
-  if (spins != 0) {
-    turn_spins_.fetch_add(spins, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+#if defined(__linux__)
+  FutexWait(&w.word, observed, kParkTimeoutNs);
+#else
+  {
+    std::unique_lock<std::mutex> lock(w.mu);
+    w.cv.wait_for(lock, std::chrono::nanoseconds(kParkTimeoutNs), [&] {
+      return w.word.load(std::memory_order_seq_cst) != observed;
+    });
+  }
+#endif
+  const auto t1 = std::chrono::steady_clock::now();
+  w.parked.store(0, std::memory_order_seq_cst);
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+bool KendoEngine::WakeThread(size_t t) const noexcept {
+  WaitSlot& w = waits_[t];
+  if (w.parked.load(std::memory_order_seq_cst) == 0) return false;
+#if defined(__linux__)
+  w.word.fetch_add(1, std::memory_order_seq_cst);
+  FutexWake(&w.word);
+#else
+  {
+    // Bump under the mutex so a waiter between its predicate check and
+    // its cv sleep cannot miss the notification.
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.word.fetch_add(1, std::memory_order_seq_cst);
+  }
+  w.cv.notify_one();
+#endif
+  counters_.wakeups.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void KendoEngine::WakeSuccessor(size_t self) const noexcept {
+  const uint64_t root = tree_.RootKey();
+  if (root == TurnTree::kEmptyKey) return;
+  const size_t next = tree_.TidOf(root);
+  if (next == self) return;
+  if (WakeThread(next)) {
+    counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void KendoEngine::WaitForTurn(size_t tid) const {
+  // Uncontended fast path: one exact scan, no tree traffic — the same
+  // cost the pre-tree engine paid when the turn was already ours.
+  if (HasTurn(tid)) return;
+
+  // Make sure the tree knows our live key before we start trusting its
+  // root: our own leaf may lag low (stale since before our last ticks),
+  // and a lag-low own leaf would name us as a phantom leader for
+  // everyone else.
+  tree_.Publish(tid, Clock(tid));
+
+  uint64_t budget = 0;
+  switch (wait_mode_) {
+    case TurnWaitMode::kSpin:
+      budget = UINT64_MAX;
+      break;
+    case TurnWaitMode::kAdaptive:
+      budget = spin_budget_;
+      break;
+    case TurnWaitMode::kPark:
+      budget = kParkModeSpinBudget;
+      break;
+  }
+
+  Backoff backoff;
+  bool drained = false;
+  uint64_t spins = 0;
+  for (;;) {
+    ++spins;
+    counters_.spins.fetch_add(1, std::memory_order_relaxed);
+
+    // Grant = root claim AND exact-scan confirmation. The scan also
+    // re-establishes the hygiene contract: we pass only after observing
+    // every active clock above ours with seq_cst loads.
+    if (HasTurnFast(tid) && HasTurn(tid)) return;
+
+    // Insurance: the tree delays grants only transiently (turn_tree.h),
+    // but an exact poll every ~1k spins bounds any stale-root episode.
+    if ((spins & (kExactScanPeriod - 1)) == 0 && HasTurn(tid)) return;
+
+    // Heal the root: republish the named leader's path from its live
+    // slot. If the leader's leaf lagged low (it ticked past us without
+    // publishing), this raises it and the root moves on — eventually to
+    // us, since our key is published and only paused threads go lower.
+    const uint64_t root = tree_.RootKey();
+    const size_t leader =
+        root == TurnTree::kEmptyKey ? tid : tree_.TidOf(root);
+    tree_.Publish(leader, Clock(leader));
+
+    if (spins < budget) {
+      backoff.Pause();
+      continue;
+    }
+
+    // Out of spin budget — we are about to go quiet. First overlap the
+    // park with useful work: drain pending propagation (§4.5) once per
+    // wait. The hook touches only thread-private deferred state, so it
+    // cannot perturb the deterministic order.
+    if (!drained && pre_park_) {
+      drained = true;
+      pre_park_(tid);
+      continue;  // the drain took time; re-poll before sleeping
+    }
+
+    // Lost-arbitration handoff: if the believed leader is itself parked
+    // (it lost earlier on a then-stale root), our heal above may have
+    // just made it the true minimum — wake it, or everyone naps until a
+    // timeout.
+    if (leader != tid) WakeThread(leader);
+
+    counters_.parks.fetch_add(1, std::memory_order_relaxed);
+    counters_.park_ns.fetch_add(Park(tid), std::memory_order_relaxed);
+    backoff.Reset();
   }
 }
 

@@ -20,15 +20,43 @@
 // state another thread wrote *before* raising its clock is therefore
 // visible to the turn-holder (the runtime relies on this to read lock
 // release times and slice logs without additional fences).
+//
+// Scalable waiting (DESIGN.md §15): the exact slot scan above remains the
+// *arbiter*, but waiters no longer run it per poll. A tournament min-tree
+// (turn_tree.h) caches the (clock, tid) minimum so the wait loop polls one
+// root word (HasTurnFast); only a confirmed root claim pays the scan. When
+// a turn-holder releases the turn it republishes its path and wakes the
+// thread the new root names — the direct successor handoff — and losers
+// wait in one of three modes (TurnWaitMode): spin forever, spin a budget
+// then park on a per-thread futex word, or park promptly. The wait
+// mechanism never feeds the arbitration function, so record/replay and
+// fingerprints are byte-identical across modes.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "rfdet/common/check.h"
+#include "rfdet/common/turn_wait.h"
+#include "rfdet/kendo/turn_tree.h"
+
+#if !defined(__linux__)
+#include <condition_variable>
+#include <mutex>
+#endif
 
 namespace rfdet {
+
+// Wait-side counters (coarse contention metrics; all monotonic).
+struct TurnWaitCounters {
+  uint64_t spins = 0;     // wait-loop iterations (root polls)
+  uint64_t parks = 0;     // futex/condvar park episodes
+  uint64_t wakeups = 0;   // wakes issued to parked waiters
+  uint64_t handoffs = 0;  // wakes issued by the successor handoff path
+  uint64_t park_ns = 0;   // wall time spent parked
+};
 
 class KendoEngine {
  public:
@@ -38,10 +66,24 @@ class KendoEngine {
   static constexpr uint64_t kPaused = UINT64_MAX;
 
   explicit KendoEngine(size_t max_threads = kDefaultMaxThreads)
-      : slots_(max_threads) {}
+      : slots_(max_threads), waits_(max_threads), tree_(max_threads) {}
 
   KendoEngine(const KendoEngine&) = delete;
   KendoEngine& operator=(const KendoEngine&) = delete;
+
+  // Selects the wait mechanism (never the arbitration order). spin_budget
+  // is the adaptive mode's pre-park spin count; pre_park, when set, runs
+  // on the waiting thread right before its first park of a wait — the
+  // runtime uses it to drain pending propagation work (§4.5) into the
+  // otherwise-idle gap. Call before threads contend (construction time).
+  void ConfigureWait(TurnWaitMode mode, uint32_t spin_budget,
+                     std::function<void(size_t)> pre_park = nullptr) {
+    wait_mode_ = mode;
+    spin_budget_ = spin_budget;
+    pre_park_ = std::move(pre_park);
+  }
+
+  [[nodiscard]] TurnWaitMode wait_mode() const noexcept { return wait_mode_; }
 
   // Registers a new thread with the given initial clock and returns its id.
   // Thread creation is itself a synchronization operation: the caller must
@@ -52,6 +94,7 @@ class KendoEngine {
     RFDET_CHECK_MSG(tid < slots_.size(), "KendoEngine thread capacity");
     slots_[tid].clock.store(initial_clock, std::memory_order_seq_cst);
     count_.store(tid + 1, std::memory_order_seq_cst);
+    tree_.Publish(tid, initial_clock);
     return tid;
   }
 
@@ -67,9 +110,14 @@ class KendoEngine {
     RFDET_DCHECK(count_.load(std::memory_order_relaxed) == tid + 1);
     slots_[tid].clock.store(kPaused, std::memory_order_seq_cst);
     count_.store(tid, std::memory_order_seq_cst);
+    tree_.Publish(tid, kPaused);
   }
 
   // Advances tid's deterministic clock. Only ever called by thread tid.
+  // Deliberately does NOT touch the min-tree: ticks are the per-access
+  // hot path, and a raised clock only ever *delays* tid's next turn. The
+  // stale (lag-low) leaf is republished at tid's next turn transition, or
+  // healed by whichever waiter the stale root misdirects (WaitForTurn).
   void Tick(size_t tid, uint64_t n = 1) noexcept {
     auto& c = slots_[tid].clock;
     c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_seq_cst);
@@ -79,7 +127,9 @@ class KendoEngine {
     return slots_[tid].clock.load(std::memory_order_seq_cst);
   }
 
-  // True iff (clock, tid) is the unique minimum over active threads.
+  // True iff (clock, tid) is the unique minimum over active threads — the
+  // exact O(N) slot scan. This is the arbiter (and the tests' oracle):
+  // WaitForTurn grants only on this predicate, whatever the tree says.
   [[nodiscard]] bool HasTurn(size_t tid) const noexcept {
     const uint64_t mine = Clock(tid);
     RFDET_DCHECK(mine != kPaused);
@@ -92,14 +142,40 @@ class KendoEngine {
     return true;
   }
 
-  // Blocks (spin → yield → sleep) until tid holds the turn.
+  // O(1) root compare against the min-tree: the wait-loop fast path.
+  // May transiently answer false for the true minimum (stale tree — the
+  // loop heals it) and, in CAS races, true for a non-minimum (screened
+  // out by the HasTurn confirmation); never consulted for the grant
+  // decision itself.
+  [[nodiscard]] bool HasTurnFast(size_t tid) const noexcept {
+    return tree_.RootKey() == tree_.Pack(tid, Clock(tid));
+  }
+
+  // Republishes tid's live clock into the min-tree (O(log N)).
+  void PublishClock(size_t tid) const noexcept {
+    tree_.Publish(tid, Clock(tid));
+  }
+
+  // Blocks until tid holds the turn, per the configured TurnWaitMode.
   void WaitForTurn(size_t tid) const;
 
+  // Turn-release hand-off: republish tid's path (its clock just moved)
+  // and wake the thread the new root names, if it is parked. The runtime
+  // calls this after every turn-ending Tick; Pause/Exit run it
+  // internally. No-op on the arbitration order — only wake timing.
+  void Handoff(size_t tid) const noexcept {
+    tree_.Publish(tid, Clock(tid));
+    WakeSuccessor(tid);
+  }
+
   // Excludes tid from arbitration (blocked in cond-wait/join, or exited).
-  // The pre-pause clock is preserved for the resumer.
+  // The pre-pause clock is preserved for the resumer. Callers hold the
+  // turn (pausing releases it), so the successor is woken here.
   void Pause(size_t tid) noexcept {
     slots_[tid].saved_clock = Clock(tid);
     slots_[tid].clock.store(kPaused, std::memory_order_seq_cst);
+    tree_.Publish(tid, kPaused);
+    WakeSuccessor(tid);
   }
 
   [[nodiscard]] bool IsPaused(size_t tid) const noexcept {
@@ -111,11 +187,14 @@ class KendoEngine {
   }
 
   // Reactivates tid with a deterministically chosen clock. Called by the
-  // waker (which holds the turn), not by tid itself.
+  // waker (which holds the turn), not by tid itself — so the lowered key
+  // is published synchronously under the turn (the tree may lag low, but
+  // never lag high; see turn_tree.h).
   void Resume(size_t tid, uint64_t new_clock) noexcept {
     RFDET_DCHECK(IsPaused(tid));
     RFDET_DCHECK(new_clock != kPaused);
     slots_[tid].clock.store(new_clock, std::memory_order_seq_cst);
+    tree_.Publish(tid, new_clock);
   }
 
   // Permanently removes tid from arbitration.
@@ -128,11 +207,28 @@ class KendoEngine {
     RFDET_DCHECK(tid < count_.load(std::memory_order_relaxed));
     slots_[tid].saved_clock = saved_clock;
     slots_[tid].clock.store(clock, std::memory_order_seq_cst);
+    tree_.Publish(tid, clock);
   }
 
   // Total WaitForTurn spin iterations (coarse contention metric).
   [[nodiscard]] uint64_t TurnSpins() const noexcept {
-    return turn_spins_.load(std::memory_order_relaxed);
+    return counters_.spins.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] TurnWaitCounters WaitCounters() const noexcept {
+    TurnWaitCounters c;
+    c.spins = counters_.spins.load(std::memory_order_relaxed);
+    c.parks = counters_.parks.load(std::memory_order_relaxed);
+    c.wakeups = counters_.wakeups.load(std::memory_order_relaxed);
+    c.handoffs = counters_.handoffs.load(std::memory_order_relaxed);
+    c.park_ns = counters_.park_ns.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  // True while tid is parked inside WaitForTurn (diagnostics: the state
+  // dump distinguishes a parked loser from a spinning one).
+  [[nodiscard]] bool IsParkedInWait(size_t tid) const noexcept {
+    return waits_[tid].parked.load(std::memory_order_relaxed) != 0;
   }
 
  private:
@@ -143,9 +239,47 @@ class KendoEngine {
     uint64_t saved_clock = 0;
   };
 
+  // Per-thread park state: `word` is the futex word (bumped on every wake
+  // so a sleeper concurrent with its wake sees the change), `parked`
+  // advertises an in-progress park so wakers can skip the syscall for
+  // running threads. Padded: a waker writing one thread's word must not
+  // collide with another thread's park loop.
+  struct alignas(64) WaitSlot {
+#if !defined(__linux__)
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+#endif
+    std::atomic<uint32_t> word{0};
+    std::atomic<uint32_t> parked{0};
+  };
+
+  // Parks tid until woken or the liveness timeout lapses; returns the
+  // parked wall time in ns. Rechecks the root after advertising the park
+  // (seq_cst on both sides pairs with WakeSuccessor's transition-then-
+  // check order) so a wake cannot be lost.
+  uint64_t Park(size_t tid) const noexcept;
+  // Wakes t if parked; returns whether a wake was issued.
+  bool WakeThread(size_t t) const noexcept;
+  // Wakes the thread the root currently names (if parked and != self).
+  void WakeSuccessor(size_t self) const noexcept;
+
   std::vector<Slot> slots_;
+  mutable std::vector<WaitSlot> waits_;
+  mutable TurnTree tree_;
   std::atomic<size_t> count_{0};
-  mutable std::atomic<uint64_t> turn_spins_{0};
+
+  TurnWaitMode wait_mode_ = TurnWaitMode::kAdaptive;
+  uint32_t spin_budget_ = 512;
+  std::function<void(size_t)> pre_park_;
+
+  struct Counters {
+    mutable std::atomic<uint64_t> spins{0};
+    mutable std::atomic<uint64_t> parks{0};
+    mutable std::atomic<uint64_t> wakeups{0};
+    mutable std::atomic<uint64_t> handoffs{0};
+    mutable std::atomic<uint64_t> park_ns{0};
+  };
+  Counters counters_;
 };
 
 }  // namespace rfdet

@@ -1,0 +1,71 @@
+#include "rfdet/kendo/turn_tree.h"
+
+#include <algorithm>
+
+namespace rfdet {
+
+namespace {
+
+size_t CeilPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t Log2(size_t pow2) {
+  size_t b = 0;
+  while ((size_t{1} << b) < pow2) ++b;
+  return b;
+}
+
+}  // namespace
+
+TurnTree::TurnTree(size_t max_threads)
+    : width_(CeilPow2(std::max<size_t>(max_threads, 1))),
+      tid_bits_(Log2(width_)),
+      // The all-ones clock image is reserved for kEmptyKey; everything
+      // below it packs injectively. With 64 threads that leaves 2^58
+      // clock values — a deterministic clock ticks once per accessed
+      // word, so saturation is ~petabytes of instrumented accesses away.
+      // Publish CHECKs rather than silently saturating: a wrapped key
+      // would reorder the arbitration, and a loud crash beats that.
+      clock_limit_((uint64_t{1} << (64 - tid_bits_)) - 1),
+      nodes_(2 * width_) {}
+
+// Concurrent-publish convergence: at each node on the path the publisher
+// loops { read both children, want = min; read node; if node == want,
+// ascend; else CAS node -> want and re-verify }. A publisher therefore
+// leaves a node only after observing node == min(children) with child
+// reads *fresher than its last write* to that node. Two racing
+// publishers can transiently store a stale min (A reads B's child before
+// B writes it, then A's CAS lands after B's) — but B's own loop has not
+// exited either: B re-reads the node after its CAS, sees A's stale
+// value, and repairs it. Inductively, the last publisher to leave any
+// node leaves it equal to min(children) over the final child values, so
+// once publishers quiesce the root is the exact minimum. While they have
+// not quiesced, the engine's grant-time slot scan (kendo.cpp) screens
+// out any transiently wrong root claim.
+void TurnTree::Publish(size_t tid, uint64_t clock) noexcept {
+  RFDET_DCHECK(tid < width_);
+  RFDET_CHECK_MSG(clock == UINT64_MAX || clock < clock_limit_,
+                  "Kendo clock saturates the turn-tree key packing");
+  size_t n = width_ + tid;
+  nodes_[n].key.store(Pack(tid, clock), std::memory_order_seq_cst);
+  for (n >>= 1; n >= 1; n >>= 1) {
+    for (;;) {
+      const uint64_t left =
+          nodes_[2 * n].key.load(std::memory_order_seq_cst);
+      const uint64_t right =
+          nodes_[2 * n + 1].key.load(std::memory_order_seq_cst);
+      const uint64_t want = std::min(left, right);
+      uint64_t cur = nodes_[n].key.load(std::memory_order_seq_cst);
+      if (cur == want) break;
+      // On CAS success, loop again: the exit condition must be verified
+      // against child reads taken after our own write (see above).
+      nodes_[n].key.compare_exchange_weak(cur, want,
+                                          std::memory_order_seq_cst);
+    }
+  }
+}
+
+}  // namespace rfdet

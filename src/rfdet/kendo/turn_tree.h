@@ -1,0 +1,95 @@
+// Tournament min-tree over the Kendo clock slots.
+//
+// The turn is the unique lexicographic minimum of (clock, tid) over all
+// active threads. The engine's slot array answers "is (clock[me], me) the
+// minimum?" only by an O(N) scan with seq_cst loads — every waiter
+// rescanning every slot is exactly the all-to-all cache traffic the paper
+// replaces global barriers to avoid. This tree caches the pairwise minima
+// so a waiter polls one root word instead:
+//
+//   * each (clock, tid) pair packs into one 64-bit key — clock in the
+//     high bits, tid in the low log2(width) bits — so lexicographic order
+//     on pairs is integer order on keys, and a paused thread's kPaused
+//     clock packs to the all-ones kEmptyKey, greater than every live key;
+//   * leaves hold thread keys, internal nodes hold the min of their
+//     children, the root holds the global minimum; every node sits on its
+//     own cache line so waiters polling the root never false-share with
+//     updaters in the leaves;
+//   * Publish(tid, clock) rewrites tid's leaf and restores the min
+//     invariant along tid's root path in O(log N) with a CAS-verify loop
+//     at each node (see Publish in turn_tree.cpp for the convergence
+//     argument under concurrent publishers).
+//
+// The tree is a *wait-side cache*, not the arbiter: per-access Tick()s
+// update only the engine's slot, so a leaf may lag its thread's live
+// clock (always lagging LOW — ticks only raise clocks; every lowering
+// transition — resume, register, restore — publishes synchronously under
+// the turn). A lag-low root merely names a stale leader; waiters heal it
+// by republishing the named leader's path from its live slot. The engine
+// therefore grants a turn only when the root claim is *confirmed* by the
+// exact slot scan (kendo.cpp), so transient tree states can delay a grant
+// by one heal round but can never misorder one.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+class TurnTree {
+ public:
+  // Key of an empty/paused leaf: greater than every live key, and the
+  // root value when no thread is active.
+  static constexpr uint64_t kEmptyKey = UINT64_MAX;
+
+  explicit TurnTree(size_t max_threads);
+
+  TurnTree(const TurnTree&) = delete;
+  TurnTree& operator=(const TurnTree&) = delete;
+
+  // Packs (clock, tid) so that key order == lexicographic (clock, tid)
+  // order. A kPaused clock (and any clock at or beyond the saturation
+  // bound — checked, see turn_tree.cpp) packs to kEmptyKey.
+  [[nodiscard]] uint64_t Pack(size_t tid, uint64_t clock) const noexcept {
+    if (clock >= clock_limit_) return kEmptyKey;
+    return (clock << tid_bits_) | static_cast<uint64_t>(tid);
+  }
+
+  [[nodiscard]] size_t TidOf(uint64_t key) const noexcept {
+    return static_cast<size_t>(key & (width_ - 1));
+  }
+
+  // Rewrites tid's leaf to Pack(tid, clock) and restores the min
+  // invariant along tid's leaf-to-root path. Any thread may publish any
+  // path (waiters heal stale leaders this way); concurrent publishers
+  // converge — see the comment in turn_tree.cpp.
+  void Publish(size_t tid, uint64_t clock) noexcept;
+
+  // The cached global minimum key (kEmptyKey when no live leaf).
+  [[nodiscard]] uint64_t RootKey() const noexcept {
+    return nodes_[1].key.load(std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] uint64_t LeafKey(size_t tid) const noexcept {
+    return nodes_[width_ + tid].key.load(std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] size_t width() const noexcept { return width_; }
+
+ private:
+  size_t width_;        // leaf count, power of two, >= max_threads
+  size_t tid_bits_;     // log2(width_)
+  uint64_t clock_limit_;  // clocks >= this saturate to kEmptyKey
+
+  struct alignas(64) Node {
+    std::atomic<uint64_t> key{kEmptyKey};
+  };
+  // Implicit binary heap layout: root at 1, leaves at [width_, 2*width_).
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rfdet

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "rfdet/common/backoff.h"
 #include "rfdet/common/fault_injection.h"
 #include "rfdet/common/wire.h"
 
@@ -45,6 +46,8 @@ ReplayLog::ReplayLog(const Config& config)
       injector_(config.injector),
       on_divergence_(config.on_divergence),
       on_error_(config.on_error),
+      turn_wait_(config.turn_wait),
+      turn_spin_budget_(config.turn_spin_budget),
       nondet_written_(kNumNondetSites * config.max_threads, 0),
       nondet_(kNumNondetSites * config.max_threads),
       nondet_consumed_(kNumNondetSites * config.max_threads, 0) {
@@ -378,6 +381,11 @@ bool ReplayLog::AwaitGrant(size_t tid, ReplayOp op, uint64_t object,
     std::unique_lock<std::mutex> lock(mu_);
     uint64_t last_seen = cursor_;
     int stalls = 0;
+    uint64_t spins = 0;
+    Backoff backoff;
+    // Spin-mode stall detection has no cv timeout to lean on, so track
+    // wall time of the last cursor motion explicitly.
+    auto moved_at = std::chrono::steady_clock::now();
     for (;;) {
       if (dead_) return false;
       if (cursor_ >= grants_.size()) {
@@ -401,6 +409,35 @@ bool ReplayLog::AwaitGrant(size_t tid, ReplayOp op, uint64_t object,
         }
         granted = true;
         break;
+      }
+      // Not our grant yet. Wait per the configured turn-wait mode — the
+      // order is log-driven, so the mode affects only CPU spent waiting.
+      const bool spin_now =
+          turn_wait_ == TurnWaitMode::kSpin ||
+          (turn_wait_ == TurnWaitMode::kAdaptive && spins < turn_spin_budget_);
+      if (spin_now) {
+        ++spins;
+        lock.unlock();
+        backoff.Pause();
+        lock.lock();
+        if (cursor_ != last_seen) {
+          last_seen = cursor_;
+          stalls = 0;
+          moved_at = std::chrono::steady_clock::now();
+        } else if (std::chrono::steady_clock::now() - moved_at >=
+                   std::chrono::seconds(1)) {
+          moved_at = std::chrono::steady_clock::now();
+          if (++stalls >= kStallLimitSec) {
+            report = "replay divergence: stalled at grant #" +
+                     std::to_string(cursor_) + " (recorded " +
+                     Describe(g.tid, g.op, g.object, g.clock) +
+                     " never arrived); live op " +
+                     Describe(tid, static_cast<uint64_t>(op), object, clock);
+            DivergeLocked(report);
+            break;
+          }
+        }
+        continue;
       }
       if (cv_.wait_for(lock, std::chrono::seconds(1)) ==
           std::cv_status::timeout) {

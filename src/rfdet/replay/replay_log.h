@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "rfdet/common/error.h"
+#include "rfdet/common/turn_wait.h"
 
 namespace rfdet {
 
@@ -132,6 +133,12 @@ class ReplayLog {
     std::string path;
     size_t max_threads = 64;
     FaultInjector* injector = nullptr;  // kReplayIo site
+    // How AwaitGrant waits for the cursor to reach this thread's grant —
+    // the same knob as the live engine's wait (common/turn_wait.h). The
+    // replay order is log-driven, so the mode cannot change what is
+    // replayed, only the CPU spent waiting for it.
+    TurnWaitMode turn_wait = TurnWaitMode::kAdaptive;
+    uint32_t turn_spin_budget = 512;
     // Divergence sink (replay mismatch / log exhaustion); the runtime
     // wires this into the fingerprint divergence machinery.
     std::function<void(const std::string&)> on_divergence;
@@ -240,6 +247,8 @@ class ReplayLog {
   FaultInjector* const injector_;
   const std::function<void(const std::string&)> on_divergence_;
   const std::function<void(RfdetErrc, const std::string&)> on_error_;
+  const TurnWaitMode turn_wait_;
+  const uint32_t turn_spin_budget_;
   ReplayResume resume_;
 
   mutable std::mutex mu_;

@@ -94,6 +94,15 @@ std::string ValidateOptions(const RfdetOptions& options) {
     return "kernels must be one of auto, scalar, sse2, avx2, neon (got \"" +
            options.kernels + "\")";
   }
+  if (options.turn_wait != "spin" && options.turn_wait != "adaptive" &&
+      options.turn_wait != "park") {
+    return "turn_wait must be one of spin, adaptive, park (got \"" +
+           options.turn_wait + "\")";
+  }
+  if (options.turn_spin_budget == 0) {
+    return "turn_spin_budget must be > 0 (a zero budget would park before "
+           "ever polling the turn)";
+  }
   return "";
 }
 

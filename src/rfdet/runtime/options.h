@@ -80,6 +80,17 @@ struct RfdetOptions {
   // variable, when set, wins over this option.
   std::string kernels = "auto";
 
+  // How losing threads wait for their Kendo turn (common/turn_wait.h):
+  // "spin" burns a core per waiter, "park" sleeps on a per-thread futex
+  // until the successor handoff wakes it, "adaptive" (default) spins
+  // turn_spin_budget wait-loop iterations before parking. The wait
+  // mechanism never feeds the arbitration function, so fingerprints and
+  // replay logs are byte-identical across modes. The RFDET_TURN_WAIT
+  // environment variable, when set, wins over this option.
+  std::string turn_wait = "adaptive";
+  // Pre-park spin budget of the adaptive mode, in wait-loop iterations.
+  size_t turn_spin_budget = 512;
+
   // Shared-region geometry.
   size_t region_bytes = 64u << 20;
   size_t static_bytes = 4u << 20;

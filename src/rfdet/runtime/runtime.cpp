@@ -129,6 +129,29 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
              !err.empty()) {
     std::fprintf(stderr, "rfdet: options.kernels: %s\n", err.c_str());
   }
+  // Turn-wait mechanism: RFDET_TURN_WAIT (debug knob) wins over the
+  // option, same contract as RFDET_KERNELS — every mode computes the
+  // identical arbitration order, so this is never a correctness decision.
+  // The pre-park hook drains the waiting thread's parked lazy-write runs
+  // (thread-private deferred state) into the otherwise-idle gap before it
+  // blocks, overlapping §4.5 propagation work with the wait.
+  TurnWaitMode turn_wait = TurnWaitMode::kAdaptive;
+  (void)ParseTurnWaitMode(options_.turn_wait, &turn_wait);  // validated
+  if (const char* env = std::getenv("RFDET_TURN_WAIT");
+      env != nullptr && *env != '\0') {
+    if (!ParseTurnWaitMode(env, &turn_wait)) {
+      std::fprintf(stderr,
+                   "rfdet: ignoring RFDET_TURN_WAIT=%s (unknown); using "
+                   "options.turn_wait\n",
+                   env);
+    }
+  }
+  kendo_.ConfigureWait(turn_wait,
+                       static_cast<uint32_t>(options_.turn_spin_budget),
+                       [this](size_t tid) {
+                         ThreadCtx& ctx = *threads_[tid];
+                         if (ctx.view != nullptr) ctx.view->FlushPending();
+                       });
   threads_.reserve(options_.max_threads);
   if (!options_.isolation) {
     shared_image_ = std::make_unique<std::byte[]>(options_.region_bytes);
@@ -208,6 +231,8 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
     lc.path = options_.replay_log_path;
     lc.max_threads = options_.max_threads;
     lc.injector = options_.fault_injector;
+    lc.turn_wait = kendo_.wait_mode();
+    lc.turn_spin_budget = static_cast<uint32_t>(options_.turn_spin_budget);
     lc.on_divergence = options_.on_divergence;
     lc.on_error = [this](RfdetErrc errc, const std::string& what) {
       ReportError(errc, what);
@@ -277,6 +302,20 @@ RfdetRuntime::~RfdetRuntime() {
         static_cast<unsigned long long>(
             stats_.checkpoint_skips.load(std::memory_order_relaxed)),
         restored_ ? ", restored from checkpoint" : "");
+  }
+  // Turn-wait exit summary: only interesting when contention actually
+  // parked someone (a spin-only run prints nothing new here).
+  if (const TurnWaitCounters tw = kendo_.WaitCounters(); tw.parks > 0) {
+    std::fprintf(
+        stderr,
+        "rfdet: turn-wait(%s): %llu spins, %llu parks (%llu ms parked), "
+        "%llu wakeups, %llu handoffs\n",
+        TurnWaitModeName(kendo_.wait_mode()),
+        static_cast<unsigned long long>(tw.spins),
+        static_cast<unsigned long long>(tw.parks),
+        static_cast<unsigned long long>(tw.park_ns / 1'000'000),
+        static_cast<unsigned long long>(tw.wakeups),
+        static_cast<unsigned long long>(tw.handoffs));
   }
   if (options_.isolation) ThreadView::DeactivateOnThisThread();
   g_tls = {nullptr, nullptr};
@@ -1531,6 +1570,13 @@ size_t RfdetRuntime::ForceGc() {
 void RfdetRuntime::TurnBegin(ThreadCtx& me, ReplayOp op, uint64_t object) {
   if (replay_ != nullptr && replay_->mode() == ReplayMode::kReplay &&
       replay_->Active()) {
+    // Our deterministic clock is final for this op: publish it and wake
+    // whichever parked thread the min-tree now names. In replay a
+    // granted thread parked in WaitForTurn may be waiting for exactly
+    // our off-turn ticks, and we are about to block in AwaitGrant where
+    // the turn-end handoff cannot come from us (live mode gets this
+    // wake from TurnEndTick). Wake-only: cannot affect the replay order.
+    kendo_.Handoff(me.tid);
     // Block on the recorded grant order first. Kendo then agrees
     // immediately: in replay every thread gates its WaitForTurn behind
     // AwaitGrant, so the engine only ever sees the log's order. A
@@ -1557,6 +1603,11 @@ void RfdetRuntime::ReplayTurnDone() {
 void RfdetRuntime::TurnEndTick(ThreadCtx& me) {
   MaybeAutoCheckpoint(me);  // still under the turn
   kendo_.Tick(me.tid);
+  // Successor handoff (DESIGN.md §15): publish the raised clock into the
+  // min-tree and wake the thread the new root names, so a parked loser
+  // gets the turn without waiting out its liveness timeout. Pause/Exit
+  // perform the equivalent internally.
+  kendo_.Handoff(me.tid);
   ReplayTurnDone();
 }
 
@@ -2211,6 +2262,7 @@ std::string RfdetRuntime::DumpStateReport() const {
            << ")";
       } else {
         os << "kendo clock " << kendo_.Clock(t.tid);
+        if (kendo_.IsParkedInWait(t.tid)) os << " (parked in turn wait)";
       }
       BlockKind kind;
       size_t object;
@@ -2266,6 +2318,13 @@ std::string RfdetRuntime::DumpStateReport() const {
      << " bytes prepared off turn, "
      << stats_.close_turn_ns.load(std::memory_order_relaxed)
      << " ns closing under the turn)\n";
+  {
+    const TurnWaitCounters tw = kendo_.WaitCounters();
+    os << "turn-wait: " << TurnWaitModeName(kendo_.wait_mode()) << ", "
+       << tw.spins << " spins, " << tw.parks << " parks ("
+       << tw.park_ns / 1'000'000 << " ms parked), " << tw.wakeups
+       << " wakeups, " << tw.handoffs << " handoffs\n";
+  }
   if (fingerprint_ != nullptr) os << fingerprint_->ProgressSummary();
   if (race_detector_ != nullptr) os << race_detector_->Summary();
   if (replay_ != nullptr) os << replay_->ProgressSummary() << "\n";
@@ -2416,6 +2475,14 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
     s.race_checks = race_detector_->Checks();
     s.race_prefilter_hits = race_detector_->PrefilterHits();
     s.race_window_evictions = race_detector_->WindowEvictions();
+  }
+  {
+    const TurnWaitCounters tw = kendo_.WaitCounters();
+    s.turn_spins = tw.spins;
+    s.turn_parks = tw.parks;
+    s.turn_wakeups = tw.wakeups;
+    s.turn_handoffs = tw.handoffs;
+    s.park_ns = tw.park_ns;
   }
   if (replay_ != nullptr) {
     s.replay_grants = replay_->Grants();

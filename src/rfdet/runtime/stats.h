@@ -83,6 +83,9 @@ struct StatsSnapshot {
   uint64_t races_ww = 0, races_rw_pages = 0;
   uint64_t race_checks = 0, race_prefilter_hits = 0;
   uint64_t race_window_evictions = 0;
+  // Turn-arbitration waiting (pulled from the KendoEngine; DESIGN.md §15).
+  uint64_t turn_spins = 0, turn_parks = 0, turn_wakeups = 0;
+  uint64_t turn_handoffs = 0, park_ns = 0;
   // Record/replay (pulled from the ReplayLog) + checkpoint/restore.
   uint64_t replay_grants = 0, replay_divergences = 0, replay_io_errors = 0;
   uint64_t checkpoints_written = 0, checkpoint_skips = 0;

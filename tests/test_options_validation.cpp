@@ -198,6 +198,30 @@ TEST(OptionsValidation, RestoreNeedsIsolation) {
   EXPECT_NE(ValidateOptions(o).find("isolation"), std::string::npos);
 }
 
+TEST(OptionsValidation, TurnWaitMustBeKnownMode) {
+  RfdetOptions o = Valid();
+  o.turn_wait = "busy";
+  EXPECT_NE(ValidateOptions(o).find("turn_wait"), std::string::npos);
+  o.turn_wait = "";
+  EXPECT_NE(ValidateOptions(o).find("turn_wait"), std::string::npos);
+}
+
+TEST(OptionsValidation, TurnWaitAcceptsAllModes) {
+  RfdetOptions o = Valid();
+  for (const char* mode : {"spin", "adaptive", "park"}) {
+    o.turn_wait = mode;
+    EXPECT_EQ(ValidateOptions(o), "") << mode;
+  }
+}
+
+TEST(OptionsValidation, TurnSpinBudgetMustBePositive) {
+  RfdetOptions o = Valid();
+  o.turn_spin_budget = 0;
+  EXPECT_NE(ValidateOptions(o).find("turn_spin_budget"), std::string::npos);
+  o.turn_spin_budget = 1;
+  EXPECT_EQ(ValidateOptions(o), "");
+}
+
 class OptionsValidationDeathTest : public ::testing::Test {
  protected:
   void SetUp() override {

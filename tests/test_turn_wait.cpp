@@ -1,0 +1,433 @@
+// Scalable turn arbitration (DESIGN.md §15): the tournament min-tree, the
+// wait modes (spin / adaptive / park), and the successor handoff must be
+// invisible to determinism — same arbitration order, same fingerprints,
+// same replay logs — while a parked loser stays observable (state dumps,
+// watchdog) and the tree root always agrees with the O(N) scan oracle
+// once publishers quiesce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rfdet/kendo/kendo.h"
+#include "rfdet/kendo/turn_tree.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TurnTree vs the brute-force oracle
+// ---------------------------------------------------------------------------
+
+TEST(TurnTree, PackPreservesLexicographicOrder) {
+  TurnTree tree(8);
+  // (clock, tid) lexicographic order must equal integer order on keys.
+  EXPECT_LT(tree.Pack(7, 1), tree.Pack(0, 2));   // clock dominates
+  EXPECT_LT(tree.Pack(2, 5), tree.Pack(3, 5));   // tid breaks ties
+  EXPECT_EQ(tree.TidOf(tree.Pack(6, 123)), 6u);
+  // kPaused saturates to the empty key, above every live key.
+  EXPECT_EQ(tree.Pack(3, UINT64_MAX), TurnTree::kEmptyKey);
+  EXPECT_LT(tree.Pack(7, uint64_t{1} << 40), TurnTree::kEmptyKey);
+}
+
+TEST(TurnTree, EmptyTreeRootIsEmptyKey) {
+  TurnTree tree(5);
+  EXPECT_EQ(tree.RootKey(), TurnTree::kEmptyKey);
+  EXPECT_GE(tree.width(), 5u);
+}
+
+TEST(TurnTree, RandomizedPublishMatchesScanOracle) {
+  constexpr size_t kThreads = 13;  // deliberately not a power of two
+  TurnTree tree(kThreads);
+  std::vector<uint64_t> shadow(kThreads, TurnTree::kEmptyKey);
+  std::mt19937_64 rng(0x7ee5eed);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const size_t tid = rng() % kThreads;
+    // Mix live clocks with pauses (kPaused) so the min moves around and
+    // leaves empty out regularly.
+    const uint64_t clock = (rng() % 8 == 0) ? UINT64_MAX : rng() % 1000;
+    tree.Publish(tid, clock);
+    shadow[tid] = tree.Pack(tid, clock);
+    uint64_t oracle = TurnTree::kEmptyKey;
+    for (const uint64_t key : shadow) oracle = std::min(oracle, key);
+    ASSERT_EQ(tree.RootKey(), oracle) << "iter " << iter;
+  }
+}
+
+TEST(TurnTree, ConcurrentPublishersConvergeToExactMin) {
+  // Hammer Publish from several threads, each racing over *all* leaves
+  // (waiters heal other threads' paths in production, so cross-path
+  // races are the normal case). The convergence contract: once
+  // publishers quiesce, every node — the root in particular — equals the
+  // min over the final leaf values.
+  constexpr size_t kThreads = 8;
+  for (int round = 0; round < 20; ++round) {
+    TurnTree tree(kThreads);
+    std::vector<std::thread> pubs;
+    for (size_t p = 0; p < 4; ++p) {
+      pubs.emplace_back([&tree, p, round] {
+        std::mt19937_64 rng(p * 7919 + static_cast<uint64_t>(round));
+        for (int i = 0; i < 2000; ++i) {
+          const size_t tid = rng() % kThreads;
+          const uint64_t clock =
+              (rng() % 16 == 0) ? UINT64_MAX : rng() % 4096;
+          tree.Publish(tid, clock);
+        }
+      });
+    }
+    for (auto& t : pubs) t.join();
+    uint64_t oracle = TurnTree::kEmptyKey;
+    for (size_t t = 0; t < kThreads; ++t) {
+      oracle = std::min(oracle, tree.LeafKey(t));
+    }
+    ASSERT_EQ(tree.RootKey(), oracle) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KendoEngine: randomized transitions vs the exact HasTurn oracle
+// ---------------------------------------------------------------------------
+
+TEST(TurnWaitEngine, RandomizedTransitionsKeepExactArbitration) {
+  constexpr size_t kThreads = 6;
+  KendoEngine k(kThreads);
+  std::vector<uint64_t> clock(kThreads);
+  std::vector<bool> paused(kThreads, false);
+  for (size_t t = 0; t < kThreads; ++t) {
+    clock[t] = t + 1;
+    ASSERT_EQ(k.RegisterThread(clock[t]), t);
+  }
+  const auto oracle_min = [&]() -> size_t {
+    size_t best = kThreads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      if (paused[t]) continue;
+      if (best == kThreads || clock[t] < clock[best] ||
+          (clock[t] == clock[best] && t < best)) {
+        best = t;
+      }
+    }
+    return best;
+  };
+  std::mt19937_64 rng(0xa11ce);
+  for (int iter = 0; iter < 4000; ++iter) {
+    const size_t tid = rng() % kThreads;
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // Tick is the common case; sometimes hand off after
+        if (paused[tid]) break;
+        const uint64_t n = 1 + rng() % 5;
+        k.Tick(tid, n);
+        clock[tid] += n;
+        if (rng() % 2 == 0) k.Handoff(tid);
+        break;
+      }
+      case 2: {  // Pause, but never the last active thread
+        size_t active = 0;
+        for (size_t t = 0; t < kThreads; ++t) active += !paused[t];
+        if (paused[tid] || active <= 1) break;
+        k.Pause(tid);
+        paused[tid] = true;
+        break;
+      }
+      case 3: {  // Resume with a waker-chosen clock
+        if (!paused[tid]) break;
+        const uint64_t c = 1 + rng() % 2000;
+        k.Resume(tid, c);
+        paused[tid] = false;
+        clock[tid] = c;
+        break;
+      }
+    }
+    const size_t min_tid = oracle_min();
+    ASSERT_NE(min_tid, kThreads);
+    // The exact scan is the arbiter: exactly the oracle minimum may have
+    // the turn, whatever the (possibly lag-low) tree transiently says.
+    for (size_t t = 0; t < kThreads; ++t) {
+      if (paused[t]) continue;
+      ASSERT_EQ(k.HasTurn(t), t == min_tid)
+          << "iter " << iter << " tid " << t;
+    }
+    // WaitForTurn for the holder returns promptly via the fast path.
+    k.WaitForTurn(min_tid);
+    // After republishing every live path the root must name the oracle
+    // minimum too (the tree lags low at most until the next publish).
+    if (iter % 64 == 0) {
+      for (size_t t = 0; t < kThreads; ++t) {
+        if (!paused[t]) k.PublishClock(t);
+      }
+      ASSERT_TRUE(k.HasTurnFast(min_tid)) << "iter " << iter;
+    }
+  }
+}
+
+TEST(TurnWaitEngine, ContendedHandoffMakesProgressInAllModes) {
+  // N host threads round-robin 200 turns each through a live engine.
+  // Exercises the real wait loop — stale-root healing, parking, the
+  // successor handoff — under every mode; a lost wake would hang the
+  // test (the 2ms liveness timeout would surface it as slowness, the
+  // final clocks as corruption).
+  for (const TurnWaitMode mode :
+       {TurnWaitMode::kSpin, TurnWaitMode::kAdaptive, TurnWaitMode::kPark}) {
+    constexpr size_t kThreads = 4;
+    constexpr uint64_t kRounds = 200;
+    KendoEngine k(kThreads);
+    k.ConfigureWait(mode, 64);
+    for (size_t t = 0; t < kThreads; ++t) {
+      ASSERT_EQ(k.RegisterThread(1), t);
+    }
+    std::vector<std::thread> workers;
+    std::vector<uint64_t> order_sum(kThreads, 0);
+    std::atomic<uint64_t> next_seq{0};
+    for (size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (uint64_t r = 0; r < kRounds; ++r) {
+          k.WaitForTurn(t);
+          // Under the turn: the grant sequence must be exclusive.
+          order_sum[t] += next_seq.fetch_add(1, std::memory_order_relaxed);
+          k.Tick(t, 1);
+          k.Handoff(t);
+        }
+        k.Exit(t);
+      });
+    }
+    for (auto& w : workers) w.join();
+    // Every grant happened exactly once: the seq counter saw each value.
+    EXPECT_EQ(next_seq.load(), kThreads * kRounds)
+        << TurnWaitModeName(mode);
+    if (mode == TurnWaitMode::kPark) {
+      EXPECT_GT(k.WaitCounters().parks, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-level: all modes produce bit-identical executions
+// ---------------------------------------------------------------------------
+
+RfdetOptions Base(const char* turn_wait) {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.turn_wait = turn_wait;
+  return o;
+}
+
+struct WorkloadResult {
+  int counter = 0;
+  std::vector<uint32_t> slots;
+  StatsSnapshot stats;
+  uint64_t rollup = 0;
+  std::string report;
+  std::string dump;
+};
+
+// 3 spawned threads hammer a mutex-protected counter, per-thread slots,
+// atomics, and a closing barrier — enough contention that losers really
+// wait (and, in park mode, really park).
+WorkloadResult RunWorkload(RfdetOptions o) {
+  WorkloadResult out;
+  RfdetRuntime rt(o);
+  const GAddr counter = rt.AllocStatic(64);
+  const GAddr slots = rt.AllocStatic(3 * 64 * sizeof(uint32_t), 64);
+  const GAddr flag = rt.AllocStatic(64, 8);
+  const size_t m = rt.CreateMutex();
+  const size_t bar = rt.CreateBarrier(4);
+  std::vector<size_t> tids;
+  for (int t = 0; t < 3; ++t) {
+    tids.push_back(rt.Spawn([&rt, t, counter, slots, flag, m, bar] {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+        int v = 0;
+        rt.Load(counter, &v, sizeof v);
+        ++v;
+        rt.Store(counter, &v, sizeof v);
+        rt.MutexUnlock(m);
+        const uint32_t w = static_cast<uint32_t>(t * 1000 + i);
+        rt.Store(slots + (static_cast<size_t>(t) * 64 +
+                          static_cast<size_t>(i)) * sizeof w,
+                 &w, sizeof w);
+        if (i % 3 == 0) rt.AtomicFetchAdd(flag, 1);
+        rt.Tick(5);
+      }
+      EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+    }));
+  }
+  EXPECT_EQ(rt.BarrierWait(bar), RfdetErrc::kOk);
+  for (const size_t tid : tids) EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  rt.Load(counter, &out.counter, sizeof out.counter);
+  out.slots.resize(3 * 64);
+  rt.Load(slots, out.slots.data(), out.slots.size() * sizeof(uint32_t));
+  out.rollup = rt.FinalizeFingerprint();
+  out.report = rt.LastDivergenceReport();
+  out.stats = rt.Snapshot();
+  out.dump = rt.DumpStateReport();
+  return out;
+}
+
+TEST(TurnWaitModes, AllModesComputeIdenticalResults) {
+  const WorkloadResult spin = RunWorkload(Base("spin"));
+  const WorkloadResult adaptive = RunWorkload(Base("adaptive"));
+  const WorkloadResult park = RunWorkload(Base("park"));
+  EXPECT_EQ(spin.counter, 30);
+  EXPECT_EQ(adaptive.counter, spin.counter);
+  EXPECT_EQ(park.counter, spin.counter);
+  EXPECT_EQ(adaptive.slots, spin.slots);
+  EXPECT_EQ(park.slots, spin.slots);
+  // Same deterministic schedule → same slice counts, op counts.
+  EXPECT_EQ(adaptive.stats.slices_created, spin.stats.slices_created);
+  EXPECT_EQ(park.stats.slices_created, spin.stats.slices_created);
+  EXPECT_EQ(park.stats.SyncOps(), spin.stats.SyncOps());
+  // The dump names the mode; park-mode stats flow through the snapshot.
+  EXPECT_NE(park.dump.find("turn-wait: park"), std::string::npos);
+  EXPECT_NE(spin.dump.find("turn-wait: spin"), std::string::npos);
+  EXPECT_GT(park.stats.turn_parks, 0u);
+  EXPECT_GT(park.stats.turn_wakeups + park.stats.turn_handoffs, 0u);
+  EXPECT_GT(park.stats.park_ns, 0u);
+  EXPECT_EQ(spin.stats.turn_parks, 0u);
+}
+
+TEST(TurnWaitModes, FingerprintRecordedParkedVerifiesSpinning) {
+  // §11 bit-identity across wait modes, both directions: a fingerprint
+  // recorded under park must verify under spin and adaptive, and one
+  // recorded under spin must verify under park.
+  const std::string path = ::testing::TempDir() + "fp_turn_wait.bin";
+  RfdetOptions o = Base("park");
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = path;
+  o.divergence_policy = DivergencePolicy::kReport;
+  const WorkloadResult rec = RunWorkload(o);
+  EXPECT_TRUE(rec.report.empty()) << rec.report;
+  EXPECT_NE(rec.rollup, 0u);
+  for (const char* mode : {"spin", "adaptive", "park"}) {
+    RfdetOptions v = Base(mode);
+    v.fingerprint = FingerprintMode::kVerify;
+    v.fingerprint_path = path;
+    v.divergence_policy = DivergencePolicy::kReport;
+    const WorkloadResult ver = RunWorkload(v);
+    EXPECT_TRUE(ver.report.empty()) << mode << ": " << ver.report;
+    EXPECT_EQ(ver.stats.fingerprint_divergences, 0u) << mode;
+    EXPECT_EQ(ver.rollup, rec.rollup) << mode;
+  }
+  std::remove(path.c_str());
+
+  RfdetOptions o2 = Base("spin");
+  o2.fingerprint = FingerprintMode::kRecord;
+  o2.fingerprint_path = path;
+  o2.divergence_policy = DivergencePolicy::kReport;
+  const WorkloadResult rec2 = RunWorkload(o2);
+  EXPECT_TRUE(rec2.report.empty()) << rec2.report;
+  EXPECT_EQ(rec2.rollup, rec.rollup);  // mode never touches the execution
+  RfdetOptions v2 = Base("park");
+  v2.fingerprint = FingerprintMode::kVerify;
+  v2.fingerprint_path = path;
+  v2.divergence_policy = DivergencePolicy::kReport;
+  const WorkloadResult ver2 = RunWorkload(v2);
+  EXPECT_TRUE(ver2.report.empty()) << ver2.report;
+  EXPECT_EQ(ver2.rollup, rec2.rollup);
+  std::remove(path.c_str());
+}
+
+TEST(TurnWaitModes, ReplayLogRecordedSpinningReplaysParked) {
+  // §14 bit-identity: a replay log recorded under spin drives a parked
+  // replay to the same execution with zero divergences (AwaitGrant goes
+  // through the same wait-mode machinery as live arbitration).
+  const std::string path = ::testing::TempDir() + "rl_turn_wait.bin";
+  RfdetOptions o = Base("spin");
+  o.replay_mode = ReplayMode::kRecord;
+  o.replay_log_path = path;
+  const WorkloadResult rec = RunWorkload(o);
+  EXPECT_EQ(rec.stats.replay_divergences, 0u);
+  EXPECT_GT(rec.stats.replay_grants, 0u);
+
+  RfdetOptions r = Base("park");
+  r.replay_mode = ReplayMode::kReplay;
+  r.replay_log_path = path;
+  const WorkloadResult rep = RunWorkload(r);
+  EXPECT_EQ(rep.stats.replay_divergences, 0u);
+  EXPECT_EQ(rep.counter, rec.counter);
+  EXPECT_EQ(rep.slots, rec.slots);
+  EXPECT_EQ(rep.stats.replay_grants, rec.stats.replay_grants);
+  std::remove(path.c_str());
+}
+
+TEST(TurnWaitModes, EnvOverrideWinsOverOption) {
+  ASSERT_EQ(setenv("RFDET_TURN_WAIT", "park", 1), 0);
+  const WorkloadResult r = RunWorkload(Base("spin"));
+  ASSERT_EQ(unsetenv("RFDET_TURN_WAIT"), 0);
+  EXPECT_EQ(r.counter, 30);
+  EXPECT_NE(r.dump.find("turn-wait: park"), std::string::npos);
+  const WorkloadResult plain = RunWorkload(Base("spin"));
+  EXPECT_NE(plain.dump.find("turn-wait: spin"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// A parked thread stays observable
+// ---------------------------------------------------------------------------
+
+TEST(TurnWaitPark, WatchdogDumpsStateWhileThreadIsParked) {
+  std::mutex report_mu;
+  std::string report;
+  RfdetOptions o = Base("park");
+  o.deadlock_detection = false;
+  o.watchdog_stall_ms = 50;
+  o.on_stall = [&](const std::string& r) {
+    std::scoped_lock lock(report_mu);
+    if (report.empty()) report = r;
+  };
+  uint64_t stalls = 0;
+  uint64_t parks = 0;
+  std::string live_dump;
+  {
+    RfdetRuntime rt(o);
+    const GAddr a = rt.AllocStatic(64, 8);
+    std::atomic<bool> waiting{false};
+    const size_t tid = rt.Spawn([&] {
+      // Push our clock far beyond main's, then attempt a sync op: we
+      // lose arbitration until main advances, and in park mode we park
+      // on our futex word for the whole stall.
+      rt.Tick(1000000);
+      waiting.store(true, std::memory_order_release);
+      rt.AtomicLoad(a);
+    });
+    while (!waiting.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Main goes quiet: no Kendo clock moves, so the watchdog fires while
+    // the worker sits parked. The dump must still see and label it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    for (;;) {
+      live_dump = rt.DumpStateReport();
+      if (live_dump.find("parked in turn wait") != std::string::npos) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "worker never observed parked:\n" << live_dump;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    // Release the worker: raise main's clock past it. No explicit wake
+    // is issued on this path — the worker's park-timeout liveness
+    // backstop must pick the grant up on its own.
+    rt.Tick(2000000);
+    EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+    const StatsSnapshot s = rt.Snapshot();
+    stalls = s.watchdog_stalls;
+    parks = s.turn_parks;
+  }
+  EXPECT_GE(stalls, 1u);
+  EXPECT_GT(parks, 0u);
+  std::scoped_lock lock(report_mu);
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("rfdet state report"), std::string::npos);
+  EXPECT_NE(report.find("turn-wait: park"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfdet
