@@ -1,0 +1,485 @@
+// Chaos/soak campaign for the supervised runtime.
+//
+// The determinism claim behind checkpoint-resume is falsifiable, so this
+// bench falsifies it under fire: N seeded rounds each run the phased
+// crash-restart workload (the test_replay shape) under a Supervisor while
+// a deterministically chosen inner operation kills the child — rotating
+// through _Exit, SIGSEGV, SIGBUS, and abort() — and every fifth round
+// additionally arms a deterministic FaultInjector plan at one of the
+// infrastructure sites (checkpoint I/O, replay-log I/O, view-memfd
+// backing, supervisor IPC). All of those faults are recoverable by
+// construction, so the gate is absolute:
+//
+//   * every round must end SupervisionOutcome::kCompleted, and
+//   * the supervised run's final §11 fingerprint rollup must be
+//     bit-identical to an uninterrupted reference run of the same shape
+//     (kills and infra faults must not be able to change the execution),
+//   * recovery must stay inside a bounded budget (avg fork→Ready time).
+//
+// A final crash-loop scenario kills the child at the same point on every
+// attempt before any checkpoint exists: the supervisor must quarantine the
+// poison turn after `quarantine_after` deaths (bounded attempts, no
+// infinite restart) and the post-mortem bundle must be byte-identical when
+// the scenario is run twice.
+//
+// --merge_json=PATH splices `supervised_resume_ms` and
+// `chaos_rounds_bitidentical` into an existing BENCH_propagation.json
+// (idempotently, same surgery as replay_overhead).
+//
+// Flags: --rounds=20 --seed=20260808 --smoke --json=PATH --merge_json=PATH
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/harness/harness.h"
+#include "rfdet/runtime/runtime.h"
+#include "rfdet/supervise/supervisor.h"
+
+namespace {
+
+using namespace rfdet;  // NOLINT: bench-local brevity
+
+constexpr size_t kThreads = 2;
+
+struct Shape {
+  size_t phases = 6;
+  size_t iters = 30;  // locked increments per thread per phase
+  MonitorMode monitor = MonitorMode::kInstrumented;
+  [[nodiscard]] uint64_t TotalOps() const {
+    return static_cast<uint64_t>(kThreads) * phases * iters;
+  }
+};
+
+struct Layout {
+  GAddr counter = kNullGAddr;
+  GAddr phase = kNullGAddr;
+  GAddr scratch = kNullGAddr;
+  GAddr slots = kNullGAddr;
+  size_t mutex_id = 0;
+};
+
+enum class KillKind : uint8_t { kExit, kSegv, kBus, kAbort };
+
+const char* KillName(KillKind k) {
+  switch (k) {
+    case KillKind::kExit: return "_Exit(3)";
+    case KillKind::kSegv: return "SIGSEGV";
+    case KillKind::kBus: return "SIGBUS";
+    case KillKind::kAbort: return "abort";
+  }
+  return "?";
+}
+
+struct KillPlan {
+  uint64_t at = 0;  // process-local inner-op index that dies (0 = never)
+  KillKind kind = KillKind::kExit;
+  bool every_attempt = false;  // crash-loop scenario; default: attempt 0 only
+};
+
+[[noreturn]] void Die(KillKind kind) {
+  switch (kind) {
+    case KillKind::kExit: std::_Exit(3);
+    case KillKind::kSegv: ::raise(SIGSEGV); break;
+    case KillKind::kBus: ::raise(SIGBUS); break;
+    case KillKind::kAbort: std::abort();
+  }
+  std::_Exit(3);  // raise() with a chained-to-default handler never returns
+}
+
+// The phased crash-restart workload from tests/test_replay.cpp: the only
+// quiescent-and-clean main turn end is the phase boundary, so interval
+// checkpoints always land exactly where a restored run resumes.
+uint64_t RunWorkload(RfdetRuntime& rt, const Shape& shape, Layout* io_layout,
+                     const KillPlan* kill, uint32_t attempt) {
+  std::atomic<uint64_t> ops{0};
+  Layout a;
+  if (rt.Restored()) {
+    // Allocation and sync-id assignment are deterministic, so the layout
+    // computed by the reference run names the restored objects.
+    a = *io_layout;
+  } else {
+    a.counter = rt.AllocStatic(64);
+    a.phase = a.counter + 8;
+    a.scratch = a.counter + 16;
+    a.slots = rt.AllocStatic(4096, 64);
+    a.mutex_id = rt.CreateMutex();
+    *io_layout = a;
+  }
+  const bool armed =
+      kill != nullptr && kill->at != 0 && (kill->every_attempt || attempt == 0);
+  while (true) {
+    const uint64_t p = rt.AtomicLoad(a.phase);
+    if (p >= shape.phases) break;
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < kThreads; ++t) {
+      tids.push_back(rt.Spawn([&rt, &shape, &a, &ops, p, t, kill, armed] {
+        for (size_t i = 0; i < shape.iters; ++i) {
+          if (rt.MutexLock(a.mutex_id) != RfdetErrc::kOk) std::_Exit(9);
+          uint64_t v = 0;
+          rt.Load(a.counter, &v, sizeof v);
+          ++v;
+          rt.Store(a.counter, &v, sizeof v);
+          rt.MutexUnlock(a.mutex_id);
+          const uint64_t w = (p << 8) | (t * 64 + i);
+          rt.Store(a.slots + ((p * kThreads + t) * shape.iters + i) * 8, &w,
+                   sizeof w);
+          rt.Tick(2);
+          const uint64_t n = ops.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (armed && n >= kill->at) Die(kill->kind);
+        }
+      }));
+    }
+    if (rt.Join(tids[0]) != RfdetErrc::kOk) std::_Exit(9);
+    const uint64_t tag = 0x5C;
+    rt.Store(a.scratch, &tag, sizeof tag);  // keep main's slice dirty here
+    if (rt.Join(tids[1]) != RfdetErrc::kOk) std::_Exit(9);
+    rt.AtomicStore(a.phase, p + 1);  // clean + quiescent: checkpoints fire
+  }
+  uint64_t total = 0;
+  rt.Load(a.counter, &total, sizeof total);
+  if (total != shape.TotalOps()) std::_Exit(8);
+  return rt.FinalizeFingerprint();
+}
+
+RfdetOptions BaseOptions(const Shape& shape) {
+  RfdetOptions o;
+  o.monitor = shape.monitor;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.divergence_policy = DivergencePolicy::kReport;
+  return o;
+}
+
+void RemoveRoundFiles(const std::string& ckpt, const std::string& log,
+                      const std::string& fp, size_t retain) {
+  for (const std::string& p : CheckpointRingPaths(ckpt, retain)) {
+    std::remove(p.c_str());
+  }
+  std::remove(ckpt.c_str());
+  std::remove(log.c_str());
+  std::remove(fp.c_str());
+}
+
+// Same fixed-layout string surgery as replay_overhead: the JSON is this
+// repo's own artifact, not arbitrary input.
+void EraseKeyLine(std::string& text, const std::string& key) {
+  const std::string needle = "\n    \"" + key + "\":";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return;
+  const size_t end = text.find('\n', at + 1);
+  if (end == std::string::npos) return;
+  text.erase(at, end - at);
+}
+
+bool MergeIntoPropagationJson(const std::string& path, double resume_ms,
+                              uint64_t rounds_ok) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "chaos_soak: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  EraseKeyLine(text, "supervised_resume_ms");
+  EraseKeyLine(text, "chaos_rounds_bitidentical");
+  const std::string anchor = "\"summary\": {";
+  const size_t at = text.find(anchor);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "chaos_soak: no summary object in %s\n",
+                 path.c_str());
+    return false;
+  }
+  char keys[160];
+  std::snprintf(keys, sizeof keys,
+                "\n    \"supervised_resume_ms\": %g,"
+                "\n    \"chaos_rounds_bitidentical\": %llu,",
+                resume_ms, static_cast<unsigned long long>(rounds_ok));
+  text.insert(at + anchor.size(), keys);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "chaos_soak: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  const bool smoke = flags.Bool("smoke", false);
+  const size_t rounds =
+      static_cast<size_t>(flags.Int("rounds", smoke ? 3 : 20));
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.Int("seed", 20260808));
+  const std::string json_path = flags.Str("json", "");
+  const std::string merge_path = flags.Str("merge_json", "");
+
+  const std::string ckpt = "chaos_soak_ckpt.img";
+  const std::string log = "chaos_soak_log.bin";
+  const std::string fp_sup = "chaos_soak_fp_sup.bin";
+  const std::string fp_ref = "chaos_soak_fp_ref.bin";
+  const std::string pm_path = "chaos_soak_postmortem.txt";
+  constexpr size_t kRetain = 2;
+
+  Shape shape;
+  if (smoke) {
+    shape.phases = 4;
+    shape.iters = 10;
+  }
+  std::printf("chaos_soak: %zu rounds, %zu threads x %zu phases x %zu iters, "
+              "seed %llu\n",
+              rounds, kThreads, shape.phases, shape.iters,
+              static_cast<unsigned long long>(seed));
+
+  // One uninterrupted reference rollup per monitor mode (the pf rounds
+  // exercise the memfd-backing fault, so they compare against a pf
+  // reference).
+  uint64_t ref_rollup[2] = {0, 0};
+  bool have_ref[2] = {false, false};
+  Layout layout[2];
+  const auto reference = [&](MonitorMode monitor) -> uint64_t {
+    const size_t idx = monitor == MonitorMode::kInstrumented ? 0 : 1;
+    if (have_ref[idx]) return ref_rollup[idx];
+    Shape ref_shape = shape;
+    ref_shape.monitor = monitor;
+    RfdetOptions o = BaseOptions(ref_shape);
+    o.fingerprint = FingerprintMode::kRecord;
+    o.fingerprint_path = fp_ref;
+    RfdetRuntime rt(o);
+    ref_rollup[idx] = RunWorkload(rt, ref_shape, &layout[idx], nullptr, 0);
+    have_ref[idx] = true;
+    return ref_rollup[idx];
+  };
+
+  FaultInjector injector;
+  std::mt19937_64 rng(seed);
+  uint64_t rounds_ok = 0;
+  uint64_t resume_samples = 0;
+  uint64_t resume_ns_total = 0;
+  uint64_t resume_ns_max = 0;
+  bool failed = false;
+
+  harness::Table table(
+      {"round", "kill", "fault", "attempts", "restarts", "resume ms", "ok"});
+
+  for (size_t r = 0; r < rounds && !failed; ++r) {
+    RemoveRoundFiles(ckpt, log, fp_sup, kRetain);
+    injector.DisarmAll();
+    injector.ResetCounters();
+
+    Shape round_shape = shape;
+    const char* fault_name = "none";
+    switch (r % 5) {
+      case 1:
+        injector.Arm(FaultSite::kCheckpointIo, {1, 1, 1.0, 0});
+        fault_name = "checkpoint-io";
+        break;
+      case 2:
+        injector.Arm(FaultSite::kReplayIo, {2, 1, 1.0, 0});
+        fault_name = "replay-io";
+        break;
+      case 3:
+        // Child-side message loss: every attempt's Ready (always hit 0 of
+        // its process) is dropped on the wire. Supervision must carry on
+        // from waitpid alone and the Done rollup must still arrive.
+        injector.Arm(FaultSite::kSupervisorIpc, {0, 1, 1.0, 0});
+        fault_name = "supervisor-ipc";
+        break;
+      case 4:
+        round_shape.monitor = MonitorMode::kPageFault;
+        injector.Arm(FaultSite::kRegionBacking, {0, 1, 1.0, 0});
+        fault_name = "region-backing";
+        break;
+      default:
+        break;
+    }
+    const uint64_t want = reference(round_shape.monitor);
+    const size_t lidx =
+        round_shape.monitor == MonitorMode::kInstrumented ? 0 : 1;
+
+    const uint64_t total = round_shape.TotalOps();
+    KillPlan kill;
+    kill.at = total / 4 + rng() % (total / 2);  // mid-run, seeded
+    kill.kind = static_cast<KillKind>(r % 4);
+
+    SupervisorConfig cfg;
+    cfg.runtime = BaseOptions(round_shape);
+    cfg.runtime.fingerprint = FingerprintMode::kRecord;
+    cfg.runtime.fingerprint_path = fp_sup;
+    cfg.runtime.fault_injector = &injector;
+    cfg.checkpoint_path = ckpt;
+    cfg.checkpoint_interval_turns = 8;
+    cfg.checkpoint_retain = kRetain;
+    cfg.replay_log_path = log;
+    cfg.max_restarts = 8;
+    cfg.quarantine_after = 4;  // > kills per round; never trips here
+    cfg.heartbeat_interval_ms = 10;
+    cfg.injector = &injector;
+
+    Layout body_layout = layout[lidx];
+    Supervisor sup(cfg);
+    const SupervisionResult res = sup.Run(
+        [&round_shape, &body_layout, &kill](const RfdetOptions& opts,
+                                            SupervisedChild& ctx) -> int {
+          RfdetRuntime rt(opts);
+          ctx.Ready(rt);
+          const uint64_t rollup =
+              RunWorkload(rt, round_shape, &body_layout, &kill, ctx.attempt());
+          const StatsSnapshot snap = rt.Snapshot();
+          ctx.Finish(rollup, snap.fingerprint_divergences +
+                                 snap.replay_divergences);
+          return 0;
+        });
+
+    resume_samples += res.resume_samples;
+    resume_ns_total += res.resume_ns_total;
+    if (res.resume_ns_max > resume_ns_max) resume_ns_max = res.resume_ns_max;
+
+    const bool ok = res.outcome == SupervisionOutcome::kCompleted &&
+                    res.rollup_valid && res.rollup == want &&
+                    res.divergences == 0 && res.crashes >= 1 &&
+                    res.resume_mismatches == 0;
+    if (ok) {
+      ++rounds_ok;
+    } else {
+      failed = true;
+      std::fprintf(stderr,
+                   "chaos_soak: round %zu FAILED: outcome=%s rollup=%llx "
+                   "(want %llx, valid=%d) crashes=%u divergences=%llu "
+                   "mismatches=%u\n",
+                   r, SupervisionOutcomeName(res.outcome),
+                   static_cast<unsigned long long>(res.rollup),
+                   static_cast<unsigned long long>(want),
+                   res.rollup_valid ? 1 : 0, res.crashes,
+                   static_cast<unsigned long long>(res.divergences),
+                   res.resume_mismatches);
+      for (const std::string& e : res.events) {
+        std::fprintf(stderr, "chaos_soak:   event: %s\n", e.c_str());
+      }
+    }
+
+    char resume_ms[32];
+    std::snprintf(resume_ms, sizeof resume_ms, "%.2f",
+                  res.resume_samples == 0
+                      ? 0.0
+                      : static_cast<double>(res.resume_ns_total /
+                                            res.resume_samples) /
+                            1e6);
+    table.AddRow({std::to_string(r), KillName(kill.kind), fault_name,
+                  std::to_string(res.attempts), std::to_string(res.restarts),
+                  resume_ms, ok ? "yes" : "NO"});
+  }
+
+  // ---- crash-loop quarantine: run the same poison scenario twice ----------
+  std::string post_mortems[2];
+  bool quarantine_ok = true;
+  for (int pass = 0; pass < 2 && !failed; ++pass) {
+    RemoveRoundFiles(ckpt, log, fp_sup, kRetain);
+    std::remove(pm_path.c_str());
+    injector.DisarmAll();
+    injector.ResetCounters();
+
+    KillPlan kill;
+    kill.at = 5;
+    kill.kind = KillKind::kExit;
+    kill.every_attempt = true;  // dies before any checkpoint, every time
+
+    SupervisorConfig cfg;
+    cfg.runtime = BaseOptions(shape);
+    cfg.checkpoint_path = ckpt;
+    cfg.checkpoint_interval_turns = 0;  // explicit-only: no image can form
+    cfg.checkpoint_retain = kRetain;
+    cfg.replay_log_path = log;
+    cfg.max_restarts = 10;
+    cfg.quarantine_after = 3;
+    cfg.heartbeat_interval_ms = 10;
+    cfg.post_mortem_path = pm_path;
+
+    Layout body_layout;
+    Supervisor sup(cfg);
+    Shape qshape = shape;
+    const SupervisionResult res = sup.Run(
+        [&qshape, &body_layout, &kill](const RfdetOptions& opts,
+                                       SupervisedChild& ctx) -> int {
+          RfdetRuntime rt(opts);
+          ctx.Ready(rt);
+          RunWorkload(rt, qshape, &body_layout, &kill, ctx.attempt());
+          ctx.Finish(0, 0);
+          return 0;
+        });
+    post_mortems[pass] = res.post_mortem;
+    if (res.outcome != SupervisionOutcome::kQuarantined ||
+        res.attempts != cfg.quarantine_after || res.post_mortem.empty()) {
+      quarantine_ok = false;
+      std::fprintf(stderr,
+                   "chaos_soak: quarantine pass %d FAILED: outcome=%s "
+                   "attempts=%u post-mortem %zu bytes\n",
+                   pass, SupervisionOutcomeName(res.outcome), res.attempts,
+                   res.post_mortem.size());
+    }
+  }
+  if (!failed && quarantine_ok && post_mortems[0] != post_mortems[1]) {
+    quarantine_ok = false;
+    std::fprintf(stderr,
+                 "chaos_soak: post-mortems differ across identical runs:\n"
+                 "---- pass 0 ----\n%s---- pass 1 ----\n%s",
+                 post_mortems[0].c_str(), post_mortems[1].c_str());
+  }
+
+  const double resume_ms_avg =
+      resume_samples == 0
+          ? 0.0
+          : static_cast<double>(resume_ns_total / resume_samples) / 1e6;
+  table.Print();
+  std::printf("\nsummary: %llu/%zu rounds bit-identical, quarantine %s, "
+              "resume avg %.2f ms (max %.2f ms)\n",
+              static_cast<unsigned long long>(rounds_ok), rounds,
+              quarantine_ok ? "byte-identical" : "FAILED", resume_ms_avg,
+              static_cast<double>(resume_ns_max) / 1e6);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"chaos_soak\",\n";
+    out << "  \"shape\": {\"rounds\": " << rounds
+        << ", \"threads\": " << kThreads << ", \"phases\": " << shape.phases
+        << ", \"iters\": " << shape.iters << "},\n  \"summary\": {\n";
+    out << "    \"supervised_resume_ms\": " << resume_ms_avg << ",\n";
+    out << "    \"chaos_rounds_bitidentical\": " << rounds_ok << "\n";
+    out << "  }\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!merge_path.empty() &&
+      !MergeIntoPropagationJson(merge_path, resume_ms_avg, rounds_ok)) {
+    return 1;
+  }
+
+  RemoveRoundFiles(ckpt, log, fp_sup, kRetain);
+  std::remove(fp_ref.c_str());
+  std::remove(pm_path.c_str());
+
+  if (failed || rounds_ok != rounds || !quarantine_ok) return 1;
+  // Recovery budget: resume is fork + runtime construction + restoring a
+  // <=8 MiB image — if the average crosses this bound, restore has
+  // regressed to something far beyond image-size costs.
+  if (!smoke && resume_ms_avg > 1500.0) {
+    std::fprintf(stderr, "chaos_soak: resume avg %.2f ms > 1500 ms budget\n",
+                 resume_ms_avg);
+    return 1;
+  }
+  return 0;
+}

@@ -23,13 +23,14 @@ done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j --target propagation_path racey_determinism \
-    close_scaling replay_overhead
+    close_scaling replay_overhead chaos_soak
 
 mkdir -p bench/artifacts
 if [[ "$smoke" == 1 ]]; then
   ./build-bench/bench/propagation_path --smoke
   ./build-bench/bench/close_scaling --smoke
   ./build-bench/bench/replay_overhead --smoke
+  ./build-bench/bench/chaos_soak --smoke
 else
   ./build-bench/bench/propagation_path \
       --json="$(pwd)/bench/artifacts/BENCH_propagation.json"
@@ -40,6 +41,10 @@ else
   # replay_overhead gates <=1.5x record overhead and splices record/replay/
   # checkpoint summary keys into the propagation JSON.
   ./build-bench/bench/replay_overhead \
+      --merge_json="$(pwd)/bench/artifacts/BENCH_propagation.json"
+  # chaos_soak gates 20/20 bit-identical supervised recoveries and splices
+  # supervised_resume_ms / chaos_rounds_bitidentical into the JSON.
+  ./build-bench/bench/chaos_soak \
       --merge_json="$(pwd)/bench/artifacts/BENCH_propagation.json"
   echo "bench.sh: wrote bench/artifacts/BENCH_propagation.json"
 fi

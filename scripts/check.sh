@@ -15,6 +15,10 @@
 #                               # detector: racey must report a nonempty,
 #                               # byte-identical race set across 5 runs;
 #                               # locked workloads must stay silent
+#   scripts/check.sh --chaos    # additionally run the full seeded chaos
+#                               # soak: 20 rounds of supervised crash-kill
+#                               # + fault-injection, gating bit-identical
+#                               # rollups and bounded recovery time
 #
 # Sanitized builds go to build-asan/ / build-tsan/ (and the bench build to
 # build-bench/) so they never disturb the primary build/ tree.
@@ -26,6 +30,7 @@ sanitizers=()
 run_bench=0
 run_detcheck=0
 run_races=0
+run_chaos=0
 for arg in "$@"; do
   case "$arg" in
     --asan) sanitizers+=(address) ;;
@@ -33,8 +38,9 @@ for arg in "$@"; do
     --bench) run_bench=1 ;;
     --detcheck) run_detcheck=1 ;;
     --races) run_races=1 ;;
+    --chaos) run_chaos=1 ;;
     *)
-      echo "usage: scripts/check.sh [--asan] [--tsan] [--bench] [--detcheck] [--races]" >&2
+      echo "usage: scripts/check.sh [--asan] [--tsan] [--bench] [--detcheck] [--races] [--chaos]" >&2
       exit 2
       ;;
   esac
@@ -54,7 +60,7 @@ for san in ${sanitizers[@]+"${sanitizers[@]}"}; do
   # Death tests re-exec the binary, which ASan/TSan tolerate fine under
   # the threadsafe style the fixtures select.
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)" \
-      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint|Race|Kernel|Close|Replay|Checkpoint|Turn|Park')
+      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint|Race|Kernel|Close|Replay|Checkpoint|Turn|Park|Supervis|Chaos')
 done
 
 if [[ "$run_bench" == 1 ]]; then
@@ -90,6 +96,16 @@ if [[ "$run_races" == 1 ]]; then
       --threads=4 --expect=none
   ./build/bench/race_scan --workload=wordcount --backend=rfdet-ci --runs=3 \
       --threads=4 --expect=none
+fi
+
+if [[ "$run_chaos" == 1 ]]; then
+  # Seeded chaos campaign: a supervised child is crash-killed (exit/SEGV/
+  # SIGBUS/abort) at deterministic points under injected checkpoint-I/O,
+  # replay-I/O, IPC-loss and memfd-backing faults; every round's recovered
+  # rollup must be bit-identical to its uninterrupted reference, and the
+  # poison-turn quarantine must produce a byte-identical post-mortem.
+  cmake --build build -j --target chaos_soak
+  ./build/bench/chaos_soak
 fi
 
 echo "check.sh: all requested suites passed"

@@ -48,4 +48,30 @@ class Backoff {
   int sleep_us_ = kMinSleepUs;
 };
 
+// Capped-exponential delay series at millisecond scale — the restart
+// pacing of the process supervisor (supervise/supervisor.h). Same shape as
+// Backoff's sleep tier, but the caller owns the sleep: NextMs() hands out
+// the current delay and doubles it up to the cap, so a crash-looping child
+// is retried quickly at first and then at a bounded steady rate.
+class RestartBackoff {
+ public:
+  RestartBackoff(uint32_t min_ms, uint32_t max_ms) noexcept
+      : min_ms_(min_ms == 0 ? 1 : min_ms),
+        max_ms_(max_ms < min_ms_ ? min_ms_ : max_ms),
+        next_ms_(min_ms_) {}
+
+  [[nodiscard]] uint32_t NextMs() noexcept {
+    const uint32_t cur = next_ms_;
+    next_ms_ = next_ms_ >= max_ms_ / 2 ? max_ms_ : next_ms_ * 2;
+    return cur;
+  }
+
+  void Reset() noexcept { next_ms_ = min_ms_; }
+
+ private:
+  uint32_t min_ms_;
+  uint32_t max_ms_;
+  uint32_t next_ms_;
+};
+
 }  // namespace rfdet

@@ -37,8 +37,10 @@ enum class FaultSite : uint8_t {
   kRaceWindow,        // race-detector window-entry arena charge
   kReplayIo,          // replay-log read (replay) / write (record)
   kCheckpointIo,      // checkpoint-file write / restore read
+  kRegionBacking,     // view memfd ftruncate / hole-punch (tmpfs exhaustion)
+  kSupervisorIpc,     // supervisor pipe messages (heartbeat/ready/done)
 };
-inline constexpr size_t kNumFaultSites = 9;
+inline constexpr size_t kNumFaultSites = 11;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite s) noexcept {
   switch (s) {
@@ -60,6 +62,10 @@ inline constexpr size_t kNumFaultSites = 9;
       return "replay-io";
     case FaultSite::kCheckpointIo:
       return "checkpoint-io";
+    case FaultSite::kRegionBacking:
+      return "region-backing";
+    case FaultSite::kSupervisorIpc:
+      return "supervisor-ipc";
   }
   return "?";
 }

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "rfdet/common/check.h"
+#include "rfdet/common/fault_injection.h"
 #include "rfdet/simd/kernels.h"
 
 namespace rfdet {
@@ -43,6 +44,7 @@ thread_local ThreadView* g_active_view = nullptr;
 
 std::atomic<bool> g_handler_installed{false};
 struct sigaction g_prev_sigsegv;
+struct sigaction g_prev_sigbus;
 
 bool FaultIsWrite(void* ucontext) noexcept {
 #if defined(__x86_64__)
@@ -108,14 +110,48 @@ void SegvHandler(int sig, siginfo_t* info, void* ucontext) {
   ::raise(SIGSEGV);
 }
 
+// SIGBUS inside an active view means the memfd pages backing the mapping
+// are gone — the file was truncated or tmpfs ran out of pages *after* the
+// mapping was established, so the region contents are unrecoverable
+// in-process. Continuing would silently corrupt deterministic state;
+// instead take the fail-safe exit with a recognizable code so a
+// supervising parent restarts from the last checkpoint. Everything here
+// must be async-signal-safe: pointer compares, write(2), _exit(2).
+void BusHandler(int sig, siginfo_t* info, void* ucontext) {
+  ThreadView* view = g_active_view;
+  if (view != nullptr && view->OwnsAddress(info->si_addr)) {
+    static const char msg[] =
+        "rfdet: region backing lost (SIGBUS in view); exiting for "
+        "supervised restart\n";
+    (void)!::write(2, msg, sizeof msg - 1);
+    ::_exit(kRegionBackingLostExit);
+  }
+  if (g_prev_sigbus.sa_flags & SA_SIGINFO) {
+    if (g_prev_sigbus.sa_sigaction != nullptr) {
+      g_prev_sigbus.sa_sigaction(sig, info, ucontext);
+      return;
+    }
+  } else if (g_prev_sigbus.sa_handler != SIG_DFL &&
+             g_prev_sigbus.sa_handler != SIG_IGN &&
+             g_prev_sigbus.sa_handler != nullptr) {
+    g_prev_sigbus.sa_handler(sig);
+    return;
+  }
+  ::signal(SIGBUS, SIG_DFL);
+  ::raise(SIGBUS);
+}
+
 }  // namespace
 
-ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
-                       MetadataArena* arena, FaultInjector* injector,
-                       bool track_reads)
+ThreadView::ThreadView(
+    size_t capacity_bytes, MonitorMode mode, MetadataArena* arena,
+    FaultInjector* injector, bool track_reads,
+    std::function<void(RfdetErrc, const std::string&)> on_error)
     : mode_(mode),
       capacity_(capacity_bytes),
       arena_(arena),
+      injector_(injector),
+      on_error_(std::move(on_error)),
       track_reads_(track_reads) {
   snapshots_.SetFaultInjector(injector);
   RFDET_CHECK_MSG(capacity_ % kPageSize == 0,
@@ -144,8 +180,15 @@ ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
     const int prot0 = track_reads_ ? PROT_NONE : PROT_READ;
     void* mem = MAP_FAILED;
 #if defined(__linux__)
+    // The memfd reservation can fail for real (tmpfs quota, ENOSPC) or by
+    // injection (FaultSite::kRegionBacking); both degrade to the anonymous
+    // mapping below — byte-identical behavior, just without the alias fast
+    // path — and surface as a recoverable kNoMemory report, never a crash.
+    const bool backing_fault =
+        injector_ != nullptr &&
+        injector_->ShouldFail(FaultSite::kRegionBacking);
     memfd_ = ::memfd_create("rfdet-view", MFD_CLOEXEC);
-    if (memfd_ >= 0 &&
+    if (memfd_ >= 0 && !backing_fault &&
         ::ftruncate(memfd_, static_cast<off_t>(capacity_)) == 0) {
       mem = ::mmap(nullptr, capacity_, prot0, MAP_SHARED | MAP_NORESERVE,
                    memfd_, 0);
@@ -163,6 +206,14 @@ ThreadView::ThreadView(size_t capacity_bytes, MonitorMode mode,
     if (mem == MAP_FAILED && memfd_ >= 0) {
       ::close(memfd_);
       memfd_ = -1;
+    }
+    if (mem == MAP_FAILED) {
+      ++stats_.backing_fallbacks;
+      if (on_error_) {
+        on_error_(RfdetErrc::kNoMemory,
+                  "view memfd backing unavailable; falling back to an "
+                  "anonymous mapping");
+      }
     }
 #endif
     if (mem == MAP_FAILED) {
@@ -188,8 +239,23 @@ ThreadView::~ThreadView() {
 void ThreadView::ZeroResetPf() {
 #if defined(__linux__)
   if (memfd_ >= 0) {
-    RFDET_CHECK(::fallocate(memfd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
-                            0, static_cast<off_t>(capacity_)) == 0);
+    const bool backing_fault =
+        injector_ != nullptr &&
+        injector_->ShouldFail(FaultSite::kRegionBacking);
+    if (!backing_fault &&
+        ::fallocate(memfd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE, 0,
+                    static_cast<off_t>(capacity_)) == 0) {
+      return;
+    }
+    // Hole punch refused (exotic filesystem, tmpfs pressure, injected
+    // fault): zero the pages through the always-RW alias instead — the
+    // same bytes, just without releasing the backing store.
+    ++stats_.backing_fallbacks;
+    if (on_error_) {
+      on_error_(RfdetErrc::kNoMemory,
+                "view memfd hole punch failed; zeroing through the alias");
+    }
+    std::memset(alias_, 0, capacity_);
     return;
   }
 #endif
@@ -208,6 +274,11 @@ void ThreadView::InstallFaultHandler() {
   sa.sa_flags = SA_SIGINFO | SA_NODEFER;
   sigemptyset(&sa.sa_mask);
   RFDET_CHECK(::sigaction(SIGSEGV, &sa, &g_prev_sigsegv) == 0);
+  struct sigaction sb = {};
+  sb.sa_sigaction = BusHandler;
+  sb.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&sb.sa_mask);
+  RFDET_CHECK(::sigaction(SIGBUS, &sb, &g_prev_sigbus) == 0);
 }
 
 void ThreadView::ActivateOnThisThread() noexcept { g_active_view = this; }

@@ -34,6 +34,7 @@
 #include <span>
 #include <vector>
 
+#include "rfdet/common/error.h"
 #include "rfdet/mem/addr.h"
 #include "rfdet/mem/apply_plan.h"
 #include "rfdet/mem/metadata_arena.h"
@@ -47,7 +48,15 @@ enum class MonitorMode : uint8_t {
   kPageFault,     // RFDet-pf
 };
 
+// Exit code taken when the memfd pages backing a view vanish under an
+// established mapping (SIGBUS: truncation or tmpfs exhaustion). The region
+// contents are unrecoverable in-process, so the fault handler turns the
+// would-be raw crash into a clean, recognizable exit a supervisor restarts
+// from the last checkpoint.
+inline constexpr int kRegionBackingLostExit = 104;
+
 struct ViewStats {
+  uint64_t backing_fallbacks = 0;  // memfd backing refused → degraded path
   uint64_t stores_with_copy = 0;   // page snapshots taken (Table 1 col. 9)
   uint64_t page_faults = 0;        // pf mode: SIGSEGV taken
   uint64_t mprotect_calls = 0;     // pf mode
@@ -69,8 +78,13 @@ class ThreadView {
   // straight to RW and its later reads are not seen — but the missed
   // set is a pure function of the deterministic access sequence, so
   // reports stay byte-identical across runs.
+  // `on_error` receives recoverable backing degradations (memfd
+  // reservation or hole-punch refused — RfdetErrc::kNoMemory; the view
+  // falls back to an anonymous mapping / alias zeroing and stays
+  // byte-identical). Defaults to silent fallback.
   ThreadView(size_t capacity_bytes, MonitorMode mode, MetadataArena* arena,
-             FaultInjector* injector = nullptr, bool track_reads = false);
+             FaultInjector* injector = nullptr, bool track_reads = false,
+             std::function<void(RfdetErrc, const std::string&)> on_error = {});
   ~ThreadView();
 
   ThreadView(const ThreadView&) = delete;
@@ -178,6 +192,14 @@ class ThreadView {
   static void DeactivateOnThisThread() noexcept;
   // Returns true iff `addr` belongs to this view and the fault was absorbed.
   bool HandleFault(void* addr, bool is_write) noexcept;
+  // True iff `addr` falls inside this view's monitored or alias mapping —
+  // the SIGBUS handler's "is this our backing that just vanished?" test.
+  // Async-signal-safe (pointer compares only).
+  [[nodiscard]] bool OwnsAddress(const void* addr) const noexcept {
+    const std::byte* p = static_cast<const std::byte*>(addr);
+    return (flat_ != nullptr && p >= flat_ && p < flat_ + capacity_) ||
+           (alias_ != nullptr && p >= alias_ && p < alias_ + capacity_);
+  }
 
  private:
   struct Page {
@@ -258,6 +280,8 @@ class ThreadView {
   size_t capacity_;
   size_t num_pages_;
   MetadataArena* arena_;
+  FaultInjector* injector_ = nullptr;  // kRegionBacking site
+  std::function<void(RfdetErrc, const std::string&)> on_error_;
 
   // ci state.
   std::vector<PageEntry> table_;

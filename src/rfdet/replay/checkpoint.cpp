@@ -192,4 +192,60 @@ bool LoadCheckpointFile(
   return true;
 }
 
+bool PeekCheckpoint(const std::string& path, CheckpointPeek* out) {
+  // magic + version/region/statics/maxthreads/seq/resume_clock +
+  // replay_active/file_offset — everything the ranking needs sits in the
+  // first 72 bytes.
+  constexpr size_t kHeaderBytes = sizeof kCheckpointMagic + 8 * 8;
+  char buf[kHeaderBytes];
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  size_t got = 0;
+  while (got < sizeof buf) {
+    const ssize_t n = ::read(fd, buf + got, sizeof buf - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (got < sizeof buf ||
+      std::memcmp(buf, kCheckpointMagic, sizeof kCheckpointMagic) != 0) {
+    return false;
+  }
+  const auto u64_at = [&](size_t i) {
+    // Images are written little-endian (wire.h), decoded the same way.
+    const auto* p = reinterpret_cast<const unsigned char*>(
+        buf + sizeof kCheckpointMagic + i * 8);
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= static_cast<uint64_t>(p[b]) << (8 * b);
+    return v;
+  };
+  CheckpointPeek peek;
+  peek.version = u64_at(0);
+  peek.seq = u64_at(4);
+  peek.resume_clock = u64_at(5);
+  peek.replay_active = u64_at(6) != 0;
+  peek.log_offset = u64_at(7);
+  if (peek.version != kCheckpointVersion) return false;
+  *out = peek;
+  return true;
+}
+
+std::string CheckpointSlotPath(const std::string& base, size_t retain,
+                               uint64_t seq) {
+  if (retain <= 1) return base;
+  return base + "." + std::to_string(seq % retain);
+}
+
+std::vector<std::string> CheckpointRingPaths(const std::string& base,
+                                             size_t retain) {
+  std::vector<std::string> paths;
+  paths.reserve(retain + 1);
+  for (size_t i = 0; retain > 1 && i < retain; ++i) {
+    paths.push_back(base + "." + std::to_string(i));
+  }
+  paths.push_back(base);
+  return paths;
+}
+
 }  // namespace rfdet

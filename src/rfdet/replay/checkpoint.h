@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "rfdet/common/error.h"
 
@@ -37,6 +38,10 @@ class FaultInjector;
 
 inline constexpr char kCheckpointMagic[8] = {'R', 'F', 'D', 'T',
                                              'C', 'K', '0', '1'};
+// Image format version (first u64 after the magic). v2 added the resume
+// kendo clock to the fixed header so supervisors can rank images and
+// detect poison turns without parsing (or trusting) the full image.
+inline constexpr uint64_t kCheckpointVersion = 2;
 
 class CheckpointWriter {
  public:
@@ -92,5 +97,42 @@ class CheckpointWriter {
     const std::string& path, FaultInjector* injector,
     const std::function<void(RfdetErrc, const std::string&)>& on_error,
     std::string* blob);
+
+// ---- image ring ------------------------------------------------------------
+//
+// With options.checkpoint_retain == K > 1 the runtime rotates committed
+// images over `<base>.<seq % K>` instead of overwriting one file; restore
+// (and the supervisor's resume-point picker) ranks every slot by the
+// header sequence number and tries them newest-first. The bare `<base>`
+// path is also accepted as a candidate so a ring can be seeded from (or
+// downgraded to) a retain-1 image.
+
+// Fixed-header fields readable without loading the page payload. A peek
+// is a cheap sanity scan for ranking ring slots — full validation is the
+// restore's two-phase parse; a slot that peeks fine can still be rejected
+// there and the next-newest slot tried.
+struct CheckpointPeek {
+  uint64_t version = 0;
+  uint64_t seq = 0;           // checkpoint sequence number (monotonic)
+  uint64_t resume_clock = 0;  // main-thread kendo clock execution resumes at
+  uint64_t log_offset = 0;    // durable replay-log offset tied to the image
+  bool replay_active = false;
+};
+
+// Reads `path`'s fixed header into `*out`. False (with no error report —
+// absent or stale slots are expected while scanning a ring) when the file
+// is missing, truncated before the header, carries a bad magic, or names
+// a different format version.
+[[nodiscard]] bool PeekCheckpoint(const std::string& path,
+                                  CheckpointPeek* out);
+
+// The slot file the image with sequence number `seq` is written to.
+[[nodiscard]] std::string CheckpointSlotPath(const std::string& base,
+                                             size_t retain, uint64_t seq);
+
+// Every candidate slot path for a ring rooted at `base` (ring slots first,
+// the bare base path last).
+[[nodiscard]] std::vector<std::string> CheckpointRingPaths(
+    const std::string& base, size_t retain);
 
 }  // namespace rfdet

@@ -88,6 +88,13 @@ std::string ValidateOptions(const RfdetOptions& options) {
     return "checkpoint/restore needs isolation (the image is the main "
            "view's region; the kendo backend has no view to capture)";
   }
+  if (options.checkpoint_retain == 0) {
+    return "checkpoint_retain must be >= 1 (the ring needs at least one "
+           "image slot)";
+  }
+  if (options.checkpoint_retain > 1024) {
+    return "checkpoint_retain must be <= 1024 (restore scans every slot)";
+  }
   if (options.kernels != "auto" && options.kernels != "scalar" &&
       options.kernels != "sse2" && options.kernels != "avx2" &&
       options.kernels != "neon") {

@@ -181,6 +181,13 @@ struct RfdetOptions {
   // spawned threads joined, main's slice clean).
   std::string checkpoint_path;
   uint64_t checkpoint_interval_turns = 0;  // 0 = explicit CheckpointNow only
+  // Image ring depth: keep the last `checkpoint_retain` committed images
+  // instead of one. retain == 1 writes checkpoint_path itself; retain > 1
+  // rotates over checkpoint_path.0 … checkpoint_path.(K-1), and restore
+  // scans the ring for the newest image that passes validation — so a
+  // crash that lands mid-rename (or corrupts the newest image) falls back
+  // to the previous one instead of losing all progress.
+  size_t checkpoint_retain = 1;
   // When set, the constructor restores the runtime from this checkpoint
   // image (and, combined with replay_mode, resumes the log mid-stream:
   // kRecord truncates the log to the checkpointed offset and appends,

@@ -43,8 +43,6 @@ void PutClock(std::string& out, const VectorClock& vc) {
   return true;
 }
 
-// Checkpoint image payload version (bumped on layout changes).
-constexpr uint64_t kCheckpointVersion = 1;
 // Page-section terminator (no page id can be SIZE_MAX).
 constexpr uint64_t kPageSentinel = ~0ull;
 
@@ -163,7 +161,10 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
   if (options_.isolation) {
     main_ctx->view = std::make_unique<ThreadView>(
         options_.region_bytes, options_.monitor, &arena_,
-        options_.fault_injector, TrackReads());
+        options_.fault_injector, TrackReads(),
+        [this](RfdetErrc errc, const std::string& what) {
+          ReportError(errc, what);
+        });
     main_ctx->view->ActivateOnThisThread();
   }
   threads_.push_back(std::move(main_ctx));
@@ -219,7 +220,7 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
   // fresh would truncate the very log whose checkpointed offset the
   // restore is about to resume from.
   if (!options_.restore_checkpoint_path.empty()) {
-    if (RestoreFromCheckpoint(options_.restore_checkpoint_path)) {
+    if (RestoreLatestValid()) {
       restored_ = true;
       stats_.restores.fetch_add(1, std::memory_order_relaxed);
     }
@@ -293,6 +294,12 @@ RfdetRuntime::~RfdetRuntime() {
   if (const uint64_t written =
           stats_.checkpoints_written.load(std::memory_order_relaxed);
       written > 0 || restored_) {
+    std::string restored_note;
+    if (restored_) {
+      restored_note = ", restored from checkpoint seq " +
+                      std::to_string(restored_seq_) + " (clock " +
+                      std::to_string(restored_clock_) + ")";
+    }
     std::fprintf(
         stderr,
         "rfdet: checkpoint: %llu written (%llu bytes, %llu skipped)%s\n",
@@ -301,7 +308,7 @@ RfdetRuntime::~RfdetRuntime() {
             stats_.checkpoint_bytes.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
             stats_.checkpoint_skips.load(std::memory_order_relaxed)),
-        restored_ ? ", restored from checkpoint" : "");
+        restored_note.c_str());
   }
   // Turn-wait exit summary: only interesting when contention actually
   // parked someone (a spin-only run prints nothing new here).
@@ -1340,7 +1347,10 @@ RfdetErrc RfdetRuntime::TrySpawn(std::function<void()> fn, size_t* out_tid) {
   if (options_.isolation) {
     child->view = std::make_unique<ThreadView>(
         options_.region_bytes, options_.monitor, &arena_,
-        options_.fault_injector, TrackReads());
+        options_.fault_injector, TrackReads(),
+        [this](RfdetErrc errc, const std::string& what) {
+          ReportError(errc, what);
+        });
     child->view->CopyFrom(*me.view);
     child->log.AssignFrom(me.log);
   }
@@ -1675,7 +1685,16 @@ void RfdetRuntime::MaybeAutoCheckpoint(ThreadCtx& me) {
     stats_.checkpoint_skips.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (WriteCheckpoint(me)) turns_since_checkpoint_ = 0;
+  // Success or not, the attempt consumes its interval. A failed write must
+  // NOT stay armed and retry at main's next turn end: quiescence skips are
+  // a pure function of the deterministic schedule, but an I/O failure is
+  // not — letting it shift the landing point would capture images at turn
+  // ends (e.g. a driver-loop read back at the top) that a fault-free run
+  // never checkpoints and that the application may not be able to re-enter
+  // consistently after a restore. Forfeiting the interval keeps the set of
+  // possible image points identical with and without I/O faults.
+  WriteCheckpoint(me);
+  turns_since_checkpoint_ = 0;
 }
 
 RfdetErrc RfdetRuntime::CheckpointNow() {
@@ -1728,6 +1747,11 @@ void RfdetRuntime::SerializeCheckpoint(ThreadCtx& me, std::string& out) {
   wire::PutU64(out, options_.static_bytes);
   wire::PutU64(out, options_.max_threads);
   wire::PutU64(out, checkpoint_seq_);
+  // Resume clock in the fixed header (duplicating the main-clock field
+  // below) so PeekCheckpoint can rank ring slots — and the supervisor can
+  // detect a poison turn — without parsing the whole image. Restore
+  // cross-checks the two copies.
+  wire::PutU64(out, kendo_.Clock(me.tid) + 1);
 
   // Replay-log cursors, tying the image to its log tail.
   const bool replay_live = replay_ != nullptr && replay_->Active();
@@ -1830,7 +1854,8 @@ bool RfdetRuntime::WriteCheckpoint(ThreadCtx& me) {
     }
   }
   CheckpointWriter::Config wc;
-  wc.path = options_.checkpoint_path;
+  wc.path = CheckpointSlotPath(options_.checkpoint_path,
+                               options_.checkpoint_retain, checkpoint_seq_);
   wc.injector = options_.fault_injector;
   wc.on_error = [this](RfdetErrc errc, const std::string& what) {
     ReportError(errc, what);
@@ -1883,18 +1908,56 @@ bool RfdetRuntime::WriteCheckpoint(ThreadCtx& me) {
   return true;
 }
 
-bool RfdetRuntime::RestoreFromCheckpoint(const std::string& path) {
-  const auto fail = [&](const std::string& why) {
+bool RfdetRuntime::RestoreLatestValid() {
+  // Rank every ring slot by its header sequence number and attempt a full
+  // restore newest-first. Phase-1 validation inside RestoreFromCheckpoint
+  // keeps a rejected attempt side-effect-free (and the subsystem restores
+  // it can reach overwrite wholesale), so falling back to an older image
+  // after a corrupt newest one is safe.
+  struct Candidate {
+    uint64_t seq;
+    std::string path;
+  };
+  std::vector<Candidate> ranked;
+  for (const std::string& slot : CheckpointRingPaths(
+           options_.restore_checkpoint_path, options_.checkpoint_retain)) {
+    CheckpointPeek peek;
+    if (PeekCheckpoint(slot, &peek)) ranked.push_back({peek.seq, slot});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.seq > b.seq;
+            });
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (RestoreFromCheckpoint(ranked[i].path, i + 1 == ranked.size())) {
+      return true;
+    }
+  }
+  if (ranked.empty()) {
     ReportError(RfdetErrc::kIo,
-                "checkpoint restore failed (" + path + "): " + why +
-                    "; starting fresh");
+                "checkpoint restore failed (" +
+                    options_.restore_checkpoint_path +
+                    "): no valid image in ring; starting fresh");
+  }
+  return false;
+}
+
+bool RfdetRuntime::RestoreFromCheckpoint(const std::string& path,
+                                         bool last_candidate) {
+  // On the last (or only) candidate a failure means the run starts fresh;
+  // earlier in the ring it just means the next-newest image is tried.
+  const char* const and_then =
+      last_candidate ? "; starting fresh" : "; trying older image";
+  const auto fail = [&](const std::string& why) {
+    ReportError(RfdetErrc::kIo, "checkpoint restore failed (" + path +
+                                    "): " + why + and_then);
     return false;
   };
   std::string blob;
   if (!LoadCheckpointFile(
           path, options_.fault_injector,
-          [this](RfdetErrc errc, const std::string& what) {
-            ReportError(errc, what + "; starting fresh");
+          [&](RfdetErrc errc, const std::string& what) {
+            ReportError(errc, what + and_then);
           },
           &blob)) {
     return false;  // already reported
@@ -1905,12 +1968,13 @@ bool RfdetRuntime::RestoreFromCheckpoint(const std::string& path) {
   // (including the page section) has been bounds-checked, so a truncated
   // or mismatched file leaves the fresh-constructed runtime untouched.
   size_t pos = 0;
-  uint64_t version, region, statics, maxthreads, seq;
+  uint64_t version, region, statics, maxthreads, seq, resume_clock;
   if (!wire::GetU64(blob, &pos, &version) ||
       !wire::GetU64(blob, &pos, &region) ||
       !wire::GetU64(blob, &pos, &statics) ||
       !wire::GetU64(blob, &pos, &maxthreads) ||
-      !wire::GetU64(blob, &pos, &seq)) {
+      !wire::GetU64(blob, &pos, &seq) ||
+      !wire::GetU64(blob, &pos, &resume_clock)) {
     return fail("truncated header");
   }
   if (version != kCheckpointVersion) {
@@ -1966,6 +2030,10 @@ bool RfdetRuntime::RestoreFromCheckpoint(const std::string& path) {
       !wire::GetU64(blob, &pos, &slice_seq) ||
       !wire::GetU64(blob, &pos, &nheld) || nheld > blob.size() / 8) {
     return fail("truncated main-thread state");
+  }
+  if (main_clock != resume_clock) {
+    return fail("header resume clock " + std::to_string(resume_clock) +
+                " disagrees with main clock " + std::to_string(main_clock));
   }
   std::vector<size_t> held(nheld);
   for (uint64_t i = 0; i < nheld; ++i) {
@@ -2119,6 +2187,8 @@ bool RfdetRuntime::RestoreFromCheckpoint(const std::string& path) {
   }
 
   checkpoint_seq_ = seq + 1;
+  restored_seq_ = seq;
+  restored_clock_ = main_clock;
   restored_resume_ = std::move(resume);
   return true;
 }

@@ -211,6 +211,15 @@ class RfdetRuntime {
   RfdetErrc CheckpointNow();
   // True when this runtime was restored from options.restore_checkpoint_path.
   [[nodiscard]] bool Restored() const noexcept { return restored_; }
+  // The restored image's sequence number / resume kendo clock (0 unless
+  // Restored()). The supervisor cross-checks these against the image it
+  // picked the resume point from.
+  [[nodiscard]] uint64_t RestoredCheckpointSeq() const noexcept {
+    return restored_seq_;
+  }
+  [[nodiscard]] uint64_t RestoredClock() const noexcept {
+    return restored_clock_;
+  }
   // The record/replay log (null when replay_mode is kOff).
   [[nodiscard]] const ReplayLog* replay_log() const noexcept {
     return replay_.get();
@@ -477,10 +486,16 @@ class RfdetRuntime {
   // Builds and commits the image (meta blob + non-zero region pages).
   // False on I/O failure; the previous checkpoint file stays intact.
   bool WriteCheckpoint(ThreadCtx& me);
-  // Constructor-time restore from options.restore_checkpoint_path. On any
-  // failure (missing/truncated/mismatched image) reports RfdetErrc::kIo
-  // and returns false with the fresh-constructed state untouched.
-  bool RestoreFromCheckpoint(const std::string& path);
+  // Constructor-time restore: ranks every ring slot under
+  // options.restore_checkpoint_path by header sequence number and
+  // restores from the newest image that passes validation. False (after
+  // reporting RfdetErrc::kIo) when no slot does.
+  bool RestoreLatestValid();
+  // One restore attempt. On any failure (missing/truncated/mismatched
+  // image) reports RfdetErrc::kIo and returns false with the
+  // fresh-constructed state untouched; `last_candidate` only picks the
+  // report's "starting fresh" vs "trying older image" suffix.
+  bool RestoreFromCheckpoint(const std::string& path, bool last_candidate);
 
   RfdetOptions options_;
   MetadataArena arena_;
@@ -527,6 +542,8 @@ class RfdetRuntime {
   uint64_t checkpoint_seq_ = 0;
   uint64_t turns_since_checkpoint_ = 0;
   bool restored_ = false;
+  uint64_t restored_seq_ = 0;    // image seq the runtime restored from
+  uint64_t restored_clock_ = 0;  // kendo clock execution resumed at
   // Log cursors staged by RestoreFromCheckpoint for replay_'s Config.
   ReplayResume restored_resume_;
 

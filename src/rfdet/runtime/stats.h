@@ -91,6 +91,11 @@ struct StatsSnapshot {
   uint64_t checkpoints_written = 0, checkpoint_skips = 0;
   uint64_t checkpoint_bytes = 0, checkpoint_ns = 0;
   uint64_t checkpoint_io_errors = 0, restores = 0;
+  // Process-level supervision (filled by supervise::Supervisor::Run — the
+  // supervisor lives outside the runtime, in the parent process, so these
+  // stay zero in a runtime's own Snapshot()).
+  uint64_t sup_restarts = 0, sup_crashes = 0, sup_quarantines = 0;
+  uint64_t sup_resume_ns = 0;  // Σ fork→ready recovery wall time
   // Aggregated ViewStats.
   uint64_t stores_with_copy = 0, page_faults = 0, mprotect_calls = 0;
   uint64_t pages_diffed = 0;

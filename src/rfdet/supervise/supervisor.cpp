@@ -1,0 +1,519 @@
+#include "rfdet/supervise/supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "rfdet/common/backoff.h"
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/common/wire.h"
+#include "rfdet/replay/checkpoint.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+
+namespace {
+
+// Pipe protocol, child → parent. One type byte, then fixed little-endian
+// u64 fields (common/wire.h). The stream is append-only and self-framing;
+// anything else is a garbled channel and degrades supervision to
+// waitpid-only.
+constexpr uint8_t kMsgHeartbeat = 1;            // 1 byte
+constexpr uint8_t kMsgReady = 2;                // + restored, seq, clock
+constexpr uint8_t kMsgDone = 3;                 // + rollup, divergences
+constexpr size_t kReadyBytes = 1 + 3 * 8;
+constexpr size_t kDoneBytes = 1 + 2 * 8;
+
+uint64_t U64At(const std::string& buf, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(buf[at + static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+std::string SignalText(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGABRT: return "SIGABRT";
+    case SIGKILL: return "SIGKILL";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal " + std::to_string(sig);
+  }
+}
+
+// Deterministic text for how a child died — feeds events and the
+// byte-identical post-mortem, so no pids, addresses, or timestamps.
+std::string DispositionText(int status, bool watchdog_kill) {
+  if (watchdog_kill) {
+    return "watchdog SIGKILL (heartbeat timeout)";
+  }
+  if (WIFSIGNALED(status)) {
+    return "fatal " + SignalText(WTERMSIG(status));
+  }
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    if (code == kRegionBackingLostExit) {
+      return "exit code 104 (region backing lost)";
+    }
+    return "exit code " + std::to_string(code);
+  }
+  return "unknown status";
+}
+
+std::string Hex64(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string ValidateSupervisorConfig(const SupervisorConfig& config) {
+  if (config.checkpoint_path.empty()) {
+    return "checkpoint_path must be set (the supervisor restarts from the "
+           "image ring)";
+  }
+  if (config.checkpoint_retain == 0) {
+    return "checkpoint_retain must be >= 1 (the ring needs at least one "
+           "image slot)";
+  }
+  if (config.quarantine_after == 0) {
+    return "quarantine_after must be >= 1 (0 would quarantine before the "
+           "first crash)";
+  }
+  if (!config.runtime.isolation) {
+    return "supervision requires isolation (the checkpoint image is the "
+           "main view's region)";
+  }
+  if (config.heartbeat_timeout_ms > 0 && config.heartbeat_interval_ms == 0) {
+    return "heartbeat_timeout_ms requires heartbeat_interval_ms > 0 (a "
+           "silent child would always be killed)";
+  }
+  if (config.heartbeat_timeout_ms > 0 &&
+      config.heartbeat_timeout_ms <= config.heartbeat_interval_ms) {
+    return "heartbeat_timeout_ms must exceed heartbeat_interval_ms (the "
+           "watchdog would race every beat)";
+  }
+  return "";
+}
+
+// ---- SupervisedChild -------------------------------------------------------
+
+struct SupervisedChild::HeartbeatState {
+  std::mutex m;
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread th;
+};
+
+SupervisedChild::SupervisedChild(int fd, uint32_t attempt, bool resumed,
+                                 FaultInjector* injector,
+                                 uint32_t heartbeat_interval_ms)
+    : fd_(fd),
+      attempt_(attempt),
+      resumed_(resumed),
+      injector_(injector),
+      heartbeat_interval_ms_(heartbeat_interval_ms) {}
+
+SupervisedChild::~SupervisedChild() { StopHeartbeat(); }
+
+void SupervisedChild::Send(const std::string& msg) noexcept {
+  if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kSupervisorIpc)) {
+    return;  // injected IPC fault: the message is lost on the wire
+  }
+  size_t off = 0;
+  while (off < msg.size()) {
+    const ssize_t n = ::write(fd_, msg.data() + off, msg.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // parent gone or channel degraded; supervision is advisory
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void SupervisedChild::StartHeartbeat() {
+  if (heartbeat_interval_ms_ == 0 || hb_ != nullptr) return;
+  hb_ = new HeartbeatState();
+  hb_->th = std::thread([this] {
+    std::unique_lock<std::mutex> lk(hb_->m);
+    for (;;) {
+      hb_->cv.wait_for(lk, std::chrono::milliseconds(heartbeat_interval_ms_),
+                       [this] { return hb_->stop; });
+      if (hb_->stop) return;
+      lk.unlock();
+      Send(std::string(1, static_cast<char>(kMsgHeartbeat)));
+      lk.lock();
+    }
+  });
+}
+
+void SupervisedChild::StopHeartbeat() {
+  if (hb_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(hb_->m);
+    hb_->stop = true;
+  }
+  hb_->cv.notify_all();
+  hb_->th.join();
+  delete hb_;
+  hb_ = nullptr;
+}
+
+void SupervisedChild::Ready(const RfdetRuntime& rt) {
+  std::string msg(1, static_cast<char>(kMsgReady));
+  wire::PutU64(msg, rt.Restored() ? 1 : 0);
+  wire::PutU64(msg, rt.RestoredCheckpointSeq());
+  wire::PutU64(msg, rt.RestoredClock());
+  Send(msg);
+}
+
+void SupervisedChild::Finish(uint64_t rollup, uint64_t divergences) {
+  std::string msg(1, static_cast<char>(kMsgDone));
+  wire::PutU64(msg, rollup);
+  wire::PutU64(msg, divergences);
+  Send(msg);
+}
+
+// ---- Supervisor ------------------------------------------------------------
+
+Supervisor::Supervisor(SupervisorConfig config) : config_(std::move(config)) {}
+
+void Supervisor::Event(SupervisionResult& res, const std::string& what) const {
+  res.events.push_back(what);
+  if (config_.on_event) config_.on_event(what);
+}
+
+Supervisor::Launch Supervisor::PickResume() const {
+  Launch launch;
+  for (const std::string& path :
+       CheckpointRingPaths(config_.checkpoint_path, config_.checkpoint_retain)) {
+    CheckpointPeek peek;
+    if (!PeekCheckpoint(path, &peek)) continue;
+    if (!launch.has_image || peek.seq > launch.seq) {
+      launch.has_image = true;
+      launch.seq = peek.seq;
+      launch.clock = peek.resume_clock;
+      launch.log_offset = peek.log_offset;
+      launch.slot = path;
+    }
+  }
+  return launch;
+}
+
+std::string Supervisor::RingStateText() const {
+  std::string out;
+  for (const std::string& path :
+       CheckpointRingPaths(config_.checkpoint_path, config_.checkpoint_retain)) {
+    CheckpointPeek peek;
+    out += "  " + path + ": ";
+    if (PeekCheckpoint(path, &peek)) {
+      out += "seq " + std::to_string(peek.seq) + ", resume clock " +
+             std::to_string(peek.resume_clock) + ", log offset " +
+             std::to_string(peek.log_offset) + "\n";
+    } else {
+      out += "no valid image\n";
+    }
+  }
+  return out;
+}
+
+void Supervisor::RunChild(int fd, const Launch& launch, uint32_t attempt,
+                          const Body& body) {
+  // A dead parent must not kill the child mid-write; Send handles EPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  RfdetOptions opts = config_.runtime;
+  opts.checkpoint_path = config_.checkpoint_path;
+  opts.checkpoint_interval_turns = config_.checkpoint_interval_turns;
+  opts.checkpoint_retain = config_.checkpoint_retain;
+  if (!config_.replay_log_path.empty()) {
+    opts.replay_mode = ReplayMode::kRecord;
+    opts.replay_log_path = config_.replay_log_path;
+  }
+  // Point the runtime at the ring base only when the parent saw a valid
+  // image: RestoreLatestValid re-scans the ring itself (so a newest image
+  // that fails deep validation still falls back to an older slot), and an
+  // empty path avoids a spurious "starting fresh" error on first launch.
+  opts.restore_checkpoint_path =
+      launch.has_image ? config_.checkpoint_path : std::string();
+
+  SupervisedChild child(fd, attempt, launch.has_image, config_.injector,
+                        config_.heartbeat_interval_ms);
+  child.StartHeartbeat();
+  int code = 1;
+  try {
+    code = body(opts, child);
+  } catch (...) {
+    code = 1;
+  }
+  child.StopHeartbeat();
+  // _Exit: the child is a fork of an arbitrary host process (test binary,
+  // bench); running its atexit handlers here would be wrong twice over.
+  std::_Exit(code & 0xff);
+}
+
+SupervisionResult Supervisor::Run(const Body& body) {
+  using Clock = std::chrono::steady_clock;
+  SupervisionResult res;
+
+  const std::string invalid = ValidateSupervisorConfig(config_);
+  if (!invalid.empty()) {
+    Event(res, "config rejected: " + invalid);
+    res.outcome = SupervisionOutcome::kFailed;
+    return res;
+  }
+
+  RestartBackoff backoff(config_.backoff_min_ms, config_.backoff_max_ms);
+  uint32_t consecutive = 0;       // deaths in a row at poison_clock
+  uint64_t poison_clock = 0;
+  bool have_poison = false;
+  std::string last_disposition;
+
+  for (;;) {
+    const Launch launch = PickResume();
+    int fds[2];
+    if (::pipe2(fds, O_CLOEXEC) != 0) {
+      Event(res, "pipe2 failed: " + std::string(std::strerror(errno)));
+      res.outcome = SupervisionOutcome::kFailed;
+      break;
+    }
+    const Clock::time_point t0 = Clock::now();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      Event(res, "fork failed: " + std::string(std::strerror(errno)));
+      res.outcome = SupervisionOutcome::kFailed;
+      break;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      RunChild(fds[1], launch, res.attempts, body);
+    }
+    ::close(fds[1]);
+    ++res.attempts;
+    Event(res, "attempt " + std::to_string(res.attempts - 1) + ": " +
+                   (launch.has_image
+                        ? "resume from checkpoint seq " +
+                              std::to_string(launch.seq) + " (clock " +
+                              std::to_string(launch.clock) + ", " +
+                              launch.slot + ")"
+                        : "fresh start"));
+
+    // ---- monitor: pipe messages + heartbeat watchdog ----------------------
+    bool watchdog_fired = false;
+    bool done_seen = false;
+    std::string buf;
+    size_t pos = 0;
+    const int rfd = fds[0];
+    bool channel_open = true;
+    while (channel_open) {
+      struct pollfd pfd;
+      pfd.fd = rfd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int timeout_ms = config_.heartbeat_timeout_ms > 0
+                                 ? static_cast<int>(config_.heartbeat_timeout_ms)
+                                 : -1;
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        ++res.ipc_errors;
+        Event(res, "ipc: poll failed (" + std::string(std::strerror(errno)) +
+                       "); supervision degrades to waitpid-only");
+        break;
+      }
+      if (pr == 0) {
+        watchdog_fired = true;
+        ++res.watchdog_kills;
+        ::kill(pid, SIGKILL);
+        Event(res, "watchdog: no heartbeat for " +
+                       std::to_string(config_.heartbeat_timeout_ms) +
+                       " ms; SIGKILL");
+        break;
+      }
+      char tmp[256];
+      const ssize_t n = ::read(rfd, tmp, sizeof tmp);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ++res.ipc_errors;
+        Event(res, "ipc: read failed (" + std::string(std::strerror(errno)) +
+                       "); supervision degrades to waitpid-only");
+        break;
+      }
+      if (n == 0) break;  // EOF: child exited (or closed its end)
+      buf.append(tmp, static_cast<size_t>(n));
+      while (pos < buf.size()) {
+        const uint8_t type = static_cast<uint8_t>(buf[pos]);
+        if (type == kMsgHeartbeat) {
+          ++pos;
+          continue;
+        }
+        if (type == kMsgReady) {
+          if (buf.size() - pos < kReadyBytes) break;
+          const uint64_t child_restored = U64At(buf, pos + 1);
+          const uint64_t child_seq = U64At(buf, pos + 9);
+          const uint64_t child_clock = U64At(buf, pos + 17);
+          pos += kReadyBytes;
+          const uint64_t ns = static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - t0)
+                  .count());
+          ++res.resume_samples;
+          res.resume_ns_total += ns;
+          if (ns > res.resume_ns_max) res.resume_ns_max = ns;
+          const bool match = (child_restored != 0) == launch.has_image &&
+                             child_seq == launch.seq &&
+                             child_clock == launch.clock;
+          if (!match) {
+            ++res.resume_mismatches;
+            Event(res, "resume verification mismatch: expected seq " +
+                           std::to_string(launch.seq) + " clock " +
+                           std::to_string(launch.clock) + ", child reports " +
+                           (child_restored != 0
+                                ? "seq " + std::to_string(child_seq) +
+                                      " clock " + std::to_string(child_clock)
+                                : std::string("fresh start")));
+          } else {
+            Event(res, "ready: " +
+                           (launch.has_image
+                                ? "resumed at clock " +
+                                      std::to_string(child_clock) +
+                                      " (verified against image seq " +
+                                      std::to_string(child_seq) + ")"
+                                : std::string("fresh run started")));
+          }
+          continue;
+        }
+        if (type == kMsgDone) {
+          if (buf.size() - pos < kDoneBytes) break;
+          res.rollup = U64At(buf, pos + 1);
+          res.divergences = U64At(buf, pos + 9);
+          res.rollup_valid = true;
+          done_seen = true;
+          pos += kDoneBytes;
+          continue;
+        }
+        ++res.ipc_errors;
+        Event(res, "ipc: garbled message type " + std::to_string(type) +
+                       "; supervision degrades to waitpid-only");
+        channel_open = false;
+        break;
+      }
+      if (pos > 4096) {
+        buf.erase(0, pos);
+        pos = 0;
+      }
+    }
+    ::close(rfd);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    res.last_status = status;
+
+    const bool clean =
+        !watchdog_fired && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (clean) {
+      res.outcome = SupervisionOutcome::kCompleted;
+      Event(res, done_seen ? "child completed; rollup " + Hex64(res.rollup)
+                           : "child completed (no Done message; rollup "
+                             "unavailable)");
+      break;
+    }
+
+    // ---- failure: classify, account toward quarantine, maybe restart ------
+    ++res.crashes;
+    last_disposition = DispositionText(status, watchdog_fired);
+    Event(res, "child died: " + last_disposition + " (was resuming at clock " +
+                   std::to_string(launch.clock) + ")");
+
+    if (have_poison && launch.clock == poison_clock) {
+      ++consecutive;
+    } else {
+      // The resume point advanced: previous restarts made progress, so the
+      // failure is not (yet) a reproducible poison turn.
+      consecutive = 1;
+      poison_clock = launch.clock;
+      have_poison = true;
+      backoff.Reset();
+    }
+    if (consecutive >= config_.quarantine_after) {
+      res.quarantines = 1;
+      res.outcome = SupervisionOutcome::kQuarantined;
+      std::string pm;
+      pm += "rfdet supervisor post-mortem\n";
+      pm += "reason: poison turn: " + std::to_string(consecutive) +
+            " consecutive deaths resuming at kendo clock " +
+            std::to_string(poison_clock) + "\n";
+      pm += "resume point: ";
+      pm += launch.has_image
+                ? "checkpoint seq " + std::to_string(launch.seq) + " (" +
+                      launch.slot + ")"
+                : std::string("fresh start (no valid image)");
+      pm += "\n";
+      pm += "replay log: ";
+      pm += config_.replay_log_path.empty()
+                ? std::string("disabled")
+                : config_.replay_log_path + " (durable offset " +
+                      std::to_string(launch.log_offset) + ")";
+      pm += "\n";
+      pm += "crash: " + last_disposition + "\n";
+      pm += "image ring:\n" + RingStateText();
+      res.post_mortem = pm;
+      if (!config_.post_mortem_path.empty()) {
+        if (FILE* f = std::fopen(config_.post_mortem_path.c_str(), "w")) {
+          std::fwrite(pm.data(), 1, pm.size(), f);
+          std::fclose(f);
+        }
+      }
+      Event(res, "quarantined: poison turn at clock " +
+                     std::to_string(poison_clock) + " after " +
+                     std::to_string(consecutive) + " consecutive deaths");
+      break;
+    }
+
+    if (res.restarts >= config_.max_restarts) {
+      res.outcome = SupervisionOutcome::kRestartBudget;
+      Event(res, "restart budget exhausted (" +
+                     std::to_string(config_.max_restarts) + ")");
+      break;
+    }
+    ++res.restarts;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff.NextMs()));
+  }
+
+  const std::string rollup_note =
+      res.rollup_valid ? "; rollup " + Hex64(res.rollup) : std::string();
+  std::fprintf(
+      stderr,
+      "rfdet: supervisor %s: attempts=%u restarts=%u crashes=%u watchdog=%u "
+      "quarantines=%u ipc-errors=%u mismatches=%u resume-avg=%.2f ms%s\n",
+      SupervisionOutcomeName(res.outcome), res.attempts, res.restarts,
+      res.crashes, res.watchdog_kills, res.quarantines, res.ipc_errors,
+      res.resume_mismatches,
+      res.resume_samples == 0
+          ? 0.0
+          : static_cast<double>(res.resume_ns_total / res.resume_samples) / 1e6,
+      rollup_note.c_str());
+  return res;
+}
+
+}  // namespace rfdet

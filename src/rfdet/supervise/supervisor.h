@@ -1,0 +1,227 @@
+// Process-level crash isolation for the deterministic runtime.
+//
+// The paper's pitch is that any failure is reproducible — but a runtime
+// still dies with the process hosting it. The Supervisor closes that loop:
+// it fork(2)s the workload (a user callback receiving amended RfdetOptions)
+// into a child process, monitors the child over a pipe heartbeat plus
+// waitpid(2), and on *any* failure — fatal signal (SIGSEGV/SIGBUS/SIGABRT),
+// deadlock or watchdog panic, replay divergence, nonzero exit — restarts it
+// from the newest valid checkpoint image plus the durable replay-log tail.
+// Determinism is what makes this safe: execution resumed from a checkpoint
+// is a pure function of the image, so the supervised run's final §11
+// fingerprint rollup is bit-identical to an uninterrupted one (gated in
+// bench/chaos_soak).
+//
+// Robustness policy lives here, not in the child:
+//   * capped-exponential restart backoff (common/backoff.h RestartBackoff);
+//   * a max_restarts budget bounding total respawns;
+//   * crash-loop quarantine: K consecutive deaths that resumed at the same
+//     kendo clock mean the failure is *inside* the deterministic execution
+//     ("poison turn") and a restart will reproduce it forever — stop
+//     retrying and emit a byte-identical post-mortem bundle (resume point,
+//     checkpoint slot, durable log offset, crash disposition, image ring
+//     state) instead of looping;
+//   * heartbeat watchdog: with heartbeat_timeout_ms set, a child that stops
+//     writing (hung outside the runtime's own watchdog reach) is SIGKILLed
+//     and restarted.
+//
+// Supervision state machine (DESIGN.md §16):
+//
+//   [pick resume point] → fork → (Ready) → run → exit 0 → kCompleted
+//        ^                         | crash/timeout
+//        |                         v
+//        +── backoff ──── restarts < max_restarts? ── no ──→ kRestartBudget
+//                          | yes
+//                          v
+//            K-th death at same resume clock? ── yes ──→ kQuarantined
+//
+// IPC failures (pipe write/read errors, injected FaultSite::kSupervisorIpc
+// faults) degrade supervision to waitpid-only — they never kill a healthy
+// child and never crash the supervisor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rfdet/runtime/options.h"
+#include "rfdet/runtime/stats.h"
+
+namespace rfdet {
+
+class RfdetRuntime;
+
+struct SupervisorConfig {
+  // Base options for the child runtime. The supervisor amends the
+  // checkpoint/replay knobs below before handing them to the body; all
+  // other fields (geometry, fingerprinting, fault injector, …) pass
+  // through untouched.
+  RfdetOptions runtime;
+
+  // Checkpoint image ring base (required) and its policy.
+  std::string checkpoint_path;
+  uint64_t checkpoint_interval_turns = 32;
+  size_t checkpoint_retain = 2;
+  // Durable replay log recorded by the child ("" disables recording: the
+  // child then resumes from the image alone, which is still bit-identical
+  // — the log only serves post-hoc replay).
+  std::string replay_log_path;
+
+  // Restart policy.
+  uint32_t max_restarts = 16;     // respawn budget (attempts = restarts + 1)
+  uint32_t quarantine_after = 3;  // K consecutive deaths at one resume clock
+  uint32_t backoff_min_ms = 1;    // RestartBackoff floor …
+  uint32_t backoff_max_ms = 64;   // … and cap
+
+  // Heartbeat: the child writes a beat every interval; a parent poll(2)
+  // that sees nothing for timeout ms SIGKILLs the child and restarts it.
+  // timeout 0 disables the watchdog (waitpid-only supervision);
+  // interval 0 disables the child-side beat thread.
+  uint32_t heartbeat_interval_ms = 20;
+  uint32_t heartbeat_timeout_ms = 0;
+
+  // Where the quarantine post-mortem bundle is written ("" = keep it only
+  // in SupervisionResult::post_mortem).
+  std::string post_mortem_path;
+
+  // FaultSite::kSupervisorIpc injection: each child-side Send (heartbeat /
+  // Ready / Done) consults this injector and an injected hit loses the
+  // message on the wire — the lossy-channel simulation. The parent never
+  // trusts the channel for liveness (waitpid is authoritative), so lost
+  // messages degrade observability, not supervision. The child runtime's
+  // own injector is runtime.fault_injector as usual.
+  FaultInjector* injector = nullptr;
+
+  // Structured supervision event tap (also collected in the result).
+  std::function<void(const std::string&)> on_event;
+};
+
+// First violated invariant ("" when valid) — same contract as
+// ValidateOptions.
+[[nodiscard]] std::string ValidateSupervisorConfig(
+    const SupervisorConfig& config);
+
+enum class SupervisionOutcome : uint8_t {
+  kCompleted = 0,   // child finished with exit code 0
+  kQuarantined,     // poison turn: stopped retrying, post-mortem emitted
+  kRestartBudget,   // max_restarts exhausted
+  kFailed,          // unsupervisable (invalid config, fork/pipe failure)
+};
+
+[[nodiscard]] constexpr const char* SupervisionOutcomeName(
+    SupervisionOutcome o) noexcept {
+  switch (o) {
+    case SupervisionOutcome::kCompleted:
+      return "completed";
+    case SupervisionOutcome::kQuarantined:
+      return "quarantined";
+    case SupervisionOutcome::kRestartBudget:
+      return "restart-budget-exhausted";
+    case SupervisionOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+struct SupervisionResult {
+  SupervisionOutcome outcome = SupervisionOutcome::kFailed;
+  uint32_t attempts = 0;         // child processes spawned
+  uint32_t restarts = 0;         // respawns after a failure
+  uint32_t crashes = 0;          // child deaths (signal / nonzero exit)
+  uint32_t watchdog_kills = 0;   // heartbeat timeouts → SIGKILL
+  uint32_t quarantines = 0;      // 0 or 1
+  uint32_t ipc_errors = 0;       // pipe faults (supervision degraded)
+  uint32_t resume_mismatches = 0;  // child Ready disagreed with the peek
+  uint64_t resume_samples = 0;   // Ready messages timed
+  uint64_t resume_ns_total = 0;  // Σ fork→Ready wall time
+  uint64_t resume_ns_max = 0;
+  bool rollup_valid = false;     // Done message received
+  uint64_t rollup = 0;           // final fingerprint rollup from the child
+  uint64_t divergences = 0;      // replay+fingerprint divergences reported
+  int last_status = 0;           // raw waitpid status of the last child
+  std::string post_mortem;       // byte-identical bundle ("" unless quarantined)
+  std::vector<std::string> events;
+
+  // The supervision counters in StatsSnapshot form (sup_restarts,
+  // sup_crashes, sup_quarantines, sup_resume_ns; everything else zero —
+  // the supervisor has no runtime of its own).
+  [[nodiscard]] StatsSnapshot SupStats() const noexcept {
+    StatsSnapshot s;
+    s.sup_restarts = restarts;
+    s.sup_crashes = crashes;
+    s.sup_quarantines = quarantines;
+    s.sup_resume_ns = resume_ns_total;
+    return s;
+  }
+};
+
+// Child-side handle the workload body uses to talk to its supervisor.
+class SupervisedChild {
+ public:
+  // 0 on the first run, incremented per restart. Lets chaos harnesses
+  // crash only the first attempt.
+  [[nodiscard]] uint32_t attempt() const noexcept { return attempt_; }
+  // True when the supervisor launched this attempt from a checkpoint.
+  [[nodiscard]] bool resumed() const noexcept { return resumed_; }
+
+  // Call once the runtime is constructed: reports the restore point the
+  // child actually landed on (the supervisor cross-checks it against the
+  // image it picked and times fork→Ready as sup_resume_ns).
+  void Ready(const RfdetRuntime& rt);
+  // Call after FinalizeFingerprint: hands the supervisor the final rollup
+  // (the §11 bit-identity instrument) and the run's divergence count.
+  void Finish(uint64_t rollup, uint64_t divergences = 0);
+
+ private:
+  friend class Supervisor;
+  SupervisedChild(int fd, uint32_t attempt, bool resumed,
+                  FaultInjector* injector, uint32_t heartbeat_interval_ms);
+  ~SupervisedChild();
+  void StartHeartbeat();
+  void StopHeartbeat();
+  void Send(const std::string& msg) noexcept;
+
+  int fd_;
+  uint32_t attempt_;
+  bool resumed_;
+  FaultInjector* injector_;
+  uint32_t heartbeat_interval_ms_;
+  struct HeartbeatState;
+  HeartbeatState* hb_ = nullptr;
+};
+
+class Supervisor {
+ public:
+  // The workload. Runs in the child process; receives the amended options
+  // (checkpoint ring + interval, kRecord replay, restore path when a valid
+  // image exists) and the child handle. Its return value is the child's
+  // exit code — return nonzero on any failure the supervisor should treat
+  // as a crash (e.g. a detected divergence).
+  using Body = std::function<int(const RfdetOptions&, SupervisedChild&)>;
+
+  explicit Supervisor(SupervisorConfig config);
+
+  // Runs `body` under supervision until it completes, quarantines, or
+  // exhausts the restart budget. Prints a one-line exit summary to stderr.
+  SupervisionResult Run(const Body& body);
+
+ private:
+  struct Launch {
+    bool has_image = false;
+    uint64_t seq = 0;
+    uint64_t clock = 0;       // kendo clock the child will resume at (0=fresh)
+    uint64_t log_offset = 0;  // durable replay-log offset tied to the image
+    std::string slot;         // ring slot path of the chosen image
+  };
+
+  Launch PickResume() const;
+  [[noreturn]] void RunChild(int fd, const Launch& launch, uint32_t attempt,
+                             const Body& body);
+  void Event(SupervisionResult& res, const std::string& what) const;
+  std::string RingStateText() const;
+
+  SupervisorConfig config_;
+};
+
+}  // namespace rfdet

@@ -1,0 +1,359 @@
+// Checkpoint image ring: slot rotation, newest-valid-first restore, and
+// fuzzed corruption (truncations and byte flips) of the RFDTCK01 header
+// and length-prefixed payload. The contract under attack: restore lands
+// on an older valid image or starts fresh — it never crashes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rfdet/replay/checkpoint.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace rfdet {
+namespace {
+
+constexpr size_t kThreads = 2;
+constexpr size_t kPhases = 3;
+constexpr size_t kIters = 4;
+constexpr size_t kRetain = 3;
+// magic (8) + version/region/statics/maxthreads/seq/resume_clock +
+// replay_active/file_offset (8 x u64) — what PeekCheckpoint reads.
+constexpr size_t kHeaderBytes = 72;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+RfdetOptions Small() {
+  RfdetOptions o;
+  o.region_bytes = 4u << 20;
+  o.static_bytes = 1u << 20;
+  o.divergence_policy = DivergencePolicy::kReport;
+  return o;
+}
+
+struct Layout {
+  GAddr counter = kNullGAddr;
+  GAddr phase = kNullGAddr;
+  GAddr slots = kNullGAddr;
+  size_t mutex_id = 0;
+};
+
+// The phase-boundary AtomicStore is the only quiescent-and-clean main
+// turn end, so interval checkpoints land there — one image per phase.
+uint64_t RunPhased(RfdetRuntime& rt, Layout* io_layout) {
+  Layout a;
+  if (rt.Restored()) {
+    a = *io_layout;
+  } else {
+    a.counter = rt.AllocStatic(64);
+    a.phase = a.counter + 8;
+    a.slots = rt.AllocStatic(4096, 64);
+    a.mutex_id = rt.CreateMutex();
+    *io_layout = a;
+  }
+  while (true) {
+    const uint64_t p = rt.AtomicLoad(a.phase);
+    if (p >= kPhases) break;
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < kThreads; ++t) {
+      tids.push_back(rt.Spawn([&rt, &a, p, t] {
+        for (size_t i = 0; i < kIters; ++i) {
+          if (rt.MutexLock(a.mutex_id) != RfdetErrc::kOk) std::_Exit(9);
+          uint64_t v = 0;
+          rt.Load(a.counter, &v, sizeof v);
+          ++v;
+          rt.Store(a.counter, &v, sizeof v);
+          rt.MutexUnlock(a.mutex_id);
+          const uint64_t w = (p << 8) | (t * 64 + i);
+          rt.Store(a.slots + ((p * kThreads + t) * kIters + i) * 8, &w,
+                   sizeof w);
+          rt.Tick(2);
+        }
+      }));
+    }
+    for (size_t t = 0; t < kThreads; ++t) {
+      if (rt.Join(tids[t]) != RfdetErrc::kOk) std::_Exit(9);
+    }
+    rt.AtomicStore(a.phase, p + 1);
+  }
+  return rt.FinalizeFingerprint();
+}
+
+void CleanRing(const std::string& base) {
+  for (const std::string& p : CheckpointRingPaths(base, kRetain)) {
+    std::remove(p.c_str());
+  }
+}
+
+// Runs the workload once with interval checkpoints rotating over the ring.
+// Fingerprinting stays off so the images restore into plain Small()
+// runtimes (an image records whether its run fingerprinted and a restore
+// must match).
+void PopulateRing(const std::string& base, Layout* layout) {
+  CleanRing(base);
+  RfdetOptions o = Small();
+  o.checkpoint_path = base;
+  o.checkpoint_interval_turns = 8;
+  o.checkpoint_retain = kRetain;
+  RfdetRuntime rt(o);
+  RunPhased(rt, layout);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+struct Slot {
+  std::string path;
+  CheckpointPeek peek;
+};
+
+// Existing, peekable slots ranked newest-first.
+std::vector<Slot> RankedSlots(const std::string& base) {
+  std::vector<Slot> out;
+  for (const std::string& p : CheckpointRingPaths(base, kRetain)) {
+    CheckpointPeek peek;
+    if (PeekCheckpoint(p, &peek)) out.push_back({p, peek});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Slot& a, const Slot& b) { return a.peek.seq > b.peek.seq; });
+  return out;
+}
+
+TEST(CheckpointRingTest, SlotsRotateAndPeekRanksThem) {
+  const std::string base = TempPath("ring_rot.img");
+  Layout layout;
+  PopulateRing(base, &layout);
+
+  const std::vector<std::string> paths = CheckpointRingPaths(base, kRetain);
+  ASSERT_EQ(paths.size(), kRetain + 1);  // ring slots first, bare base last
+  EXPECT_EQ(paths.back(), base);
+  for (size_t i = 0; i < kRetain; ++i) {
+    EXPECT_EQ(paths[i], base + "." + std::to_string(i));
+  }
+
+  const std::vector<Slot> ranked = RankedSlots(base);
+  ASSERT_GE(ranked.size(), 2u);  // one image per phase, kPhases >= 2 retained
+  for (const Slot& s : ranked) {
+    EXPECT_EQ(s.peek.version, kCheckpointVersion);
+    // Each image lives in the slot its sequence number names.
+    EXPECT_EQ(s.path, CheckpointSlotPath(base, kRetain, s.peek.seq));
+  }
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LT(ranked[i].peek.seq, ranked[i - 1].peek.seq);
+    EXPECT_LT(ranked[i].peek.resume_clock, ranked[i - 1].peek.resume_clock);
+  }
+  CleanRing(base);
+}
+
+TEST(CheckpointRingTest, RestorePicksNewestValidImage) {
+  const std::string base = TempPath("ring_newest.img");
+  Layout layout;
+  PopulateRing(base, &layout);
+  const std::vector<Slot> ranked = RankedSlots(base);
+  ASSERT_GE(ranked.size(), 2u);
+
+  RfdetOptions o = Small();
+  o.restore_checkpoint_path = base;
+  o.checkpoint_retain = kRetain;
+  RfdetRuntime rt(o);
+  ASSERT_TRUE(rt.Restored());
+  EXPECT_EQ(rt.RestoredCheckpointSeq(), ranked[0].peek.seq);
+  EXPECT_EQ(rt.RestoredClock(), ranked[0].peek.resume_clock);
+  CleanRing(base);
+}
+
+TEST(CheckpointRingTest, CorruptNewestFallsBackToOlderImage) {
+  const std::string base = TempPath("ring_fallback.img");
+  Layout layout;
+  PopulateRing(base, &layout);
+  const std::vector<Slot> ranked = RankedSlots(base);
+  ASSERT_GE(ranked.size(), 2u);
+
+  // Truncate the newest image past the fixed header: it still peeks (and
+  // ranks first) but full validation rejects it.
+  const std::string newest = ReadFile(ranked[0].path);
+  ASSERT_GT(newest.size(), 256u);
+  WriteFile(ranked[0].path, newest.substr(0, 256));
+
+  std::vector<std::string> errors;
+  RfdetOptions o = Small();
+  o.restore_checkpoint_path = base;
+  o.checkpoint_retain = kRetain;
+  o.on_error = [&errors](RfdetErrc, const std::string& what) {
+    errors.push_back(what);
+  };
+  RfdetRuntime rt(o);
+  ASSERT_TRUE(rt.Restored());
+  EXPECT_EQ(rt.RestoredCheckpointSeq(), ranked[1].peek.seq);
+  bool saw_fallback = false;
+  for (const std::string& e : errors) {
+    if (e.find("trying older image") != std::string::npos) saw_fallback = true;
+  }
+  EXPECT_TRUE(saw_fallback) << "fallback to the older image was silent";
+  CleanRing(base);
+}
+
+TEST(CheckpointRingTest, AllSlotsCorruptStartsFreshAndStaysUsable) {
+  const std::string base = TempPath("ring_fresh.img");
+  // Fingerprinted reference for the rollup the degraded run must match.
+  uint64_t want = 0;
+  {
+    RfdetOptions o = Small();
+    o.fingerprint = FingerprintMode::kRecord;
+    o.fingerprint_path = TempPath("ring_fp_fresh_ref.bin");
+    RfdetRuntime rt(o);
+    Layout ref_layout;
+    want = RunPhased(rt, &ref_layout);
+  }
+  Layout ring_layout;
+  PopulateRing(base, &ring_layout);
+  for (const Slot& s : RankedSlots(base)) {
+    WriteFile(s.path, std::string("not a checkpoint image"));
+  }
+
+  std::vector<std::string> errors;
+  RfdetOptions o = Small();
+  o.restore_checkpoint_path = base;
+  o.checkpoint_retain = kRetain;
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = TempPath("ring_fp_fresh.bin");
+  o.on_error = [&errors](RfdetErrc, const std::string& what) {
+    errors.push_back(what);
+  };
+  RfdetRuntime rt(o);
+  EXPECT_FALSE(rt.Restored());
+  bool saw_fresh = false;
+  for (const std::string& e : errors) {
+    if (e.find("no valid image in ring; starting fresh") != std::string::npos) {
+      saw_fresh = true;
+    }
+  }
+  EXPECT_TRUE(saw_fresh);
+  // The degraded runtime is a fully working fresh runtime.
+  Layout layout;
+  EXPECT_EQ(RunPhased(rt, &layout), want);
+  CleanRing(base);
+}
+
+// One valid older image stays in the ring; the newest slot is replaced by
+// a mutilated copy. Whatever the mutilation, restore must land on the
+// older image or start fresh — and must never crash.
+class CheckpointFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = TempPath("ring_fuzz.img");
+    Layout layout;
+    PopulateRing(base_, &layout);
+    std::vector<Slot> ranked = RankedSlots(base_);
+    ASSERT_GE(ranked.size(), 2u);
+    victim_path_ = ranked[0].path;
+    victim_ = ReadFile(victim_path_);
+    ASSERT_GT(victim_.size(), kHeaderBytes);
+    older_seq_ = ranked[1].peek.seq;
+    // Leave exactly one valid fallback image.
+    for (size_t i = 2; i < ranked.size(); ++i) {
+      std::remove(ranked[i].path.c_str());
+    }
+  }
+
+  void TearDown() override { CleanRing(base_); }
+
+  // Restores against the mutilated ring. `must_reject` encodes the
+  // contract tier: a mutation that breaks a *validated* field (magic,
+  // version, geometry, length prefixes, structure) must send restore to
+  // the older image or a fresh start; a mutation in unchecked metadata
+  // (sequence label, replay cursors, page contents — the format has no
+  // checksum by design, crash consistency comes from tmp+rename) may be
+  // accepted. Both tiers share the hard floor: returning here at all —
+  // no crash, no hang, no unbounded allocation.
+  void FuzzRestore(const std::string& what, bool must_reject) {
+    RfdetOptions o = Small();
+    o.restore_checkpoint_path = base_;
+    o.checkpoint_retain = kRetain;
+    RfdetRuntime rt(o);
+    if (must_reject && rt.Restored()) {
+      EXPECT_EQ(rt.RestoredCheckpointSeq(), older_seq_)
+          << what << ": restore accepted the mutilated newest image";
+    }
+    // Not restored is fine: fresh start. Either way we got here — no UB.
+  }
+
+  std::string base_;
+  std::string victim_path_;
+  std::string victim_;
+  uint64_t older_seq_ = 0;
+};
+
+TEST_F(CheckpointFuzzTest, TruncationSweepLandsOlderValidOrFresh) {
+  // Any truncation loses the page-section sentinel at minimum, so every
+  // cut must invalidate the image.
+  const size_t len = victim_.size();
+  const size_t cuts[] = {0,      1,       7,       8,       9,
+                         23,     kHeaderBytes - 1, kHeaderBytes,
+                         kHeaderBytes + 1,         kHeaderBytes + 17,
+                         len / 4, len / 2, len - 9, len - 1};
+  for (const size_t cut : cuts) {
+    WriteFile(victim_path_, victim_.substr(0, cut));
+    FuzzRestore("truncate to " + std::to_string(cut), /*must_reject=*/true);
+  }
+}
+
+TEST_F(CheckpointFuzzTest, HeaderByteFlipsNeverCrash) {
+  // File bytes 0..39: magic, version, geometry — all validated, so a flip
+  // must bounce restore to the older image. Bytes 40..: sequence number,
+  // resume clock, replay cursors — unchecked metadata, acceptance allowed.
+  constexpr size_t kValidatedBytes = 40;
+  for (size_t off = 0; off < kHeaderBytes; ++off) {
+    std::string mutated = victim_;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0xFF);
+    WriteFile(victim_path_, mutated);
+    FuzzRestore("flip header byte " + std::to_string(off),
+                /*must_reject=*/off < kValidatedBytes);
+  }
+}
+
+TEST_F(CheckpointFuzzTest, PayloadFlipsAndLengthPrefixAttacksNeverCrash) {
+  const size_t len = victim_.size();
+  // Spots throughout the length-prefixed sub-blobs and page payload.
+  const size_t offs[] = {kHeaderBytes + 24, kHeaderBytes + 32, len / 3,
+                         len / 2,           (2 * len) / 3,     len - 8};
+  for (const size_t off : offs) {
+    std::string mutated = victim_;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0xFF);
+    WriteFile(victim_path_, mutated);
+    FuzzRestore("flip payload byte " + std::to_string(off),
+                /*must_reject=*/false);
+  }
+  // All-ones length prefix (the nondet-event count is the first length
+  // field after the replay cursors): a huge count must be bounds-checked
+  // and rejected, not allocated or memcpy'd.
+  std::string mutated = victim_;
+  for (size_t i = 0; i < 8; ++i) {
+    mutated[kHeaderBytes + 24 + i] = static_cast<char>(0xFF);
+  }
+  WriteFile(victim_path_, mutated);
+  FuzzRestore("length prefix 0xFFFFFFFFFFFFFFFF", /*must_reject=*/true);
+}
+
+}  // namespace
+}  // namespace rfdet

@@ -3,6 +3,10 @@
 // activate/deactivate cycles and multiple coexisting views.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+
 #include "rfdet/mem/thread_view.h"
 
 namespace rfdet {
@@ -78,6 +82,31 @@ TEST_F(FaultHandler, WriteFaultsOncePerSlicePerPage) {
   }
   EXPECT_EQ(view.Stats().page_faults, 4u);  // one per slice, same page
   ThreadView::DeactivateOnThisThread();
+}
+
+TEST_F(FaultHandler, LostMemfdBackingIsDiagnosedFailFast) {
+  // tmpfs dropping the flat image's backing mid-run surfaces as SIGBUS on
+  // a page past EOF. That is unrecoverable by construction (the page
+  // contents are gone), so the handler must produce the named fail-fast
+  // exit — not a silent hang, and not a bogus monitoring fault.
+  EXPECT_EXIT(
+      {
+        MetadataArena arena(16u << 20);
+        ThreadView view(1u << 20, MonitorMode::kPageFault, &arena);
+        if (view.MemfdFd() < 0) {
+          // No memfd backing on this kernel: fallback path, nothing to
+          // lose. Mimic the expected exit so the test stays meaningful
+          // where it can run.
+          ::fprintf(stderr, "region backing lost (skipped: no memfd)\n");
+          ::_exit(kRegionBackingLostExit);
+        }
+        ASSERT_EQ(::ftruncate(view.MemfdFd(), 0), 0);  // backing vanishes
+        view.ActivateOnThisThread();
+        const uint64_t v = 1;
+        view.Store(0, &v, sizeof v);  // faults in a page past EOF → SIGBUS
+        ::_exit(0);                   // absorbed the loss: test fails
+      },
+      ::testing::ExitedWithCode(kRegionBackingLostExit), "backing lost");
 }
 
 }  // namespace

@@ -366,6 +366,67 @@ TEST(FaultInjection, DamagedCheckpointRestoreStartsFreshAndSurvives) {
   std::remove(ckpt.c_str());
 }
 
+// ---- region backing (memfd exhaustion) --------------------------------------
+
+TEST(FaultInjection, MemfdReservationFailureFallsBackToAnonymousMapping) {
+  FaultInjector fi;
+  // Hit 0 is the view constructor's ftruncate — tmpfs has no room for the
+  // flat image, so the view must degrade to an anonymous mapping.
+  fi.Arm(FaultSite::kRegionBacking, {/*skip=*/0, /*count=*/1});
+  MetadataArena arena(16u << 20);
+  std::vector<std::string> errors;
+  ThreadView view(1u << 20, MonitorMode::kPageFault, &arena, &fi,
+                  /*track_reads=*/false,
+                  [&errors](RfdetErrc e, const std::string& what) {
+                    EXPECT_EQ(e, RfdetErrc::kNoMemory);
+                    errors.push_back(what);
+                  });
+  EXPECT_EQ(view.MemfdFd(), -1);  // no fd: checkpoint fast path disabled
+  EXPECT_EQ(view.Stats().backing_fallbacks, 1u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("memfd backing unavailable"), std::string::npos);
+}
+
+TEST(FaultInjection, MemfdFallbackRuntimeStaysCorrect) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kRegionBacking, {/*skip=*/0, /*count=*/1});
+  std::atomic<int> nomem_reports{0};
+  RfdetOptions o = Small();
+  o.monitor = MonitorMode::kPageFault;
+  o.fault_injector = &fi;
+  o.on_error = [&](RfdetErrc e, const std::string& what) {
+    if (e == RfdetErrc::kNoMemory &&
+        what.find("memfd backing unavailable") != std::string::npos) {
+      nomem_reports.fetch_add(1);
+    }
+  };
+  RfdetRuntime rt(o);
+  EXPECT_EQ(LockedCounterRun(rt, 20), 40u);  // degraded, not wrong
+  EXPECT_EQ(nomem_reports.load(), 1);
+}
+
+TEST(FaultInjection, HolePunchFailureZeroesThroughAliasAndStaysCorrect) {
+  FaultInjector fi;
+  // Hits 0/1 are the main and worker view ftruncates (pass); hit 2 is the
+  // worker CopyFrom's hole punch — the cheap zero-reset is refused and the
+  // view must fall back to zeroing through the alias mapping.
+  fi.Arm(FaultSite::kRegionBacking, {/*skip=*/2, /*count=*/1});
+  std::atomic<int> punch_reports{0};
+  RfdetOptions o = Small();
+  o.monitor = MonitorMode::kPageFault;
+  o.fault_injector = &fi;
+  o.on_error = [&](RfdetErrc e, const std::string& what) {
+    if (e == RfdetErrc::kNoMemory &&
+        what.find("hole punch failed") != std::string::npos) {
+      punch_reports.fetch_add(1);
+    }
+  };
+  RfdetRuntime rt(o);
+  EXPECT_EQ(LockedCounterRun(rt, 20), 40u);
+  EXPECT_EQ(punch_reports.load(), 1);
+  EXPECT_EQ(fi.Injected(FaultSite::kRegionBacking), 1u);
+}
+
 // ---- snapshot pool ----------------------------------------------------------
 
 class FaultInjectionDeathTest : public ::testing::Test {

@@ -198,6 +198,19 @@ TEST(OptionsValidation, RestoreNeedsIsolation) {
   EXPECT_NE(ValidateOptions(o).find("isolation"), std::string::npos);
 }
 
+TEST(OptionsValidation, CheckpointRetainBounds) {
+  RfdetOptions o = Valid();
+  o.checkpoint_path = "/tmp/ckpt.img";
+  o.checkpoint_retain = 0;
+  EXPECT_NE(ValidateOptions(o).find("checkpoint_retain"), std::string::npos);
+  o.checkpoint_retain = 1025;
+  EXPECT_NE(ValidateOptions(o).find("checkpoint_retain"), std::string::npos);
+  for (const size_t ok : {size_t{1}, size_t{2}, size_t{1024}}) {
+    o.checkpoint_retain = ok;
+    EXPECT_EQ(ValidateOptions(o), "") << ok;
+  }
+}
+
 TEST(OptionsValidation, TurnWaitMustBeKnownMode) {
   RfdetOptions o = Valid();
   o.turn_wait = "busy";

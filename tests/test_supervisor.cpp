@@ -1,0 +1,384 @@
+// Process-level supervision: crash isolation, checkpoint-resume restart,
+// heartbeat watchdog, crash-loop quarantine, and IPC degradation.
+//
+// The workload is the phased crash-restart shape from test_replay.cpp —
+// the only quiescent-and-clean main turn end is the phase boundary, so
+// interval checkpoints always land exactly where a restored run resumes.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/replay/checkpoint.h"
+#include "rfdet/runtime/runtime.h"
+#include "rfdet/supervise/supervisor.h"
+
+namespace rfdet {
+namespace {
+
+constexpr size_t kThreads = 2;
+constexpr size_t kPhases = 4;
+constexpr size_t kIters = 6;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+RfdetOptions Small() {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.divergence_policy = DivergencePolicy::kReport;
+  return o;
+}
+
+struct Layout {
+  GAddr counter = kNullGAddr;
+  GAddr phase = kNullGAddr;
+  GAddr scratch = kNullGAddr;
+  GAddr slots = kNullGAddr;
+  size_t mutex_id = 0;
+};
+
+enum class Kill : uint8_t { kNone, kExit, kSegv, kStop };
+
+uint64_t RunPhased(RfdetRuntime& rt, Layout* io_layout, uint64_t kill_at,
+                   Kill kill) {
+  std::atomic<uint64_t> ops{0};
+  Layout a;
+  if (rt.Restored()) {
+    a = *io_layout;  // allocation/sync-id assignment is deterministic
+  } else {
+    a.counter = rt.AllocStatic(64);
+    a.phase = a.counter + 8;
+    a.scratch = a.counter + 16;
+    a.slots = rt.AllocStatic(4096, 64);
+    a.mutex_id = rt.CreateMutex();
+    *io_layout = a;
+  }
+  while (true) {
+    const uint64_t p = rt.AtomicLoad(a.phase);
+    if (p >= kPhases) break;
+    std::vector<size_t> tids;
+    for (size_t t = 0; t < kThreads; ++t) {
+      tids.push_back(rt.Spawn([&rt, &a, &ops, p, t, kill_at, kill] {
+        for (size_t i = 0; i < kIters; ++i) {
+          if (rt.MutexLock(a.mutex_id) != RfdetErrc::kOk) std::_Exit(9);
+          uint64_t v = 0;
+          rt.Load(a.counter, &v, sizeof v);
+          ++v;
+          rt.Store(a.counter, &v, sizeof v);
+          rt.MutexUnlock(a.mutex_id);
+          const uint64_t w = (p << 8) | (t * 64 + i);
+          rt.Store(a.slots + ((p * kThreads + t) * kIters + i) * 8, &w,
+                   sizeof w);
+          rt.Tick(2);
+          const uint64_t n = ops.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (kill != Kill::kNone && n >= kill_at) {
+            switch (kill) {
+              case Kill::kExit: std::_Exit(3);
+              case Kill::kSegv: ::raise(SIGSEGV); std::_Exit(3);
+              case Kill::kStop: ::raise(SIGSTOP); break;  // watchdog's job
+              case Kill::kNone: break;
+            }
+          }
+        }
+      }));
+    }
+    if (rt.Join(tids[0]) != RfdetErrc::kOk) std::_Exit(9);
+    const uint64_t tag = 0x5C;
+    rt.Store(a.scratch, &tag, sizeof tag);  // keep main's slice dirty here
+    if (rt.Join(tids[1]) != RfdetErrc::kOk) std::_Exit(9);
+    rt.AtomicStore(a.phase, p + 1);  // clean + quiescent: checkpoints fire
+  }
+  return rt.FinalizeFingerprint();
+}
+
+// Uninterrupted reference rollup (also records the layout the supervised
+// bodies use to name restored objects).
+uint64_t Reference(Layout* layout, const std::string& tag) {
+  RfdetOptions o = Small();
+  o.fingerprint = FingerprintMode::kRecord;
+  o.fingerprint_path = TempPath("sup_fp_ref_" + tag + ".bin");
+  RfdetRuntime rt(o);
+  return RunPhased(rt, layout, 0, Kill::kNone);
+}
+
+SupervisorConfig BaseConfig(const std::string& tag) {
+  SupervisorConfig cfg;
+  cfg.runtime = Small();
+  cfg.runtime.fingerprint = FingerprintMode::kRecord;
+  cfg.runtime.fingerprint_path = TempPath("sup_fp_" + tag + ".bin");
+  cfg.checkpoint_path = TempPath("sup_ck_" + tag + ".img");
+  cfg.checkpoint_interval_turns = 8;
+  cfg.checkpoint_retain = 2;
+  cfg.replay_log_path = TempPath("sup_log_" + tag + ".bin");
+  cfg.max_restarts = 8;
+  cfg.quarantine_after = 4;
+  cfg.backoff_min_ms = 1;
+  cfg.backoff_max_ms = 4;
+  cfg.heartbeat_interval_ms = 10;
+  return cfg;
+}
+
+void CleanState(const SupervisorConfig& cfg) {
+  for (const std::string& p :
+       CheckpointRingPaths(cfg.checkpoint_path, cfg.checkpoint_retain)) {
+    std::remove(p.c_str());
+  }
+  std::remove(cfg.checkpoint_path.c_str());
+  std::remove(cfg.replay_log_path.c_str());
+  std::remove(cfg.runtime.fingerprint_path.c_str());
+  if (!cfg.post_mortem_path.empty()) {
+    std::remove(cfg.post_mortem_path.c_str());
+  }
+}
+
+Supervisor::Body PhasedBody(Layout layout, uint64_t kill_at, Kill kill,
+                            bool kill_every_attempt = false) {
+  return [layout, kill_at, kill, kill_every_attempt](
+             const RfdetOptions& opts, SupervisedChild& ctx) mutable -> int {
+    RfdetRuntime rt(opts);
+    ctx.Ready(rt);
+    const Kill k =
+        (kill_every_attempt || ctx.attempt() == 0) ? kill : Kill::kNone;
+    const uint64_t rollup = RunPhased(rt, &layout, kill_at, k);
+    const StatsSnapshot snap = rt.Snapshot();
+    ctx.Finish(rollup,
+               snap.fingerprint_divergences + snap.replay_divergences);
+    return 0;
+  };
+}
+
+// ---- config validation ------------------------------------------------------
+
+TEST(SupervisorConfigTest, ValidatesInvariants) {
+  SupervisorConfig cfg = BaseConfig("val");
+  EXPECT_EQ(ValidateSupervisorConfig(cfg), "");
+
+  SupervisorConfig c = cfg;
+  c.checkpoint_path = "";
+  EXPECT_NE(ValidateSupervisorConfig(c).find("checkpoint_path"),
+            std::string::npos);
+
+  c = cfg;
+  c.checkpoint_retain = 0;
+  EXPECT_NE(ValidateSupervisorConfig(c).find("checkpoint_retain"),
+            std::string::npos);
+
+  c = cfg;
+  c.quarantine_after = 0;
+  EXPECT_NE(ValidateSupervisorConfig(c).find("quarantine_after"),
+            std::string::npos);
+
+  c = cfg;
+  c.runtime.isolation = false;
+  EXPECT_NE(ValidateSupervisorConfig(c).find("isolation"), std::string::npos);
+
+  c = cfg;
+  c.heartbeat_interval_ms = 0;
+  c.heartbeat_timeout_ms = 50;
+  EXPECT_NE(ValidateSupervisorConfig(c).find("heartbeat_interval_ms"),
+            std::string::npos);
+
+  c = cfg;
+  c.heartbeat_interval_ms = 50;
+  c.heartbeat_timeout_ms = 50;
+  EXPECT_NE(ValidateSupervisorConfig(c).find("must exceed"),
+            std::string::npos);
+}
+
+TEST(SupervisorConfigTest, RunRejectsInvalidConfigWithoutForking) {
+  SupervisorConfig cfg = BaseConfig("rej");
+  cfg.checkpoint_path = "";
+  Supervisor sup(cfg);
+  const SupervisionResult res =
+      sup.Run([](const RfdetOptions&, SupervisedChild&) { return 0; });
+  EXPECT_EQ(res.outcome, SupervisionOutcome::kFailed);
+  EXPECT_EQ(res.attempts, 0u);
+  ASSERT_FALSE(res.events.empty());
+  EXPECT_NE(res.events.front().find("config rejected"), std::string::npos);
+}
+
+// ---- clean completion -------------------------------------------------------
+
+TEST(SupervisorTest, CleanRunCompletesWithoutRestart) {
+  Layout layout;
+  const uint64_t want = Reference(&layout, "clean");
+  SupervisorConfig cfg = BaseConfig("clean");
+  CleanState(cfg);
+  Supervisor sup(cfg);
+  const SupervisionResult res =
+      sup.Run(PhasedBody(layout, 0, Kill::kNone));
+  EXPECT_EQ(res.outcome, SupervisionOutcome::kCompleted);
+  EXPECT_EQ(res.attempts, 1u);
+  EXPECT_EQ(res.restarts, 0u);
+  EXPECT_EQ(res.crashes, 0u);
+  ASSERT_TRUE(res.rollup_valid);
+  EXPECT_EQ(res.rollup, want);
+  EXPECT_EQ(res.divergences, 0u);
+  EXPECT_EQ(res.resume_mismatches, 0u);
+  EXPECT_EQ(res.resume_samples, 1u);
+  const StatsSnapshot s = res.SupStats();
+  EXPECT_EQ(s.sup_restarts, 0u);
+  EXPECT_EQ(s.sup_crashes, 0u);
+  CleanState(cfg);
+}
+
+// ---- crash → checkpoint-resume restart --------------------------------------
+
+void ExpectRestartBitIdentical(const std::string& tag, Kill kill) {
+  Layout layout;
+  const uint64_t want = Reference(&layout, tag);
+  SupervisorConfig cfg = BaseConfig(tag);
+  CleanState(cfg);
+  Supervisor sup(cfg);
+  // Kill mid-run on attempt 0 only; attempt 1 resumes from the ring.
+  const SupervisionResult res = sup.Run(PhasedBody(layout, 20, kill));
+  EXPECT_EQ(res.outcome, SupervisionOutcome::kCompleted);
+  EXPECT_EQ(res.attempts, 2u);
+  EXPECT_EQ(res.restarts, 1u);
+  EXPECT_EQ(res.crashes, 1u);
+  ASSERT_TRUE(res.rollup_valid);
+  EXPECT_EQ(res.rollup, want) << "resumed execution diverged from the "
+                                 "uninterrupted reference";
+  EXPECT_EQ(res.divergences, 0u);
+  EXPECT_EQ(res.resume_mismatches, 0u);
+  EXPECT_EQ(res.resume_samples, 2u);
+  EXPECT_GT(res.resume_ns_max, 0u);
+  const StatsSnapshot s = res.SupStats();
+  EXPECT_EQ(s.sup_restarts, 1u);
+  EXPECT_EQ(s.sup_crashes, 1u);
+  EXPECT_EQ(s.sup_quarantines, 0u);
+  EXPECT_GT(s.sup_resume_ns, 0u);
+  CleanState(cfg);
+}
+
+TEST(SupervisorTest, RestartAfterExitIsBitIdentical) {
+  ExpectRestartBitIdentical("exit", Kill::kExit);
+}
+
+TEST(SupervisorTest, RestartAfterSegvIsBitIdentical) {
+  ExpectRestartBitIdentical("segv", Kill::kSegv);
+}
+
+// ---- heartbeat watchdog -----------------------------------------------------
+
+TEST(SupervisorTest, WatchdogRecoversStoppedChild) {
+  Layout layout;
+  const uint64_t want = Reference(&layout, "wd");
+  SupervisorConfig cfg = BaseConfig("wd");
+  CleanState(cfg);
+  cfg.heartbeat_interval_ms = 10;
+  cfg.heartbeat_timeout_ms = 300;  // generous: the suite shares one core
+  Supervisor sup(cfg);
+  // SIGSTOP freezes the whole child (heartbeat thread included) outside
+  // the runtime's own watchdog reach — only the supervisor can recover.
+  const SupervisionResult res = sup.Run(PhasedBody(layout, 20, Kill::kStop));
+  EXPECT_EQ(res.outcome, SupervisionOutcome::kCompleted);
+  EXPECT_EQ(res.attempts, 2u);
+  EXPECT_EQ(res.watchdog_kills, 1u);
+  EXPECT_EQ(res.crashes, 1u);
+  ASSERT_TRUE(res.rollup_valid);
+  EXPECT_EQ(res.rollup, want);
+  CleanState(cfg);
+}
+
+// ---- crash-loop quarantine --------------------------------------------------
+
+SupervisionResult RunPoisonScenario(const SupervisorConfig& base) {
+  SupervisorConfig cfg = base;
+  CleanState(cfg);
+  Supervisor sup(cfg);
+  // Dies at the 3rd inner op of every attempt — long before the first
+  // interval checkpoint can land, so every attempt resumes at clock 0.
+  return sup.Run(PhasedBody(Layout{}, 3, Kill::kExit,
+                            /*kill_every_attempt=*/true));
+}
+
+TEST(SupervisorTest, CrashLoopQuarantinesWithByteIdenticalPostMortem) {
+  SupervisorConfig cfg = BaseConfig("poison");
+  cfg.quarantine_after = 3;
+  cfg.post_mortem_path = TempPath("sup_pm_poison.txt");
+
+  const SupervisionResult a = RunPoisonScenario(cfg);
+  EXPECT_EQ(a.outcome, SupervisionOutcome::kQuarantined);
+  EXPECT_EQ(a.attempts, 3u);  // bounded: K deaths, not max_restarts
+  EXPECT_EQ(a.crashes, 3u);
+  EXPECT_EQ(a.quarantines, 1u);
+  ASSERT_FALSE(a.post_mortem.empty());
+  EXPECT_NE(a.post_mortem.find("poison turn"), std::string::npos);
+  EXPECT_NE(a.post_mortem.find("exit code 3"), std::string::npos);
+  EXPECT_NE(a.post_mortem.find("image ring"), std::string::npos);
+  EXPECT_EQ(a.SupStats().sup_quarantines, 1u);
+
+  // The bundle is also durable on disk.
+  std::string on_disk;
+  {
+    FILE* f = std::fopen(cfg.post_mortem_path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      on_disk.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  EXPECT_EQ(on_disk, a.post_mortem);
+
+  // Determinism of the diagnosis itself: the identical scenario must
+  // produce a byte-identical post-mortem.
+  const SupervisionResult b = RunPoisonScenario(cfg);
+  EXPECT_EQ(b.outcome, SupervisionOutcome::kQuarantined);
+  EXPECT_EQ(b.post_mortem, a.post_mortem);
+  CleanState(cfg);
+}
+
+// ---- restart budget ---------------------------------------------------------
+
+TEST(SupervisorTest, RestartBudgetBoundsRespawns) {
+  SupervisorConfig cfg = BaseConfig("budget");
+  CleanState(cfg);
+  cfg.max_restarts = 2;
+  cfg.quarantine_after = 100;  // never trips; the budget must
+  Supervisor sup(cfg);
+  const SupervisionResult res = sup.Run(
+      PhasedBody(Layout{}, 3, Kill::kExit, /*kill_every_attempt=*/true));
+  EXPECT_EQ(res.outcome, SupervisionOutcome::kRestartBudget);
+  EXPECT_EQ(res.attempts, 3u);  // initial + 2 restarts
+  EXPECT_EQ(res.restarts, 2u);
+  EXPECT_EQ(res.crashes, 3u);
+  EXPECT_EQ(res.quarantines, 0u);
+  CleanState(cfg);
+}
+
+// ---- IPC degradation --------------------------------------------------------
+
+TEST(SupervisorTest, TotalMessageLossDegradesToWaitpidOnly) {
+  Layout layout;
+  Reference(&layout, "ipc");
+  FaultInjector inj;
+  inj.Arm(FaultSite::kSupervisorIpc, {/*skip=*/0, /*count=*/UINT64_MAX});
+  SupervisorConfig cfg = BaseConfig("ipc");
+  CleanState(cfg);
+  cfg.injector = &inj;  // every child Send is lost on the wire
+  Supervisor sup(cfg);
+  const SupervisionResult res = sup.Run(PhasedBody(layout, 0, Kill::kNone));
+  // Supervision never trusted the channel for liveness: the run still
+  // completes; only observability (Ready timing, Done rollup) is lost.
+  EXPECT_EQ(res.outcome, SupervisionOutcome::kCompleted);
+  EXPECT_EQ(res.attempts, 1u);
+  EXPECT_EQ(res.crashes, 0u);
+  EXPECT_FALSE(res.rollup_valid);
+  EXPECT_EQ(res.resume_samples, 0u);
+  CleanState(cfg);
+}
+
+}  // namespace
+}  // namespace rfdet
