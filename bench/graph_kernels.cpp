@@ -1,0 +1,278 @@
+// Graph-analytics kernels on the deterministic executor: determinism
+// cells + throughput + executor overhead.
+//
+//   ./build/bench/graph_kernels [--scale=4] [--threads=4] [--repeat=3]
+//                               [--smoke] [--merge_json=path]
+//
+// Determinism cells (run even in --smoke, all hard gates): for each of
+// pagerank / bfs / cc, a fingerprinted record run must be bit-identical —
+// workload signature AND §11 fingerprint rollup — to verify runs under
+//   (a) an identical config (plain repeat),
+//   (b) turn_wait=park + off-turn close,
+//   (c) scalar kernels,
+// and signature + rollup must match an independent record under the
+// page-fault monitor. A grain sweep (explicit exec_grain vs auto) must
+// keep the signature (the reduce tree of an associative combine and the
+// worklist drain are grain-independent; the schedule itself is not, so
+// that cell compares signatures only). bfs additionally runs twice with
+// donation on: the donation counters ride the deterministic schedule and
+// must be equal run to run.
+//
+// Perf cells (skipped in --smoke): best-of-`repeat` slices/s per kernel on
+// rfdet-ci, plus the null-body ParallelFor region overhead in µs. Keys are
+// merged idempotently into bench/artifacts/BENCH_propagation.json with
+// --merge_json.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rfdet/apps/workload.h"
+#include "rfdet/backends/backends.h"
+#include "rfdet/exec/executor.h"
+#include "rfdet/harness/harness.h"
+
+namespace {
+
+using dmt::BackendConfig;
+using dmt::BackendKind;
+using harness::RunOutcome;
+
+int g_failures = 0;
+
+void Gate(bool ok, const std::string& what) {
+  std::printf("  %-58s %s\n", what.c_str(), ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+BackendConfig Rfdet(BackendKind kind) {
+  BackendConfig config;
+  config.kind = kind;
+  return config;
+}
+
+std::string FpPath(const std::string& kernel, const char* monitor) {
+  return "/tmp/graph_kernels_" + kernel + "_" + monitor + ".fp";
+}
+
+// One record + four verify/compare cells per kernel; returns true when
+// every cell was bit-identical.
+bool DeterminismCells(const apps::Workload& w, const apps::Params& params) {
+  std::printf("%s: determinism cells (threads=%zu scale=%d)\n",
+              w.Name().c_str(), params.threads, params.scale);
+  const std::string ci_fp = FpPath(w.Name(), "ci");
+  BackendConfig record = Rfdet(BackendKind::kRfdetCi);
+  record.fingerprint = rfdet::FingerprintMode::kRecord;
+  record.fingerprint_path = ci_fp;
+  record.turn_wait = "spin";
+  const RunOutcome base = harness::Measure(w, params, record);
+  const int before = g_failures;
+  Gate(base.fingerprint_rollup != 0, "record run produced a rollup");
+
+  const auto check = [&](const char* label, BackendConfig config) {
+    config.fingerprint = rfdet::FingerprintMode::kVerify;
+    config.fingerprint_path = ci_fp;
+    config.fingerprint_panic = false;
+    const RunOutcome out = harness::Measure(w, params, config);
+    Gate(out.divergence_report.empty() &&
+             out.signature == base.signature &&
+             out.fingerprint_rollup == base.fingerprint_rollup,
+         std::string(label) + " bit-identical");
+    if (!out.divergence_report.empty()) {
+      std::printf("    divergence: %s\n", out.divergence_report.c_str());
+    }
+  };
+  check("repeat (same config)", record);
+
+  BackendConfig park = record;
+  park.turn_wait = "park";
+  park.off_turn_close = true;
+  check("turn_wait=park + off-turn close", park);
+
+  BackendConfig scalar = record;
+  scalar.kernels = "scalar";
+  check("kernels=scalar", scalar);
+
+  // Independent record under the page-fault monitor: same deterministic
+  // execution, different write-monitoring mechanism.
+  BackendConfig pf = Rfdet(BackendKind::kRfdetPf);
+  pf.fingerprint = rfdet::FingerprintMode::kRecord;
+  pf.fingerprint_path = FpPath(w.Name(), "pf");
+  pf.turn_wait = "spin";
+  const RunOutcome pf_out = harness::Measure(w, params, pf);
+  Gate(pf_out.signature == base.signature &&
+           pf_out.fingerprint_rollup == base.fingerprint_rollup,
+       "pf monitor signature + rollup match ci");
+
+  // Grain sweep: the schedule legitimately changes (different chunk
+  // count), so this cell compares workload signatures only.
+  BackendConfig grained = Rfdet(BackendKind::kRfdetCi);
+  grained.exec_grain = 3;
+  const RunOutcome g3 = harness::Measure(w, params, grained);
+  grained.exec_grain = 13;
+  const RunOutcome g13 = harness::Measure(w, params, grained);
+  Gate(g3.signature == base.signature && g13.signature == base.signature,
+       "signature independent of exec_grain (3, 13, auto)");
+
+  std::remove(ci_fp.c_str());
+  std::remove(pf.fingerprint_path.c_str());
+  return g_failures == before;
+}
+
+void DonationTripwire(const apps::Workload& w, const apps::Params& params) {
+  const BackendConfig config = Rfdet(BackendKind::kRfdetCi);
+  const RunOutcome a = harness::Measure(w, params, config);
+  const RunOutcome b = harness::Measure(w, params, config);
+  std::printf("%s: donations %llu (%llu items moved)\n", w.Name().c_str(),
+              static_cast<unsigned long long>(a.stats.exec_donations),
+              static_cast<unsigned long long>(a.stats.exec_donated_items));
+  Gate(a.stats.exec_donations == b.stats.exec_donations &&
+           a.stats.exec_donated_items == b.stats.exec_donated_items,
+       "donation counters identical across runs");
+}
+
+double KernelSlicesPerSec(const apps::Workload& w, apps::Params params,
+                          int repeat) {
+  const RunOutcome best =
+      harness::MeasureBest(w, params, Rfdet(BackendKind::kRfdetCi), repeat);
+  const double rate =
+      best.seconds > 0
+          ? static_cast<double>(best.stats.slices_created) / best.seconds
+          : 0;
+  std::printf("%s: %.0f slices/s (%.1f ms, %llu slices, %llu chunks, "
+              "%llu items, reduce depth %llu)\n",
+              w.Name().c_str(), rate, best.seconds * 1e3,
+              static_cast<unsigned long long>(best.stats.slices_created),
+              static_cast<unsigned long long>(best.stats.exec_chunks),
+              static_cast<unsigned long long>(best.stats.exec_items),
+              static_cast<unsigned long long>(best.stats.exec_reduce_depth));
+  Gate(rate > 0, std::string(w.Name()) + " throughput measured");
+  return rate;
+}
+
+double RegionOverheadUs(size_t threads, int regions) {
+  const auto env = dmt::CreateEnv(Rfdet(BackendKind::kRfdetCi));
+  dmt::exec::Executor ex(*env, {.threads = threads});
+  const auto noop = [](size_t, size_t, size_t) {};
+  ex.ParallelFor(0, threads, 1, noop);  // spawn + warm the pool
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < regions; ++i) ex.ParallelFor(0, threads, 1, noop);
+  const double us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count() /
+      regions;
+  std::printf("executor: %.1f us per null %zu-chunk region (%d regions)\n",
+              us, threads, regions);
+  return us;
+}
+
+// Same string-surgery merge used by the other bench binaries: the file is
+// this repo's own fixed-layout artifact, not arbitrary JSON.
+void EraseKeyLine(std::string& text, const std::string& key) {
+  const std::string needle = "\n    \"" + key + "\":";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return;
+  const size_t end = text.find('\n', at + 1);
+  if (end == std::string::npos) return;
+  text.erase(at, end - at);
+}
+
+bool MergeIntoPropagationJson(const std::string& path, double pagerank,
+                              double bfs, double cc, double overhead_us,
+                              bool bitidentical) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "graph_kernels: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  EraseKeyLine(text, "graph_pagerank_slices_per_sec");
+  EraseKeyLine(text, "graph_bfs_slices_per_sec");
+  EraseKeyLine(text, "graph_cc_slices_per_sec");
+  EraseKeyLine(text, "graph_exec_region_overhead_us");
+  EraseKeyLine(text, "graph_kernels_cells_bitidentical");
+  const std::string anchor = "\"summary\": {";
+  const size_t at = text.find(anchor);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "graph_kernels: no summary object in %s\n",
+                 path.c_str());
+    return false;
+  }
+  char keys[512];
+  std::snprintf(keys, sizeof keys,
+                "\n    \"graph_pagerank_slices_per_sec\": %g,"
+                "\n    \"graph_bfs_slices_per_sec\": %g,"
+                "\n    \"graph_cc_slices_per_sec\": %g,"
+                "\n    \"graph_exec_region_overhead_us\": %g,"
+                "\n    \"graph_kernels_cells_bitidentical\": %d,",
+                pagerank, bfs, cc, overhead_us, bitidentical ? 1 : 0);
+  text.insert(at + anchor.size(), keys);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "graph_kernels: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  const bool smoke = flags.Bool("smoke", false);
+  apps::Params params;
+  params.threads = static_cast<size_t>(flags.Int("threads", 4));
+  params.scale = static_cast<int>(flags.Int("scale", smoke ? 1 : 4));
+  const int repeat = static_cast<int>(flags.Int("repeat", 3));
+  const std::string merge_path = flags.Str("merge_json", "");
+
+  const char* kKernels[] = {"pagerank", "bfs", "cc"};
+  std::vector<const apps::Workload*> kernels;
+  for (const char* name : kKernels) {
+    const apps::Workload* w = apps::FindWorkload(name);
+    if (w == nullptr) {
+      std::fprintf(stderr, "graph_kernels: missing workload %s\n", name);
+      return 1;
+    }
+    kernels.push_back(w);
+  }
+
+  bool bitidentical = true;
+  for (const apps::Workload* w : kernels) {
+    bitidentical = DeterminismCells(*w, params) && bitidentical;
+  }
+  DonationTripwire(*kernels[1], params);  // bfs drives the worklists
+
+  double rates[3] = {0, 0, 0};
+  double overhead_us = 0;
+  if (!smoke) {
+    std::printf("\nthroughput (best of %d, rfdet-ci)\n", repeat);
+    for (size_t i = 0; i < kernels.size(); ++i) {
+      rates[i] = KernelSlicesPerSec(*kernels[i], params, repeat);
+    }
+    overhead_us = RegionOverheadUs(params.threads, 200);
+  } else {
+    overhead_us = RegionOverheadUs(params.threads, 20);
+  }
+
+  if (!merge_path.empty()) {
+    if (!MergeIntoPropagationJson(merge_path, rates[0], rates[1], rates[2],
+                                  overhead_us, bitidentical)) {
+      ++g_failures;
+    } else {
+      std::printf("merged graph kernel keys into %s\n", merge_path.c_str());
+    }
+  }
+
+  std::printf("\ngraph_kernels: %s (%d gate failure%s)\n",
+              g_failures == 0 ? "PASS" : "FAIL", g_failures,
+              g_failures == 1 ? "" : "s");
+  return g_failures == 0 ? 0 : 1;
+}

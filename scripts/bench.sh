@@ -23,7 +23,7 @@ done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j --target propagation_path racey_determinism \
-    close_scaling replay_overhead chaos_soak
+    close_scaling replay_overhead chaos_soak graph_kernels
 
 mkdir -p bench/artifacts
 if [[ "$smoke" == 1 ]]; then
@@ -31,6 +31,7 @@ if [[ "$smoke" == 1 ]]; then
   ./build-bench/bench/close_scaling --smoke
   ./build-bench/bench/replay_overhead --smoke
   ./build-bench/bench/chaos_soak --smoke
+  ./build-bench/bench/graph_kernels --smoke
 else
   ./build-bench/bench/propagation_path \
       --json="$(pwd)/bench/artifacts/BENCH_propagation.json"
@@ -46,5 +47,19 @@ else
   # supervised_resume_ms / chaos_rounds_bitidentical into the JSON.
   ./build-bench/bench/chaos_soak \
       --merge_json="$(pwd)/bench/artifacts/BENCH_propagation.json"
+  # graph_kernels gates bit-identical executor-layer graph analytics across
+  # wait modes / kernel tiers / monitors and splices per-kernel slices/s +
+  # executor-overhead keys into the JSON.
+  ./build-bench/bench/graph_kernels \
+      --merge_json="$(pwd)/bench/artifacts/BENCH_propagation.json"
   echo "bench.sh: wrote bench/artifacts/BENCH_propagation.json"
+fi
+
+# Bench runs must leave no stray files: everything lands in the allow-listed
+# bench/artifacts/BENCH_*.json (fingerprints and scratch go to /tmp).
+stray="$(git ls-files --others --exclude-standard bench)"
+if [[ -n "$stray" ]]; then
+  echo "bench.sh: stray bench artifacts not covered by .gitignore:" >&2
+  echo "$stray" >&2
+  exit 1
 fi

@@ -28,6 +28,16 @@ namespace dmt {
 
 using rfdet::GAddr;
 
+// Backend-supplied defaults for the deterministic executor layer
+// (exec/executor.h). Zero / true mean "let the executor pick": explicit
+// ExecOptions at the call site win over these, which win over the
+// executor's built-in auto heuristics.
+struct ExecHints {
+  size_t pool_threads = 0;  // 0 = executor default (1 worker)
+  size_t grain = 0;         // 0 = auto (range / (8 * threads))
+  bool donation = true;     // deterministic work-donation enabled
+};
+
 class Env {
  public:
   virtual ~Env() = default;
@@ -86,6 +96,17 @@ class Env {
   virtual void Signal(size_t cond_id) = 0;
   virtual void Broadcast(size_t cond_id) = 0;
   virtual void Barrier(size_t barrier_id) = 0;
+
+  // ---- deterministic executor hooks ----------------------------------------
+  // Defaults for exec::Executor when the caller leaves knobs unset. The
+  // rfdet runtimes surface their RfdetOptions exec_* knobs (including the
+  // RFDET_EXEC_GRAIN env override) here; other backends return zeros.
+  [[nodiscard]] virtual ExecHints ExecDefaults() const { return {}; }
+  // Executor statistics event (no-op on runtimes without exec counters).
+  virtual void NoteExec(rfdet::ExecEvent event, uint64_t n) {
+    (void)event;
+    (void)n;
+  }
 
   // ---- introspection -------------------------------------------------------
   [[nodiscard]] virtual rfdet::StatsSnapshot Stats() const { return {}; }

@@ -1,0 +1,328 @@
+// Graph-analytics workload family: pagerank, BFS, connected components.
+//
+// These are the executor-layer kernels (exec/executor.h): irregular
+// sharing over CSR adjacency stresses slice merging and propagation in
+// ways the dense SPLASH/Phoenix set never does. All three are confluent
+// — integer fixed-point arithmetic (associative, commutative), CAS-min
+// fixed points, and Jacobi-style synchronous iterations — so their
+// signatures are pure functions of (params), identical across backends,
+// thread counts, and grain choices.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "rfdet/apps/app_util.h"
+#include "rfdet/apps/workload.h"
+#include "rfdet/exec/executor.h"
+
+namespace apps {
+namespace {
+
+using dmt::exec::det_for_each;
+using dmt::exec::det_parallel_for;
+using dmt::exec::det_reduce;
+using dmt::exec::Executor;
+using dmt::exec::ExecOptions;
+using dmt::exec::WorkContext;
+
+// Host-side CSR built deterministically from the seed, then published to
+// shared memory (read-only during the parallel phases).
+struct HostGraph {
+  size_t n = 0;
+  std::vector<uint64_t> offsets;  // n + 1
+  std::vector<uint32_t> edges;
+};
+
+HostGraph GenGraph(size_t n, size_t avg_deg, uint64_t seed,
+                   bool undirected) {
+  rfdet::Xoshiro256 rng(seed);
+  std::vector<std::pair<uint32_t, uint32_t>> list;
+  list.reserve(n * avg_deg * (undirected ? 2 : 1));
+  for (size_t u = 0; u < n; ++u) {
+    // 1 + Below(2*avg-1) keeps every vertex connected and the mean ~avg.
+    const size_t deg = 1 + rng.Below(2 * avg_deg - 1);
+    for (size_t k = 0; k < deg; ++k) {
+      const uint32_t v = static_cast<uint32_t>(rng.Below(n));
+      if (v == u) continue;  // no self-loops
+      list.emplace_back(static_cast<uint32_t>(u), v);
+      if (undirected) list.emplace_back(v, static_cast<uint32_t>(u));
+    }
+  }
+  HostGraph g;
+  g.n = n;
+  g.offsets.assign(n + 1, 0);
+  for (const auto& [u, v] : list) g.offsets[u + 1]++;
+  for (size_t u = 0; u < n; ++u) g.offsets[u + 1] += g.offsets[u];
+  g.edges.resize(list.size());
+  std::vector<uint64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const auto& [u, v] : list) g.edges[cursor[u]++] = v;
+  return g;
+}
+
+// Shared-memory CSR image.
+struct SharedGraph {
+  size_t n = 0;
+  size_t m = 0;
+  dmt::ArrayRef<uint64_t> offsets;
+  dmt::ArrayRef<uint32_t> edges;
+};
+
+SharedGraph PublishGraph(dmt::Env& env, const HostGraph& g) {
+  SharedGraph sg;
+  sg.n = g.n;
+  sg.m = g.edges.size();
+  sg.offsets = dmt::MakeStaticArray<uint64_t>(env, g.n + 1);
+  sg.edges = dmt::MakeStaticArray<uint32_t>(env, std::max<size_t>(sg.m, 1));
+  sg.offsets.Write(env, 0, g.offsets.data(), g.n + 1);
+  if (sg.m > 0) sg.edges.Write(env, 0, g.edges.data(), sg.m);
+  return sg;
+}
+
+// Bulk-reads the adjacency of the vertex chunk [lo, hi): per-vertex
+// offsets into `offs` (hi - lo + 1 entries) and their edges into `nbrs`.
+void ReadChunkAdjacency(dmt::Env& env, const SharedGraph& g, size_t lo,
+                        size_t hi, std::vector<uint64_t>* offs,
+                        std::vector<uint32_t>* nbrs) {
+  offs->resize(hi - lo + 1);
+  g.offsets.Read(env, lo, offs->data(), hi - lo + 1);
+  const size_t first = (*offs)[0];
+  const size_t count = (*offs)[hi - lo] - first;
+  nbrs->resize(count);
+  if (count > 0) g.edges.Read(env, first, nbrs->data(), count);
+}
+
+// ---- pagerank --------------------------------------------------------------
+//
+// Push-based, integer fixed-point (kOne == 1.0): each vertex pushes
+// (85% * rank / deg) to its out-neighbors, accumulated into a per-worker
+// stripe of shared partials; a det_reduce pass folds the stripes into the
+// new ranks and returns the residual sum |Δrank|. Integer addition is
+// associative and commutative, so ranks and residual are independent of
+// thread count and grain.
+class Pagerank final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "pagerank"; }
+  [[nodiscard]] std::string Suite() const override { return "graph"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    constexpr int64_t kOne = 1 << 20;
+    constexpr int kMaxIters = 12;
+    const size_t n = 160 * static_cast<size_t>(p.scale);
+    const HostGraph host = GenGraph(n, /*avg_deg=*/6, p.seed, false);
+    const SharedGraph g = PublishGraph(env, host);
+    auto ranks = dmt::MakeStaticArray<int64_t>(env, n);
+    Executor ex(env, ExecOptions{.threads = p.threads});
+    const size_t nw = ex.threads();
+    auto partials = dmt::MakeStaticArray<int64_t>(env, nw * n);
+    {
+      const std::vector<int64_t> init(n, kOne);
+      ranks.Write(env, 0, init.data(), n);
+    }
+    const std::vector<int64_t> zeros(nw * n, 0);
+    rfdet::Signature sig;
+    int iters = 0;
+    uint64_t residual = 0;
+    for (; iters < kMaxIters; ++iters) {
+      partials.Write(env, 0, zeros.data(), nw * n);
+      // Push phase: chunk-local accumulation, then one read-modify-write
+      // of this worker's stripe (only worker w touches stripe w).
+      det_parallel_for(ex, 0, n, 0, [&](size_t lo, size_t hi, size_t w) {
+        std::vector<uint64_t> offs;
+        std::vector<uint32_t> nbrs;
+        ReadChunkAdjacency(env, g, lo, hi, &offs, &nbrs);
+        std::vector<int64_t> rank_chunk(hi - lo);
+        ranks.Read(env, lo, rank_chunk.data(), hi - lo);
+        std::vector<int64_t> acc(n, 0);
+        for (size_t u = lo; u < hi; ++u) {
+          const size_t deg = offs[u - lo + 1] - offs[u - lo];
+          if (deg == 0) continue;
+          const int64_t contrib =
+              rank_chunk[u - lo] * 85 / (100 * static_cast<int64_t>(deg));
+          for (size_t e = offs[u - lo]; e < offs[u - lo + 1]; ++e) {
+            acc[nbrs[e - offs[0]]] += contrib;
+          }
+        }
+        std::vector<int64_t> stripe(n);
+        partials.Read(env, w * n, stripe.data(), n);
+        for (size_t v = 0; v < n; ++v) stripe[v] += acc[v];
+        partials.Write(env, w * n, stripe.data(), n);
+      });
+      // Fold phase: new rank per vertex plus the residual reduce.
+      residual = det_reduce(
+          ex, 0, n, 0,
+          [&](size_t lo, size_t hi) -> uint64_t {
+            const size_t len = hi - lo;
+            std::vector<int64_t> sum(len, 0);
+            std::vector<int64_t> stripe(len);
+            for (size_t w = 0; w < nw; ++w) {
+              partials.Read(env, w * n + lo, stripe.data(), len);
+              for (size_t v = 0; v < len; ++v) sum[v] += stripe[v];
+            }
+            std::vector<int64_t> old(len);
+            ranks.Read(env, lo, old.data(), len);
+            uint64_t res = 0;
+            for (size_t v = 0; v < len; ++v) {
+              const int64_t next = 15 * kOne / 100 + sum[v];
+              res += static_cast<uint64_t>(std::abs(next - old[v]));
+              sum[v] = next;
+            }
+            ranks.Write(env, lo, sum.data(), len);
+            return res;
+          },
+          [](uint64_t a, uint64_t b) { return a + b; }, 0);
+      sig.Mix(residual);
+      if (residual < static_cast<uint64_t>(n)) break;
+    }
+    std::vector<int64_t> final_ranks(n);
+    ranks.Read(env, 0, final_ranks.data(), n);
+    for (const int64_t r : final_ranks) {
+      sig.Mix(static_cast<uint64_t>(r));
+    }
+    sig.Mix(static_cast<uint64_t>(iters));
+    return Result{sig.Value()};
+  }
+};
+
+// ---- BFS -------------------------------------------------------------------
+//
+// Frontier worklist over det_for_each: items pack (dist << 32 | vertex);
+// relaxation is an Env CAS-min, and only a strict improvement pushes the
+// neighbor. The dist array is a min fixed point, so the result is the
+// true BFS level regardless of drain order (confluence).
+class Bfs final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "bfs"; }
+  [[nodiscard]] std::string Suite() const override { return "graph"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    constexpr uint64_t kInf = ~uint64_t{0};
+    const size_t n = 224 * static_cast<size_t>(p.scale);
+    const HostGraph host = GenGraph(n, /*avg_deg=*/4, p.seed + 1, true);
+    const SharedGraph g = PublishGraph(env, host);
+    auto dist = dmt::MakeStaticArray<uint64_t>(env, n);
+    {
+      std::vector<uint64_t> init(n, kInf);
+      init[0] = 0;
+      dist.Write(env, 0, init.data(), n);
+    }
+    Executor ex(env, ExecOptions{.threads = p.threads});
+    const uint64_t seed_item = 0;  // dist 0, vertex 0
+    det_for_each(ex, &seed_item, 1, [&](uint64_t item, WorkContext& ctx) {
+      const uint64_t d = item >> 32;
+      const size_t u = static_cast<size_t>(item & 0xffffffffu);
+      if (env.AtomicLoad(dist.addr(u)) < d) return;  // stale item
+      const uint64_t nd = d + 1;
+      std::vector<uint64_t> offs;
+      std::vector<uint32_t> nbrs;
+      ReadChunkAdjacency(env, g, u, u + 1, &offs, &nbrs);
+      for (const uint32_t v : nbrs) {
+        uint64_t cur = env.AtomicLoad(dist.addr(v));
+        while (nd < cur) {
+          if (env.AtomicCas(dist.addr(v), cur, nd)) {
+            ctx.Push(nd << 32 | v);
+            break;
+          }
+        }
+      }
+    });
+    std::vector<uint64_t> final_dist(n);
+    dist.Read(env, 0, final_dist.data(), n);
+    rfdet::Signature sig;
+    uint64_t reached = 0;
+    for (const uint64_t d : final_dist) {
+      sig.Mix(d);
+      if (d != kInf) ++reached;
+    }
+    sig.Mix(reached);
+    return Result{sig.Value()};
+  }
+};
+
+// ---- connected components --------------------------------------------------
+//
+// Label propagation, Jacobi-style: each round reads labels from one
+// buffer and writes min(own, neighbors) to the other, with the changed
+// count coming back through det_reduce; rounds are therefore pure
+// functions of the previous buffer, independent of schedule.
+class ConnectedComponents final : public Workload {
+ public:
+  [[nodiscard]] std::string Name() const override { return "cc"; }
+  [[nodiscard]] std::string Suite() const override { return "graph"; }
+
+  Result Run(dmt::Env& env, const Params& p) const override {
+    constexpr int kMaxIters = 48;
+    const size_t n = 192 * static_cast<size_t>(p.scale);
+    const HostGraph host = GenGraph(n, /*avg_deg=*/3, p.seed + 2, true);
+    const SharedGraph g = PublishGraph(env, host);
+    dmt::ArrayRef<uint64_t> labels[2] = {
+        dmt::MakeStaticArray<uint64_t>(env, n),
+        dmt::MakeStaticArray<uint64_t>(env, n),
+    };
+    {
+      std::vector<uint64_t> init(n);
+      for (size_t v = 0; v < n; ++v) init[v] = v;
+      labels[0].Write(env, 0, init.data(), n);
+    }
+    Executor ex(env, ExecOptions{.threads = p.threads});
+    int cur = 0;
+    int iters = 0;
+    for (; iters < kMaxIters; ++iters) {
+      const auto& src = labels[cur];
+      const auto& dst = labels[1 - cur];
+      const uint64_t changed = det_reduce(
+          ex, 0, n, 0,
+          [&](size_t lo, size_t hi) -> uint64_t {
+            const size_t len = hi - lo;
+            std::vector<uint64_t> offs;
+            std::vector<uint32_t> nbrs;
+            ReadChunkAdjacency(env, g, lo, hi, &offs, &nbrs);
+            std::vector<uint64_t> mine(len);
+            src.Read(env, lo, mine.data(), len);
+            uint64_t count = 0;
+            std::vector<uint64_t> next(len);
+            for (size_t v = lo; v < hi; ++v) {
+              uint64_t m = mine[v - lo];
+              for (size_t e = offs[v - lo]; e < offs[v - lo + 1]; ++e) {
+                m = std::min(m, src.Get(env, nbrs[e - offs[0]]));
+              }
+              next[v - lo] = m;
+              if (m != mine[v - lo]) ++count;
+            }
+            dst.Write(env, lo, next.data(), len);
+            return count;
+          },
+          [](uint64_t a, uint64_t b) { return a + b; }, 0);
+      cur = 1 - cur;
+      if (changed == 0) break;
+    }
+    std::vector<uint64_t> final_labels(n);
+    labels[cur].Read(env, 0, final_labels.data(), n);
+    rfdet::Signature sig;
+    uint64_t components = 0;
+    for (size_t v = 0; v < n; ++v) {
+      sig.Mix(final_labels[v]);
+      if (final_labels[v] == v) ++components;
+    }
+    sig.Mix(components);
+    sig.Mix(static_cast<uint64_t>(iters));
+    return Result{sig.Value()};
+  }
+};
+
+}  // namespace
+
+const Workload* PagerankWorkload() {
+  static const Pagerank w;
+  return &w;
+}
+const Workload* BfsWorkload() {
+  static const Bfs w;
+  return &w;
+}
+const Workload* ConnectedComponentsWorkload() {
+  static const ConnectedComponents w;
+  return &w;
+}
+
+}  // namespace apps

@@ -21,6 +21,9 @@ const Workload* DedupWorkload();
 const Workload* FerretWorkload();
 const Workload* RaceyWorkload();
 const Workload* CannealWorkload();
+const Workload* PagerankWorkload();
+const Workload* BfsWorkload();
+const Workload* ConnectedComponentsWorkload();
 
 const std::vector<const Workload*>& AllWorkloads() {
   static const std::vector<const Workload*> kAll = {
@@ -44,6 +47,10 @@ const std::vector<const Workload*>& AllWorkloads() {
       RaceyWorkload(),
       // Extension (§4.6 atomics): the kernel the paper had to omit.
       CannealWorkload(),
+      // Executor-layer graph family (exec/executor.h; not in Table 1).
+      PagerankWorkload(),
+      BfsWorkload(),
+      ConnectedComponentsWorkload(),
   };
   return kAll;
 }

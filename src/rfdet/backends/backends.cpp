@@ -131,6 +131,22 @@ class RuntimeEnv final : public Env {
     }
   }
 
+  [[nodiscard]] ExecHints ExecDefaults() const override {
+    if constexpr (requires { runtime_.options().exec_grain; }) {
+      const auto& o = runtime_.options();
+      return ExecHints{.pool_threads = o.exec_pool_threads,
+                       .grain = o.exec_grain,
+                       .donation = o.exec_donation};
+    } else {
+      return {};
+    }
+  }
+  void NoteExec(rfdet::ExecEvent event, uint64_t n) override {
+    if constexpr (requires { runtime_.NoteExec(event, n); }) {
+      runtime_.NoteExec(event, n);
+    }
+  }
+
   [[nodiscard]] rfdet::StatsSnapshot Stats() const override {
     return runtime_.Snapshot();
   }
@@ -209,6 +225,12 @@ std::unique_ptr<Env> CreateEnv(const BackendConfig& config) {
       opts.max_threads = config.max_threads;
       opts.metadata_bytes = config.metadata_bytes;
       opts.gc_threshold = config.gc_threshold;
+      opts.kernels = config.kernels;
+      opts.turn_wait = config.turn_wait;
+      opts.off_turn_close = config.off_turn_close && opts.isolation;
+      opts.exec_grain = config.exec_grain;
+      opts.exec_donation = config.exec_donation;
+      opts.exec_pool_threads = config.exec_pool_threads;
       opts.fingerprint = config.fingerprint;
       opts.fingerprint_path = config.fingerprint_path;
       opts.divergence_policy = config.fingerprint_panic

@@ -39,6 +39,19 @@ struct BackendConfig {
   size_t metadata_bytes = 256u << 20;
   double gc_threshold = 0.90;
 
+  // Wait/kernel tuning (rfdet backends; ignored by the others). Same
+  // semantics as the matching RfdetOptions fields — never a correctness
+  // decision, so benches and tests can sweep them per cell.
+  std::string kernels = "auto";
+  std::string turn_wait = "adaptive";
+  bool off_turn_close = false;
+
+  // Deterministic executor defaults (rfdet/kendo backends; surfaced to
+  // exec::Executor via Env::ExecDefaults). See RfdetOptions for semantics.
+  size_t exec_grain = 0;
+  bool exec_donation = true;
+  size_t exec_pool_threads = 0;
+
   // CoreDet quantum length in deterministic ticks (~words of work).
   uint64_t coredet_quantum = 100'000;
 

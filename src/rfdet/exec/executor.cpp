@@ -1,0 +1,382 @@
+#include "rfdet/exec/executor.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dmt::exec {
+
+namespace {
+constexpr size_t kDefaultRingCapacity = 256;
+// Process this many items between surplus offers (a broadcast that lets
+// idle workers come and donate-take from a backlogged worker).
+constexpr uint64_t kOfferEvery = 8;
+}  // namespace
+
+void WorkContext::Push(uint64_t item) { ex_->PushItem(worker_, item); }
+
+Executor::Executor(Env& env, ExecOptions opts) : env_(env) {
+  const ExecHints hints = env.ExecDefaults();
+  nthreads_ = opts.threads != 0         ? opts.threads
+              : hints.pool_threads != 0 ? hints.pool_threads
+                                        : 1;
+  default_grain_ = opts.grain != 0 ? opts.grain : hints.grain;
+  donation_ = opts.donation >= 0 ? opts.donation != 0 : hints.donation;
+  ring_capacity_ = opts.worklist_capacity != 0 ? opts.worklist_capacity
+                                               : kDefaultRingCapacity;
+  pool_mu_ = env.CreateMutex();
+  work_cv_ = env.CreateCond();
+  done_cv_ = env.CreateCond();
+  idle_cv_ = env.CreateCond();
+  q_mu_.reserve(nthreads_);
+  for (size_t w = 0; w < nthreads_; ++w) q_mu_.push_back(env.CreateMutex());
+  const GAddr ctrl = env.AllocStatic(4 * sizeof(uint64_t));
+  job_seq_ = ctrl;
+  done_count_ = ctrl + 8;
+  shutdown_ = ctrl + 16;
+  outstanding_ = ctrl + 24;
+  for (size_t i = 0; i < 4; ++i) {
+    env.Put<uint64_t>(ctrl + i * 8, 0);
+  }
+  rings_ = env.AllocStatic(nthreads_ * ring_capacity_ * sizeof(uint64_t));
+  heads_ = env.AllocStatic(nthreads_ * sizeof(uint64_t));
+  tails_ = env.AllocStatic(nthreads_ * sizeof(uint64_t));
+  overflow_.resize(nthreads_);
+}
+
+Executor::~Executor() { Quiesce(); }
+
+size_t Executor::GrainFor(size_t count, size_t grain) const {
+  size_t g = grain != 0 ? grain : default_grain_;
+  if (g == 0) g = count / (8 * nthreads_);
+  return g != 0 ? g : 1;
+}
+
+void Executor::EnsurePool() {
+  if (pool_live_) return;
+  env_.Put<uint64_t>(shutdown_, 0);
+  const uint64_t seen = launched_jobs_;
+  worker_tids_.reserve(nthreads_);
+  for (size_t w = 0; w < nthreads_; ++w) {
+    worker_tids_.push_back(
+        env_.Spawn([this, w, seen] { WorkerLoop(w, seen); }));
+  }
+  pool_live_ = true;
+}
+
+void Executor::Quiesce() {
+  if (!pool_live_) return;
+  env_.Lock(pool_mu_);
+  env_.Put<uint64_t>(shutdown_, 1);
+  env_.Broadcast(work_cv_);
+  env_.Unlock(pool_mu_);
+  for (const size_t tid : worker_tids_) env_.Join(tid);
+  worker_tids_.clear();
+  pool_live_ = false;
+}
+
+void Executor::Launch() {
+  EnsurePool();
+  env_.Lock(pool_mu_);
+  env_.Put<uint64_t>(done_count_, 0);
+  ++launched_jobs_;
+  env_.Put<uint64_t>(job_seq_, launched_jobs_);
+  env_.Broadcast(work_cv_);
+  while (env_.Get<uint64_t>(done_count_) < nthreads_) {
+    env_.Wait(done_cv_, pool_mu_);
+  }
+  env_.Unlock(pool_mu_);
+}
+
+void Executor::WorkerLoop(size_t worker, uint64_t seen_seq) {
+  for (;;) {
+    env_.Lock(pool_mu_);
+    while (env_.Get<uint64_t>(job_seq_) == seen_seq &&
+           env_.Get<uint64_t>(shutdown_) == 0) {
+      env_.Wait(work_cv_, pool_mu_);
+    }
+    if (env_.Get<uint64_t>(shutdown_) != 0) {
+      env_.Unlock(pool_mu_);
+      return;
+    }
+    seen_seq = env_.Get<uint64_t>(job_seq_);
+    env_.Unlock(pool_mu_);
+    if (job_.kind == JobKind::kFor) {
+      RunForPart(worker);
+    } else {
+      RunEachPart(worker);
+    }
+    env_.Lock(pool_mu_);
+    const uint64_t done = env_.Get<uint64_t>(done_count_) + 1;
+    env_.Put<uint64_t>(done_count_, done);
+    if (done == nthreads_) env_.Signal(done_cv_);
+    env_.Unlock(pool_mu_);
+  }
+}
+
+// ---- chunked ranges --------------------------------------------------------
+
+void Executor::LaunchFor(size_t begin, size_t end, size_t grain,
+                         const RangeBody& body) {
+  job_ = Job{};
+  job_.kind = JobKind::kFor;
+  job_.begin = begin;
+  job_.end = end;
+  job_.grain = grain;
+  job_.nchunks = (end - begin + grain - 1) / grain;
+  job_.range_body = &body;
+  Launch();
+}
+
+void Executor::RunForPart(size_t worker) {
+  // Host copy: the job descriptor was published by the Launch handshake.
+  const Job job = job_;
+  uint64_t chunks = 0;
+  for (size_t c = worker; c < job.nchunks; c += nthreads_) {
+    const size_t lo = job.begin + c * job.grain;
+    const size_t hi = std::min(job.end, lo + job.grain);
+    (*job.range_body)(lo, hi, worker);
+    ++chunks;
+    env_.Tick(1);  // chunk-boundary deterministic progress
+  }
+  if (chunks > 0) env_.NoteExec(rfdet::ExecEvent::kChunk, chunks);
+}
+
+void Executor::ParallelFor(size_t begin, size_t end, size_t grain,
+                           const RangeBody& body) {
+  env_.NoteExec(rfdet::ExecEvent::kRegion, 1);
+  if (begin >= end) return;
+  LaunchFor(begin, end, GrainFor(end - begin, grain), body);
+}
+
+uint64_t Executor::Reduce(size_t begin, size_t end, size_t grain,
+                          const MapFn& map, const CombineFn& combine,
+                          uint64_t identity) {
+  env_.NoteExec(rfdet::ExecEvent::kRegion, 1);
+  if (begin >= end) return identity;
+  const size_t count = end - begin;
+  const size_t g = GrainFor(count, grain);
+  const size_t nchunks = (count + g - 1) / g;
+  // Two ping-pong halves so each tree level reads one buffer and writes
+  // the other (levels would otherwise overlap in place).
+  const GAddr buf = env_.Malloc(2 * nchunks * sizeof(uint64_t));
+  const auto slot = [&](size_t half, size_t i) {
+    return buf + (half * nchunks + i) * sizeof(uint64_t);
+  };
+  LaunchFor(begin, end, g, [&](size_t lo, size_t hi, size_t) {
+    env_.Put<uint64_t>(slot(0, (lo - begin) / g), map(lo, hi));
+  });
+  // Fixed pairwise combining tree: level by level in chunk-index order,
+  // dst[i] = combine(src[2i], src[2i+1]); an odd tail passes through.
+  // The shape (and so the combine order) depends only on nchunks.
+  uint64_t depth = 0;
+  size_t src = 0;
+  size_t width = nchunks;
+  while (width > 1) {
+    const size_t dst = 1 - src;
+    const size_t next_width = (width + 1) / 2;
+    LaunchFor(0, next_width, GrainFor(next_width, 0),
+              [&](size_t lo, size_t hi, size_t) {
+                for (size_t i = lo; i < hi; ++i) {
+                  const uint64_t a = env_.Get<uint64_t>(slot(src, 2 * i));
+                  const uint64_t v =
+                      2 * i + 1 < width
+                          ? combine(a, env_.Get<uint64_t>(
+                                           slot(src, 2 * i + 1)))
+                          : a;
+                  env_.Put<uint64_t>(slot(dst, i), v);
+                }
+              });
+    src = dst;
+    width = next_width;
+    ++depth;
+  }
+  const uint64_t result = env_.Get<uint64_t>(slot(src, 0));
+  env_.Free(buf);
+  env_.NoteExec(rfdet::ExecEvent::kReduceDepth, depth);
+  return result;
+}
+
+// ---- worklists -------------------------------------------------------------
+
+GAddr Executor::RingSlot(size_t worker, uint64_t index) const {
+  return rings_ +
+         (worker * ring_capacity_ + index % ring_capacity_) *
+             sizeof(uint64_t);
+}
+
+size_t Executor::QueueLenLocked(size_t worker) {
+  const uint64_t h = env_.Get<uint64_t>(heads_ + worker * 8);
+  const uint64_t t = env_.Get<uint64_t>(tails_ + worker * 8);
+  return static_cast<size_t>(t - h) + overflow_[worker].size();
+}
+
+bool Executor::PopFrontLocked(size_t worker, uint64_t* out) {
+  uint64_t h = env_.Get<uint64_t>(heads_ + worker * 8);
+  uint64_t t = env_.Get<uint64_t>(tails_ + worker * 8);
+  if (h == t) {
+    // Ring empty: refill from the host-side spill (oldest first, so the
+    // combined queue stays FIFO).
+    std::deque<uint64_t>& spill = overflow_[worker];
+    if (spill.empty()) return false;
+    const size_t n = std::min(spill.size(), ring_capacity_);
+    for (size_t i = 0; i < n; ++i) {
+      env_.Put<uint64_t>(RingSlot(worker, i), spill.front());
+      spill.pop_front();
+    }
+    env_.Put<uint64_t>(heads_ + worker * 8, 0);
+    env_.Put<uint64_t>(tails_ + worker * 8, n);
+    h = 0;
+    t = n;
+  }
+  *out = env_.Get<uint64_t>(RingSlot(worker, h));
+  env_.Put<uint64_t>(heads_ + worker * 8, h + 1);
+  return true;
+}
+
+void Executor::AppendLocked(size_t worker, uint64_t item) {
+  const uint64_t h = env_.Get<uint64_t>(heads_ + worker * 8);
+  const uint64_t t = env_.Get<uint64_t>(tails_ + worker * 8);
+  if (!overflow_[worker].empty() || t - h >= ring_capacity_) {
+    overflow_[worker].push_back(item);
+    return;
+  }
+  env_.Put<uint64_t>(RingSlot(worker, t), item);
+  env_.Put<uint64_t>(tails_ + worker * 8, t + 1);
+}
+
+void Executor::TakeBackLocked(size_t victim, size_t take,
+                              std::vector<uint64_t>* out) {
+  // Newest `take` items in FIFO order: ring-tail part (older) first, then
+  // the tail of the spill (newer).
+  std::deque<uint64_t>& spill = overflow_[victim];
+  const size_t from_spill = std::min(take, spill.size());
+  const size_t from_ring = take - from_spill;
+  if (from_ring > 0) {
+    const uint64_t t = env_.Get<uint64_t>(tails_ + victim * 8);
+    for (size_t i = 0; i < from_ring; ++i) {
+      out->push_back(env_.Get<uint64_t>(RingSlot(victim, t - from_ring + i)));
+    }
+    env_.Put<uint64_t>(tails_ + victim * 8, t - from_ring);
+  }
+  for (size_t i = spill.size() - from_spill; i < spill.size(); ++i) {
+    out->push_back(spill[i]);
+  }
+  spill.erase(spill.end() - static_cast<ptrdiff_t>(from_spill),
+              spill.end());
+}
+
+bool Executor::TryDonate(size_t worker, uint64_t* out) {
+  // Deterministic donation: scan victims in ring order from the
+  // requester; the first queue holding >= 2 items donates its newest
+  // half. Two disjoint lock sections (victim's, then our own) — never
+  // nested, so the protocol cannot deadlock.
+  for (size_t k = 1; k < nthreads_; ++k) {
+    const size_t victim = (worker + k) % nthreads_;
+    std::vector<uint64_t> taken;
+    env_.Lock(q_mu_[victim]);
+    const size_t len = QueueLenLocked(victim);
+    if (len >= 2) TakeBackLocked(victim, len / 2, &taken);
+    env_.Unlock(q_mu_[victim]);
+    if (taken.empty()) continue;
+    env_.NoteExec(rfdet::ExecEvent::kDonation, 1);
+    env_.NoteExec(rfdet::ExecEvent::kDonatedItems, taken.size());
+    env_.Lock(q_mu_[worker]);
+    for (size_t i = 1; i < taken.size(); ++i) AppendLocked(worker, taken[i]);
+    env_.Unlock(q_mu_[worker]);
+    *out = taken[0];
+    return true;
+  }
+  return false;
+}
+
+void Executor::PushItem(size_t worker, uint64_t item) {
+  // Count it outstanding before it becomes visible, so the drain count
+  // can never dip to zero while the item is queued.
+  env_.AtomicFetchAdd(outstanding_, 1);
+  env_.Lock(q_mu_[worker]);
+  AppendLocked(worker, item);
+  env_.Unlock(q_mu_[worker]);
+}
+
+void Executor::ForEach(const uint64_t* seeds, size_t count,
+                       const ItemBody& body) {
+  env_.NoteExec(rfdet::ExecEvent::kRegion, 1);
+  if (count == 0) return;
+  // Main owns the queues between regions (the pool is parked and only
+  // touches them inside a kEach job): reset and distribute seeds
+  // round-robin, i -> worker i % threads.
+  for (size_t w = 0; w < nthreads_; ++w) {
+    env_.Put<uint64_t>(heads_ + w * 8, 0);
+    env_.Put<uint64_t>(tails_ + w * 8, 0);
+    overflow_[w].clear();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const size_t w = i % nthreads_;
+    const uint64_t t = env_.Get<uint64_t>(tails_ + w * 8);
+    if (t < ring_capacity_) {
+      env_.Put<uint64_t>(RingSlot(w, t), seeds[i]);
+      env_.Put<uint64_t>(tails_ + w * 8, t + 1);
+    } else {
+      overflow_[w].push_back(seeds[i]);
+    }
+  }
+  env_.AtomicStore(outstanding_, count);
+  job_ = Job{};
+  job_.kind = JobKind::kEach;
+  job_.item_body = &body;
+  Launch();
+}
+
+void Executor::RunEachPart(size_t worker) {
+  const ItemBody& body = *job_.item_body;
+  WorkContext ctx(this, worker);
+  uint64_t processed = 0;
+  uint64_t since_offer = 0;
+  for (;;) {
+    uint64_t item = 0;
+    env_.Lock(q_mu_[worker]);
+    bool got = PopFrontLocked(worker, &item);
+    env_.Unlock(q_mu_[worker]);
+    if (!got && donation_ && nthreads_ > 1) got = TryDonate(worker, &item);
+    if (got) {
+      body(item, ctx);
+      ++processed;
+      env_.Tick(1);
+      const uint64_t before =
+          env_.AtomicFetchAdd(outstanding_, ~uint64_t{0});
+      if (before == 1) {
+        // That was the last item anywhere: release the idle waiters.
+        env_.Lock(pool_mu_);
+        env_.Broadcast(idle_cv_);
+        env_.Unlock(pool_mu_);
+      } else if (donation_ && nthreads_ > 1 &&
+                 ++since_offer >= kOfferEvery) {
+        since_offer = 0;
+        env_.Lock(q_mu_[worker]);
+        const bool surplus = QueueLenLocked(worker) >= 2;
+        env_.Unlock(q_mu_[worker]);
+        if (surplus) {
+          // Surplus offer: wake idlers so they donate-take from us.
+          env_.Lock(pool_mu_);
+          env_.Broadcast(idle_cv_);
+          env_.Unlock(pool_mu_);
+        }
+      }
+      continue;
+    }
+    // Idle: own queue empty and nothing donated. Either the region is
+    // drained, or we park until an offer / the final drain broadcast.
+    // The drain broadcast is taken under pool_mu_, so checking the count
+    // with the mutex held cannot miss it.
+    env_.Lock(pool_mu_);
+    if (env_.AtomicLoad(outstanding_) == 0) {
+      env_.Unlock(pool_mu_);
+      break;
+    }
+    env_.Wait(idle_cv_, pool_mu_);
+    env_.Unlock(pool_mu_);
+  }
+  if (processed > 0) env_.NoteExec(rfdet::ExecEvent::kItem, processed);
+}
+
+}  // namespace dmt::exec

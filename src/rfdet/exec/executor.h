@@ -1,0 +1,200 @@
+// Deterministic data-parallel executor — the structured programming model
+// layered on dmt::Env (DESIGN.md §17).
+//
+// Three primitives, all bit-deterministic on the deterministic backends
+// and confluence-correct on pthreads:
+//
+//   det_parallel_for(ex, begin, end, grain, body)
+//       Static chunked range partition. Chunk c covers
+//       [begin + c*grain, min(end, begin + (c+1)*grain)) and runs on pool
+//       worker c % threads — a pure function of (range, grain, threads),
+//       never of timing.
+//
+//   det_reduce(ex, begin, end, grain, map, combine, identity)
+//       Per-chunk partials combined by a fixed pairwise tree over chunk
+//       index: level by level, partial[i] = combine(partial[2i],
+//       partial[2i+1]) in index order. The combine order is a pure
+//       function of the chunk count alone, so the result is bit-identical
+//       across thread counts, wait modes, monitor modes, kernel tiers and
+//       off-turn close. With an associative combine it is additionally
+//       independent of the grain.
+//
+//   det_for_each(ex, seeds, n, body)
+//       Per-worker worklists. Seed i starts on worker i % threads; items a
+//       worker pushes go to its own list (FIFO). Idle workers take work by
+//       deterministic donation: scan victims in ring order from the
+//       requester, move the newest half of the first list holding >= 2
+//       items. Every transfer is a pair of Kendo-ordered Env mutex
+//       sections, so who-donates-what-to-whom is part of the deterministic
+//       schedule — there is no racy stealing. Termination is an
+//       outstanding-items count maintained with Env atomics.
+//
+// The pool spawns `threads` workers through Env::Spawn on first use and
+// parks them on an Env condvar between regions, because thread ids are
+// never reused (a per-region fork/join would exhaust max_threads).
+// Between regions the pool is idle but not joined, which blocks
+// checkpoint eligibility; call Quiesce() to join the workers (the next
+// region respawns them, consuming fresh thread ids) before
+// Env::Checkpoint(). The region handshake brackets every chunk with
+// acquire/release pairs on the pool mutex, so main observes all worker
+// slices after a region returns and checkpoints taken after Quiesce() see
+// a quiescent heap.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rfdet/api/env.h"
+
+namespace dmt::exec {
+
+struct ExecOptions {
+  // Pool size. 0 = Env::ExecDefaults().pool_threads, else 1.
+  size_t threads = 0;
+  // Default chunk grain for range regions. 0 = Env default, else auto
+  // (count / (8 * threads), min 1).
+  size_t grain = 0;
+  // Work-donation between worklists: 1 on, 0 off, -1 = Env default.
+  int donation = -1;
+  // Per-worker worklist ring capacity in items. 0 = auto (items beyond it
+  // overflow into a host-side spill deque, so capacity is never a
+  // correctness limit).
+  size_t worklist_capacity = 0;
+};
+
+class Executor;
+
+// Handed to det_for_each bodies; Push appends to the calling worker's own
+// worklist (deterministic: the producer is part of the schedule).
+class WorkContext {
+ public:
+  void Push(uint64_t item);
+  [[nodiscard]] size_t worker() const noexcept { return worker_; }
+
+ private:
+  friend class Executor;
+  WorkContext(Executor* ex, size_t worker) : ex_(ex), worker_(worker) {}
+  Executor* ex_;
+  size_t worker_;
+};
+
+class Executor {
+ public:
+  using RangeBody =
+      std::function<void(size_t begin, size_t end, size_t worker)>;
+  using MapFn = std::function<uint64_t(size_t begin, size_t end)>;
+  using CombineFn = std::function<uint64_t(uint64_t a, uint64_t b)>;
+  using ItemBody = std::function<void(uint64_t item, WorkContext& ctx)>;
+
+  explicit Executor(Env& env, ExecOptions opts = {});
+  ~Executor();  // Quiesce()s
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] size_t threads() const noexcept { return nthreads_; }
+  // The grain a range region of `count` items would use (explicit `grain`
+  // wins, else the configured default, else auto).
+  [[nodiscard]] size_t GrainFor(size_t count, size_t grain = 0) const;
+
+  // Chunked range region; empty ranges return without touching the pool.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const RangeBody& body);
+  void ParallelFor(size_t begin, size_t end, const RangeBody& body) {
+    ParallelFor(begin, end, 0, body);
+  }
+
+  // Map chunks to uint64 partials, combine with the fixed pairwise tree.
+  // `combine` must be a pure function; `identity` is returned for an
+  // empty range and never otherwise enters the tree.
+  uint64_t Reduce(size_t begin, size_t end, size_t grain, const MapFn& map,
+                  const CombineFn& combine, uint64_t identity);
+
+  // Drain `seeds` (and everything bodies push) through the per-worker
+  // worklists until globally empty.
+  void ForEach(const uint64_t* seeds, size_t count, const ItemBody& body);
+
+  // Join the pool workers so the runtime is quiescent (checkpoint
+  // eligible). The next region lazily respawns the pool, consuming fresh
+  // thread ids — bounded by the runtime's max_threads.
+  void Quiesce();
+
+ private:
+  friend class WorkContext;
+
+  enum class JobKind : uint8_t { kFor, kEach };
+  struct Job {
+    JobKind kind = JobKind::kFor;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 1;
+    size_t nchunks = 0;
+    const RangeBody* range_body = nullptr;
+    const ItemBody* item_body = nullptr;
+  };
+
+  void EnsurePool();
+  void Launch();  // runs job_ on the pool, returns when all workers done
+  void LaunchFor(size_t begin, size_t end, size_t grain,
+                 const RangeBody& body);
+  void WorkerLoop(size_t worker, uint64_t seen_seq);
+  void RunForPart(size_t worker);
+  void RunEachPart(size_t worker);
+  // Worklist helpers; all require q_mu_[worker] (or q_mu_[victim]) held.
+  [[nodiscard]] GAddr RingSlot(size_t worker, uint64_t index) const;
+  [[nodiscard]] size_t QueueLenLocked(size_t worker);
+  bool PopFrontLocked(size_t worker, uint64_t* out);
+  void AppendLocked(size_t worker, uint64_t item);
+  void TakeBackLocked(size_t victim, size_t take,
+                      std::vector<uint64_t>* out);
+  // Lock-discipline wrappers used by the drain loop.
+  bool TryDonate(size_t worker, uint64_t* out);
+  void PushItem(size_t worker, uint64_t item);
+
+  Env& env_;
+  size_t nthreads_ = 1;
+  size_t default_grain_ = 0;  // 0 = auto
+  bool donation_ = true;
+  size_t ring_capacity_ = 1024;
+
+  // Pool control (all cell accesses under pool_mu_).
+  size_t pool_mu_ = 0;
+  size_t work_cv_ = 0;
+  size_t done_cv_ = 0;
+  size_t idle_cv_ = 0;
+  std::vector<size_t> q_mu_;  // per-worker worklist locks
+  GAddr job_seq_ = rfdet::kNullGAddr;
+  GAddr done_count_ = rfdet::kNullGAddr;
+  GAddr shutdown_ = rfdet::kNullGAddr;
+  GAddr outstanding_ = rfdet::kNullGAddr;  // Env atomics only
+  GAddr rings_ = rfdet::kNullGAddr;        // [worker][ring_capacity_] items
+  GAddr heads_ = rfdet::kNullGAddr;        // per-worker pop cursor
+  GAddr tails_ = rfdet::kNullGAddr;        // per-worker push cursor
+  // Host-side spill beyond the ring, one deque per worker; accessed only
+  // under that worker's q_mu_ (the Env mutex carries the happens-before),
+  // plus by main between regions while the pool is parked.
+  std::vector<std::deque<uint64_t>> overflow_;
+  std::vector<size_t> worker_tids_;
+  bool pool_live_ = false;
+  uint64_t launched_jobs_ = 0;  // mirrors the shared job_seq_ cell
+  Job job_;
+};
+
+// Paper-style spellings over an executor.
+inline void det_parallel_for(Executor& ex, size_t begin, size_t end,
+                             size_t grain, const Executor::RangeBody& body) {
+  ex.ParallelFor(begin, end, grain, body);
+}
+inline uint64_t det_reduce(Executor& ex, size_t begin, size_t end,
+                           size_t grain, const Executor::MapFn& map,
+                           const Executor::CombineFn& combine,
+                           uint64_t identity = 0) {
+  return ex.Reduce(begin, end, grain, map, combine, identity);
+}
+inline void det_for_each(Executor& ex, const uint64_t* seeds, size_t count,
+                         const Executor::ItemBody& body) {
+  ex.ForEach(seeds, count, body);
+}
+
+}  // namespace dmt::exec

@@ -321,6 +321,10 @@ void ThreadView::ProtectSorted(std::span<const PageId> pids,
 }
 
 void ThreadView::SnapshotPf(PageId pid) noexcept {
+  // Idempotent within a slice: a page can fault again after read-tracking
+  // re-armed it below RW mid-window (off-turn prepare keeps the window
+  // live); the diff base must stay the slice-start image.
+  if (pf_snap_[pid] != nullptr) return;
   std::byte* snap = snapshots_.AllocPage();
   // Structured failure instead of a wild memcpy: the pool cannot grow
   // (genuine exhaustion or an injected kSnapshotAcquire fault).
@@ -369,9 +373,14 @@ bool ThreadView::HandleFault(void* addr, bool is_write) noexcept {
 // ---------------------------------------------------------------------------
 
 void ThreadView::CollectModifications(ModList& out) {
+  PreviewModifications(out);
+  ResetSliceWindow();
+}
+
+void ThreadView::PreviewModifications(ModList& out) {
   // Diffing wants ascending page order anyway (runs come out address-
-  // sorted per page), and sorted pages let the pf re-protection below
-  // collapse into one mprotect per contiguous dirty range.
+  // sorted per page), and sorted pages let the pf re-protection in
+  // ResetSliceWindow collapse into one mprotect per contiguous range.
   std::sort(modified_.begin(), modified_.end());
   for (const PageId pid : modified_) {
     const std::byte* snap;
@@ -382,12 +391,16 @@ void ThreadView::CollectModifications(ModList& out) {
     } else {
       snap = pf_snap_[pid];
       cur = flat_ + PageBase(pid);
-      pf_snap_[pid] = nullptr;
     }
     out.AppendPageDiff(PageBase(pid), snap, cur);
     ++stats_.pages_diffed;
   }
+}
+
+void ThreadView::ResetSliceWindow() {
+  std::sort(modified_.begin(), modified_.end());
   if (mode_ == MonitorMode::kPageFault) {
+    for (const PageId pid : modified_) pf_snap_[pid] = nullptr;
     // Read tracking re-arms dirty pages all the way to NONE so the next
     // slice's first read of them is seen, not just the first write.
     ProtectSorted(modified_, track_reads_ ? kProtNone : kProtRO);

@@ -100,6 +100,19 @@ class ThreadView {
   // re-arms monitoring for the next slice.
   void CollectModifications(ModList& out);
 
+  // The two halves of CollectModifications, for the off-turn close path.
+  // PreviewModifications appends the diff WITHOUT ending the slice:
+  // snapshots, the modified-page list and (pf) protections stay live, so
+  // a later preview — or the final CollectModifications — diffs the whole
+  // window from slice start again. That keeps a prepared slice carried
+  // across a merged sync op byte- and structure-identical to the single
+  // diff a turn-serial close takes (an incremental append can split runs
+  // or retain writes a later window reverted, and the fingerprint digests
+  // run structure). ResetSliceWindow is the destructive tail: call it
+  // when a prepared diff is adopted in place of CollectModifications.
+  void PreviewModifications(ModList& out);
+  void ResetSliceWindow();
+
   // ---- Instrumented access (all sizes and page-spanning allowed) --------
 
   void Store(GAddr addr, const void* src, size_t len);

@@ -106,6 +106,17 @@ std::string ValidateOptions(const RfdetOptions& options) {
     return "turn_wait must be one of spin, adaptive, park (got \"" +
            options.turn_wait + "\")";
   }
+  if (options.exec_grain > (1ull << 31)) {
+    return "exec_grain must be <= 2^31 (chunk indices are dense; a larger "
+           "grain is certainly a units mistake)";
+  }
+  if (options.exec_pool_threads > options.max_threads) {
+    return "exec_pool_threads (" + std::to_string(options.exec_pool_threads) +
+           ") must be <= max_threads (" +
+           std::to_string(options.max_threads) +
+           "): pool workers are spawned threads and thread ids are never "
+           "reused";
+  }
   if (options.turn_spin_budget == 0) {
     return "turn_spin_budget must be > 0 (a zero budget would park before "
            "ever polling the turn)";

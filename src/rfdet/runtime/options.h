@@ -96,6 +96,22 @@ struct RfdetOptions {
   size_t static_bytes = 4u << 20;
   size_t max_threads = 64;
 
+  // ---- deterministic executor defaults (see exec/executor.h) -------------
+  // Surfaced to the executor through Env::ExecDefaults(); explicit
+  // ExecOptions at the executor call site win over these.
+
+  // Default range-chunk grain. 0 = auto (range / (8 * pool threads)). The
+  // RFDET_EXEC_GRAIN environment variable, when set, wins over this option
+  // (same precedence as RFDET_KERNELS / RFDET_TURN_WAIT).
+  size_t exec_grain = 0;
+  // Deterministic work-donation between per-thread worklists. Off, every
+  // worklist item drains on the worker its seed (or its pusher) mapped to.
+  bool exec_donation = true;
+  // Default executor pool size when the call site leaves threads unset.
+  // 0 = executor default (1 worker). Pool workers are spawned threads, so
+  // this must fit under max_threads alongside the application's own.
+  size_t exec_pool_threads = 0;
+
   // Metadata space (paper §5.4: 256 MB, GC at 90 % usage).
   size_t metadata_bytes = MetadataArena::kDefaultCapacity;
   double gc_threshold = MetadataArena::kDefaultGcThreshold;

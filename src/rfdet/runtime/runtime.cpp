@@ -144,6 +144,23 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
                    env);
     }
   }
+  // Executor grain: RFDET_EXEC_GRAIN (debug knob) wins over the option,
+  // same contract as RFDET_KERNELS / RFDET_TURN_WAIT — chunking changes
+  // which slices exist but not deterministic results for associative
+  // reductions, so this is a tuning knob surfaced via ExecDefaults().
+  if (const char* env = std::getenv("RFDET_EXEC_GRAIN");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v <= (1ull << 31)) {
+      options_.exec_grain = static_cast<size_t>(v);
+    } else {
+      std::fprintf(stderr,
+                   "rfdet: ignoring RFDET_EXEC_GRAIN=%s (not a grain <= "
+                   "2^31); using options.exec_grain\n",
+                   env);
+    }
+  }
   kendo_.ConfigureWait(turn_wait,
                        static_cast<uint32_t>(options_.turn_spin_budget),
                        [this](size_t tid) {
@@ -434,14 +451,18 @@ void RfdetRuntime::PrepareSlice(ThreadCtx& me) {
   if (!options_.isolation || !options_.off_turn_close) return;
   ThreadCtx::PreparedSlice& p = me.prepared;
   // A prepared slice can survive a sync op that never published it (slice
-  // merging, an error back-out): CollectModifications appends, so the new
-  // window's diff merges into the carried one. Later runs win on overlap —
-  // both the legacy apply loop and ApplyPlan (stable_sort) preserve run
-  // order within a page, matching what one combined diff would apply.
+  // merging, an error back-out), so each prepare re-diffs the WHOLE window
+  // from slice start, non-destructively: the view keeps its snapshots and
+  // monitoring state until CloseSlice adopts the diff and resets it. An
+  // incremental append would be cheaper but diverges from the single diff
+  // a turn-serial close takes — it can split runs, or retain a write that
+  // a later window reverted — and the fingerprint digests run structure,
+  // so off-turn and turn-serial closes must produce identical ModLists.
   const bool had = p.valid;
   const bool had_mods = had && !p.mods.Empty();
   const size_t bytes_before = p.mods.ByteCount();
-  me.view->CollectModifications(p.mods);
+  p.mods.Clear();
+  me.view->PreviewModifications(p.mods);
   if (race_detector_ != nullptr) {
     if (!had) {
       me.view->HarvestReadPages(p.read_pages);
@@ -469,8 +490,13 @@ void RfdetRuntime::PrepareSlice(ThreadCtx& me) {
   if (!had_mods) {
     stats_.offturn_prepared_slices.fetch_add(1, std::memory_order_relaxed);
   }
-  stats_.offturn_prepared_bytes.fetch_add(p.mods.ByteCount() - bytes_before,
-                                          std::memory_order_relaxed);
+  // Re-diffing can shrink the carried total (a later window reverted
+  // bytes an earlier one wrote), so only count growth.
+  const size_t bytes_after = p.mods.ByteCount();
+  if (bytes_after > bytes_before) {
+    stats_.offturn_prepared_bytes.fetch_add(bytes_after - bytes_before,
+                                            std::memory_order_relaxed);
+  }
 }
 
 void RfdetRuntime::CloseSlice(ThreadCtx& t) {
@@ -496,6 +522,9 @@ void RfdetRuntime::CloseSlice(ThreadCtx& t) {
     t.prepared.read_pages.clear();
     t.prepared.mods_digest = 0;
     t.prepared.plan = ApplyPlan();
+    // PrepareSlice diffs non-destructively so merged windows re-diff from
+    // slice start; the adopted close owns ending the slice window.
+    t.view->ResetSliceWindow();
   } else {
     t.view->CollectModifications(mods);
     if (race_detector_ != nullptr) t.view->HarvestReadPages(read_pages);
@@ -1014,8 +1043,8 @@ void RfdetRuntime::MutexUnlock(size_t id) {
     const size_t next = m.waiters.front();
     m.waiters.erase(m.waiters.begin());
     m.owner = next;  // hand-off: stays locked
+    RecordGrant(TraceOp::kLockAcquired, next, id, kendo_.Clock(me.tid) + 1);
     Wake(me, CtxOf(next), /*delta=*/1, me.tid, m.last_time);
-    Record(TraceOp::kLockAcquired, next, id);
   } else {
     m.locked = false;
     m.owner = kNone;
@@ -1062,8 +1091,9 @@ RfdetErrc RfdetRuntime::CondWait(size_t cond_id, size_t mutex_id) {
     const size_t next = m.waiters.front();
     m.waiters.erase(m.waiters.begin());
     m.owner = next;
+    RecordGrant(TraceOp::kLockAcquired, next, mutex_id,
+                kendo_.Clock(me.tid) + 1);
     Wake(me, CtxOf(next), /*delta=*/1, me.tid, m.last_time);
-    Record(TraceOp::kLockAcquired, next, mutex_id);
   } else {
     m.locked = false;
     m.owner = kNone;
@@ -1401,8 +1431,8 @@ void RfdetRuntime::ThreadExit(ThreadCtx& me) {
   const size_t joiner = me.joiner;
   me.finished.store(true, std::memory_order_release);
   if (joiner != kNone) {
+    RecordGrant(TraceOp::kJoin, joiner, me.tid, kendo_.Clock(me.tid) + 1);
     Wake(me, CtxOf(joiner), /*delta=*/1, me.tid, me.final_clock);
-    Record(TraceOp::kJoin, joiner, me.tid);
   }
   TurnEndExit(me);
 }
@@ -2395,6 +2425,18 @@ std::string RfdetRuntime::DumpStateReport() const {
        << tw.park_ns / 1'000'000 << " ms parked), " << tw.wakeups
        << " wakeups, " << tw.handoffs << " handoffs\n";
   }
+  if (stats_.exec_regions.load(std::memory_order_relaxed) > 0) {
+    os << "exec: "
+       << stats_.exec_regions.load(std::memory_order_relaxed)
+       << " regions, " << stats_.exec_chunks.load(std::memory_order_relaxed)
+       << " chunks, " << stats_.exec_items.load(std::memory_order_relaxed)
+       << " worklist items, "
+       << stats_.exec_donations.load(std::memory_order_relaxed)
+       << " donations ("
+       << stats_.exec_donated_items.load(std::memory_order_relaxed)
+       << " items), reduce depth "
+       << stats_.exec_reduce_depth.load(std::memory_order_relaxed) << "\n";
+  }
   if (fingerprint_ != nullptr) os << fingerprint_->ProgressSummary();
   if (race_detector_ != nullptr) os << race_detector_->Summary();
   if (replay_ != nullptr) os << replay_->ProgressSummary() << "\n";
@@ -2465,7 +2507,22 @@ void RfdetRuntime::Record(TraceOp op, size_t acting_tid, size_t object) {
     kendo_.Tick(acting_tid, 1);
   }
   if (!options_.record_trace) return;
-  const TraceEvent event{acting_tid, op, object, clock};
+  AppendTrace(TraceEvent{acting_tid, op, object, clock});
+}
+
+void RfdetRuntime::RecordGrant(TraceOp op, size_t granted_tid, size_t object,
+                               uint64_t granted_clock) {
+  const bool fp = fingerprint_ != nullptr && fingerprint_->Absorbing();
+  if (!options_.record_trace && !fp) return;
+  if (fp) {
+    fingerprint_->OnSyncOp(granted_tid, static_cast<uint8_t>(op),
+                           TraceOpName(op), object, granted_clock);
+  }
+  if (!options_.record_trace) return;
+  AppendTrace(TraceEvent{granted_tid, op, object, granted_clock});
+}
+
+void RfdetRuntime::AppendTrace(const TraceEvent& event) {
   std::scoped_lock lock(trace_mu_);
   if (trace_.size() < options_.trace_limit) {
     const size_t before = trace_.capacity();
@@ -2501,6 +2558,34 @@ size_t RfdetRuntime::LiveSliceCount() const {
   std::scoped_lock lock(threads_mu_);
   for (const auto& ctx : threads_) n += ctx->log.Size();
   return n;
+}
+
+void RfdetRuntime::NoteExec(ExecEvent event, uint64_t n) noexcept {
+  switch (event) {
+    case ExecEvent::kRegion:
+      stats_.exec_regions.fetch_add(n, std::memory_order_relaxed);
+      break;
+    case ExecEvent::kChunk:
+      stats_.exec_chunks.fetch_add(n, std::memory_order_relaxed);
+      break;
+    case ExecEvent::kItem:
+      stats_.exec_items.fetch_add(n, std::memory_order_relaxed);
+      break;
+    case ExecEvent::kDonation:
+      stats_.exec_donations.fetch_add(n, std::memory_order_relaxed);
+      break;
+    case ExecEvent::kDonatedItems:
+      stats_.exec_donated_items.fetch_add(n, std::memory_order_relaxed);
+      break;
+    case ExecEvent::kReduceDepth: {
+      uint64_t cur =
+          stats_.exec_reduce_depth.load(std::memory_order_relaxed);
+      while (cur < n && !stats_.exec_reduce_depth.compare_exchange_weak(
+                            cur, n, std::memory_order_relaxed)) {
+      }
+      break;
+    }
+  }
 }
 
 StatsSnapshot RfdetRuntime::Snapshot() const {
@@ -2565,6 +2650,12 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
   s.checkpoint_ns = stats_.checkpoint_ns.load();
   s.checkpoint_io_errors = stats_.checkpoint_io_errors.load();
   s.restores = stats_.restores.load();
+  s.exec_regions = stats_.exec_regions.load();
+  s.exec_chunks = stats_.exec_chunks.load();
+  s.exec_items = stats_.exec_items.load();
+  s.exec_donations = stats_.exec_donations.load();
+  s.exec_donated_items = stats_.exec_donated_items.load();
+  s.exec_reduce_depth = stats_.exec_reduce_depth.load();
   std::scoped_lock lock(threads_mu_);
   for (const auto& ctx : threads_) {
     s.loads += ctx->loads.load(std::memory_order_relaxed);

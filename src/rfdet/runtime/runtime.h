@@ -236,6 +236,10 @@ class RfdetRuntime {
     return options_;
   }
   [[nodiscard]] StatsSnapshot Snapshot() const;
+  // Executor-layer statistics event (exec/executor.h feeds these through
+  // Env::NoteExec). Plain atomic counters — callable from any thread, no
+  // turn required, never feeds the deterministic schedule.
+  void NoteExec(ExecEvent event, uint64_t n) noexcept;
   [[nodiscard]] const MetadataArena& arena() const noexcept { return arena_; }
   [[nodiscard]] size_t LiveSliceCount() const;
 
@@ -521,6 +525,14 @@ class RfdetRuntime {
   // race with Trace() readers. Storage is a bounded ring over trace_
   // (trace_next_ = next overwrite position once full), arena-charged.
   void Record(TraceOp op, size_t acting_tid, size_t object);
+  // Waker-side recording of an event on a granted waiter's behalf (lock
+  // hand-off, join grant). Must be called BEFORE the Wake that publishes
+  // the grant, with the deterministic clock the wake will install: once
+  // woken, the waiter races ahead and Record's read of its live clock
+  // cell would be nondeterministic.
+  void RecordGrant(TraceOp op, size_t granted_tid, size_t object,
+                   uint64_t granted_clock);
+  void AppendTrace(const TraceEvent& event);
   mutable std::mutex trace_mu_;
   std::vector<TraceEvent> trace_;
   size_t trace_next_ = 0;

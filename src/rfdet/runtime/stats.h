@@ -8,6 +8,18 @@
 
 namespace rfdet {
 
+// Events emitted by the deterministic executor layer (exec/executor.h)
+// through Env::NoteExec. Runtimes that keep executor statistics map these
+// onto the exec_* counters below; others ignore them.
+enum class ExecEvent : uint8_t {
+  kRegion,        // one parallel region (parallel_for / for_each / reduce)
+  kChunk,         // one static range chunk executed
+  kItem,          // one worklist item processed
+  kDonation,      // one deterministic work-donation transfer
+  kDonatedItems,  // items moved by a donation (arg = count)
+  kReduceDepth,   // combining-tree depth of a reduce (arg = depth; max kept)
+};
+
 struct RuntimeStats {
   std::atomic<uint64_t> locks{0};
   std::atomic<uint64_t> unlocks{0};
@@ -57,6 +69,14 @@ struct RuntimeStats {
   std::atomic<uint64_t> checkpoint_ns{0};      // wall time building+writing
   std::atomic<uint64_t> checkpoint_io_errors{0};
   std::atomic<uint64_t> restores{0};           // successful constructor restores
+
+  // Deterministic executor layer (exec/executor.h; fed via Env::NoteExec).
+  std::atomic<uint64_t> exec_regions{0};
+  std::atomic<uint64_t> exec_chunks{0};
+  std::atomic<uint64_t> exec_items{0};
+  std::atomic<uint64_t> exec_donations{0};
+  std::atomic<uint64_t> exec_donated_items{0};
+  std::atomic<uint64_t> exec_reduce_depth{0};  // max combining-tree depth
 };
 
 // Plain-value snapshot (also folds in per-view monitor stats).
@@ -91,6 +111,10 @@ struct StatsSnapshot {
   uint64_t checkpoints_written = 0, checkpoint_skips = 0;
   uint64_t checkpoint_bytes = 0, checkpoint_ns = 0;
   uint64_t checkpoint_io_errors = 0, restores = 0;
+  // Deterministic executor layer (exec/executor.h).
+  uint64_t exec_regions = 0, exec_chunks = 0, exec_items = 0;
+  uint64_t exec_donations = 0, exec_donated_items = 0;
+  uint64_t exec_reduce_depth = 0;  // max combining-tree depth observed
   // Process-level supervision (filled by supervise::Supervisor::Run — the
   // supervisor lives outside the runtime, in the parent process, so these
   // stay zero in a runtime's own Snapshot()).

@@ -1,0 +1,304 @@
+// Deterministic executor layer (exec/executor.h): chunk partitioning,
+// the fixed reduce-tree order contract, worklist drain + deterministic
+// donation, pool quiescence for checkpoint eligibility, ExecDefaults /
+// RFDET_EXEC_GRAIN plumbing, and the cross-mode determinism round-trip
+// over pagerank.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "rfdet/apps/workload.h"
+#include "rfdet/backends/backends.h"
+#include "rfdet/exec/executor.h"
+#include "rfdet/harness/harness.h"
+#include "rfdet/runtime/runtime.h"
+
+namespace {
+
+using dmt::exec::ExecOptions;
+using dmt::exec::Executor;
+using dmt::exec::WorkContext;
+
+dmt::BackendConfig SmallConfig() {
+  dmt::BackendConfig config;
+  config.kind = dmt::BackendKind::kRfdetCi;
+  config.region_bytes = 16u << 20;
+  config.static_bytes = 2u << 20;
+  config.max_threads = 32;
+  return config;
+}
+
+TEST(ExecParallelFor, EmptyRangeNeverRunsTheBody) {
+  const auto env = dmt::CreateEnv(SmallConfig());
+  Executor ex(*env, ExecOptions{.threads = 2});
+  int calls = 0;
+  ex.ParallelFor(5, 5, 1, [&](size_t, size_t, size_t) { ++calls; });
+  ex.ParallelFor(7, 3, 1, [&](size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  const rfdet::StatsSnapshot s = env->Stats();
+  EXPECT_EQ(s.exec_regions, 2u);
+  EXPECT_EQ(s.exec_chunks, 0u);
+}
+
+TEST(ExecParallelFor, GrainLargerThanRangeIsOneChunk) {
+  const auto env = dmt::CreateEnv(SmallConfig());
+  Executor ex(*env, ExecOptions{.threads = 3});
+  std::vector<std::pair<size_t, size_t>> chunks;
+  ex.ParallelFor(10, 14, 1000, [&](size_t lo, size_t hi, size_t) {
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{10, 14}));
+  EXPECT_EQ(env->Stats().exec_chunks, 1u);
+}
+
+TEST(ExecParallelFor, ChunkAssignmentIsAPureFunctionOfTheRange) {
+  // chunk c = [begin + c*grain, ...) runs on worker c % threads; collect
+  // (chunk, worker) pairs and check against the formula.
+  const auto env = dmt::CreateEnv(SmallConfig());
+  Executor ex(*env, ExecOptions{.threads = 3});
+  const size_t mu = env->CreateMutex();
+  std::vector<std::pair<size_t, size_t>> seen;  // (lo, worker)
+  ex.ParallelFor(0, 100, 9, [&](size_t lo, size_t hi, size_t w) {
+    EXPECT_EQ(hi, std::min<size_t>(100, lo + 9));
+    env->Lock(mu);
+    seen.emplace_back(lo, w);
+    env->Unlock(mu);
+  });
+  ASSERT_EQ(seen.size(), 12u);  // ceil(100 / 9)
+  for (const auto& [lo, w] : seen) {
+    EXPECT_EQ(lo % 9, 0u);
+    EXPECT_EQ(w, (lo / 9) % 3);
+  }
+}
+
+TEST(ExecForEach, SingleThreadPoolDrainsSeedsAndPushes) {
+  const auto env = dmt::CreateEnv(SmallConfig());
+  Executor ex(*env, ExecOptions{.threads = 1});
+  const dmt::GAddr total = env->AllocStatic(8);
+  env->Put<uint64_t>(total, 0);
+  // Each item < 50 pushes item+50; the drain must see both generations.
+  std::vector<uint64_t> seeds(10);
+  std::iota(seeds.begin(), seeds.end(), 0);
+  ex.ForEach(seeds.data(), seeds.size(), [&](uint64_t item, WorkContext& ctx) {
+    env->AtomicFetchAdd(total, item);
+    if (item < 50) ctx.Push(item + 50);
+  });
+  // sum(0..9) + sum(50..59) = 45 + 545.
+  EXPECT_EQ(env->AtomicLoad(total), 590u);
+  EXPECT_EQ(env->Stats().exec_items, 20u);
+}
+
+TEST(ExecForEach, WorklistPushDuringDrainCoversTheImplicitTree) {
+  // Item k < 64 pushes 2k and 2k+1: the drain expands the complete
+  // binary tree 1..127 from a single seed, across donations.
+  const auto env = dmt::CreateEnv(SmallConfig());
+  Executor ex(*env, ExecOptions{.threads = 4});
+  const dmt::GAddr count = env->AllocStatic(8);
+  env->Put<uint64_t>(count, 0);
+  const uint64_t seed = 1;
+  ex.ForEach(&seed, 1, [&](uint64_t item, WorkContext& ctx) {
+    env->AtomicFetchAdd(count, 1);
+    if (item < 64) {
+      ctx.Push(2 * item);
+      ctx.Push(2 * item + 1);
+    }
+  });
+  EXPECT_EQ(env->AtomicLoad(count), 127u);
+  EXPECT_EQ(env->Stats().exec_items, 127u);
+}
+
+uint64_t RunDonationChain(bool donation, rfdet::StatsSnapshot* stats) {
+  const auto env = dmt::CreateEnv(SmallConfig());
+  Executor ex(*env, ExecOptions{.threads = 4, .donation = donation ? 1 : 0});
+  const dmt::GAddr sum = env->AllocStatic(8);
+  env->Put<uint64_t>(sum, 0);
+  // One seed expanding to 512 nodes, all born on the seed's worker until
+  // donation spreads them.
+  const uint64_t seed = 1;
+  ex.ForEach(&seed, 1, [&](uint64_t item, WorkContext& ctx) {
+    env->AtomicFetchAdd(sum, item);
+    if (item < 256) {
+      ctx.Push(2 * item);
+      ctx.Push(2 * item + 1);
+    }
+  });
+  const uint64_t result = env->AtomicLoad(sum);
+  *stats = env->Stats();
+  return result;
+}
+
+TEST(ExecForEach, DonationRebalancesDeterministically) {
+  rfdet::StatsSnapshot on1, on2, off;
+  const uint64_t expected = 511ull * 512 / 2;  // sum 1..511
+  EXPECT_EQ(RunDonationChain(true, &on1), expected);
+  EXPECT_EQ(RunDonationChain(true, &on2), expected);
+  EXPECT_EQ(RunDonationChain(false, &off), expected);
+  EXPECT_GT(on1.exec_donations, 0u);
+  EXPECT_GE(on1.exec_donated_items, on1.exec_donations);
+  // Donation decisions ride the deterministic schedule: identical runs
+  // transfer identical work.
+  EXPECT_EQ(on1.exec_donations, on2.exec_donations);
+  EXPECT_EQ(on1.exec_donated_items, on2.exec_donated_items);
+  EXPECT_EQ(off.exec_donations, 0u);
+}
+
+TEST(ExecReduce, ResultIndependentOfGrain) {
+  const auto env = dmt::CreateEnv(SmallConfig());
+  Executor ex(*env, ExecOptions{.threads = 4});
+  const auto map = [](size_t lo, size_t hi) {
+    uint64_t s = 0;
+    for (size_t i = lo; i < hi; ++i) s += i * i;
+    return s;
+  };
+  const auto add = [](uint64_t a, uint64_t b) { return a + b; };
+  const uint64_t reference = ex.Reduce(3, 200, 1, map, add, 0);
+  for (const size_t grain : {size_t{5}, size_t{7}, size_t{64}, size_t{500},
+                             size_t{0} /* auto */}) {
+    EXPECT_EQ(ex.Reduce(3, 200, grain, map, add, 0), reference)
+        << "grain " << grain;
+  }
+  EXPECT_EQ(ex.Reduce(9, 9, 4, map, add, 77u), 77u);  // empty -> identity
+  EXPECT_GT(env->Stats().exec_reduce_depth, 0u);
+}
+
+// Host-side replica of the documented combining tree: level by level,
+// dst[i] = combine(src[2i], src[2i+1]), odd tail passes through.
+uint64_t HostTree(std::vector<uint64_t> v,
+                  uint64_t (*combine)(uint64_t, uint64_t)) {
+  while (v.size() > 1) {
+    std::vector<uint64_t> next((v.size() + 1) / 2);
+    for (size_t i = 0; i < next.size(); ++i) {
+      next[i] = 2 * i + 1 < v.size() ? combine(v[2 * i], v[2 * i + 1])
+                                     : v[2 * i];
+    }
+    v = std::move(next);
+  }
+  return v.empty() ? 0 : v[0];
+}
+
+TEST(ExecReduce, CombineOrderIsAFixedFunctionOfChunkIndex) {
+  // A non-associative, non-commutative combine makes the tree shape
+  // observable: every thread count must produce exactly the host tree.
+  const auto combine = [](uint64_t a, uint64_t b) {
+    return a * 1000003 + b;
+  };
+  const size_t begin = 0, end = 57, grain = 5;
+  std::vector<uint64_t> chunk_values;
+  for (size_t lo = begin; lo < end; lo += grain) {
+    chunk_values.push_back(std::min(end, lo + grain) - lo + 31 * lo);
+  }
+  const uint64_t expected = HostTree(chunk_values, +combine);
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    const auto env = dmt::CreateEnv(SmallConfig());
+    Executor ex(*env, ExecOptions{.threads = threads});
+    const uint64_t got = ex.Reduce(
+        begin, end, grain,
+        [](size_t lo, size_t hi) { return (hi - lo) + 31 * lo; }, combine,
+        0);
+    EXPECT_EQ(got, expected) << "threads " << threads;
+  }
+}
+
+TEST(ExecPool, QuiesceMakesTheRuntimeCheckpointEligible) {
+  dmt::BackendConfig config = SmallConfig();
+  config.checkpoint_path = ::testing::TempDir() + "exec_ckpt.img";
+  const auto env = dmt::CreateEnv(config);
+  Executor ex(*env, ExecOptions{.threads = 2});
+  uint64_t side = 0;
+  ex.ParallelFor(0, 10, 2,
+                 [&](size_t lo, size_t, size_t) { side += lo; });
+  // Pool workers are parked, not joined: the quiescence gate must refuse.
+  EXPECT_FALSE(env->Checkpoint());
+  ex.Quiesce();
+  EXPECT_TRUE(env->Checkpoint());
+  // The pool respawns lazily and keeps working after a quiesce.
+  ex.ParallelFor(0, 10, 2,
+                 [&](size_t lo, size_t, size_t) { side += lo; });
+  EXPECT_EQ(side, 2u * (0 + 2 + 4 + 6 + 8));
+  std::remove(config.checkpoint_path.c_str());
+}
+
+size_t ChunksFor(const dmt::BackendConfig& config) {
+  const auto env = dmt::CreateEnv(config);
+  Executor ex(*env, ExecOptions{.threads = 2});
+  ex.ParallelFor(0, 21, [](size_t, size_t, size_t) {});
+  return env->Stats().exec_chunks;
+}
+
+TEST(ExecOptionsFlow, ExecDefaultsAndEnvOverrideParity) {
+  dmt::BackendConfig config = SmallConfig();
+  config.exec_grain = 7;
+  ASSERT_EQ(unsetenv("RFDET_EXEC_GRAIN"), 0);
+  EXPECT_EQ(ChunksFor(config), 3u);  // ceil(21 / 7)
+  // The environment variable wins over the option...
+  ASSERT_EQ(setenv("RFDET_EXEC_GRAIN", "3", 1), 0);
+  EXPECT_EQ(ChunksFor(config), 7u);  // ceil(21 / 3)
+  // ...and an unparseable value warns and falls back to the option.
+  ASSERT_EQ(setenv("RFDET_EXEC_GRAIN", "banana", 1), 0);
+  EXPECT_EQ(ChunksFor(config), 3u);
+  ASSERT_EQ(unsetenv("RFDET_EXEC_GRAIN"), 0);
+}
+
+TEST(ExecStats, SnapshotAndDumpStateReportCarryExecCounters) {
+  rfdet::RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  rfdet::RfdetRuntime rt(o);
+  rt.NoteExec(rfdet::ExecEvent::kRegion, 2);
+  rt.NoteExec(rfdet::ExecEvent::kChunk, 5);
+  rt.NoteExec(rfdet::ExecEvent::kItem, 9);
+  rt.NoteExec(rfdet::ExecEvent::kDonation, 1);
+  rt.NoteExec(rfdet::ExecEvent::kDonatedItems, 4);
+  rt.NoteExec(rfdet::ExecEvent::kReduceDepth, 3);
+  rt.NoteExec(rfdet::ExecEvent::kReduceDepth, 2);  // max is kept
+  const rfdet::StatsSnapshot s = rt.Snapshot();
+  EXPECT_EQ(s.exec_regions, 2u);
+  EXPECT_EQ(s.exec_chunks, 5u);
+  EXPECT_EQ(s.exec_items, 9u);
+  EXPECT_EQ(s.exec_donations, 1u);
+  EXPECT_EQ(s.exec_donated_items, 4u);
+  EXPECT_EQ(s.exec_reduce_depth, 3u);
+  const std::string dump = rt.DumpStateReport();
+  EXPECT_NE(dump.find("exec: 2 regions, 5 chunks, 9 worklist items, "
+                      "1 donations (4 items), reduce depth 3"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(ExecCrossMode, PagerankRoundTripsAcrossWaitModesAndKernels) {
+  // kRecord under turn_wait=park + off-turn close, then kVerify under
+  // turn_wait=spin + scalar kernels: the §11 fingerprint (schedule and
+  // memory digests) must match epoch for epoch — the executor layer
+  // cannot leak the wait mechanism, close staging, or kernel tier into
+  // the deterministic execution.
+  const apps::Workload* pagerank = apps::FindWorkload("pagerank");
+  ASSERT_NE(pagerank, nullptr);
+  apps::Params params;
+  params.threads = 4;
+  const std::string path = ::testing::TempDir() + "exec_crossmode.fp";
+  dmt::BackendConfig record = SmallConfig();
+  record.fingerprint = rfdet::FingerprintMode::kRecord;
+  record.fingerprint_path = path;
+  record.turn_wait = "park";
+  record.off_turn_close = true;
+  const harness::RunOutcome rec = harness::Measure(*pagerank, params, record);
+  dmt::BackendConfig verify = SmallConfig();
+  verify.fingerprint = rfdet::FingerprintMode::kVerify;
+  verify.fingerprint_path = path;
+  verify.fingerprint_panic = false;
+  verify.turn_wait = "spin";
+  verify.kernels = "scalar";
+  const harness::RunOutcome ver = harness::Measure(*pagerank, params, verify);
+  EXPECT_EQ(ver.divergence_report, "") << ver.divergence_report;
+  EXPECT_EQ(ver.signature, rec.signature);
+  EXPECT_EQ(ver.fingerprint_rollup, rec.fingerprint_rollup);
+  EXPECT_NE(rec.fingerprint_rollup, 0u);
+  EXPECT_GT(rec.stats.exec_regions, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace

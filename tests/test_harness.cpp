@@ -91,11 +91,13 @@ TEST(Registry, AllPaperWorkloadsPresent) {
       "radix",         "lu-con",       "lu-non",    "linear_regression",
       "matrix_multiply", "pca",        "wordcount", "string_match",
       "blackscholes",  "swaptions",    "dedup",     "ferret",
-      "racey",         "canneal"};
+      "racey",         "canneal",
+      // Executor-layer graph family (not in Table 1).
+      "pagerank",      "bfs",          "cc"};
   for (const char* name : expected) {
     EXPECT_NE(apps::FindWorkload(name), nullptr) << name;
   }
-  EXPECT_EQ(apps::AllWorkloads().size(), 18u);
+  EXPECT_EQ(apps::AllWorkloads().size(), 21u);
   EXPECT_EQ(apps::FindWorkload("nope"), nullptr);
 }
 

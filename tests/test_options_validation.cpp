@@ -227,6 +227,22 @@ TEST(OptionsValidation, TurnWaitAcceptsAllModes) {
   }
 }
 
+TEST(OptionsValidation, ExecGrainBounded) {
+  RfdetOptions o = Valid();
+  o.exec_grain = size_t{1} << 31;  // boundary is inclusive
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.exec_grain = (size_t{1} << 31) + 1;
+  EXPECT_NE(ValidateOptions(o).find("exec_grain"), std::string::npos);
+}
+
+TEST(OptionsValidation, ExecPoolBoundedByMaxThreads) {
+  RfdetOptions o = Valid();
+  o.exec_pool_threads = o.max_threads;  // pool + main is checked at spawn
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.exec_pool_threads = o.max_threads + 1;
+  EXPECT_NE(ValidateOptions(o).find("exec_pool_threads"), std::string::npos);
+}
+
 TEST(OptionsValidation, TurnSpinBudgetMustBePositive) {
   RfdetOptions o = Valid();
   o.turn_spin_budget = 0;
