@@ -56,7 +56,10 @@ else
 fi
 
 # Bench runs must leave no stray files: everything lands in the allow-listed
-# bench/artifacts/BENCH_*.json (fingerprints and scratch go to /tmp).
+# bench/artifacts/BENCH_*.json (fingerprints and scratch go to /tmp). This
+# covers every cell above, including the propagation bench's overlap-chain
+# coalescing run — its span/plan state is all in-memory, so any file it
+# drops under bench/ is a bug.
 stray="$(git ls-files --others --exclude-standard bench)"
 if [[ -n "$stray" ]]; then
   echo "bench.sh: stray bench artifacts not covered by .gitignore:" >&2

@@ -60,7 +60,7 @@ for san in ${sanitizers[@]+"${sanitizers[@]}"}; do
   # Death tests re-exec the binary, which ASan/TSan tolerate fine under
   # the threadsafe style the fixtures select.
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)" \
-      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint|Race|Kernel|Close|Replay|Checkpoint|Turn|Park|Supervis|Chaos|Exec|Graph')
+      -R 'Deadlock|Watchdog|FaultInject|Misuse|OptionsValidation|FaultHandler|Fingerprint|Race|Kernel|Close|Replay|Checkpoint|Turn|Park|Supervis|Chaos|Exec|Graph|Coalesce|Span')
 done
 
 if [[ "$run_bench" == 1 ]]; then

@@ -39,8 +39,9 @@ enum class FaultSite : uint8_t {
   kCheckpointIo,      // checkpoint-file write / restore read
   kRegionBacking,     // view memfd ftruncate / hole-punch (tmpfs exhaustion)
   kSupervisorIpc,     // supervisor pipe messages (heartbeat/ready/done)
+  kSpanCoalesce,      // slice-span coalesced-delta build (arena pressure)
 };
-inline constexpr size_t kNumFaultSites = 11;
+inline constexpr size_t kNumFaultSites = 12;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite s) noexcept {
   switch (s) {
@@ -66,6 +67,8 @@ inline constexpr size_t kNumFaultSites = 11;
       return "region-backing";
     case FaultSite::kSupervisorIpc:
       return "supervisor-ipc";
+    case FaultSite::kSpanCoalesce:
+      return "span-coalesce";
   }
   return "?";
 }

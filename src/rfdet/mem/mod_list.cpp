@@ -1,5 +1,6 @@
 #include "rfdet/mem/mod_list.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -36,6 +37,81 @@ bool ModList::AppendCoalescing(GAddr addr, std::span<const std::byte> bytes) {
   }
   Append(addr, bytes);
   return false;
+}
+
+void ModList::OverwriteRun(GAddr addr, uint32_t len, const std::byte* bytes) {
+  if (len == 0) return;
+  const GAddr end = addr + len;
+  // First run whose end extends past addr. Runs left of it cannot overlap
+  // [addr, end); the merge-normalized invariant (sorted, disjoint) makes
+  // this binary search exact.
+  auto it = std::lower_bound(
+      runs_.begin(), runs_.end(), addr,
+      [](const ModRun& r, GAddr a) { return r.addr + r.len <= a; });
+  if (it != runs_.end() && it->addr < addr && it->addr + it->len > end) {
+    // One run strictly contains the new range: split it into a prefix
+    // keeping [it->addr, addr) and a suffix keeping [end, old_end); the
+    // suffix aliases the original payload at the shifted offset.
+    const ModRun suffix{
+        end, static_cast<uint32_t>(it->addr + it->len - end),
+        static_cast<uint32_t>(it->data_offset + (end - it->addr))};
+    it->len = static_cast<uint32_t>(addr - it->addr);
+    dead_bytes_ += len;
+    it = runs_.insert(it + 1, suffix);
+  } else {
+    if (it != runs_.end() && it->addr < addr) {
+      // Trim the tail of the left-overlapping neighbor.
+      const uint32_t cut = static_cast<uint32_t>(it->addr + it->len - addr);
+      it->len -= cut;
+      dead_bytes_ += cut;
+      ++it;
+    }
+    auto first_covered = it;
+    while (it != runs_.end() && it->addr + it->len <= end) {
+      dead_bytes_ += it->len;
+      ++it;
+    }
+    it = runs_.erase(first_covered, it);
+    if (it != runs_.end() && it->addr < end) {
+      // Trim the head of the right-overlapping neighbor.
+      const uint32_t cut = static_cast<uint32_t>(end - it->addr);
+      it->addr += cut;
+      it->data_offset += cut;
+      it->len -= cut;
+      dead_bytes_ += cut;
+    }
+  }
+  runs_.insert(it, ModRun{addr, len, static_cast<uint32_t>(data_.size())});
+  data_.insert(data_.end(), bytes, bytes + len);
+}
+
+void ModList::MergeFrom(const ModList& other) {
+  runs_.reserve(runs_.size() + other.RunCount());
+  data_.reserve(data_.size() + other.ByteCount());
+  for (const ModRun& run : other.Runs()) {
+    OverwriteRun(run.addr, run.len, other.DataAt(run.data_offset));
+  }
+}
+
+void ModList::Compact() {
+  if (dead_bytes_ == 0) return;
+  std::vector<std::byte> live;
+  live.reserve(data_.size() - dead_bytes_);
+  for (ModRun& run : runs_) {
+    const auto off = static_cast<uint32_t>(live.size());
+    live.insert(live.end(), data_.begin() + run.data_offset,
+                data_.begin() + run.data_offset + run.len);
+    run.data_offset = off;
+  }
+  data_ = std::move(live);
+  dead_bytes_ = 0;
+}
+
+bool ModList::MergeNormalized() const noexcept {
+  for (size_t i = 1; i < runs_.size(); ++i) {
+    if (runs_[i].addr < runs_[i - 1].addr + runs_[i - 1].len) return false;
+  }
+  return true;
 }
 
 void ModList::AppendPageDiff(GAddr page_base, const std::byte* snapshot,

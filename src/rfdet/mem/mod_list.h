@@ -64,6 +64,29 @@ class ModList {
   void AppendPageDiff(GAddr page_base, const std::byte* snapshot,
                       const std::byte* current);
 
+  // Deterministic last-writer-wins merge (paper §4.6 applied across
+  // slices): replays every run of `other`, in `other`'s order, over this
+  // list, so a byte written by both keeps `other`'s value — exactly what a
+  // sequential per-slice apply would leave in the region. Requires *this*
+  // to be merge-normalized: empty, or built exclusively by MergeFrom (runs
+  // sorted by address and pairwise disjoint). Sources need no such
+  // invariant; a raw append-built list's internal overlaps resolve
+  // later-wins run by run, as replay would.
+  void MergeFrom(const ModList& other);
+
+  // Payload bytes no surviving run references (overwritten or trimmed by
+  // MergeFrom). ByteCount() includes them until Compact() drops them.
+  [[nodiscard]] size_t DeadBytes() const noexcept { return dead_bytes_; }
+
+  // Rewrites the payload to exactly the surviving runs' bytes in run
+  // order. After Compact, ByteCount() == the sum of run lengths again.
+  void Compact();
+
+  // True when runs are sorted by address and pairwise disjoint — the
+  // MergeFrom destination invariant. Raw append-built lists may violate
+  // it; merged lists never do.
+  [[nodiscard]] bool MergeNormalized() const noexcept;
+
   // Retained memory, for metadata-space accounting.
   [[nodiscard]] size_t MemoryBytes() const noexcept {
     return runs_.capacity() * sizeof(ModRun) + data_.capacity();
@@ -72,11 +95,17 @@ class ModList {
   void Clear() noexcept {
     runs_.clear();
     data_.clear();
+    dead_bytes_ = 0;
   }
 
  private:
+  // Writes [addr, addr+len) into a merge-normalized list: trims or splits
+  // overlapped neighbors, erases covered runs, inserts the new run.
+  void OverwriteRun(GAddr addr, uint32_t len, const std::byte* bytes);
+
   std::vector<ModRun> runs_;
   std::vector<std::byte> data_;
+  size_t dead_bytes_ = 0;
 };
 
 }  // namespace rfdet

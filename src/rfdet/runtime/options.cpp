@@ -117,6 +117,15 @@ std::string ValidateOptions(const RfdetOptions& options) {
            "): pool workers are spawned threads and thread ids are never "
            "reused";
   }
+  if (options.propagate_coalesce && options.propagate_coalesce_min < 2) {
+    return "propagate_coalesce_min must be >= 2 when propagate_coalesce is "
+           "set (a span of one slice coalesces nothing)";
+  }
+  if (options.propagate_coalesce &&
+      options.propagate_coalesce_min > (1u << 16)) {
+    return "propagate_coalesce_min must be <= 65536 (a larger batch floor "
+           "can never be reached; certainly a units mistake)";
+  }
   if (options.turn_spin_budget == 0) {
     return "turn_spin_budget must be > 0 (a zero budget would park before "
            "ever polling the turn)";

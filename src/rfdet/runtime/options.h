@@ -64,6 +64,18 @@ struct RfdetOptions {
   bool prelock = true;
   bool lazy_writes = true;
 
+  // Cross-slice propagation coalescing (DESIGN.md §18): when an acquire
+  // finds a batch-adjacent stretch of at least propagate_coalesce_min
+  // consecutive slices from one origin, it applies one shared compacted
+  // delta (SliceSpan) instead of the per-slice ApplyPlans. Physical-copy
+  // optimization only: fingerprints, race detection, and replay always
+  // consume the logical per-slice stream, so runs with coalescing on and
+  // off are bit-identical. The RFDET_COALESCE environment variable, when
+  // set, wins over both options ("0"/"off", "1"/"on", or an integer ≥ 2
+  // to enable with that batch floor).
+  bool propagate_coalesce = true;
+  size_t propagate_coalesce_min = 4;
+
   // Off-turn slice close: run the thread-private half of CloseSlice —
   // snapshot diffing into a ModList, ApplyPlan construction, pre-hashing
   // the mod bytes for the fingerprint — *before* taking the Kendo turn, so

@@ -161,6 +161,33 @@ RfdetRuntime::RfdetRuntime(const RfdetOptions& options)
                    env);
     }
   }
+  // Propagation coalescing: RFDET_COALESCE (debug knob) wins over the
+  // options, same contract as the overrides above — coalescing changes
+  // only the physical copy on the acquire path, never the logical slice
+  // stream, so this is a perf knob, not a semantic one. "0"/"off" and
+  // "1"/"on" toggle propagate_coalesce; an integer in [2, 65536] enables
+  // it with that batch floor.
+  if (const char* env = std::getenv("RFDET_COALESCE");
+      env != nullptr && *env != '\0') {
+    const std::string v = env;
+    if (v == "0" || v == "off") {
+      options_.propagate_coalesce = false;
+    } else if (v == "1" || v == "on") {
+      options_.propagate_coalesce = true;
+    } else {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(env, &end, 10);
+      if (end != nullptr && *end == '\0' && n >= 2 && n <= (1ull << 16)) {
+        options_.propagate_coalesce = true;
+        options_.propagate_coalesce_min = static_cast<size_t>(n);
+      } else {
+        std::fprintf(stderr,
+                     "rfdet: ignoring RFDET_COALESCE=%s (want 0/off, 1/on, "
+                     "or a batch floor in [2, 65536]); using options\n",
+                     env);
+      }
+    }
+  }
   kendo_.ConfigureWait(turn_wait,
                        static_cast<uint32_t>(options_.turn_spin_budget),
                        [this](size_t tid) {
@@ -326,6 +353,21 @@ RfdetRuntime::~RfdetRuntime() {
         static_cast<unsigned long long>(
             stats_.checkpoint_skips.load(std::memory_order_relaxed)),
         restored_note.c_str());
+  }
+  // Propagation-coalescing exit summary: only interesting when spans were
+  // actually consumed (small batches never reach the coalesce floor).
+  if (const uint64_t spans =
+          stats_.coalesced_spans.load(std::memory_order_relaxed);
+      spans > 0) {
+    std::fprintf(
+        stderr,
+        "rfdet: coalesce: %llu spans covering %llu slices, %llu bytes of "
+        "redundant copy avoided\n",
+        static_cast<unsigned long long>(spans),
+        static_cast<unsigned long long>(
+            stats_.coalesced_slices.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            stats_.coalesce_bytes_saved.load(std::memory_order_relaxed)));
   }
   // Turn-wait exit summary: only interesting when contention actually
   // parked someone (a spin-only run prints nothing new here).
@@ -615,24 +657,32 @@ void RfdetRuntime::PropagateFrom(ThreadCtx& me, size_t src_tid,
     std::scoped_lock lock(me.clock_mu);
     lower = me.vclock;
   }
-  // Gather first (holding the source log lock only briefly), then apply.
-  // Filter (exact, see vector_clock.h): happens-before the release and not
-  // already seen locally.
-  std::vector<SliceRef> batch;
-  CtxOf(src_tid).log.ForEach([&](const SliceRef& s) {
-    if (s->time().LessEq(upper) && !s->time().LessEq(lower)) {
-      batch.push_back(s);
-    }
-  });
+  // Gather first (copy under the source log lock, filter outside it —
+  // SliceLog::Snapshot), then apply. Filter (exact, see vector_clock.h):
+  // happens-before the release and not already seen locally.
+  ThreadCtx& src = CtxOf(src_tid);
+  const std::vector<SliceRef> batch = src.log.Snapshot(lower, upper);
   const bool fp = fingerprint_ != nullptr && fingerprint_->Absorbing();
   const DetMutation& mut = options_.test_mutation;
+  // Test mutations perturb one of the receiver's physical applies;
+  // coalescing must not change which apply the mutation lands on, so a
+  // targeted receiver takes the per-slice path for the whole run.
+  const bool mutated_receiver =
+      (mut.kind == DetMutation::Kind::kSkipSliceApply ||
+       mut.kind == DetMutation::Kind::kCorruptPropagatedByte) &&
+      me.tid == mut.tid;
+  const bool coalesce = options_.propagate_coalesce && !mutated_receiver;
   uint64_t bytes = 0;
-  for (const SliceRef& s : batch) {
+
+  const auto paranoia_recheck = [&](const SliceRef& s) {
     if (options_.dlrc_paranoia && !s->time().LessEq(upper)) {
       ParanoiaFailure("received slice (tid " + std::to_string(s->tid()) +
                       ", seq " + std::to_string(s->seq()) +
                       ") does not happen-before the release it arrived on");
     }
+  };
+  const auto apply_one = [&](const SliceRef& s) {
+    paranoia_recheck(s);
     // Test-only perturbations, targeted by the receiver's deterministic
     // apply counter (see DetMutation).
     bool skip = false;
@@ -645,7 +695,7 @@ void RfdetRuntime::PropagateFrom(ThreadCtx& me, size_t src_tid,
     }
     if (skip) {
       me.log.Append(s);  // lost propagation: the bytes never arrive
-      continue;
+      return;
     }
     if (corrupt && !s->mods().Empty()) {
       // Flip one bit of the first payload byte — a silent wire corruption.
@@ -679,6 +729,57 @@ void RfdetRuntime::PropagateFrom(ThreadCtx& me, size_t src_tid,
     }
     bytes += s->mods().ByteCount();
     me.log.Append(s);
+  };
+
+  size_t i = 0;
+  while (i < batch.size()) {
+    // Maximal batch-adjacent stretch of one origin's consecutive slices —
+    // the only shape a span may coalesce: a causally-ordered slice from
+    // another origin between two of A's slices could change last-writer
+    // winners, and a seq gap means an unseen intervening slice.
+    size_t j = i + 1;
+    while (j < batch.size() && batch[j]->tid() == batch[i]->tid() &&
+           batch[j]->seq() == batch[j - 1]->seq() + 1) {
+      ++j;
+    }
+    bool spanned = false;
+    if (coalesce && j - i >= options_.propagate_coalesce_min) {
+      const SliceSpanRef span = src.span_cache.GetOrCreate(
+          std::span<const SliceRef>(batch.data() + i, j - i), &arena_,
+          options_.fault_injector);
+      if (const ModList* merged = span->Merged(&stats_.apply_plans_built);
+          merged != nullptr) {
+        // One physical apply for the whole stretch. The *logical* stream
+        // below — paranoia recheck, fingerprint absorb, slice-pointer log,
+        // byte counters — is identical to the per-slice path, so
+        // fingerprints, race reports and replay logs cannot observe the
+        // coalescing (DESIGN.md §18).
+        me.view->ApplyRemote(*merged, span->Plan(), options_.lazy_writes);
+        for (size_t k = i; k < j; ++k) {
+          const SliceRef& s = batch[k];
+          paranoia_recheck(s);
+          if (fp) {
+            fingerprint_->OnApply(me.tid, s->tid(), s->seq(), s->time(),
+                                  s->mods());
+          }
+          bytes += s->mods().ByteCount();
+          me.log.Append(s);
+        }
+        stats_.coalesced_spans.fetch_add(1, std::memory_order_relaxed);
+        stats_.coalesced_slices.fetch_add(j - i, std::memory_order_relaxed);
+        stats_.coalesce_bytes_saved.fetch_add(
+            span->LogicalBytes() - merged->ByteCount(),
+            std::memory_order_relaxed);
+        spanned = true;
+      }
+      // A declined build (arena pressure or an injected kSpanCoalesce
+      // fault) falls through to the per-slice applies — recoverable by
+      // design; per-slice apply needs no new memory.
+    }
+    if (!spanned) {
+      for (size_t k = i; k < j; ++k) apply_one(batch[k]);
+    }
+    i = j;
   }
   {
     std::scoped_lock lock(me.clock_mu);
@@ -1585,6 +1686,14 @@ size_t RfdetRuntime::RunGc() {
   size_t pruned = 0;
   {
     std::scoped_lock lock(threads_mu_);
+    // Fold each origin's about-to-retire prefix into its cumulative delta
+    // (DESIGN.md §18) *before* the prune drops the slices. Correct because
+    // the bound is the Meet of live clocks and vector clocks only grow, so
+    // per-origin retirement is prefix-monotone: slices retire in seq order
+    // and the fold never has to un-merge.
+    if (options_.propagate_coalesce) {
+      for (const auto& ctx : threads_) FoldRetired(*ctx, bound);
+    }
     for (const auto& ctx : threads_) {
       pruned += ctx->log.Prune(bound);
     }
@@ -1601,6 +1710,68 @@ size_t RfdetRuntime::RunGc() {
 size_t RfdetRuntime::ForceGc() {
   std::scoped_lock lock(gc_mu_);
   return RunGc();
+}
+
+void RfdetRuntime::ResetFold(ThreadCtx::RetiredFold& fold) {
+  if (fold.charged > 0) arena_.Release(fold.charged);
+  fold.delta.Clear();
+  fold.time = VectorClock();
+  fold.first_seq = fold.last_seq = 0;
+  fold.slices = 0;
+  fold.charged = 0;
+}
+
+void RfdetRuntime::FoldRetired(ThreadCtx& t, const VectorClock& bound) {
+  // This GC retires, from t's own log, exactly t's slices with time ≤
+  // bound; they appear in the log in seq order (the owner appends them in
+  // publication order and Prune preserves order).
+  std::vector<SliceRef> retired;
+  t.log.ForEach([&](const SliceRef& s) {
+    if (s->tid() == t.tid && s->time().LessEq(bound)) retired.push_back(s);
+  });
+  if (retired.empty()) return;
+  ThreadCtx::RetiredFold& f = t.fold;
+  // Continuity: the fold covers [first_seq, last_seq] gap-free, or it is
+  // meaningless. A gap (checkpoint restore rewound the numbering, or a
+  // previous pressure reset dropped a prefix) restarts the fold at the
+  // current retirement frontier.
+  if (f.slices > 0 && retired.front()->seq() != f.last_seq + 1) {
+    ResetFold(f);
+  }
+  size_t estimate = f.charged;
+  for (const SliceRef& s : retired) estimate += s->mods().MemoryBytes();
+  if (!arena_.HasRoom(estimate)) {
+    // Recoverable: the fold is an accelerator, not a correctness
+    // obligation — give it up under pressure and let a later GC restart.
+    ResetFold(f);
+    return;
+  }
+  for (const SliceRef& s : retired) {
+    f.delta.MergeFrom(s->mods());
+    f.time.Join(s->time());
+    if (f.slices == 0) f.first_seq = s->seq();
+    f.last_seq = s->seq();
+    ++f.slices;
+  }
+  f.delta.Compact();
+  const size_t now = f.delta.MemoryBytes();
+  arena_.Release(f.charged);
+  arena_.Charge(now);
+  f.charged = now;
+}
+
+bool RfdetRuntime::RetiredDelta(size_t tid, ModList* delta,
+                                uint64_t* first_seq,
+                                uint64_t* last_seq) const {
+  std::scoped_lock gc_lock(gc_mu_);
+  std::scoped_lock lock(threads_mu_);
+  if (tid >= threads_.size()) return false;
+  const ThreadCtx::RetiredFold& f = threads_[tid]->fold;
+  if (f.slices == 0) return false;
+  if (delta != nullptr) *delta = f.delta;
+  if (first_seq != nullptr) *first_seq = f.first_seq;
+  if (last_seq != nullptr) *last_seq = f.last_seq;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -2418,6 +2589,15 @@ std::string RfdetRuntime::DumpStateReport() const {
      << " bytes prepared off turn, "
      << stats_.close_turn_ns.load(std::memory_order_relaxed)
      << " ns closing under the turn)\n";
+  os << "coalesce: "
+     << (options_.propagate_coalesce ? "enabled" : "disabled") << " (min "
+     << options_.propagate_coalesce_min << "), "
+     << stats_.coalesced_spans.load(std::memory_order_relaxed)
+     << " spans covering "
+     << stats_.coalesced_slices.load(std::memory_order_relaxed)
+     << " slices, "
+     << stats_.coalesce_bytes_saved.load(std::memory_order_relaxed)
+     << " bytes saved\n";
   {
     const TurnWaitCounters tw = kendo_.WaitCounters();
     os << "turn-wait: " << TurnWaitModeName(kendo_.wait_mode()) << ", "
@@ -2605,6 +2785,9 @@ StatsSnapshot RfdetRuntime::Snapshot() const {
   s.prelock_slices = stats_.prelock_slices.load();
   s.prelock_bytes = stats_.prelock_bytes.load();
   s.slices_pruned = stats_.slices_pruned.load();
+  s.coalesced_spans = stats_.coalesced_spans.load();
+  s.coalesced_slices = stats_.coalesced_slices.load();
+  s.coalesce_bytes_saved = stats_.coalesce_bytes_saved.load();
   s.offturn_prepared_slices = stats_.offturn_prepared_slices.load();
   s.offturn_prepared_bytes = stats_.offturn_prepared_bytes.load();
   s.close_turn_ns = stats_.close_turn_ns.load();

@@ -59,6 +59,7 @@
 #include "rfdet/runtime/stats.h"
 #include "rfdet/runtime/watchdog.h"
 #include "rfdet/slice/slice.h"
+#include "rfdet/slice/slice_span.h"
 #include "rfdet/time/vector_clock.h"
 #include "rfdet/verify/fingerprint.h"
 
@@ -258,6 +259,17 @@ class RfdetRuntime {
   // Exposed for tests: force a GC cycle regardless of the threshold.
   size_t ForceGc();
 
+  // GC-fold introspection (DESIGN.md §18): copies origin `tid`'s
+  // cumulative retired-prefix delta — the compacted last-writer-wins
+  // merge of its GC-retired slices [*first_seq, *last_seq] — into the out
+  // params. Applying the delta to a fresh view reproduces exactly the
+  // bytes replaying that retired chain would. False when nothing has been
+  // folded for `tid` (nothing retired yet, unknown tid, coalescing off,
+  // or the fold was reset under arena pressure).
+  [[nodiscard]] bool RetiredDelta(size_t tid, ModList* delta,
+                                  uint64_t* first_seq,
+                                  uint64_t* last_seq) const;
+
  private:
   // Why a thread is blocked (written under the holder's turn, guarded by
   // ThreadCtx::clock_mu for the benefit of diagnostic readers).
@@ -308,6 +320,28 @@ class RfdetRuntime {
     std::atomic<uint32_t> wake_seq{0};
     size_t mail_src = kNone;     // releasing thread (propagation source)
     VectorClock mail_time;       // the release's vector time
+
+    // Recently-built coalesced spans over THIS thread's pending batches,
+    // shared by every receiver propagating from this thread (the source
+    // owns the cache so all receivers of the same [seq_a, seq_b] stretch
+    // find the same span). Internally locked.
+    SpanCache span_cache;
+
+    // Cumulative GC-fold of this thread's fully-retired slice prefix
+    // (DESIGN.md §18): delta is merge-normalized last-writer-wins over
+    // slices [first_seq, last_seq], time their join. Guarded by gc_mu_
+    // (folded during RunGc, read by RetiredDelta). A checkpoint
+    // supersedes the fold — the image carries the full region — so
+    // restore starts it fresh; a seq gap after restore resets it.
+    struct RetiredFold {
+      uint64_t first_seq = 0;
+      uint64_t last_seq = 0;
+      uint64_t slices = 0;  // 0 = empty fold
+      ModList delta;
+      VectorClock time;
+      size_t charged = 0;  // arena bytes charged for delta
+    };
+    RetiredFold fold;
 
     // Deterministic event counters for DetMutation targeting (owner- or
     // merge-exclusive, like the memory fingerprint stream itself).
@@ -450,6 +484,12 @@ class RfdetRuntime {
 
   void MaybeRunGc();
   size_t RunGc();
+  // Folds `t`'s own slices that this GC retires (time ≤ bound) into
+  // t.fold, in seq order. Caller holds gc_mu_ and threads_mu_. Recoverable
+  // under arena pressure: the fold resets and restarts at a later GC.
+  void FoldRetired(ThreadCtx& t, const VectorClock& bound);
+  // Releases the fold's arena charge and empties it (gc_mu_ held).
+  void ResetFold(ThreadCtx::RetiredFold& fold);
 
   void WorkerMain(ThreadCtx& ctx, std::function<void()> fn);
   void ThreadExit(ThreadCtx& me);
@@ -517,7 +557,7 @@ class RfdetRuntime {
   // Shared image for !isolation mode.
   std::unique_ptr<std::byte[]> shared_image_;
 
-  std::mutex gc_mu_;
+  mutable std::mutex gc_mu_;  // mutable: RetiredDelta reads folds under it
   std::atomic<size_t> gc_cooldown_{0};
 
   // Schedule trace: appended only under the turn (so the order is the

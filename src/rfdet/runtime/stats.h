@@ -42,6 +42,12 @@ struct RuntimeStats {
   std::atomic<uint64_t> prelock_slices{0};  // propagated during reservation
   std::atomic<uint64_t> prelock_bytes{0};
   std::atomic<uint64_t> slices_pruned{0};
+  // Cross-slice propagation coalescing (DESIGN.md §18): spans consumed on
+  // the acquire path, slices they covered, and logical-minus-merged bytes
+  // the compaction avoided copying.
+  std::atomic<uint64_t> coalesced_spans{0};
+  std::atomic<uint64_t> coalesced_slices{0};
+  std::atomic<uint64_t> coalesce_bytes_saved{0};
   // Off-turn close: slices whose diff/plan/pre-hash ran before the turn.
   std::atomic<uint64_t> offturn_prepared_slices{0};
   std::atomic<uint64_t> offturn_prepared_bytes{0};
@@ -88,6 +94,8 @@ struct StatsSnapshot {
   uint64_t slices_propagated = 0, apply_plans_built = 0;
   uint64_t bytes_propagated = 0;
   uint64_t prelock_slices = 0, prelock_bytes = 0, slices_pruned = 0;
+  uint64_t coalesced_spans = 0, coalesced_slices = 0;
+  uint64_t coalesce_bytes_saved = 0;
   uint64_t offturn_prepared_slices = 0, offturn_prepared_bytes = 0;
   uint64_t close_turn_ns = 0;
   uint64_t gc_count = 0;

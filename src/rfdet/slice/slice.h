@@ -130,6 +130,23 @@ class SliceLog {
     for (const SliceRef& s : slices_) fn(s);
   }
 
+  // The propagation filter (paper §4.4) as a copy-then-filter: copies the
+  // SliceRefs under the lock, then selects `time ≤ upper ∧ ¬(time ≤ lower)`
+  // *outside* it, so a propagation source stalls for O(copy) instead of
+  // O(vector-clock filter). Returns the pending slices in log order.
+  [[nodiscard]] std::vector<SliceRef> Snapshot(const VectorClock& lower,
+                                               const VectorClock& upper) const {
+    std::vector<SliceRef> copy;
+    {
+      std::scoped_lock lock(mu_);
+      copy = slices_;
+    }
+    std::erase_if(copy, [&](const SliceRef& s) {
+      return !s->time().LessEq(upper) || s->time().LessEq(lower);
+    });
+    return copy;
+  }
+
   // Replaces contents wholesale (barrier: every thread adopts the merge
   // thread's list).
   void AssignFrom(const SliceLog& other) {

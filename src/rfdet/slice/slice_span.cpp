@@ -1,0 +1,78 @@
+#include "rfdet/slice/slice_span.h"
+
+#include "rfdet/common/check.h"
+
+namespace rfdet {
+
+SliceSpan::SliceSpan(std::vector<SliceRef> slices, MetadataArena* arena,
+                     FaultInjector* injector)
+    : slices_(std::move(slices)), arena_(arena), injector_(injector) {
+  RFDET_CHECK_MSG(!slices_.empty(), "SliceSpan needs at least one slice");
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    RFDET_CHECK_MSG(slices_[i]->tid() == slices_.front()->tid(),
+                    "SliceSpan members must share one origin");
+    RFDET_CHECK_MSG(slices_[i]->seq() == slices_.front()->seq() + i,
+                    "SliceSpan members must have consecutive seqs");
+    logical_bytes_ += slices_[i]->mods().ByteCount();
+  }
+}
+
+SliceSpan::~SliceSpan() {
+  if (arena_ != nullptr && charged_ != 0) arena_->Release(charged_);
+}
+
+void SliceSpan::Build(std::atomic<uint64_t>* built_counter) const {
+  // Decline the build — and leave the span permanently in per-slice
+  // fallback mode — under arena pressure. The upper bound below charges
+  // nothing yet; it only asks whether the merged copy could fit. A
+  // declined build is not an error: per-slice apply needs no new memory.
+  size_t estimate = 0;
+  for (const SliceRef& s : slices_) estimate += s->mods().MemoryBytes();
+  const bool injected =
+      injector_ != nullptr && injector_->ShouldFail(FaultSite::kSpanCoalesce);
+  if (injected || (arena_ != nullptr && !arena_->HasRoom(estimate))) {
+    failed_ = true;
+    return;
+  }
+  // Deterministic merge: member order is the origin's seq order, which is
+  // every receiver's propagation order for a batch-adjacent stretch, so
+  // last-writer-wins here leaves exactly the bytes sequential per-slice
+  // apply would (DESIGN.md §18).
+  for (const SliceRef& s : slices_) merged_.MergeFrom(s->mods());
+  merged_.Compact();
+  plan_ = ApplyPlan::Build(merged_);
+  charged_ = merged_.MemoryBytes() + plan_.MemoryBytes();
+  if (arena_ != nullptr) arena_->Charge(charged_);
+  if (built_counter != nullptr) {
+    built_counter->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+const ModList* SliceSpan::Merged(
+    std::atomic<uint64_t>* built_counter) const {
+  std::call_once(once_, [this, built_counter] { Build(built_counter); });
+  return failed_ ? nullptr : &merged_;
+}
+
+SliceSpanRef SpanCache::GetOrCreate(std::span<const SliceRef> stretch,
+                                    MetadataArena* arena,
+                                    FaultInjector* injector) {
+  const size_t origin = stretch.front()->tid();
+  const uint64_t a = stretch.front()->seq();
+  const uint64_t b = stretch.back()->seq();
+  std::scoped_lock lock(mu_);
+  for (const SliceSpanRef& s : ring_) {
+    if (s->origin() == origin && s->seq_a() == a && s->seq_b() == b) return s;
+  }
+  auto span = std::make_shared<const SliceSpan>(
+      std::vector<SliceRef>(stretch.begin(), stretch.end()), arena, injector);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % kCapacity;
+  }
+  return span;
+}
+
+}  // namespace rfdet

@@ -1,0 +1,120 @@
+// Cross-slice propagation coalescing (DESIGN.md §18).
+//
+// A SliceSpan covers a contiguous [seq_a, seq_b] range of ONE origin's
+// slices and lazily compacts their ModLists into a single last-writer-wins
+// delta plus a union ApplyPlan. Slices are immutable once closed (paper
+// §4.3), so the merge is a pure function of the member slices and can be
+// built once and shared by every receiver — the same call_once idiom
+// Slice::Plan uses. Receivers that would have applied K overlapping
+// ModLists apply one compacted list instead; the *logical* per-slice
+// stream (fingerprints, race detection, replay, slice-pointer logs) is
+// untouched, because coalescing only changes the physical copy.
+//
+// Correctness precondition (enforced by the caller): the member slices
+// must be batch-adjacent in the receiver's propagation order — no
+// causally-ordered slice from another origin may sit between them — or
+// the merged last-writer could differ from sequential apply.
+//
+// The build is recoverable: on arena pressure (or an injected
+// FaultSite::kSpanCoalesce fault) Merged() returns nullptr and the caller
+// falls back to per-slice apply, which needs no new memory.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/mem/apply_plan.h"
+#include "rfdet/mem/metadata_arena.h"
+#include "rfdet/mem/mod_list.h"
+#include "rfdet/slice/slice.h"
+
+namespace rfdet {
+
+class SliceSpan {
+ public:
+  // `slices` must be non-empty, all from one origin, with consecutive
+  // seqs. Arena/injector may be null (tests).
+  SliceSpan(std::vector<SliceRef> slices, MetadataArena* arena,
+            FaultInjector* injector);
+  ~SliceSpan();
+
+  SliceSpan(const SliceSpan&) = delete;
+  SliceSpan& operator=(const SliceSpan&) = delete;
+
+  [[nodiscard]] size_t origin() const noexcept {
+    return slices_.front()->tid();
+  }
+  [[nodiscard]] uint64_t seq_a() const noexcept {
+    return slices_.front()->seq();
+  }
+  [[nodiscard]] uint64_t seq_b() const noexcept {
+    return slices_.back()->seq();
+  }
+  [[nodiscard]] size_t Count() const noexcept { return slices_.size(); }
+  [[nodiscard]] std::span<const SliceRef> Slices() const noexcept {
+    return slices_;
+  }
+  // Sum of the member slices' payload bytes — what per-slice apply copies.
+  [[nodiscard]] uint64_t LogicalBytes() const noexcept {
+    return logical_bytes_;
+  }
+
+  // The coalesced delta, built on the first call and shared by every
+  // later receiver (call_once). Returns nullptr when the build was
+  // declined — injected kSpanCoalesce fault or no arena headroom — in
+  // which case the caller applies the member slices individually.
+  // `built_counter`, when non-null, is incremented iff this call built.
+  [[nodiscard]] const ModList* Merged(
+      std::atomic<uint64_t>* built_counter = nullptr) const;
+
+  // The union apply plan over Merged(). Valid iff Merged() != nullptr.
+  [[nodiscard]] const ApplyPlan& Plan() const noexcept { return plan_; }
+
+ private:
+  void Build(std::atomic<uint64_t>* built_counter) const;
+
+  const std::vector<SliceRef> slices_;
+  MetadataArena* const arena_;
+  FaultInjector* const injector_;
+  uint64_t logical_bytes_ = 0;
+  mutable std::once_flag once_;
+  mutable ModList merged_;
+  mutable ApplyPlan plan_;
+  mutable size_t charged_ = 0;
+  mutable bool failed_ = false;
+};
+
+using SliceSpanRef = std::shared_ptr<const SliceSpan>;
+
+// A small ring of recently-built spans, owned by the propagation SOURCE's
+// thread context so all N receivers of the same [seq_a, seq_b] batch find
+// the same span (and through call_once, the same single compaction).
+// Thread-safe: receivers propagate concurrently during the prelock drain.
+class SpanCache {
+ public:
+  static constexpr size_t kCapacity = 8;
+
+  // Returns the cached span covering exactly `stretch`'s
+  // (origin, seq_a, seq_b), creating and inserting it on a miss
+  // (round-robin eviction). Creation is cheap — the merge itself is
+  // deferred to the first Merged() call, outside this cache's lock.
+  [[nodiscard]] SliceSpanRef GetOrCreate(std::span<const SliceRef> stretch,
+                                         MetadataArena* arena,
+                                         FaultInjector* injector);
+
+  [[nodiscard]] size_t Size() const {
+    std::scoped_lock lock(mu_);
+    return ring_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SliceSpanRef> ring_;
+  size_t next_ = 0;
+};
+
+}  // namespace rfdet

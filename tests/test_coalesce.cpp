@@ -1,0 +1,655 @@
+// Cross-slice propagation coalescing (DESIGN.md §18): deterministic
+// ModList merging, SliceSpan shared compaction, the coalesced acquire
+// path's bit-identity with per-slice apply, the GC retired-prefix fold,
+// and the RFDET_COALESCE / options surface.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "rfdet/common/fault_injection.h"
+#include "rfdet/mem/metadata_arena.h"
+#include "rfdet/mem/mod_list.h"
+#include "rfdet/mem/thread_view.h"
+#include "rfdet/runtime/runtime.h"
+#include "rfdet/slice/slice.h"
+#include "rfdet/slice/slice_span.h"
+
+namespace rfdet {
+namespace {
+
+// ---- deterministic last-writer-wins merge ---------------------------------
+
+// Replays a ModList onto a flat byte image, run order = write order.
+void OracleApply(const ModList& mods, std::vector<std::byte>& image) {
+  for (const ModRun& run : mods.Runs()) {
+    const auto payload = mods.RunData(run);
+    std::memcpy(image.data() + run.addr, payload.data(), payload.size());
+  }
+}
+
+ModList RandomModList(std::mt19937& rng, size_t space, size_t runs) {
+  std::uniform_int_distribution<size_t> addr_d(0, space - 65);
+  std::uniform_int_distribution<size_t> len_d(1, 64);
+  std::uniform_int_distribution<int> byte_d(0, 255);
+  ModList mods;
+  std::vector<std::byte> payload;
+  for (size_t r = 0; r < runs; ++r) {
+    payload.resize(len_d(rng));
+    for (auto& b : payload) b = static_cast<std::byte>(byte_d(rng));
+    mods.Append(addr_d(rng), payload);
+  }
+  return mods;
+}
+
+TEST(CoalesceMerge, RandomizedMergeMatchesByteOracle) {
+  constexpr size_t kSpace = 8192;
+  std::mt19937 rng(42);
+  for (int round = 0; round < 60; ++round) {
+    const size_t lists = 2 + round % 5;
+    std::vector<ModList> chain;
+    for (size_t i = 0; i < lists; ++i) {
+      chain.push_back(RandomModList(rng, kSpace, 3 + round % 9));
+    }
+    // Oracle: sequential replay of every list, in order.
+    std::vector<std::byte> expect(kSpace, std::byte{0});
+    for (const ModList& m : chain) OracleApply(m, expect);
+    // Merge, then replay only the merged list.
+    ModList merged;
+    for (const ModList& m : chain) merged.MergeFrom(m);
+    EXPECT_TRUE(merged.MergeNormalized());
+    std::vector<std::byte> got(kSpace, std::byte{0});
+    OracleApply(merged, got);
+    ASSERT_EQ(std::memcmp(expect.data(), got.data(), kSpace), 0)
+        << "round " << round;
+    // Compaction drops exactly the dead payload and nothing live.
+    merged.Compact();
+    EXPECT_EQ(merged.DeadBytes(), 0u);
+    size_t run_bytes = 0;
+    for (const ModRun& run : merged.Runs()) run_bytes += run.len;
+    EXPECT_EQ(merged.ByteCount(), run_bytes);
+    std::vector<std::byte> compacted(kSpace, std::byte{0});
+    OracleApply(merged, compacted);
+    EXPECT_EQ(std::memcmp(expect.data(), compacted.data(), kSpace), 0);
+  }
+}
+
+TEST(CoalesceMerge, OverwriteSplitsTrimsAndErases) {
+  const auto fill = [](size_t len, uint8_t v) {
+    return std::vector<std::byte>(len, static_cast<std::byte>(v));
+  };
+  ModList dest;
+  ModList base;
+  base.Append(100, fill(100, 0xAA));  // [100, 200)
+  dest.MergeFrom(base);
+  // Split: the middle of the run is rewritten, prefix and suffix survive.
+  ModList mid;
+  mid.Append(120, fill(20, 0xBB));  // [120, 140)
+  dest.MergeFrom(mid);
+  EXPECT_EQ(dest.RunCount(), 3u);
+  EXPECT_TRUE(dest.MergeNormalized());
+  EXPECT_EQ(dest.DeadBytes(), 20u);
+  // Cover: one run swallowing everything erases the fragments.
+  ModList cover;
+  cover.Append(90, fill(120, 0xCC));  // [90, 210)
+  dest.MergeFrom(cover);
+  EXPECT_EQ(dest.RunCount(), 1u);
+  dest.Compact();
+  std::vector<std::byte> image(512, std::byte{0});
+  OracleApply(dest, image);
+  for (size_t i = 90; i < 210; ++i) {
+    ASSERT_EQ(image[i], std::byte{0xCC}) << i;
+  }
+  EXPECT_EQ(image[89], std::byte{0});
+  EXPECT_EQ(image[210], std::byte{0});
+}
+
+// ---- SliceSpan -------------------------------------------------------------
+
+constexpr size_t kViewBytes = 4u << 20;
+
+// A chain of `count` consecutive slices from one origin, every slice
+// rewriting overlapping ranges of the same hot pages.
+std::vector<SliceRef> MakeChain(size_t count, MetadataArena* arena) {
+  std::vector<SliceRef> chain;
+  VectorClock time(2);
+  uint8_t seed = 3;
+  std::vector<std::byte> payload(48);
+  for (size_t k = 0; k < count; ++k) {
+    ModList mods;
+    for (size_t p = 0; p < 4; ++p) {
+      for (size_t f = 0; f < 4; ++f) {
+        for (auto& b : payload) b = static_cast<std::byte>(seed++);
+        mods.Append(PageBase(p) + f * 512 + k * 16, payload);
+      }
+    }
+    time.Tick(1);
+    chain.push_back(std::make_shared<Slice>(/*tid=*/1, /*seq=*/10 + k, time,
+                                            std::move(mods), arena));
+  }
+  return chain;
+}
+
+TEST(SliceSpanTest, ApplyBitIdenticalAcrossBackends) {
+  const std::vector<SliceRef> chain = MakeChain(6, nullptr);
+  const SliceSpan span(chain, nullptr, nullptr);
+  const ModList* merged = span.Merged();
+  ASSERT_NE(merged, nullptr);
+  EXPECT_TRUE(merged->MergeNormalized());
+  EXPECT_LT(merged->ByteCount(), span.LogicalBytes());  // overlap compacted
+  for (const MonitorMode mode :
+       {MonitorMode::kInstrumented, MonitorMode::kPageFault}) {
+    MetadataArena arena(64u << 20);
+    ThreadView a(kViewBytes, mode, &arena);
+    ThreadView b(kViewBytes, mode, &arena);
+    a.ActivateOnThisThread();
+    for (const SliceRef& s : chain) {
+      a.ApplyRemote(s->mods(), s->Plan(), /*lazy=*/false);
+    }
+    b.ActivateOnThisThread();
+    b.ApplyRemote(*merged, span.Plan(), /*lazy=*/false);
+    std::vector<std::byte> la(kPageSize);
+    std::vector<std::byte> lb(kPageSize);
+    for (PageId pid = 0; pid < 8; ++pid) {
+      a.ActivateOnThisThread();
+      a.Load(PageBase(pid), la.data(), kPageSize);
+      b.ActivateOnThisThread();
+      b.Load(PageBase(pid), lb.data(), kPageSize);
+      ASSERT_EQ(std::memcmp(la.data(), lb.data(), kPageSize), 0)
+          << "page " << pid << " mode " << static_cast<int>(mode);
+    }
+    ThreadView::DeactivateOnThisThread();
+  }
+}
+
+TEST(SliceSpanTest, BuildsOnceAndCacheSharesOneSpan) {
+  const std::vector<SliceRef> chain = MakeChain(5, nullptr);
+  SpanCache cache;
+  const SliceSpanRef s1 = cache.GetOrCreate(
+      std::span<const SliceRef>(chain.data(), chain.size()), nullptr,
+      nullptr);
+  const SliceSpanRef s2 = cache.GetOrCreate(
+      std::span<const SliceRef>(chain.data(), chain.size()), nullptr,
+      nullptr);
+  EXPECT_EQ(s1.get(), s2.get());  // same (origin, seq_a, seq_b) → same span
+  EXPECT_EQ(s1->origin(), 1u);
+  EXPECT_EQ(s1->seq_a(), 10u);
+  EXPECT_EQ(s1->seq_b(), 14u);
+  std::atomic<uint64_t> built{0};
+  ASSERT_NE(s1->Merged(&built), nullptr);
+  ASSERT_NE(s2->Merged(&built), nullptr);
+  EXPECT_EQ(built.load(), 1u);  // call_once: one compaction for everyone
+  // A different stretch is a different span.
+  const SliceSpanRef s3 = cache.GetOrCreate(
+      std::span<const SliceRef>(chain.data(), chain.size() - 1), nullptr,
+      nullptr);
+  EXPECT_NE(s3.get(), s1.get());
+}
+
+TEST(SliceSpanTest, ArenaPressureAndInjectedFaultFallBack) {
+  const std::vector<SliceRef> chain = MakeChain(5, nullptr);
+  {
+    MetadataArena tiny(64);  // cannot hold any merged payload
+    const SliceSpan span(chain, &tiny, nullptr);
+    EXPECT_EQ(span.Merged(), nullptr);
+    EXPECT_EQ(span.Merged(), nullptr);  // failure is sticky, not retried
+    EXPECT_EQ(tiny.Used(), 0u);         // nothing charged on the decline
+  }
+  {
+    MetadataArena roomy(64u << 20);
+    FaultInjector fi;
+    fi.Arm(FaultSite::kSpanCoalesce, {});
+    const SliceSpan span(chain, &roomy, &fi);
+    EXPECT_EQ(span.Merged(), nullptr);
+    EXPECT_EQ(fi.Injected(FaultSite::kSpanCoalesce), 1u);
+    EXPECT_EQ(roomy.Used(), 0u);
+  }
+  {
+    MetadataArena roomy(64u << 20);
+    const SliceSpan span(chain, &roomy, nullptr);
+    ASSERT_NE(span.Merged(), nullptr);
+    EXPECT_GT(roomy.Used(), 0u);  // built span is arena-charged...
+  }
+  // ...and released on destruction (scope above ended with the span).
+}
+
+// ---- SliceLog::Snapshot ----------------------------------------------------
+
+TEST(CoalesceSliceLog, SnapshotMatchesForEachFilter) {
+  SliceLog log;
+  auto mk = [&](uint64_t t0, uint64_t t1) {
+    VectorClock vc;
+    vc.Set(0, t0);
+    vc.Set(1, t1);
+    return std::make_shared<Slice>(0, 0, vc, ModList{}, nullptr);
+  };
+  log.Append(mk(1, 0));
+  log.Append(mk(2, 0));
+  log.Append(mk(3, 1));
+  log.Append(mk(0, 5));
+  log.Append(mk(4, 4));
+  VectorClock lower;
+  lower.Set(0, 2);
+  VectorClock upper;
+  upper.Set(0, 3);
+  upper.Set(1, 4);
+  std::vector<SliceRef> expect;
+  log.ForEach([&](const SliceRef& s) {
+    if (s->time().LessEq(upper) && !s->time().LessEq(lower)) {
+      expect.push_back(s);
+    }
+  });
+  const std::vector<SliceRef> got = log.Snapshot(lower, upper);
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].get(), expect[i].get()) << i;  // same refs, same order
+  }
+}
+
+// ---- runtime acquire path --------------------------------------------------
+
+RfdetOptions SmallOpts() {
+  RfdetOptions o;
+  o.region_bytes = 8u << 20;
+  o.static_bytes = 1u << 20;
+  o.slice_merging = false;  // keep every producer slice distinct
+  return o;
+}
+
+// One producer thread publishes `iters` slices rewriting the same block;
+// the main thread's Join propagates them as one batch. Returns the final
+// block contents as seen by main.
+std::vector<std::byte> RunProducerWorkload(RfdetRuntime& rt, GAddr block,
+                                           size_t block_len, size_t iters) {
+  const size_t m = rt.CreateMutex();
+  const size_t tid = rt.Spawn([&rt, block, block_len, iters, m] {
+    std::vector<std::byte> buf(block_len);
+    for (size_t i = 0; i < iters; ++i) {
+      EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+      for (size_t j = 0; j < block_len; ++j) {
+        buf[j] = static_cast<std::byte>((i * 37 + j) & 0xFF);
+      }
+      // Overlapping rewrites: every slice covers the same block, so the
+      // coalesced delta is ~1/iters of the logical bytes.
+      rt.Store(block, buf.data(), block_len);
+      rt.MutexUnlock(m);
+    }
+  });
+  EXPECT_EQ(rt.Join(tid), RfdetErrc::kOk);
+  std::vector<std::byte> out(block_len);
+  rt.Load(block, out.data(), block_len);
+  return out;
+}
+
+TEST(CoalesceRuntime, SpansReduceCopyWorkAndStayByteIdentical) {
+  constexpr size_t kBlock = 2048;
+  constexpr size_t kIters = 8;
+  std::vector<std::byte> with_coalesce;
+  std::vector<std::byte> without;
+  StatsSnapshot on_stats;
+  StatsSnapshot off_stats;
+  {
+    RfdetOptions o = SmallOpts();
+    o.propagate_coalesce = true;
+    o.propagate_coalesce_min = 4;
+    RfdetRuntime rt(o);
+    const GAddr block = rt.AllocStatic(kBlock, 64);
+    with_coalesce = RunProducerWorkload(rt, block, kBlock, kIters);
+    on_stats = rt.Snapshot();
+  }
+  {
+    RfdetOptions o = SmallOpts();
+    o.propagate_coalesce = false;
+    RfdetRuntime rt(o);
+    const GAddr block = rt.AllocStatic(kBlock, 64);
+    without = RunProducerWorkload(rt, block, kBlock, kIters);
+    off_stats = rt.Snapshot();
+  }
+  // The physical path changed; the bytes (and the logical stream counters)
+  // must not.
+  EXPECT_EQ(with_coalesce, without);
+  EXPECT_GT(on_stats.coalesced_spans, 0u);
+  EXPECT_GE(on_stats.coalesced_slices, 4u);
+  EXPECT_GT(on_stats.coalesce_bytes_saved, 0u);
+  EXPECT_EQ(off_stats.coalesced_spans, 0u);
+  EXPECT_EQ(on_stats.slices_propagated, off_stats.slices_propagated);
+  EXPECT_EQ(on_stats.bytes_propagated, off_stats.bytes_propagated);
+  // Final value oracle: the last slice's pattern.
+  for (size_t j = 0; j < kBlock; ++j) {
+    ASSERT_EQ(with_coalesce[j],
+              static_cast<std::byte>(((kIters - 1) * 37 + j) & 0xFF))
+        << j;
+  }
+}
+
+TEST(CoalesceRuntime, InjectedSpanFaultFallsBackPerSlice) {
+  constexpr size_t kBlock = 1024;
+  FaultInjector fi;
+  fi.Arm(FaultSite::kSpanCoalesce, {});  // every span build declines
+  RfdetOptions o = SmallOpts();
+  o.propagate_coalesce = true;
+  o.propagate_coalesce_min = 4;
+  o.fault_injector = &fi;
+  RfdetRuntime rt(o);
+  const GAddr block = rt.AllocStatic(kBlock, 64);
+  const std::vector<std::byte> got =
+      RunProducerWorkload(rt, block, kBlock, 8);
+  const StatsSnapshot s = rt.Snapshot();
+  EXPECT_EQ(s.coalesced_spans, 0u);  // recoverable: per-slice fallback
+  EXPECT_GT(fi.Injected(FaultSite::kSpanCoalesce), 0u);
+  for (size_t j = 0; j < kBlock; ++j) {
+    ASSERT_EQ(got[j], static_cast<std::byte>((7 * 37 + j) & 0xFF)) << j;
+  }
+}
+
+// ---- fingerprint bit-identity across coalesce on/off -----------------------
+
+uint64_t FingerprintedRun(RfdetOptions o, std::string* report,
+                          StatsSnapshot* stats) {
+  RfdetRuntime rt(o);
+  const GAddr block = rt.AllocStatic(2048, 64);
+  RunProducerWorkload(rt, block, 2048, 8);
+  const uint64_t rollup = rt.FinalizeFingerprint();
+  *report = rt.LastDivergenceReport();
+  *stats = rt.Snapshot();
+  return rollup;
+}
+
+TEST(CoalesceFingerprint, RecordOffVerifyOnRoundTripsBitIdentically) {
+  const std::string path = ::testing::TempDir() + "coalesce_fp_off_on.bin";
+  RfdetOptions o = SmallOpts();
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.fingerprint_path = path;
+  std::string report;
+  StatsSnapshot stats;
+
+  o.fingerprint = FingerprintMode::kRecord;
+  o.propagate_coalesce = false;
+  const uint64_t recorded = FingerprintedRun(o, &report, &stats);
+  EXPECT_TRUE(report.empty()) << report;
+  EXPECT_EQ(stats.coalesced_spans, 0u);
+
+  o.fingerprint = FingerprintMode::kVerify;
+  o.propagate_coalesce = true;
+  o.propagate_coalesce_min = 4;
+  const uint64_t verified = FingerprintedRun(o, &report, &stats);
+  EXPECT_TRUE(report.empty()) << report;
+  EXPECT_EQ(stats.fingerprint_divergences, 0u);
+  EXPECT_GT(stats.coalesced_spans, 0u);  // the coalesced path really ran
+  EXPECT_EQ(verified, recorded);
+  std::remove(path.c_str());
+}
+
+TEST(CoalesceFingerprint, RecordOnVerifyOffRoundTripsBitIdentically) {
+  const std::string path = ::testing::TempDir() + "coalesce_fp_on_off.bin";
+  RfdetOptions o = SmallOpts();
+  o.divergence_policy = DivergencePolicy::kReport;
+  o.fingerprint_path = path;
+  std::string report;
+  StatsSnapshot stats;
+
+  o.fingerprint = FingerprintMode::kRecord;
+  o.propagate_coalesce = true;
+  o.propagate_coalesce_min = 4;
+  const uint64_t recorded = FingerprintedRun(o, &report, &stats);
+  EXPECT_TRUE(report.empty()) << report;
+  EXPECT_GT(stats.coalesced_spans, 0u);
+
+  o.fingerprint = FingerprintMode::kVerify;
+  o.propagate_coalesce = false;
+  const uint64_t verified = FingerprintedRun(o, &report, &stats);
+  EXPECT_TRUE(report.empty()) << report;
+  EXPECT_EQ(stats.fingerprint_divergences, 0u);
+  EXPECT_EQ(verified, recorded);
+  std::remove(path.c_str());
+}
+
+// ---- race reports unaffected ----------------------------------------------
+
+std::string RacyCoalescedRun(bool coalesce, StatsSnapshot* stats) {
+  RfdetOptions o = SmallOpts();
+  o.race_policy = RacePolicy::kReport;
+  o.propagate_coalesce = coalesce;
+  o.propagate_coalesce_min = 4;
+  RfdetRuntime rt(o);
+  const GAddr racy = rt.AllocStatic(64);
+  const GAddr a = rt.AllocStatic(2048, 64);
+  const GAddr b = rt.AllocStatic(2048, 64);
+  const size_t ma = rt.CreateMutex();
+  const size_t mb = rt.CreateMutex();
+  // Each thread: one unsynchronized racy store, then a coalescible batch
+  // of overlapping locked rewrites on its own block/mutex.
+  const auto body = [&rt](GAddr racy_addr, uint64_t v, GAddr block,
+                          size_t m) {
+    return [&rt, racy_addr, v, block, m] {
+      rt.Store(racy_addr, &v, sizeof v);
+      std::vector<std::byte> buf(2048);
+      for (size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(rt.MutexLock(m), RfdetErrc::kOk);
+        for (size_t j = 0; j < buf.size(); ++j) {
+          buf[j] = static_cast<std::byte>((i + j) & 0xFF);
+        }
+        rt.Store(block, buf.data(), buf.size());
+        rt.MutexUnlock(m);
+      }
+    };
+  };
+  const size_t t1 = rt.Spawn(body(racy, 0x1111, a, ma));
+  const size_t t2 = rt.Spawn(body(racy, 0x2222, b, mb));
+  EXPECT_EQ(rt.Join(t1), RfdetErrc::kOk);
+  EXPECT_EQ(rt.Join(t2), RfdetErrc::kOk);
+  *stats = rt.Snapshot();
+  return rt.RaceReportText();
+}
+
+TEST(CoalesceRace, ReportsByteIdenticalAcrossCoalesceOnOff) {
+  StatsSnapshot on_stats;
+  StatsSnapshot off_stats;
+  const std::string with_coalesce = RacyCoalescedRun(true, &on_stats);
+  const std::string without = RacyCoalescedRun(false, &off_stats);
+  EXPECT_FALSE(with_coalesce.empty());
+  EXPECT_NE(with_coalesce.find("write-write"), std::string::npos);
+  EXPECT_EQ(with_coalesce, without);  // detector consumes raw closes only
+  EXPECT_GT(on_stats.coalesced_spans, 0u);
+  EXPECT_EQ(off_stats.coalesced_spans, 0u);
+}
+
+// ---- GC retired-prefix fold ------------------------------------------------
+
+TEST(CoalesceGcFold, FoldedDeltaMatchesLiveRegionBytes) {
+  RfdetOptions o = SmallOpts();
+  RfdetRuntime rt(o);
+  const GAddr block = rt.AllocStatic(2048, 64);
+  RunProducerWorkload(rt, block, 2048, 8);
+  // Producer finished and main saw everything: every slice retires.
+  EXPECT_GT(rt.ForceGc(), 0u);
+  ModList delta;
+  uint64_t first = 0;
+  uint64_t last = 0;
+  ASSERT_TRUE(rt.RetiredDelta(1, &delta, &first, &last));
+  EXPECT_LE(first, last);
+  EXPECT_GE(last - first + 1, 8u);  // at least the 8 write slices
+  EXPECT_TRUE(delta.MergeNormalized());
+  EXPECT_FALSE(delta.Empty());
+  // The fold is exactly what replaying the retired chain leaves behind —
+  // which is what main's view holds now (nobody wrote those bytes since).
+  std::vector<std::byte> live;
+  for (const ModRun& run : delta.Runs()) {
+    live.resize(run.len);
+    rt.Load(run.addr, live.data(), run.len);
+    const auto payload = delta.RunData(run);
+    ASSERT_EQ(std::memcmp(live.data(), payload.data(), run.len), 0)
+        << "run at " << run.addr;
+  }
+  // Unknown origins have no fold.
+  EXPECT_FALSE(rt.RetiredDelta(63, nullptr, nullptr, nullptr));
+}
+
+TEST(CoalesceGcFold, FoldExtendsMonotonicallyAcrossGcs) {
+  RfdetOptions o = SmallOpts();
+  RfdetRuntime rt(o);
+  const GAddr a = rt.AllocStatic(4096);
+  const size_t m = rt.CreateMutex();
+  const auto burst = [&](int base) {
+    for (int i = 0; i < 6; ++i) {
+      rt.MutexLock(m);
+      const int v = base + i;
+      rt.Store(a + static_cast<GAddr>(i) * 8, &v, sizeof v);
+      rt.MutexUnlock(m);
+    }
+  };
+  burst(100);
+  EXPECT_GT(rt.ForceGc(), 0u);
+  ModList d1;
+  uint64_t first1 = 0;
+  uint64_t last1 = 0;
+  ASSERT_TRUE(rt.RetiredDelta(0, &d1, &first1, &last1));
+  burst(200);
+  EXPECT_GT(rt.ForceGc(), 0u);
+  ModList d2;
+  uint64_t first2 = 0;
+  uint64_t last2 = 0;
+  ASSERT_TRUE(rt.RetiredDelta(0, &d2, &first2, &last2));
+  EXPECT_EQ(first2, first1);  // same prefix start: the fold accumulated
+  EXPECT_GT(last2, last1);
+  // Latest burst wins in the cumulative delta.
+  std::vector<std::byte> live;
+  for (const ModRun& run : d2.Runs()) {
+    live.resize(run.len);
+    rt.Load(run.addr, live.data(), run.len);
+    ASSERT_EQ(
+        std::memcmp(live.data(), d2.RunData(run).data(), run.len), 0);
+  }
+}
+
+TEST(CoalesceGcFold, RestartFromCheckpointStartsFoldFresh) {
+  const std::string ckpt = ::testing::TempDir() + "coalesce_fold.ckpt";
+  const GAddr probe_step = 8;
+  GAddr a = 0;  // deterministic: same AllocStatic order both runs
+  {
+    RfdetOptions o = SmallOpts();
+    o.checkpoint_path = ckpt;
+    RfdetRuntime rt(o);
+    a = rt.AllocStatic(4096);
+    const size_t m = rt.CreateMutex();
+    for (int i = 0; i < 6; ++i) {
+      rt.MutexLock(m);
+      const int v = 10 + i;
+      rt.Store(a + static_cast<GAddr>(i) * probe_step, &v, sizeof v);
+      rt.MutexUnlock(m);
+    }
+    rt.ForceGc();
+    ASSERT_TRUE(rt.RetiredDelta(0, nullptr, nullptr, nullptr));
+    ASSERT_EQ(rt.CheckpointNow(), RfdetErrc::kOk);
+  }
+  {
+    RfdetOptions o = SmallOpts();
+    o.restore_checkpoint_path = ckpt;
+    RfdetRuntime rt(o);
+    ASSERT_TRUE(rt.Restored());
+    // The image carries the full region, superseding the fold: restore
+    // starts with no fold at all (DESIGN.md §18).
+    EXPECT_FALSE(rt.RetiredDelta(0, nullptr, nullptr, nullptr));
+    // The restored bytes are the checkpointed ones...
+    int v = 0;
+    rt.Load(a + 5 * probe_step, &v, sizeof v);
+    EXPECT_EQ(v, 15);
+    // ...and a fresh burst folds cleanly from the new frontier.
+    const size_t m = rt.CreateMutex();
+    for (int i = 0; i < 6; ++i) {
+      rt.MutexLock(m);
+      const int w = 20 + i;
+      rt.Store(a + static_cast<GAddr>(i) * probe_step, &w, sizeof w);
+      rt.MutexUnlock(m);
+    }
+    EXPECT_GT(rt.ForceGc(), 0u);
+    ModList delta;
+    ASSERT_TRUE(rt.RetiredDelta(0, &delta, nullptr, nullptr));
+    std::vector<std::byte> live;
+    for (const ModRun& run : delta.Runs()) {
+      live.resize(run.len);
+      rt.Load(run.addr, live.data(), run.len);
+      ASSERT_EQ(
+          std::memcmp(live.data(), delta.RunData(run).data(), run.len), 0);
+    }
+  }
+  std::remove(ckpt.c_str());
+}
+
+// ---- options & environment surface ----------------------------------------
+
+TEST(CoalesceOptionsValidation, BatchFloorBounds) {
+  RfdetOptions o;
+  o.propagate_coalesce = true;
+  o.propagate_coalesce_min = 4;
+  EXPECT_EQ(ValidateOptions(o), "");
+  o.propagate_coalesce_min = 1;
+  EXPECT_NE(ValidateOptions(o).find("propagate_coalesce_min"),
+            std::string::npos);
+  o.propagate_coalesce_min = 0;
+  EXPECT_NE(ValidateOptions(o).find("propagate_coalesce_min"),
+            std::string::npos);
+  o.propagate_coalesce_min = 100000;
+  EXPECT_NE(ValidateOptions(o).find("propagate_coalesce_min"),
+            std::string::npos);
+  // With coalescing off the floor is dormant and unconstrained.
+  o.propagate_coalesce = false;
+  o.propagate_coalesce_min = 0;
+  EXPECT_EQ(ValidateOptions(o), "");
+}
+
+TEST(CoalesceOptionsValidation, RfdetCoalesceEnvParity) {
+  const auto make = [] {
+    RfdetOptions o;
+    o.region_bytes = 8u << 20;
+    o.static_bytes = 1u << 20;
+    o.propagate_coalesce = true;
+    o.propagate_coalesce_min = 4;
+    return o;
+  };
+  ASSERT_EQ(setenv("RFDET_COALESCE", "off", 1), 0);
+  {
+    RfdetRuntime rt(make());
+    EXPECT_FALSE(rt.options().propagate_coalesce);
+  }
+  ASSERT_EQ(setenv("RFDET_COALESCE", "on", 1), 0);
+  {
+    RfdetOptions o = make();
+    o.propagate_coalesce = false;
+    RfdetRuntime rt(o);
+    EXPECT_TRUE(rt.options().propagate_coalesce);
+  }
+  ASSERT_EQ(setenv("RFDET_COALESCE", "6", 1), 0);
+  {
+    RfdetRuntime rt(make());
+    EXPECT_TRUE(rt.options().propagate_coalesce);
+    EXPECT_EQ(rt.options().propagate_coalesce_min, 6u);
+  }
+  ASSERT_EQ(setenv("RFDET_COALESCE", "bogus", 1), 0);
+  {
+    RfdetRuntime rt(make());  // warns and keeps the options
+    EXPECT_TRUE(rt.options().propagate_coalesce);
+    EXPECT_EQ(rt.options().propagate_coalesce_min, 4u);
+  }
+  ASSERT_EQ(unsetenv("RFDET_COALESCE"), 0);
+}
+
+// ---- stats surface ---------------------------------------------------------
+
+TEST(CoalesceRuntime, CountersSurfaceInDumpStateReport) {
+  RfdetOptions o = SmallOpts();
+  o.propagate_coalesce = true;
+  o.propagate_coalesce_min = 4;
+  RfdetRuntime rt(o);
+  const GAddr block = rt.AllocStatic(2048, 64);
+  RunProducerWorkload(rt, block, 2048, 8);
+  const std::string dump = rt.DumpStateReport();
+  EXPECT_NE(dump.find("coalesce: enabled (min 4)"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("spans covering"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfdet
